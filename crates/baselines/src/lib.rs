@@ -1,0 +1,16 @@
+//! # vqpy-baselines
+//!
+//! The two non-SQL baselines of the paper's evaluation:
+//!
+//! - [`cvip`]: a CVIP-style handcrafted pipeline (§5.1) that runs every
+//!   attribute model on every vehicle crop of every frame and filters last.
+//! - [`mllm`]: a VideoChat-style multimodal-LLM simulator (§5.3) with the
+//!   paper's cost profile (heavy per-frame embedding + per-query inference)
+//!   and answer-quality profile (noisy booleans, inflated counts,
+//!   unparseable responses).
+
+pub mod cvip;
+pub mod mllm;
+
+pub use cvip::{run_cvip, run_cvip_with, CvipQuery, CvipRun};
+pub use mllm::{MllmQuestion, MllmVariant, VideoChatSim};

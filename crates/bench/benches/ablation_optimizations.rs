@@ -1,0 +1,115 @@
+//! Ablation: contribution of each backend optimization (§4.3/§4.4) on the
+//! red-speeding-car query — lazy evaluation, predicate pull-up, operator
+//! fusion, binary-classifier frame filters, and the specialized red-car
+//! detector.
+
+use vqpy_bench::bench_scale;
+use vqpy_bench::report::{ms, section, speedup, table};
+use vqpy_bench::workloads::{bench_zoo, camera_video, red_speeding_query_plain};
+use vqpy_core::backend::exec::{execute_plan, ExecConfig};
+use vqpy_core::backend::optimize::apply_passes;
+use vqpy_core::backend::plan::{build_plan, PlanOptions, SpecializedChoice};
+use vqpy_core::scoring::f1_frames;
+use vqpy_models::{Clock, Value};
+use vqpy_video::source::VideoSource;
+
+fn main() {
+    let seconds = 600.0 * bench_scale();
+    let video = camera_video("jackson", seconds, 909);
+    let threshold = video
+        .scene()
+        .unwrap()
+        .preset
+        .speeding_threshold_px_per_frame() as f64;
+    let zoo = bench_zoo();
+    // Non-intrinsic schema: isolates plan-shape effects from memoization.
+    let query = red_speeding_query_plain(threshold);
+    println!("Optimization ablation: red speeding car, {seconds:.0}s Jackson Hole");
+
+    let eager = PlanOptions {
+        eager_filters: true,
+        fuse: false,
+        pullup: false,
+        label: "eager (no optimizations)".into(),
+        ..PlanOptions::vqpy_default()
+    };
+    let eager_pullup = PlanOptions {
+        eager_filters: true,
+        fuse: false,
+        pullup: true,
+        label: "eager + predicate pull-up".into(),
+        ..PlanOptions::vqpy_default()
+    };
+    let lazy_nofuse = PlanOptions {
+        fuse: false,
+        label: "lazy filters".into(),
+        ..PlanOptions::vqpy_default()
+    };
+    let lazy_fused = PlanOptions {
+        label: "lazy + operator fusion".into(),
+        ..PlanOptions::vqpy_default()
+    };
+    let with_binary = PlanOptions {
+        binary_filters: vec!["no_red_on_road".into()],
+        label: "+ binary classifier filter".into(),
+        ..PlanOptions::vqpy_default()
+    };
+    let mut with_specialized = PlanOptions {
+        label: "+ specialized red-car detector".into(),
+        ..PlanOptions::vqpy_default()
+    };
+    with_specialized.specialized.insert(
+        "car".into(),
+        SpecializedChoice {
+            detector: "red_car_detector".into(),
+            prop: "color".into(),
+            value: Value::from("red"),
+        },
+    );
+
+    let configs = [
+        eager,
+        eager_pullup,
+        lazy_nofuse,
+        lazy_fused,
+        with_binary,
+        with_specialized,
+    ];
+
+    let mut rows = Vec::new();
+    let mut baseline_ms = 0.0;
+    let mut baseline_hits = None;
+    for opts in &configs {
+        let mut plan = build_plan(&[query.clone()], &zoo, opts).expect("plan builds");
+        apply_passes(&mut plan, opts);
+        let clock = Clock::new();
+        let out = execute_plan(&plan, &video, &zoo, &clock, &ExecConfig::default())
+            .expect("runs");
+        let this_ms = clock.virtual_ms();
+        if baseline_ms == 0.0 {
+            baseline_ms = this_ms;
+            baseline_hits = Some(out[0].hit_frame_set());
+        }
+        let f1 = f1_frames(
+            &out[0].hit_frame_set(),
+            baseline_hits.as_ref().expect("baseline recorded"),
+        )
+        .f1;
+        rows.push(vec![
+            opts.label.clone(),
+            ms(this_ms),
+            speedup(baseline_ms, this_ms),
+            format!("{:.3}", f1),
+            out[0].frame_hits.len().to_string(),
+        ]);
+    }
+
+    section("Backend optimization ablation");
+    table(
+        &["configuration", "cost", "speedup vs eager", "F1 vs eager", "hits"],
+        &rows,
+    );
+    println!("expected shape: lazy projection ordering beats eager; frame filters");
+    println!("and the specialized detector give the largest gains (pull-up alone");
+    println!("moves filters, not projections, so it cannot reorder model calls)");
+}

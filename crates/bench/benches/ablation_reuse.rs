@@ -1,0 +1,62 @@
+//! Ablation: object-level computation reuse (§4.2 / §5.2's "ten-fold"
+//! claim for intrinsic properties).
+//!
+//! Runs the red-car query with the intrinsic cache on and off and reports
+//! total cost, attribute-model invocations, cache hit rate, and result
+//! agreement.
+
+use vqpy_bench::bench_scale;
+use vqpy_bench::report::{ms, section, speedup, table};
+use vqpy_bench::workloads::{bench_zoo, camera_video, red_car_query};
+use vqpy_core::backend::exec::{execute_plan, ExecConfig};
+use vqpy_core::backend::plan::{build_plan, PlanOptions};
+use vqpy_core::scoring::f1_frames;
+use vqpy_models::Clock;
+
+fn main() {
+    let seconds = 180.0 * bench_scale();
+    let video = camera_video("jackson", seconds, 808);
+    let zoo = bench_zoo();
+    let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default())
+        .expect("plan builds");
+    println!("Reuse ablation: red car query, {seconds:.0}s Jackson Hole");
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut costs = Vec::new();
+    let mut color_costs = Vec::new();
+    for enable in [false, true] {
+        let clock = Clock::new();
+        let config = ExecConfig {
+            enable_intrinsic_reuse: enable,
+            ..ExecConfig::default()
+        };
+        let out = execute_plan(&plan, &video, &zoo, &clock, &config).expect("runs");
+        let color = clock.stat("color_detect").unwrap_or_default();
+        rows.push(vec![
+            if enable { "reuse ON" } else { "reuse OFF" }.to_owned(),
+            ms(clock.virtual_ms()),
+            color.invocations.to_string(),
+            ms(color.units),
+            format!("{:.1}%", out[0].metrics.reuse.hit_rate() * 100.0),
+            out[0].frame_hits.len().to_string(),
+        ]);
+        costs.push(clock.virtual_ms());
+        color_costs.push(color.units.max(1e-9));
+        results.push(out.into_iter().next().expect("one query"));
+    }
+
+    section("Object-level computation reuse (intrinsic color property)");
+    table(
+        &["config", "total", "color calls", "color cost", "cache hit rate", "hit frames"],
+        &rows,
+    );
+    let f1 = f1_frames(&results[1].hit_frame_set(), &results[0].hit_frame_set()).f1;
+    println!(
+        "attribute-model cost reduction: {} | end-to-end: {} | agreement F1: {:.3}",
+        speedup(color_costs[0], color_costs[1]),
+        speedup(costs[0], costs[1]),
+        f1
+    );
+    println!("paper (§5.2): memoizing static properties gives ~10x on the property computation");
+}

@@ -1,0 +1,67 @@
+//! Figure 16: the red-speeding-car query (stateless + stateful), VQPy vs
+//! EVA naive and EVA with hand-pushed-down filters ("EVA refined").
+//!
+//! Paper result: naive EVA is 7.5-15.2x slower than VQPy (single-statement
+//! limit + no views force re-extraction); even the manually refined version
+//! stays 3.3-5.7x slower because object-level memoization is inexpressible
+//! in the tabular model.
+
+use std::sync::Arc;
+use vqpy_bench::bench_scale;
+use vqpy_bench::report::{ms, section, speedup, table};
+use vqpy_bench::workloads::{bench_zoo, camera_video, red_speeding_query};
+use vqpy_core::VqpySession;
+use vqpy_models::Clock;
+use vqpy_sql::engine::Database;
+use vqpy_sql::queries;
+use vqpy_video::source::VideoSource;
+
+fn main() {
+    let scale = bench_scale();
+    println!("Figure 16 reproduction: red speeding car, VQPy vs EVA vs EVA-refined (scale {scale})");
+    for minutes in [3.0, 10.0] {
+        let seconds = minutes * 60.0 * scale;
+        let mut rows = Vec::new();
+        for cam in ["banff", "jackson", "southampton"] {
+            let video = camera_video(cam, seconds, 79);
+            let threshold = video
+                .scene()
+                .unwrap()
+                .preset
+                .speeding_threshold_px_per_frame() as f64;
+
+            let session = VqpySession::new(bench_zoo());
+            let _ = session
+                .execute(&red_speeding_query(threshold), &video)
+                .expect("vqpy runs");
+            let vqpy_ms = session.clock().virtual_ms();
+
+            let arc_video = Arc::new(video) as Arc<dyn VideoSource>;
+            let mut db = Database::new(bench_zoo());
+            db.load_video("V", Arc::clone(&arc_video));
+            let naive_clock = Clock::new();
+            queries::red_speeding_query_naive(&mut db, "V", threshold, &naive_clock)
+                .expect("eva naive runs");
+            let naive_ms = naive_clock.virtual_ms();
+
+            let refined_clock = Clock::new();
+            queries::red_speeding_query_refined(&mut db, "V", threshold, &refined_clock)
+                .expect("eva refined runs");
+            let refined_ms = refined_clock.virtual_ms();
+
+            rows.push(vec![
+                cam.to_owned(),
+                format!("{} ({})", ms(vqpy_ms), speedup(naive_ms, vqpy_ms)),
+                format!("{} (1.0x)", ms(naive_ms)),
+                format!("{} ({})", ms(refined_ms), speedup(naive_ms, refined_ms)),
+                speedup(refined_ms, vqpy_ms),
+            ]);
+        }
+        section(&format!("Figure 16: {minutes:.0}-min clips"));
+        table(
+            &["camera", "VQPy", "EVA", "EVA (refined)", "VQPy vs refined"],
+            &rows,
+        );
+    }
+    println!("\npaper: EVA 7.5-15.2x slower than VQPy; refined still 3.3-5.7x slower");
+}

@@ -1,0 +1,22 @@
+//! # vqpy-bench
+//!
+//! Shared experiment harness for the benches that regenerate every table
+//! and figure of the paper's evaluation (§5). Each bench target under
+//! `benches/` prints the paper's rows/series next to the measured
+//! reproduction; this library provides the common workloads, query
+//! constructors, and table formatting.
+
+pub mod report;
+pub mod workloads;
+
+/// Reads an experiment scale factor from `VQPY_BENCH_SCALE`.
+/// Video durations are the paper's clip lengths times this factor. The
+/// default of 0.2 keeps a full `cargo bench --workspace` pass to a few
+/// minutes; set `VQPY_BENCH_SCALE=1` to run the paper's full lengths.
+pub fn bench_scale() -> f64 {
+    std::env::var("VQPY_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(0.2)
+}

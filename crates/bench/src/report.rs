@@ -1,0 +1,80 @@
+//! Plain-text table/series printing for experiment reports.
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints an aligned table: `headers` then `rows` (stringified cells).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a speedup like the paper's figure annotations, e.g. `3.4x`.
+pub fn speedup(baseline: f64, this: f64) -> String {
+    if this <= 0.0 {
+        return "inf".to_owned();
+    }
+    format!("{:.1}x", baseline / this)
+}
+
+/// Formats milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}s", v / 1000.0)
+    } else {
+        format!("{v:.1}ms")
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_formats() {
+        assert_eq!(speedup(100.0, 10.0), "10.0x");
+        assert_eq!(speedup(100.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn ms_scales() {
+        assert_eq!(ms(10.0), "10.0ms");
+        assert_eq!(ms(2500.0), "2.5s");
+    }
+}

@@ -1,0 +1,519 @@
+//! The execution engine: instantiates a [`PlanDag`] into live operators and
+//! streams frames through them, collecting per-query frame hits and video
+//! aggregates.
+
+use crate::backend::ops::{
+    BinaryFilterOp, DetectOp, DiffFrameFilter, ExecCtx, FilterOp, FrameSlot, JoinOp, Operator,
+    ProjectOp, RelationProjectOp, TrackOp,
+};
+use crate::backend::plan::{OpSpec, PlanDag};
+use crate::backend::reuse::{ReuseCache, ReuseStats};
+use crate::error::{Result, VqpyError};
+use crate::frontend::query::Aggregate;
+use crate::frontend::vobj::ResolvedProperty;
+use std::collections::{BTreeMap, BTreeSet};
+use vqpy_models::{Clock, ModelZoo, Value};
+use vqpy_video::source::VideoSource;
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Frames per execution batch (the user-defined batch size of §4.1).
+    pub batch_size: usize,
+    /// Object-level computation reuse (§4.2) toggle.
+    pub enable_intrinsic_reuse: bool,
+    /// Record per-frame virtual cost (Figure 13(b) series).
+    pub record_per_frame_ms: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 8,
+            enable_intrinsic_reuse: true,
+            record_per_frame_ms: false,
+        }
+    }
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    pub frames_total: u64,
+    /// Frames surviving the frame filters (i.e. reaching detectors).
+    pub frames_processed: u64,
+    pub reuse: ReuseStats,
+    /// Virtual ms spent on each frame (only when
+    /// [`ExecConfig::record_per_frame_ms`] is set).
+    pub per_frame_ms: Vec<f64>,
+}
+
+/// A frame satisfying a query, with its projected outputs.
+#[derive(Debug, Clone)]
+pub struct FrameHit {
+    pub frame: u64,
+    pub time_s: f64,
+    /// One output row per matching combo: `(alias.prop, value)` pairs.
+    pub outputs: Vec<Vec<(String, Value)>>,
+}
+
+/// The result of one query's execution.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub query_name: String,
+    pub frame_hits: Vec<FrameHit>,
+    /// Video-level aggregate (Figure 7), if the query declared one.
+    pub video_value: Option<Value>,
+    pub metrics: ExecMetrics,
+    /// Virtual milliseconds charged during execution.
+    pub virtual_ms: f64,
+}
+
+impl QueryResult {
+    /// Sorted hit frame indices.
+    pub fn hit_frames(&self) -> Vec<u64> {
+        self.frame_hits.iter().map(|h| h.frame).collect()
+    }
+
+    /// Hit frames as a set, for scoring.
+    pub fn hit_frame_set(&self) -> BTreeSet<u64> {
+        self.frame_hits.iter().map(|h| h.frame).collect()
+    }
+}
+
+fn instantiate(plan: &PlanDag, zoo: &ModelZoo) -> Result<Vec<Box<dyn Operator>>> {
+    let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(plan.ops.len());
+    for spec in &plan.ops {
+        let op: Box<dyn Operator> = match spec {
+            OpSpec::DiffFilter { threshold } => Box::new(DiffFrameFilter::new(*threshold)),
+            OpSpec::BinaryFilter { model } => {
+                Box::new(BinaryFilterOp::new(zoo.frame_classifier(model)?))
+            }
+            OpSpec::Detect { detector, aliases } => {
+                Box::new(DetectOp::new(zoo.detector(detector)?, aliases.clone()))
+            }
+            OpSpec::Track { alias } => Box::new(TrackOp::new(alias.clone())),
+            OpSpec::Project { alias, prop } => {
+                Box::new(ProjectOp::new(alias.clone(), resolve_def(plan, alias, prop)?))
+            }
+            OpSpec::FusedProjectFilter {
+                alias,
+                prop,
+                pred,
+                required,
+            } => Box::new(
+                ProjectOp::new(alias.clone(), resolve_def(plan, alias, prop)?)
+                    .with_fused_filter(pred.clone(), *required),
+            ),
+            OpSpec::Filter {
+                alias,
+                pred,
+                required,
+            } => Box::new(FilterOp::new(alias.clone(), pred.clone(), *required)),
+            OpSpec::ProjectRelation { index } => {
+                Box::new(RelationProjectOp::new(plan.relations[*index].clone()))
+            }
+            OpSpec::Join { index } => {
+                let j = &plan.joins[*index];
+                let aliases: Vec<String> =
+                    j.query.vobjs().iter().map(|v| v.alias.clone()).collect();
+                Box::new(JoinOp::new(
+                    j.query.name().to_owned(),
+                    aliases,
+                    j.query.relations().to_vec(),
+                    j.pred.clone(),
+                    j.kills_frame,
+                ))
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+fn resolve_def(
+    plan: &PlanDag,
+    alias: &str,
+    prop: &str,
+) -> Result<crate::frontend::property::PropertyDef> {
+    let schema = plan
+        .schemas
+        .get(alias)
+        .ok_or_else(|| VqpyError::UnknownAlias(alias.to_owned()))?;
+    match schema.resolve_property(prop) {
+        Some(ResolvedProperty::Defined(def)) => Ok(def.clone()),
+        _ => Err(VqpyError::UnknownProperty {
+            schema: schema.name().to_owned(),
+            property: prop.to_owned(),
+        }),
+    }
+}
+
+/// Per-query aggregation state.
+#[derive(Debug, Default)]
+struct AggState {
+    distinct_tracks: BTreeSet<i64>,
+    per_frame_counts: Vec<u64>,
+}
+
+/// Executes a plan over a video, producing one result per query in the
+/// plan, in plan order.
+///
+/// # Errors
+///
+/// Fails when plan operators reference unknown models or properties.
+pub fn execute_plan(
+    plan: &PlanDag,
+    source: &dyn VideoSource,
+    zoo: &ModelZoo,
+    clock: &Clock,
+    config: &ExecConfig,
+) -> Result<Vec<QueryResult>> {
+    let mut ops = instantiate(plan, zoo)?;
+    let mut reuse = ReuseCache::new();
+    let mut metrics = ExecMetrics::default();
+    let start_ms = clock.virtual_ms();
+
+    let mut hits: BTreeMap<String, Vec<FrameHit>> = BTreeMap::new();
+    let mut aggs: BTreeMap<String, AggState> = BTreeMap::new();
+    for j in &plan.joins {
+        hits.insert(j.query.name().to_owned(), Vec::new());
+        aggs.insert(j.query.name().to_owned(), AggState::default());
+    }
+
+    let first_detect = plan
+        .ops
+        .iter()
+        .position(|o| matches!(o, OpSpec::Detect { .. }))
+        .unwrap_or(0);
+    let total = source.frame_count();
+    let batch = config.batch_size.max(1) as u64;
+    let mut index = 0u64;
+    while index < total {
+        let end = (index + batch).min(total);
+        for f in index..end {
+            let frame_start_ms = clock.virtual_ms();
+            clock.charge_labeled("video_decode", vqpy_models::zoo::COST_VIDEO_DECODE);
+            let frame = source.frame(f);
+            let mut slot = FrameSlot::new(frame);
+            metrics.frames_total += 1;
+            {
+                let mut ctx = ExecCtx {
+                    zoo,
+                    clock,
+                    fps: source.fps(),
+                    reuse: &mut reuse,
+                    enable_reuse: config.enable_intrinsic_reuse,
+                };
+                for (oi, op) in ops.iter_mut().enumerate() {
+                    if oi == first_detect && slot.alive {
+                        metrics.frames_processed += 1;
+                    }
+                    if !slot.alive && !op.wants_dead_frames() {
+                        continue;
+                    }
+                    op.process(&mut slot, &mut ctx)?;
+                }
+            }
+
+            // Collect matches per query.
+            for j in &plan.joins {
+                let name = j.query.name();
+                let combos = slot.matches.get(name).cloned().unwrap_or_default();
+                let agg = aggs.get_mut(name).expect("initialized above");
+                // Aggregation bookkeeping (count per frame even when zero).
+                let agg_alias = match j.query.video_output() {
+                    Some(Aggregate::CountDistinctTracks { alias })
+                    | Some(Aggregate::AvgPerFrame { alias })
+                    | Some(Aggregate::MaxPerFrame { alias }) => Some(alias.clone()),
+                    _ => None,
+                };
+                if let Some(alias) = &agg_alias {
+                    let mut frame_nodes = BTreeSet::new();
+                    for c in &combos {
+                        if let Some(&node) = c.bindings.get(alias) {
+                            frame_nodes.insert(node);
+                            if let Some(Value::Int(t)) =
+                                Some(slot.graph.nodes[node].value_of("track_id"))
+                            {
+                                agg.distinct_tracks.insert(t);
+                            }
+                        }
+                    }
+                    agg.per_frame_counts.push(frame_nodes.len() as u64);
+                } else {
+                    agg.per_frame_counts.push(u64::from(!combos.is_empty()));
+                }
+
+                if !combos.is_empty() {
+                    let outputs: Vec<Vec<(String, Value)>> = combos
+                        .iter()
+                        .map(|c| {
+                            j.query
+                                .frame_output()
+                                .iter()
+                                .filter_map(|p| {
+                                    c.bindings.get(&p.alias).map(|&node| {
+                                        (
+                                            format!("{}.{}", p.alias, p.prop),
+                                            slot.graph.nodes[node].value_of(&p.prop),
+                                        )
+                                    })
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    hits.get_mut(name).expect("initialized").push(FrameHit {
+                        frame: slot.frame.index,
+                        time_s: slot.frame.time_s,
+                        outputs,
+                    });
+                }
+            }
+            if config.record_per_frame_ms {
+                metrics.per_frame_ms.push(clock.virtual_ms() - frame_start_ms);
+            }
+        }
+        index = end;
+    }
+
+    metrics.reuse = reuse.stats();
+    let total_ms = clock.virtual_ms() - start_ms;
+
+    let mut results = Vec::with_capacity(plan.joins.len());
+    for j in &plan.joins {
+        let name = j.query.name().to_owned();
+        let agg = &aggs[&name];
+        let video_value = j.query.video_output().map(|a| match a {
+            Aggregate::CountDistinctTracks { .. } => {
+                Value::Int(agg.distinct_tracks.len() as i64)
+            }
+            Aggregate::AvgPerFrame { .. } => {
+                let n = agg.per_frame_counts.len().max(1) as f64;
+                Value::Float(agg.per_frame_counts.iter().sum::<u64>() as f64 / n)
+            }
+            Aggregate::MaxPerFrame { .. } => {
+                Value::Int(*agg.per_frame_counts.iter().max().unwrap_or(&0) as i64)
+            }
+            Aggregate::CountFrames => {
+                Value::Int(agg.per_frame_counts.iter().filter(|&&c| c > 0).count() as i64)
+            }
+        });
+        results.push(QueryResult {
+            query_name: name.clone(),
+            frame_hits: hits.remove(&name).expect("initialized"),
+            video_value,
+            metrics: metrics.clone(),
+            virtual_ms: total_ms,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::plan::{build_plan, PlanOptions};
+    use crate::frontend::library;
+    use crate::frontend::predicate::Pred;
+    use crate::frontend::query::Query;
+    use std::sync::Arc;
+    use vqpy_video::color::NamedColor;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::SyntheticVideo;
+
+    fn video(seconds: f64) -> SyntheticVideo {
+        SyntheticVideo::new(Scene::generate(presets::jackson(), 5150, seconds))
+    }
+
+    fn red_car_query() -> Arc<Query> {
+        Query::builder("RedCar")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+            .frame_output(&[("car", "track_id"), ("car", "bbox")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn red_car_query_finds_red_cars() {
+        let zoo = ModelZoo::standard();
+        let v = video(30.0);
+        let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let clock = Clock::new();
+        let results =
+            execute_plan(&plan, &v, &zoo, &clock, &ExecConfig::default()).unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+
+        // Compare against ground truth: frames with a visible red vehicle.
+        let scene = v.scene().unwrap();
+        let truth: BTreeSet<u64> = (0..scene.frame_count())
+            .filter(|&f| {
+                scene.truth_at(f).visible.iter().any(|e| {
+                    e.attrs
+                        .as_vehicle()
+                        .map(|a| a.color == NamedColor::Red)
+                        .unwrap_or(false)
+                })
+            })
+            .collect();
+        let predicted = r.hit_frame_set();
+        if truth.is_empty() {
+            assert!(predicted.len() < 10, "no red cars but many hits?");
+            return;
+        }
+        let tp = predicted.intersection(&truth).count() as f64;
+        let precision = tp / predicted.len().max(1) as f64;
+        let recall = tp / truth.len() as f64;
+        assert!(precision > 0.7, "precision {precision}");
+        assert!(recall > 0.6, "recall {recall}");
+        assert!(r.virtual_ms > 0.0);
+    }
+
+    #[test]
+    fn reuse_reduces_model_invocations() {
+        let zoo = ModelZoo::standard();
+        let v = video(30.0);
+        // Intrinsic annotations (the §4.2 user opt-in) enable memoization.
+        let q = Query::builder("RedCarIntrinsic")
+            .vobj("car", library::vehicle_schema_intrinsic())
+            .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q], &zoo, &PlanOptions::vqpy_default()).unwrap();
+
+        let clock_on = Clock::new();
+        let on = execute_plan(
+            &plan,
+            &v,
+            &zoo,
+            &clock_on,
+            &ExecConfig {
+                enable_intrinsic_reuse: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+
+        let clock_off = Clock::new();
+        let off = execute_plan(
+            &plan,
+            &v,
+            &zoo,
+            &clock_off,
+            &ExecConfig {
+                enable_intrinsic_reuse: false,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+
+        let calls_on = clock_on.stat("color_detect").map(|s| s.invocations).unwrap_or(0);
+        let calls_off = clock_off.stat("color_detect").map(|s| s.invocations).unwrap_or(0);
+        assert!(
+            calls_on * 3 < calls_off,
+            "reuse should slash color model calls: {calls_on} vs {calls_off}"
+        );
+        // Nearly identical frames either way: memoization pins one sample
+        // of the per-frame classifier noise, so a handful of borderline
+        // frames may flip, but accuracy must not degrade materially.
+        let f1 = crate::scoring::f1_frames(&on[0].hit_frame_set(), &off[0].hit_frame_set()).f1;
+        assert!(f1 > 0.9, "reuse changed results too much: F1 {f1}");
+    }
+
+    #[test]
+    fn aggregate_count_distinct_tracks() {
+        let zoo = ModelZoo::standard();
+        let v = video(20.0);
+        let q = Query::builder("CountCars")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.5))
+            .video_output(Aggregate::CountDistinctTracks { alias: "car".into() })
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let clock = Clock::new();
+        let results = execute_plan(&plan, &v, &zoo, &clock, &ExecConfig::default()).unwrap();
+        let count = results[0].video_value.clone().unwrap().as_i64().unwrap();
+        // Roughly the number of distinct vehicles in the scene (tracker
+        // fragmentation can inflate slightly; detection misses deflate).
+        let scene_vehicles = v
+            .scene()
+            .unwrap()
+            .entities()
+            .iter()
+            .filter(|e| matches!(e.attrs, vqpy_video::EntityAttrs::Vehicle(_)))
+            .count() as i64;
+        assert!(count > 0);
+        assert!(
+            (count as f64) < (scene_vehicles as f64) * 2.5 + 5.0,
+            "count {count} vs scene {scene_vehicles}"
+        );
+    }
+
+    #[test]
+    fn per_frame_series_is_recorded_on_request() {
+        let zoo = ModelZoo::standard();
+        let v = video(5.0);
+        let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let clock = Clock::new();
+        let results = execute_plan(
+            &plan,
+            &v,
+            &zoo,
+            &clock,
+            &ExecConfig {
+                record_per_frame_ms: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            results[0].metrics.per_frame_ms.len() as u64,
+            results[0].metrics.frames_total
+        );
+        assert!(results[0].metrics.per_frame_ms.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn shared_execution_matches_individual_results() {
+        let zoo = ModelZoo::standard();
+        let v = video(20.0);
+        let q_red = red_car_query();
+        let q_black = Query::builder("BlackCar")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "black"))
+            .build()
+            .unwrap();
+
+        // Individually.
+        let c1 = Clock::new();
+        let plan_red = build_plan(&[Arc::clone(&q_red)], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let red_alone = execute_plan(&plan_red, &v, &zoo, &c1, &ExecConfig::default()).unwrap();
+        let plan_black =
+            build_plan(&[Arc::clone(&q_black)], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let black_alone = execute_plan(&plan_black, &v, &zoo, &c1, &ExecConfig::default()).unwrap();
+
+        // Shared.
+        let c2 = Clock::new();
+        let plan_shared = build_plan(
+            &[Arc::clone(&q_red), Arc::clone(&q_black)],
+            &zoo,
+            &PlanOptions::vqpy_default(),
+        )
+        .unwrap();
+        let shared = execute_plan(&plan_shared, &v, &zoo, &c2, &ExecConfig::default()).unwrap();
+
+        assert_eq!(shared[0].hit_frame_set(), red_alone[0].hit_frame_set());
+        assert_eq!(shared[1].hit_frame_set(), black_alone[0].hit_frame_set());
+        // Sharing the detector must be cheaper than running twice.
+        assert!(
+            c2.virtual_ms() < c1.virtual_ms() * 0.75,
+            "shared {} vs individual {}",
+            c2.virtual_ms(),
+            c1.virtual_ms()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! The object-centric backend (§4): object graph, operators, planner,
+//! optimizer, canary profiler, execution engine, and reuse cache.
+
+pub mod exec;
+pub mod graph;
+pub mod ops;
+pub mod optimize;
+pub mod plan;
+pub mod profile;
+pub mod reuse;

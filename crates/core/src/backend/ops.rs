@@ -1,0 +1,868 @@
+//! The six operator families of §4.1 — frame filter, object detector,
+//! object tracker, projector, object filter, and join — implemented as
+//! stateful pipeline stages over [`FrameSlot`]s.
+//!
+//! The video-reader operator is the executor's frame loop itself; the
+//! projector operator realizes lazy evaluation (compute a property, filter,
+//! only then compute the next) and intrinsic-property reuse (§4.2).
+
+use crate::backend::graph::{Edge, EdgeKind, FrameGraph, NodeId, VObjNode};
+use crate::backend::reuse::ReuseCache;
+use crate::error::{Result, VqpyError};
+use crate::frontend::predicate::{Pred, PredEnv};
+use crate::frontend::property::{PropertyCtx, PropertyDef, PropertyKind, PropertySource};
+use crate::frontend::query::RelationDecl;
+use crate::frontend::relation::{RelationCtx, RelationSource};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use vqpy_models::{Classifier, Clock, Detector, FrameClassifier, HoiModel, ModelZoo, Value};
+use vqpy_tracker::{SortTracker, TrackId, TrackerParams};
+use vqpy_video::frame::{Frame, PixelBuffer};
+
+/// One frame moving through the pipeline.
+#[derive(Debug)]
+pub struct FrameSlot {
+    pub frame: Frame,
+    pub graph: FrameGraph,
+    /// Dead slots are skipped by all later operators.
+    pub alive: bool,
+    /// Join results per query name.
+    pub matches: BTreeMap<String, Vec<MatchCombo>>,
+}
+
+impl FrameSlot {
+    /// Wraps a frame for pipeline processing.
+    pub fn new(frame: Frame) -> Self {
+        Self {
+            frame,
+            graph: FrameGraph::new(),
+            alive: true,
+            matches: BTreeMap::new(),
+        }
+    }
+}
+
+/// One satisfying binding of query aliases to graph nodes.
+#[derive(Debug, Clone)]
+pub struct MatchCombo {
+    pub bindings: BTreeMap<String, NodeId>,
+}
+
+/// Mutable execution context shared by all operators.
+pub struct ExecCtx<'a> {
+    pub zoo: &'a ModelZoo,
+    pub clock: &'a Clock,
+    pub fps: u32,
+    pub reuse: &'a mut ReuseCache,
+    /// Whether intrinsic-property reuse is enabled (§4.2 toggle).
+    pub enable_reuse: bool,
+}
+
+/// A pipeline stage. Operators keep their own cross-frame state (trackers,
+/// history windows, previous pixels) and must therefore observe frames in
+/// order.
+pub trait Operator: Send {
+    /// Operator name for plan dumps and metrics.
+    fn name(&self) -> String;
+    /// Processes one slot. Dead slots are not passed in.
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()>;
+    /// Whether the operator must see every frame (even ones a frame filter
+    /// would drop) to keep its cross-frame state consistent. Trackers
+    /// return false: they simply miss filtered frames, like real systems.
+    fn wants_dead_frames(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame filters
+// ---------------------------------------------------------------------------
+
+/// Virtual cost of the native frame-differencing computation per frame.
+pub const DIFF_FILTER_COST: f64 = 0.3;
+
+/// Differencing-based frame filter (Figure 12): drops frames that are
+/// near-identical to the last *kept* frame.
+pub struct DiffFrameFilter {
+    threshold: f32,
+    last_kept: Option<PixelBuffer>,
+}
+
+impl DiffFrameFilter {
+    /// Creates the filter; frames with mean absolute pixel difference below
+    /// `threshold` (0-255 scale) are dropped.
+    pub fn new(threshold: f32) -> Self {
+        Self {
+            threshold,
+            last_kept: None,
+        }
+    }
+}
+
+impl Operator for DiffFrameFilter {
+    fn name(&self) -> String {
+        format!("diff_frame_filter(<{})", self.threshold)
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        ctx.clock.charge_labeled("diff_filter", DIFF_FILTER_COST);
+        match &self.last_kept {
+            Some(prev) if prev.mean_abs_diff(&slot.frame.pixels) < self.threshold => {
+                slot.alive = false;
+            }
+            _ => {
+                self.last_kept = Some(slot.frame.pixels.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Binary-classifier frame filter (Figure 11's `no_red_on_road`).
+pub struct BinaryFilterOp {
+    model: Arc<dyn FrameClassifier>,
+}
+
+impl BinaryFilterOp {
+    /// Wraps a zoo frame classifier as a filter operator.
+    pub fn new(model: Arc<dyn FrameClassifier>) -> Self {
+        Self { model }
+    }
+}
+
+impl Operator for BinaryFilterOp {
+    fn name(&self) -> String {
+        format!("binary_filter({})", self.model.profile().name)
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        if !self.model.predict(&slot.frame, ctx.clock) {
+            slot.alive = false;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detection
+// ---------------------------------------------------------------------------
+
+/// Object detector operator. One physical model invocation can feed several
+/// aliases (multi-query sharing): each detection becomes a node for every
+/// alias whose class labels match.
+pub struct DetectOp {
+    detector: Arc<dyn Detector>,
+    /// `(alias, class labels)` fed by this detector.
+    aliases: Vec<(String, Vec<String>)>,
+}
+
+impl DetectOp {
+    /// Creates a detect operator feeding `aliases`.
+    pub fn new(detector: Arc<dyn Detector>, aliases: Vec<(String, Vec<String>)>) -> Self {
+        Self { detector, aliases }
+    }
+}
+
+impl Operator for DetectOp {
+    fn name(&self) -> String {
+        let aliases: Vec<&str> = self.aliases.iter().map(|(a, _)| a.as_str()).collect();
+        format!(
+            "detect({} -> {})",
+            self.detector.profile().name,
+            aliases.join(",")
+        )
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let detections = self.detector.detect(&slot.frame, ctx.clock);
+        for det in &detections {
+            for (alias, labels) in &self.aliases {
+                if labels.iter().any(|l| l == &det.class_label) {
+                    slot.graph.add_node(VObjNode::from_detection(alias, det));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracking
+// ---------------------------------------------------------------------------
+
+/// Object tracker operator for one alias: assigns stable track ids and
+/// motion linkage, enabling stateful properties and intrinsic reuse.
+pub struct TrackOp {
+    alias: String,
+    tracker: SortTracker,
+    last_seen: HashMap<TrackId, u64>,
+}
+
+impl TrackOp {
+    /// Creates a tracker for `alias`.
+    pub fn new(alias: impl Into<String>) -> Self {
+        Self {
+            alias: alias.into(),
+            tracker: SortTracker::new(TrackerParams::default()),
+            last_seen: HashMap::new(),
+        }
+    }
+}
+
+impl Operator for TrackOp {
+    fn name(&self) -> String {
+        format!("track({})", self.alias)
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        // The Kalman tracker is native and cheap, but not free.
+        ctx.clock.charge_labeled("tracker", 0.05);
+        let ids = slot.graph.alive_of(&self.alias);
+        let boxes: Vec<(vqpy_video::geometry::BBox, &str)> = ids
+            .iter()
+            .map(|&i| {
+                let n = &slot.graph.nodes[i];
+                (n.bbox, n.class_label.as_str())
+            })
+            .collect();
+        let updates = self.tracker.update(&boxes);
+        for (&node_id, up) in ids.iter().zip(&updates) {
+            let node = &mut slot.graph.nodes[node_id];
+            node.track_id = Some(up.track_id);
+            node.track_confirmed = up.confirmed;
+            node.track_is_new = up.is_new;
+            node.prev_frame = self.last_seen.get(&up.track_id).copied();
+            self.last_seen.insert(up.track_id, slot.frame.index);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Projection (property computation)
+// ---------------------------------------------------------------------------
+
+/// Projector operator: computes one property for all alive nodes of an
+/// alias. Stateless model properties consult the intrinsic reuse cache
+/// first; stateful properties maintain a per-track sliding window of their
+/// dependencies (§4.1's "local sliding window of historical data").
+///
+/// An optional fused filter predicate is applied immediately after each
+/// node's value is computed (operator fusion, §4.3).
+pub struct ProjectOp {
+    alias: String,
+    def: PropertyDef,
+    classifier: Option<Arc<dyn Classifier>>,
+    history: HashMap<TrackId, VecDeque<BTreeMap<String, Value>>>,
+    fused_filter: Option<Pred>,
+    fused_required: bool,
+}
+
+impl ProjectOp {
+    /// Creates a projector; model properties resolve their classifier from
+    /// the zoo lazily on first use.
+    pub fn new(alias: impl Into<String>, def: PropertyDef) -> Self {
+        Self {
+            alias: alias.into(),
+            def,
+            classifier: None,
+            history: HashMap::new(),
+            fused_filter: None,
+            fused_required: false,
+        }
+    }
+
+    /// Fuses a filter to run on each node right after projection; when
+    /// `required` is set, a frame whose alias has no surviving node dies.
+    pub fn with_fused_filter(mut self, pred: Pred, required: bool) -> Self {
+        self.fused_filter = Some(pred);
+        self.fused_required = required;
+        self
+    }
+
+    /// The property being projected.
+    pub fn property(&self) -> &PropertyDef {
+        &self.def
+    }
+
+    fn classifier(&mut self, ctx: &ExecCtx<'_>) -> Result<Arc<dyn Classifier>> {
+        if self.classifier.is_none() {
+            let name = match &self.def.source {
+                PropertySource::Model(m) => m.clone(),
+                other => {
+                    return Err(VqpyError::InvalidQuery(format!(
+                        "projector for non-model source {other:?} asked for classifier"
+                    )))
+                }
+            };
+            self.classifier = Some(ctx.zoo.classifier(&name)?);
+        }
+        Ok(Arc::clone(self.classifier.as_ref().expect("just set")))
+    }
+
+    fn compute_native(&self, node: &VObjNode, deps: &HashMap<String, Vec<Value>>, fps: u32) -> Value {
+        match &self.def.source {
+            PropertySource::Native(f) => f(&PropertyCtx { deps, fps }),
+            PropertySource::Builtin(b) => node.builtin(*b),
+            PropertySource::Model(_) => unreachable!("model handled separately"),
+        }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn name(&self) -> String {
+        match &self.fused_filter {
+            Some(p) => format!("project+filter({}.{} | {p})", self.alias, self.def.name),
+            None => format!("project({}.{})", self.alias, self.def.name),
+        }
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let node_ids = slot.graph.alive_of(&self.alias);
+        for id in node_ids {
+            let value = {
+                let node = &slot.graph.nodes[id];
+                if node.props.contains_key(&self.def.name) {
+                    continue; // already computed (shared plans)
+                }
+                let kind = self.def.kind;
+                let is_model = matches!(self.def.source, PropertySource::Model(_));
+                match (kind, is_model) {
+                    // Stateless model property: the reuse-cache fast path.
+                    (PropertyKind::Stateless { intrinsic }, true) => {
+                        // Memoized values are trusted only once the track is
+                        // confirmed: a first sighting clamped at the frame
+                        // edge would otherwise pin a bad classification for
+                        // the object's whole lifetime.
+                        let cached = if intrinsic && ctx.enable_reuse && node.track_confirmed {
+                            node.track_id.and_then(|t| {
+                                ctx.reuse.lookup(&self.alias, t, &self.def.name)
+                            })
+                        } else {
+                            None
+                        };
+                        match cached {
+                            Some(v) => v,
+                            None => {
+                                let det = node.as_detection();
+                                let clf = self.classifier(ctx)?;
+                                let v = clf.classify(&slot.frame, &det, ctx.clock);
+                                if intrinsic && ctx.enable_reuse {
+                                    if let Some(t) = node.track_id {
+                                        ctx.reuse.store(&self.alias, t, &self.def.name, v.clone());
+                                    }
+                                }
+                                v
+                            }
+                        }
+                    }
+                    // Stateless native/builtin: compute from current values.
+                    (PropertyKind::Stateless { .. }, false) => {
+                        let mut deps: HashMap<String, Vec<Value>> = HashMap::new();
+                        for d in &self.def.deps {
+                            deps.insert(d.clone(), vec![node.value_of(d)]);
+                        }
+                        self.compute_native(node, &deps, ctx.fps)
+                    }
+                    // Stateful: per-track sliding window of dependencies.
+                    (PropertyKind::Stateful { history_len }, _) => {
+                        let history_len = history_len;
+                        ctx.clock.charge_labeled("native_prop", 0.02);
+                        let Some(track) = node.track_id else {
+                            // Untracked objects cannot have stateful props.
+                            slot.graph.nodes[id]
+                                .props
+                                .insert(self.def.name.clone(), Value::Null);
+                            continue;
+                        };
+                        let window = self.history.entry(track).or_default();
+                        let mut current = BTreeMap::new();
+                        for d in &self.def.deps {
+                            current.insert(d.clone(), node.value_of(d));
+                        }
+                        window.push_back(current);
+                        while window.len() > history_len {
+                            window.pop_front();
+                        }
+                        if window.len() < history_len {
+                            Value::Null
+                        } else {
+                            let mut deps: HashMap<String, Vec<Value>> = HashMap::new();
+                            for d in &self.def.deps {
+                                deps.insert(
+                                    d.clone(),
+                                    window
+                                        .iter()
+                                        .map(|m| m.get(d).cloned().unwrap_or(Value::Null))
+                                        .collect(),
+                                );
+                            }
+                            self.compute_native(node, &deps, ctx.fps)
+                        }
+                    }
+                }
+            };
+            slot.graph.nodes[id].props.insert(self.def.name.clone(), value);
+
+            // Operator fusion: filter right here, saving a pipeline pass.
+            if let Some(pred) = &self.fused_filter {
+                let env = single_node_env(&slot.graph.nodes[id]);
+                if !pred.eval(&env) {
+                    slot.graph.kill(id);
+                }
+            }
+        }
+        if self.fused_filter.is_some()
+            && self.fused_required
+            && slot.graph.alive_count(&self.alias) == 0
+        {
+            slot.alive = false;
+        }
+        Ok(())
+    }
+}
+
+fn single_node_env(node: &VObjNode) -> PredEnv {
+    let mut env = PredEnv::default();
+    env.objects.insert(node.alias.clone(), node.prop_map());
+    env
+}
+
+// ---------------------------------------------------------------------------
+// Object filters
+// ---------------------------------------------------------------------------
+
+/// VObj filter: kills nodes failing a single-alias predicate; optionally
+/// kills the whole frame when the alias has no survivors (the alias is
+/// *required* by every query in the plan).
+pub struct FilterOp {
+    alias: String,
+    pred: Pred,
+    required: bool,
+}
+
+impl FilterOp {
+    /// Creates a filter on `alias`.
+    pub fn new(alias: impl Into<String>, pred: Pred, required: bool) -> Self {
+        Self {
+            alias: alias.into(),
+            pred,
+            required,
+        }
+    }
+
+    /// The filter predicate.
+    pub fn pred(&self) -> &Pred {
+        &self.pred
+    }
+}
+
+impl Operator for FilterOp {
+    fn name(&self) -> String {
+        format!("filter({} | {})", self.alias, self.pred)
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, _ctx: &mut ExecCtx<'_>) -> Result<()> {
+        for id in slot.graph.alive_of(&self.alias) {
+            let env = single_node_env(&slot.graph.nodes[id]);
+            if !self.pred.eval(&env) {
+                slot.graph.kill(id);
+            }
+        }
+        if self.required && slot.graph.alive_count(&self.alias) == 0 {
+            slot.alive = false;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relation projection
+// ---------------------------------------------------------------------------
+
+/// Relation projector: computes relation properties for pairs of alive
+/// nodes, adding spatial edges. Native properties are computed per pair;
+/// HOI model properties run the model once per frame over the union of
+/// both aliases' detections.
+pub struct RelationProjectOp {
+    decl: RelationDecl,
+    hoi: Option<Arc<dyn HoiModel>>,
+}
+
+impl RelationProjectOp {
+    /// Creates the projector for a declared relation.
+    pub fn new(decl: RelationDecl) -> Self {
+        Self { decl, hoi: None }
+    }
+}
+
+impl Operator for RelationProjectOp {
+    fn name(&self) -> String {
+        format!(
+            "project_relation({}: {} x {})",
+            self.decl.name, self.decl.left_alias, self.decl.right_alias
+        )
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let left = slot.graph.alive_of(&self.decl.left_alias);
+        let right = slot.graph.alive_of(&self.decl.right_alias);
+        if left.is_empty() || right.is_empty() {
+            return Ok(());
+        }
+        let props: Vec<_> = self
+            .decl
+            .schema
+            .all_properties()
+            .into_iter()
+            .cloned()
+            .collect();
+
+        // HOI properties: one model call per frame over both aliases.
+        let mut hoi_results: HashMap<(NodeId, NodeId), Value> = HashMap::new();
+        for p in &props {
+            if let RelationSource::Hoi { model } = &p.source {
+                if self.hoi.is_none() {
+                    self.hoi = Some(ctx.zoo.hoi(model)?);
+                }
+                let hoi = self.hoi.as_ref().expect("just set");
+                let all_ids: Vec<NodeId> = left.iter().chain(right.iter()).copied().collect();
+                let dets: Vec<_> = all_ids
+                    .iter()
+                    .map(|&i| slot.graph.nodes[i].as_detection())
+                    .collect();
+                for triple in hoi.interactions(&slot.frame, &dets, ctx.clock) {
+                    let s = all_ids[triple.subject_idx];
+                    let o = all_ids[triple.object_idx];
+                    hoi_results.insert((s, o), Value::Str(triple.kind));
+                }
+            }
+        }
+
+        for &l in &left {
+            for &r in &right {
+                ctx.clock.charge_labeled("relation_native", 0.01);
+                let mut edge_props = BTreeMap::new();
+                for p in &props {
+                    let v = match &p.source {
+                        RelationSource::Native(f) => {
+                            let ln = &slot.graph.nodes[l];
+                            let rn = &slot.graph.nodes[r];
+                            f(&RelationCtx {
+                                left_bbox: ln.bbox,
+                                right_bbox: rn.bbox,
+                                left_props: &ln.props,
+                                right_props: &rn.props,
+                                fps: ctx.fps,
+                            })
+                        }
+                        RelationSource::Hoi { .. } => hoi_results
+                            .get(&(l, r))
+                            .or_else(|| hoi_results.get(&(r, l)))
+                            .cloned()
+                            .unwrap_or(Value::Null),
+                    };
+                    edge_props.insert(p.name.clone(), v);
+                }
+                slot.graph.add_edge(Edge {
+                    kind: EdgeKind::Spatial,
+                    relation: self.decl.name.clone(),
+                    from: l,
+                    to: r,
+                    props: edge_props,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+/// Join operator: enumerates bindings of the query's aliases to alive
+/// nodes, evaluates the (possibly rewritten) frame constraint with relation
+/// edges in scope, and records satisfying combos under the query's name.
+pub struct JoinOp {
+    query_name: String,
+    aliases: Vec<String>,
+    relations: Vec<RelationDecl>,
+    pred: Pred,
+    /// When true (single-query plans), an unmatched frame kills the slot.
+    kills_frame: bool,
+}
+
+impl JoinOp {
+    /// Creates a join for one query.
+    pub fn new(
+        query_name: impl Into<String>,
+        aliases: Vec<String>,
+        relations: Vec<RelationDecl>,
+        pred: Pred,
+        kills_frame: bool,
+    ) -> Self {
+        Self {
+            query_name: query_name.into(),
+            aliases,
+            relations,
+            pred,
+            kills_frame,
+        }
+    }
+}
+
+impl Operator for JoinOp {
+    fn name(&self) -> String {
+        format!("join({} | {})", self.query_name, self.pred)
+    }
+
+    fn process(&mut self, slot: &mut FrameSlot, _ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let candidates: Vec<Vec<NodeId>> = self
+            .aliases
+            .iter()
+            .map(|a| slot.graph.alive_of(a))
+            .collect();
+        let mut combos = Vec::new();
+        if candidates.iter().all(|c| !c.is_empty()) {
+            let mut indices = vec![0usize; candidates.len()];
+            'outer: loop {
+                let binding: BTreeMap<String, NodeId> = self
+                    .aliases
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, a)| (a.clone(), candidates[pos][indices[pos]]))
+                    .collect();
+                let mut env = PredEnv::default();
+                for (alias, &node) in &binding {
+                    env.objects
+                        .insert(alias.clone(), slot.graph.nodes[node].prop_map());
+                }
+                for rel in &self.relations {
+                    if let (Some(&l), Some(&r)) =
+                        (binding.get(&rel.left_alias), binding.get(&rel.right_alias))
+                    {
+                        if let Some(e) = slot.graph.edge_between(&rel.name, l, r) {
+                            env.relations.insert(rel.name.clone(), e.props.clone());
+                        }
+                    }
+                }
+                if self.pred.eval(&env) {
+                    combos.push(MatchCombo { bindings: binding });
+                }
+                // Advance the odometer.
+                for pos in (0..indices.len()).rev() {
+                    indices[pos] += 1;
+                    if indices[pos] < candidates[pos].len() {
+                        continue 'outer;
+                    }
+                    indices[pos] = 0;
+                    if pos == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let matched = !combos.is_empty();
+        slot.matches.insert(self.query_name.clone(), combos);
+        if self.kills_frame && !matched {
+            slot.alive = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::predicate::Pred;
+    use vqpy_models::ModelZoo;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::{SyntheticVideo, VideoSource};
+
+    fn ctx_parts() -> (Arc<ModelZoo>, Clock, ReuseCache) {
+        (ModelZoo::standard(), Clock::new(), ReuseCache::new())
+    }
+
+    fn video() -> SyntheticVideo {
+        SyntheticVideo::new(Scene::generate(presets::jackson(), 77, 20.0))
+    }
+
+    #[test]
+    fn detect_op_populates_graph() {
+        let (zoo, clock, mut reuse) = ctx_parts();
+        let v = video();
+        let mut ctx = ExecCtx {
+            zoo: &zoo,
+            clock: &clock,
+            fps: v.fps(),
+            reuse: &mut reuse,
+            enable_reuse: true,
+        };
+        let mut op = DetectOp::new(
+            zoo.detector("yolox").unwrap(),
+            vec![("car".into(), vec!["car".into(), "bus".into(), "truck".into()])],
+        );
+        let mut slot = FrameSlot::new(v.frame(100));
+        op.process(&mut slot, &mut ctx).unwrap();
+        // All nodes belong to the declared alias and match its labels.
+        for n in &slot.graph.nodes {
+            assert_eq!(n.alias, "car");
+            assert!(["car", "bus", "truck"].contains(&n.class_label.as_str()));
+        }
+    }
+
+    #[test]
+    fn track_op_assigns_stable_ids() {
+        let (zoo, clock, mut reuse) = ctx_parts();
+        let v = video();
+        let mut ctx = ExecCtx {
+            zoo: &zoo,
+            clock: &clock,
+            fps: v.fps(),
+            reuse: &mut reuse,
+            enable_reuse: true,
+        };
+        let det = zoo.detector("yolox").unwrap();
+        let mut detect = DetectOp::new(det, vec![("car".into(), vec!["car".into()])]);
+        let mut track = TrackOp::new("car");
+        let mut ids_by_entity: HashMap<u64, Vec<TrackId>> = HashMap::new();
+        for i in 100..130 {
+            let mut slot = FrameSlot::new(v.frame(i));
+            detect.process(&mut slot, &mut ctx).unwrap();
+            track.process(&mut slot, &mut ctx).unwrap();
+            for n in &slot.graph.nodes {
+                if let (Some(e), Some(t)) = (n.sim_entity, n.track_id) {
+                    ids_by_entity.entry(e).or_default().push(t);
+                }
+            }
+        }
+        // Each physical entity should map to (almost always) one track id.
+        for (e, ids) in &ids_by_entity {
+            if ids.len() < 5 {
+                continue;
+            }
+            let distinct: std::collections::HashSet<_> = ids.iter().collect();
+            assert!(
+                distinct.len() <= 2,
+                "entity {e} split across too many tracks: {distinct:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn projector_reuse_skips_model_calls() {
+        let (zoo, clock, mut reuse) = ctx_parts();
+        let v = video();
+        let det = zoo.detector("yolox").unwrap();
+        let mut detect = DetectOp::new(det, vec![("car".into(), vec!["car".into()])]);
+        let mut track = TrackOp::new("car");
+        let def = PropertyDef::stateless_model("color", "color_detect", true);
+        let mut project = ProjectOp::new("car", def);
+        for i in 0..60 {
+            let mut slot = FrameSlot::new(v.frame(i));
+            let mut ctx = ExecCtx {
+                zoo: &zoo,
+                clock: &clock,
+                fps: v.fps(),
+                reuse: &mut reuse,
+                enable_reuse: true,
+            };
+            detect.process(&mut slot, &mut ctx).unwrap();
+            track.process(&mut slot, &mut ctx).unwrap();
+            project.process(&mut slot, &mut ctx).unwrap();
+        }
+        let stats = reuse.stats();
+        assert!(stats.hits > 0, "confirmed tracks should hit the cache: {stats:?}");
+        // Model invocations = unconfirmed sightings (which bypass the
+        // cache) + confirmed misses; far fewer than one per node visit.
+        let invocations = clock.stat("color_detect").map(|s| s.invocations).unwrap_or(0);
+        assert!(invocations > 0);
+        assert!(
+            invocations >= stats.misses,
+            "every confirmed miss costs a model call: {invocations} vs {stats:?}"
+        );
+        let visits = stats.hits + invocations;
+        assert!(
+            invocations * 2 < visits,
+            "most visits should be cache hits: {invocations} of {visits}"
+        );
+    }
+
+    #[test]
+    fn filter_op_kills_nodes_and_frames() {
+        let (zoo, clock, mut reuse) = ctx_parts();
+        let v = video();
+        let mut ctx = ExecCtx {
+            zoo: &zoo,
+            clock: &clock,
+            fps: v.fps(),
+            reuse: &mut reuse,
+            enable_reuse: true,
+        };
+        let det = zoo.detector("yolox").unwrap();
+        let mut detect = DetectOp::new(det, vec![("car".into(), vec!["car".into()])]);
+        let mut filter = FilterOp::new("car", Pred::gt("car", "score", 2.0), true); // impossible
+        let mut slot = FrameSlot::new(v.frame(100));
+        detect.process(&mut slot, &mut ctx).unwrap();
+        let before = slot.graph.alive_count("car");
+        filter.process(&mut slot, &mut ctx).unwrap();
+        assert_eq!(slot.graph.alive_count("car"), 0);
+        assert!(!slot.alive, "required alias emptied -> frame dead");
+        assert!(before > 0 || !slot.alive);
+    }
+
+    #[test]
+    fn join_records_matches() {
+        let (zoo, clock, mut reuse) = ctx_parts();
+        let v = video();
+        let mut ctx = ExecCtx {
+            zoo: &zoo,
+            clock: &clock,
+            fps: v.fps(),
+            reuse: &mut reuse,
+            enable_reuse: true,
+        };
+        let det = zoo.detector("yolox").unwrap();
+        let mut detect = DetectOp::new(det, vec![("car".into(), vec!["car".into()])]);
+        let mut join = JoinOp::new(
+            "Q",
+            vec!["car".into()],
+            vec![],
+            Pred::gt("car", "score", 0.0),
+            true,
+        );
+        let mut slot = FrameSlot::new(v.frame(100));
+        detect.process(&mut slot, &mut ctx).unwrap();
+        let n = slot.graph.alive_count("car");
+        join.process(&mut slot, &mut ctx).unwrap();
+        assert_eq!(slot.matches["Q"].len(), n);
+        assert_eq!(slot.alive, n > 0);
+    }
+
+    #[test]
+    fn diff_filter_drops_static_frames() {
+        let (zoo, clock, mut reuse) = ctx_parts();
+        // Empty scene: every frame equals the first.
+        let scene = vqpy_video::SceneBuilder::new(presets::banff(), 5.0).build();
+        let v = SyntheticVideo::new(scene);
+        let mut ctx = ExecCtx {
+            zoo: &zoo,
+            clock: &clock,
+            fps: v.fps(),
+            reuse: &mut reuse,
+            enable_reuse: true,
+        };
+        let mut op = DiffFrameFilter::new(0.5);
+        let mut kept = 0;
+        for i in 0..30 {
+            let mut slot = FrameSlot::new(v.frame(i));
+            op.process(&mut slot, &mut ctx).unwrap();
+            if slot.alive {
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 1, "only the first static frame should survive");
+    }
+}

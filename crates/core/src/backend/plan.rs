@@ -1,0 +1,713 @@
+//! Plan generation (§4.1): lowering queries to operator chains.
+//!
+//! A [`PlanDag`] is a topologically-ordered operator list (parallel branches
+//! of the conceptual DAG are interleaved) plus per-query join specs. The
+//! builder realizes the paper's lazy evaluation: properties are scheduled
+//! cheapest-first within dependency constraints, and each single-alias
+//! conjunct of the frame constraint becomes a VObj filter placed immediately
+//! after the last property it needs.
+
+use crate::error::{Result, VqpyError};
+use crate::frontend::predicate::{Pred, PropRef};
+use crate::frontend::property::{BuiltinProp, PropertySource};
+use crate::frontend::query::{Aggregate, Query, RelationDecl};
+use crate::frontend::vobj::VObjSchema;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use vqpy_models::{ModelZoo, Value};
+
+/// A declarative operator, instantiated by the executor.
+#[derive(Debug, Clone)]
+pub enum OpSpec {
+    /// Differencing frame filter with a pixel-difference threshold.
+    DiffFilter { threshold: f32 },
+    /// Binary-classifier frame filter.
+    BinaryFilter { model: String },
+    /// Object detector feeding one or more aliases.
+    Detect {
+        detector: String,
+        aliases: Vec<(String, Vec<String>)>,
+    },
+    /// Tracker for one alias.
+    Track { alias: String },
+    /// Property projector.
+    Project { alias: String, prop: String },
+    /// Fused projector + filter (operator fusion, §4.3).
+    FusedProjectFilter {
+        alias: String,
+        prop: String,
+        pred: Pred,
+        required: bool,
+    },
+    /// VObj filter.
+    Filter {
+        alias: String,
+        pred: Pred,
+        required: bool,
+    },
+    /// Relation projector (index into [`PlanDag::relations`]).
+    ProjectRelation { index: usize },
+    /// Join for one query (index into [`PlanDag::joins`]).
+    Join { index: usize },
+}
+
+impl OpSpec {
+    /// Short label for plan dumps.
+    pub fn label(&self) -> String {
+        match self {
+            OpSpec::DiffFilter { threshold } => format!("diff_filter(<{threshold})"),
+            OpSpec::BinaryFilter { model } => format!("binary_filter({model})"),
+            OpSpec::Detect { detector, aliases } => {
+                let a: Vec<&str> = aliases.iter().map(|(x, _)| x.as_str()).collect();
+                format!("detect({detector} -> {})", a.join(","))
+            }
+            OpSpec::Track { alias } => format!("track({alias})"),
+            OpSpec::Project { alias, prop } => format!("project({alias}.{prop})"),
+            OpSpec::FusedProjectFilter { alias, prop, pred, .. } => {
+                format!("project+filter({alias}.{prop} | {pred})")
+            }
+            OpSpec::Filter { alias, pred, .. } => format!("filter({alias} | {pred})"),
+            OpSpec::ProjectRelation { index } => format!("project_relation(#{index})"),
+            OpSpec::Join { index } => format!("join(#{index})"),
+        }
+    }
+}
+
+/// Join target for one query in the plan.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    pub query: Arc<Query>,
+    /// Frame constraint, possibly rewritten (e.g. conjuncts implemented by
+    /// a specialized detector are dropped).
+    pub pred: Pred,
+    /// Whether a frame with no match dies (single-query plans only).
+    pub kills_frame: bool,
+}
+
+/// A compiled plan for one or more queries sharing a pipeline.
+#[derive(Debug, Clone)]
+pub struct PlanDag {
+    pub ops: Vec<OpSpec>,
+    pub joins: Vec<JoinSpec>,
+    pub relations: Vec<RelationDecl>,
+    /// Alias -> schema bindings.
+    pub schemas: BTreeMap<String, Arc<VObjSchema>>,
+    /// Human-readable variant label (e.g. `"baseline"`, `"+specialized"`).
+    pub label: String,
+}
+
+impl PlanDag {
+    /// One line per operator, in execution order.
+    pub fn describe(&self) -> String {
+        self.ops
+            .iter()
+            .map(|o| o.label())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// A stable signature for plan/result caching.
+    pub fn signature(&self) -> String {
+        let queries: Vec<&str> = self.joins.iter().map(|j| j.query.name()).collect();
+        format!("{}|{}|{}", queries.join("+"), self.label, self.describe())
+    }
+}
+
+/// Substituting a specialized NN for a detector + attribute filter.
+#[derive(Debug, Clone)]
+pub struct SpecializedChoice {
+    pub detector: String,
+    /// The conjunct the specialized detector implements: `alias.prop == value`.
+    pub prop: String,
+    pub value: Value,
+}
+
+/// Knobs controlling plan construction; the optimizer toggles these to
+/// generate candidate plans and the ablation benches toggle them to isolate
+/// each optimization's contribution.
+#[derive(Debug, Clone, Default)]
+pub struct PlanOptions {
+    /// Interleave filters with projections (lazy evaluation). When false,
+    /// all properties are computed before any filtering (the handcrafted-
+    /// pipeline shape) — predicate pull-up can then restore laziness.
+    pub eager_filters: bool,
+    /// Apply operator fusion after construction.
+    pub fuse: bool,
+    /// Apply predicate pull-up after construction.
+    pub pullup: bool,
+    /// Prepend a differencing frame filter.
+    pub diff_filter: Option<f32>,
+    /// Prepend binary-classifier frame filters (zoo names).
+    pub binary_filters: Vec<String>,
+    /// Per-alias specialized-NN substitutions.
+    pub specialized: BTreeMap<String, SpecializedChoice>,
+    /// Variant label for profiling output.
+    pub label: String,
+}
+
+impl PlanOptions {
+    /// The default VQPy configuration: lazy filters, fusion, pull-up.
+    pub fn vqpy_default() -> Self {
+        Self {
+            eager_filters: false,
+            fuse: true,
+            pullup: true,
+            diff_filter: None,
+            binary_filters: Vec::new(),
+            specialized: BTreeMap::new(),
+            label: "baseline".into(),
+        }
+    }
+}
+
+/// Per-alias analysis extracted from the query set.
+#[derive(Debug, Default)]
+struct AliasNeeds {
+    /// Properties that must be computed (transitive deps resolved later).
+    props: BTreeSet<String>,
+    /// Single-alias conjuncts filterable per object: `(pred, shared_by_all)`.
+    conjuncts: Vec<(Pred, bool)>,
+    needs_tracker: bool,
+    /// Declared by every query in the plan.
+    required_by_all: bool,
+}
+
+/// Builds a plan for `queries` executed as one shared pipeline.
+///
+/// # Errors
+///
+/// Propagates schema/property resolution failures; rejects alias
+/// collisions where two queries bind the same alias to different schemas.
+pub fn build_plan(
+    queries: &[Arc<Query>],
+    zoo: &ModelZoo,
+    opts: &PlanOptions,
+) -> Result<PlanDag> {
+    if queries.is_empty() {
+        return Err(VqpyError::InvalidQuery("no queries to plan".into()));
+    }
+
+    // ---- collect aliases and check schema consistency --------------------
+    let mut schemas: BTreeMap<String, Arc<VObjSchema>> = BTreeMap::new();
+    for q in queries {
+        for v in q.vobjs() {
+            match schemas.get(&v.alias) {
+                Some(existing) if existing.name() != v.schema.name() => {
+                    // Shared plans unify an alias through inheritance: the
+                    // most-derived schema sees every ancestor's properties,
+                    // so queries written against the parent still resolve.
+                    if v.schema.inherits_from(existing.name()) {
+                        schemas.insert(v.alias.clone(), Arc::clone(&v.schema));
+                    } else if existing.inherits_from(v.schema.name()) {
+                        // keep the existing, more-derived schema
+                    } else {
+                        return Err(VqpyError::InvalidQuery(format!(
+                            "alias `{}` bound to unrelated VObjs `{}` and `{}`",
+                            v.alias,
+                            existing.name(),
+                            v.schema.name()
+                        )));
+                    }
+                }
+                _ => {
+                    schemas.insert(v.alias.clone(), Arc::clone(&v.schema));
+                }
+            }
+        }
+    }
+
+    // ---- per-alias needs --------------------------------------------------
+    let mut needs: BTreeMap<String, AliasNeeds> = BTreeMap::new();
+    for alias in schemas.keys() {
+        let required_by_all = queries.iter().all(|q| q.vobj(alias).is_some());
+        needs.insert(
+            alias.clone(),
+            AliasNeeds {
+                required_by_all,
+                ..AliasNeeds::default()
+            },
+        );
+    }
+
+    let mut relations: Vec<RelationDecl> = Vec::new();
+    for q in queries {
+        for r in q.relations() {
+            if !relations.iter().any(|x| x.name == r.name) {
+                relations.push(r.clone());
+            }
+        }
+    }
+
+    // Conjunct bookkeeping: count how many queries carry each conjunct (by
+    // display form) so shared plans only hard-filter universally-shared ones.
+    let mut conjunct_count: HashMap<String, usize> = HashMap::new();
+    for q in queries {
+        for c in q.frame_constraint().conjuncts() {
+            *conjunct_count.entry(c.to_string()).or_default() += 1;
+        }
+    }
+
+    for q in queries {
+        // Properties referenced anywhere.
+        for p in q.frame_constraint().referenced_props() {
+            record_prop(&mut needs, &p)?;
+        }
+        for p in q.frame_output() {
+            record_prop(&mut needs, p)?;
+        }
+        if let Some(agg) = q.video_output() {
+            if let Aggregate::CountDistinctTracks { alias }
+            | Aggregate::AvgPerFrame { alias }
+            | Aggregate::MaxPerFrame { alias } = agg
+            {
+                if let Some(n) = needs.get_mut(alias) {
+                    n.needs_tracker = true;
+                }
+            }
+        }
+        // Filterable conjuncts.
+        for c in q.frame_constraint().conjuncts() {
+            if let Some(alias) = c.single_alias() {
+                // Skip conjuncts implemented by a specialized detector.
+                if conjunct_implemented(c, &alias, opts) {
+                    continue;
+                }
+                let shared = conjunct_count[&c.to_string()] == queries.len();
+                if let Some(n) = needs.get_mut(&alias) {
+                    let display = c.to_string();
+                    if !n.conjuncts.iter().any(|(p, _)| p.to_string() == display) {
+                        n.conjuncts.push((c.clone(), shared));
+                    }
+                }
+            }
+        }
+    }
+
+    // Properties fully implemented by a specialized detector need no
+    // projection unless some other conjunct or output still reads them.
+    for (alias, choice) in &opts.specialized {
+        let used_elsewhere = queries.iter().any(|q| {
+            q.frame_output()
+                .iter()
+                .any(|p| p.alias == *alias && p.prop == choice.prop)
+                || q.frame_constraint().conjuncts().iter().any(|c| {
+                    !conjunct_implemented(c, alias, opts)
+                        && c.referenced_props()
+                            .iter()
+                            .any(|p| p.alias == *alias && p.prop == choice.prop)
+                })
+        });
+        if !used_elsewhere {
+            if let Some(n) = needs.get_mut(alias.as_str()) {
+                n.props.remove(&choice.prop);
+            }
+        }
+    }
+
+    // Tracker requirements from property statefulness / intrinsic reuse.
+    for (alias, n) in needs.iter_mut() {
+        let schema = &schemas[alias];
+        let wanted: Vec<String> = n.props.iter().cloned().collect();
+        for def in schema.dependency_order(&wanted)? {
+            if def.kind.is_stateful() || def.kind.is_intrinsic() {
+                n.needs_tracker = true;
+            }
+        }
+        if BuiltinProp::from_name("track_id").is_some()
+            && n.props.contains("track_id")
+        {
+            n.needs_tracker = true;
+        }
+    }
+
+    // ---- emit operator chain ----------------------------------------------
+    let mut ops: Vec<OpSpec> = Vec::new();
+    if let Some(thr) = opts.diff_filter {
+        ops.push(OpSpec::DiffFilter { threshold: thr });
+    }
+    for m in &opts.binary_filters {
+        ops.push(OpSpec::BinaryFilter { model: m.clone() });
+    }
+
+    // Detectors, grouped so one model invocation feeds all aliases using it.
+    let mut detector_groups: BTreeMap<String, Vec<(String, Vec<String>)>> = BTreeMap::new();
+    for (alias, schema) in &schemas {
+        let detector = match opts.specialized.get(alias) {
+            Some(s) => s.detector.clone(),
+            None => schema.require_detector()?.to_owned(),
+        };
+        detector_groups
+            .entry(detector)
+            .or_default()
+            .push((alias.clone(), schema.class_labels().to_vec()));
+    }
+    for (detector, aliases) in detector_groups {
+        // Validate the model exists up front for a clean error.
+        zoo.detector(&detector)?;
+        ops.push(OpSpec::Detect { detector, aliases });
+    }
+
+    // Per-alias: builtin filters, tracker, then cost-ordered projections
+    // with interleaved filters.
+    for (alias, n) in &needs {
+        let schema = &schemas[alias];
+        let single_query = queries.len() == 1;
+
+        let mut pending: Vec<(Pred, bool)> = n.conjuncts.clone();
+        let mut available: BTreeSet<String> = ["bbox", "score", "class_label", "center"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+        // Filters satisfiable from built-ins go before the tracker
+        // (lazy mode only; eager mode defers everything).
+        if !opts.eager_filters {
+            emit_ready_filters(&mut ops, alias, &mut pending, &available, single_query, n);
+        }
+
+        if n.needs_tracker {
+            ops.push(OpSpec::Track { alias: alias.clone() });
+        }
+        available.insert("track_id".into());
+        if !opts.eager_filters {
+            emit_ready_filters(&mut ops, alias, &mut pending, &available, single_query, n);
+        }
+
+        // Projections in dependency order, cheapest-first.
+        let wanted: Vec<String> = n.props.iter().cloned().collect();
+        let mut defs = schema.dependency_order(&wanted)?;
+        if !opts.eager_filters {
+            defs = cost_order(defs, zoo);
+        }
+        let mut filters_tail: Vec<OpSpec> = Vec::new();
+        for def in defs {
+            if available.contains(&def.name) {
+                continue;
+            }
+            ops.push(OpSpec::Project {
+                alias: alias.clone(),
+                prop: def.name.clone(),
+            });
+            available.insert(def.name.clone());
+            if opts.eager_filters {
+                // Defer all filters to after every projection (handcrafted
+                // pipeline shape); pull-up can later move them forward.
+                continue;
+            }
+            emit_ready_filters(&mut ops, alias, &mut pending, &available, single_query, n);
+        }
+        if opts.eager_filters {
+            let mut still: Vec<(Pred, bool)> = Vec::new();
+            for (pred, shared) in pending.drain(..) {
+                if pred.referenced_props().iter().all(|p| available.contains(&p.prop)) {
+                    filters_tail.push(OpSpec::Filter {
+                        alias: alias.clone(),
+                        pred: pred.clone(),
+                        required: (single_query || shared) && n.required_by_all,
+                    });
+                } else {
+                    still.push((pred, shared));
+                }
+            }
+            pending = still;
+            ops.extend(filters_tail);
+        }
+        // Any conjunct left references props we could not compute: that is
+        // a bug in needs collection.
+        if let Some((pred, _)) = pending.first() {
+            return Err(VqpyError::InvalidQuery(format!(
+                "internal: filter `{pred}` never became evaluable"
+            )));
+        }
+    }
+
+    for (i, _) in relations.iter().enumerate() {
+        ops.push(OpSpec::ProjectRelation { index: i });
+    }
+
+    let mut joins = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let mut pred = q.frame_constraint().clone();
+        for (alias, choice) in &opts.specialized {
+            pred = drop_eq_conjunct(&pred, alias, &choice.prop);
+        }
+        joins.push(JoinSpec {
+            query: Arc::clone(q),
+            pred,
+            kills_frame: queries.len() == 1,
+        });
+        ops.push(OpSpec::Join { index: qi });
+    }
+
+    Ok(PlanDag {
+        ops,
+        joins,
+        relations,
+        schemas,
+        label: if opts.label.is_empty() {
+            "baseline".into()
+        } else {
+            opts.label.clone()
+        },
+    })
+}
+
+fn record_prop(
+    needs: &mut BTreeMap<String, AliasNeeds>,
+    p: &PropRef,
+) -> Result<()> {
+    let n = needs
+        .get_mut(&p.alias)
+        .ok_or_else(|| VqpyError::UnknownAlias(p.alias.clone()))?;
+    if BuiltinProp::from_name(&p.prop).is_none() {
+        n.props.insert(p.prop.clone());
+    } else if p.prop == "track_id" {
+        n.needs_tracker = true;
+    }
+    Ok(())
+}
+
+fn conjunct_implemented(c: &Pred, alias: &str, opts: &PlanOptions) -> bool {
+    let Some(choice) = opts.specialized.get(alias) else {
+        return false;
+    };
+    matches!(
+        c,
+        Pred::Cmp { target, op: crate::frontend::predicate::CmpOp::Eq, value }
+            if target.alias == alias && target.prop == choice.prop && value.loose_eq(&choice.value)
+    )
+}
+
+fn emit_ready_filters(
+    ops: &mut Vec<OpSpec>,
+    alias: &str,
+    pending: &mut Vec<(Pred, bool)>,
+    available: &BTreeSet<String>,
+    single_query: bool,
+    needs: &AliasNeeds,
+) {
+    let mut remaining = Vec::new();
+    for (pred, shared) in pending.drain(..) {
+        let ready = pred
+            .referenced_props()
+            .iter()
+            .all(|p| available.contains(&p.prop));
+        if ready && (single_query || shared) {
+            ops.push(OpSpec::Filter {
+                alias: alias.to_owned(),
+                pred,
+                required: needs.required_by_all,
+            });
+        } else if ready {
+            // Shared plans drop query-specific conjuncts: they are evaluated
+            // at that query's join instead (node kills would corrupt other
+            // queries sharing the alias).
+        } else {
+            remaining.push((pred, shared));
+        }
+    }
+    *pending = remaining;
+}
+
+/// Orders property definitions cheapest-first while respecting deps
+/// (greedy Kahn's algorithm with min-cost selection).
+fn cost_order(
+    defs: Vec<crate::frontend::property::PropertyDef>,
+    zoo: &ModelZoo,
+) -> Vec<crate::frontend::property::PropertyDef> {
+    let cost_of = |def: &crate::frontend::property::PropertyDef| -> f64 {
+        match &def.source {
+            PropertySource::Model(m) => zoo.profile(m).map(|p| p.cost).unwrap_or(10.0),
+            _ => 0.05,
+        }
+    };
+    let names: BTreeSet<String> = defs.iter().map(|d| d.name.clone()).collect();
+    let mut remaining = defs;
+    let mut placed: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        // Ready = all in-set deps already placed.
+        let mut best: Option<usize> = None;
+        for (i, d) in remaining.iter().enumerate() {
+            let ready = d
+                .deps
+                .iter()
+                .all(|dep| !names.contains(dep) || placed.contains(dep));
+            if !ready {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if cost_of(d) < cost_of(&remaining[b]) => best = Some(i),
+                _ => {}
+            }
+        }
+        let idx = best.expect("dependency_order output cannot deadlock");
+        let def = remaining.remove(idx);
+        placed.insert(def.name.clone());
+        out.push(def);
+    }
+    out
+}
+
+/// Removes a top-level `alias.prop == _` conjunct from a predicate.
+fn drop_eq_conjunct(pred: &Pred, alias: &str, prop: &str) -> Pred {
+    let kept: Vec<Pred> = pred
+        .conjuncts()
+        .into_iter()
+        .filter(|c| {
+            !matches!(
+                c,
+                Pred::Cmp { target, op: crate::frontend::predicate::CmpOp::Eq, .. }
+                    if target.alias == alias && target.prop == prop
+            )
+        })
+        .cloned()
+        .collect();
+    Pred::all(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::library;
+    use crate::frontend::predicate::Pred;
+
+    fn zoo() -> Arc<ModelZoo> {
+        ModelZoo::standard()
+    }
+
+    fn red_car_query() -> Arc<Query> {
+        Query::builder("RedCar")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
+            .frame_output(&[("car", "track_id"), ("car", "bbox")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lazy_plan_interleaves_filters() {
+        let plan = build_plan(&[red_car_query()], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        let desc = plan.describe();
+        // The score filter (builtin) must come before the color projection.
+        let score_pos = desc.find("score").unwrap();
+        let color_pos = desc.find("project(car.color)").unwrap();
+        assert!(score_pos < color_pos, "plan:\n{desc}");
+        // And a color filter appears after the color projection.
+        let color_filter = desc.rfind("color == red").unwrap();
+        assert!(color_filter > color_pos, "plan:\n{desc}");
+    }
+
+    #[test]
+    fn eager_plan_defers_filters() {
+        let mut opts = PlanOptions::vqpy_default();
+        opts.eager_filters = true;
+        let plan = build_plan(&[red_car_query()], &zoo(), &opts).unwrap();
+        let desc = plan.describe();
+        let project = desc.find("project(car.color)").unwrap();
+        let filter = desc.find("filter(car | car.color == red").unwrap();
+        assert!(filter > project);
+        // score filter also after projections in eager mode.
+        let score_filter = desc.find("car.score >").unwrap();
+        assert!(score_filter > project, "plan:\n{desc}");
+    }
+
+    #[test]
+    fn tracker_emitted_only_when_needed() {
+        // Intrinsic color => tracker (for reuse). A query over plain score
+        // with a non-intrinsic schema should skip the tracker.
+        let schema = crate::frontend::vobj::VObjSchema::builder("Plain")
+            .class_labels(&["car"])
+            .detector("yolox")
+            .build();
+        let q = Query::builder("Any")
+            .vobj("car", schema)
+            .frame_constraint(Pred::gt("car", "score", 0.5))
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        assert!(!plan.describe().contains("track("), "{}", plan.describe());
+
+        let plan2 = build_plan(&[red_car_query()], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        assert!(plan2.describe().contains("track(car)"));
+    }
+
+    #[test]
+    fn specialized_choice_drops_projection_and_rewrites_join() {
+        let mut opts = PlanOptions::vqpy_default();
+        opts.specialized.insert(
+            "car".into(),
+            SpecializedChoice {
+                detector: "red_car_detector".into(),
+                prop: "color".into(),
+                value: Value::from("red"),
+            },
+        );
+        let plan = build_plan(&[red_car_query()], &zoo(), &opts).unwrap();
+        let desc = plan.describe();
+        assert!(desc.contains("detect(red_car_detector"), "{desc}");
+        assert!(!desc.contains("project(car.color)"), "{desc}");
+        // Join predicate no longer mentions color.
+        assert!(!plan.joins[0].pred.to_string().contains("color"), "{}", plan.joins[0].pred);
+    }
+
+    #[test]
+    fn shared_plan_single_detector_multiple_joins() {
+        let q1 = red_car_query();
+        let q2 = Query::builder("GreenCar")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "green"))
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q1, q2], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        let desc = plan.describe();
+        assert_eq!(desc.matches("detect(").count(), 1, "{desc}");
+        assert_eq!(desc.matches("join(").count(), 2, "{desc}");
+        // The query-specific color conjuncts must NOT become node filters.
+        assert!(!desc.contains("filter(car | car.color"), "{desc}");
+        // But the shared score conjunct is filterable.
+        assert!(desc.contains("car.score >"), "{desc}");
+        // Color projected once for both queries.
+        assert_eq!(desc.matches("project(car.color)").count(), 1, "{desc}");
+    }
+
+    #[test]
+    fn alias_schema_conflict_is_rejected() {
+        let q1 = red_car_query();
+        let q2 = Query::builder("P")
+            .vobj("car", library::person_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.5))
+            .build()
+            .unwrap();
+        let err = build_plan(&[q1, q2], &zoo(), &PlanOptions::vqpy_default()).unwrap_err();
+        assert!(matches!(err, VqpyError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn frame_filters_lead_the_plan() {
+        let mut opts = PlanOptions::vqpy_default();
+        opts.diff_filter = Some(0.5);
+        opts.binary_filters.push("no_red_on_road".into());
+        let plan = build_plan(&[red_car_query()], &zoo(), &opts).unwrap();
+        assert!(matches!(plan.ops[0], OpSpec::DiffFilter { .. }));
+        assert!(matches!(plan.ops[1], OpSpec::BinaryFilter { .. }));
+    }
+
+    #[test]
+    fn cheapest_property_first() {
+        // plate (7.0) should be projected after color (5.0) when both needed.
+        let q = Query::builder("Both")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(
+                Pred::eq("car", "color", "red") & Pred::eq("car", "plate", "X"),
+            )
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        let desc = plan.describe();
+        let color = desc.find("project(car.color)").unwrap();
+        let plate = desc.find("project(car.plate)").unwrap();
+        assert!(color < plate, "{desc}");
+    }
+}

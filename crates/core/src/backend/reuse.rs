@@ -1,0 +1,123 @@
+//! Object-level computation reuse (§4.2).
+//!
+//! Intrinsic properties (color, plate, ...) never change for a given
+//! object, so once computed for a track they are memoized here, keyed by
+//! `(alias, track id, property)`. The projector consults the cache before
+//! invoking any model; the ~10x gains of §5.2's stateless-property
+//! comparison come from these hits.
+
+use std::collections::HashMap;
+use vqpy_models::Value;
+use vqpy_tracker::TrackId;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReuseStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl ReuseStats {
+    /// Hit rate in `[0, 1]`; 0 when empty.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoized intrinsic property values per tracked object.
+#[derive(Debug, Default)]
+pub struct ReuseCache {
+    values: HashMap<(String, TrackId, String), Value>,
+    stats: ReuseStats,
+}
+
+impl ReuseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a memoized value, recording a hit or miss.
+    pub fn lookup(&mut self, alias: &str, track: TrackId, prop: &str) -> Option<Value> {
+        match self
+            .values
+            .get(&(alias.to_owned(), track, prop.to_owned()))
+        {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a computed intrinsic value.
+    pub fn store(&mut self, alias: &str, track: TrackId, prop: &str, value: Value) {
+        self.values
+            .insert((alias.to_owned(), track, prop.to_owned()), value);
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> ReuseStats {
+        self.stats
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Drops all entries and statistics.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.stats = ReuseStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut c = ReuseCache::new();
+        assert!(c.lookup("car", 1, "color").is_none());
+        c.store("car", 1, "color", Value::from("red"));
+        assert_eq!(c.lookup("car", 1, "color"), Some(Value::from("red")));
+        assert_eq!(c.stats(), ReuseStats { hits: 1, misses: 1 });
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_are_fully_qualified() {
+        let mut c = ReuseCache::new();
+        c.store("car", 1, "color", Value::from("red"));
+        assert!(c.lookup("truck", 1, "color").is_none());
+        assert!(c.lookup("car", 2, "color").is_none());
+        assert!(c.lookup("car", 1, "plate").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = ReuseCache::new();
+        c.store("car", 1, "color", Value::from("red"));
+        c.lookup("car", 1, "color");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), ReuseStats::default());
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for query construction, planning, and execution.
+
+use std::fmt;
+use vqpy_models::LookupModelError;
+
+/// Errors surfaced by the VQPy frontend and backend.
+#[derive(Debug)]
+pub enum VqpyError {
+    /// A property name could not be resolved on a VObj schema (including
+    /// its inheritance chain).
+    UnknownProperty { schema: String, property: String },
+    /// A query referenced an alias it never declared.
+    UnknownAlias(String),
+    /// A relation name was referenced but not declared.
+    UnknownRelation(String),
+    /// Property dependencies form a cycle.
+    CyclicDependency { schema: String, property: String },
+    /// A model lookup failed.
+    Model(LookupModelError),
+    /// A higher-order query composition violates Rules 1-3 (§3).
+    Compose(ComposeError),
+    /// A VObj schema that must detect objects has no detector anywhere in
+    /// its inheritance chain.
+    MissingDetector(String),
+    /// The planner could not produce any plan meeting the accuracy target.
+    NoFeasiblePlan { target: f32, best: f32 },
+    /// Invalid query construction (message explains what).
+    InvalidQuery(String),
+}
+
+/// Violations of the higher-order composition rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// Rule 1: `SpatialQuery` takes in only basic queries.
+    SpatialNeedsBasic,
+    /// Rule 2: `DurationQuery` takes in basic queries or `SpatialQuery`s.
+    DurationNeedsBasicOrSpatial,
+    /// A window or duration of zero frames is meaningless.
+    EmptyWindow,
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::SpatialNeedsBasic => {
+                write!(f, "rule 1: SpatialQuery takes in only basic queries")
+            }
+            ComposeError::DurationNeedsBasicOrSpatial => write!(
+                f,
+                "rule 2: DurationQuery takes in basic queries or SpatialQueries"
+            ),
+            ComposeError::EmptyWindow => write!(f, "window must span at least one frame"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+impl fmt::Display for VqpyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqpyError::UnknownProperty { schema, property } => {
+                write!(f, "no property `{property}` on VObj `{schema}` or its ancestors")
+            }
+            VqpyError::UnknownAlias(a) => write!(f, "query references undeclared alias `{a}`"),
+            VqpyError::UnknownRelation(r) => write!(f, "query references undeclared relation `{r}`"),
+            VqpyError::CyclicDependency { schema, property } => {
+                write!(f, "cyclic property dependency through `{schema}.{property}`")
+            }
+            VqpyError::Model(e) => write!(f, "{e}"),
+            VqpyError::Compose(e) => write!(f, "{e}"),
+            VqpyError::MissingDetector(s) => {
+                write!(f, "VObj `{s}` has no detector in its inheritance chain")
+            }
+            VqpyError::NoFeasiblePlan { target, best } => write!(
+                f,
+                "no candidate plan meets accuracy target {target} (best was {best})"
+            ),
+            VqpyError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VqpyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VqpyError::Model(e) => Some(e),
+            VqpyError::Compose(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LookupModelError> for VqpyError {
+    fn from(e: LookupModelError) -> Self {
+        VqpyError::Model(e)
+    }
+}
+
+impl From<ComposeError> for VqpyError {
+    fn from(e: ComposeError) -> Self {
+        VqpyError::Compose(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T, E = VqpyError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = VqpyError::UnknownProperty {
+            schema: "Vehicle".into(),
+            property: "wings".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Vehicle") && msg.contains("wings"));
+        assert!(ComposeError::SpatialNeedsBasic.to_string().contains("rule 1"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VqpyError>();
+    }
+}

@@ -1,0 +1,146 @@
+//! The extension registry (§4.4, Figures 11-12): plug-and-play optimization
+//! registration.
+//!
+//! Users register specialized NNs, binary classifiers, and differencing
+//! frame filters against VObj schemas; the planner picks them up when
+//! enumerating candidate plans and the canary profiler decides which
+//! actually ship.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use vqpy_models::Value;
+
+/// A registered specialized NN: a cheaper detector that only fires on
+/// objects satisfying `prop == value` (Figure 11's `RedCarDetection`).
+#[derive(Debug, Clone)]
+pub struct SpecializedNnReg {
+    /// VObj schema name (or an ancestor) this applies to.
+    pub schema: String,
+    /// Zoo detector name.
+    pub detector: String,
+    /// The conjunct the detector implements.
+    pub prop: String,
+    pub value: Value,
+}
+
+/// A registered binary classifier (Figure 11's `no_red_on_road`): a frame
+/// filter discarding frames unlikely to contain matching objects.
+#[derive(Debug, Clone)]
+pub struct BinaryFilterReg {
+    pub schema: String,
+    /// Zoo frame-classifier name.
+    pub model: String,
+}
+
+/// A registered differencing frame filter (Figure 12's
+/// `similar_to_prev_frame`).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameFilterReg {
+    /// Mean-absolute-pixel-difference threshold below which frames drop.
+    pub threshold: f32,
+}
+
+/// Thread-safe registry of optimization extensions.
+#[derive(Debug, Default)]
+pub struct ExtensionRegistry {
+    specialized: RwLock<HashMap<String, Vec<SpecializedNnReg>>>,
+    binary: RwLock<HashMap<String, Vec<BinaryFilterReg>>>,
+    frame_filters: RwLock<Vec<FrameFilterReg>>,
+}
+
+impl ExtensionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a specialized NN on a VObj schema.
+    pub fn register_specialized_nn(&self, reg: SpecializedNnReg) {
+        self.specialized
+            .write()
+            .entry(reg.schema.clone())
+            .or_default()
+            .push(reg);
+    }
+
+    /// Registers a binary classifier filter on a VObj schema.
+    pub fn register_binary_filter(&self, reg: BinaryFilterReg) {
+        self.binary
+            .write()
+            .entry(reg.schema.clone())
+            .or_default()
+            .push(reg);
+    }
+
+    /// Registers a differencing frame filter on the scene.
+    pub fn register_frame_filter(&self, reg: FrameFilterReg) {
+        self.frame_filters.write().push(reg);
+    }
+
+    /// Specialized NNs applicable to a schema inheritance chain.
+    /// `chain_contains` reports whether a schema name appears in the chain.
+    pub fn specialized_for(&self, chain_contains: impl Fn(&str) -> bool) -> Vec<SpecializedNnReg> {
+        self.specialized
+            .read()
+            .iter()
+            .filter(|(schema, _)| chain_contains(schema))
+            .flat_map(|(_, regs)| regs.iter().cloned())
+            .collect()
+    }
+
+    /// Binary filters applicable to a schema inheritance chain.
+    pub fn binary_for(&self, chain_contains: impl Fn(&str) -> bool) -> Vec<BinaryFilterReg> {
+        self.binary
+            .read()
+            .iter()
+            .filter(|(schema, _)| chain_contains(schema))
+            .flat_map(|(_, regs)| regs.iter().cloned())
+            .collect()
+    }
+
+    /// All registered frame filters.
+    pub fn frame_filters(&self) -> Vec<FrameFilterReg> {
+        self.frame_filters.read().clone()
+    }
+
+    /// Whether anything is registered at all (planner short-circuit).
+    pub fn is_empty(&self) -> bool {
+        self.specialized.read().is_empty()
+            && self.binary.read().is_empty()
+            && self.frame_filters.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_lookup() {
+        let reg = ExtensionRegistry::new();
+        assert!(reg.is_empty());
+        reg.register_specialized_nn(SpecializedNnReg {
+            schema: "Vehicle".into(),
+            detector: "red_car_detector".into(),
+            prop: "color".into(),
+            value: Value::from("red"),
+        });
+        reg.register_binary_filter(BinaryFilterReg {
+            schema: "Vehicle".into(),
+            model: "no_red_on_road".into(),
+        });
+        reg.register_frame_filter(FrameFilterReg { threshold: 0.5 });
+        assert!(!reg.is_empty());
+
+        // A RedCar schema inheriting Vehicle sees both registrations.
+        let chain = |name: &str| name == "Vehicle" || name == "RedCar";
+        assert_eq!(reg.specialized_for(chain).len(), 1);
+        assert_eq!(reg.binary_for(chain).len(), 1);
+        assert_eq!(reg.frame_filters().len(), 1);
+
+        // An unrelated schema sees none.
+        let other = |name: &str| name == "Person";
+        assert!(reg.specialized_for(other).is_empty());
+        assert!(reg.binary_for(other).is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Event composition with higher-order queries (§3, Figure 8).
+//!
+//! `SpatialQuery`, `DurationQuery`, and `TemporalQuery` compose basic
+//! queries into richer events. The composition rules are enforced at
+//! construction:
+//!
+//! - **Rule 1**: `SpatialQuery` takes in only basic queries.
+//! - **Rule 2**: `DurationQuery` takes in basic queries or `SpatialQuery`s.
+//! - **Rule 3**: `TemporalQuery` takes in basic queries and all three
+//!   higher-order queries (including itself).
+
+use crate::error::{ComposeError, VqpyError};
+use crate::frontend::predicate::Pred;
+use crate::frontend::query::{Query, QueryBuilder};
+use crate::frontend::relation::RelationSchema;
+use std::sync::Arc;
+
+/// A (possibly composed) query expression.
+#[derive(Debug, Clone)]
+pub enum QueryExpr {
+    /// A basic query.
+    Basic(Arc<Query>),
+    /// A spatial composition, already lowered to a joint basic query whose
+    /// frame constraint includes the generated relation predicate.
+    Spatial(Arc<Query>),
+    /// The base condition must hold for at least `min_frames` consecutive
+    /// frames (gaps up to `max_gap` frames are tolerated, for detector
+    /// flicker).
+    Duration {
+        base: Box<QueryExpr>,
+        min_frames: u64,
+        max_gap: u64,
+    },
+    /// `first` then `second`, with `second` starting at most
+    /// `window_frames` after a `first` hit.
+    Temporal {
+        first: Box<QueryExpr>,
+        second: Box<QueryExpr>,
+        window_frames: u64,
+    },
+}
+
+impl QueryExpr {
+    /// Wraps a basic query.
+    pub fn basic(q: Arc<Query>) -> QueryExpr {
+        QueryExpr::Basic(q)
+    }
+
+    /// All basic engine queries underlying this expression, in evaluation
+    /// order. The session executes these (shared) and then applies the
+    /// composition combinators.
+    pub fn base_queries(&self) -> Vec<Arc<Query>> {
+        match self {
+            QueryExpr::Basic(q) | QueryExpr::Spatial(q) => vec![Arc::clone(q)],
+            QueryExpr::Duration { base, .. } => base.base_queries(),
+            QueryExpr::Temporal { first, second, .. } => {
+                let mut out = first.base_queries();
+                out.extend(second.base_queries());
+                out
+            }
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            QueryExpr::Basic(q) => q.name().to_owned(),
+            QueryExpr::Spatial(q) => format!("spatial({})", q.name()),
+            QueryExpr::Duration {
+                base, min_frames, ..
+            } => format!("duration({}, >={min_frames}f)", base.describe()),
+            QueryExpr::Temporal {
+                first,
+                second,
+                window_frames,
+            } => format!(
+                "sequence({} -> {}, <={window_frames}f)",
+                first.describe(),
+                second.describe()
+            ),
+        }
+    }
+}
+
+/// Builds a `SpatialQuery` (Rule 1): merges two *basic* queries and a
+/// relation between their primary aliases into one joint query whose frame
+/// constraint is `q1 ∧ q2 ∧ relation-pred`.
+///
+/// # Errors
+///
+/// [`VqpyError::InvalidQuery`] if the queries share an alias, or any error
+/// from joint-query validation.
+pub fn spatial_query(
+    name: impl Into<String>,
+    q1: &Query,
+    q2: &Query,
+    relation: Arc<RelationSchema>,
+    left_alias: &str,
+    right_alias: &str,
+    relation_pred: Pred,
+) -> Result<QueryExpr, VqpyError> {
+    for v2 in q2.vobjs() {
+        if q1.vobj(&v2.alias).is_some() {
+            return Err(VqpyError::InvalidQuery(format!(
+                "spatial composition: alias `{}` declared by both sub-queries",
+                v2.alias
+            )));
+        }
+    }
+    let mut b: QueryBuilder = Query::builder(name);
+    for v in q1.vobjs().iter().chain(q2.vobjs()) {
+        b = b.vobj(v.alias.clone(), Arc::clone(&v.schema));
+    }
+    for r in q1.relations().iter().chain(q2.relations()) {
+        b = b.relation(Arc::clone(&r.schema), r.left_alias.clone(), r.right_alias.clone());
+    }
+    b = b.relation(relation, left_alias, right_alias);
+    b = b.frame_constraint(q1.frame_constraint().clone());
+    b = b.frame_constraint(q2.frame_constraint().clone());
+    b = b.frame_constraint(relation_pred);
+    let out: Vec<(String, String)> = q1
+        .frame_output()
+        .iter()
+        .chain(q2.frame_output())
+        .map(|p| (p.alias.clone(), p.prop.clone()))
+        .collect();
+    let refs: Vec<(&str, &str)> = out.iter().map(|(a, p)| (a.as_str(), p.as_str())).collect();
+    b = b.frame_output(&refs);
+    Ok(QueryExpr::Spatial(b.build()?))
+}
+
+/// Builds a `DurationQuery` (Rule 2): the base must be basic or spatial.
+///
+/// # Errors
+///
+/// [`ComposeError::DurationNeedsBasicOrSpatial`] for temporal or duration
+/// bases; [`ComposeError::EmptyWindow`] when `min_frames == 0`.
+pub fn duration_query(
+    base: QueryExpr,
+    min_frames: u64,
+    max_gap: u64,
+) -> Result<QueryExpr, VqpyError> {
+    if min_frames == 0 {
+        return Err(ComposeError::EmptyWindow.into());
+    }
+    match base {
+        QueryExpr::Basic(_) | QueryExpr::Spatial(_) => Ok(QueryExpr::Duration {
+            base: Box::new(base),
+            min_frames,
+            max_gap,
+        }),
+        _ => Err(ComposeError::DurationNeedsBasicOrSpatial.into()),
+    }
+}
+
+/// Builds a `TemporalQuery` (Rule 3): any two query expressions, sequenced
+/// within a window.
+///
+/// # Errors
+///
+/// [`ComposeError::EmptyWindow`] when `window_frames == 0`.
+pub fn temporal_query(
+    first: QueryExpr,
+    second: QueryExpr,
+    window_frames: u64,
+) -> Result<QueryExpr, VqpyError> {
+    if window_frames == 0 {
+        return Err(ComposeError::EmptyWindow.into());
+    }
+    Ok(QueryExpr::Temporal {
+        first: Box::new(first),
+        second: Box::new(second),
+        window_frames,
+    })
+}
+
+/// Frames belonging to runs of at least `min_frames` hits, where gaps of up
+/// to `max_gap` missing frames do not break a run. Input must be sorted.
+pub fn duration_filter(hits: &[u64], min_frames: u64, max_gap: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut run: Vec<u64> = Vec::new();
+    let mut span_start = 0u64;
+    for &f in hits {
+        match run.last() {
+            Some(&last) if f <= last + 1 + max_gap => run.push(f),
+            Some(_) => {
+                if run.last().unwrap() - span_start + 1 >= min_frames {
+                    out.extend(run.iter().copied());
+                }
+                run.clear();
+                run.push(f);
+                span_start = f;
+            }
+            None => {
+                run.push(f);
+                span_start = f;
+            }
+        }
+    }
+    if let Some(&last) = run.last() {
+        if last - span_start + 1 >= min_frames {
+            out.extend(run);
+        }
+    }
+    out
+}
+
+/// Sequential matches: for each hit `f2` of `second`, the latest hit `f1 <
+/// f2` of `first` with `f2 - f1 <= window`. Inputs must be sorted.
+pub fn temporal_join(first: &[u64], second: &[u64], window: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    for &f2 in second {
+        // Advance i to the last first-hit strictly before f2.
+        while i + 1 < first.len() && first[i + 1] < f2 {
+            i += 1;
+        }
+        if i < first.len() && first[i] < f2 && f2 - first[i] <= window {
+            out.push((first[i], f2));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::relation::distance_relation;
+    use crate::frontend::predicate::CmpOp;
+    use crate::frontend::vobj::VObjSchema;
+
+    fn vehicle() -> Arc<VObjSchema> {
+        VObjSchema::builder("Vehicle")
+            .class_labels(&["car"])
+            .detector("yolox")
+            .build()
+    }
+
+    fn person() -> Arc<VObjSchema> {
+        VObjSchema::builder("Person")
+            .class_labels(&["person"])
+            .detector("yolox")
+            .build()
+    }
+
+    fn basic(name: &str, alias: &str, schema: Arc<VObjSchema>) -> Arc<Query> {
+        Query::builder(name)
+            .vobj(alias, schema)
+            .frame_constraint(Pred::gt(alias, "score", 0.5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spatial_merges_queries() {
+        let q1 = basic("Car", "car", vehicle());
+        let q2 = basic("Person", "person", person());
+        let rel = distance_relation("near", vehicle(), person());
+        let expr = spatial_query(
+            "CarNearPerson",
+            &q1,
+            &q2,
+            rel,
+            "car",
+            "person",
+            Pred::relation("near", "distance", CmpOp::Lt, 150.0),
+        )
+        .unwrap();
+        match &expr {
+            QueryExpr::Spatial(q) => {
+                assert_eq!(q.vobjs().len(), 2);
+                assert_eq!(q.relations().len(), 1);
+                assert_eq!(q.frame_constraint().conjuncts().len(), 3);
+            }
+            other => panic!("expected spatial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_rejects_alias_collision() {
+        let q1 = basic("A", "x", vehicle());
+        let q2 = basic("B", "x", person());
+        let rel = distance_relation("near", vehicle(), person());
+        let err = spatial_query("Bad", &q1, &q2, rel, "x", "x", Pred::True).unwrap_err();
+        assert!(matches!(err, VqpyError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn rule2_duration_accepts_basic_and_spatial_only() {
+        let q = QueryExpr::basic(basic("Car", "car", vehicle()));
+        assert!(duration_query(q.clone(), 10, 0).is_ok());
+
+        let temporal = temporal_query(q.clone(), q.clone(), 100).unwrap();
+        let err = duration_query(temporal, 10, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            VqpyError::Compose(ComposeError::DurationNeedsBasicOrSpatial)
+        ));
+
+        // Duration of duration is also rejected.
+        let d = duration_query(q, 10, 0).unwrap();
+        assert!(duration_query(d, 5, 0).is_err());
+    }
+
+    #[test]
+    fn rule3_temporal_accepts_everything() {
+        let q = QueryExpr::basic(basic("Car", "car", vehicle()));
+        let d = duration_query(q.clone(), 10, 0).unwrap();
+        let t = temporal_query(q.clone(), d, 50).unwrap();
+        // Temporal of temporal (itself) is allowed.
+        assert!(temporal_query(t, q, 50).is_ok());
+    }
+
+    #[test]
+    fn empty_windows_are_rejected() {
+        let q = QueryExpr::basic(basic("Car", "car", vehicle()));
+        assert!(matches!(
+            duration_query(q.clone(), 0, 0),
+            Err(VqpyError::Compose(ComposeError::EmptyWindow))
+        ));
+        assert!(matches!(
+            temporal_query(q.clone(), q, 0),
+            Err(VqpyError::Compose(ComposeError::EmptyWindow))
+        ));
+    }
+
+    #[test]
+    fn duration_filter_finds_long_runs() {
+        let hits = [1, 2, 3, 4, 10, 11, 20, 21, 22, 23, 24, 25];
+        assert_eq!(duration_filter(&hits, 4, 0), vec![1, 2, 3, 4, 20, 21, 22, 23, 24, 25]);
+        assert_eq!(duration_filter(&hits, 7, 0), Vec::<u64>::new());
+        // With gap tolerance 5, [1..4] and [10,11] merge into one span.
+        let merged = duration_filter(&hits, 10, 5);
+        assert!(merged.contains(&1) && merged.contains(&11));
+    }
+
+    #[test]
+    fn duration_filter_edge_cases() {
+        assert!(duration_filter(&[], 1, 0).is_empty());
+        assert_eq!(duration_filter(&[5], 1, 0), vec![5]);
+        assert!(duration_filter(&[5], 2, 0).is_empty());
+    }
+
+    #[test]
+    fn temporal_join_respects_order_and_window() {
+        let first = [10, 50, 100];
+        let second = [5, 60, 140, 300];
+        let pairs = temporal_join(&first, &second, 50);
+        // 5 has no earlier first-hit; 60 pairs with 50; 140 pairs with 100;
+        // 300 is out of window.
+        assert_eq!(pairs, vec![(50, 60), (100, 140)]);
+    }
+
+    #[test]
+    fn base_queries_are_collected_in_order() {
+        let a = basic("A", "car", vehicle());
+        let b = basic("B", "person", person());
+        let t = temporal_query(
+            QueryExpr::basic(Arc::clone(&a)),
+            QueryExpr::basic(Arc::clone(&b)),
+            100,
+        )
+        .unwrap();
+        let names: Vec<_> = t.base_queries().iter().map(|q| q.name().to_owned()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert!(t.describe().contains("sequence"));
+    }
+}

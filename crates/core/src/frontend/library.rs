@@ -1,0 +1,297 @@
+//! The VQPy library (§2): commonly used VObjs, properties, relations, and
+//! queries that serve as building blocks — `Vehicle`, `Person`, `Ball`,
+//! native speed/velocity/direction properties, `SpeedQuery`,
+//! `CollisionQuery`.
+
+use crate::error::VqpyError;
+use crate::frontend::compose::{spatial_query, QueryExpr};
+use crate::frontend::predicate::{CmpOp, Pred};
+use crate::frontend::property::{NativeFn, PropertyDef};
+use crate::frontend::query::Query;
+use crate::frontend::relation::{distance_relation, RelationSchema};
+use crate::frontend::vobj::VObjSchema;
+use std::sync::Arc;
+use vqpy_models::Value;
+use vqpy_video::geometry::Point;
+
+/// Mean center displacement (pixels/frame) over the bbox history.
+fn displacement_from_bbox_history(history: &[Value]) -> Option<Point> {
+    let centers: Vec<Point> = history
+        .iter()
+        .filter_map(|v| v.as_bbox().map(|b| b.center()))
+        .collect();
+    if centers.len() < 2 {
+        return None;
+    }
+    let n = (centers.len() - 1) as f32;
+    let first = centers.first().unwrap();
+    let last = centers.last().unwrap();
+    Some(Point::new((last.x - first.x) / n, (last.y - first.y) / n))
+}
+
+/// Stateful native `speed` property: pixels/frame, smoothed over
+/// `history_len` bbox samples (Figure 23's `velocity` UDF analog).
+pub fn speed_prop(history_len: usize) -> PropertyDef {
+    let f: NativeFn = Arc::new(|ctx| {
+        match displacement_from_bbox_history(ctx.dep_history("bbox")) {
+            Some(d) => Value::Float(d.norm() as f64),
+            None => Value::Null,
+        }
+    });
+    PropertyDef::stateful_native("speed", &["bbox"], history_len, f)
+}
+
+/// Stateful native `velocity` property: per-frame displacement vector.
+pub fn velocity_prop(history_len: usize) -> PropertyDef {
+    let f: NativeFn = Arc::new(|ctx| {
+        match displacement_from_bbox_history(ctx.dep_history("bbox")) {
+            Some(d) => Value::Point(d),
+            None => Value::Null,
+        }
+    });
+    PropertyDef::stateful_native("velocity", &["bbox"], history_len, f)
+}
+
+/// Stateful native `heading_change` property in degrees over the center
+/// history (positive = turning right on screen); building block for native
+/// direction classification (Figure 2's `direction`).
+pub fn heading_change_prop(history_len: usize) -> PropertyDef {
+    let f: NativeFn = Arc::new(|ctx| {
+        let centers: Vec<Point> = ctx
+            .dep_history("bbox")
+            .iter()
+            .filter_map(|v| v.as_bbox().map(|b| b.center()))
+            .collect();
+        if centers.len() < 3 {
+            return Value::Null;
+        }
+        let mid = centers.len() / 2;
+        let a = (centers[mid].x - centers[0].x, centers[mid].y - centers[0].y);
+        let b = (
+            centers[centers.len() - 1].x - centers[mid].x,
+            centers[centers.len() - 1].y - centers[mid].y,
+        );
+        let cross = a.0 * b.1 - a.1 * b.0;
+        let dot = a.0 * b.0 + a.1 * b.1;
+        Value::Float(cross.atan2(dot).to_degrees() as f64)
+    });
+    PropertyDef::stateful_native("heading_change", &["bbox"], history_len, f)
+}
+
+/// The library `Vehicle` VObj (Figure 2): yolox detection, model-computed
+/// color/type/direction/plate, native speed. Color and type are *not*
+/// marked intrinsic here — that is the user annotation §4.2/§5.1 study;
+/// see [`vehicle_schema_intrinsic`].
+pub fn vehicle_schema() -> Arc<VObjSchema> {
+    VObjSchema::builder("Vehicle")
+        .class_labels(&["car", "bus", "truck"])
+        .detector("yolox")
+        .property(PropertyDef::stateless_model("color", "color_detect", false))
+        .property(PropertyDef::stateless_model("vtype", "vtype_detect", false))
+        .property(PropertyDef::stateless_model("direction", "direction_model", false))
+        .property(PropertyDef::stateless_model("plate", "plate_recognize", false))
+        .property(speed_prop(3))
+        .property(velocity_prop(3))
+        .build()
+}
+
+/// The `Vehicle` VObj with `intrinsic=True` user annotations on color and
+/// type (the "VQPy with annotation" configuration of §5.1).
+pub fn vehicle_schema_intrinsic() -> Arc<VObjSchema> {
+    // A sub-VObj of Vehicle that shadows color/type/plate with
+    // intrinsic-annotated definitions — extensions registered on the
+    // parent `Vehicle` still apply through inheritance.
+    VObjSchema::builder("VehicleIntrinsic")
+        .parent(vehicle_schema())
+        .property(PropertyDef::stateless_model("color", "color_detect", true))
+        .property(PropertyDef::stateless_model("vtype", "vtype_detect", true))
+        .property(PropertyDef::stateless_model("plate", "plate_recognize", true))
+        .build()
+}
+
+/// The library `Person` VObj: yolox detection, model-computed action and
+/// re-id feature vector, native speed.
+pub fn person_schema() -> Arc<VObjSchema> {
+    VObjSchema::builder("Person")
+        .class_labels(&["person"])
+        .detector("yolox")
+        .property(PropertyDef::stateless_model("action", "action_classify", false))
+        .property(PropertyDef::stateless_model("feature", "reid_embed", true))
+        .property(speed_prop(3))
+        .build()
+}
+
+/// The library `Ball` VObj.
+pub fn ball_schema() -> Arc<VObjSchema> {
+    VObjSchema::builder("Ball")
+        .class_labels(&["ball"])
+        .detector("yolox")
+        .build()
+}
+
+/// The library `SpeedQuery` (used by Figure 8's car-run-away): objects of
+/// `schema` moving faster than `threshold` px/frame.
+pub fn speed_query(
+    name: impl Into<String>,
+    alias: &str,
+    schema: Arc<VObjSchema>,
+    threshold: f64,
+) -> Result<Arc<Query>, VqpyError> {
+    Query::builder(name)
+        .vobj(alias, schema)
+        .frame_constraint(Pred::gt(alias, "score", 0.5) & Pred::gt(alias, "speed", threshold))
+        .frame_output(&[(alias, "track_id"), (alias, "bbox")])
+        .build()
+}
+
+/// The library `CollisionQuery` (Figure 8): a sub-query of the higher-order
+/// `SpatialQuery` checking that the distance between the two objects is
+/// below `threshold` pixels.
+pub fn collision_query(
+    name: impl Into<String>,
+    q1: &Query,
+    q1_alias: &str,
+    q2: &Query,
+    q2_alias: &str,
+    threshold: f64,
+) -> Result<QueryExpr, VqpyError> {
+    let left = Arc::clone(
+        &q1.vobj(q1_alias)
+            .ok_or_else(|| VqpyError::UnknownAlias(q1_alias.to_owned()))?
+            .schema,
+    );
+    let right = Arc::clone(
+        &q2.vobj(q2_alias)
+            .ok_or_else(|| VqpyError::UnknownAlias(q2_alias.to_owned()))?
+            .schema,
+    );
+    let rel = distance_relation("collision_distance", left, right);
+    spatial_query(
+        name,
+        q1,
+        q2,
+        rel,
+        q1_alias,
+        q2_alias,
+        Pred::relation("collision_distance", "distance", CmpOp::Lt, threshold),
+    )
+}
+
+/// The library person-ball interaction relation (Figure 4): property
+/// `"interaction"` predicted by the UPT HOI model.
+pub fn person_ball_interaction() -> Arc<RelationSchema> {
+    RelationSchema::builder("person_ball_interaction", person_schema(), ball_schema())
+        .hoi_property("interaction", "upt_hoi")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::property::PropertyCtx;
+    use std::collections::HashMap;
+    use vqpy_video::geometry::BBox;
+
+    fn bbox_history(centers: &[(f32, f32)]) -> HashMap<String, Vec<Value>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "bbox".to_owned(),
+            centers
+                .iter()
+                .map(|&(x, y)| Value::BBox(BBox::from_center(Point::new(x, y), 40.0, 20.0)))
+                .collect(),
+        );
+        m
+    }
+
+    fn eval(def: &PropertyDef, deps: &HashMap<String, Vec<Value>>) -> Value {
+        match &def.source {
+            crate::frontend::property::PropertySource::Native(f) => {
+                f(&PropertyCtx { deps, fps: 15 })
+            }
+            other => panic!("expected native, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speed_from_history() {
+        let def = speed_prop(3);
+        let deps = bbox_history(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(eval(&def, &deps), Value::Float(5.0));
+    }
+
+    #[test]
+    fn speed_needs_two_samples() {
+        let def = speed_prop(3);
+        let deps = bbox_history(&[(0.0, 0.0)]);
+        assert!(eval(&def, &deps).is_null());
+    }
+
+    #[test]
+    fn velocity_direction_sign() {
+        let def = velocity_prop(2);
+        let deps = bbox_history(&[(0.0, 0.0), (3.0, -4.0)]);
+        match eval(&def, &deps) {
+            Value::Point(p) => {
+                assert!((p.x - 3.0).abs() < 1e-5);
+                assert!((p.y + 4.0).abs() < 1e-5);
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heading_change_detects_right_turn() {
+        let def = heading_change_prop(5);
+        // Moving east then south (right turn on screen).
+        let deps = bbox_history(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (20.0, 10.0), (20.0, 20.0)]);
+        match eval(&def, &deps) {
+            Value::Float(deg) => assert!(deg > 45.0, "expected strong right turn, got {deg}"),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn library_schemas_resolve_expected_properties() {
+        let v = vehicle_schema();
+        for p in ["color", "vtype", "direction", "plate", "speed", "velocity"] {
+            assert!(v.resolve_property(p).is_some(), "Vehicle.{p}");
+        }
+        let p = person_schema();
+        for prop in ["action", "feature", "speed"] {
+            assert!(p.resolve_property(prop).is_some(), "Person.{prop}");
+        }
+    }
+
+    #[test]
+    fn intrinsic_annotation_differs() {
+        let plain = vehicle_schema();
+        let ann = vehicle_schema_intrinsic();
+        let get_intrinsic = |s: &VObjSchema, p: &str| match s.resolve_property(p) {
+            Some(crate::frontend::vobj::ResolvedProperty::Defined(d)) => d.kind.is_intrinsic(),
+            _ => panic!("missing property"),
+        };
+        assert!(!get_intrinsic(&plain, "color"));
+        assert!(get_intrinsic(&ann, "color"));
+        assert!(get_intrinsic(&ann, "vtype"));
+    }
+
+    #[test]
+    fn speed_query_builds() {
+        let q = speed_query("Speeding", "car", vehicle_schema(), 20.0).unwrap();
+        assert_eq!(q.vobjs().len(), 1);
+        assert_eq!(q.frame_constraint().conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn collision_query_is_spatial() {
+        let car = speed_query("Car", "car", vehicle_schema(), 0.0).unwrap();
+        let person = Query::builder("P")
+            .vobj("person", person_schema())
+            .frame_constraint(Pred::gt("person", "score", 0.5))
+            .build()
+            .unwrap();
+        let expr = collision_query("CarHitPerson", &car, "car", &person, "person", 120.0).unwrap();
+        assert!(matches!(expr, QueryExpr::Spatial(_)));
+    }
+}

@@ -1,0 +1,10 @@
+//! The video-object-oriented frontend (§3): `VObj`, `Relation`, `Query`,
+//! predicates, higher-order composition, and the standard library.
+
+pub mod compose;
+pub mod library;
+pub mod predicate;
+pub mod property;
+pub mod query;
+pub mod relation;
+pub mod vobj;

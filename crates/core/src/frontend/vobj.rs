@@ -1,0 +1,355 @@
+//! VObj schemas: the central abstraction of VQPy (Figure 2), with
+//! inheritance.
+//!
+//! A `VObjSchema` names a category of video object ("Vehicle", "RedCar"),
+//! optionally inherits a parent schema, binds a detector model, and carries
+//! property definitions. Property/detector/class-label lookups walk the
+//! inheritance chain, so a sub-VObj sees everything its ancestors define —
+//! the code-reuse story of §3's Inheritance paragraph.
+
+use crate::error::VqpyError;
+use crate::frontend::property::{BuiltinProp, PropertyDef};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// An immutable, shareable VObj schema.
+#[derive(Debug, Clone)]
+pub struct VObjSchema {
+    name: String,
+    parent: Option<Arc<VObjSchema>>,
+    class_labels: Vec<String>,
+    detector: Option<String>,
+    properties: BTreeMap<String, PropertyDef>,
+}
+
+impl VObjSchema {
+    /// Starts building a schema named `name`.
+    pub fn builder(name: impl Into<String>) -> VObjSchemaBuilder {
+        VObjSchemaBuilder {
+            schema: VObjSchema {
+                name: name.into(),
+                parent: None,
+                class_labels: Vec::new(),
+                detector: None,
+                properties: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// The schema's own name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parent schema, if any.
+    pub fn parent(&self) -> Option<&Arc<VObjSchema>> {
+        self.parent.as_ref()
+    }
+
+    /// Detector class labels, resolved through the inheritance chain.
+    pub fn class_labels(&self) -> &[String] {
+        if !self.class_labels.is_empty() {
+            return &self.class_labels;
+        }
+        match &self.parent {
+            Some(p) => p.class_labels(),
+            None => &[],
+        }
+    }
+
+    /// Detector model name, resolved through the inheritance chain.
+    pub fn detector(&self) -> Option<&str> {
+        if let Some(d) = &self.detector {
+            return Some(d);
+        }
+        self.parent.as_ref().and_then(|p| p.detector())
+    }
+
+    /// Detector model name, or an error naming the schema.
+    pub fn require_detector(&self) -> Result<&str, VqpyError> {
+        self.detector()
+            .ok_or_else(|| VqpyError::MissingDetector(self.name.clone()))
+    }
+
+    /// Resolves a property by name: own properties shadow inherited ones;
+    /// built-ins resolve last (they cannot be shadowed meaningfully).
+    pub fn resolve_property(&self, name: &str) -> Option<ResolvedProperty<'_>> {
+        if let Some(p) = self.properties.get(name) {
+            return Some(ResolvedProperty::Defined(p));
+        }
+        if let Some(parent) = &self.parent {
+            // Recurse, but rebind lifetimes by walking explicitly.
+            let mut cur: &VObjSchema = parent;
+            loop {
+                if let Some(p) = cur.properties.get(name) {
+                    return Some(ResolvedProperty::Defined(p));
+                }
+                match &cur.parent {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+        }
+        BuiltinProp::from_name(name).map(ResolvedProperty::Builtin)
+    }
+
+    /// All defined (non-builtin) properties visible on this schema, with
+    /// sub-schema definitions shadowing inherited ones. Sorted by name.
+    pub fn all_properties(&self) -> Vec<&PropertyDef> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut cur = Some(self);
+        while let Some(s) = cur {
+            for (name, def) in &s.properties {
+                if seen.insert(name.clone()) {
+                    out.push(def);
+                }
+            }
+            cur = s.parent.as_deref();
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Whether `ancestor` appears in this schema's inheritance chain
+    /// (a schema is its own ancestor).
+    pub fn inherits_from(&self, ancestor: &str) -> bool {
+        let mut cur = Some(self);
+        while let Some(s) = cur {
+            if s.name == ancestor {
+                return true;
+            }
+            cur = s.parent.as_deref();
+        }
+        false
+    }
+
+    /// Transitive dependency closure of a property set, in computation
+    /// order (dependencies before dependents). Built-ins are excluded.
+    ///
+    /// # Errors
+    ///
+    /// [`VqpyError::UnknownProperty`] for unresolvable names and
+    /// [`VqpyError::CyclicDependency`] for dependency cycles.
+    pub fn dependency_order(&self, wanted: &[String]) -> Result<Vec<PropertyDef>, VqpyError> {
+        let mut order: Vec<PropertyDef> = Vec::new();
+        let mut visiting: HashSet<String> = HashSet::new();
+        let mut done: HashSet<String> = HashSet::new();
+
+        fn visit(
+            schema: &VObjSchema,
+            name: &str,
+            order: &mut Vec<PropertyDef>,
+            visiting: &mut HashSet<String>,
+            done: &mut HashSet<String>,
+        ) -> Result<(), VqpyError> {
+            if done.contains(name) {
+                return Ok(());
+            }
+            match schema.resolve_property(name) {
+                None => Err(VqpyError::UnknownProperty {
+                    schema: schema.name.clone(),
+                    property: name.to_owned(),
+                }),
+                Some(ResolvedProperty::Builtin(_)) => {
+                    done.insert(name.to_owned());
+                    Ok(())
+                }
+                Some(ResolvedProperty::Defined(def)) => {
+                    if !visiting.insert(name.to_owned()) {
+                        return Err(VqpyError::CyclicDependency {
+                            schema: schema.name.clone(),
+                            property: name.to_owned(),
+                        });
+                    }
+                    let def = def.clone();
+                    for dep in &def.deps {
+                        visit(schema, dep, order, visiting, done)?;
+                    }
+                    visiting.remove(name);
+                    done.insert(name.to_owned());
+                    order.push(def);
+                    Ok(())
+                }
+            }
+        }
+
+        for w in wanted {
+            visit(self, w, &mut order, &mut visiting, &mut done)?;
+        }
+        Ok(order)
+    }
+}
+
+/// Result of property resolution.
+#[derive(Debug)]
+pub enum ResolvedProperty<'a> {
+    /// A property defined on the schema or an ancestor.
+    Defined(&'a PropertyDef),
+    /// A built-in carried by every detection.
+    Builtin(BuiltinProp),
+}
+
+/// Builder for [`VObjSchema`].
+#[derive(Debug)]
+pub struct VObjSchemaBuilder {
+    schema: VObjSchema,
+}
+
+impl VObjSchemaBuilder {
+    /// Sets the parent schema (single inheritance, like Python).
+    pub fn parent(mut self, parent: Arc<VObjSchema>) -> Self {
+        self.schema.parent = Some(parent);
+        self
+    }
+
+    /// Sets the detector class labels this VObj matches.
+    pub fn class_labels(mut self, labels: &[&str]) -> Self {
+        self.schema.class_labels = labels.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Binds the detector model by zoo name.
+    pub fn detector(mut self, model: impl Into<String>) -> Self {
+        self.schema.detector = Some(model.into());
+        self
+    }
+
+    /// Adds (or shadows) a property definition.
+    pub fn property(mut self, def: PropertyDef) -> Self {
+        self.schema.properties.insert(def.name.clone(), def);
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Arc<VObjSchema> {
+        Arc::new(self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::property::{NativeFn, PropertyDef};
+    use vqpy_models::Value;
+
+    fn vehicle() -> Arc<VObjSchema> {
+        let center_to_direction: NativeFn = Arc::new(|_| Value::from("straight"));
+        VObjSchema::builder("Vehicle")
+            .class_labels(&["car", "bus", "truck"])
+            .detector("yolox")
+            .property(PropertyDef::stateless_model("color", "color_detect", true))
+            .property(PropertyDef::stateful_native(
+                "direction",
+                &["center"],
+                5,
+                center_to_direction,
+            ))
+            .build()
+    }
+
+    #[test]
+    fn builtin_and_defined_resolution() {
+        let v = vehicle();
+        assert!(matches!(
+            v.resolve_property("color"),
+            Some(ResolvedProperty::Defined(_))
+        ));
+        assert!(matches!(
+            v.resolve_property("bbox"),
+            Some(ResolvedProperty::Builtin(BuiltinProp::Bbox))
+        ));
+        assert!(v.resolve_property("nope").is_none());
+    }
+
+    #[test]
+    fn inheritance_resolves_through_chain() {
+        let v = vehicle();
+        let red_car = VObjSchema::builder("RedCar").parent(Arc::clone(&v)).build();
+        assert_eq!(red_car.detector(), Some("yolox"));
+        assert_eq!(red_car.class_labels(), v.class_labels());
+        assert!(matches!(
+            red_car.resolve_property("color"),
+            Some(ResolvedProperty::Defined(_))
+        ));
+        assert!(red_car.inherits_from("Vehicle"));
+        assert!(red_car.inherits_from("RedCar"));
+        assert!(!v.inherits_from("RedCar"));
+    }
+
+    #[test]
+    fn sub_schema_shadows_property() {
+        let v = vehicle();
+        let special = VObjSchema::builder("Special")
+            .parent(v)
+            .property(PropertyDef::stateless_model("color", "my_color", false))
+            .build();
+        match special.resolve_property("color") {
+            Some(ResolvedProperty::Defined(def)) => match &def.source {
+                crate::frontend::property::PropertySource::Model(m) => assert_eq!(m, "my_color"),
+                other => panic!("unexpected source {other:?}"),
+            },
+            other => panic!("unexpected resolution {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependency_order_is_topological() {
+        let f: NativeFn = Arc::new(|_| Value::Null);
+        let schema = VObjSchema::builder("T")
+            .detector("yolox")
+            .class_labels(&["car"])
+            .property(PropertyDef::stateless_native("a", &["bbox"], false, f.clone()))
+            .property(PropertyDef::stateless_native("b", &["a"], false, f.clone()))
+            .property(PropertyDef::stateless_native("c", &["b", "a"], false, f))
+            .build();
+        let order = schema.dependency_order(&["c".into()]).unwrap();
+        let names: Vec<_> = order.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dependency_cycles_are_detected() {
+        let f: NativeFn = Arc::new(|_| Value::Null);
+        let schema = VObjSchema::builder("T")
+            .property(PropertyDef::stateless_native("a", &["b"], false, f.clone()))
+            .property(PropertyDef::stateless_native("b", &["a"], false, f))
+            .build();
+        let err = schema.dependency_order(&["a".into()]).unwrap_err();
+        assert!(matches!(err, VqpyError::CyclicDependency { .. }));
+    }
+
+    #[test]
+    fn unknown_property_errors() {
+        let v = vehicle();
+        let err = v.dependency_order(&["ghost".into()]).unwrap_err();
+        assert!(matches!(err, VqpyError::UnknownProperty { .. }));
+    }
+
+    #[test]
+    fn missing_detector_is_an_error() {
+        let s = VObjSchema::builder("NoDet").build();
+        assert!(matches!(
+            s.require_detector(),
+            Err(VqpyError::MissingDetector(_))
+        ));
+    }
+
+    #[test]
+    fn all_properties_dedups_shadowed() {
+        let v = vehicle();
+        let f: NativeFn = Arc::new(|_| Value::Null);
+        let sub = VObjSchema::builder("Sub")
+            .parent(v)
+            .property(PropertyDef::stateless_native("color", &[], false, f))
+            .build();
+        let props = sub.all_properties();
+        let colors: Vec<_> = props.iter().filter(|p| p.name == "color").collect();
+        assert_eq!(colors.len(), 1);
+        // The sub definition wins.
+        assert!(matches!(
+            colors[0].source,
+            crate::frontend::property::PropertySource::Native(_)
+        ));
+    }
+}

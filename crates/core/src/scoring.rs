@@ -1,0 +1,118 @@
+//! Accuracy scoring: F1 over frame hit sets, and ground-truth frame-set
+//! extraction from scenes (the evaluation methodology of §4.3 and §5).
+
+use std::collections::BTreeSet;
+use vqpy_video::scene::{GroundTruth, Scene};
+
+/// Precision/recall/F1 over binary frame decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Stats {
+    pub tp: u64,
+    pub fp: u64,
+    pub fn_: u64,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Scores a predicted frame set against a reference frame set over the
+/// universe `[0, total_frames)`.
+pub fn f1_frames(predicted: &BTreeSet<u64>, reference: &BTreeSet<u64>) -> F1Stats {
+    let tp = predicted.intersection(reference).count() as u64;
+    let fp = predicted.len() as u64 - tp;
+    let fn_ = reference.len() as u64 - tp;
+    let precision = if tp + fp == 0 {
+        // No positive predictions: perfect precision iff nothing to find.
+        if reference.is_empty() { 1.0 } else { 0.0 }
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    F1Stats {
+        tp,
+        fp,
+        fn_,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Frames of `scene` whose ground truth satisfies `pred`.
+pub fn truth_frames(scene: &Scene, pred: impl Fn(&GroundTruth) -> bool) -> BTreeSet<u64> {
+    (0..scene.frame_count())
+        .filter(|&f| pred(&scene.truth_at(f)))
+        .collect()
+}
+
+/// Positive rate of a frame set over a video of `total` frames.
+pub fn positive_rate(set: &BTreeSet<u64>, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        set.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u64]) -> BTreeSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let s = f1_frames(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.tp, 3);
+        assert_eq!(s.fp, 0);
+        assert_eq!(s.fn_, 0);
+    }
+
+    #[test]
+    fn half_precision() {
+        let s = f1_frames(&set(&[1, 2, 3, 4]), &set(&[1, 2]));
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases() {
+        // Nothing predicted, nothing true: vacuous success.
+        let s = f1_frames(&set(&[]), &set(&[]));
+        assert_eq!(s.f1, 1.0);
+        // Nothing predicted but positives exist: zero recall.
+        let s = f1_frames(&set(&[]), &set(&[1]));
+        assert_eq!(s.f1, 0.0);
+        // Predictions but no positives: zero precision.
+        let s = f1_frames(&set(&[1]), &set(&[]));
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn positive_rate_basics() {
+        assert_eq!(positive_rate(&set(&[1, 2]), 10), 0.2);
+        assert_eq!(positive_rate(&set(&[]), 0), 0.0);
+    }
+
+    #[test]
+    fn truth_frames_respects_predicate() {
+        let scene = vqpy_video::Scene::generate(vqpy_video::presets::banff(), 3, 10.0);
+        let all = truth_frames(&scene, |_| true);
+        assert_eq!(all.len() as u64, scene.frame_count());
+        let none = truth_frames(&scene, |_| false);
+        assert!(none.is_empty());
+    }
+}

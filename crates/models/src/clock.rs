@@ -1,0 +1,173 @@
+//! The virtual cost clock.
+//!
+//! Every simulated model charges its declared cost here. In
+//! [`ClockMode::Virtual`] the charge is pure bookkeeping, so experiment
+//! runtimes are deterministic and host-independent; in [`ClockMode::Busy`]
+//! the clock additionally burns a proportional amount of real CPU so
+//! wall-clock measurements (e.g. Criterion) reflect the same ratios.
+//!
+//! One cost unit models one millisecond of GPU inference on the paper's
+//! T4 testbed. Charges are also recorded per label, which gives every
+//! harness per-model invocation counts for free.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cost in virtual milliseconds.
+pub type CostUnits = f64;
+
+/// How charges are realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Bookkeeping only (deterministic experiment numbers).
+    #[default]
+    Virtual,
+    /// Bookkeeping plus proportional real CPU work.
+    Busy,
+}
+
+/// Per-label charge statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChargeStat {
+    /// Number of `charge` calls with this label.
+    pub invocations: u64,
+    /// Total units charged under this label.
+    pub units: f64,
+}
+
+/// A shareable virtual clock. Cheap to clone behind an `Arc`; all methods
+/// take `&self`.
+#[derive(Debug, Default)]
+pub struct Clock {
+    mode: ClockMode,
+    /// Virtual nanoseconds accumulated (1 unit = 1 ms = 1e6 ns).
+    virtual_nanos: AtomicU64,
+    /// Busy-mode work per unit (blackbox float ops).
+    busy_ops_per_unit: u64,
+    labeled: Mutex<HashMap<String, ChargeStat>>,
+}
+
+impl Clock {
+    /// A virtual-only clock (the default for tests and experiments).
+    pub fn new() -> Self {
+        Self::with_mode(ClockMode::Virtual)
+    }
+
+    /// A clock in the given mode. Busy mode performs roughly
+    /// 4 000 floating-point operations per unit, i.e. a few microseconds of
+    /// real time per virtual millisecond — large enough for stable ratios,
+    /// small enough for fast benches.
+    pub fn with_mode(mode: ClockMode) -> Self {
+        Self {
+            mode,
+            virtual_nanos: AtomicU64::new(0),
+            busy_ops_per_unit: 4_000,
+            labeled: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The clock's mode.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Charges `units` of anonymous cost.
+    pub fn charge(&self, units: CostUnits) {
+        self.charge_labeled("", units);
+    }
+
+    /// Charges `units` under `label` (typically the model name).
+    pub fn charge_labeled(&self, label: &str, units: CostUnits) {
+        debug_assert!(units >= 0.0, "cost must be non-negative");
+        let nanos = (units * 1e6) as u64;
+        self.virtual_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if !label.is_empty() {
+            let mut map = self.labeled.lock();
+            let e = map.entry(label.to_owned()).or_default();
+            e.invocations += 1;
+            e.units += units;
+        }
+        if self.mode == ClockMode::Busy {
+            self.burn(units);
+        }
+    }
+
+    fn burn(&self, units: CostUnits) {
+        let ops = (units * self.busy_ops_per_unit as f64) as u64;
+        let mut x = 1.000_000_1f64;
+        for _ in 0..ops {
+            x = std::hint::black_box(x * 1.000_000_01 + 1e-12);
+        }
+        std::hint::black_box(x);
+    }
+
+    /// Total virtual milliseconds charged so far.
+    pub fn virtual_ms(&self) -> f64 {
+        self.virtual_nanos.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Per-label charge statistics (a snapshot).
+    pub fn labeled_stats(&self) -> HashMap<String, ChargeStat> {
+        self.labeled.lock().clone()
+    }
+
+    /// Statistics for one label, if any charge carried it.
+    pub fn stat(&self, label: &str) -> Option<ChargeStat> {
+        self.labeled.lock().get(label).copied()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.virtual_nanos.store(0, Ordering::Relaxed);
+        self.labeled.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let c = Clock::new();
+        c.charge(2.5);
+        c.charge(1.5);
+        assert!((c.virtual_ms() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_tracked() {
+        let c = Clock::new();
+        c.charge_labeled("yolox", 30.0);
+        c.charge_labeled("yolox", 30.0);
+        c.charge_labeled("color", 5.0);
+        let y = c.stat("yolox").unwrap();
+        assert_eq!(y.invocations, 2);
+        assert!((y.units - 60.0).abs() < 1e-9);
+        assert_eq!(c.stat("color").unwrap().invocations, 1);
+        assert!(c.stat("missing").is_none());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = Clock::new();
+        c.charge_labeled("m", 10.0);
+        c.reset();
+        assert_eq!(c.virtual_ms(), 0.0);
+        assert!(c.stat("m").is_none());
+    }
+
+    #[test]
+    fn busy_mode_still_counts_virtually() {
+        let c = Clock::with_mode(ClockMode::Busy);
+        c.charge(1.0);
+        assert!((c.virtual_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Clock>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Frame-level binary classifiers (the cheap filters of §4.4).
+//!
+//! A [`PresenceClassifier`] answers "is anything relevant plausibly on this
+//! frame?" by peeking at ground truth through a false-negative /
+//! false-positive noise channel. The planner inserts these in front of
+//! expensive detectors, exactly like the paper's `no_red_on_road` example.
+
+use crate::clock::Clock;
+use crate::detection::det_rng;
+use crate::traits::{FrameClassifier, ModelProfile, TaskKind};
+use rand::Rng;
+use std::sync::Arc;
+use vqpy_video::frame::Frame;
+use vqpy_video::scene::GroundTruth;
+
+/// Predicate over ground truth deciding a frame's true relevance.
+pub type FramePredicate = Arc<dyn Fn(&GroundTruth) -> bool + Send + Sync>;
+
+/// A noisy frame-relevance model.
+pub struct PresenceClassifier {
+    profile: ModelProfile,
+    predicate: FramePredicate,
+    /// Probability of answering "no" on a truly relevant frame.
+    fn_rate: f32,
+    /// Probability of answering "yes" on an irrelevant frame.
+    fp_rate: f32,
+    salt: u64,
+}
+
+impl std::fmt::Debug for PresenceClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PresenceClassifier")
+            .field("profile", &self.profile)
+            .field("fn_rate", &self.fn_rate)
+            .field("fp_rate", &self.fp_rate)
+            .finish()
+    }
+}
+
+impl PresenceClassifier {
+    /// Creates a binary classifier.
+    ///
+    /// `fn_rate` discards truly relevant frames (costing recall); `fp_rate`
+    /// passes irrelevant ones (costing only compute downstream).
+    pub fn new(
+        name: impl Into<String>,
+        cost: f64,
+        predicate: FramePredicate,
+        fn_rate: f32,
+        fp_rate: f32,
+        salt: u64,
+    ) -> Self {
+        Self {
+            profile: ModelProfile::new(name, TaskKind::FrameClassification, cost, 1.0 - fn_rate),
+            predicate,
+            fn_rate,
+            fp_rate,
+            salt,
+        }
+    }
+}
+
+impl FrameClassifier for PresenceClassifier {
+    fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    fn predict(&self, frame: &Frame, clock: &Clock) -> bool {
+        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        let relevant = (self.predicate)(&frame.truth);
+        let mut rng = det_rng(self.salt, frame.index, 0);
+        if relevant {
+            rng.gen::<f32>() >= self.fn_rate
+        } else {
+            rng.gen::<f32>() < self.fp_rate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqpy_video::color::NamedColor;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::{SyntheticVideo, VideoSource};
+
+    fn red_vehicle_present(t: &GroundTruth) -> bool {
+        t.visible.iter().any(|v| {
+            v.attrs
+                .as_vehicle()
+                .map(|a| a.color == NamedColor::Red)
+                .unwrap_or(false)
+        })
+    }
+
+    #[test]
+    fn perfect_classifier_matches_truth() {
+        let v = SyntheticVideo::new(Scene::generate(presets::banff(), 17, 60.0));
+        let clf = PresenceClassifier::new(
+            "no_red_on_road",
+            1.5,
+            Arc::new(red_vehicle_present),
+            0.0,
+            0.0,
+            4,
+        );
+        let clock = Clock::new();
+        for i in (0..v.frame_count()).step_by(15) {
+            let f = v.frame(i);
+            assert_eq!(clf.predict(&f, &clock), red_vehicle_present(&f.truth));
+        }
+    }
+
+    #[test]
+    fn noisy_classifier_flips_some_answers() {
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 18, 120.0));
+        let clf = PresenceClassifier::new(
+            "noisy",
+            1.0,
+            Arc::new(red_vehicle_present),
+            0.3,
+            0.3,
+            4,
+        );
+        let clock = Clock::new();
+        let mut flips = 0;
+        let mut n = 0;
+        for i in (0..v.frame_count()).step_by(5) {
+            let f = v.frame(i);
+            n += 1;
+            if clf.predict(&f, &clock) != red_vehicle_present(&f.truth) {
+                flips += 1;
+            }
+        }
+        assert!(flips > 0, "a 30% noise channel must flip something in {n} frames");
+    }
+
+    #[test]
+    fn charges_cost_per_frame() {
+        let v = SyntheticVideo::new(Scene::generate(presets::banff(), 19, 5.0));
+        let clf = PresenceClassifier::new(
+            "cheap",
+            1.5,
+            Arc::new(|_| true),
+            0.0,
+            0.0,
+            4,
+        );
+        let clock = Clock::new();
+        clf.predict(&v.frame(0), &clock);
+        clf.predict(&v.frame(1), &clock);
+        assert!((clock.virtual_ms() - 3.0).abs() < 1e-9);
+        assert_eq!(clock.stat("cheap").unwrap().invocations, 2);
+    }
+}

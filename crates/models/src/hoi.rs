@@ -1,0 +1,153 @@
+//! Simulated human-object-interaction model (the paper's UPT).
+
+use crate::clock::Clock;
+use crate::detection::{det_rng, Detection};
+use crate::traits::{HoiModel, HoiTriple, ModelProfile, TaskKind};
+use rand::Rng;
+use vqpy_video::frame::Frame;
+
+/// Ground-truth-sampling HOI model: recovers scripted interactions among the
+/// supplied detections with a recall, and hallucinates rare false pairs.
+#[derive(Debug)]
+pub struct SimHoi {
+    profile: ModelProfile,
+    recall: f32,
+    /// Probability per candidate (person, object) pair of a false triple.
+    fp_pair_rate: f32,
+    salt: u64,
+}
+
+impl SimHoi {
+    /// Creates the model.
+    pub fn new(name: impl Into<String>, cost: f64, recall: f32, salt: u64) -> Self {
+        Self {
+            profile: ModelProfile::new(name, TaskKind::Interaction, cost, recall),
+            recall,
+            fp_pair_rate: 0.001,
+            salt,
+        }
+    }
+}
+
+impl HoiModel for SimHoi {
+    fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    fn interactions(
+        &self,
+        frame: &Frame,
+        detections: &[Detection],
+        clock: &Clock,
+    ) -> Vec<HoiTriple> {
+        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        let mut out = Vec::new();
+        // Recover scripted interactions whose participants were detected.
+        for inter in &frame.truth.interactions {
+            let subj = detections
+                .iter()
+                .position(|d| d.sim_entity == Some(inter.subject));
+            let obj = detections
+                .iter()
+                .position(|d| d.sim_entity == Some(inter.object));
+            if let (Some(s), Some(o)) = (subj, obj) {
+                let mut rng = det_rng(self.salt, frame.index, inter.subject ^ inter.object);
+                if rng.gen::<f32>() < self.recall {
+                    out.push(HoiTriple {
+                        subject_idx: s,
+                        object_idx: o,
+                        kind: inter.kind.as_str().to_owned(),
+                        score: 0.7 + 0.29 * rng.gen::<f32>(),
+                    });
+                }
+            }
+        }
+        // Rare hallucinated pairs between persons and non-persons.
+        for (si, s) in detections.iter().enumerate() {
+            if s.class_label != "person" {
+                continue;
+            }
+            for (oi, o) in detections.iter().enumerate() {
+                if oi == si || o.class_label == "person" {
+                    continue;
+                }
+                let key = s.sim_entity.unwrap_or(si as u64) ^ o.sim_entity.unwrap_or(oi as u64);
+                let mut rng = det_rng(self.salt ^ 0xFA15E, frame.index, key);
+                if rng.gen::<f32>() < self.fp_pair_rate {
+                    let already = out
+                        .iter()
+                        .any(|t| t.subject_idx == si && t.object_idx == oi);
+                    if !already {
+                        out.push(HoiTriple {
+                            subject_idx: si,
+                            object_idx: oi,
+                            kind: "hit".to_owned(),
+                            score: 0.5 + 0.2 * rng.gen::<f32>(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::SimDetector;
+    use crate::traits::Detector;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::{SyntheticVideo, VideoSource};
+    use vqpy_video::InteractionKind;
+
+    #[test]
+    fn recovers_scripted_hits() {
+        let v = SyntheticVideo::new(Scene::generate(presets::interaction_clips(), 23, 240.0));
+        let det = SimDetector::general("det", &["person", "ball"], 20.0, 0.98, 1).with_fp_rate(0.0);
+        let hoi = SimHoi::new("upt", 80.0, 1.0, 5);
+        let clock = Clock::new();
+        let mut truth_frames = 0;
+        let mut recovered = 0;
+        for i in 0..v.frame_count() {
+            let f = v.frame(i);
+            if !f.truth.has_interaction(InteractionKind::Hit) {
+                continue;
+            }
+            truth_frames += 1;
+            let dets = det.detect(&f, &clock);
+            let triples = hoi.interactions(&f, &dets, &clock);
+            if triples.iter().any(|t| t.kind == "hit") {
+                recovered += 1;
+            }
+        }
+        assert!(truth_frames > 0, "scene must contain hit frames");
+        let rate = recovered as f32 / truth_frames as f32;
+        assert!(rate > 0.7, "perfect-recall HOI should recover most hits, got {rate}");
+    }
+
+    #[test]
+    fn false_pair_rate_is_low() {
+        let v = SyntheticVideo::new(Scene::generate(presets::interaction_clips(), 29, 120.0));
+        let det = SimDetector::general("det", &["person", "ball"], 20.0, 0.98, 1).with_fp_rate(0.0);
+        let hoi = SimHoi::new("upt", 80.0, 1.0, 5);
+        let clock = Clock::new();
+        let mut fp = 0usize;
+        let mut frames = 0usize;
+        for i in 0..v.frame_count() {
+            let f = v.frame(i);
+            if f.truth.has_interaction(InteractionKind::Hit) {
+                continue;
+            }
+            frames += 1;
+            let dets = det.detect(&f, &clock);
+            if !hoi.interactions(&f, &dets, &clock).is_empty() {
+                fp += 1;
+            }
+        }
+        assert!(frames > 100);
+        let rate = fp as f32 / frames as f32;
+        assert!(rate < 0.08, "false interactions too common: {rate}");
+    }
+}

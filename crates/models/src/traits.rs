@@ -1,0 +1,94 @@
+//! Model traits and profiles.
+//!
+//! Four model shapes cover everything the paper's pipelines use:
+//! object detectors, per-object classifiers (attribute/property models),
+//! frame-level binary classifiers (the cheap filters of §4.4), and
+//! human-object-interaction models.
+
+use crate::clock::{Clock, CostUnits};
+use crate::detection::Detection;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use vqpy_video::frame::Frame;
+
+/// What a model does; drives planner operator selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    Detection,
+    Classification,
+    FrameClassification,
+    Interaction,
+    Embedding,
+}
+
+/// Static metadata the planner uses to cost and compare models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Registry name, e.g. `"yolox"`.
+    pub name: String,
+    pub task: TaskKind,
+    /// Virtual milliseconds charged per invocation (per frame for
+    /// detectors/frame classifiers, per object for classifiers).
+    pub cost: CostUnits,
+    /// Approximate recall on its task, in `[0, 1]`; used by the planner's
+    /// accuracy estimation before canary profiling refines it.
+    pub approx_recall: f32,
+}
+
+impl ModelProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, task: TaskKind, cost: CostUnits, approx_recall: f32) -> Self {
+        Self {
+            name: name.into(),
+            task,
+            cost,
+            approx_recall,
+        }
+    }
+}
+
+/// An object detector: frame in, labeled boxes out.
+pub trait Detector: Send + Sync {
+    /// Static metadata.
+    fn profile(&self) -> &ModelProfile;
+    /// Runs detection on `frame`, charging the clock.
+    fn detect(&self, frame: &Frame, clock: &Clock) -> Vec<Detection>;
+}
+
+/// A per-object attribute model (color, type, plate, embedding, ...).
+pub trait Classifier: Send + Sync {
+    /// Static metadata.
+    fn profile(&self) -> &ModelProfile;
+    /// Computes the attribute for one detection, charging the clock.
+    fn classify(&self, frame: &Frame, det: &Detection, clock: &Clock) -> Value;
+}
+
+/// A frame-level yes/no model ("does this frame plausibly contain a red
+/// car?"); the binary classifiers of §4.4.
+pub trait FrameClassifier: Send + Sync {
+    /// Static metadata.
+    fn profile(&self) -> &ModelProfile;
+    /// Predicts whether the frame is relevant, charging the clock.
+    fn predict(&self, frame: &Frame, clock: &Clock) -> bool;
+}
+
+/// A detected subject-object interaction (e.g. person hits ball).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoiTriple {
+    /// Index into the detections slice passed to the model.
+    pub subject_idx: usize,
+    /// Index into the detections slice passed to the model.
+    pub object_idx: usize,
+    /// Interaction label, e.g. `"hit"`.
+    pub kind: String,
+    pub score: f32,
+}
+
+/// A human-object-interaction model (the paper's UPT).
+pub trait HoiModel: Send + Sync {
+    /// Static metadata.
+    fn profile(&self) -> &ModelProfile;
+    /// Predicts interactions among `detections`, charging the clock.
+    fn interactions(&self, frame: &Frame, detections: &[Detection], clock: &Clock)
+        -> Vec<HoiTriple>;
+}

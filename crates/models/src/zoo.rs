@@ -1,0 +1,377 @@
+//! The model zoo: a registry of named models (the paper's "library"),
+//! including the standard set every experiment uses and a `register`
+//! API mirroring Figure 11's `vqpy.register(...)`.
+
+use crate::classifiers::{ColorClassifier, FeatureEmbedder, LabelClassifier, PlateRecognizer};
+use crate::detectors::{EntityPredicate, SimDetector};
+use crate::frame_filters::{FramePredicate, PresenceClassifier};
+use crate::hoi::SimHoi;
+use crate::traits::{Classifier, Detector, FrameClassifier, HoiModel, ModelProfile};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use vqpy_video::color::NamedColor;
+
+/// Virtual cost (ms) of the general YOLOX-class detector, per frame.
+pub const COST_GENERAL_DETECTOR: f64 = 30.0;
+/// Virtual cost of the person+ball detector used for interaction queries.
+pub const COST_PERSON_BALL_DETECTOR: f64 = 30.0;
+/// Virtual cost of the color model, per object crop.
+pub const COST_COLOR: f64 = 5.0;
+/// Virtual cost of the vehicle-type model, per object crop.
+pub const COST_VTYPE: f64 = 5.0;
+/// Virtual cost of the direction model, per object crop (CVIP only).
+pub const COST_DIRECTION: f64 = 5.0;
+/// Virtual cost of plate OCR, per object crop.
+pub const COST_PLATE: f64 = 7.0;
+/// Virtual cost of the re-id embedder, per object crop.
+pub const COST_REID: f64 = 9.0;
+/// Virtual cost of the UPT HOI model, per frame.
+pub const COST_HOI: f64 = 80.0;
+/// Virtual cost of the specialized red-car detector, per frame.
+pub const COST_RED_CAR_DETECTOR: f64 = 8.0;
+/// Virtual cost of frame-level binary classifiers, per frame.
+pub const COST_BINARY_CLASSIFIER: f64 = 1.5;
+/// Virtual cost of the cheap ball-presence filter (a pruned YOLOv5).
+pub const COST_BALL_FILTER: f64 = 4.0;
+/// Virtual cost of the specialized hit-action filter.
+pub const COST_ACTION_FILTER: f64 = 3.0;
+/// Virtual cost of decoding one video frame (charged by every engine
+/// that reads frames, so relative comparisons include the constant work).
+pub const COST_VIDEO_DECODE: f64 = 3.0;
+
+/// Error returned when a model name cannot be resolved or is registered at
+/// the wrong task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupModelError {
+    pub name: String,
+    pub expected: &'static str,
+}
+
+impl fmt::Display for LookupModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no {} model named `{}` in the zoo", self.expected, self.name)
+    }
+}
+
+impl std::error::Error for LookupModelError {}
+
+/// A thread-safe registry of named models.
+///
+/// Mirrors the paper's library + `register` extension point: experiments
+/// start from [`ModelZoo::standard`] and register their own specialized
+/// NNs and filters on top.
+#[derive(Default)]
+pub struct ModelZoo {
+    detectors: RwLock<HashMap<String, Arc<dyn Detector>>>,
+    classifiers: RwLock<HashMap<String, Arc<dyn Classifier>>>,
+    frame_classifiers: RwLock<HashMap<String, Arc<dyn FrameClassifier>>>,
+    hoi: RwLock<HashMap<String, Arc<dyn HoiModel>>>,
+}
+
+impl fmt::Debug for ModelZoo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelZoo")
+            .field("detectors", &self.detectors.read().keys().collect::<Vec<_>>())
+            .field("classifiers", &self.classifiers.read().keys().collect::<Vec<_>>())
+            .field(
+                "frame_classifiers",
+                &self.frame_classifiers.read().keys().collect::<Vec<_>>(),
+            )
+            .field("hoi", &self.hoi.read().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ModelZoo {
+    /// An empty zoo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard library zoo with all models the paper's evaluation uses.
+    pub fn standard() -> Arc<Self> {
+        let zoo = Self::new();
+        zoo.register_detector(Arc::new(SimDetector::general(
+            "yolox",
+            &["car", "bus", "truck", "person", "ball"],
+            COST_GENERAL_DETECTOR,
+            0.97,
+            0x101,
+        )));
+        zoo.register_detector(Arc::new(SimDetector::general(
+            "yolov8m",
+            &["car", "bus", "truck", "person", "ball"],
+            COST_GENERAL_DETECTOR,
+            0.97,
+            0x101, // same weights story as yolox for apples-to-apples runs
+        )));
+        zoo.register_detector(Arc::new(SimDetector::general(
+            "vehicle_detector",
+            &["car", "bus", "truck"],
+            22.0,
+            0.97,
+            0x103,
+        )));
+        zoo.register_detector(Arc::new(SimDetector::general(
+            "person_detector",
+            &["person"],
+            20.0,
+            0.97,
+            0x104,
+        )));
+        zoo.register_detector(Arc::new(SimDetector::general(
+            "person_ball_detector",
+            &["person", "ball"],
+            COST_PERSON_BALL_DETECTOR,
+            0.97,
+            0x105,
+        )));
+        let red_filter: EntityPredicate = Arc::new(|e| {
+            e.attrs
+                .as_vehicle()
+                .map(|a| a.color == NamedColor::Red)
+                .unwrap_or(false)
+        });
+        zoo.register_detector(Arc::new(SimDetector::specialized(
+            "red_car_detector",
+            &["car"],
+            COST_RED_CAR_DETECTOR,
+            0.93,
+            0x106,
+            red_filter,
+        )));
+        zoo.register_classifier(Arc::new(ColorClassifier::new(
+            "color_detect",
+            COST_COLOR,
+            0.03,
+            0x201,
+        )));
+        zoo.register_classifier(Arc::new(LabelClassifier::vehicle_type(
+            "vtype_detect",
+            COST_VTYPE,
+            0.03,
+            0x202,
+        )));
+        zoo.register_classifier(Arc::new(LabelClassifier::direction(
+            "direction_model",
+            COST_DIRECTION,
+            0.03,
+            0x203,
+        )));
+        zoo.register_classifier(Arc::new(LabelClassifier::person_action(
+            "action_classify",
+            5.0,
+            0.05,
+            0x204,
+        )));
+        zoo.register_classifier(Arc::new(PlateRecognizer::new(
+            "plate_recognize",
+            COST_PLATE,
+            0.02,
+            0x205,
+        )));
+        zoo.register_classifier(Arc::new(FeatureEmbedder::new(
+            "reid_embed",
+            COST_REID,
+            16,
+            0x206,
+        )));
+        let red_present: FramePredicate = Arc::new(|t| {
+            t.visible.iter().any(|v| {
+                v.attrs
+                    .as_vehicle()
+                    .map(|a| a.color == NamedColor::Red)
+                    .unwrap_or(false)
+            })
+        });
+        zoo.register_frame_classifier(Arc::new(PresenceClassifier::new(
+            "no_red_on_road",
+            COST_BINARY_CLASSIFIER,
+            red_present,
+            0.02,
+            0.06,
+            0x301,
+        )));
+        let ball_present: FramePredicate =
+            Arc::new(|t| t.visible.iter().any(|v| v.class_label == "ball"));
+        zoo.register_frame_classifier(Arc::new(PresenceClassifier::new(
+            "ball_presence_filter",
+            COST_BALL_FILTER,
+            ball_present,
+            0.03,
+            0.08,
+            0x302,
+        )));
+        let hit_likely: FramePredicate = Arc::new(|t| {
+            t.has_interaction(vqpy_video::InteractionKind::Hit)
+        });
+        zoo.register_frame_classifier(Arc::new(PresenceClassifier::new(
+            "hit_action_filter",
+            COST_ACTION_FILTER,
+            hit_likely,
+            0.10, // the 0.08-ish F1 loss of §5.3's specialized-model optimization
+            0.12,
+            0x303,
+        )));
+        zoo.register_hoi(Arc::new(SimHoi::new("upt_hoi", COST_HOI, 0.93, 0x401)));
+        Arc::new(zoo)
+    }
+
+    /// Registers (or replaces) a detector under its profile name.
+    pub fn register_detector(&self, model: Arc<dyn Detector>) {
+        self.detectors
+            .write()
+            .insert(model.profile().name.clone(), model);
+    }
+
+    /// Registers (or replaces) a per-object classifier.
+    pub fn register_classifier(&self, model: Arc<dyn Classifier>) {
+        self.classifiers
+            .write()
+            .insert(model.profile().name.clone(), model);
+    }
+
+    /// Registers (or replaces) a frame-level binary classifier.
+    pub fn register_frame_classifier(&self, model: Arc<dyn FrameClassifier>) {
+        self.frame_classifiers
+            .write()
+            .insert(model.profile().name.clone(), model);
+    }
+
+    /// Registers (or replaces) an HOI model.
+    pub fn register_hoi(&self, model: Arc<dyn HoiModel>) {
+        self.hoi.write().insert(model.profile().name.clone(), model);
+    }
+
+    /// Looks up a detector.
+    pub fn detector(&self, name: &str) -> Result<Arc<dyn Detector>, LookupModelError> {
+        self.detectors.read().get(name).cloned().ok_or(LookupModelError {
+            name: name.to_owned(),
+            expected: "detector",
+        })
+    }
+
+    /// Looks up a classifier.
+    pub fn classifier(&self, name: &str) -> Result<Arc<dyn Classifier>, LookupModelError> {
+        self.classifiers.read().get(name).cloned().ok_or(LookupModelError {
+            name: name.to_owned(),
+            expected: "classifier",
+        })
+    }
+
+    /// Looks up a frame classifier.
+    pub fn frame_classifier(
+        &self,
+        name: &str,
+    ) -> Result<Arc<dyn FrameClassifier>, LookupModelError> {
+        self.frame_classifiers
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(LookupModelError {
+                name: name.to_owned(),
+                expected: "frame classifier",
+            })
+    }
+
+    /// Looks up an HOI model.
+    pub fn hoi(&self, name: &str) -> Result<Arc<dyn HoiModel>, LookupModelError> {
+        self.hoi.read().get(name).cloned().ok_or(LookupModelError {
+            name: name.to_owned(),
+            expected: "HOI",
+        })
+    }
+
+    /// The profile of any registered model, regardless of task.
+    pub fn profile(&self, name: &str) -> Option<ModelProfile> {
+        if let Some(m) = self.detectors.read().get(name) {
+            return Some(m.profile().clone());
+        }
+        if let Some(m) = self.classifiers.read().get(name) {
+            return Some(m.profile().clone());
+        }
+        if let Some(m) = self.frame_classifiers.read().get(name) {
+            return Some(m.profile().clone());
+        }
+        if let Some(m) = self.hoi.read().get(name) {
+            return Some(m.profile().clone());
+        }
+        None
+    }
+
+    /// All registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .detectors
+            .read()
+            .keys()
+            .chain(self.classifiers.read().keys())
+            .chain(self.frame_classifiers.read().keys())
+            .chain(self.hoi.read().keys())
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_zoo_has_the_paper_models() {
+        let zoo = ModelZoo::standard();
+        for name in [
+            "yolox",
+            "yolov8m",
+            "color_detect",
+            "vtype_detect",
+            "direction_model",
+            "plate_recognize",
+            "reid_embed",
+            "red_car_detector",
+            "no_red_on_road",
+            "ball_presence_filter",
+            "hit_action_filter",
+            "upt_hoi",
+        ] {
+            assert!(zoo.profile(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn lookup_errors_name_the_task() {
+        let zoo = ModelZoo::standard();
+        let err = zoo.detector("color_detect").err().expect("should fail");
+        assert!(err.to_string().contains("detector"));
+        assert!(zoo.classifier("color_detect").is_ok());
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let zoo = ModelZoo::standard();
+        let before = zoo.profile("yolox").unwrap().cost;
+        zoo.register_detector(Arc::new(crate::detectors::SimDetector::general(
+            "yolox",
+            &["car"],
+            1.0,
+            0.5,
+            7,
+        )));
+        let after = zoo.profile("yolox").unwrap().cost;
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn names_are_sorted_and_complete() {
+        let zoo = ModelZoo::standard();
+        let names = zoo.names();
+        assert!(names.len() >= 12);
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,194 @@
+//! Row expressions: column references, literals, comparisons, boolean
+//! logic, and scalar-UDF calls.
+
+use crate::table::{Row, SchemaError, Table};
+use crate::udf::{ScalarUdf, UdfCtx};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vqpy_models::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlCmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A row-level expression.
+#[derive(Clone)]
+pub enum Expr {
+    Col(String),
+    Lit(Value),
+    Cmp(Box<Expr>, SqlCmp, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// Scalar UDF call; the engine charges its model cost plus the
+    /// per-invocation adaptation overhead.
+    Udf { udf: Arc<dyn ScalarUdf>, args: Vec<Expr> },
+}
+
+impl std::fmt::Debug for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(a, op, b) => write!(f, "({a:?} {op:?} {b:?})"),
+            Expr::And(a, b) => write!(f, "({a:?} AND {b:?})"),
+            Expr::Or(a, b) => write!(f, "({a:?} OR {b:?})"),
+            Expr::Not(a) => write!(f, "(NOT {a:?})"),
+            Expr::Udf { udf, args } => write!(f, "{}({args:?})", udf.name()),
+        }
+    }
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Col(name.to_owned())
+    }
+
+    /// Literal value.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self == other` convenience.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), SqlCmp::Eq, Box::new(other))
+    }
+
+    /// `self > other` convenience.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), SqlCmp::Gt, Box::new(other))
+    }
+
+    /// `self AND other` convenience.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Scalar UDF call.
+    pub fn udf(udf: Arc<dyn ScalarUdf>, args: Vec<Expr>) -> Expr {
+        Expr::Udf { udf, args }
+    }
+
+    /// Evaluates against a row; `col_index` maps names to positions.
+    pub fn eval(
+        &self,
+        row: &Row,
+        col_index: &HashMap<String, usize>,
+        ctx: &UdfCtx<'_>,
+    ) -> Result<Value, SchemaError> {
+        match self {
+            Expr::Col(name) => {
+                let i = col_index
+                    .get(name)
+                    .ok_or_else(|| SchemaError(format!("unknown column `{name}`")))?;
+                Ok(row[*i].clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(a, op, b) => {
+                let av = a.eval(row, col_index, ctx)?;
+                let bv = b.eval(row, col_index, ctx)?;
+                let eq = av.loose_eq(&bv);
+                let ord = av.compare(&bv);
+                let out = match op {
+                    SqlCmp::Eq => eq,
+                    SqlCmp::Ne => !eq && !av.is_null() && !bv.is_null(),
+                    SqlCmp::Lt => ord == Some(std::cmp::Ordering::Less),
+                    SqlCmp::Le => matches!(
+                        ord,
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    ),
+                    SqlCmp::Gt => ord == Some(std::cmp::Ordering::Greater),
+                    SqlCmp::Ge => matches!(
+                        ord,
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    ),
+                };
+                Ok(Value::Bool(out))
+            }
+            Expr::And(a, b) => Ok(Value::Bool(
+                a.eval(row, col_index, ctx)?.as_bool().unwrap_or(false)
+                    && b.eval(row, col_index, ctx)?.as_bool().unwrap_or(false),
+            )),
+            Expr::Or(a, b) => Ok(Value::Bool(
+                a.eval(row, col_index, ctx)?.as_bool().unwrap_or(false)
+                    || b.eval(row, col_index, ctx)?.as_bool().unwrap_or(false),
+            )),
+            Expr::Not(a) => Ok(Value::Bool(
+                !a.eval(row, col_index, ctx)?.as_bool().unwrap_or(false),
+            )),
+            Expr::Udf { udf, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row, col_index, ctx)?);
+                }
+                Ok(udf.eval(&vals, ctx))
+            }
+        }
+    }
+}
+
+/// Builds a name -> index map for a table.
+pub fn col_index(table: &Table) -> HashMap<String, usize> {
+    table
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.clone(), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqpy_models::{Clock, ModelZoo};
+
+    fn ctx<'a>(zoo: &'a ModelZoo, clock: &'a Clock) -> UdfCtx<'a> {
+        UdfCtx {
+            zoo,
+            clock,
+            frame: None,
+            adaptation_cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let zoo = ModelZoo::standard();
+        let clock = Clock::new();
+        let mut t = Table::new(&["label", "score"]);
+        t.push(vec![Value::from("car"), Value::Float(0.9)]);
+        let idx = col_index(&t);
+        let c = ctx(&zoo, &clock);
+        let e = Expr::col("label")
+            .eq(Expr::lit("car"))
+            .and(Expr::col("score").gt(Expr::lit(0.5)));
+        assert_eq!(
+            e.eval(&t.rows()[0], &idx, &c).unwrap(),
+            Value::Bool(true)
+        );
+        let e2 = Expr::Not(Box::new(Expr::col("label").eq(Expr::lit("car"))));
+        assert_eq!(
+            e2.eval(&t.rows()[0], &idx, &c).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let zoo = ModelZoo::standard();
+        let clock = Clock::new();
+        let t = Table::new(&["a"]);
+        let idx = col_index(&t);
+        let c = ctx(&zoo, &clock);
+        let e = Expr::col("b");
+        assert!(e.eval(&vec![Value::Int(1)], &idx, &c).is_err());
+    }
+}

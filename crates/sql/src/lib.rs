@@ -1,0 +1,46 @@
+//! # vqpy-sql
+//!
+//! An EVA-like SQL video analytics engine: the baseline VQPy is compared
+//! against in §5.2 of the paper.
+//!
+//! The engine reproduces the *structural* cost profile the paper attributes
+//! to SQL-based VDBMSes rather than EVA's constant factors:
+//!
+//! - frames are rows; `EXTRACT_OBJECT` materializes a detection table;
+//! - attribute models run as per-row scalar UDFs behind a DataFrame
+//!   adaptation shim (charged per invocation);
+//! - stateful properties need lagged self-joins (`Add1`);
+//! - every `CREATE TABLE AS` pays materialization and there are no views,
+//!   so nested statements re-execute their inputs;
+//! - there is **no object identity**, making object-level memoization
+//!   (VQPy's §4.2 reuse) inexpressible.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vqpy_models::{Clock, ModelZoo};
+//! use vqpy_sql::{engine::Database, queries};
+//! use vqpy_video::{presets, scene::Scene, source::{SyntheticVideo, VideoSource}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut db = Database::new(ModelZoo::standard());
+//! let video = SyntheticVideo::new(Scene::generate(presets::banff(), 1, 5.0));
+//! db.load_video("MyVideo", Arc::new(video) as Arc<dyn VideoSource>);
+//! let clock = Clock::new();
+//! let result = queries::red_car_query(&mut db, "MyVideo", &clock)?;
+//! println!("{} red-car rows, {:.1} virtual ms", result.len(), clock.virtual_ms());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod expr;
+pub mod queries;
+pub mod table;
+pub mod udf;
+
+pub use engine::{CostModel, Database, SqlError};
+pub use expr::{Expr, SqlCmp};
+pub use table::{Row, Table};
+pub use udf::{ClassifierUdf, ColorUdf, ScalarUdf, UdfCtx, VelocityUdf};

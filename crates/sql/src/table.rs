@@ -1,0 +1,116 @@
+//! Relational tables over [`Value`] rows.
+
+use std::fmt;
+use vqpy_models::Value;
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// An error for schema mismatches (unknown column, arity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// An in-memory table: named columns and value rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: &[&str]) -> Self {
+        Self {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] when the column does not exist.
+    pub fn col(&self, name: &str) -> Result<usize, SchemaError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| SchemaError(format!("unknown column `{name}`")))
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row arity does not match the schema.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != schema arity {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The value at `(row, column-name)`.
+    pub fn value(&self, row: usize, name: &str) -> Result<&Value, SchemaError> {
+        let c = self.col(name)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[c])
+            .ok_or_else(|| SchemaError(format!("row {row} out of range")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut t = Table::new(&["id", "label"]);
+        t.push(vec![Value::Int(0), Value::from("car")]);
+        t.push(vec![Value::Int(1), Value::from("person")]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(1, "label").unwrap(), &Value::from("person"));
+        assert!(t.value(0, "ghost").is_err());
+        assert!(t.value(5, "id").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec![Value::Int(1)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vqpy-tracker
+//!
+//! Multi-object tracking substrate for the VQPy reproduction: a
+//! constant-velocity Kalman filter, an O(n^3) Hungarian assignment solver,
+//! and a SORT-style tracker combining them.
+//!
+//! This is the "lightweight tracker based on the Kalman filter" of §4.2:
+//! the backend uses it both as the `object tracker` operator (motion edges,
+//! stateful properties) and to key intrinsic-property reuse by track id.
+//!
+//! ## Example
+//!
+//! ```
+//! use vqpy_tracker::{SortTracker, TrackerParams};
+//! use vqpy_video::geometry::{BBox, Point};
+//!
+//! let mut tracker = SortTracker::new(TrackerParams::default());
+//! let frame1 = [(BBox::from_center(Point::new(100.0, 50.0), 40.0, 20.0), "car")];
+//! let frame2 = [(BBox::from_center(Point::new(105.0, 50.0), 40.0, 20.0), "car")];
+//! let a = tracker.update(&frame1);
+//! let b = tracker.update(&frame2);
+//! assert_eq!(a[0].track_id, b[0].track_id); // same physical object
+//! ```
+
+pub mod hungarian;
+pub mod kalman;
+pub mod matrix;
+pub mod sort;
+
+pub use kalman::KalmanFilter;
+pub use sort::{SortTracker, TrackId, TrackUpdate, TrackerParams};

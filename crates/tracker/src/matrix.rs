@@ -1,0 +1,204 @@
+//! Minimal fixed-size matrix arithmetic for the Kalman filter.
+//!
+//! Dimensions are const generics, so shape errors are compile errors and no
+//! allocation happens on the tracking hot path.
+
+/// An `R x C` matrix of `f32`, stored row-major.
+pub type Mat<const R: usize, const C: usize> = [[f32; C]; R];
+
+/// The `N x N` identity matrix.
+pub fn identity<const N: usize>() -> Mat<N, N> {
+    let mut m = [[0.0; N]; N];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+/// Matrix product `a * b`.
+pub fn matmul<const R: usize, const K: usize, const C: usize>(
+    a: &Mat<R, K>,
+    b: &Mat<K, C>,
+) -> Mat<R, C> {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for k in 0..K {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..C {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// Matrix-vector product `a * v`.
+pub fn matvec<const R: usize, const C: usize>(a: &Mat<R, C>, v: &[f32; C]) -> [f32; R] {
+    let mut out = [0.0; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i] += a[i][j] * v[j];
+        }
+    }
+    out
+}
+
+/// Transpose.
+pub fn transpose<const R: usize, const C: usize>(a: &Mat<R, C>) -> Mat<C, R> {
+    let mut out = [[0.0; R]; C];
+    for i in 0..R {
+        for j in 0..C {
+            out[j][i] = a[i][j];
+        }
+    }
+    out
+}
+
+/// Element-wise sum.
+pub fn add<const R: usize, const C: usize>(a: &Mat<R, C>, b: &Mat<R, C>) -> Mat<R, C> {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    out
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub<const R: usize, const C: usize>(a: &Mat<R, C>, b: &Mat<R, C>) -> Mat<R, C> {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i][j] = a[i][j] - b[i][j];
+        }
+    }
+    out
+}
+
+/// Inverse by Gauss-Jordan elimination with partial pivoting.
+///
+/// Returns `None` for (near-)singular matrices.
+pub fn invert<const N: usize>(a: &Mat<N, N>) -> Option<Mat<N, N>> {
+    let mut aug = [[0.0f64; 16]; 8]; // generous static scratch: N <= 8
+    assert!(N <= 8, "invert supports N <= 8");
+    for i in 0..N {
+        for j in 0..N {
+            aug[i][j] = a[i][j] as f64;
+        }
+        aug[i][N + i] = 1.0;
+    }
+    for col in 0..N {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in (col + 1)..N {
+            if aug[r][col].abs() > aug[pivot][col].abs() {
+                pivot = r;
+            }
+        }
+        if aug[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(pivot, col);
+        let div = aug[col][col];
+        for j in 0..(2 * N) {
+            aug[col][j] /= div;
+        }
+        for r in 0..N {
+            if r == col {
+                continue;
+            }
+            let factor = aug[r][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..(2 * N) {
+                aug[r][j] -= factor * aug[col][j];
+            }
+        }
+    }
+    let mut out = [[0.0f32; N]; N];
+    for i in 0..N {
+        for j in 0..N {
+            out[i][j] = aug[i][N + j] as f32;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq<const R: usize, const C: usize>(a: &Mat<R, C>, b: &Mat<R, C>, tol: f32) -> bool {
+        (0..R).all(|i| (0..C).all(|j| (a[i][j] - b[i][j]).abs() < tol))
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a: Mat<3, 3> = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]];
+        let i = identity::<3>();
+        assert!(approx_eq(&matmul(&a, &i), &a, 1e-6));
+        assert!(approx_eq(&matmul(&i, &a), &a, 1e-6));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a: Mat<3, 3> = [[4.0, 7.0, 2.0], [3.0, 6.0, 1.0], [2.0, 5.0, 3.0]];
+        let inv = invert(&a).expect("invertible");
+        let prod = matmul(&a, &inv);
+        assert!(approx_eq(&prod, &identity::<3>(), 1e-4), "{prod:?}");
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a: Mat<2, 2> = [[1.0, 2.0], [2.0, 4.0]];
+        assert!(invert(&a).is_none());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity_op() {
+        let a: Mat<2, 3> = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a: Mat<2, 2> = [[1.0, 2.0], [3.0, 4.0]];
+        let v = [5.0, 6.0];
+        let got = matvec(&a, &v);
+        assert_eq!(got, [17.0, 39.0]);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a: Mat<2, 2> = [[1.0, 2.0], [3.0, 4.0]];
+        let b: Mat<2, 2> = [[0.5, 0.5], [0.5, 0.5]];
+        assert_eq!(sub(&add(&a, &b), &b), a);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn random_invertible_roundtrip(seed in 0u64..500) {
+            // Build a diagonally-dominant (hence invertible) 4x4 matrix.
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                ((x % 1000) as f32) / 100.0 - 5.0
+            };
+            let mut a: Mat<4, 4> = [[0.0; 4]; 4];
+            for i in 0..4 {
+                for j in 0..4 {
+                    a[i][j] = next();
+                }
+                a[i][i] += 25.0;
+            }
+            let inv = invert(&a).expect("diagonally dominant is invertible");
+            let prod = matmul(&a, &inv);
+            proptest::prop_assert!(approx_eq(&prod, &identity::<4>(), 1e-2));
+        }
+    }
+}

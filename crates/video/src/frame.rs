@@ -1,0 +1,228 @@
+//! Frame and pixel-buffer types.
+//!
+//! Frames carry a *real* (if low-resolution) RGB pixel buffer so that frame
+//! differencing filters and the pixel-reading color classifier do genuine
+//! computation, plus an `Arc` to the frame's ground truth used by simulated
+//! model inference and by accuracy scoring.
+
+use crate::geometry::BBox;
+use crate::scene::GroundTruth;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// A downscaled RGB8 image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelBuffer {
+    width: u32,
+    height: u32,
+    /// Ratio of full-resolution coordinates to buffer pixels.
+    scale: u32,
+    data: Bytes,
+}
+
+impl PixelBuffer {
+    /// Wraps raw RGB8 data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * 3`.
+    pub fn from_rgb(width: u32, height: u32, scale: u32, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            (width * height * 3) as usize,
+            "pixel data must be width * height * 3 bytes"
+        );
+        Self {
+            width,
+            height,
+            scale,
+            data: Bytes::from(data),
+        }
+    }
+
+    /// Buffer width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Full-resolution-to-buffer downscale factor.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Raw RGB8 bytes, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The RGB value at buffer coordinates `(x, y)`; `None` out of bounds.
+    pub fn pixel(&self, x: u32, y: u32) -> Option<[u8; 3]> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        let i = ((y * self.width + x) * 3) as usize;
+        Some([self.data[i], self.data[i + 1], self.data[i + 2]])
+    }
+
+    /// Mean RGB over the crop of a full-resolution `bbox`, or `None` when
+    /// the crop covers no buffer pixels.
+    pub fn mean_rgb_in(&self, bbox: &BBox) -> Option<[u8; 3]> {
+        let s = self.scale as f32;
+        let x1 = (bbox.x1 / s).floor().max(0.0) as u32;
+        let y1 = (bbox.y1 / s).floor().max(0.0) as u32;
+        let x2 = ((bbox.x2 / s).ceil() as u32).min(self.width);
+        let y2 = ((bbox.y2 / s).ceil() as u32).min(self.height);
+        if x1 >= x2 || y1 >= y2 {
+            return None;
+        }
+        let mut sum = [0u64; 3];
+        let mut n = 0u64;
+        for y in y1..y2 {
+            let row = ((y * self.width + x1) * 3) as usize;
+            for x in 0..(x2 - x1) {
+                let i = row + (x * 3) as usize;
+                sum[0] += self.data[i] as u64;
+                sum[1] += self.data[i + 1] as u64;
+                sum[2] += self.data[i + 2] as u64;
+                n += 1;
+            }
+        }
+        Some([
+            (sum[0] / n) as u8,
+            (sum[1] / n) as u8,
+            (sum[2] / n) as u8,
+        ])
+    }
+
+    /// The dominant (modal, quantized) RGB over the crop of a
+    /// full-resolution `bbox`. More robust than the mean when the crop
+    /// includes background; this is what the simulated color model uses.
+    pub fn dominant_rgb_in(&self, bbox: &BBox) -> Option<[u8; 3]> {
+        let s = self.scale as f32;
+        let x1 = (bbox.x1 / s).floor().max(0.0) as u32;
+        let y1 = (bbox.y1 / s).floor().max(0.0) as u32;
+        let x2 = ((bbox.x2 / s).ceil() as u32).min(self.width);
+        let y2 = ((bbox.y2 / s).ceil() as u32).min(self.height);
+        if x1 >= x2 || y1 >= y2 {
+            return None;
+        }
+        // Quantize to 4 bits per channel and take the mode.
+        let mut counts: std::collections::HashMap<u16, (u32, [u32; 3])> =
+            std::collections::HashMap::new();
+        for y in y1..y2 {
+            for x in x1..x2 {
+                let p = self.pixel(x, y).expect("in bounds by construction");
+                let key = ((p[0] as u16 >> 4) << 8) | ((p[1] as u16 >> 4) << 4) | (p[2] as u16 >> 4);
+                let e = counts.entry(key).or_insert((0, [0, 0, 0]));
+                e.0 += 1;
+                e.1[0] += p[0] as u32;
+                e.1[1] += p[1] as u32;
+                e.1[2] += p[2] as u32;
+            }
+        }
+        let (_, (n, sums)) = counts.into_iter().max_by_key(|(_, (n, _))| *n)?;
+        Some([(sums[0] / n) as u8, (sums[1] / n) as u8, (sums[2] / n) as u8])
+    }
+
+    /// Mean absolute per-channel difference with `other` (same dimensions
+    /// required); used by differencing frame filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mean_abs_diff(&self, other: &PixelBuffer) -> f32 {
+        assert_eq!(self.width, other.width, "buffer widths must match");
+        assert_eq!(self.height, other.height, "buffer heights must match");
+        let mut sum = 0u64;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            sum += (*a as i32 - *b as i32).unsigned_abs() as u64;
+        }
+        sum as f32 / self.data.len() as f32
+    }
+}
+
+/// One video frame: index, timestamp, pixels, and ground-truth handle.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Identifier of the source video (distinguishes clips in caches).
+    pub video_id: u64,
+    /// Frame index within the video.
+    pub index: u64,
+    /// Seconds since the start of the video.
+    pub time_s: f64,
+    /// Rendered pixels.
+    pub pixels: PixelBuffer,
+    /// Ground truth for simulated inference and scoring. Real systems do not
+    /// have this; only `vqpy-models` and scorers may read it.
+    pub truth: Arc<GroundTruth>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(width: u32, height: u32, rgb: [u8; 3]) -> PixelBuffer {
+        let mut data = Vec::with_capacity((width * height * 3) as usize);
+        for _ in 0..(width * height) {
+            data.extend_from_slice(&rgb);
+        }
+        PixelBuffer::from_rgb(width, height, 8, data)
+    }
+
+    #[test]
+    fn pixel_access() {
+        let b = solid(4, 4, [10, 20, 30]);
+        assert_eq!(b.pixel(0, 0), Some([10, 20, 30]));
+        assert_eq!(b.pixel(4, 0), None);
+    }
+
+    #[test]
+    fn mean_rgb_of_solid_buffer() {
+        let b = solid(8, 8, [100, 150, 200]);
+        let bbox = BBox::new(0.0, 0.0, 64.0, 64.0); // full-res coords, scale 8
+        assert_eq!(b.mean_rgb_in(&bbox), Some([100, 150, 200]));
+    }
+
+    #[test]
+    fn dominant_rgb_prefers_majority() {
+        // Left half red, right half blue, crop over left 3/4: red dominates.
+        let w = 8u32;
+        let h = 4u32;
+        let mut data = Vec::new();
+        for _y in 0..h {
+            for x in 0..w {
+                if x < w / 2 {
+                    data.extend_from_slice(&[200, 0, 0]);
+                } else {
+                    data.extend_from_slice(&[0, 0, 200]);
+                }
+            }
+        }
+        let b = PixelBuffer::from_rgb(w, h, 8, data);
+        let crop = BBox::new(0.0, 0.0, 48.0, 32.0); // 6x4 buffer pixels
+        let rgb = b.dominant_rgb_in(&crop).unwrap();
+        assert!(rgb[0] > rgb[2], "expected red-dominant, got {rgb:?}");
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_identical() {
+        let a = solid(4, 4, [50, 50, 50]);
+        let b = solid(4, 4, [50, 50, 50]);
+        assert_eq!(a.mean_abs_diff(&b), 0.0);
+        let c = solid(4, 4, [60, 50, 50]);
+        assert!((a.mean_abs_diff(&c) - 10.0 / 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_crop_returns_none() {
+        let b = solid(4, 4, [1, 2, 3]);
+        let off = BBox::new(1000.0, 1000.0, 1010.0, 1010.0);
+        assert_eq!(b.mean_rgb_in(&off), None);
+        assert_eq!(b.dominant_rgb_in(&off), None);
+    }
+}

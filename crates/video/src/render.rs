@@ -1,0 +1,164 @@
+//! Rasterization of scenes into pixel buffers.
+//!
+//! Entities are drawn as filled rectangles of their attribute color over a
+//! road-textured background, in z order, with deterministic per-pixel noise.
+//! This is intentionally simple — what downstream code needs is that (a)
+//! frames with motion differ from frames without, and (b) a crop of an
+//! entity is dominated by its ground-truth color.
+
+use crate::frame::PixelBuffer;
+use crate::scene::Scene;
+
+/// Deterministic per-pixel hash noise in `[-amp, amp]`.
+fn noise(x: u32, y: u32, seed: u64, amp: i32) -> i32 {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((x as u64) << 32 | y as u64);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    ((h % (2 * amp as u64 + 1)) as i32) - amp
+}
+
+fn put(data: &mut [u8], w: u32, x: u32, y: u32, rgb: [u8; 3]) {
+    let i = ((y * w + x) * 3) as usize;
+    data[i] = rgb[0];
+    data[i + 1] = rgb[1];
+    data[i + 2] = rgb[2];
+}
+
+/// Renders frame `frame` of `scene` into a downscaled RGB buffer.
+///
+/// The buffer dimensions are `resolution / preset.render_scale`. Rendering
+/// is deterministic: the same scene and frame always produce identical
+/// bytes, which keeps differencing-filter behaviour reproducible.
+pub fn render_frame(scene: &Scene, frame: u64) -> PixelBuffer {
+    let preset = &scene.preset;
+    let scale = preset.render_scale.max(1);
+    let bw = (preset.width / scale).max(1);
+    let bh = (preset.height / scale).max(1);
+    let mut data = vec![0u8; (bw * bh * 3) as usize];
+
+    // Background: asphalt-gray roads on darker ground, static per scene.
+    let road_y = (0.46 * bh as f32) as u32..(0.64 * bh as f32) as u32;
+    let road_x = (0.42 * bw as f32) as u32..(0.58 * bw as f32) as u32;
+    for y in 0..bh {
+        for x in 0..bw {
+            let base: [u8; 3] = if road_y.contains(&y) || road_x.contains(&x) {
+                [95, 95, 98]
+            } else if preset.is_day {
+                [70, 110, 70]
+            } else {
+                [30, 40, 30]
+            };
+            let n = noise(x, y, 0xBACC_0FFE, 4);
+            let rgb = [
+                (base[0] as i32 + n).clamp(0, 255) as u8,
+                (base[1] as i32 + n).clamp(0, 255) as u8,
+                (base[2] as i32 + n).clamp(0, 255) as u8,
+            ];
+            put(&mut data, bw, x, y, rgb);
+        }
+    }
+
+    // Entities in z order.
+    let truth = scene.truth_at(frame);
+    let mut order: Vec<usize> = (0..truth.visible.len()).collect();
+    order.sort_by_key(|&i| {
+        scene
+            .entity(truth.visible[i].entity)
+            .map(|e| e.z)
+            .unwrap_or(0)
+    });
+    let s = scale as f32;
+    for i in order {
+        let v = &truth.visible[i];
+        let rgb = v.attrs.render_color().rgb();
+        let x1 = (v.bbox.x1 / s).floor().max(0.0) as u32;
+        let y1 = (v.bbox.y1 / s).floor().max(0.0) as u32;
+        let x2 = ((v.bbox.x2 / s).ceil() as u32).min(bw);
+        let y2 = ((v.bbox.y2 / s).ceil() as u32).min(bh);
+        for y in y1..y2 {
+            for x in x1..x2 {
+                // Slight shading noise so crops are not constant-color.
+                let n = noise(x, y, v.entity ^ 0xCAFE, 6);
+                let px = [
+                    (rgb[0] as i32 + n).clamp(0, 255) as u8,
+                    (rgb[1] as i32 + n).clamp(0, 255) as u8,
+                    (rgb[2] as i32 + n).clamp(0, 255) as u8,
+                ];
+                put(&mut data, bw, x, y, px);
+            }
+        }
+    }
+
+    PixelBuffer::from_rgb(bw, bh, scale, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::NamedColor;
+    use crate::entity::VehicleType;
+    use crate::geometry::Point;
+    use crate::presets;
+    use crate::scene::SceneBuilder;
+    use crate::trajectory::Trajectory;
+
+    fn one_car_scene(color: NamedColor) -> (Scene, u64) {
+        let preset = presets::banff();
+        let w = preset.width as f32;
+        let h = preset.height as f32;
+        let mut b = SceneBuilder::new(preset, 10.0);
+        let tr = Trajectory::linear(
+            Point::new(-200.0, 0.55 * h),
+            Point::new(w + 200.0, 0.55 * h),
+            0.0,
+            10.0,
+        );
+        let id = b.add_vehicle(color, VehicleType::Suv, tr);
+        (b.build(), id)
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let (scene, _) = one_car_scene(NamedColor::Red);
+        let a = render_frame(&scene, 30);
+        let b = render_frame(&scene, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moving_entity_changes_pixels() {
+        let (scene, _) = one_car_scene(NamedColor::Red);
+        let a = render_frame(&scene, 30);
+        let b = render_frame(&scene, 60);
+        assert!(a.mean_abs_diff(&b) > 0.1, "motion must show up in pixels");
+    }
+
+    #[test]
+    fn empty_frames_are_nearly_identical() {
+        let preset = presets::banff();
+        let scene = SceneBuilder::new(preset, 10.0).build();
+        let a = render_frame(&scene, 0);
+        let b = render_frame(&scene, 50);
+        assert!(a.mean_abs_diff(&b) < 0.01, "static background must not differ");
+    }
+
+    #[test]
+    fn crop_color_matches_entity_color() {
+        for color in [NamedColor::Red, NamedColor::Green, NamedColor::Blue] {
+            let (scene, id) = one_car_scene(color);
+            let frame = scene.frame_count() / 2;
+            let buf = render_frame(&scene, frame);
+            let truth = scene.truth_at(frame);
+            let v = truth.entity(id).expect("car visible");
+            let rgb = buf.dominant_rgb_in(&v.bbox).expect("crop non-empty");
+            assert_eq!(
+                crate::color::NamedColor::nearest(rgb),
+                color,
+                "rendered crop should classify as {color}"
+            );
+        }
+    }
+}

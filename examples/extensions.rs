@@ -1,0 +1,60 @@
+//! Figures 11/12: registering optimizations — a specialized red-car
+//! detector, a binary classifier, and a differencing frame filter — and
+//! letting the planner's canary profiling decide which plan ships.
+//!
+//! Run with `cargo run --example extensions`.
+
+use vqpy::core::frontend::library;
+use vqpy::core::frontend::predicate::Pred;
+use vqpy::core::{
+    BinaryFilterReg, FrameFilterReg, Query, SpecializedNnReg, VqpySession,
+};
+use vqpy::models::{ModelZoo, Value};
+use vqpy::video::{presets, Scene, SyntheticVideo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 5, 90.0));
+    let query = Query::builder("RedCar")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
+        .accuracy_target(0.85)
+        .build()?;
+
+    // Without extensions: the baseline plan runs as-is.
+    let plain = VqpySession::new(ModelZoo::standard());
+    let baseline = plain.execute(&query, &video)?;
+    let baseline_ms = plain.clock().virtual_ms();
+
+    // Figure 11: register a specialized NN and a binary classifier on the
+    // (inherited) Vehicle VObj; Figure 12: a differencing frame filter.
+    // Both models already live in the standard zoo; registration tells the
+    // *planner* it may use them for this VObj.
+    let session = VqpySession::new(ModelZoo::standard());
+    session.extensions().register_specialized_nn(SpecializedNnReg {
+        schema: "Vehicle".into(),
+        detector: "red_car_detector".into(),
+        prop: "color".into(),
+        value: Value::from("red"),
+    });
+    session.extensions().register_binary_filter(BinaryFilterReg {
+        schema: "Vehicle".into(),
+        model: "no_red_on_road".into(),
+    });
+    session.extensions().register_frame_filter(FrameFilterReg { threshold: 0.05 });
+
+    let optimized = session.execute(&query, &video)?;
+    let optimized_ms = session.clock().virtual_ms();
+
+    println!("canary profiling over candidate plans:");
+    for p in session.last_profiles() {
+        println!("  {:<40} F1 {:.3}  cost {:>10.1} ms", p.label, p.f1, p.cost_ms);
+    }
+    println!();
+    println!("baseline : {baseline_ms:>10.1} ms, {} hit frames", baseline.frame_hits.len());
+    println!(
+        "optimized: {optimized_ms:>10.1} ms, {} hit frames ({:.1}x speedup)",
+        optimized.frame_hits.len(),
+        baseline_ms / optimized_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Figure 8: the hit-and-run query — a collision event (spatial
+//! composition) followed by the car speeding away (temporal composition).
+//!
+//! Run with `cargo run --example hit_and_run`.
+
+use std::sync::Arc;
+use vqpy::core::frontend::compose::{temporal_query, QueryExpr};
+use vqpy::core::frontend::library;
+use vqpy::core::frontend::predicate::Pred;
+use vqpy::core::{Query, VqpySession};
+use vqpy::models::ModelZoo;
+use vqpy::video::{presets, InteractionKind, NamedColor, PersonAction, ScriptedEvent,
+    SceneBuilder, SyntheticVideo, Trajectory, VehicleType};
+use vqpy::video::geometry::Point;
+
+/// Scripts a hit-and-run: a car approaches a pedestrian, nearly stops at
+/// the collision point, then accelerates away.
+fn scripted_scene() -> vqpy::video::Scene {
+    let preset = presets::jackson();
+    let (w, h) = (preset.width as f32, preset.height as f32);
+    let mut b = SceneBuilder::new(preset, 60.0);
+
+    // The pedestrian crossing the road.
+    let person = b.add_person(
+        NamedColor::Blue,
+        PersonAction::Walking,
+        Trajectory::linear(
+            Point::new(0.40 * w, 0.30 * h),
+            Point::new(0.40 * w, 0.75 * h),
+            5.0,
+            35.0,
+        ),
+    );
+    // The car: normal approach (0-20s), collision window around t=20,
+    // then a fast escape (20-26s covers the remaining half of the road).
+    let car = b.add_vehicle(
+        NamedColor::Black,
+        VehicleType::Sedan,
+        Trajectory::from_waypoints(vec![
+            vqpy::video::Waypoint { t: 2.0, pos: Point::new(-0.05 * w, 0.52 * h) },
+            vqpy::video::Waypoint { t: 20.0, pos: Point::new(0.40 * w, 0.52 * h) },
+            vqpy::video::Waypoint { t: 26.0, pos: Point::new(1.05 * w, 0.52 * h) },
+        ]),
+    );
+    b.add_event(ScriptedEvent::new(InteractionKind::Collide, car, person, 19.5, 20.5));
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let video = SyntheticVideo::new(scripted_scene());
+    let fps = 15u64;
+
+    // Sub-query 1 (car-hit-person): the library CollisionQuery, a sub-query
+    // of the higher-order SpatialQuery (Rule 1: basic inputs only).
+    let car_q: Arc<Query> = Query::builder("Car")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .build()?;
+    let person_q: Arc<Query> = Query::builder("Person")
+        .vobj("person", library::person_schema())
+        .frame_constraint(Pred::gt("person", "score", 0.5))
+        .build()?;
+    let collision = library::collision_query(
+        "CarHitPerson",
+        &car_q,
+        "car",
+        &person_q,
+        "person",
+        140.0, // pixels: "distance smaller than a threshold"
+    )?;
+
+    // Sub-query 2 (car-run-away): the library SpeedQuery. The escape leg
+    // covers half the road in 6 s (~14 px/frame); the approach is ~3.
+    let speed_threshold = 8.0;
+    let run_away = QueryExpr::basic(library::speed_query(
+        "CarRunAway",
+        "car2",
+        library::vehicle_schema(),
+        speed_threshold,
+    )?);
+
+    // Compose with a SequentialQuery (a sub-query of TemporalQuery,
+    // Rule 3): the escape must start within 10 seconds of the collision.
+    let hit_and_run = temporal_query(collision, run_away, 10 * fps)?;
+    println!("composed query: {}", hit_and_run.describe());
+
+    let session = VqpySession::new(ModelZoo::standard());
+    let result = session.execute_expr(&hit_and_run, &video)?;
+
+    if result.satisfied {
+        for (hit_frame, run_frame) in result.pairs.iter().take(3) {
+            println!(
+                "HIT AND RUN: collision near t={:.1}s, escape at t={:.1}s",
+                *hit_frame as f64 / fps as f64,
+                *run_frame as f64 / fps as f64
+            );
+        }
+        println!("({} matching event pairs total)", result.pairs.len());
+    } else {
+        println!("no hit-and-run found");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! §5.4 use case 1: loitering alerting (Cisco DeepVision) — a person
+//! standing in a restricted region for more than a time threshold,
+//! expressed with a `DurationQuery` (Rule 2: duration over a basic query).
+//!
+//! Run with `cargo run --example loitering`.
+
+use std::sync::Arc;
+use vqpy::core::frontend::compose::{duration_query, QueryExpr};
+use vqpy::core::frontend::library;
+use vqpy::core::frontend::predicate::Pred;
+use vqpy::core::frontend::property::{NativeFn, PropertyDef};
+use vqpy::core::frontend::vobj::VObjSchema;
+use vqpy::core::{Query, VqpySession};
+use vqpy::models::{ModelZoo, Value};
+use vqpy::video::{presets, Scene, SyntheticVideo, VideoSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Auburn-style scene: its preset plants some loiterers among walkers.
+    let scene = Scene::generate(presets::auburn(), 7, 180.0);
+    let restricted = scene.crosswalk_region();
+    let video = SyntheticVideo::new(scene);
+    let fps = video.fps() as u64;
+
+    // A Person sub-VObj with an `in_restricted` native property.
+    let in_region: NativeFn = Arc::new(move |ctx| match ctx.dep("bbox").as_bbox() {
+        Some(b) => Value::Bool(restricted.contains(&b.center())),
+        None => Value::Bool(false),
+    });
+    let watched_person = VObjSchema::builder("WatchedPerson")
+        .parent(library::person_schema())
+        .property(PropertyDef::stateless_native(
+            "in_restricted",
+            &["bbox"],
+            false,
+            in_region,
+        ))
+        .build();
+
+    // Base query: a slow/stationary person inside the restricted region.
+    let lingering: Arc<Query> = Query::builder("PersonInRestrictedArea")
+        .vobj("person", watched_person)
+        .frame_constraint(
+            Pred::gt("person", "score", 0.5)
+                & Pred::eq("person", "in_restricted", true)
+                & Pred::lt("person", "speed", 1.5),
+        )
+        .build()?;
+
+    // DurationQuery: the condition must hold for at least 20 seconds
+    // (scaled-down stand-in for the paper's "loitering for more than
+    // 20 mins"), tolerating 1s detector flicker.
+    let loitering = duration_query(QueryExpr::basic(lingering), 20 * fps, fps)?;
+
+    let session = VqpySession::new(ModelZoo::standard());
+    let result = session.execute_expr(&loitering, &video)?;
+
+    if result.satisfied {
+        let first = result.frames.first().copied().unwrap_or(0);
+        let last = result.frames.last().copied().unwrap_or(0);
+        println!(
+            "LOITERING ALERT: sustained presence from t={:.0}s to t={:.0}s ({} frames)",
+            first as f64 / fps as f64,
+            last as f64 / fps as f64,
+            result.frames.len()
+        );
+    } else {
+        println!("no loitering detected");
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! §5.4 use case 2: queue analytics (Cisco DeepVision) — tracking how many
+//! people wait in a service region over time, with per-frame and video
+//! aggregates.
+//!
+//! Run with `cargo run --example queue_analysis`.
+
+use std::sync::Arc;
+use vqpy::core::frontend::library;
+use vqpy::core::frontend::predicate::Pred;
+use vqpy::core::frontend::property::{NativeFn, PropertyDef};
+use vqpy::core::frontend::vobj::VObjSchema;
+use vqpy::core::{Aggregate, Query, VqpySession};
+use vqpy::models::{ModelZoo, Value};
+use vqpy::video::{presets, Scene, SyntheticVideo, VideoSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene = Scene::generate(presets::auburn(), 31, 120.0);
+    // The "queue" region: the sidewalk area near the crossing.
+    let queue_region = scene.crosswalk_region();
+    let video = SyntheticVideo::new(scene);
+
+    let in_queue: NativeFn = Arc::new(move |ctx| match ctx.dep("bbox").as_bbox() {
+        Some(b) => Value::Bool(queue_region.contains(&b.center())),
+        None => Value::Bool(false),
+    });
+    let customer = VObjSchema::builder("Customer")
+        .parent(library::person_schema())
+        .property(PropertyDef::stateless_native("in_queue", &["bbox"], false, in_queue))
+        .build();
+
+    // Average queue length per frame.
+    let avg_q: Arc<Query> = Query::builder("AvgQueueLength")
+        .vobj("person", Arc::clone(&customer))
+        .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "in_queue", true))
+        .video_output(Aggregate::AvgPerFrame { alias: "person".into() })
+        .build()?;
+    // Peak queue length.
+    let max_q: Arc<Query> = Query::builder("PeakQueueLength")
+        .vobj("person", Arc::clone(&customer))
+        .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "in_queue", true))
+        .video_output(Aggregate::MaxPerFrame { alias: "person".into() })
+        .build()?;
+    // Distinct customers served (tracker identity).
+    let customers: Arc<Query> = Query::builder("DistinctCustomers")
+        .vobj("person", customer)
+        .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "in_queue", true))
+        .video_output(Aggregate::CountDistinctTracks { alias: "person".into() })
+        .build()?;
+
+    // All three share one pipeline: detector, tracker, and the in_queue
+    // property run once (the multi-query sharing of §5.3's VQPy-Opt).
+    let session = VqpySession::new(ModelZoo::standard());
+    let results = session.execute_shared(&[avg_q, max_q, customers], &video)?;
+
+    println!("queue analysis over {:.0}s:", video.duration_s());
+    for r in &results {
+        println!(
+            "  {}: {}",
+            r.query_name,
+            r.video_value.as_ref().expect("aggregate set")
+        );
+    }
+    println!(
+        "shared pipeline cost: {:.1} virtual ms ({} frames)",
+        session.clock().virtual_ms(),
+        results[0].metrics.frames_total
+    );
+    Ok(())
+}

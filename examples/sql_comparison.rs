@@ -1,0 +1,64 @@
+//! Figures 20-25 (Appendix A): the same red-speeding-car query written
+//! against the VQPy frontend and against the EVA-like SQL engine, run on
+//! the same video with the same models — the expressiveness and
+//! performance comparison of §5.2 in one binary.
+//!
+//! Run with `cargo run --example sql_comparison`.
+
+use std::sync::Arc;
+use vqpy::core::frontend::library;
+use vqpy::core::frontend::predicate::Pred;
+use vqpy::core::{Query, VqpySession};
+use vqpy::models::{Clock, ModelZoo};
+use vqpy::sql::engine::Database;
+use vqpy::sql::queries;
+use vqpy::video::{presets, Scene, SyntheticVideo, VideoSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let preset = presets::banff();
+    let threshold = preset.speeding_threshold_px_per_frame() as f64;
+    let video = SyntheticVideo::new(Scene::generate(preset, 11, 120.0));
+
+    // ---- VQPy side (Figure 25): ~10 lines of query ----------------------
+    let query = Query::builder("QueryRedSpeedingCar")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(
+            Pred::gt("car", "score", 0.6)
+                & Pred::eq("car", "color", "red")
+                & Pred::gt("car", "speed", threshold),
+        )
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()?;
+    let session = VqpySession::new(ModelZoo::standard());
+    let vqpy_result = session.execute(&query, &video)?;
+    let vqpy_ms = session.clock().virtual_ms();
+
+    // ---- EVA side (Figure 24): LOAD VIDEO, CREATE FUNCTION x3, CREATE
+    // TABLE x3, a lag self-join, an equi-join, and a final SELECT ---------
+    let mut db = Database::new(ModelZoo::standard());
+    db.load_video("MyVideo", Arc::new(video) as Arc<dyn VideoSource>);
+    let clock = Clock::new();
+    let eva_result = queries::red_speeding_query_naive(&mut db, "MyVideo", threshold, &clock)?;
+    let eva_ms = clock.virtual_ms();
+
+    println!("red speeding cars, identical models on both sides:");
+    println!(
+        "  VQPy : {:>4} hit frames in {:>10.1} virtual ms",
+        vqpy_result.frame_hits.len(),
+        vqpy_ms
+    );
+    println!(
+        "  EVA  : {:>4} hit frames in {:>10.1} virtual ms  ({:.1}x slower)",
+        queries::hit_frames(&eva_result).len(),
+        eva_ms,
+        eva_ms / vqpy_ms
+    );
+    println!();
+    println!("where EVA's time goes (per-label charges):");
+    let mut stats: Vec<_> = clock.labeled_stats().into_iter().collect();
+    stats.sort_by(|a, b| b.1.units.partial_cmp(&a.1.units).expect("finite"));
+    for (label, s) in stats.iter().take(6) {
+        println!("  {:<22} {:>10.1} ms over {:>8} invocations", label, s.units, s.invocations);
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # vqpy
+//!
+//! Facade crate for the VQPy reproduction workspace: re-exports the public
+//! API of every member crate so examples and downstream users need a single
+//! dependency.
+//!
+//! See the README for architecture, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ```
+//! use vqpy::core::frontend::{library, predicate::Pred};
+//! use vqpy::core::{Query, VqpySession};
+//! use vqpy::models::ModelZoo;
+//! use vqpy::video::{presets, Scene, SyntheticVideo};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let query = Query::builder("RedCar")
+//!     .vobj("car", library::vehicle_schema())
+//!     .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
+//!     .build()?;
+//! let session = VqpySession::new(ModelZoo::standard());
+//! let video = SyntheticVideo::new(Scene::generate(presets::banff(), 7, 3.0));
+//! let _result = session.execute(&query, &video)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use vqpy_baselines as baselines;
+pub use vqpy_core as core;
+pub use vqpy_models as models;
+pub use vqpy_sql as sql;
+pub use vqpy_tracker as tracker;
+pub use vqpy_video as video;

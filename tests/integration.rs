@@ -1,0 +1,289 @@
+//! End-to-end integration tests spanning the whole workspace: query
+//! correctness against ground truth, plan-optimization equivalence,
+//! baseline agreement, and determinism.
+
+use std::sync::Arc;
+use vqpy::core::backend::exec::{execute_plan, ExecConfig};
+use vqpy::core::backend::optimize::apply_passes;
+use vqpy::core::backend::plan::{build_plan, PlanOptions};
+use vqpy::core::frontend::{library, predicate::Pred};
+use vqpy::core::scoring::{f1_frames, truth_frames};
+use vqpy::core::{Aggregate, Query, VqpySession};
+use vqpy::models::{Clock, ModelZoo};
+use vqpy::video::source::VideoSource;
+use vqpy::video::{presets, NamedColor, Scene, SyntheticVideo};
+
+fn red_car_query() -> Arc<Query> {
+    Query::builder("RedCar")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+        .frame_output(&[("car", "track_id")])
+        .build()
+        .expect("query builds")
+}
+
+fn red_truth(video: &SyntheticVideo) -> std::collections::BTreeSet<u64> {
+    truth_frames(video.scene().expect("synthetic"), |t| {
+        t.visible.iter().any(|v| {
+            v.attrs
+                .as_vehicle()
+                .map(|a| a.color == NamedColor::Red)
+                .unwrap_or(false)
+        })
+    })
+}
+
+#[test]
+fn red_car_query_is_accurate_against_ground_truth() {
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 1001, 45.0));
+    let session = VqpySession::new(ModelZoo::standard());
+    let result = session.execute(&red_car_query(), &video).expect("runs");
+    let stats = f1_frames(&result.hit_frame_set(), &red_truth(&video));
+    assert!(stats.f1 > 0.75, "F1 too low: {stats:?}");
+}
+
+#[test]
+fn optimization_passes_preserve_results() {
+    let video = SyntheticVideo::new(Scene::generate(presets::banff(), 1002, 30.0));
+    let zoo = ModelZoo::standard();
+    let query = red_car_query();
+
+    let naive_opts = PlanOptions {
+        eager_filters: true,
+        fuse: false,
+        pullup: false,
+        ..PlanOptions::vqpy_default()
+    };
+    let naive = build_plan(&[Arc::clone(&query)], &zoo, &naive_opts).expect("plan");
+    let naive_out = execute_plan(&naive, &video, &zoo, &Clock::new(), &ExecConfig::default())
+        .expect("runs");
+
+    let mut optimized = build_plan(&[query], &zoo, &PlanOptions::vqpy_default()).expect("plan");
+    apply_passes(&mut optimized, &PlanOptions::vqpy_default());
+    let clock = Clock::new();
+    let opt_out =
+        execute_plan(&optimized, &video, &zoo, &clock, &ExecConfig::default()).expect("runs");
+
+    // Same frames, same video aggregate — the optimizations are
+    // semantics-preserving (models are deterministic per frame+entity).
+    assert_eq!(naive_out[0].hit_frame_set(), opt_out[0].hit_frame_set());
+}
+
+#[test]
+fn lazy_plan_is_cheaper_than_eager() {
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 1003, 30.0));
+    let zoo = ModelZoo::standard();
+    // Two chained model properties: lazy evaluation only pays for the
+    // plate OCR on objects that already passed the color filter.
+    let query = Query::builder("RedCarWithPlate")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(
+            Pred::gt("car", "score", 0.5)
+                & Pred::eq("car", "color", "red")
+                & Pred::ne("car", "plate", "0AAA000"),
+        )
+        .build()
+        .expect("builds");
+
+    let eager_opts = PlanOptions {
+        eager_filters: true,
+        fuse: false,
+        pullup: false,
+        ..PlanOptions::vqpy_default()
+    };
+    let eager = build_plan(&[Arc::clone(&query)], &zoo, &eager_opts).expect("plan");
+    let eager_clock = Clock::new();
+    execute_plan(&eager, &video, &zoo, &eager_clock, &ExecConfig::default()).expect("runs");
+
+    let lazy = build_plan(&[query], &zoo, &PlanOptions::vqpy_default()).expect("plan");
+    let lazy_clock = Clock::new();
+    execute_plan(&lazy, &video, &zoo, &lazy_clock, &ExecConfig::default()).expect("runs");
+
+    assert!(
+        lazy_clock.virtual_ms() < eager_clock.virtual_ms(),
+        "lazy {} !< eager {}",
+        lazy_clock.virtual_ms(),
+        eager_clock.virtual_ms()
+    );
+}
+
+#[test]
+fn vqpy_and_sql_engines_agree_on_red_cars() {
+    let video = SyntheticVideo::new(Scene::generate(presets::banff(), 1004, 30.0));
+    let truth = red_truth(&video);
+
+    let session = VqpySession::new(ModelZoo::standard());
+    // Use the plain (non-intrinsic) schema so both systems re-run the same
+    // per-frame color model and see identical noise.
+    let q = Query::builder("RedCarPlain")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+        .build()
+        .expect("builds");
+    let vqpy_hits = session.execute(&q, &video).expect("runs").hit_frame_set();
+
+    let mut db = vqpy::sql::engine::Database::new(ModelZoo::standard());
+    db.load_video("V", Arc::new(video) as Arc<dyn VideoSource>);
+    let clock = Clock::new();
+    let table = vqpy::sql::queries::red_car_query(&mut db, "V", &clock).expect("runs");
+    let sql_hits = vqpy::sql::queries::hit_frames(&table);
+
+    let agreement = f1_frames(&vqpy_hits, &sql_hits);
+    assert!(
+        agreement.f1 > 0.85,
+        "engines disagree too much: {agreement:?}"
+    );
+    // And both should be accurate.
+    assert!(f1_frames(&vqpy_hits, &truth).f1 > 0.75);
+    assert!(f1_frames(&sql_hits, &truth).f1 > 0.75);
+}
+
+#[test]
+fn execution_is_deterministic_across_sessions() {
+    let video = SyntheticVideo::new(Scene::generate(presets::banff(), 1005, 20.0));
+    let a = VqpySession::new(ModelZoo::standard())
+        .execute(&red_car_query(), &video)
+        .expect("runs")
+        .hit_frame_set();
+    let b = VqpySession::new(ModelZoo::standard())
+        .execute(&red_car_query(), &video)
+        .expect("runs")
+        .hit_frame_set();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn shared_execution_is_cheaper_and_equivalent() {
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 1006, 25.0));
+    let queries: Vec<Arc<Query>> = ["red", "black", "green"]
+        .iter()
+        .map(|c| {
+            Query::builder(format!("{c}Car"))
+                .vobj("car", library::vehicle_schema_intrinsic())
+                .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", *c))
+                .build()
+                .expect("builds")
+        })
+        .collect();
+
+    let individual = VqpySession::new(ModelZoo::standard());
+    let mut individual_hits = Vec::new();
+    for q in &queries {
+        individual_hits.push(individual.execute(q, &video).expect("runs").hit_frame_set());
+    }
+    let individual_ms = individual.clock().virtual_ms();
+
+    let shared = VqpySession::new(ModelZoo::standard());
+    let results = shared.execute_shared(&queries, &video).expect("runs");
+    let shared_ms = shared.clock().virtual_ms();
+
+    for (r, expected) in results.iter().zip(&individual_hits) {
+        assert_eq!(&r.hit_frame_set(), expected, "query {}", r.query_name);
+    }
+    assert!(
+        shared_ms < individual_ms / 2.0,
+        "sharing should at least halve cost: {shared_ms} vs {individual_ms}"
+    );
+}
+
+#[test]
+fn aggregates_track_ground_truth() {
+    let scene = Scene::generate(presets::auburn(), 1007, 60.0);
+    let truth_vehicles = scene
+        .entities()
+        .iter()
+        .filter(|e| matches!(e.attrs, vqpy::video::EntityAttrs::Vehicle(_)))
+        .filter(|e| {
+            // Only vehicles that are actually on screen during the video.
+            e.trajectory.end_time() > 0.0 && e.trajectory.start_time() < 60.0
+        })
+        .count() as f64;
+    let video = SyntheticVideo::new(scene);
+    let q = Query::builder("CountVehicles")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .video_output(Aggregate::CountDistinctTracks { alias: "car".into() })
+        .build()
+        .expect("builds");
+    let session = VqpySession::new(ModelZoo::standard());
+    let result = session.execute(&q, &video).expect("runs");
+    let counted = result
+        .video_value
+        .as_ref()
+        .and_then(|v| v.as_i64())
+        .expect("count") as f64;
+    assert!(
+        counted > truth_vehicles * 0.5 && counted < truth_vehicles * 2.0,
+        "count {counted} vs truth {truth_vehicles}"
+    );
+}
+
+#[test]
+fn canary_profiling_respects_accuracy_target() {
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 1008, 40.0));
+    let session = VqpySession::new(ModelZoo::standard());
+    session
+        .extensions()
+        .register_specialized_nn(vqpy::core::SpecializedNnReg {
+            schema: "Vehicle".into(),
+            detector: "red_car_detector".into(),
+            prop: "color".into(),
+            value: vqpy::models::Value::from("red"),
+        });
+    session
+        .extensions()
+        .register_binary_filter(vqpy::core::BinaryFilterReg {
+            schema: "Vehicle".into(),
+            model: "no_red_on_road".into(),
+        });
+    let result = session.execute(&red_car_query(), &video).expect("runs");
+    let profiles = session.last_profiles();
+    assert!(profiles.len() > 1, "extensions must generate candidates");
+    assert!((profiles[0].f1 - 1.0).abs() < 1e-6, "reference scores 1.0");
+    // Whatever plan was chosen, accuracy against ground truth holds up.
+    let stats = f1_frames(&result.hit_frame_set(), &red_truth(&video));
+    assert!(stats.f1 > 0.7, "chosen plan too inaccurate: {stats:?}");
+}
+
+#[test]
+fn composition_rules_are_enforced_end_to_end() {
+    use vqpy::core::frontend::compose::{duration_query, temporal_query, QueryExpr};
+    let q = QueryExpr::basic(red_car_query());
+    let t = temporal_query(q.clone(), q.clone(), 10).expect("rule 3 allows basics");
+    // Rule 2 violation: DurationQuery over a TemporalQuery.
+    let err = duration_query(t, 5, 0).expect_err("rule 2 must reject temporal bases");
+    assert!(err.to_string().contains("rule 2"));
+}
+
+#[test]
+fn mllm_baseline_is_less_accurate_than_vqpy() {
+    let video = SyntheticVideo::new(Scene::generate(presets::auburn(), 1009, 60.0));
+    let question = vqpy::baselines::MllmQuestion::RedCarPresent;
+
+    // VQPy clip answers from one full-video run.
+    let session = VqpySession::new(ModelZoo::standard());
+    let hits = session.execute(&red_car_query(), &video).expect("runs").hit_frame_set();
+    let fps = video.fps() as u64;
+
+    let sim = vqpy::baselines::VideoChatSim::new(vqpy::baselines::MllmVariant::VideoChat7B, 3);
+    let clock = Clock::new();
+    let mut vqpy_correct = 0;
+    let mut chat_correct = 0;
+    let mut n = 0;
+    for c in 0..59 {
+        let clip = video.clip(c as f64, (c + 1) as f64);
+        let truth = (0..clip.frame_count()).any(|f| question.truth_on(&clip.frame(f).truth));
+        let vqpy_ans = hits.range(c * fps..(c + 1) * fps).next().is_some();
+        let Some(chat_ans) = sim.ask_bool(&clip, &question, &clock) else {
+            continue;
+        };
+        n += 1;
+        vqpy_correct += u32::from(vqpy_ans == truth);
+        chat_correct += u32::from(chat_ans == truth);
+    }
+    assert!(n > 40);
+    assert!(
+        vqpy_correct > chat_correct,
+        "VQPy ({vqpy_correct}/{n}) must beat VideoChat ({chat_correct}/{n})"
+    );
+}

@@ -1,0 +1,156 @@
+//! Cross-crate property-based tests of core invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use vqpy::core::frontend::compose::{duration_filter, temporal_join};
+use vqpy::core::frontend::predicate::{Pred, PredEnv};
+use vqpy::core::scoring::f1_frames;
+use vqpy::models::Value;
+use vqpy::video::geometry::BBox;
+
+fn sorted_frames() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..500, 0..60).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn duration_filter_output_is_subset_and_sorted(
+        hits in sorted_frames(),
+        min in 1u64..20,
+        gap in 0u64..5,
+    ) {
+        let out = duration_filter(&hits, min, gap);
+        let input: BTreeSet<u64> = hits.iter().copied().collect();
+        prop_assert!(out.iter().all(|f| input.contains(f)));
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        // Every surviving frame belongs to a span at least `min` long.
+        if min > 1 {
+            for &f in &out {
+                let span: Vec<u64> = out
+                    .iter()
+                    .copied()
+                    .filter(|&g| g.abs_diff(f) <= 500)
+                    .collect();
+                prop_assert!(!span.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn duration_filter_min_one_is_identity(hits in sorted_frames()) {
+        prop_assert_eq!(duration_filter(&hits, 1, 0), hits);
+    }
+
+    #[test]
+    fn temporal_join_pairs_are_ordered_and_within_window(
+        first in sorted_frames(),
+        second in sorted_frames(),
+        window in 1u64..100,
+    ) {
+        let pairs = temporal_join(&first, &second, window);
+        for (a, b) in &pairs {
+            prop_assert!(a < b, "first must precede second");
+            prop_assert!(b - a <= window);
+            prop_assert!(first.contains(a));
+            prop_assert!(second.contains(b));
+        }
+        // At most one pair per second-event.
+        let seconds: Vec<u64> = pairs.iter().map(|(_, b)| *b).collect();
+        let mut dedup = seconds.clone();
+        dedup.dedup();
+        prop_assert_eq!(seconds, dedup);
+    }
+
+    #[test]
+    fn f1_is_bounded_and_symmetric_on_equal_sets(
+        a in proptest::collection::btree_set(0u64..200, 0..40),
+        b in proptest::collection::btree_set(0u64..200, 0..40),
+    ) {
+        let s = f1_frames(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        // Swapping roles swaps precision and recall but preserves F1
+        // (the vacuous conventions for empty sets break the symmetry, so
+        // only assert it when both sets are populated).
+        let t = f1_frames(&b, &a);
+        if !a.is_empty() && !b.is_empty() {
+            prop_assert!((s.f1 - t.f1).abs() < 1e-12);
+            prop_assert!((s.precision - t.recall).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f1_of_identical_sets_is_one(
+        a in proptest::collection::btree_set(0u64..200, 1..40),
+    ) {
+        prop_assert_eq!(f1_frames(&a, &a).f1, 1.0);
+    }
+
+    #[test]
+    fn bbox_iou_is_symmetric_and_bounded(
+        x1 in -100.0f32..1000.0, y1 in -100.0f32..1000.0,
+        w1 in 1.0f32..300.0, h1 in 1.0f32..300.0,
+        x2 in -100.0f32..1000.0, y2 in -100.0f32..1000.0,
+        w2 in 1.0f32..300.0, h2 in 1.0f32..300.0,
+    ) {
+        let a = BBox::new(x1, y1, x1 + w1, y1 + h1);
+        let b = BBox::new(x2, y2, x2 + w2, y2 + h2);
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0001).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn predicate_negation_and_de_morgan(
+        score in 0.0f64..1.0,
+        threshold in 0.0f64..1.0,
+        color_is_red in proptest::bool::ANY,
+    ) {
+        let mut env = PredEnv::default();
+        let props = env.objects.entry("car".into()).or_default();
+        props.insert("score".into(), Value::Float(score));
+        props.insert(
+            "color".into(),
+            Value::from(if color_is_red { "red" } else { "blue" }),
+        );
+        let p = Pred::gt("car", "score", threshold);
+        let q = Pred::eq("car", "color", "red");
+
+        // Double negation.
+        prop_assert_eq!(p.clone().eval(&env), (!!p.clone()).eval(&env));
+        // De Morgan: !(p & q) == !p | !q
+        let lhs = (!(p.clone() & q.clone())).eval(&env);
+        let rhs = ((!p.clone()) | (!q.clone())).eval(&env);
+        prop_assert_eq!(lhs, rhs);
+        // De Morgan: !(p | q) == !p & !q
+        let lhs = (!(p.clone() | q.clone())).eval(&env);
+        let rhs = ((!p) & (!q)).eval(&env);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn weighted_sampling_returns_members(u in 0.0f32..1.0) {
+        let w = vqpy::video::presets::banff().vehicle_colors;
+        let sampled = w.sample(u);
+        prop_assert!(w.entries.iter().any(|(c, _)| *c == sampled));
+    }
+
+    #[test]
+    fn value_compare_is_antisymmetric(
+        a in -1000i64..1000,
+        b in -1000.0f64..1000.0,
+    ) {
+        use std::cmp::Ordering;
+        let va = Value::Int(a);
+        let vb = Value::Float(b);
+        match (va.compare(&vb), vb.compare(&va)) {
+            (Some(Ordering::Less), Some(Ordering::Greater))
+            | (Some(Ordering::Greater), Some(Ordering::Less))
+            | (Some(Ordering::Equal), Some(Ordering::Equal)) => {}
+            other => prop_assert!(false, "inconsistent ordering {:?}", other),
+        }
+    }
+}
