@@ -147,7 +147,10 @@ mod tests {
         // Pick the attributes of a real mid-video vehicle as the query so a
         // positive definitely exists.
         let truth = scene.truth_at(scene.frame_count() / 2);
-        let Some(target) = truth.visible.iter().find(|e| e.attrs.as_vehicle().is_some())
+        let Some(target) = truth
+            .visible
+            .iter()
+            .find(|e| e.attrs.as_vehicle().is_some())
         else {
             return;
         };
@@ -168,10 +171,25 @@ mod tests {
         let zoo = ModelZoo::standard();
         let v = video();
         let clock = Clock::new();
-        run_cvip(&v, &zoo, &clock, &CvipQuery::new("red", "sedan", "straight")).unwrap();
-        let colors = clock.stat("color_detect").map(|s| s.invocations).unwrap_or(0);
-        let types = clock.stat("vtype_detect").map(|s| s.invocations).unwrap_or(0);
-        let dirs = clock.stat("direction_model").map(|s| s.invocations).unwrap_or(0);
+        run_cvip(
+            &v,
+            &zoo,
+            &clock,
+            &CvipQuery::new("red", "sedan", "straight"),
+        )
+        .unwrap();
+        let colors = clock
+            .stat("color_detect")
+            .map(|s| s.invocations)
+            .unwrap_or(0);
+        let types = clock
+            .stat("vtype_detect")
+            .map(|s| s.invocations)
+            .unwrap_or(0);
+        let dirs = clock
+            .stat("direction_model")
+            .map(|s| s.invocations)
+            .unwrap_or(0);
         assert_eq!(colors, types);
         assert_eq!(colors, dirs);
         assert!(colors > v.frame_count(), "several crops per frame expected");

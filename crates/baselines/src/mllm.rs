@@ -95,8 +95,7 @@ impl MllmQuestion {
                 .of_class("person")
                 .any(|p| region.contains(&p.bbox.center())),
             MllmQuestion::CarsTurningLeft => t.visible.iter().any(|v| {
-                v.attrs.as_vehicle().is_some()
-                    && v.direction == vqpy_video::Direction::Left
+                v.attrs.as_vehicle().is_some() && v.direction == vqpy_video::Direction::Left
             }),
             MllmQuestion::RedCarPresent => t.visible.iter().any(|v| {
                 v.attrs
@@ -177,7 +176,12 @@ impl VideoChatSim {
     /// Asks a boolean question about a clip. Returns `None` when the
     /// natural-language response could not be parsed (§5.3 dropped these
     /// data points).
-    pub fn ask_bool(&self, clip: &dyn VideoSource, q: &MllmQuestion, clock: &Clock) -> Option<bool> {
+    pub fn ask_bool(
+        &self,
+        clip: &dyn VideoSource,
+        q: &MllmQuestion,
+        clock: &Clock,
+    ) -> Option<bool> {
         self.charge_query(clip, q, clock);
         let truth = (0..clip.frame_count())
             .step_by(usize::max(1, clip.fps() as usize / 3))
@@ -197,7 +201,12 @@ impl VideoChatSim {
     /// Asks an aggregation question. The answer is biased high with a
     /// heavy tail (Table 7); `None` models dropped/unclear responses
     /// (~26-47% in the paper).
-    pub fn ask_count(&self, clip: &dyn VideoSource, q: &MllmQuestion, clock: &Clock) -> Option<f64> {
+    pub fn ask_count(
+        &self,
+        clip: &dyn VideoSource,
+        q: &MllmQuestion,
+        clock: &Clock,
+    ) -> Option<f64> {
         self.charge_query(clip, q, clock);
         let mut sum = 0u64;
         let mut n = 0u64;
@@ -308,6 +317,9 @@ mod tests {
         let clock = Clock::new();
         let clip = v.clip(2.0, 3.0);
         let q = MllmQuestion::CarsTurningLeft;
-        assert_eq!(sim.ask_bool(&clip, &q, &clock), sim.ask_bool(&clip, &q, &clock));
+        assert_eq!(
+            sim.ask_bool(&clip, &q, &clock),
+            sim.ask_bool(&clip, &q, &clock)
+        );
     }
 }

@@ -80,11 +80,10 @@ fn main() {
     let mut baseline_ms = 0.0;
     let mut baseline_hits = None;
     for opts in &configs {
-        let mut plan = build_plan(&[query.clone()], &zoo, opts).expect("plan builds");
+        let mut plan = build_plan(std::slice::from_ref(&query), &zoo, opts).expect("plan builds");
         apply_passes(&mut plan, opts);
         let clock = Clock::new();
-        let out = execute_plan(&plan, &video, &zoo, &clock, &ExecConfig::default())
-            .expect("runs");
+        let out = execute_plan(&plan, &video, &zoo, &clock, &ExecConfig::default()).expect("runs");
         let this_ms = clock.virtual_ms();
         if baseline_ms == 0.0 {
             baseline_ms = this_ms;
@@ -106,7 +105,13 @@ fn main() {
 
     section("Backend optimization ablation");
     table(
-        &["configuration", "cost", "speedup vs eager", "F1 vs eager", "hits"],
+        &[
+            "configuration",
+            "cost",
+            "speedup vs eager",
+            "F1 vs eager",
+            "hits",
+        ],
         &rows,
     );
     println!("expected shape: lazy projection ordering beats eager; frame filters");

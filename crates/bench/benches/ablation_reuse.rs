@@ -17,8 +17,8 @@ fn main() {
     let seconds = 180.0 * bench_scale();
     let video = camera_video("jackson", seconds, 808);
     let zoo = bench_zoo();
-    let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default())
-        .expect("plan builds");
+    let plan =
+        build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default()).expect("plan builds");
     println!("Reuse ablation: red car query, {seconds:.0}s Jackson Hole");
 
     let mut rows = Vec::new();
@@ -48,7 +48,14 @@ fn main() {
 
     section("Object-level computation reuse (intrinsic color property)");
     table(
-        &["config", "total", "color calls", "color cost", "cache hit rate", "hit frames"],
+        &[
+            "config",
+            "total",
+            "color calls",
+            "color cost",
+            "cache hit rate",
+            "hit frames",
+        ],
         &rows,
     );
     let f1 = f1_frames(&results[1].hit_frame_set(), &results[0].hit_frame_set()).f1;

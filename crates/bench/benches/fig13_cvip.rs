@@ -9,11 +9,11 @@
 
 use std::sync::Arc;
 use vqpy_baselines::run_cvip_with;
+use vqpy_bench::bench_scale;
 use vqpy_bench::report::{mean, ms, section, speedup, table};
 use vqpy_bench::workloads::{
     bench_zoo, cityflow_video, table1_queries, triple_query, CITYFLOW_TRACKS,
 };
-use vqpy_bench::bench_scale;
 use vqpy_core::scoring::f1_frames;
 use vqpy_core::{ExecConfig, SessionConfig, VqpySession};
 use vqpy_models::Clock;
@@ -22,17 +22,15 @@ fn main() {
     let seconds = 120.0 * bench_scale();
     let video = cityflow_video(seconds, 2023);
     let zoo = bench_zoo();
-    println!(
-        "Figure 13 reproduction: CityFlow-style video, {seconds:.0}s @10fps, dataset tracks"
-    );
+    println!("Figure 13 reproduction: CityFlow-style video, {seconds:.0}s @10fps, dataset tracks");
 
     let mut rows = Vec::new();
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for (label, cq) in table1_queries() {
         // CVIP: every attribute model on every crop, filter last.
         let cvip_clock = Clock::new();
-        let cvip = run_cvip_with(&video, &zoo, &cvip_clock, &cq, CITYFLOW_TRACKS)
-            .expect("cvip runs");
+        let cvip =
+            run_cvip_with(&video, &zoo, &cvip_clock, &cq, CITYFLOW_TRACKS).expect("cvip runs");
 
         // Vanilla VQPy: lazy evaluation, no intrinsic annotations.
         let config = SessionConfig {
@@ -44,7 +42,10 @@ fn main() {
         };
         let vanilla_session = VqpySession::with_config(Arc::clone(&zoo), config.clone());
         let vanilla = vanilla_session
-            .execute(&triple_query(&format!("{label}_vanilla"), &cq, false), &video)
+            .execute(
+                &triple_query(&format!("{label}_vanilla"), &cq, false),
+                &video,
+            )
             .expect("vanilla runs");
         let vanilla_ms = vanilla_session.clock().virtual_ms();
 
@@ -61,7 +62,11 @@ fn main() {
             label.to_owned(),
             format!("{} {} {}", cq.color, cq.vtype, cq.direction),
             ms(cvip.virtual_ms),
-            format!("{} ({})", ms(vanilla_ms), speedup(cvip.virtual_ms, vanilla_ms)),
+            format!(
+                "{} ({})",
+                ms(vanilla_ms),
+                speedup(cvip.virtual_ms, vanilla_ms)
+            ),
             format!("{} ({})", ms(ann_ms), speedup(cvip.virtual_ms, ann_ms)),
             format!("{f1_vanilla:.2}/{f1_ann:.2}"),
         ]);
@@ -69,13 +74,23 @@ fn main() {
         if label == "Q3" {
             series.push(("CVIP".into(), cvip.per_frame_ms.clone()));
             series.push(("VQPy".into(), vanilla.metrics.per_frame_ms.clone()));
-            series.push(("VQPy+annotation".into(), annotated.metrics.per_frame_ms.clone()));
+            series.push((
+                "VQPy+annotation".into(),
+                annotated.metrics.per_frame_ms.clone(),
+            ));
         }
     }
 
     section("Figure 13(a): runtime per query (speedup vs CVIP)");
     table(
-        &["query", "triple", "CVIP", "VQPy", "VQPy+annotation", "F1 vs CVIP"],
+        &[
+            "query",
+            "triple",
+            "CVIP",
+            "VQPy",
+            "VQPy+annotation",
+            "F1 vs CVIP",
+        ],
         &rows,
     );
     println!("paper: CVIP constant ~850s; VQPy avg 3.1x; VQPy+annotation up to 12.6x");

@@ -37,7 +37,9 @@ fn main() {
 
             // VQPy.
             let session = VqpySession::new(bench_zoo());
-            let result = session.execute(&red_car_query(), &video).expect("vqpy runs");
+            let result = session
+                .execute(&red_car_query(), &video)
+                .expect("vqpy runs");
             let vqpy_ms = session.clock().virtual_ms();
             let vqpy_f1 = f1_frames(&result.hit_frame_set(), &truth).f1;
 

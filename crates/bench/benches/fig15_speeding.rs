@@ -45,7 +45,11 @@ fn main() {
                 cam.to_owned(),
                 format!("{} ({})", ms(vqpy_ms), speedup(eva_ms, vqpy_ms)),
                 format!("{} (1.0x)", ms(eva_ms)),
-                format!("{}/{}", result.frame_hits.len(), queries::hit_frames(&eva).len()),
+                format!(
+                    "{}/{}",
+                    result.frame_hits.len(),
+                    queries::hit_frames(&eva).len()
+                ),
             ]);
         }
         section(&format!("Figure 15: {minutes:.0}-min clips"));

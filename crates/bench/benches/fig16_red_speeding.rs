@@ -18,7 +18,9 @@ use vqpy_video::source::VideoSource;
 
 fn main() {
     let scale = bench_scale();
-    println!("Figure 16 reproduction: red speeding car, VQPy vs EVA vs EVA-refined (scale {scale})");
+    println!(
+        "Figure 16 reproduction: red speeding car, VQPy vs EVA vs EVA-refined (scale {scale})"
+    );
     for minutes in [3.0, 10.0] {
         let seconds = minutes * 60.0 * scale;
         let mut rows = Vec::new();

@@ -29,10 +29,14 @@ fn main() {
     println!("Table 5 reproduction: {seconds:.0}s Auburn traffic @15fps ({frames} frames)");
 
     let questions = [
-        MllmQuestion::PeopleOnCrosswalk { region: scene.crosswalk_region() },
+        MllmQuestion::PeopleOnCrosswalk {
+            region: scene.crosswalk_region(),
+        },
         MllmQuestion::CarsTurningLeft,
         MllmQuestion::RedCarPresent,
-        MllmQuestion::AvgCarsOnCrossing { region: scene.intersection_region() },
+        MllmQuestion::AvgCarsOnCrossing {
+            region: scene.intersection_region(),
+        },
         MllmQuestion::AvgWalkingPeople,
     ];
 
@@ -79,7 +83,9 @@ fn main() {
             row.push(per_frame(&clock, clip_frames));
         }
         let session = VqpySession::new(bench_zoo());
-        let _ = session.execute(&vqpy_queries[i].1, &video).expect("vqpy runs");
+        let _ = session
+            .execute(&vqpy_queries[i].1, &video)
+            .expect("vqpy runs");
         let ms_total = session.clock().virtual_ms();
         vqpy_individual_total += ms_total;
         row.push(format!("{:.1}", ms_total / frames as f64));
@@ -97,7 +103,10 @@ fn main() {
             "Q1-Q5 shared".into(),
             String::new(),
             String::new(),
-            format!("{:.1} (sum of individual)", vqpy_individual_total / frames as f64),
+            format!(
+                "{:.1} (sum of individual)",
+                vqpy_individual_total / frames as f64
+            ),
             format!(
                 "{:.1} ({:.1}x vs individual)",
                 shared / frames as f64,
@@ -127,7 +136,9 @@ fn main() {
         }
         // VQPy: detector + UPT HOI on every frame.
         let session = VqpySession::new(bench_zoo());
-        let base = session.execute(&hit_ball_query(), &q6_video).expect("q6 runs");
+        let base = session
+            .execute(&hit_ball_query(), &q6_video)
+            .expect("q6 runs");
         row.push(per_frame(session.clock(), q6_frames));
 
         // VQPy-Opt: register the cheap ball filter and the specialized
@@ -142,15 +153,21 @@ fn main() {
                 ..SessionConfig::default()
             },
         );
-        opt_session.extensions().register_binary_filter(BinaryFilterReg {
-            schema: "Person".into(),
-            model: "ball_presence_filter".into(),
-        });
-        opt_session.extensions().register_binary_filter(BinaryFilterReg {
-            schema: "Person".into(),
-            model: "hit_action_filter".into(),
-        });
-        let opt = opt_session.execute(&hit_ball_query(), &q6_video).expect("q6 opt runs");
+        opt_session
+            .extensions()
+            .register_binary_filter(BinaryFilterReg {
+                schema: "Person".into(),
+                model: "ball_presence_filter".into(),
+            });
+        opt_session
+            .extensions()
+            .register_binary_filter(BinaryFilterReg {
+                schema: "Person".into(),
+                model: "hit_action_filter".into(),
+            });
+        let opt = opt_session
+            .execute(&hit_ball_query(), &q6_video)
+            .expect("q6 opt runs");
         let f1_delta = vqpy_core::scoring::f1_frames(&opt.hit_frame_set(), &base.hit_frame_set());
         row.push(format!(
             "{} (F1 vs base {:.2})",
@@ -162,7 +179,13 @@ fn main() {
 
     section("Table 5: execution time per frame (virtual ms)");
     table(
-        &["query", "VideoChat-7B", "VideoChat-13B*", "VQPy", "VQPy-Opt"],
+        &[
+            "query",
+            "VideoChat-7B",
+            "VideoChat-13B*",
+            "VQPy",
+            "VQPy-Opt",
+        ],
         &rows,
     );
     println!("paper: Pre 38.4/1071; Q1-Q5 72-137 (7B) vs 32-48 (VQPy); shared 3.4x;");

@@ -78,8 +78,13 @@ fn main() {
     let n_clips = seconds as u64 - 1;
     println!("Table 6 reproduction: {n_clips} one-second clips");
 
-    let questions = vec![
-        ("Q1", MllmQuestion::PeopleOnCrosswalk { region: scene.crosswalk_region() }),
+    let questions = [
+        (
+            "Q1",
+            MllmQuestion::PeopleOnCrosswalk {
+                region: scene.crosswalk_region(),
+            },
+        ),
         ("Q2", MllmQuestion::CarsTurningLeft),
         ("Q3", MllmQuestion::RedCarPresent),
     ];
@@ -141,7 +146,13 @@ fn main() {
 
     section("Table 6: F-1 score for boolean queries");
     table(
-        &["query", "Pr(positive)", "VideoChat-7B", "VideoChat-13B*", "VQPy"],
+        &[
+            "query",
+            "Pr(positive)",
+            "VideoChat-7B",
+            "VideoChat-13B*",
+            "VQPy",
+        ],
         &rows,
     );
     println!("paper: VQPy 0.902/0.591/0.915/0.867 (avg 0.82); VideoChat ~0.40-0.43 avg");

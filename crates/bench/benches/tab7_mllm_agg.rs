@@ -23,7 +23,13 @@ fn main() {
     println!("Table 7 reproduction: {n_clips} one-second clips");
 
     let questions = vec![
-        ("Q4", MllmQuestion::AvgCarsOnCrossing { region: scene.intersection_region() }, 3usize),
+        (
+            "Q4",
+            MllmQuestion::AvgCarsOnCrossing {
+                region: scene.intersection_region(),
+            },
+            3usize,
+        ),
         ("Q5", MllmQuestion::AvgWalkingPeople, 4usize),
     ];
     let vqpy_queries = auburn_queries(&scene);
@@ -72,7 +78,9 @@ fn main() {
         for c in 0..n_clips {
             let lo = (c * fps) as usize;
             let hi = ((c + 1) * fps) as usize;
-            let sum: u64 = per_frame_counts[lo..hi.min(per_frame_counts.len())].iter().sum();
+            let sum: u64 = per_frame_counts[lo..hi.min(per_frame_counts.len())]
+                .iter()
+                .sum();
             clip_avgs.push(sum as f64 / fps as f64);
         }
         let mean = clip_avgs.iter().sum::<f64>() / clip_avgs.len().max(1) as f64;
@@ -83,8 +91,16 @@ fn main() {
 
     section("Table 7: aggregation answers (mean / max per clip)");
     table(
-        &["query", "truth mean", "VideoChat-7B", "VideoChat-13B*", "VQPy"],
+        &[
+            "query",
+            "truth mean",
+            "VideoChat-7B",
+            "VideoChat-13B*",
+            "VQPy",
+        ],
         &rows,
     );
-    println!("paper: VideoChat means 4.9-6.9 with maxima 65-414; VQPy 0.89/0.66 with maxima 3.3/5.3");
+    println!(
+        "paper: VideoChat means 4.9-6.9 with maxima 65-414; VQPy 0.89/0.66 with maxima 3.3/5.3"
+    );
 }

@@ -1,0 +1,130 @@
+//! Execution-engine throughput: Sequential vs. Pipelined on the Figure 13
+//! CVIP workload (CityFlow-style video, dataset tracks, annotated
+//! color-type-direction triple queries).
+//!
+//! The clock runs in Latency mode: every virtual model millisecond blocks
+//! the charging thread for a real millisecond, modelling accelerator
+//! inference as host-visible latency. Sequential execution pays that
+//! latency serially; the pipelined engine overlaps it across stages and
+//! workers, which is the speedup this bench measures. Two queries bound the
+//! range: Q1 (green sedan — selective filters, decode-bound) shows the
+//! pipeline at its best; Q3 (red sedan — many survivors feed the
+//! non-intrinsic direction model in the sequential tail) is the honest
+//! worst case. Results (frames/sec, speedup, reuse hit rate) go to
+//! `BENCH_exec.json` at the workspace root so future commits have a perf
+//! trajectory.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use vqpy_bench::bench_scale;
+use vqpy_bench::report::section;
+use vqpy_bench::workloads::{bench_zoo, cityflow_video, table1_queries, triple_query};
+use vqpy_core::backend::exec::execute_plan;
+use vqpy_core::backend::plan::{build_plan, PlanOptions};
+use vqpy_core::{ExecConfig, ExecMode};
+use vqpy_models::{Clock, ClockMode};
+
+const WORKERS: usize = 4;
+
+struct Run {
+    frames: u64,
+    wall_s: f64,
+    fps: f64,
+    hit_frames: Vec<u64>,
+    reuse_hit_rate: f64,
+    stage_wall_ms: Vec<(String, f64)>,
+}
+
+fn run_mode(query_index: usize, mode: ExecMode, seconds: f64) -> Run {
+    let zoo = bench_zoo();
+    let video = cityflow_video(seconds, 2023);
+    let (label, cq) = &table1_queries()[query_index];
+    let query = triple_query(&format!("{label}_throughput"), cq, true);
+    let plan = build_plan(&[query], &zoo, &PlanOptions::vqpy_default()).expect("plan builds");
+    let clock = Clock::with_mode(ClockMode::Latency);
+    let config = ExecConfig {
+        exec_mode: mode,
+        ..ExecConfig::default()
+    };
+    let start = Instant::now();
+    let results = execute_plan(&plan, &video, &zoo, &clock, &config).expect("runs");
+    let wall_s = start.elapsed().as_secs_f64();
+    let r = &results[0];
+    Run {
+        frames: r.metrics.frames_total,
+        wall_s,
+        fps: r.metrics.frames_total as f64 / wall_s,
+        hit_frames: r.hit_frames(),
+        reuse_hit_rate: r.metrics.reuse.hit_rate(),
+        stage_wall_ms: r.metrics.stage_wall_ms.clone(),
+    }
+}
+
+fn bench_query(query_index: usize, seconds: f64) -> String {
+    let (label, cq) = &table1_queries()[query_index];
+    println!();
+    println!(
+        "query {label} ({} {} {}):",
+        cq.color, cq.vtype, cq.direction
+    );
+    let seq = run_mode(query_index, ExecMode::Sequential, seconds);
+    let pipe = run_mode(
+        query_index,
+        ExecMode::Pipelined { workers: WORKERS },
+        seconds,
+    );
+
+    let speedup = pipe.fps / seq.fps;
+    println!(
+        "  sequential:  {:7.1} frames/s  ({:.2}s wall, {} frames)",
+        seq.fps, seq.wall_s, seq.frames
+    );
+    println!(
+        "  pipelined:   {:7.1} frames/s  ({:.2}s wall, {WORKERS} workers)  speedup {speedup:.2}x",
+        pipe.fps, pipe.wall_s
+    );
+    println!("  reuse hit rate: {:.3}", pipe.reuse_hit_rate);
+    for (stage, ms) in &pipe.stage_wall_ms {
+        println!("    stage {stage:<14} {ms:9.1} ms busy");
+    }
+    assert_eq!(
+        seq.hit_frames, pipe.hit_frames,
+        "pipelined results must be identical to sequential"
+    );
+
+    let stages_json: Vec<String> = pipe
+        .stage_wall_ms
+        .iter()
+        .map(|(n, ms)| format!("        \"{n}\": {ms:.2}"))
+        .collect();
+    format!(
+        "    {{\n      \"query\": \"{label}\",\n      \"frames\": {},\n      \
+         \"sequential_fps\": {:.2},\n      \"pipelined_fps\": {:.2},\n      \
+         \"speedup\": {speedup:.3},\n      \"reuse_hit_rate\": {:.4},\n      \
+         \"results_identical\": true,\n      \"pipelined_stage_busy_ms\": {{\n{}\n      }}\n    }}",
+        seq.frames,
+        seq.fps,
+        pipe.fps,
+        pipe.reuse_hit_rate,
+        stages_json.join(",\n"),
+    )
+}
+
+fn main() {
+    let seconds = 120.0 * bench_scale();
+    section("Execution-engine throughput (fig13 CVIP workload, latency clock)");
+    println!("video: {seconds:.0}s @10fps CityFlow-style, annotated triple queries");
+
+    // Q1: selective (decode-bound). Q3: busiest tail (worst case).
+    let entries = [bench_query(0, seconds), bench_query(2, seconds)];
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput_fig13_cvip\",\n  \"video_seconds\": {seconds:.1},\n  \
+         \"workers\": {WORKERS},\n  \"clock\": \"latency\",\n  \"queries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json");
+    std::fs::write(&path, json).expect("write BENCH_exec.json");
+    println!();
+    println!("wrote {}", path.display());
+}

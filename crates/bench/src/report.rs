@@ -19,7 +19,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: Vec<String>| {
         let mut out = String::new();
         for (i, c) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<width$}  ", c, width = widths[i.min(widths.len() - 1)]));
+            out.push_str(&format!(
+                "{:<width$}  ",
+                c,
+                width = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{}", out.trim_end());
     };

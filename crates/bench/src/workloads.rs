@@ -68,9 +68,21 @@ pub fn cityflow_vehicle_schema(intrinsic: bool) -> Arc<VObjSchema> {
     })
     .class_labels(&["car", "bus", "truck"])
     .detector(CITYFLOW_TRACKS)
-    .property(PropertyDef::stateless_model("color", "color_detect", intrinsic))
-    .property(PropertyDef::stateless_model("vtype", "vtype_detect", intrinsic))
-    .property(PropertyDef::stateless_model("direction", "direction_model", false))
+    .property(PropertyDef::stateless_model(
+        "color",
+        "color_detect",
+        intrinsic,
+    ))
+    .property(PropertyDef::stateless_model(
+        "vtype",
+        "vtype_detect",
+        intrinsic,
+    ))
+    .property(PropertyDef::stateless_model(
+        "direction",
+        "direction_model",
+        false,
+    ))
     .build()
 }
 
@@ -144,27 +156,35 @@ pub fn auburn_queries(scene: &Scene) -> Vec<(&'static str, Arc<Query>)> {
     let crossing = scene.intersection_region();
 
     let person_in_region = move |name: &str, region: vqpy_video::BBox| {
-        let f: vqpy_core::frontend::property::NativeFn = Arc::new(move |ctx| {
-            match ctx.dep("bbox").as_bbox() {
+        let f: vqpy_core::frontend::property::NativeFn =
+            Arc::new(move |ctx| match ctx.dep("bbox").as_bbox() {
                 Some(b) => vqpy_models::Value::Bool(region.contains(&b.center())),
                 None => vqpy_models::Value::Bool(false),
-            }
-        });
+            });
         VObjSchema::builder(name)
             .parent(library::person_schema())
-            .property(PropertyDef::stateless_native("in_region", &["bbox"], false, f))
+            .property(PropertyDef::stateless_native(
+                "in_region",
+                &["bbox"],
+                false,
+                f,
+            ))
             .build()
     };
     let vehicle_in_region = move |name: &str, region: vqpy_video::BBox| {
-        let f: vqpy_core::frontend::property::NativeFn = Arc::new(move |ctx| {
-            match ctx.dep("bbox").as_bbox() {
+        let f: vqpy_core::frontend::property::NativeFn =
+            Arc::new(move |ctx| match ctx.dep("bbox").as_bbox() {
                 Some(b) => vqpy_models::Value::Bool(region.contains(&b.center())),
                 None => vqpy_models::Value::Bool(false),
-            }
-        });
+            });
         VObjSchema::builder(name)
             .parent(library::vehicle_schema_intrinsic())
-            .property(PropertyDef::stateless_native("in_region", &["bbox"], false, f))
+            .property(PropertyDef::stateless_native(
+                "in_region",
+                &["bbox"],
+                false,
+                f,
+            ))
             .build()
     };
 
@@ -186,22 +206,22 @@ pub fn auburn_queries(scene: &Scene) -> Vec<(&'static str, Arc<Query>)> {
     let q4 = Query::builder("Q4_AvgCarsOnCrossing")
         .vobj("car", vehicle_in_region("CrossingVehicle", crossing))
         .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "in_region", true))
-        .video_output(Aggregate::AvgPerFrame { alias: "car".into() })
+        .video_output(Aggregate::AvgPerFrame {
+            alias: "car".into(),
+        })
         .build()
         .expect("q4");
     let q5 = Query::builder("Q5_AvgWalkingPeople")
         .vobj("person", library::person_schema())
-        .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "action", "walking"))
-        .video_output(Aggregate::AvgPerFrame { alias: "person".into() })
+        .frame_constraint(
+            Pred::gt("person", "score", 0.5) & Pred::eq("person", "action", "walking"),
+        )
+        .video_output(Aggregate::AvgPerFrame {
+            alias: "person".into(),
+        })
         .build()
         .expect("q5");
-    vec![
-        ("Q1", q1),
-        ("Q2", q2),
-        ("Q3", q3),
-        ("Q4", q4),
-        ("Q5", q5),
-    ]
+    vec![("Q1", q1), ("Q2", q2), ("Q3", q3), ("Q4", q4), ("Q5", q5)]
 }
 
 /// The Q6 interaction query (person hits ball) over the person-ball
@@ -223,12 +243,7 @@ pub fn hit_ball_query() -> Arc<Query> {
         .frame_constraint(
             Pred::gt("person", "score", 0.4)
                 & Pred::gt("ball", "score", 0.4)
-                & Pred::relation(
-                    "person_ball",
-                    "interaction",
-                    vqpy_core::CmpOp::Eq,
-                    "hit",
-                ),
+                & Pred::relation("person_ball", "interaction", vqpy_core::CmpOp::Eq, "hit"),
         )
         .build()
         .expect("q6")

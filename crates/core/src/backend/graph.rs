@@ -106,7 +106,8 @@ impl VObjNode {
             BuiltinProp::TrackId,
             BuiltinProp::Center,
         ] {
-            m.entry(b.name().to_owned()).or_insert_with(|| self.builtin(b));
+            m.entry(b.name().to_owned())
+                .or_insert_with(|| self.builtin(b));
         }
         m
     }
@@ -190,6 +191,13 @@ impl FrameGraph {
         if let Some(n) = self.nodes.get_mut(id) {
             n.alive = false;
         }
+    }
+
+    /// Removes all nodes and edges, keeping the allocations (slot
+    /// workspaces reset graphs once per frame).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
     }
 }
 

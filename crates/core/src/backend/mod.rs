@@ -5,6 +5,8 @@ pub mod exec;
 pub mod graph;
 pub mod ops;
 pub mod optimize;
+pub mod pipeline;
 pub mod plan;
 pub mod profile;
 pub mod reuse;
+pub mod symbols;

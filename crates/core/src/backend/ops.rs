@@ -8,6 +8,7 @@
 
 use crate::backend::graph::{Edge, EdgeKind, FrameGraph, NodeId, VObjNode};
 use crate::backend::reuse::ReuseCache;
+use crate::backend::symbols::Sym;
 use crate::error::{Result, VqpyError};
 use crate::frontend::predicate::{Pred, PredEnv};
 use crate::frontend::property::{PropertyCtx, PropertyDef, PropertyKind, PropertySource};
@@ -20,14 +21,20 @@ use vqpy_tracker::{SortTracker, TrackId, TrackerParams};
 use vqpy_video::frame::{Frame, PixelBuffer};
 
 /// One frame moving through the pipeline.
+///
+/// Slots are *workspaces*: the executor keeps a pool of them and calls
+/// [`FrameSlot::reset`] to load the next frame instead of reallocating the
+/// graph and match buffers per frame (§4.1's batched execution keeps the
+/// hot loop allocation-light).
 #[derive(Debug)]
 pub struct FrameSlot {
     pub frame: Frame,
     pub graph: FrameGraph,
     /// Dead slots are skipped by all later operators.
     pub alive: bool,
-    /// Join results per query name.
-    pub matches: BTreeMap<String, Vec<MatchCombo>>,
+    /// Join results, indexed by the plan's join index (see
+    /// [`crate::backend::plan::PlanDag::joins`]).
+    pub matches: Vec<Vec<MatchCombo>>,
 }
 
 impl FrameSlot {
@@ -37,7 +44,25 @@ impl FrameSlot {
             frame,
             graph: FrameGraph::new(),
             alive: true,
-            matches: BTreeMap::new(),
+            matches: Vec::new(),
+        }
+    }
+
+    /// Reloads this slot with a new frame, clearing per-frame state while
+    /// keeping the graph and match buffers' allocations.
+    pub fn reset(&mut self, frame: Frame) {
+        self.frame = frame;
+        self.graph.clear();
+        self.alive = true;
+        for m in &mut self.matches {
+            m.clear();
+        }
+    }
+
+    /// Ensures `matches` has one (cleared) bucket per join in the plan.
+    pub fn prepare_joins(&mut self, joins: usize) {
+        if self.matches.len() != joins {
+            self.matches.resize_with(joins, Vec::new);
         }
     }
 }
@@ -66,6 +91,20 @@ pub trait Operator: Send {
     fn name(&self) -> String;
     /// Processes one slot. Dead slots are not passed in.
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()>;
+    /// Processes a batch of slots in frame order (§4.1's batched
+    /// execution). The default loops [`Operator::process`] over the live
+    /// slots; model-backed operators override it to issue one physical
+    /// batched invocation, amortizing per-invocation overhead. Results must
+    /// be identical to the frame-at-a-time path.
+    fn process_batch(&mut self, slots: &mut [FrameSlot], ctx: &mut ExecCtx<'_>) -> Result<()> {
+        for slot in slots.iter_mut() {
+            if !slot.alive && !self.wants_dead_frames() {
+                continue;
+            }
+            self.process(slot, ctx)?;
+        }
+        Ok(())
+    }
     /// Whether the operator must see every frame (even ones a frame filter
     /// would drop) to keep its cross-frame state consistent. Trackers
     /// return false: they simply miss filtered frames, like real systems.
@@ -141,6 +180,21 @@ impl Operator for BinaryFilterOp {
         }
         Ok(())
     }
+
+    fn process_batch(&mut self, slots: &mut [FrameSlot], ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let live: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].alive).collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
+        let verdicts = self.model.predict_batch(&frames, ctx.clock);
+        for (&i, keep) in live.iter().zip(verdicts) {
+            if !keep {
+                slots[i].alive = false;
+            }
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -161,6 +215,16 @@ impl DetectOp {
     pub fn new(detector: Arc<dyn Detector>, aliases: Vec<(String, Vec<String>)>) -> Self {
         Self { detector, aliases }
     }
+
+    fn populate(&self, slot: &mut FrameSlot, detections: &[vqpy_models::Detection]) {
+        for det in detections {
+            for (alias, labels) in &self.aliases {
+                if labels.iter().any(|l| l == &det.class_label) {
+                    slot.graph.add_node(VObjNode::from_detection(alias, det));
+                }
+            }
+        }
+    }
 }
 
 impl Operator for DetectOp {
@@ -175,12 +239,19 @@ impl Operator for DetectOp {
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let detections = self.detector.detect(&slot.frame, ctx.clock);
-        for det in &detections {
-            for (alias, labels) in &self.aliases {
-                if labels.iter().any(|l| l == &det.class_label) {
-                    slot.graph.add_node(VObjNode::from_detection(alias, det));
-                }
-            }
+        self.populate(slot, &detections);
+        Ok(())
+    }
+
+    fn process_batch(&mut self, slots: &mut [FrameSlot], ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let live: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].alive).collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
+        let per_frame = self.detector.detect_batch(&frames, ctx.clock);
+        for (&i, detections) in live.iter().zip(&per_frame) {
+            self.populate(&mut slots[i], detections);
         }
         Ok(())
     }
@@ -252,23 +323,35 @@ impl Operator for TrackOp {
 pub struct ProjectOp {
     alias: String,
     def: PropertyDef,
+    /// Interned `(alias, prop)` pair: the allocation-free reuse-cache key.
+    alias_sym: Sym,
+    prop_sym: Sym,
     classifier: Option<Arc<dyn Classifier>>,
     history: HashMap<TrackId, VecDeque<BTreeMap<String, Value>>>,
     fused_filter: Option<Pred>,
     fused_required: bool,
+    /// Scratch for the batched model path, reused across frames.
+    pending_ids: Vec<NodeId>,
+    pending_dets: Vec<vqpy_models::Detection>,
 }
 
 impl ProjectOp {
     /// Creates a projector; model properties resolve their classifier from
-    /// the zoo lazily on first use.
-    pub fn new(alias: impl Into<String>, def: PropertyDef) -> Self {
+    /// the zoo lazily on first use. `alias_sym`/`prop_sym` are the plan's
+    /// interned symbols for the alias and the property name — they key the
+    /// reuse cache without per-probe allocation.
+    pub fn new(alias: impl Into<String>, def: PropertyDef, alias_sym: Sym, prop_sym: Sym) -> Self {
         Self {
             alias: alias.into(),
             def,
+            alias_sym,
+            prop_sym,
             classifier: None,
             history: HashMap::new(),
             fused_filter: None,
             fused_required: false,
+            pending_ids: Vec::new(),
+            pending_dets: Vec::new(),
         }
     }
 
@@ -300,7 +383,12 @@ impl ProjectOp {
         Ok(Arc::clone(self.classifier.as_ref().expect("just set")))
     }
 
-    fn compute_native(&self, node: &VObjNode, deps: &HashMap<String, Vec<Value>>, fps: u32) -> Value {
+    fn compute_native(
+        &self,
+        node: &VObjNode,
+        deps: &HashMap<String, Vec<Value>>,
+        fps: u32,
+    ) -> Value {
         match &self.def.source {
             PropertySource::Native(f) => f(&PropertyCtx { deps, fps }),
             PropertySource::Builtin(b) => node.builtin(*b),
@@ -318,6 +406,92 @@ impl Operator for ProjectOp {
     }
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
+        let kind = self.def.kind;
+        let is_model = matches!(self.def.source, PropertySource::Model(_));
+        if let (PropertyKind::Stateless { intrinsic }, true) = (kind, is_model) {
+            self.process_model_frame(slot, ctx, intrinsic)?;
+        } else {
+            self.process_native_frame(slot, ctx)?;
+        }
+        if self.fused_filter.is_some()
+            && self.fused_required
+            && slot.graph.alive_count(&self.alias) == 0
+        {
+            slot.alive = false;
+        }
+        Ok(())
+    }
+}
+
+impl ProjectOp {
+    fn apply_value(&self, slot: &mut FrameSlot, id: NodeId, value: Value) {
+        slot.graph.nodes[id]
+            .props
+            .insert(self.def.name.clone(), value);
+        // Operator fusion: filter right here, saving a pipeline pass.
+        if let Some(pred) = &self.fused_filter {
+            let env = single_node_env(&slot.graph.nodes[id]);
+            if !pred.eval(&env) {
+                slot.graph.kill(id);
+            }
+        }
+    }
+
+    /// Stateless model property: reuse-cache fast path, then one batched
+    /// model invocation over the frame's remaining crops (§4.1 batching +
+    /// §4.2 reuse).
+    fn process_model_frame(
+        &mut self,
+        slot: &mut FrameSlot,
+        ctx: &mut ExecCtx<'_>,
+        intrinsic: bool,
+    ) -> Result<()> {
+        let node_ids = slot.graph.alive_of(&self.alias);
+        self.pending_ids.clear();
+        self.pending_dets.clear();
+        for id in node_ids {
+            let node = &slot.graph.nodes[id];
+            if node.props.contains_key(&self.def.name) {
+                continue; // already computed (shared plans)
+            }
+            // Memoized values are trusted only once the track is
+            // confirmed: a first sighting clamped at the frame edge would
+            // otherwise pin a bad classification for the object's whole
+            // lifetime.
+            let cached = if intrinsic && ctx.enable_reuse && node.track_confirmed {
+                node.track_id
+                    .and_then(|t| ctx.reuse.lookup(self.alias_sym, t, self.prop_sym))
+                    .cloned()
+            } else {
+                None
+            };
+            match cached {
+                Some(v) => self.apply_value(slot, id, v),
+                None => {
+                    let det = slot.graph.nodes[id].as_detection();
+                    self.pending_ids.push(id);
+                    self.pending_dets.push(det);
+                }
+            }
+        }
+        if self.pending_ids.is_empty() {
+            return Ok(());
+        }
+        let clf = self.classifier(ctx)?;
+        let values = clf.classify_batch(&slot.frame, &self.pending_dets, ctx.clock);
+        for (&id, v) in self.pending_ids.iter().zip(values) {
+            if intrinsic && ctx.enable_reuse {
+                if let Some(t) = slot.graph.nodes[id].track_id {
+                    ctx.reuse.store(self.alias_sym, t, self.prop_sym, v.clone());
+                }
+            }
+            self.apply_value(slot, id, v);
+        }
+        Ok(())
+    }
+
+    /// Native/builtin and stateful properties: per-node computation.
+    fn process_native_frame(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let node_ids = slot.graph.alive_of(&self.alias);
         for id in node_ids {
             let value = {
@@ -325,39 +499,9 @@ impl Operator for ProjectOp {
                 if node.props.contains_key(&self.def.name) {
                     continue; // already computed (shared plans)
                 }
-                let kind = self.def.kind;
-                let is_model = matches!(self.def.source, PropertySource::Model(_));
-                match (kind, is_model) {
-                    // Stateless model property: the reuse-cache fast path.
-                    (PropertyKind::Stateless { intrinsic }, true) => {
-                        // Memoized values are trusted only once the track is
-                        // confirmed: a first sighting clamped at the frame
-                        // edge would otherwise pin a bad classification for
-                        // the object's whole lifetime.
-                        let cached = if intrinsic && ctx.enable_reuse && node.track_confirmed {
-                            node.track_id.and_then(|t| {
-                                ctx.reuse.lookup(&self.alias, t, &self.def.name)
-                            })
-                        } else {
-                            None
-                        };
-                        match cached {
-                            Some(v) => v,
-                            None => {
-                                let det = node.as_detection();
-                                let clf = self.classifier(ctx)?;
-                                let v = clf.classify(&slot.frame, &det, ctx.clock);
-                                if intrinsic && ctx.enable_reuse {
-                                    if let Some(t) = node.track_id {
-                                        ctx.reuse.store(&self.alias, t, &self.def.name, v.clone());
-                                    }
-                                }
-                                v
-                            }
-                        }
-                    }
+                match self.def.kind {
                     // Stateless native/builtin: compute from current values.
-                    (PropertyKind::Stateless { .. }, false) => {
+                    PropertyKind::Stateless { .. } => {
                         let mut deps: HashMap<String, Vec<Value>> = HashMap::new();
                         for d in &self.def.deps {
                             deps.insert(d.clone(), vec![node.value_of(d)]);
@@ -365,8 +509,7 @@ impl Operator for ProjectOp {
                         self.compute_native(node, &deps, ctx.fps)
                     }
                     // Stateful: per-track sliding window of dependencies.
-                    (PropertyKind::Stateful { history_len }, _) => {
-                        let history_len = history_len;
+                    PropertyKind::Stateful { history_len } => {
                         ctx.clock.charge_labeled("native_prop", 0.02);
                         let Some(track) = node.track_id else {
                             // Untracked objects cannot have stateful props.
@@ -402,21 +545,7 @@ impl Operator for ProjectOp {
                     }
                 }
             };
-            slot.graph.nodes[id].props.insert(self.def.name.clone(), value);
-
-            // Operator fusion: filter right here, saving a pipeline pass.
-            if let Some(pred) = &self.fused_filter {
-                let env = single_node_env(&slot.graph.nodes[id]);
-                if !pred.eval(&env) {
-                    slot.graph.kill(id);
-                }
-            }
-        }
-        if self.fused_filter.is_some()
-            && self.fused_required
-            && slot.graph.alive_count(&self.alias) == 0
-        {
-            slot.alive = false;
+            self.apply_value(slot, id, value);
         }
         Ok(())
     }
@@ -583,8 +712,11 @@ impl Operator for RelationProjectOp {
 
 /// Join operator: enumerates bindings of the query's aliases to alive
 /// nodes, evaluates the (possibly rewritten) frame constraint with relation
-/// edges in scope, and records satisfying combos under the query's name.
+/// edges in scope, and records satisfying combos under the query's join
+/// index (avoiding a per-frame name allocation).
 pub struct JoinOp {
+    /// Index into the plan's join list; keys [`FrameSlot::matches`].
+    index: usize,
     query_name: String,
     aliases: Vec<String>,
     relations: Vec<RelationDecl>,
@@ -594,8 +726,10 @@ pub struct JoinOp {
 }
 
 impl JoinOp {
-    /// Creates a join for one query.
+    /// Creates a join for one query; `index` is its position in the plan's
+    /// join list.
     pub fn new(
+        index: usize,
         query_name: impl Into<String>,
         aliases: Vec<String>,
         relations: Vec<RelationDecl>,
@@ -603,6 +737,7 @@ impl JoinOp {
         kills_frame: bool,
     ) -> Self {
         Self {
+            index,
             query_name: query_name.into(),
             aliases,
             relations,
@@ -664,7 +799,11 @@ impl Operator for JoinOp {
             }
         }
         let matched = !combos.is_empty();
-        slot.matches.insert(self.query_name.clone(), combos);
+        if slot.matches.len() <= self.index {
+            // Hand-built slots (tests) may not have been prepared.
+            slot.prepare_joins(self.index + 1);
+        }
+        slot.matches[self.index] = combos;
         if self.kills_frame && !matched {
             slot.alive = false;
         }
@@ -702,7 +841,10 @@ mod tests {
         };
         let mut op = DetectOp::new(
             zoo.detector("yolox").unwrap(),
-            vec![("car".into(), vec!["car".into(), "bus".into(), "truck".into()])],
+            vec![(
+                "car".into(),
+                vec!["car".into(), "bus".into(), "truck".into()],
+            )],
         );
         let mut slot = FrameSlot::new(v.frame(100));
         op.process(&mut slot, &mut ctx).unwrap();
@@ -759,7 +901,7 @@ mod tests {
         let mut detect = DetectOp::new(det, vec![("car".into(), vec!["car".into()])]);
         let mut track = TrackOp::new("car");
         let def = PropertyDef::stateless_model("color", "color_detect", true);
-        let mut project = ProjectOp::new("car", def);
+        let mut project = ProjectOp::new("car", def, Sym(0), Sym(1));
         for i in 0..60 {
             let mut slot = FrameSlot::new(v.frame(i));
             let mut ctx = ExecCtx {
@@ -774,10 +916,16 @@ mod tests {
             project.process(&mut slot, &mut ctx).unwrap();
         }
         let stats = reuse.stats();
-        assert!(stats.hits > 0, "confirmed tracks should hit the cache: {stats:?}");
+        assert!(
+            stats.hits > 0,
+            "confirmed tracks should hit the cache: {stats:?}"
+        );
         // Model invocations = unconfirmed sightings (which bypass the
         // cache) + confirmed misses; far fewer than one per node visit.
-        let invocations = clock.stat("color_detect").map(|s| s.invocations).unwrap_or(0);
+        let invocations = clock
+            .stat("color_detect")
+            .map(|s| s.invocations)
+            .unwrap_or(0);
         assert!(invocations > 0);
         assert!(
             invocations >= stats.misses,
@@ -827,6 +975,7 @@ mod tests {
         let det = zoo.detector("yolox").unwrap();
         let mut detect = DetectOp::new(det, vec![("car".into(), vec!["car".into()])]);
         let mut join = JoinOp::new(
+            0,
             "Q",
             vec!["car".into()],
             vec![],
@@ -837,7 +986,7 @@ mod tests {
         detect.process(&mut slot, &mut ctx).unwrap();
         let n = slot.graph.alive_count("car");
         join.process(&mut slot, &mut ctx).unwrap();
-        assert_eq!(slot.matches["Q"].len(), n);
+        assert_eq!(slot.matches[0].len(), n);
         assert_eq!(slot.alive, n > 0);
     }
 

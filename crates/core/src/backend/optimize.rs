@@ -35,9 +35,14 @@ pub fn predicate_pullup(plan: &mut PlanDag) {
     }
 
     for f in filters {
-        let OpSpec::Filter { alias, pred, .. } = &f else { unreachable!() };
-        let needed: BTreeSet<String> =
-            pred.referenced_props().into_iter().map(|p| p.prop).collect();
+        let OpSpec::Filter { alias, pred, .. } = &f else {
+            unreachable!()
+        };
+        let needed: BTreeSet<String> = pred
+            .referenced_props()
+            .into_iter()
+            .map(|p| p.prop)
+            .collect();
         let mut available: BTreeSet<String> = ["bbox", "score", "class_label", "center"]
             .iter()
             .map(|s| s.to_string())

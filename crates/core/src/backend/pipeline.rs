@@ -1,0 +1,501 @@
+//! The staged pipeline executor ([`ExecMode::Pipelined`]).
+//!
+//! Real video-analytics engines overlap decode, detection, and downstream
+//! relational work instead of interpreting one frame at a time. This
+//! executor splits the operator chain into three stages connected by
+//! bounded channels:
+//!
+//! ```text
+//!  decode workers ──▶ frame-filter stage ──▶ detect workers ──▶ tail
+//!   (parallel,          (single thread,        (parallel,       (caller
+//!    unordered)          frame order)           unordered)       thread,
+//!                                                                frame order)
+//! ```
+//!
+//! - **Decode** fans out across `workers` threads: each claims the next
+//!   batch index, renders its frames, and charges decode cost. Decoding is
+//!   pure, so order does not matter here.
+//! - **Frame filters** (differencing, binary classifiers) are stateful
+//!   across frames, so one thread reorders batches by sequence number and
+//!   applies them in frame order.
+//! - **Detect** fans out again: detection is deterministic per frame, so
+//!   `workers` threads each run their own detect operators on whole
+//!   batches.
+//! - **Tail** (track → project → filter → join) runs on the calling thread,
+//!   reordering batches back into frame order: the tracker, stateful
+//!   properties, and the reuse cache all require sequential frames.
+//!
+//! Slots recycle through a return channel, so the steady state allocates no
+//! new frame workspaces. Cancellation is cooperative: every blocking send /
+//! receive polls a shared flag, so an error in any stage (or plain
+//! completion) winds down all threads without deadlock. Results are
+//! byte-identical to [`ExecMode::Sequential`]; see the parity tests.
+//!
+//! [`ExecMode::Pipelined`]: crate::backend::exec::ExecMode::Pipelined
+//! [`ExecMode::Sequential`]: crate::backend::exec::ExecMode::Sequential
+
+use crate::backend::exec::{
+    first_detect_index, instantiate_ops, Collector, ExecConfig, ExecMetrics, QueryResult,
+};
+use crate::backend::ops::{ExecCtx, FrameSlot, Operator};
+use crate::backend::plan::{OpSpec, PlanDag};
+use crate::error::{Result, VqpyError};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+use vqpy_models::{Clock, ModelZoo};
+use vqpy_video::source::VideoSource;
+
+/// A batch of slots tagged with its sequence number.
+type Batch = (u64, Vec<FrameSlot>);
+
+const POLL: Duration = Duration::from_millis(1);
+const RECV_POLL: Duration = Duration::from_millis(20);
+
+/// Sends cooperatively: polls so a cancelled pipeline never deadlocks on a
+/// full bounded channel. Returns `false` when cancelled or disconnected.
+fn send_coop<T>(tx: &SyncSender<T>, mut msg: T, cancel: &AtomicBool) -> bool {
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            return false;
+        }
+        match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(m)) => {
+                msg = m;
+                std::thread::sleep(POLL);
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+/// Receives cooperatively from a shared receiver. Returns `None` when
+/// cancelled or when all senders disconnected.
+fn recv_coop<T>(rx: &Mutex<Receiver<T>>, cancel: &AtomicBool) -> Option<T> {
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        match rx.lock().recv_timeout(RECV_POLL) {
+            Ok(v) => return Some(v),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// Reorders sequence-tagged batches back into sequence order.
+struct Reorder {
+    pending: BTreeMap<u64, Vec<FrameSlot>>,
+    next: u64,
+}
+
+impl Reorder {
+    fn new() -> Self {
+        Self {
+            pending: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, batch: Batch) {
+        self.pending.insert(batch.0, batch.1);
+    }
+
+    fn pop_ready(&mut self) -> Option<Batch> {
+        if self.pending.contains_key(&self.next) {
+            let b = self.pending.remove(&self.next).expect("checked");
+            let seq = self.next;
+            self.next += 1;
+            return Some((seq, b));
+        }
+        None
+    }
+}
+
+/// Per-stage busy-time accounting (nanoseconds, summed across workers).
+#[derive(Default)]
+struct StageNanos {
+    decode: AtomicU64,
+    frame_filters: AtomicU64,
+    detect: AtomicU64,
+    tail: AtomicU64,
+}
+
+fn timed<R>(bucket: &AtomicU64, f: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let r = f();
+    bucket.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    r
+}
+
+fn set_error(slot: &Mutex<Option<VqpyError>>, cancel: &AtomicBool, e: VqpyError) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(e);
+    }
+    cancel.store(true, Ordering::Relaxed);
+}
+
+/// Runs a plan through the staged pipeline. Called by
+/// [`crate::backend::exec::execute_plan`] for [`Pipelined`] mode.
+///
+/// [`Pipelined`]: crate::backend::exec::ExecMode::Pipelined
+pub(crate) fn run_pipelined(
+    plan: &PlanDag,
+    source: &dyn VideoSource,
+    zoo: &ModelZoo,
+    clock: &Clock,
+    config: &ExecConfig,
+    workers: usize,
+) -> Result<Vec<QueryResult>> {
+    let workers = workers.max(1);
+    let start_ms = clock.virtual_ms();
+    let wall_start = Instant::now();
+
+    // ---- split the operator chain into stages ----------------------------
+    let first_detect = first_detect_index(plan);
+    let has_detect = plan.ops.iter().any(|o| matches!(o, OpSpec::Detect { .. }));
+    let (frame_specs, detect_specs, tail_specs) = if has_detect {
+        let after_detect = plan.ops[first_detect..]
+            .iter()
+            .position(|o| !matches!(o, OpSpec::Detect { .. }))
+            .map(|p| first_detect + p)
+            .unwrap_or(plan.ops.len());
+        (
+            &plan.ops[..first_detect],
+            &plan.ops[first_detect..after_detect],
+            &plan.ops[after_detect..],
+        )
+    } else {
+        (&plan.ops[..0], &plan.ops[..0], &plan.ops[..])
+    };
+
+    // Instantiate up front so model-resolution errors surface before any
+    // thread spawns.
+    let mut filter_ops = instantiate_ops(plan, frame_specs, zoo)?;
+    let mut detect_ops_per_worker: Vec<Vec<Box<dyn Operator>>> = (0..workers)
+        .map(|_| instantiate_ops(plan, detect_specs, zoo))
+        .collect::<Result<_>>()?;
+    let mut tail_ops = instantiate_ops(plan, tail_specs, zoo)?;
+
+    let total = source.frame_count();
+    let batch = config.batch_size.max(1) as u64;
+    let num_batches = total.div_ceil(batch);
+    let joins = plan.joins.len();
+
+    // ---- channels ---------------------------------------------------------
+    let depth = workers * 2 + 2;
+    let (decoded_tx, decoded_rx) = sync_channel::<Batch>(depth);
+    let (filtered_tx, filtered_rx) = sync_channel::<Batch>(depth);
+    let (detected_tx, detected_rx) = sync_channel::<Batch>(depth);
+    let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<Vec<FrameSlot>>();
+    let decoded_rx = Mutex::new(decoded_rx);
+    let filtered_rx = Mutex::new(filtered_rx);
+    let recycle_rx = Mutex::new(recycle_rx);
+
+    let cancel = AtomicBool::new(false);
+    let error: Mutex<Option<VqpyError>> = Mutex::new(None);
+    let next_batch = AtomicU64::new(0);
+    let stages = StageNanos::default();
+    let frames_processed = AtomicU64::new(0);
+
+    let mut metrics = ExecMetrics::default();
+    let mut collector = Collector::new(plan);
+    let mut reuse = config.make_reuse();
+
+    std::thread::scope(|scope| {
+        // ---- stage 1a: decode workers (parallel, unordered) --------------
+        for _ in 0..workers {
+            let decoded_tx = decoded_tx.clone();
+            let (cancel, stages, next_batch, recycle_rx) =
+                (&cancel, &stages, &next_batch, &recycle_rx);
+            scope.spawn(move || loop {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let b = next_batch.fetch_add(1, Ordering::Relaxed);
+                if b >= num_batches {
+                    break;
+                }
+                let lo = b * batch;
+                let hi = ((b + 1) * batch).min(total);
+                let mut slots = recycle_rx.lock().try_recv().unwrap_or_default();
+                timed(&stages.decode, || {
+                    for (i, f) in (lo..hi).enumerate() {
+                        clock.charge_labeled("video_decode", vqpy_models::zoo::COST_VIDEO_DECODE);
+                        let frame = source.frame(f);
+                        if i < slots.len() {
+                            slots[i].reset(frame);
+                        } else {
+                            slots.push(FrameSlot::new(frame));
+                        }
+                        slots[i].prepare_joins(joins);
+                    }
+                    slots.truncate((hi - lo) as usize);
+                });
+                if !send_coop(&decoded_tx, (b, slots), cancel) {
+                    break;
+                }
+            });
+        }
+        drop(decoded_tx);
+
+        // ---- stage 1b: frame filters (single thread, frame order) --------
+        {
+            let filtered_tx = filtered_tx.clone();
+            let (cancel, stages, error, decoded_rx, frames_processed) =
+                (&cancel, &stages, &error, &decoded_rx, &frames_processed);
+            let filter_ops = &mut filter_ops;
+            scope.spawn(move || {
+                let mut reorder = Reorder::new();
+                let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by filters
+                'outer: while let Some(b) = recv_coop(decoded_rx, cancel) {
+                    reorder.push(b);
+                    while let Some((seq, mut slots)) = reorder.pop_ready() {
+                        let outcome = timed(&stages.frame_filters, || {
+                            let mut ctx = ExecCtx {
+                                zoo,
+                                clock,
+                                fps: source.fps(),
+                                reuse: &mut reuse,
+                                enable_reuse: config.enable_intrinsic_reuse,
+                            };
+                            for op in filter_ops.iter_mut() {
+                                op.process_batch(&mut slots, &mut ctx)?;
+                            }
+                            Ok::<(), VqpyError>(())
+                        });
+                        if let Err(e) = outcome {
+                            set_error(error, cancel, e);
+                            break 'outer;
+                        }
+                        frames_processed.fetch_add(
+                            slots.iter().filter(|s| s.alive).count() as u64,
+                            Ordering::Relaxed,
+                        );
+                        if !send_coop(&filtered_tx, (seq, slots), cancel) {
+                            break 'outer;
+                        }
+                    }
+                }
+            });
+        }
+        drop(filtered_tx);
+
+        // ---- stage 2: detect workers (parallel, unordered) ---------------
+        for detect_ops in detect_ops_per_worker.iter_mut() {
+            let detected_tx = detected_tx.clone();
+            let (cancel, stages, error, filtered_rx) = (&cancel, &stages, &error, &filtered_rx);
+            scope.spawn(move || {
+                let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by detectors
+                while let Some((seq, mut slots)) = recv_coop(filtered_rx, cancel) {
+                    let outcome = timed(&stages.detect, || {
+                        let mut ctx = ExecCtx {
+                            zoo,
+                            clock,
+                            fps: source.fps(),
+                            reuse: &mut reuse,
+                            enable_reuse: config.enable_intrinsic_reuse,
+                        };
+                        for op in detect_ops.iter_mut() {
+                            op.process_batch(&mut slots, &mut ctx)?;
+                        }
+                        Ok::<(), VqpyError>(())
+                    });
+                    if let Err(e) = outcome {
+                        set_error(error, cancel, e);
+                        break;
+                    }
+                    if !send_coop(&detected_tx, (seq, slots), cancel) {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(detected_tx);
+
+        // ---- stage 3: tail (this thread, frame order) --------------------
+        let mut reorder = Reorder::new();
+        let tail_outcome: Result<()> = (|| {
+            loop {
+                let msg = match detected_rx.recv_timeout(RECV_POLL) {
+                    Ok(m) => m,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                reorder.push(msg);
+                while let Some((_, mut slots)) = reorder.pop_ready() {
+                    metrics.frames_total += slots.len() as u64;
+                    timed(&stages.tail, || {
+                        let mut ctx = ExecCtx {
+                            zoo,
+                            clock,
+                            fps: source.fps(),
+                            reuse: &mut reuse,
+                            enable_reuse: config.enable_intrinsic_reuse,
+                        };
+                        for op in tail_ops.iter_mut() {
+                            op.process_batch(&mut slots, &mut ctx)?;
+                        }
+                        Ok::<(), VqpyError>(())
+                    })?;
+                    for slot in &slots {
+                        collector.collect(plan, slot);
+                    }
+                    let _ = recycle_tx.send(slots); // decode may have exited
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = tail_outcome {
+            set_error(&error, &cancel, e);
+        }
+        // Unblock any worker still parked on a full channel.
+        cancel.store(true, Ordering::Relaxed);
+        drop(detected_rx);
+    });
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+
+    metrics.frames_processed = frames_processed.load(Ordering::Relaxed);
+    metrics.reuse = reuse.stats();
+    let ns = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 / 1e6;
+    metrics.stage_wall_ms = vec![
+        ("decode".into(), ns(&stages.decode)),
+        ("frame_filters".into(), ns(&stages.frame_filters)),
+        ("detect".into(), ns(&stages.detect)),
+        ("tail".into(), ns(&stages.tail)),
+        ("total".into(), wall_start.elapsed().as_secs_f64() * 1e3),
+    ];
+    let total_ms = clock.virtual_ms() - start_ms;
+    Ok(collector.finalize(plan, metrics, total_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::exec::{execute_plan, ExecMode};
+    use crate::backend::plan::{build_plan, PlanOptions};
+    use crate::frontend::library;
+    use crate::frontend::predicate::Pred;
+    use crate::frontend::query::Query;
+    use std::sync::Arc;
+    use vqpy_models::ModelZoo;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::SyntheticVideo;
+
+    fn red_car_query() -> Arc<Query> {
+        Query::builder("RedCar")
+            .vobj("car", library::vehicle_schema_intrinsic())
+            .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+            .frame_output(&[("car", "track_id")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_results_and_costs() {
+        let zoo = ModelZoo::standard();
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 404, 15.0));
+        let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default()).unwrap();
+
+        let c_seq = vqpy_models::Clock::new();
+        let seq = execute_plan(&plan, &v, &zoo, &c_seq, &ExecConfig::default()).unwrap();
+
+        let c_pipe = vqpy_models::Clock::new();
+        let pipe = execute_plan(
+            &plan,
+            &v,
+            &zoo,
+            &c_pipe,
+            &ExecConfig {
+                exec_mode: ExecMode::Pipelined { workers: 3 },
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(seq[0].hit_frames(), pipe[0].hit_frames());
+        assert_eq!(seq[0].metrics.frames_total, pipe[0].metrics.frames_total);
+        assert_eq!(
+            seq[0].metrics.frames_processed,
+            pipe[0].metrics.frames_processed
+        );
+        assert_eq!(seq[0].metrics.reuse, pipe[0].metrics.reuse);
+        // Virtual cost is order-independent, so both modes charge the same.
+        assert!(
+            (c_seq.virtual_ms() - c_pipe.virtual_ms()).abs() < 1e-6,
+            "seq {} vs pipe {}",
+            c_seq.virtual_ms(),
+            c_pipe.virtual_ms()
+        );
+    }
+
+    #[test]
+    fn pipelined_reports_stage_walltimes() {
+        let zoo = ModelZoo::standard();
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 7, 5.0));
+        let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let clock = vqpy_models::Clock::new();
+        let results = execute_plan(
+            &plan,
+            &v,
+            &zoo,
+            &clock,
+            &ExecConfig {
+                exec_mode: ExecMode::Pipelined { workers: 2 },
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let stages: Vec<&str> = results[0]
+            .metrics
+            .stage_wall_ms
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            stages,
+            vec!["decode", "frame_filters", "detect", "tail", "total"]
+        );
+        assert!(results[0]
+            .metrics
+            .stage_wall_ms
+            .iter()
+            .all(|(_, ms)| *ms >= 0.0));
+    }
+
+    #[test]
+    fn pipelined_surfaces_errors() {
+        // A plan referencing a model that exists at plan time but not at
+        // execution time (different zoo) must error cleanly, not hang.
+        let zoo = ModelZoo::standard();
+        let plan = build_plan(&[red_car_query()], &zoo, &PlanOptions::vqpy_default()).unwrap();
+        let empty_zoo = ModelZoo::new();
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 7, 2.0));
+        let clock = vqpy_models::Clock::new();
+        let err = execute_plan(
+            &plan,
+            &v,
+            &empty_zoo,
+            &clock,
+            &ExecConfig {
+                exec_mode: ExecMode::Pipelined { workers: 2 },
+                ..ExecConfig::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+}

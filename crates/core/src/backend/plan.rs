@@ -7,6 +7,7 @@
 //! conjunct of the frame constraint becomes a VObj filter placed immediately
 //! after the last property it needs.
 
+use crate::backend::symbols::SymbolTable;
 use crate::error::{Result, VqpyError};
 use crate::frontend::predicate::{Pred, PropRef};
 use crate::frontend::property::{BuiltinProp, PropertySource};
@@ -63,7 +64,9 @@ impl OpSpec {
             }
             OpSpec::Track { alias } => format!("track({alias})"),
             OpSpec::Project { alias, prop } => format!("project({alias}.{prop})"),
-            OpSpec::FusedProjectFilter { alias, prop, pred, .. } => {
+            OpSpec::FusedProjectFilter {
+                alias, prop, pred, ..
+            } => {
                 format!("project+filter({alias}.{prop} | {pred})")
             }
             OpSpec::Filter { alias, pred, .. } => format!("filter({alias} | {pred})"),
@@ -92,6 +95,9 @@ pub struct PlanDag {
     pub relations: Vec<RelationDecl>,
     /// Alias -> schema bindings.
     pub schemas: BTreeMap<String, Arc<VObjSchema>>,
+    /// Interned alias/property names: execution keys reuse-cache probes by
+    /// `u32` symbol instead of allocating strings (§4.2 hot path).
+    pub symbols: SymbolTable,
     /// Human-readable variant label (e.g. `"baseline"`, `"+specialized"`).
     pub label: String,
 }
@@ -178,11 +184,7 @@ struct AliasNeeds {
 ///
 /// Propagates schema/property resolution failures; rejects alias
 /// collisions where two queries bind the same alias to different schemas.
-pub fn build_plan(
-    queries: &[Arc<Query>],
-    zoo: &ModelZoo,
-    opts: &PlanOptions,
-) -> Result<PlanDag> {
+pub fn build_plan(queries: &[Arc<Query>], zoo: &ModelZoo, opts: &PlanOptions) -> Result<PlanDag> {
     if queries.is_empty() {
         return Err(VqpyError::InvalidQuery("no queries to plan".into()));
     }
@@ -255,14 +257,14 @@ pub fn build_plan(
         for p in q.frame_output() {
             record_prop(&mut needs, p)?;
         }
-        if let Some(agg) = q.video_output() {
-            if let Aggregate::CountDistinctTracks { alias }
+        if let Some(
+            Aggregate::CountDistinctTracks { alias }
             | Aggregate::AvgPerFrame { alias }
-            | Aggregate::MaxPerFrame { alias } = agg
-            {
-                if let Some(n) = needs.get_mut(alias) {
-                    n.needs_tracker = true;
-                }
+            | Aggregate::MaxPerFrame { alias },
+        ) = q.video_output()
+        {
+            if let Some(n) = needs.get_mut(alias) {
+                n.needs_tracker = true;
             }
         }
         // Filterable conjuncts.
@@ -313,9 +315,7 @@ pub fn build_plan(
                 n.needs_tracker = true;
             }
         }
-        if BuiltinProp::from_name("track_id").is_some()
-            && n.props.contains("track_id")
-        {
+        if BuiltinProp::from_name("track_id").is_some() && n.props.contains("track_id") {
             n.needs_tracker = true;
         }
     }
@@ -366,7 +366,9 @@ pub fn build_plan(
         }
 
         if n.needs_tracker {
-            ops.push(OpSpec::Track { alias: alias.clone() });
+            ops.push(OpSpec::Track {
+                alias: alias.clone(),
+            });
         }
         available.insert("track_id".into());
         if !opts.eager_filters {
@@ -399,7 +401,11 @@ pub fn build_plan(
         if opts.eager_filters {
             let mut still: Vec<(Pred, bool)> = Vec::new();
             for (pred, shared) in pending.drain(..) {
-                if pred.referenced_props().iter().all(|p| available.contains(&p.prop)) {
+                if pred
+                    .referenced_props()
+                    .iter()
+                    .all(|p| available.contains(&p.prop))
+                {
                     filters_tail.push(OpSpec::Filter {
                         alias: alias.clone(),
                         pred: pred.clone(),
@@ -439,11 +445,28 @@ pub fn build_plan(
         ops.push(OpSpec::Join { index: qi });
     }
 
+    // Intern every alias and property name the plan references, so the
+    // executor can key per-track caches with `Copy` symbols.
+    let mut symbols = SymbolTable::new();
+    for alias in schemas.keys() {
+        symbols.intern(alias);
+    }
+    for op in &ops {
+        match op {
+            OpSpec::Project { alias, prop } | OpSpec::FusedProjectFilter { alias, prop, .. } => {
+                symbols.intern(alias);
+                symbols.intern(prop);
+            }
+            _ => {}
+        }
+    }
+
     Ok(PlanDag {
         ops,
         joins,
         relations,
         schemas,
+        symbols,
         label: if opts.label.is_empty() {
             "baseline".into()
         } else {
@@ -452,10 +475,7 @@ pub fn build_plan(
     })
 }
 
-fn record_prop(
-    needs: &mut BTreeMap<String, AliasNeeds>,
-    p: &PropRef,
-) -> Result<()> {
+fn record_prop(needs: &mut BTreeMap<String, AliasNeeds>, p: &PropRef) -> Result<()> {
     let n = needs
         .get_mut(&p.alias)
         .ok_or_else(|| VqpyError::UnknownAlias(p.alias.clone()))?;
@@ -649,7 +669,11 @@ mod tests {
         assert!(desc.contains("detect(red_car_detector"), "{desc}");
         assert!(!desc.contains("project(car.color)"), "{desc}");
         // Join predicate no longer mentions color.
-        assert!(!plan.joins[0].pred.to_string().contains("color"), "{}", plan.joins[0].pred);
+        assert!(
+            !plan.joins[0].pred.to_string().contains("color"),
+            "{}",
+            plan.joins[0].pred
+        );
     }
 
     #[test]
@@ -699,9 +723,7 @@ mod tests {
         // plate (7.0) should be projected after color (5.0) when both needed.
         let q = Query::builder("Both")
             .vobj("car", library::vehicle_schema())
-            .frame_constraint(
-                Pred::eq("car", "color", "red") & Pred::eq("car", "plate", "X"),
-            )
+            .frame_constraint(Pred::eq("car", "color", "red") & Pred::eq("car", "plate", "X"))
             .build()
             .unwrap();
         let plan = build_plan(&[q], &zoo(), &PlanOptions::vqpy_default()).unwrap();

@@ -5,7 +5,14 @@
 //! `(alias, track id, property)`. The projector consults the cache before
 //! invoking any model; the ~10x gains of §5.2's stateless-property
 //! comparison come from these hits.
+//!
+//! The key uses interned [`Sym`]s (see [`crate::backend::symbols`]), so a
+//! probe is a `Copy` tuple hash — the hit path performs **zero heap
+//! allocations**. Entries live in a slab-backed intrusive LRU list: an
+//! optional capacity bound evicts the least-recently-used track property
+//! so unboundedly long videos cannot grow memory without limit.
 
+use crate::backend::symbols::Sym;
 use std::collections::HashMap;
 use vqpy_models::Value;
 use vqpy_tracker::TrackId;
@@ -15,6 +22,8 @@ use vqpy_tracker::TrackId;
 pub struct ReuseStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped by the LRU capacity bound.
+    pub evictions: u64,
 }
 
 impl ReuseStats {
@@ -29,28 +38,92 @@ impl ReuseStats {
     }
 }
 
-/// Memoized intrinsic property values per tracked object.
+/// Cache key: `(alias, track, property)`, all `Copy`.
+type Key = (Sym, TrackId, Sym);
+
+const NIL: usize = usize::MAX;
+
+/// One slab entry, doubly linked into the LRU list.
+#[derive(Debug)]
+struct Entry {
+    key: Key,
+    value: Value,
+    prev: usize,
+    next: usize,
+}
+
+/// Memoized intrinsic property values per tracked object, with an optional
+/// LRU capacity bound.
 #[derive(Debug, Default)]
 pub struct ReuseCache {
-    values: HashMap<(String, TrackId, String), Value>,
+    index: HashMap<Key, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most-recently-used end of the list.
+    head: Option<usize>,
+    /// Least-recently-used end of the list.
+    tail: Option<usize>,
+    capacity: Option<usize>,
     stats: ReuseStats,
 }
 
 impl ReuseCache {
-    /// An empty cache.
+    /// An unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up a memoized value, recording a hit or miss.
-    pub fn lookup(&mut self, alias: &str, track: TrackId, prop: &str) -> Option<Value> {
-        match self
-            .values
-            .get(&(alias.to_owned(), track, prop.to_owned()))
-        {
-            Some(v) => {
+    /// A cache evicting least-recently-used entries beyond `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "reuse cache capacity must be positive");
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = (next != NIL).then_some(next),
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = (prev != NIL).then_some(prev),
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[i].prev = NIL;
+        self.slab[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head.unwrap_or(NIL);
+        if let Some(h) = self.head {
+            self.slab[h].prev = i;
+        }
+        self.head = Some(i);
+        if self.tail.is_none() {
+            self.tail = Some(i);
+        }
+    }
+
+    /// Looks up a memoized value, recording a hit or miss. Hits move the
+    /// entry to the front of the LRU list. This path allocates nothing:
+    /// the key is a `Copy` tuple and the value is returned by reference.
+    pub fn lookup(&mut self, alias: Sym, track: TrackId, prop: Sym) -> Option<&Value> {
+        match self.index.get(&(alias, track, prop)).copied() {
+            Some(i) => {
                 self.stats.hits += 1;
-                Some(v.clone())
+                if self.head != Some(i) {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.slab[i].value)
             }
             None => {
                 self.stats.misses += 1;
@@ -59,10 +132,50 @@ impl ReuseCache {
         }
     }
 
-    /// Memoizes a computed intrinsic value.
-    pub fn store(&mut self, alias: &str, track: TrackId, prop: &str, value: Value) {
-        self.values
-            .insert((alias.to_owned(), track, prop.to_owned()), value);
+    /// Memoizes a computed intrinsic value, evicting the least-recently-used
+    /// entry when the capacity bound is exceeded.
+    pub fn store(&mut self, alias: Sym, track: TrackId, prop: Sym, value: Value) {
+        let key = (alias, track, prop);
+        if let Some(&i) = self.index.get(&key) {
+            self.slab[i].value = value;
+            if self.head != Some(i) {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            while self.index.len() >= cap {
+                let lru = self.tail.expect("non-empty cache has a tail");
+                self.unlink(lru);
+                self.index.remove(&self.slab[lru].key);
+                self.slab[lru].value = Value::Null;
+                self.free.push(lru);
+                self.stats.evictions += 1;
+            }
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, i);
+        self.push_front(i);
     }
 
     /// Cache statistics so far.
@@ -72,17 +185,21 @@ impl ReuseCache {
 
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.index.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.index.is_empty()
     }
 
     /// Drops all entries and statistics.
     pub fn clear(&mut self) {
-        self.values.clear();
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = None;
+        self.tail = None;
         self.stats = ReuseStats::default();
     }
 }
@@ -91,33 +208,102 @@ impl ReuseCache {
 mod tests {
     use super::*;
 
+    const CAR: Sym = Sym(0);
+    const TRUCK: Sym = Sym(1);
+    const COLOR: Sym = Sym(2);
+    const PLATE: Sym = Sym(3);
+
     #[test]
     fn lookup_miss_then_hit() {
         let mut c = ReuseCache::new();
-        assert!(c.lookup("car", 1, "color").is_none());
-        c.store("car", 1, "color", Value::from("red"));
-        assert_eq!(c.lookup("car", 1, "color"), Some(Value::from("red")));
-        assert_eq!(c.stats(), ReuseStats { hits: 1, misses: 1 });
+        assert!(c.lookup(CAR, 1, COLOR).is_none());
+        c.store(CAR, 1, COLOR, Value::from("red"));
+        assert_eq!(c.lookup(CAR, 1, COLOR).cloned(), Some(Value::from("red")));
+        assert_eq!(
+            c.stats(),
+            ReuseStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_full() {
+        assert_eq!(ReuseStats::default().hit_rate(), 0.0);
+        let all_hits = ReuseStats {
+            hits: 10,
+            misses: 0,
+            evictions: 0,
+        };
+        assert!((all_hits.hit_rate() - 1.0).abs() < 1e-12);
+        let mixed = ReuseStats {
+            hits: 3,
+            misses: 9,
+            evictions: 2,
+        };
+        assert!((mixed.hit_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn keys_are_fully_qualified() {
         let mut c = ReuseCache::new();
-        c.store("car", 1, "color", Value::from("red"));
-        assert!(c.lookup("truck", 1, "color").is_none());
-        assert!(c.lookup("car", 2, "color").is_none());
-        assert!(c.lookup("car", 1, "plate").is_none());
+        c.store(CAR, 1, COLOR, Value::from("red"));
+        assert!(c.lookup(TRUCK, 1, COLOR).is_none());
+        assert!(c.lookup(CAR, 2, COLOR).is_none());
+        assert!(c.lookup(CAR, 1, PLATE).is_none());
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn clear_resets() {
         let mut c = ReuseCache::new();
-        c.store("car", 1, "color", Value::from("red"));
-        c.lookup("car", 1, "color");
+        c.store(CAR, 1, COLOR, Value::from("red"));
+        c.lookup(CAR, 1, COLOR);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats(), ReuseStats::default());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c = ReuseCache::with_capacity(2);
+        c.store(CAR, 1, COLOR, Value::from("red"));
+        c.store(CAR, 2, COLOR, Value::from("blue"));
+        // Touch track 1 so track 2 becomes the LRU.
+        assert!(c.lookup(CAR, 1, COLOR).is_some());
+        c.store(CAR, 3, COLOR, Value::from("green"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.lookup(CAR, 2, COLOR).is_none(), "LRU entry evicted");
+        assert!(c.lookup(CAR, 1, COLOR).is_some());
+        assert!(c.lookup(CAR, 3, COLOR).is_some());
+    }
+
+    #[test]
+    fn eviction_churn_reuses_slab_slots() {
+        let mut c = ReuseCache::with_capacity(4);
+        for t in 0..100u64 {
+            c.store(CAR, t, COLOR, Value::Int(t as i64));
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.stats().evictions, 96);
+        // The slab never grew past capacity + nothing leaked.
+        assert!(c.slab.len() <= 5, "slab len {}", c.slab.len());
+        for t in 96..100u64 {
+            assert_eq!(c.lookup(CAR, t, COLOR).cloned(), Some(Value::Int(t as i64)));
+        }
+    }
+
+    #[test]
+    fn store_overwrite_updates_in_place() {
+        let mut c = ReuseCache::with_capacity(2);
+        c.store(CAR, 1, COLOR, Value::from("red"));
+        c.store(CAR, 1, COLOR, Value::from("black"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.lookup(CAR, 1, COLOR).cloned(), Some(Value::from("black")));
     }
 }

@@ -60,12 +60,20 @@ impl fmt::Display for VqpyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VqpyError::UnknownProperty { schema, property } => {
-                write!(f, "no property `{property}` on VObj `{schema}` or its ancestors")
+                write!(
+                    f,
+                    "no property `{property}` on VObj `{schema}` or its ancestors"
+                )
             }
             VqpyError::UnknownAlias(a) => write!(f, "query references undeclared alias `{a}`"),
-            VqpyError::UnknownRelation(r) => write!(f, "query references undeclared relation `{r}`"),
+            VqpyError::UnknownRelation(r) => {
+                write!(f, "query references undeclared relation `{r}`")
+            }
             VqpyError::CyclicDependency { schema, property } => {
-                write!(f, "cyclic property dependency through `{schema}.{property}`")
+                write!(
+                    f,
+                    "cyclic property dependency through `{schema}.{property}`"
+                )
             }
             VqpyError::Model(e) => write!(f, "{e}"),
             VqpyError::Compose(e) => write!(f, "{e}"),
@@ -118,7 +126,9 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("Vehicle") && msg.contains("wings"));
-        assert!(ComposeError::SpatialNeedsBasic.to_string().contains("rule 1"));
+        assert!(ComposeError::SpatialNeedsBasic
+            .to_string()
+            .contains("rule 1"));
     }
 
     #[test]

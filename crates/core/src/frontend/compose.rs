@@ -112,7 +112,11 @@ pub fn spatial_query(
         b = b.vobj(v.alias.clone(), Arc::clone(&v.schema));
     }
     for r in q1.relations().iter().chain(q2.relations()) {
-        b = b.relation(Arc::clone(&r.schema), r.left_alias.clone(), r.right_alias.clone());
+        b = b.relation(
+            Arc::clone(&r.schema),
+            r.left_alias.clone(),
+            r.right_alias.clone(),
+        );
     }
     b = b.relation(relation, left_alias, right_alias);
     b = b.frame_constraint(q1.frame_constraint().clone());
@@ -225,8 +229,8 @@ pub fn temporal_join(first: &[u64], second: &[u64], window: u64) -> Vec<(u64, u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frontend::relation::distance_relation;
     use crate::frontend::predicate::CmpOp;
+    use crate::frontend::relation::distance_relation;
     use crate::frontend::vobj::VObjSchema;
 
     fn vehicle() -> Arc<VObjSchema> {
@@ -327,7 +331,10 @@ mod tests {
     #[test]
     fn duration_filter_finds_long_runs() {
         let hits = [1, 2, 3, 4, 10, 11, 20, 21, 22, 23, 24, 25];
-        assert_eq!(duration_filter(&hits, 4, 0), vec![1, 2, 3, 4, 20, 21, 22, 23, 24, 25]);
+        assert_eq!(
+            duration_filter(&hits, 4, 0),
+            vec![1, 2, 3, 4, 20, 21, 22, 23, 24, 25]
+        );
         assert_eq!(duration_filter(&hits, 7, 0), Vec::<u64>::new());
         // With gap tolerance 5, [1..4] and [10,11] merge into one span.
         let merged = duration_filter(&hits, 10, 5);
@@ -361,7 +368,11 @@ mod tests {
             100,
         )
         .unwrap();
-        let names: Vec<_> = t.base_queries().iter().map(|q| q.name().to_owned()).collect();
+        let names: Vec<_> = t
+            .base_queries()
+            .iter()
+            .map(|q| q.name().to_owned())
+            .collect();
         assert_eq!(names, vec!["A", "B"]);
         assert!(t.describe().contains("sequence"));
     }

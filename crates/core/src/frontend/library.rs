@@ -32,23 +32,25 @@ fn displacement_from_bbox_history(history: &[Value]) -> Option<Point> {
 /// Stateful native `speed` property: pixels/frame, smoothed over
 /// `history_len` bbox samples (Figure 23's `velocity` UDF analog).
 pub fn speed_prop(history_len: usize) -> PropertyDef {
-    let f: NativeFn = Arc::new(|ctx| {
-        match displacement_from_bbox_history(ctx.dep_history("bbox")) {
-            Some(d) => Value::Float(d.norm() as f64),
-            None => Value::Null,
-        }
-    });
+    let f: NativeFn =
+        Arc::new(
+            |ctx| match displacement_from_bbox_history(ctx.dep_history("bbox")) {
+                Some(d) => Value::Float(d.norm() as f64),
+                None => Value::Null,
+            },
+        );
     PropertyDef::stateful_native("speed", &["bbox"], history_len, f)
 }
 
 /// Stateful native `velocity` property: per-frame displacement vector.
 pub fn velocity_prop(history_len: usize) -> PropertyDef {
-    let f: NativeFn = Arc::new(|ctx| {
-        match displacement_from_bbox_history(ctx.dep_history("bbox")) {
-            Some(d) => Value::Point(d),
-            None => Value::Null,
-        }
-    });
+    let f: NativeFn =
+        Arc::new(
+            |ctx| match displacement_from_bbox_history(ctx.dep_history("bbox")) {
+                Some(d) => Value::Point(d),
+                None => Value::Null,
+            },
+        );
     PropertyDef::stateful_native("velocity", &["bbox"], history_len, f)
 }
 
@@ -88,8 +90,16 @@ pub fn vehicle_schema() -> Arc<VObjSchema> {
         .detector("yolox")
         .property(PropertyDef::stateless_model("color", "color_detect", false))
         .property(PropertyDef::stateless_model("vtype", "vtype_detect", false))
-        .property(PropertyDef::stateless_model("direction", "direction_model", false))
-        .property(PropertyDef::stateless_model("plate", "plate_recognize", false))
+        .property(PropertyDef::stateless_model(
+            "direction",
+            "direction_model",
+            false,
+        ))
+        .property(PropertyDef::stateless_model(
+            "plate",
+            "plate_recognize",
+            false,
+        ))
         .property(speed_prop(3))
         .property(velocity_prop(3))
         .build()
@@ -105,7 +115,11 @@ pub fn vehicle_schema_intrinsic() -> Arc<VObjSchema> {
         .parent(vehicle_schema())
         .property(PropertyDef::stateless_model("color", "color_detect", true))
         .property(PropertyDef::stateless_model("vtype", "vtype_detect", true))
-        .property(PropertyDef::stateless_model("plate", "plate_recognize", true))
+        .property(PropertyDef::stateless_model(
+            "plate",
+            "plate_recognize",
+            true,
+        ))
         .build()
 }
 
@@ -115,7 +129,11 @@ pub fn person_schema() -> Arc<VObjSchema> {
     VObjSchema::builder("Person")
         .class_labels(&["person"])
         .detector("yolox")
-        .property(PropertyDef::stateless_model("action", "action_classify", false))
+        .property(PropertyDef::stateless_model(
+            "action",
+            "action_classify",
+            false,
+        ))
         .property(PropertyDef::stateless_model("feature", "reid_embed", true))
         .property(speed_prop(3))
         .build()
@@ -244,7 +262,13 @@ mod tests {
     fn heading_change_detects_right_turn() {
         let def = heading_change_prop(5);
         // Moving east then south (right turn on screen).
-        let deps = bbox_history(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (20.0, 10.0), (20.0, 20.0)]);
+        let deps = bbox_history(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (20.0, 0.0),
+            (20.0, 10.0),
+            (20.0, 20.0),
+        ]);
         match eval(&def, &deps) {
             Value::Float(deg) => assert!(deg > 45.0, "expected strong right turn, got {deg}"),
             other => panic!("expected float, got {other:?}"),

@@ -296,12 +296,10 @@ impl Pred {
 
     /// Conjunction of an iterator of predicates (`True` when empty).
     pub fn all(preds: impl IntoIterator<Item = Pred>) -> Pred {
-        preds
-            .into_iter()
-            .fold(Pred::True, |acc, p| match acc {
-                Pred::True => p,
-                acc => acc & p,
-            })
+        preds.into_iter().fold(Pred::True, |acc, p| match acc {
+            Pred::True => p,
+            acc => acc & p,
+        })
     }
 }
 

@@ -137,7 +137,11 @@ pub struct PropertyDef {
 
 impl PropertyDef {
     /// A stateless model property (e.g. `color` via `"color_detect"`).
-    pub fn stateless_model(name: impl Into<String>, model: impl Into<String>, intrinsic: bool) -> Self {
+    pub fn stateless_model(
+        name: impl Into<String>,
+        model: impl Into<String>,
+        intrinsic: bool,
+    ) -> Self {
         Self {
             name: name.into(),
             kind: PropertyKind::Stateless { intrinsic },
@@ -200,7 +204,10 @@ mod tests {
     fn ctx_dep_access() {
         let mut deps = HashMap::new();
         deps.insert("center".to_owned(), vec![Value::Int(1), Value::Int(2)]);
-        let ctx = PropertyCtx { deps: &deps, fps: 15 };
+        let ctx = PropertyCtx {
+            deps: &deps,
+            fps: 15,
+        };
         assert_eq!(ctx.dep("center"), Value::Int(2));
         assert_eq!(ctx.dep_history("center").len(), 2);
         assert_eq!(ctx.dep("missing"), Value::Null);

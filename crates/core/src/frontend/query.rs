@@ -136,7 +136,11 @@ impl Query {
                 }
             }
         }
-        let mut refs: Vec<PropRef> = self.frame_constraint.referenced_props().into_iter().collect();
+        let mut refs: Vec<PropRef> = self
+            .frame_constraint
+            .referenced_props()
+            .into_iter()
+            .collect();
         refs.extend(self.frame_output.iter().cloned());
         for p in refs {
             let decl = self
@@ -211,11 +215,11 @@ impl QueryBuilder {
 
     /// ANDs `pred` into the frame constraint.
     pub fn frame_constraint(mut self, pred: Pred) -> Self {
-        self.query.frame_constraint = match std::mem::replace(&mut self.query.frame_constraint, Pred::True)
-        {
-            Pred::True => pred,
-            existing => existing & pred,
-        };
+        self.query.frame_constraint =
+            match std::mem::replace(&mut self.query.frame_constraint, Pred::True) {
+                Pred::True => pred,
+                existing => existing & pred,
+            };
         self
     }
 
@@ -255,9 +259,9 @@ impl QueryBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frontend::predicate::CmpOp;
     use crate::frontend::property::PropertyDef;
     use crate::frontend::relation::distance_relation;
-    use crate::frontend::predicate::CmpOp;
 
     fn vehicle() -> Arc<VObjSchema> {
         VObjSchema::builder("Vehicle")
@@ -362,7 +366,9 @@ mod tests {
     fn video_output_alias_is_validated() {
         let err = Query::builder("Count")
             .vobj("car", vehicle())
-            .video_output(Aggregate::CountDistinctTracks { alias: "bike".into() })
+            .video_output(Aggregate::CountDistinctTracks {
+                alias: "bike".into(),
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, VqpyError::UnknownAlias(_)));

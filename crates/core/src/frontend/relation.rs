@@ -162,7 +162,9 @@ impl RelationSchemaBuilder {
             name.clone(),
             RelationPropertyDef {
                 name,
-                source: RelationSource::Hoi { model: model.into() },
+                source: RelationSource::Hoi {
+                    model: model.into(),
+                },
             },
         );
         self

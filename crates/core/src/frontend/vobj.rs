@@ -299,7 +299,12 @@ mod tests {
         let schema = VObjSchema::builder("T")
             .detector("yolox")
             .class_labels(&["car"])
-            .property(PropertyDef::stateless_native("a", &["bbox"], false, f.clone()))
+            .property(PropertyDef::stateless_native(
+                "a",
+                &["bbox"],
+                false,
+                f.clone(),
+            ))
             .property(PropertyDef::stateless_native("b", &["a"], false, f.clone()))
             .property(PropertyDef::stateless_native("c", &["b", "a"], false, f))
             .build();

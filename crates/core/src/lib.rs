@@ -46,7 +46,7 @@ pub mod frontend;
 pub mod scoring;
 pub mod session;
 
-pub use backend::exec::{ExecConfig, ExecMetrics, FrameHit, QueryResult};
+pub use backend::exec::{ExecConfig, ExecMetrics, ExecMode, FrameHit, QueryResult};
 pub use backend::plan::{build_plan, OpSpec, PlanDag, PlanOptions};
 pub use error::{ComposeError, VqpyError};
 pub use extend::{BinaryFilterReg, ExtensionRegistry, FrameFilterReg, SpecializedNnReg};

@@ -23,7 +23,11 @@ pub fn f1_frames(predicted: &BTreeSet<u64>, reference: &BTreeSet<u64>) -> F1Stat
     let fn_ = reference.len() as u64 - tp;
     let precision = if tp + fp == 0 {
         // No positive predictions: perfect precision iff nothing to find.
-        if reference.is_empty() { 1.0 } else { 0.0 }
+        if reference.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
     } else {
         tp as f64 / (tp + fp) as f64
     };

@@ -51,6 +51,22 @@ impl Default for SessionConfig {
     }
 }
 
+impl SessionConfig {
+    /// Default configuration with pipelined execution: decode, detection,
+    /// and the relational tail overlap on dedicated threads, with `workers`
+    /// threads fanning out the decode and detect stages. Query results are
+    /// identical to the sequential default.
+    pub fn pipelined(workers: usize) -> Self {
+        Self {
+            exec: ExecConfig {
+                exec_mode: crate::backend::exec::ExecMode::Pipelined { workers },
+                ..ExecConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
 /// The result of executing a composed [`QueryExpr`].
 #[derive(Debug, Clone)]
 pub struct ComposedResult {
@@ -135,12 +151,12 @@ impl VqpySession {
 
     /// Plans `queries` as one shared pipeline, consulting the plan cache
     /// and (when extensions are registered) canary profiling.
-    pub fn plan_for(
-        &self,
-        queries: &[Arc<Query>],
-        video: &dyn VideoSource,
-    ) -> Result<PlanDag> {
-        let key: String = queries.iter().map(|q| Self::cache_key(q)).collect::<Vec<_>>().join("&");
+    pub fn plan_for(&self, queries: &[Arc<Query>], video: &dyn VideoSource) -> Result<PlanDag> {
+        let key: String = queries
+            .iter()
+            .map(|q| Self::cache_key(q))
+            .collect::<Vec<_>>()
+            .join("&");
         if let Some(plan) = self.plan_cache.lock().get(&key) {
             return Ok(plan.clone());
         }
@@ -163,9 +179,7 @@ impl VqpySession {
                     .fold(self.config.accuracy_target, f32::max);
                 let (idx, profiles) = match video.scene() {
                     Some(scene) => {
-                        let canary = vqpy_video::source::SyntheticVideo::new(
-                            scene.clone(),
-                        );
+                        let canary = vqpy_video::source::SyntheticVideo::new(scene.clone());
                         let canary = canary.clip(0.0, canary_end);
                         profile_and_choose(
                             &candidates,
@@ -178,7 +192,10 @@ impl VqpySession {
                     None => (0, Vec::new()),
                 };
                 *self.last_profiles.lock() = profiles;
-                candidates.into_iter().nth(idx).expect("index from enumerate")
+                candidates
+                    .into_iter()
+                    .nth(idx)
+                    .expect("index from enumerate")
             }
         } else {
             let mut plan = build_plan(queries, &self.zoo, &self.config.plan)?;
@@ -191,11 +208,7 @@ impl VqpySession {
 
     /// Executes one basic query, using the materialized-result cache when
     /// the same query was already answered on this video.
-    pub fn execute(
-        &self,
-        query: &Arc<Query>,
-        video: &dyn VideoSource,
-    ) -> Result<Arc<QueryResult>> {
+    pub fn execute(&self, query: &Arc<Query>, video: &dyn VideoSource) -> Result<Arc<QueryResult>> {
         let cache_key = (video.video_id(), Self::cache_key(query));
         if self.config.enable_result_cache {
             if let Some(hit) = self.result_cache.lock().get(&cache_key) {
@@ -332,6 +345,17 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_session_matches_sequential_session() {
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 55, 10.0));
+        let q = red_car();
+        let seq = VqpySession::new(ModelZoo::standard());
+        let seq_result = seq.execute(&q, &v).unwrap();
+        let pipe = VqpySession::with_config(ModelZoo::standard(), SessionConfig::pipelined(3));
+        let pipe_result = pipe.execute(&q, &v).unwrap();
+        assert_eq!(seq_result.hit_frame_set(), pipe_result.hit_frame_set());
+    }
+
+    #[test]
     fn composed_duration_runs() {
         let s = session();
         let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 77, 15.0));
@@ -340,12 +364,7 @@ mod tests {
             .frame_constraint(Pred::gt("car", "score", 0.5))
             .build()
             .unwrap();
-        let expr = crate::frontend::compose::duration_query(
-            QueryExpr::basic(base),
-            10,
-            2,
-        )
-        .unwrap();
+        let expr = crate::frontend::compose::duration_query(QueryExpr::basic(base), 10, 2).unwrap();
         let r = s.execute_expr(&expr, &v).unwrap();
         // Traffic at Jackson rates should produce sustained car presence.
         assert!(r.satisfied);

@@ -107,12 +107,14 @@ impl LabelClassifier {
             confusion,
             salt,
             labels: vec!["walking", "standing", "running", "hitting_ball"],
-            truth_label: |v| v.attrs.as_person().map(|p| match p.action {
-                PersonAction::Walking => "walking",
-                PersonAction::Standing => "standing",
-                PersonAction::Running => "running",
-                PersonAction::HittingBall => "hitting_ball",
-            }),
+            truth_label: |v| {
+                v.attrs.as_person().map(|p| match p.action {
+                    PersonAction::Walking => "walking",
+                    PersonAction::Standing => "standing",
+                    PersonAction::Running => "running",
+                    PersonAction::HittingBall => "hitting_ball",
+                })
+            },
         }
     }
 }
@@ -235,8 +237,7 @@ impl Classifier for FeatureEmbedder {
         let mut v = match det.sim_entity {
             Some(id) => self.base_vector(id),
             None => {
-                let mut v: Vec<f32> =
-                    (0..self.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let mut v: Vec<f32> = (0..self.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
                 normalize(&mut v);
                 v
             }
@@ -316,7 +317,10 @@ mod tests {
                 .as_vehicle()
                 .unwrap()
                 .vtype;
-            assert_eq!(model.classify(&f, &det, &clock).as_str(), Some(truth.as_str()));
+            assert_eq!(
+                model.classify(&f, &det, &clock).as_str(),
+                Some(truth.as_str())
+            );
         }
     }
 
@@ -339,7 +343,10 @@ mod tests {
                 .unwrap()
                 .plate
                 .clone();
-            assert_eq!(model.classify(&f, &det, &clock).as_str(), Some(truth.as_str()));
+            assert_eq!(
+                model.classify(&f, &det, &clock).as_str(),
+                Some(truth.as_str())
+            );
         }
     }
 

@@ -36,7 +36,7 @@ impl Detection {
 /// exactly how a deterministic neural network behaves. That property is what
 /// lets optimized and unoptimized plans reach identical accuracy.
 pub fn det_rng(salt: u64, frame: u64, entity: u64) -> SmallRng {
-    let mut h = salt ^ 0x51_7C_C1B7_2722_0A95;
+    let mut h = salt ^ 0x517C_C1B7_2722_0A95;
     for v in [frame, entity] {
         h ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h = h.rotate_left(23).wrapping_mul(0x2545_F491_4F6C_DD1D);

@@ -144,7 +144,10 @@ impl Detector for SimDetector {
         // Occasional false positive somewhere on the frame.
         let mut fp_rng = det_rng(self.salt ^ 0xF9F9, frame.index, u64::MAX);
         if fp_rng.gen::<f32>() < self.fp_rate && !self.classes.is_empty() {
-            let (w, h) = (frame.pixels.width() * frame.pixels.scale(), frame.pixels.height() * frame.pixels.scale());
+            let (w, h) = (
+                frame.pixels.width() * frame.pixels.scale(),
+                frame.pixels.height() * frame.pixels.scale(),
+            );
             let cx = fp_rng.gen_range(0.0..w as f32);
             let cy = fp_rng.gen_range(0.0..h as f32);
             let bw = fp_rng.gen_range(30.0..120.0);
@@ -203,7 +206,8 @@ mod tests {
     #[test]
     fn recall_is_roughly_honored() {
         let v = video();
-        let det = SimDetector::general("d", &["car", "bus", "truck"], 1.0, 0.9, 5).with_fp_rate(0.0);
+        let det =
+            SimDetector::general("d", &["car", "bus", "truck"], 1.0, 0.9, 5).with_fp_rate(0.0);
         let clock = Clock::new();
         let mut truth_count = 0usize;
         let mut detected = 0usize;

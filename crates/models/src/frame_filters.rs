@@ -115,14 +115,7 @@ mod tests {
     #[test]
     fn noisy_classifier_flips_some_answers() {
         let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 18, 120.0));
-        let clf = PresenceClassifier::new(
-            "noisy",
-            1.0,
-            Arc::new(red_vehicle_present),
-            0.3,
-            0.3,
-            4,
-        );
+        let clf = PresenceClassifier::new("noisy", 1.0, Arc::new(red_vehicle_present), 0.3, 0.3, 4);
         let clock = Clock::new();
         let mut flips = 0;
         let mut n = 0;
@@ -133,20 +126,16 @@ mod tests {
                 flips += 1;
             }
         }
-        assert!(flips > 0, "a 30% noise channel must flip something in {n} frames");
+        assert!(
+            flips > 0,
+            "a 30% noise channel must flip something in {n} frames"
+        );
     }
 
     #[test]
     fn charges_cost_per_frame() {
         let v = SyntheticVideo::new(Scene::generate(presets::banff(), 19, 5.0));
-        let clf = PresenceClassifier::new(
-            "cheap",
-            1.5,
-            Arc::new(|_| true),
-            0.0,
-            0.0,
-            4,
-        );
+        let clf = PresenceClassifier::new("cheap", 1.5, Arc::new(|_| true), 0.0, 0.0, 4);
         let clock = Clock::new();
         clf.predict(&v.frame(0), &clock);
         clf.predict(&v.frame(1), &clock);

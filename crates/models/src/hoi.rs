@@ -124,7 +124,10 @@ mod tests {
         }
         assert!(truth_frames > 0, "scene must contain hit frames");
         let rate = recovered as f32 / truth_frames as f32;
-        assert!(rate > 0.7, "perfect-recall HOI should recover most hits, got {rate}");
+        assert!(
+            rate > 0.7,
+            "perfect-recall HOI should recover most hits, got {rate}"
+        );
     }
 
     #[test]

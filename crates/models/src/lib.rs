@@ -45,6 +45,9 @@ pub mod zoo;
 
 pub use clock::{ChargeStat, Clock, ClockMode, CostUnits};
 pub use detection::{det_rng, Detection};
-pub use traits::{Classifier, Detector, FrameClassifier, HoiModel, HoiTriple, ModelProfile, TaskKind};
+pub use traits::{
+    Classifier, Detector, FrameClassifier, HoiModel, HoiTriple, ModelProfile, TaskKind,
+    BATCH_OVERHEAD_FRACTION,
+};
 pub use value::Value;
 pub use zoo::{LookupModelError, ModelZoo};

@@ -37,7 +37,12 @@ pub struct ModelProfile {
 
 impl ModelProfile {
     /// Creates a profile.
-    pub fn new(name: impl Into<String>, task: TaskKind, cost: CostUnits, approx_recall: f32) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        task: TaskKind,
+        cost: CostUnits,
+        approx_recall: f32,
+    ) -> Self {
         Self {
             name: name.into(),
             task,
@@ -47,12 +52,33 @@ impl ModelProfile {
     }
 }
 
+/// Fraction of a model's per-invocation cost that is fixed dispatch
+/// overhead (kernel launch, host-device transfer, framework entry). Batched
+/// invocations amortize it: every item after the first in one physical
+/// batch gets this fraction of its charge credited back (§4.1).
+pub const BATCH_OVERHEAD_FRACTION: f64 = 0.15;
+
+fn credit_batch_overhead(clock: &Clock, cost: CostUnits, items: usize) {
+    if items > 1 {
+        clock.credit(cost * BATCH_OVERHEAD_FRACTION * (items - 1) as f64);
+    }
+}
+
 /// An object detector: frame in, labeled boxes out.
 pub trait Detector: Send + Sync {
     /// Static metadata.
     fn profile(&self) -> &ModelProfile;
     /// Runs detection on `frame`, charging the clock.
     fn detect(&self, frame: &Frame, clock: &Clock) -> Vec<Detection>;
+
+    /// Runs detection over a batch of frames as one physical invocation,
+    /// amortizing the fixed dispatch overhead across the batch. Results are
+    /// identical to frame-at-a-time `detect`; only the charged cost differs.
+    fn detect_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<Vec<Detection>> {
+        let out = frames.iter().map(|f| self.detect(f, clock)).collect();
+        credit_batch_overhead(clock, self.profile().cost, frames.len());
+        out
+    }
 }
 
 /// A per-object attribute model (color, type, plate, embedding, ...).
@@ -61,6 +87,19 @@ pub trait Classifier: Send + Sync {
     fn profile(&self) -> &ModelProfile;
     /// Computes the attribute for one detection, charging the clock.
     fn classify(&self, frame: &Frame, det: &Detection, clock: &Clock) -> Value;
+
+    /// Classifies several crops of one frame as one physical invocation,
+    /// amortizing the fixed dispatch overhead across the crops. Results are
+    /// identical to crop-at-a-time `classify`; only the charged cost
+    /// differs.
+    fn classify_batch(&self, frame: &Frame, dets: &[Detection], clock: &Clock) -> Vec<Value> {
+        let out = dets
+            .iter()
+            .map(|d| self.classify(frame, d, clock))
+            .collect();
+        credit_batch_overhead(clock, self.profile().cost, dets.len());
+        out
+    }
 }
 
 /// A frame-level yes/no model ("does this frame plausibly contain a red
@@ -70,6 +109,14 @@ pub trait FrameClassifier: Send + Sync {
     fn profile(&self) -> &ModelProfile;
     /// Predicts whether the frame is relevant, charging the clock.
     fn predict(&self, frame: &Frame, clock: &Clock) -> bool;
+
+    /// Predicts a batch of frames as one physical invocation, amortizing
+    /// the fixed dispatch overhead across the batch.
+    fn predict_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<bool> {
+        let out = frames.iter().map(|f| self.predict(f, clock)).collect();
+        credit_batch_overhead(clock, self.profile().cost, frames.len());
+        out
+    }
 }
 
 /// A detected subject-object interaction (e.g. person hits ball).
@@ -89,6 +136,10 @@ pub trait HoiModel: Send + Sync {
     /// Static metadata.
     fn profile(&self) -> &ModelProfile;
     /// Predicts interactions among `detections`, charging the clock.
-    fn interactions(&self, frame: &Frame, detections: &[Detection], clock: &Clock)
-        -> Vec<HoiTriple>;
+    fn interactions(
+        &self,
+        frame: &Frame,
+        detections: &[Detection],
+        clock: &Clock,
+    ) -> Vec<HoiTriple>;
 }

@@ -51,7 +51,11 @@ pub struct LookupModelError {
 
 impl fmt::Display for LookupModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no {} model named `{}` in the zoo", self.expected, self.name)
+        write!(
+            f,
+            "no {} model named `{}` in the zoo",
+            self.expected, self.name
+        )
     }
 }
 
@@ -73,8 +77,14 @@ pub struct ModelZoo {
 impl fmt::Debug for ModelZoo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ModelZoo")
-            .field("detectors", &self.detectors.read().keys().collect::<Vec<_>>())
-            .field("classifiers", &self.classifiers.read().keys().collect::<Vec<_>>())
+            .field(
+                "detectors",
+                &self.detectors.read().keys().collect::<Vec<_>>(),
+            )
+            .field(
+                "classifiers",
+                &self.classifiers.read().keys().collect::<Vec<_>>(),
+            )
             .field(
                 "frame_classifiers",
                 &self.frame_classifiers.read().keys().collect::<Vec<_>>(),
@@ -204,9 +214,8 @@ impl ModelZoo {
             0.08,
             0x302,
         )));
-        let hit_likely: FramePredicate = Arc::new(|t| {
-            t.has_interaction(vqpy_video::InteractionKind::Hit)
-        });
+        let hit_likely: FramePredicate =
+            Arc::new(|t| t.has_interaction(vqpy_video::InteractionKind::Hit));
         zoo.register_frame_classifier(Arc::new(PresenceClassifier::new(
             "hit_action_filter",
             COST_ACTION_FILTER,
@@ -247,18 +256,26 @@ impl ModelZoo {
 
     /// Looks up a detector.
     pub fn detector(&self, name: &str) -> Result<Arc<dyn Detector>, LookupModelError> {
-        self.detectors.read().get(name).cloned().ok_or(LookupModelError {
-            name: name.to_owned(),
-            expected: "detector",
-        })
+        self.detectors
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(LookupModelError {
+                name: name.to_owned(),
+                expected: "detector",
+            })
     }
 
     /// Looks up a classifier.
     pub fn classifier(&self, name: &str) -> Result<Arc<dyn Classifier>, LookupModelError> {
-        self.classifiers.read().get(name).cloned().ok_or(LookupModelError {
-            name: name.to_owned(),
-            expected: "classifier",
-        })
+        self.classifiers
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(LookupModelError {
+                name: name.to_owned(),
+                expected: "classifier",
+            })
     }
 
     /// Looks up a frame classifier.

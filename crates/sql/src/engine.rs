@@ -392,8 +392,11 @@ mod tests {
     fn db_and_video() -> (Database, Arc<dyn VideoSource>, Clock) {
         let zoo = ModelZoo::standard();
         let mut db = Database::new(zoo);
-        let v: Arc<dyn VideoSource> =
-            Arc::new(SyntheticVideo::new(Scene::generate(presets::banff(), 99, 10.0)));
+        let v: Arc<dyn VideoSource> = Arc::new(SyntheticVideo::new(Scene::generate(
+            presets::banff(),
+            99,
+            10.0,
+        )));
         db.load_video("MyVideo", Arc::clone(&v));
         (db, v, Clock::new())
     }
@@ -430,7 +433,7 @@ mod tests {
             )
             .unwrap();
         assert!(cars.len() <= all);
-        assert!(cars.len() > 0, "there should be cars");
+        assert!(!cars.is_empty(), "there should be cars");
     }
 
     #[test]
@@ -438,10 +441,11 @@ mod tests {
         let (mut db, _v, clock) = db_and_video();
         db.extract_objects("TrackResult", "MyVideo", "yolox", &[], &clock)
             .unwrap();
-        db.lag_self_join("Joined", "TrackResult", 1, &clock).unwrap();
+        db.lag_self_join("Joined", "TrackResult", 1, &clock)
+            .unwrap();
         let t = db.table("Joined").unwrap();
         assert!(t.columns().contains(&"last_bbox".to_owned()));
-        assert!(t.len() > 0);
+        assert!(!t.is_empty());
         assert!(t.len() < db.table("TrackResult").unwrap().len());
         // Every joined row's last_bbox is a bbox.
         let c = t.col("last_bbox").unwrap();
@@ -456,7 +460,8 @@ mod tests {
             Err(SqlError::UnknownVideo(_))
         ));
         assert!(matches!(db.table("Ghost"), Err(SqlError::UnknownTable(_))));
-        db.extract_objects("T", "MyVideo", "yolox", &[], &clock).unwrap();
+        db.extract_objects("T", "MyVideo", "yolox", &[], &clock)
+            .unwrap();
         assert!(matches!(
             db.extract_objects("T2", "MyVideo", "not_a_model", &[], &clock),
             Err(SqlError::Model(_))
@@ -466,7 +471,8 @@ mod tests {
     #[test]
     fn drop_table_removes() {
         let (mut db, _v, clock) = db_and_video();
-        db.extract_objects("T", "MyVideo", "yolox", &[], &clock).unwrap();
+        db.extract_objects("T", "MyVideo", "yolox", &[], &clock)
+            .unwrap();
         db.drop_table("T");
         assert!(db.table("T").is_err());
     }

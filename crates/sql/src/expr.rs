@@ -29,7 +29,10 @@ pub enum Expr {
     Not(Box<Expr>),
     /// Scalar UDF call; the engine charges its model cost plus the
     /// per-invocation adaptation overhead.
-    Udf { udf: Arc<dyn ScalarUdf>, args: Vec<Expr> },
+    Udf {
+        udf: Arc<dyn ScalarUdf>,
+        args: Vec<Expr>,
+    },
 }
 
 impl std::fmt::Debug for Expr {
@@ -170,15 +173,9 @@ mod tests {
         let e = Expr::col("label")
             .eq(Expr::lit("car"))
             .and(Expr::col("score").gt(Expr::lit(0.5)));
-        assert_eq!(
-            e.eval(&t.rows()[0], &idx, &c).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(e.eval(&t.rows()[0], &idx, &c).unwrap(), Value::Bool(true));
         let e2 = Expr::Not(Box::new(Expr::col("label").eq(Expr::lit("car"))));
-        assert_eq!(
-            e2.eval(&t.rows()[0], &idx, &c).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(e2.eval(&t.rows()[0], &idx, &c).unwrap(), Value::Bool(false));
     }
 
     #[test]

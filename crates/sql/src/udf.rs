@@ -43,13 +43,9 @@ pub trait ScalarUdf: Send + Sync {
 /// attribute models behave identically to the VQPy path.
 fn detection_from_args(bbox: &Value, sim: Option<&Value>) -> Option<Detection> {
     let bbox = *bbox.as_bbox()?;
-    let sim_entity = sim.and_then(|v| v.as_i64()).and_then(|i| {
-        if i >= 0 {
-            Some(i as u64)
-        } else {
-            None
-        }
-    });
+    let sim_entity =
+        sim.and_then(|v| v.as_i64())
+            .and_then(|i| if i >= 0 { Some(i as u64) } else { None });
     Some(Detection {
         class_label: String::new(),
         bbox,
@@ -66,7 +62,9 @@ pub struct ColorUdf {
 impl ColorUdf {
     /// Wraps the zoo classifier `model` (e.g. `"color_detect"`).
     pub fn new(model: impl Into<String>) -> Self {
-        Self { model: model.into() }
+        Self {
+            model: model.into(),
+        }
     }
 }
 
@@ -102,7 +100,10 @@ impl ScalarUdf for VelocityUdf {
     fn eval(&self, args: &[Value], ctx: &UdfCtx<'_>) -> Value {
         ctx.charge_adaptation("Velocity");
         ctx.clock.charge_labeled("velocity_native", 0.02);
-        match (args.first().and_then(|v| v.as_bbox()), args.get(1).and_then(|v| v.as_bbox())) {
+        match (
+            args.first().and_then(|v| v.as_bbox()),
+            args.get(1).and_then(|v| v.as_bbox()),
+        ) {
             (Some(a), Some(b)) => Value::Float(a.center_distance(b) as f64),
             _ => Value::Null,
         }
@@ -188,10 +189,8 @@ mod tests {
                     frame: Some(&frame),
                     adaptation_cost: 2.0,
                 };
-                let out = ColorUdf::new("color_detect").eval(
-                    &[Value::BBox(v.bbox), Value::Int(v.entity as i64)],
-                    &ctx,
-                );
+                let out = ColorUdf::new("color_detect")
+                    .eval(&[Value::BBox(v.bbox), Value::Int(v.entity as i64)], &ctx);
                 assert!(out.as_str().is_some(), "color should be a string");
                 return;
             }

@@ -31,7 +31,9 @@ pub fn solve(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
     // The potentials algorithm needs rows <= cols; pad virtually by
     // transposing when needed.
     if n > m {
-        let t: Vec<Vec<f64>> = (0..m).map(|j| (0..n).map(|i| cost[i][j]).collect()).collect();
+        let t: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..n).map(|i| cost[i][j]).collect())
+            .collect();
         let col_assign = solve(&t);
         let mut out = vec![None; n];
         for (j, a) in col_assign.iter().enumerate() {
@@ -196,33 +198,42 @@ mod tests {
         assert_eq!(a, vec![None, None]);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn matches_brute_force_on_small_matrices(
-            seed in 0u64..300,
-            n in 1usize..5,
-            extra in 0usize..3,
-        ) {
-            let m = n + extra;
-            let mut x = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(11);
-            let mut next = || {
-                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-                (x % 100) as f64
-            };
-            let cost: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
-            let a = solve(&cost);
-            // Every row assigned (n <= m, no forbidden entries)...
-            proptest::prop_assert!(a.iter().all(|x| x.is_some()));
-            // ...to distinct columns...
-            let mut cols: Vec<usize> = a.iter().map(|x| x.unwrap()).collect();
-            cols.sort_unstable();
-            let dedup_len = { let mut c = cols.clone(); c.dedup(); c.len() };
-            proptest::prop_assert_eq!(dedup_len, cols.len());
-            // ...at the optimal cost.
-            let got = assignment_cost(&cost, &a);
-            let want = brute_force(&cost);
-            proptest::prop_assert!((got - want).abs() < 1e-9, "got {} want {}", got, want);
+    #[test]
+    fn matches_brute_force_on_small_matrices() {
+        for seed in 0u64..300 {
+            for n in 1usize..5 {
+                for extra in 0usize..3 {
+                    let m = n + extra;
+                    let mut x = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(11);
+                    let mut next = || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % 100) as f64
+                    };
+                    let cost: Vec<Vec<f64>> =
+                        (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+                    let a = solve(&cost);
+                    // Every row assigned (n <= m, no forbidden entries)...
+                    assert!(a.iter().all(|x| x.is_some()), "seed {seed} n {n} m {m}");
+                    // ...to distinct columns...
+                    let mut cols: Vec<usize> = a.iter().map(|x| x.unwrap()).collect();
+                    cols.sort_unstable();
+                    let dedup_len = {
+                        let mut c = cols.clone();
+                        c.dedup();
+                        c.len()
+                    };
+                    assert_eq!(dedup_len, cols.len(), "seed {seed} n {n} m {m}");
+                    // ...at the optimal cost.
+                    let got = assignment_cost(&cost, &a);
+                    let want = brute_force(&cost);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "got {got} want {want} (seed {seed} n {n} m {m})"
+                    );
+                }
+            }
         }
     }
 }

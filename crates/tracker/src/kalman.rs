@@ -88,8 +88,8 @@ impl KalmanFilter {
         };
         let k = matmul(&ph_t, &s_inv);
         let ky = matvec(&k, &y);
-        for i in 0..DIM_X {
-            self.x[i] += ky[i];
+        for (x, dy) in self.x.iter_mut().zip(ky.iter()) {
+            *x += dy;
         }
         let kh = matmul(&k, &self.h);
         let i_kh = sub(&identity::<DIM_X>(), &kh);
@@ -121,11 +121,7 @@ mod tests {
         // Object moving +5 px/frame in x.
         for step in 1..=30 {
             kf.predict();
-            let truth = BBox::from_center(
-                Point::new(100.0 + 5.0 * step as f32, 100.0),
-                40.0,
-                20.0,
-            );
+            let truth = BBox::from_center(Point::new(100.0 + 5.0 * step as f32, 100.0), 40.0, 20.0);
             kf.update(&truth);
         }
         let v = kf.velocity();

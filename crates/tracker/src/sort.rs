@@ -176,7 +176,10 @@ mod tests {
             let up = tr.update(&det);
             ids.push(up[0].track_id);
         }
-        assert!(ids.windows(2).all(|w| w[0] == w[1]), "id must be stable: {ids:?}");
+        assert!(
+            ids.windows(2).all(|w| w[0] == w[1]),
+            "id must be stable: {ids:?}"
+        );
         assert!(tr.velocity_of(ids[0]).unwrap().x > 3.0);
     }
 
@@ -187,7 +190,10 @@ mod tests {
             let x = step as f32 * 5.0;
             let det = [
                 (boxes_at(50.0 + x), "car"),
-                (BBox::from_center(Point::new(500.0 - x, 300.0), 40.0, 20.0), "car"),
+                (
+                    BBox::from_center(Point::new(500.0 - x, 300.0), 40.0, 20.0),
+                    "car",
+                ),
             ];
             let up = tr.update(&det);
             assert_ne!(up[0].track_id, up[1].track_id);
@@ -238,7 +244,10 @@ mod tests {
             tr.update(&[]);
         }
         let up = tr.update(&[(boxes_at(50.0 + 15.0 * 5.0), "car")]);
-        assert_eq!(up[0].track_id, last_id, "Kalman prediction should bridge the gap");
+        assert_eq!(
+            up[0].track_id, last_id,
+            "Kalman prediction should bridge the gap"
+        );
         assert!(!up[0].is_new);
     }
 

@@ -216,7 +216,9 @@ pub fn plate_from_seed(seed: u64) -> String {
     };
     s.push(char::from(b'0' + (next() % 10) as u8));
     for _ in 0..3 {
-        s.push(char::from(LETTERS[(next() % LETTERS.len() as u64) as usize]));
+        s.push(char::from(
+            LETTERS[(next() % LETTERS.len() as u64) as usize],
+        ));
     }
     for _ in 0..3 {
         s.push(char::from(b'0' + (next() % 10) as u8));

@@ -51,9 +51,21 @@ pub struct ScriptedEvent {
 
 impl ScriptedEvent {
     /// Creates an event; `t0 <= t1` is enforced by swapping.
-    pub fn new(kind: InteractionKind, subject: EntityId, object: EntityId, t0: f64, t1: f64) -> Self {
+    pub fn new(
+        kind: InteractionKind,
+        subject: EntityId,
+        object: EntityId,
+        t0: f64,
+        t1: f64,
+    ) -> Self {
         let (t0, t1) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
-        Self { kind, subject, object, t0, t1 }
+        Self {
+            kind,
+            subject,
+            object,
+            t0,
+            t1,
+        }
     }
 
     /// Whether the event is active at time `t`.

@@ -7,17 +7,17 @@
 
 use crate::geometry::BBox;
 use crate::scene::GroundTruth;
-use bytes::Bytes;
 use std::sync::Arc;
 
-/// A downscaled RGB8 image.
+/// A downscaled RGB8 image. Cloning is cheap: the pixel data is shared
+/// behind an `Arc`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PixelBuffer {
     width: u32,
     height: u32,
     /// Ratio of full-resolution coordinates to buffer pixels.
     scale: u32,
-    data: Bytes,
+    data: Arc<[u8]>,
 }
 
 impl PixelBuffer {
@@ -36,7 +36,7 @@ impl PixelBuffer {
             width,
             height,
             scale,
-            data: Bytes::from(data),
+            data: data.into(),
         }
     }
 
@@ -92,11 +92,7 @@ impl PixelBuffer {
                 n += 1;
             }
         }
-        Some([
-            (sum[0] / n) as u8,
-            (sum[1] / n) as u8,
-            (sum[2] / n) as u8,
-        ])
+        Some([(sum[0] / n) as u8, (sum[1] / n) as u8, (sum[2] / n) as u8])
     }
 
     /// The dominant (modal, quantized) RGB over the crop of a
@@ -117,7 +113,8 @@ impl PixelBuffer {
         for y in y1..y2 {
             for x in x1..x2 {
                 let p = self.pixel(x, y).expect("in bounds by construction");
-                let key = ((p[0] as u16 >> 4) << 8) | ((p[1] as u16 >> 4) << 4) | (p[2] as u16 >> 4);
+                let key =
+                    ((p[0] as u16 >> 4) << 8) | ((p[1] as u16 >> 4) << 4) | (p[2] as u16 >> 4);
                 let e = counts.entry(key).or_insert((0, [0, 0, 0]));
                 e.0 += 1;
                 e.1[0] += p[0] as u32;
@@ -126,7 +123,11 @@ impl PixelBuffer {
             }
         }
         let (_, (n, sums)) = counts.into_iter().max_by_key(|(_, (n, _))| *n)?;
-        Some([(sums[0] / n) as u8, (sums[1] / n) as u8, (sums[2] / n) as u8])
+        Some([
+            (sums[0] / n) as u8,
+            (sums[1] / n) as u8,
+            (sums[2] / n) as u8,
+        ])
     }
 
     /// Mean absolute per-channel difference with `other` (same dimensions

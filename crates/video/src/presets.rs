@@ -138,14 +138,16 @@ impl CameraPreset {
         let path = 1.2 * self.width as f32;
         let fastest_normal = path / (self.vehicle_crossing_secs.0 as f32 * self.fps as f32);
         let slowest_speeder = path
-            / ((self.vehicle_crossing_secs.1 * self.speeder_time_factor) as f32
-                * self.fps as f32);
+            / ((self.vehicle_crossing_secs.1 * self.speeder_time_factor) as f32 * self.fps as f32);
         (fastest_normal + slowest_speeder) / 2.0
     }
 
     /// Routes of the given kind.
     pub fn routes_of(&self, kind_matches: impl Fn(&RouteKind) -> bool) -> Vec<&Route> {
-        self.routes.iter().filter(|r| kind_matches(&r.kind)).collect()
+        self.routes
+            .iter()
+            .filter(|r| kind_matches(&r.kind))
+            .collect()
     }
 }
 
@@ -157,21 +159,81 @@ fn intersection_routes() -> Vec<Route> {
     // Horizontal road: eastbound lane y=0.58, westbound y=0.50.
     // Vertical road: southbound x=0.46, northbound x=0.54.
     vec![
-        Route { name: "east_straight", kind: VehicleLane(Straight), waypoints: vec![(-0.10, 0.58), (1.10, 0.58)] },
-        Route { name: "east_left", kind: VehicleLane(Left), waypoints: vec![(-0.10, 0.58), (0.54, 0.58), (0.54, -0.10)] },
-        Route { name: "east_right", kind: VehicleLane(Right), waypoints: vec![(-0.10, 0.58), (0.46, 0.58), (0.46, 1.10)] },
-        Route { name: "west_straight", kind: VehicleLane(Straight), waypoints: vec![(1.10, 0.50), (-0.10, 0.50)] },
-        Route { name: "west_left", kind: VehicleLane(Left), waypoints: vec![(1.10, 0.50), (0.46, 0.50), (0.46, 1.10)] },
-        Route { name: "west_right", kind: VehicleLane(Right), waypoints: vec![(1.10, 0.50), (0.54, 0.50), (0.54, -0.10)] },
-        Route { name: "south_straight", kind: VehicleLane(Straight), waypoints: vec![(0.46, -0.10), (0.46, 1.10)] },
-        Route { name: "south_left", kind: VehicleLane(Left), waypoints: vec![(0.46, -0.10), (0.46, 0.58), (1.10, 0.58)] },
-        Route { name: "south_right", kind: VehicleLane(Right), waypoints: vec![(0.46, -0.10), (0.46, 0.50), (-0.10, 0.50)] },
-        Route { name: "north_straight", kind: VehicleLane(Straight), waypoints: vec![(0.54, 1.10), (0.54, -0.10)] },
-        Route { name: "north_left", kind: VehicleLane(Left), waypoints: vec![(0.54, 1.10), (0.54, 0.50), (-0.10, 0.50)] },
-        Route { name: "north_right", kind: VehicleLane(Right), waypoints: vec![(0.54, 1.10), (0.54, 0.58), (1.10, 0.58)] },
-        Route { name: "sidewalk_north", kind: Sidewalk, waypoints: vec![(-0.05, 0.42), (1.05, 0.42)] },
-        Route { name: "sidewalk_south", kind: Sidewalk, waypoints: vec![(1.05, 0.68), (-0.05, 0.68)] },
-        Route { name: "crosswalk", kind: Crosswalk, waypoints: vec![(0.36, 0.40), (0.36, 0.70)] },
+        Route {
+            name: "east_straight",
+            kind: VehicleLane(Straight),
+            waypoints: vec![(-0.10, 0.58), (1.10, 0.58)],
+        },
+        Route {
+            name: "east_left",
+            kind: VehicleLane(Left),
+            waypoints: vec![(-0.10, 0.58), (0.54, 0.58), (0.54, -0.10)],
+        },
+        Route {
+            name: "east_right",
+            kind: VehicleLane(Right),
+            waypoints: vec![(-0.10, 0.58), (0.46, 0.58), (0.46, 1.10)],
+        },
+        Route {
+            name: "west_straight",
+            kind: VehicleLane(Straight),
+            waypoints: vec![(1.10, 0.50), (-0.10, 0.50)],
+        },
+        Route {
+            name: "west_left",
+            kind: VehicleLane(Left),
+            waypoints: vec![(1.10, 0.50), (0.46, 0.50), (0.46, 1.10)],
+        },
+        Route {
+            name: "west_right",
+            kind: VehicleLane(Right),
+            waypoints: vec![(1.10, 0.50), (0.54, 0.50), (0.54, -0.10)],
+        },
+        Route {
+            name: "south_straight",
+            kind: VehicleLane(Straight),
+            waypoints: vec![(0.46, -0.10), (0.46, 1.10)],
+        },
+        Route {
+            name: "south_left",
+            kind: VehicleLane(Left),
+            waypoints: vec![(0.46, -0.10), (0.46, 0.58), (1.10, 0.58)],
+        },
+        Route {
+            name: "south_right",
+            kind: VehicleLane(Right),
+            waypoints: vec![(0.46, -0.10), (0.46, 0.50), (-0.10, 0.50)],
+        },
+        Route {
+            name: "north_straight",
+            kind: VehicleLane(Straight),
+            waypoints: vec![(0.54, 1.10), (0.54, -0.10)],
+        },
+        Route {
+            name: "north_left",
+            kind: VehicleLane(Left),
+            waypoints: vec![(0.54, 1.10), (0.54, 0.50), (-0.10, 0.50)],
+        },
+        Route {
+            name: "north_right",
+            kind: VehicleLane(Right),
+            waypoints: vec![(0.54, 1.10), (0.54, 0.58), (1.10, 0.58)],
+        },
+        Route {
+            name: "sidewalk_north",
+            kind: Sidewalk,
+            waypoints: vec![(-0.05, 0.42), (1.05, 0.42)],
+        },
+        Route {
+            name: "sidewalk_south",
+            kind: Sidewalk,
+            waypoints: vec![(1.05, 0.68), (-0.05, 0.68)],
+        },
+        Route {
+            name: "crosswalk",
+            kind: Crosswalk,
+            waypoints: vec![(0.36, 0.40), (0.36, 0.70)],
+        },
     ]
 }
 
@@ -359,10 +421,9 @@ mod tests {
         let p = jackson();
         let thr = p.speeding_threshold_px_per_frame();
         let path = 1.2 * p.width as f32;
-        let typical_normal =
-            path / (p.vehicle_crossing_secs.1 as f32 * p.fps as f32);
-        let typical_speeder = path
-            / ((p.vehicle_crossing_secs.0 * p.speeder_time_factor) as f32 * p.fps as f32);
+        let typical_normal = path / (p.vehicle_crossing_secs.1 as f32 * p.fps as f32);
+        let typical_speeder =
+            path / ((p.vehicle_crossing_secs.0 * p.speeder_time_factor) as f32 * p.fps as f32);
         assert!(typical_normal < thr, "{typical_normal} !< {thr}");
         assert!(typical_speeder > thr, "{typical_speeder} !> {thr}");
     }
@@ -370,14 +431,23 @@ mod tests {
     #[test]
     fn routes_cover_all_kinds() {
         let p = banff();
-        assert!(!p.routes_of(|k| matches!(k, RouteKind::VehicleLane(_))).is_empty());
+        assert!(!p
+            .routes_of(|k| matches!(k, RouteKind::VehicleLane(_)))
+            .is_empty());
         assert!(!p.routes_of(|k| *k == RouteKind::Sidewalk).is_empty());
         assert!(!p.routes_of(|k| *k == RouteKind::Crosswalk).is_empty());
     }
 
     #[test]
     fn by_name_roundtrip() {
-        for name in ["banff", "jackson", "southampton", "auburn", "cityflow", "interaction"] {
+        for name in [
+            "banff",
+            "jackson",
+            "southampton",
+            "auburn",
+            "cityflow",
+            "interaction",
+        ] {
             assert_eq!(by_name(name).unwrap().name, name);
         }
         assert!(by_name("nope").is_none());

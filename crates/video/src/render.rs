@@ -142,7 +142,10 @@ mod tests {
         let scene = SceneBuilder::new(preset, 10.0).build();
         let a = render_frame(&scene, 0);
         let b = render_frame(&scene, 50);
-        assert!(a.mean_abs_diff(&b) < 0.01, "static background must not differ");
+        assert!(
+            a.mean_abs_diff(&b) < 0.01,
+            "static background must not differ"
+        );
     }
 
     #[test]

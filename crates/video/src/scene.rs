@@ -124,7 +124,9 @@ impl Scene {
                 continue;
             }
             let Some(raw) = e.bbox_at(t) else { continue };
-            let Some(bbox) = raw.clamp_to(w, h) else { continue };
+            let Some(bbox) = raw.clamp_to(w, h) else {
+                continue;
+            };
             let vel = e.velocity_at(t).unwrap_or_default();
             visible.push(VisibleEntity {
                 entity: e.id,
@@ -167,7 +169,12 @@ impl Scene {
         let full = self.route_region(|k| *k == RouteKind::Crosswalk, 0.04);
         let h = self.preset.height as f32;
         // The horizontal road band of the standard intersection layout.
-        BBox::new(full.x1, (0.46 * h).max(full.y1), full.x2, (0.64 * h).min(full.y2))
+        BBox::new(
+            full.x1,
+            (0.46 * h).max(full.y1),
+            full.x2,
+            (0.64 * h).min(full.y2),
+        )
     }
 
     /// The central intersection box where the roads cross ("cars on the
@@ -292,7 +299,11 @@ impl SceneBuilder {
         let s = self.preset.size_scale();
         let plate = plate_from_seed(self.next_id.wrapping_mul(7919));
         self.add_entity(
-            EntityAttrs::Vehicle(VehicleAttrs { color, vtype, plate }),
+            EntityAttrs::Vehicle(VehicleAttrs {
+                color,
+                vtype,
+                plate,
+            }),
             trajectory,
             nw * s,
             nh * s,
@@ -372,8 +383,8 @@ impl SceneBuilder {
                 .filter(|r| matches!(r.kind, RouteKind::VehicleLane(d) if d == turn))
                 .collect();
             let route = candidates[rng.gen_range(0..candidates.len())].clone();
-            let mut crossing = rng
-                .gen_range(preset.vehicle_crossing_secs.0..preset.vehicle_crossing_secs.1);
+            let mut crossing =
+                rng.gen_range(preset.vehicle_crossing_secs.0..preset.vehicle_crossing_secs.1);
             if rng.gen::<f32>() < preset.speeder_fraction {
                 crossing *= preset.speeder_time_factor;
             }
@@ -418,8 +429,8 @@ impl SceneBuilder {
                 self.add_person(shirt, PersonAction::Standing, tr);
             } else {
                 let route = walkways[rng.gen_range(0..walkways.len())].clone();
-                let crossing = rng
-                    .gen_range(preset.person_crossing_secs.0..preset.person_crossing_secs.1);
+                let crossing =
+                    rng.gen_range(preset.person_crossing_secs.0..preset.person_crossing_secs.1);
                 let tr = self.route_trajectory(&route, t, crossing);
                 let jitter = rng.gen_range(-10.0f32..10.0) * preset.size_scale();
                 let tr = jitter_trajectory(&tr, jitter);
@@ -435,11 +446,7 @@ impl SceneBuilder {
                         );
                         let ball = self.add_ball(
                             NamedColor::White,
-                            Trajectory::stationary(
-                                ball_pos,
-                                tr.start_time(),
-                                tr.end_time(),
-                            ),
+                            Trajectory::stationary(ball_pos, tr.start_time(), tr.end_time()),
                         );
                         if rng.gen::<f32>() < preset.hit_prob {
                             self.add_event(ScriptedEvent::new(
@@ -478,7 +485,11 @@ pub fn trajectory_along(pts: &[Point], t0: f64, total_s: f64) -> Trajectory {
     let mut t = t0;
     wps.push(Waypoint { t, pos: pts[0] });
     for (i, len) in seg_lens.iter().enumerate() {
-        let frac = if total_len > 0.0 { len / total_len } else { 1.0 / seg_lens.len() as f32 };
+        let frac = if total_len > 0.0 {
+            len / total_len
+        } else {
+            1.0 / seg_lens.len() as f32
+        };
         t += total_s * frac as f64;
         wps.push(Waypoint { t, pos: pts[i + 1] });
     }

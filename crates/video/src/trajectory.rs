@@ -246,17 +246,35 @@ mod tests {
         // Heading east, then turning to head south (downwards on screen):
         // that is a right turn for the vehicle.
         let right = Trajectory::from_waypoints(vec![
-            Waypoint { t: 0.0, pos: Point::new(0.0, 500.0) },
-            Waypoint { t: 5.0, pos: Point::new(500.0, 500.0) },
-            Waypoint { t: 10.0, pos: Point::new(500.0, 1000.0) },
+            Waypoint {
+                t: 0.0,
+                pos: Point::new(0.0, 500.0),
+            },
+            Waypoint {
+                t: 5.0,
+                pos: Point::new(500.0, 500.0),
+            },
+            Waypoint {
+                t: 10.0,
+                pos: Point::new(500.0, 1000.0),
+            },
         ]);
         assert_eq!(right.direction(), Direction::Right);
 
         // Heading east, then turning to head north (up on screen): left turn.
         let left = Trajectory::from_waypoints(vec![
-            Waypoint { t: 0.0, pos: Point::new(0.0, 500.0) },
-            Waypoint { t: 5.0, pos: Point::new(500.0, 500.0) },
-            Waypoint { t: 10.0, pos: Point::new(500.0, 0.0) },
+            Waypoint {
+                t: 0.0,
+                pos: Point::new(0.0, 500.0),
+            },
+            Waypoint {
+                t: 5.0,
+                pos: Point::new(500.0, 500.0),
+            },
+            Waypoint {
+                t: 10.0,
+                pos: Point::new(500.0, 0.0),
+            },
         ]);
         assert_eq!(left.direction(), Direction::Left);
     }
@@ -274,8 +292,14 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unordered_waypoints() {
         let _ = Trajectory::from_waypoints(vec![
-            Waypoint { t: 1.0, pos: Point::new(0.0, 0.0) },
-            Waypoint { t: 0.5, pos: Point::new(1.0, 0.0) },
+            Waypoint {
+                t: 1.0,
+                pos: Point::new(0.0, 0.0),
+            },
+            Waypoint {
+                t: 0.5,
+                pos: Point::new(1.0, 0.0),
+            },
         ]);
     }
 

@@ -6,9 +6,7 @@
 
 use vqpy::core::frontend::library;
 use vqpy::core::frontend::predicate::Pred;
-use vqpy::core::{
-    BinaryFilterReg, FrameFilterReg, Query, SpecializedNnReg, VqpySession,
-};
+use vqpy::core::{BinaryFilterReg, FrameFilterReg, Query, SpecializedNnReg, VqpySession};
 use vqpy::models::{ModelZoo, Value};
 use vqpy::video::{presets, Scene, SyntheticVideo};
 
@@ -30,27 +28,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Both models already live in the standard zoo; registration tells the
     // *planner* it may use them for this VObj.
     let session = VqpySession::new(ModelZoo::standard());
-    session.extensions().register_specialized_nn(SpecializedNnReg {
-        schema: "Vehicle".into(),
-        detector: "red_car_detector".into(),
-        prop: "color".into(),
-        value: Value::from("red"),
-    });
-    session.extensions().register_binary_filter(BinaryFilterReg {
-        schema: "Vehicle".into(),
-        model: "no_red_on_road".into(),
-    });
-    session.extensions().register_frame_filter(FrameFilterReg { threshold: 0.05 });
+    session
+        .extensions()
+        .register_specialized_nn(SpecializedNnReg {
+            schema: "Vehicle".into(),
+            detector: "red_car_detector".into(),
+            prop: "color".into(),
+            value: Value::from("red"),
+        });
+    session
+        .extensions()
+        .register_binary_filter(BinaryFilterReg {
+            schema: "Vehicle".into(),
+            model: "no_red_on_road".into(),
+        });
+    session
+        .extensions()
+        .register_frame_filter(FrameFilterReg { threshold: 0.05 });
 
     let optimized = session.execute(&query, &video)?;
     let optimized_ms = session.clock().virtual_ms();
 
     println!("canary profiling over candidate plans:");
     for p in session.last_profiles() {
-        println!("  {:<40} F1 {:.3}  cost {:>10.1} ms", p.label, p.f1, p.cost_ms);
+        println!(
+            "  {:<40} F1 {:.3}  cost {:>10.1} ms",
+            p.label, p.f1, p.cost_ms
+        );
     }
     println!();
-    println!("baseline : {baseline_ms:>10.1} ms, {} hit frames", baseline.frame_hits.len());
+    println!(
+        "baseline : {baseline_ms:>10.1} ms, {} hit frames",
+        baseline.frame_hits.len()
+    );
     println!(
         "optimized: {optimized_ms:>10.1} ms, {} hit frames ({:.1}x speedup)",
         optimized.frame_hits.len(),

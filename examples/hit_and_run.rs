@@ -9,9 +9,11 @@ use vqpy::core::frontend::library;
 use vqpy::core::frontend::predicate::Pred;
 use vqpy::core::{Query, VqpySession};
 use vqpy::models::ModelZoo;
-use vqpy::video::{presets, InteractionKind, NamedColor, PersonAction, ScriptedEvent,
-    SceneBuilder, SyntheticVideo, Trajectory, VehicleType};
 use vqpy::video::geometry::Point;
+use vqpy::video::{
+    presets, InteractionKind, NamedColor, PersonAction, SceneBuilder, ScriptedEvent,
+    SyntheticVideo, Trajectory, VehicleType,
+};
 
 /// Scripts a hit-and-run: a car approaches a pedestrian, nearly stops at
 /// the collision point, then accelerates away.
@@ -37,12 +39,27 @@ fn scripted_scene() -> vqpy::video::Scene {
         NamedColor::Black,
         VehicleType::Sedan,
         Trajectory::from_waypoints(vec![
-            vqpy::video::Waypoint { t: 2.0, pos: Point::new(-0.05 * w, 0.52 * h) },
-            vqpy::video::Waypoint { t: 20.0, pos: Point::new(0.40 * w, 0.52 * h) },
-            vqpy::video::Waypoint { t: 26.0, pos: Point::new(1.05 * w, 0.52 * h) },
+            vqpy::video::Waypoint {
+                t: 2.0,
+                pos: Point::new(-0.05 * w, 0.52 * h),
+            },
+            vqpy::video::Waypoint {
+                t: 20.0,
+                pos: Point::new(0.40 * w, 0.52 * h),
+            },
+            vqpy::video::Waypoint {
+                t: 26.0,
+                pos: Point::new(1.05 * w, 0.52 * h),
+            },
         ]),
     );
-    b.add_event(ScriptedEvent::new(InteractionKind::Collide, car, person, 19.5, 20.5));
+    b.add_event(ScriptedEvent::new(
+        InteractionKind::Collide,
+        car,
+        person,
+        19.5,
+        20.5,
+    ));
     b.build()
 }
 

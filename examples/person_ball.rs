@@ -22,13 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // HOI model in the zoo.
     let person = library::person_schema();
     let ball = library::ball_schema();
-    let interaction = RelationSchema::builder(
-        "person_ball_interaction",
-        person.clone(),
-        ball.clone(),
-    )
-    .hoi_property("interaction", "upt_hoi")
-    .build();
+    let interaction =
+        RelationSchema::builder("person_ball_interaction", person.clone(), ball.clone())
+            .hoi_property("interaction", "upt_hoi")
+            .build();
 
     let query = Query::builder("PersonHitsBall")
         .vobj("person", person)

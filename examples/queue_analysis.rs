@@ -25,26 +25,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let customer = VObjSchema::builder("Customer")
         .parent(library::person_schema())
-        .property(PropertyDef::stateless_native("in_queue", &["bbox"], false, in_queue))
+        .property(PropertyDef::stateless_native(
+            "in_queue",
+            &["bbox"],
+            false,
+            in_queue,
+        ))
         .build();
 
     // Average queue length per frame.
     let avg_q: Arc<Query> = Query::builder("AvgQueueLength")
         .vobj("person", Arc::clone(&customer))
         .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "in_queue", true))
-        .video_output(Aggregate::AvgPerFrame { alias: "person".into() })
+        .video_output(Aggregate::AvgPerFrame {
+            alias: "person".into(),
+        })
         .build()?;
     // Peak queue length.
     let max_q: Arc<Query> = Query::builder("PeakQueueLength")
         .vobj("person", Arc::clone(&customer))
         .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "in_queue", true))
-        .video_output(Aggregate::MaxPerFrame { alias: "person".into() })
+        .video_output(Aggregate::MaxPerFrame {
+            alias: "person".into(),
+        })
         .build()?;
     // Distinct customers served (tracker identity).
     let customers: Arc<Query> = Query::builder("DistinctCustomers")
         .vobj("person", customer)
         .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::eq("person", "in_queue", true))
-        .video_output(Aggregate::CountDistinctTracks { alias: "person".into() })
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "person".into(),
+        })
         .build()?;
 
     // All three share one pipeline: detector, tracker, and the in_queue

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stats: Vec<_> = clock.labeled_stats().into_iter().collect();
     stats.sort_by(|a, b| b.1.units.partial_cmp(&a.1.units).expect("finite"));
     for (label, s) in stats.iter().take(6) {
-        println!("  {:<22} {:>10.1} ms over {:>8} invocations", label, s.units, s.invocations);
+        println!(
+            "  {:<22} {:>10.1} ms over {:>8} invocations",
+            label, s.units, s.invocations
+        );
     }
     Ok(())
 }

@@ -13,9 +13,10 @@ use vqpy::core::frontend::relation::distance_relation;
 use vqpy::core::frontend::vobj::VObjSchema;
 use vqpy::core::{build_plan, PlanOptions, Query, QueryExpr, VqpySession};
 use vqpy::models::{ModelZoo, Value};
-use vqpy::video::{presets, NamedColor, PersonAction, Scene, SceneBuilder, SyntheticVideo,
-    Trajectory, VehicleType};
 use vqpy::video::geometry::Point;
+use vqpy::video::{
+    presets, NamedColor, PersonAction, Scene, SceneBuilder, SyntheticVideo, Trajectory, VehicleType,
+};
 
 fn scripted_scene() -> (Scene, u64) {
     let preset = presets::jackson();
@@ -42,7 +43,12 @@ fn scripted_scene() -> (Scene, u64) {
     b.add_person(
         NamedColor::Green,
         PersonAction::Walking,
-        Trajectory::linear(Point::new(w, 0.68 * h), Point::new(0.0, 0.68 * h), 0.0, 30.0),
+        Trajectory::linear(
+            Point::new(w, 0.68 * h),
+            Point::new(0.0, 0.68 * h),
+            0.0,
+            30.0,
+        ),
     );
     (b.build(), suspect)
 }
@@ -74,12 +80,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let target_vec = embedder.classify(&first_frame, &target_det, &probe_clock);
 
-    let similarity: NativeFn = Arc::new(move |ctx| {
-        match ctx.dep("feature").cosine_similarity(&target_vec) {
-            Some(s) => Value::Float(s),
-            None => Value::Null,
-        }
-    });
+    let similarity: NativeFn =
+        Arc::new(
+            move |ctx| match ctx.dep("feature").cosine_similarity(&target_vec) {
+                Some(s) => Value::Float(s),
+                None => Value::Null,
+            },
+        );
     let suspect_schema = VObjSchema::builder("Suspect")
         .parent(library::person_schema())
         .property(PropertyDef::stateless_native(

@@ -28,16 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // track instead of re-rolled (and occasionally mislabeled) every frame.
     let vehicle = VObjSchema::builder("TurningVehicle")
         .parent(library::vehicle_schema_intrinsic())
-        .property(PropertyDef::stateless_model("direction", "direction_model", true))
+        .property(PropertyDef::stateless_model(
+            "direction",
+            "direction_model",
+            true,
+        ))
         .build();
 
     // Figure 7: video_constraint + video_output with CountDistinctTracks.
     let query = Query::builder("RightTurningVehicles")
         .vobj("car", vehicle)
-        .frame_constraint(
-            Pred::gt("car", "score", 0.6) & Pred::eq("car", "direction", "right"),
-        )
-        .video_output(Aggregate::CountDistinctTracks { alias: "car".into() })
+        .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "direction", "right"))
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
+        })
         .build()?;
 
     let session = VqpySession::new(ModelZoo::standard());

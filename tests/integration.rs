@@ -55,8 +55,8 @@ fn optimization_passes_preserve_results() {
         ..PlanOptions::vqpy_default()
     };
     let naive = build_plan(&[Arc::clone(&query)], &zoo, &naive_opts).expect("plan");
-    let naive_out = execute_plan(&naive, &video, &zoo, &Clock::new(), &ExecConfig::default())
-        .expect("runs");
+    let naive_out =
+        execute_plan(&naive, &video, &zoo, &Clock::new(), &ExecConfig::default()).expect("runs");
 
     let mut optimized = build_plan(&[query], &zoo, &PlanOptions::vqpy_default()).expect("plan");
     apply_passes(&mut optimized, &PlanOptions::vqpy_default());
@@ -202,7 +202,9 @@ fn aggregates_track_ground_truth() {
     let q = Query::builder("CountVehicles")
         .vobj("car", library::vehicle_schema_intrinsic())
         .frame_constraint(Pred::gt("car", "score", 0.5))
-        .video_output(Aggregate::CountDistinctTracks { alias: "car".into() })
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
+        })
         .build()
         .expect("builds");
     let session = VqpySession::new(ModelZoo::standard());
@@ -220,7 +222,9 @@ fn aggregates_track_ground_truth() {
 
 #[test]
 fn canary_profiling_respects_accuracy_target() {
-    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 1008, 40.0));
+    // Scene seeds are tied to the vendored PRNG stream; this one has red
+    // traffic in both the canary prefix and the full clip.
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 1010, 40.0));
     let session = VqpySession::new(ModelZoo::standard());
     session
         .extensions()
@@ -257,12 +261,16 @@ fn composition_rules_are_enforced_end_to_end() {
 
 #[test]
 fn mllm_baseline_is_less_accurate_than_vqpy() {
-    let video = SyntheticVideo::new(Scene::generate(presets::auburn(), 1009, 60.0));
+    // Scene seed tied to the vendored PRNG stream (see canary test above).
+    let video = SyntheticVideo::new(Scene::generate(presets::auburn(), 1011, 60.0));
     let question = vqpy::baselines::MllmQuestion::RedCarPresent;
 
     // VQPy clip answers from one full-video run.
     let session = VqpySession::new(ModelZoo::standard());
-    let hits = session.execute(&red_car_query(), &video).expect("runs").hit_frame_set();
+    let hits = session
+        .execute(&red_car_query(), &video)
+        .expect("runs")
+        .hit_frame_set();
     let fps = video.fps() as u64;
 
     let sim = vqpy::baselines::VideoChatSim::new(vqpy::baselines::MllmVariant::VideoChat7B, 3);

@@ -1,0 +1,103 @@
+//! Sequential vs. pipelined execution parity: both drivers must produce
+//! byte-identical frame hits and video aggregates on every preset scene,
+//! for every batch size (including 1). This is the contract that makes the
+//! pipelined mode a pure performance knob.
+
+use std::sync::Arc;
+use vqpy::core::backend::exec::execute_plan;
+use vqpy::core::backend::plan::{build_plan, PlanOptions};
+use vqpy::core::frontend::{library, predicate::Pred};
+use vqpy::core::{Aggregate, ExecConfig, ExecMode, Query};
+use vqpy::models::{Clock, ModelZoo};
+use vqpy::video::{presets, Scene, SyntheticVideo};
+
+fn red_car_query() -> Arc<Query> {
+    Query::builder("RedCar")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .expect("builds")
+}
+
+fn count_cars_query() -> Arc<Query> {
+    Query::builder("CountCars")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
+        })
+        .build()
+        .expect("builds")
+}
+
+/// Runs both queries as one shared plan in the given mode/batch size and
+/// returns `(hit frame lists, video aggregates)` per query.
+fn run(
+    video: &SyntheticVideo,
+    mode: ExecMode,
+    batch_size: usize,
+) -> (Vec<Vec<u64>>, Vec<Option<vqpy::models::Value>>) {
+    let zoo = ModelZoo::standard();
+    let plan = build_plan(
+        &[red_car_query(), count_cars_query()],
+        &zoo,
+        &PlanOptions::vqpy_default(),
+    )
+    .expect("plan builds");
+    let clock = Clock::new();
+    let results = execute_plan(
+        &plan,
+        video,
+        &zoo,
+        &clock,
+        &ExecConfig {
+            batch_size,
+            exec_mode: mode,
+            ..ExecConfig::default()
+        },
+    )
+    .expect("runs");
+    (
+        results.iter().map(|r| r.hit_frames()).collect(),
+        results.iter().map(|r| r.video_value.clone()).collect(),
+    )
+}
+
+#[test]
+fn pipelined_matches_sequential_on_all_presets_and_batch_sizes() {
+    for (preset, seed) in [
+        (presets::jackson(), 11u64),
+        (presets::banff(), 22),
+        (presets::cityflow(), 33),
+    ] {
+        let name = preset.name;
+        let video = SyntheticVideo::new(Scene::generate(preset, seed, 8.0));
+        for batch_size in [1usize, 8, 32] {
+            let (seq_hits, seq_aggs) = run(&video, ExecMode::Sequential, batch_size);
+            for workers in [1usize, 4] {
+                let (pipe_hits, pipe_aggs) =
+                    run(&video, ExecMode::Pipelined { workers }, batch_size);
+                assert_eq!(
+                    seq_hits, pipe_hits,
+                    "hit frames diverged: preset {name}, batch {batch_size}, workers {workers}"
+                );
+                assert_eq!(
+                    seq_aggs, pipe_aggs,
+                    "aggregates diverged: preset {name}, batch {batch_size}, workers {workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_results_do_not_depend_on_batch_size() {
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 44, 10.0));
+    let (reference, ref_aggs) = run(&video, ExecMode::Sequential, 1);
+    for batch_size in [2usize, 7, 16, 256] {
+        let (hits, aggs) = run(&video, ExecMode::Sequential, batch_size);
+        assert_eq!(reference, hits, "batch {batch_size}");
+        assert_eq!(ref_aggs, aggs, "batch {batch_size}");
+    }
+}

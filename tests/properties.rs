@@ -1,6 +1,9 @@
-//! Cross-crate property-based tests of core invariants.
+//! Cross-crate property-based tests of core invariants, driven by seeded
+//! random cases (the workspace vendors a deterministic PRNG instead of
+//! proptest, which is unavailable offline).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use vqpy::core::frontend::compose::{duration_filter, temporal_join};
 use vqpy::core::frontend::predicate::{Pred, PredEnv};
@@ -8,107 +11,121 @@ use vqpy::core::scoring::f1_frames;
 use vqpy::models::Value;
 use vqpy::video::geometry::BBox;
 
-fn sorted_frames() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::btree_set(0u64..500, 0..60).prop_map(|s| s.into_iter().collect())
+const CASES: u64 = 200;
+
+fn frame_set(rng: &mut StdRng, max_frame: u64, max_len: usize) -> BTreeSet<u64> {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len).map(|_| rng.gen_range(0..max_frame)).collect()
 }
 
-proptest! {
-    #[test]
-    fn duration_filter_output_is_subset_and_sorted(
-        hits in sorted_frames(),
-        min in 1u64..20,
-        gap in 0u64..5,
-    ) {
+fn sorted_frames(rng: &mut StdRng) -> Vec<u64> {
+    frame_set(rng, 500, 60).into_iter().collect()
+}
+
+#[test]
+fn duration_filter_output_is_subset_and_sorted() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hits = sorted_frames(&mut rng);
+        let min = rng.gen_range(1u64..20);
+        let gap = rng.gen_range(0u64..5);
         let out = duration_filter(&hits, min, gap);
         let input: BTreeSet<u64> = hits.iter().copied().collect();
-        prop_assert!(out.iter().all(|f| input.contains(f)));
-        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
-        // Every surviving frame belongs to a span at least `min` long.
-        if min > 1 {
-            for &f in &out {
-                let span: Vec<u64> = out
-                    .iter()
-                    .copied()
-                    .filter(|&g| g.abs_diff(f) <= 500)
-                    .collect();
-                prop_assert!(!span.is_empty());
-            }
-        }
+        assert!(out.iter().all(|f| input.contains(f)), "seed {seed}");
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
     }
+}
 
-    #[test]
-    fn duration_filter_min_one_is_identity(hits in sorted_frames()) {
-        prop_assert_eq!(duration_filter(&hits, 1, 0), hits);
+#[test]
+fn duration_filter_min_one_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let hits = sorted_frames(&mut rng);
+        assert_eq!(duration_filter(&hits, 1, 0), hits, "seed {seed}");
     }
+}
 
-    #[test]
-    fn temporal_join_pairs_are_ordered_and_within_window(
-        first in sorted_frames(),
-        second in sorted_frames(),
-        window in 1u64..100,
-    ) {
+#[test]
+fn temporal_join_pairs_are_ordered_and_within_window() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let first = sorted_frames(&mut rng);
+        let second = sorted_frames(&mut rng);
+        let window = rng.gen_range(1u64..100);
         let pairs = temporal_join(&first, &second, window);
         for (a, b) in &pairs {
-            prop_assert!(a < b, "first must precede second");
-            prop_assert!(b - a <= window);
-            prop_assert!(first.contains(a));
-            prop_assert!(second.contains(b));
+            assert!(a < b, "first must precede second (seed {seed})");
+            assert!(b - a <= window, "seed {seed}");
+            assert!(first.contains(a), "seed {seed}");
+            assert!(second.contains(b), "seed {seed}");
         }
         // At most one pair per second-event.
         let seconds: Vec<u64> = pairs.iter().map(|(_, b)| *b).collect();
         let mut dedup = seconds.clone();
         dedup.dedup();
-        prop_assert_eq!(seconds, dedup);
+        assert_eq!(seconds, dedup, "seed {seed}");
     }
+}
 
-    #[test]
-    fn f1_is_bounded_and_symmetric_on_equal_sets(
-        a in proptest::collection::btree_set(0u64..200, 0..40),
-        b in proptest::collection::btree_set(0u64..200, 0..40),
-    ) {
+#[test]
+fn f1_is_bounded_and_symmetric_on_swapped_roles() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let a = frame_set(&mut rng, 200, 40);
+        let b = frame_set(&mut rng, 200, 40);
         let s = f1_frames(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s.f1));
-        prop_assert!((0.0..=1.0).contains(&s.precision));
-        prop_assert!((0.0..=1.0).contains(&s.recall));
+        assert!((0.0..=1.0).contains(&s.f1), "seed {seed}");
+        assert!((0.0..=1.0).contains(&s.precision), "seed {seed}");
+        assert!((0.0..=1.0).contains(&s.recall), "seed {seed}");
         // Swapping roles swaps precision and recall but preserves F1
         // (the vacuous conventions for empty sets break the symmetry, so
         // only assert it when both sets are populated).
         let t = f1_frames(&b, &a);
         if !a.is_empty() && !b.is_empty() {
-            prop_assert!((s.f1 - t.f1).abs() < 1e-12);
-            prop_assert!((s.precision - t.recall).abs() < 1e-12);
+            assert!((s.f1 - t.f1).abs() < 1e-12, "seed {seed}");
+            assert!((s.precision - t.recall).abs() < 1e-12, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn f1_of_identical_sets_is_one(
-        a in proptest::collection::btree_set(0u64..200, 1..40),
-    ) {
-        prop_assert_eq!(f1_frames(&a, &a).f1, 1.0);
+#[test]
+fn f1_of_identical_sets_is_one() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let mut a = frame_set(&mut rng, 200, 40);
+        a.insert(rng.gen_range(0..200)); // never empty
+        assert_eq!(f1_frames(&a, &a).f1, 1.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bbox_iou_is_symmetric_and_bounded(
-        x1 in -100.0f32..1000.0, y1 in -100.0f32..1000.0,
-        w1 in 1.0f32..300.0, h1 in 1.0f32..300.0,
-        x2 in -100.0f32..1000.0, y2 in -100.0f32..1000.0,
-        w2 in 1.0f32..300.0, h2 in 1.0f32..300.0,
-    ) {
-        let a = BBox::new(x1, y1, x1 + w1, y1 + h1);
-        let b = BBox::new(x2, y2, x2 + w2, y2 + h2);
+#[test]
+fn bbox_iou_is_symmetric_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let mut boxed = || {
+            let x = rng.gen_range(-100.0f32..1000.0);
+            let y = rng.gen_range(-100.0f32..1000.0);
+            let w = rng.gen_range(1.0f32..300.0);
+            let h = rng.gen_range(1.0f32..300.0);
+            BBox::new(x, y, x + w, y + h)
+        };
+        let a = boxed();
+        let b = boxed();
         let ab = a.iou(&b);
         let ba = b.iou(&a);
-        prop_assert!((ab - ba).abs() < 1e-5);
-        prop_assert!((0.0..=1.0001).contains(&ab));
-        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+        assert!((ab - ba).abs() < 1e-5, "seed {seed}");
+        assert!((0.0..=1.0001).contains(&ab), "seed {seed}");
+        assert!((a.iou(&a) - 1.0).abs() < 1e-5, "seed {seed}");
     }
+}
 
-    #[test]
-    fn predicate_negation_and_de_morgan(
-        score in 0.0f64..1.0,
-        threshold in 0.0f64..1.0,
-        color_is_red in proptest::bool::ANY,
-    ) {
+#[test]
+fn predicate_negation_and_de_morgan() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + seed);
+        let score = rng.gen_range(0.0f64..1.0);
+        let threshold = rng.gen_range(0.0f64..1.0);
+        let color_is_red: bool = rng.gen();
         let mut env = PredEnv::default();
         let props = env.objects.entry("car".into()).or_default();
         props.insert("score".into(), Value::Float(score));
@@ -120,37 +137,47 @@ proptest! {
         let q = Pred::eq("car", "color", "red");
 
         // Double negation.
-        prop_assert_eq!(p.clone().eval(&env), (!!p.clone()).eval(&env));
+        assert_eq!(
+            p.clone().eval(&env),
+            (!!p.clone()).eval(&env),
+            "seed {seed}"
+        );
         // De Morgan: !(p & q) == !p | !q
         let lhs = (!(p.clone() & q.clone())).eval(&env);
         let rhs = ((!p.clone()) | (!q.clone())).eval(&env);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "seed {seed}");
         // De Morgan: !(p | q) == !p & !q
         let lhs = (!(p.clone() | q.clone())).eval(&env);
         let rhs = ((!p) & (!q)).eval(&env);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "seed {seed}");
     }
+}
 
-    #[test]
-    fn weighted_sampling_returns_members(u in 0.0f32..1.0) {
-        let w = vqpy::video::presets::banff().vehicle_colors;
+#[test]
+fn weighted_sampling_returns_members() {
+    let w = vqpy::video::presets::banff().vehicle_colors;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let u = rng.gen_range(0.0f32..1.0);
         let sampled = w.sample(u);
-        prop_assert!(w.entries.iter().any(|(c, _)| *c == sampled));
+        assert!(w.entries.iter().any(|(c, _)| *c == sampled), "seed {seed}");
     }
+}
 
-    #[test]
-    fn value_compare_is_antisymmetric(
-        a in -1000i64..1000,
-        b in -1000.0f64..1000.0,
-    ) {
-        use std::cmp::Ordering;
+#[test]
+fn value_compare_is_antisymmetric() {
+    use std::cmp::Ordering;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let a = rng.gen_range(-1000i64..1000);
+        let b = rng.gen_range(-1000.0f64..1000.0);
         let va = Value::Int(a);
         let vb = Value::Float(b);
         match (va.compare(&vb), vb.compare(&va)) {
             (Some(Ordering::Less), Some(Ordering::Greater))
             | (Some(Ordering::Greater), Some(Ordering::Less))
             | (Some(Ordering::Equal), Some(Ordering::Equal)) => {}
-            other => prop_assert!(false, "inconsistent ordering {:?}", other),
+            other => panic!("inconsistent ordering {other:?} (seed {seed})"),
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Minimal offline shim for the subset of the `criterion` API the micro
+//! benches use. With no registry access the real harness cannot be fetched;
+//! this shim warms each benchmark up, picks an iteration count targeting a
+//! fixed measurement window, and prints mean ns/iter — enough to compare
+//! hot paths across commits, without criterion's statistics machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(600);
+
+/// Runs closures under timing; handed to benchmark functions.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 100_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    if b.ns_per_iter >= 1e6 {
+        println!("{name:<40} {:>12.2} ms/iter", b.ns_per_iter / 1e6);
+    } else if b.ns_per_iter >= 1e3 {
+        println!("{name:<40} {:>12.2} us/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("{name:<40} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// Parameterized benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Uses the parameter's display form as the id.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, p: impl fmt::Display) -> Self {
+        Self(format!("{}/{p}", function.into()))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure, labeled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Ends the group (printing already happened per bench).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a harness with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

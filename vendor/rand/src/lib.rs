@@ -1,0 +1,238 @@
+//! Minimal offline shim exposing the subset of the `rand` 0.8 API this
+//! workspace uses: `Rng::{gen, gen_range, gen_bool}`, `SeedableRng::
+//! seed_from_u64`, and the `SmallRng`/`StdRng` generator types.
+//!
+//! The container image has no registry access, so the real crate cannot be
+//! fetched. The generator is xorshift128+ seeded through SplitMix64 — not
+//! the upstream stream, but every consumer in this workspace only needs a
+//! deterministic, well-mixed stream (the simulated models sample noise from
+//! per-(frame, entity) seeds), not rand's exact values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Scalars supporting uniform sampling over a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`; `high` exclusive.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Smallest increment, used to make inclusive ranges half-open.
+    fn nudge_up(self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+            fn nudge_up(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let u: $t = Standard::sample(rng);
+                low + u * (high - low)
+            }
+            fn nudge_up(self) -> Self {
+                // Floats treat `..=high` as `..next_up(high)`; the closed
+                // endpoint has measure zero so reusing `high` is fine.
+                self
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        if low == high {
+            return low;
+        }
+        T::sample_range(rng, low, high.nudge_up())
+    }
+}
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast xorshift128+ generator.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    s0: u64,
+    s1: u64,
+}
+
+impl SeedableRng for XorShiftRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s0 = splitmix64(&mut sm);
+        let mut s1 = splitmix64(&mut sm);
+        if s0 == 0 && s1 == 0 {
+            s1 = 1;
+        }
+        Self { s0, s1 }
+    }
+}
+
+impl RngCore for XorShiftRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+}
+
+/// Generator types under the upstream module path.
+pub mod rngs {
+    /// Small fast generator (shim: xorshift128+).
+    pub type SmallRng = super::XorShiftRng;
+    /// Standard generator (shim: same xorshift128+; determinism is what
+    /// consumers rely on, not the upstream ChaCha stream).
+    pub type StdRng = super::XorShiftRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::SmallRng::seed_from_u64(7);
+        let mut b = rngs::SmallRng::seed_from_u64(7);
+        let mut c = rngs::SmallRng::seed_from_u64(8);
+        let (x, y, z): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ranges_honor_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&i));
+            let f = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let b = rng.gen_range(0..10u8);
+            assert!(b < 10);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_not_badly_skewed() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

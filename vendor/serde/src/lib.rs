@@ -1,0 +1,5 @@
+//! Offline shim for the `serde` facade: re-exports the no-op
+//! `Serialize`/`Deserialize` derive macros from the vendored
+//! `serde_derive` shim. See that crate's docs for why this exists.
+
+pub use serde_derive::{Deserialize, Serialize};
