@@ -1,0 +1,198 @@
+//! Serving throughput: 8 concurrent queries on one live stream, shared
+//! super-plan (`StreamServer`) vs. 8 independent sessions, on the fig13
+//! CVIP workload (CityFlow-style video, dataset tracks, annotated
+//! color-type-direction triple queries).
+//!
+//! The clock runs in Latency mode so virtual model cost is wall-visible.
+//! The shared configuration runs every query through one plan: the
+//! dataset-track source, tracker, and the intrinsic color/vtype
+//! projections execute once per frame regardless of query count, which is
+//! exactly the object-oriented sharing (§4.2/§5.3) the serving layer keeps
+//! alive for long-running streams. The independent baseline pays that work
+//! once *per query*. A second section serves two streams concurrently from
+//! one server (multi-stream fan-out on threads).
+//!
+//! Results go to `BENCH_serve.json` at the workspace root.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use vqpy_baselines::CvipQuery;
+use vqpy_bench::bench_scale;
+use vqpy_bench::report::{exec_metrics_json, json_escape, section};
+use vqpy_bench::workloads::{bench_zoo, cityflow_video, triple_query};
+use vqpy_core::{Query, SessionConfig, VqpySession};
+use vqpy_models::{Clock, ClockMode};
+use vqpy_serve::{ServeConfig, ServeSession};
+use vqpy_video::source::VideoSource;
+
+const WORKERS: usize = 2;
+
+/// Eight standardized color-type-direction triples (Table 1's five plus
+/// three more combinations over the same attribute domains).
+fn eight_queries() -> Vec<Arc<Query>> {
+    let triples = [
+        ("green", "sedan", "straight"),
+        ("green", "bus", "straight"),
+        ("red", "sedan", "straight"),
+        ("black", "sedan", "straight"),
+        ("black", "suv", "right"),
+        ("white", "sedan", "left"),
+        ("blue", "suv", "straight"),
+        ("red", "bus", "right"),
+    ];
+    triples
+        .iter()
+        .enumerate()
+        .map(|(i, (c, t, d))| {
+            triple_query(
+                &format!("Q{}_{c}_{t}_{d}", i + 1),
+                &CvipQuery::new(c, t, d),
+                true,
+            )
+        })
+        .collect()
+}
+
+/// The head-to-head sharing comparison runs both configurations on the
+/// sequential executor: with the latency clock, wall time then equals
+/// total model latency, which is the §5.3 "one shared pipeline vs. N
+/// pipelines" measurement. (Pipelined execution hides more of the
+/// *baseline's* latency than the shared plan's serial tail, so it would
+/// understate sharing; the multi-stream section below exercises the
+/// pipelined engine.)
+fn session_config() -> SessionConfig {
+    SessionConfig::default()
+}
+
+fn main() {
+    let seconds = 40.0 * bench_scale();
+    section("Serving throughput (8 queries, one stream, fig13 CVIP workload)");
+    println!("video: {seconds:.0}s @10fps CityFlow-style, latency clock, sequential executor");
+
+    let queries = eight_queries();
+    let video = Arc::new(cityflow_video(seconds, 2024));
+    let frames = video.frame_count();
+
+    // ---- independent baseline: one session per query ----------------------
+    let indep_start = Instant::now();
+    let mut indep_hits: Vec<Vec<u64>> = Vec::new();
+    for q in &queries {
+        let session = VqpySession::with_clock(
+            bench_zoo(),
+            session_config(),
+            Arc::new(Clock::with_mode(ClockMode::Latency)),
+        );
+        let r = session.execute(q, video.as_ref()).expect("independent run");
+        indep_hits.push(r.hit_frames());
+    }
+    let indep_wall = indep_start.elapsed().as_secs_f64();
+    let indep_fps = frames as f64 / indep_wall;
+    println!(
+        "  independent: {indep_fps:7.1} frames/s  ({indep_wall:.2}s wall for 8 sessions x {frames} frames)"
+    );
+
+    // ---- shared super-plan: one StreamServer, 8 subscriptions -------------
+    let session = Arc::new(VqpySession::with_clock(
+        bench_zoo(),
+        session_config(),
+        Arc::new(Clock::with_mode(ClockMode::Latency)),
+    ));
+    let server = session.serve(ServeConfig {
+        batches_per_step: 4,
+        ..ServeConfig::default()
+    });
+    let stream = server.open_stream(Arc::clone(&video) as Arc<dyn VideoSource>);
+    let subs: Vec<_> = queries
+        .iter()
+        .map(|q| server.attach(stream, Arc::clone(q)).expect("attach"))
+        .collect();
+    let shared_start = Instant::now();
+    let serve_metrics = server.run_to_end(stream).expect("serve run");
+    let shared_wall = shared_start.elapsed().as_secs_f64();
+    let shared_fps = frames as f64 / shared_wall;
+    let exec = server.exec_metrics(stream).expect("exec metrics");
+    let speedup = shared_fps / indep_fps;
+    println!(
+        "  shared:      {shared_fps:7.1} frames/s  ({shared_wall:.2}s wall)  speedup {speedup:.2}x"
+    );
+    println!("  serve: {}", serve_metrics.summary());
+    println!("  exec:  {}", exec.summary());
+
+    // Served results must be byte-identical to the independent runs.
+    for (sub, expected) in subs.into_iter().zip(&indep_hits) {
+        let (hits, _) = sub.collect();
+        let frames_hit: Vec<u64> = hits.iter().map(|h| h.frame).collect();
+        assert_eq!(&frames_hit, expected, "served results diverged");
+    }
+    println!("  results identical across all 8 queries");
+    if frames >= 50 {
+        assert!(
+            speedup >= 2.0,
+            "shared serving must be >= 2x over independent sessions, got {speedup:.2}x"
+        );
+    }
+
+    // ---- multi-stream: two live streams served concurrently ---------------
+    section("Multi-stream serving (2 streams x 4 queries, threads)");
+    let session2 = Arc::new(VqpySession::with_clock(
+        bench_zoo(),
+        SessionConfig::pipelined(WORKERS),
+        Arc::new(Clock::with_mode(ClockMode::Latency)),
+    ));
+    let server2 = Arc::new(session2.serve(ServeConfig {
+        batches_per_step: 4,
+        ..ServeConfig::default()
+    }));
+    let videos = [
+        Arc::new(cityflow_video(seconds, 31)) as Arc<dyn VideoSource>,
+        Arc::new(cityflow_video(seconds, 32)) as Arc<dyn VideoSource>,
+    ];
+    let multi_frames: u64 = videos.iter().map(|v| v.frame_count()).sum();
+    let streams: Vec<_> = videos
+        .iter()
+        .map(|v| server2.open_stream(Arc::clone(v)))
+        .collect();
+    let mut multi_subs = Vec::new();
+    for &stream in &streams {
+        for q in &queries[..4] {
+            multi_subs.push(server2.attach(stream, Arc::clone(q)).expect("attach"));
+        }
+    }
+    let multi_start = Instant::now();
+    let drivers: Vec<_> = streams
+        .iter()
+        .map(|&stream| {
+            let server = Arc::clone(&server2);
+            std::thread::spawn(move || server.run_to_end(stream).expect("stream run"))
+        })
+        .collect();
+    for d in drivers {
+        d.join().expect("driver thread");
+    }
+    let multi_wall = multi_start.elapsed().as_secs_f64();
+    let multi_fps = multi_frames as f64 / multi_wall;
+    drop(multi_subs);
+    println!(
+        "  combined:    {multi_fps:7.1} frames/s  ({multi_wall:.2}s wall, {multi_frames} frames)"
+    );
+
+    // ---- JSON record -------------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"serve_multiquery_fig13_cvip\",\n  \"video_seconds\": {seconds:.1},\n  \
+         \"frames\": {frames},\n  \"queries\": {},\n  \"workers\": {WORKERS},\n  \
+         \"clock\": \"latency\",\n  \"independent_fps\": {indep_fps:.2},\n  \
+         \"shared_fps\": {shared_fps:.2},\n  \"speedup\": {speedup:.3},\n  \
+         \"results_identical\": true,\n  \"serve_summary\": \"{}\",\n  \
+         \"shared_exec\": {},\n  \"multi_stream\": {{\n    \"streams\": 2,\n    \
+         \"queries_per_stream\": 4,\n    \"frames\": {multi_frames},\n    \
+         \"combined_fps\": {multi_fps:.2}\n  }}\n}}\n",
+        queries.len(),
+        json_escape(&serve_metrics.summary()),
+        exec_metrics_json(&exec, 2),
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!();
+    println!("wrote {}", path.display());
+}

@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 use vqpy_bench::bench_scale;
-use vqpy_bench::report::section;
+use vqpy_bench::report::{exec_metrics_json, section};
 use vqpy_bench::workloads::{bench_zoo, cityflow_video, table1_queries, triple_query};
 use vqpy_core::backend::exec::execute_plan;
 use vqpy_core::backend::plan::{build_plan, PlanOptions};
@@ -31,8 +31,7 @@ struct Run {
     wall_s: f64,
     fps: f64,
     hit_frames: Vec<u64>,
-    reuse_hit_rate: f64,
-    stage_wall_ms: Vec<(String, f64)>,
+    metrics: vqpy_core::ExecMetrics,
 }
 
 fn run_mode(query_index: usize, mode: ExecMode, seconds: f64) -> Run {
@@ -55,8 +54,7 @@ fn run_mode(query_index: usize, mode: ExecMode, seconds: f64) -> Run {
         wall_s,
         fps: r.metrics.frames_total as f64 / wall_s,
         hit_frames: r.hit_frames(),
-        reuse_hit_rate: r.metrics.reuse.hit_rate(),
-        stage_wall_ms: r.metrics.stage_wall_ms.clone(),
+        metrics: r.metrics.clone(),
     }
 }
 
@@ -83,30 +81,26 @@ fn bench_query(query_index: usize, seconds: f64) -> String {
         "  pipelined:   {:7.1} frames/s  ({:.2}s wall, {WORKERS} workers)  speedup {speedup:.2}x",
         pipe.fps, pipe.wall_s
     );
-    println!("  reuse hit rate: {:.3}", pipe.reuse_hit_rate);
-    for (stage, ms) in &pipe.stage_wall_ms {
+    println!("  reuse hit rate: {:.3}", pipe.metrics.reuse.hit_rate());
+    for (stage, ms) in &pipe.metrics.stage_wall_ms {
         println!("    stage {stage:<14} {ms:9.1} ms busy");
     }
+    println!("  exec: {}", pipe.metrics.summary());
     assert_eq!(
         seq.hit_frames, pipe.hit_frames,
         "pipelined results must be identical to sequential"
     );
 
-    let stages_json: Vec<String> = pipe
-        .stage_wall_ms
-        .iter()
-        .map(|(n, ms)| format!("        \"{n}\": {ms:.2}"))
-        .collect();
     format!(
         "    {{\n      \"query\": \"{label}\",\n      \"frames\": {},\n      \
          \"sequential_fps\": {:.2},\n      \"pipelined_fps\": {:.2},\n      \
-         \"speedup\": {speedup:.3},\n      \"reuse_hit_rate\": {:.4},\n      \
-         \"results_identical\": true,\n      \"pipelined_stage_busy_ms\": {{\n{}\n      }}\n    }}",
+         \"speedup\": {speedup:.3},\n      \"results_identical\": true,\n      \
+         \"sequential_exec\": {},\n      \"pipelined_exec\": {}\n    }}",
         seq.frames,
         seq.fps,
         pipe.fps,
-        pipe.reuse_hit_rate,
-        stages_json.join(",\n"),
+        exec_metrics_json(&seq.metrics, 6),
+        exec_metrics_json(&pipe.metrics, 6),
     )
 }
 

@@ -1,4 +1,56 @@
-//! Plain-text table/series printing for experiment reports.
+//! Plain-text table/series printing and JSON snippets for experiment
+//! reports (`BENCH_*.json` files at the workspace root).
+
+use vqpy_core::ExecMetrics;
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders execution metrics as a JSON object (indented by `indent`
+/// spaces): frame counts, reuse-cache counters and hit rate, per-stage
+/// wall times, and the one-line [`ExecMetrics::summary`] string, so bench
+/// JSON records the cache and stage behavior behind each throughput
+/// number.
+pub fn exec_metrics_json(m: &ExecMetrics, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    let stages: Vec<String> = m
+        .stage_wall_ms
+        .iter()
+        .map(|(n, ms)| format!("{inner}  \"{}\": {ms:.2}", json_escape(n)))
+        .collect();
+    let stages_block = if stages.is_empty() {
+        "{}".to_owned()
+    } else {
+        format!("{{\n{}\n{inner}}}", stages.join(",\n"))
+    };
+    format!(
+        "{{\n{inner}\"frames_total\": {},\n{inner}\"frames_processed\": {},\n\
+         {inner}\"reuse_hits\": {},\n{inner}\"reuse_misses\": {},\n\
+         {inner}\"reuse_evictions\": {},\n{inner}\"reuse_hit_rate\": {:.4},\n\
+         {inner}\"stage_wall_ms\": {stages_block},\n{inner}\"summary\": \"{}\"\n{pad}}}",
+        m.frames_total,
+        m.frames_processed,
+        m.reuse.hits,
+        m.reuse.misses,
+        m.reuse.evictions,
+        m.reuse.hit_rate(),
+        json_escape(&m.summary()),
+    )
+}
 
 /// Prints a section header.
 pub fn section(title: &str) {
@@ -80,5 +132,27 @@ mod tests {
     fn ms_scales() {
         assert_eq!(ms(10.0), "10.0ms");
         assert_eq!(ms(2500.0), "2.5s");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn exec_metrics_json_embeds_summary() {
+        let mut m = ExecMetrics {
+            frames_total: 10,
+            frames_processed: 8,
+            ..ExecMetrics::default()
+        };
+        m.reuse.hits = 6;
+        m.reuse.misses = 2;
+        m.add_stage_wall("decode", 1.5);
+        let json = exec_metrics_json(&m, 2);
+        assert!(json.contains("\"frames_total\": 10"), "{json}");
+        assert!(json.contains("\"decode\": 1.50"), "{json}");
+        assert!(json.contains("\"reuse_hit_rate\": 0.7500"), "{json}");
+        assert!(json.contains("\"summary\""), "{json}");
     }
 }

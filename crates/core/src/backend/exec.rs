@@ -26,15 +26,17 @@
 //! per-frame allocations for caching or match bookkeeping.
 
 use crate::backend::ops::{
-    BinaryFilterOp, DetectOp, DiffFrameFilter, ExecCtx, FilterOp, FrameSlot, JoinOp, Operator,
-    ProjectOp, RelationProjectOp, TrackOp,
+    BinaryFilterOp, DetectOp, DiffFrameFilter, ExecCtx, FilterOp, FrameSlot, JoinOp, OpState,
+    Operator, ProjectOp, RelationProjectOp, TrackOp,
 };
-use crate::backend::plan::{OpSpec, PlanDag};
+use crate::backend::plan::{JoinSpec, OpSpec, PlanDag};
 use crate::backend::reuse::{ReuseCache, ReuseStats};
+use crate::backend::symbols::SymbolTable;
 use crate::error::{Result, VqpyError};
 use crate::frontend::query::Aggregate;
 use crate::frontend::vobj::ResolvedProperty;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
 use std::time::Instant;
 use vqpy_models::{Clock, ModelZoo, Value};
 use vqpy_video::source::VideoSource;
@@ -52,6 +54,17 @@ pub enum ExecMode {
         /// Worker threads per parallel stage.
         workers: usize,
     },
+}
+
+impl ExecMode {
+    /// Worker threads per parallel stage this mode asks for (1 for
+    /// sequential driving).
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Pipelined { workers } => (*workers).max(1),
+        }
+    }
 }
 
 /// Execution configuration.
@@ -88,7 +101,7 @@ impl Default for ExecConfig {
 
 impl ExecConfig {
     /// The reuse cache this configuration asks for.
-    pub(crate) fn make_reuse(&self) -> ReuseCache {
+    pub fn make_reuse(&self) -> ReuseCache {
         match self.reuse_capacity {
             Some(cap) => ReuseCache::with_capacity(cap),
             None => ReuseCache::new(),
@@ -111,8 +124,58 @@ pub struct ExecMetrics {
     pub stage_wall_ms: Vec<(String, f64)>,
 }
 
+impl ExecMetrics {
+    /// Adds wall time to a named stage bucket, creating it on first use
+    /// (segment runs accumulate into the same buckets).
+    pub fn add_stage_wall(&mut self, name: &str, ms: f64) {
+        match self.stage_wall_ms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => *total += ms,
+            None => self.stage_wall_ms.push((name.to_owned(), ms)),
+        }
+    }
+
+    /// Accumulates another run's counters into this one (a serving layer
+    /// merges metrics of retired engines with the live engine's).
+    pub fn absorb(&mut self, other: &ExecMetrics) {
+        self.frames_total += other.frames_total;
+        self.frames_processed += other.frames_processed;
+        self.reuse.hits += other.reuse.hits;
+        self.reuse.misses += other.reuse.misses;
+        self.reuse.evictions += other.reuse.evictions;
+        self.per_frame_ms.extend_from_slice(&other.per_frame_ms);
+        for (name, ms) in &other.stage_wall_ms {
+            self.add_stage_wall(name, *ms);
+        }
+    }
+
+    /// One-line summary of the counters that matter for perf triage:
+    /// frame counts, reuse-cache hit rate, and per-stage wall times. Bench
+    /// reports embed this string so `BENCH_*.json` files record the cache
+    /// and stage behavior behind each throughput number.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "frames {}/{} processed | reuse {:.1}% ({} hits, {} misses, {} evictions)",
+            self.frames_processed,
+            self.frames_total,
+            self.reuse.hit_rate() * 100.0,
+            self.reuse.hits,
+            self.reuse.misses,
+            self.reuse.evictions,
+        );
+        if !self.stage_wall_ms.is_empty() {
+            let stages: Vec<String> = self
+                .stage_wall_ms
+                .iter()
+                .map(|(n, ms)| format!("{n} {ms:.1}ms"))
+                .collect();
+            s.push_str(&format!(" | stages: {}", stages.join(", ")));
+        }
+        s
+    }
+}
+
 /// A frame satisfying a query, with its projected outputs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameHit {
     pub frame: u64,
     pub time_s: f64,
@@ -144,10 +207,10 @@ impl QueryResult {
     }
 }
 
-/// Instantiates a slice of operator specs against a plan's symbol table.
-/// The pipeline executor uses this to build each stage's (and each detect
-/// worker's) own operators.
-pub(crate) fn instantiate_ops(
+/// Instantiates a slice of operator specs against a clone of the plan's
+/// symbol table. The serving layer uses [`instantiate_ops_with`] instead,
+/// passing one append-only table that stays stable across recompiles.
+pub fn instantiate_ops(
     plan: &PlanDag,
     specs: &[OpSpec],
     zoo: &ModelZoo,
@@ -155,6 +218,19 @@ pub(crate) fn instantiate_ops(
     // The plan interned every name it emits; clone-and-intern keeps
     // hand-constructed plans (tests) working too.
     let mut syms = plan.symbols.clone();
+    instantiate_ops_with(plan, specs, zoo, &mut syms)
+}
+
+/// Instantiates operator specs, interning names into `syms`. Reuse-cache
+/// keys are derived from these symbols, so a long-lived stream must pass
+/// the *same* table for every (re)instantiation or cached values would be
+/// read back under the wrong `(alias, prop)` identity.
+pub fn instantiate_ops_with(
+    plan: &PlanDag,
+    specs: &[OpSpec],
+    zoo: &ModelZoo,
+    syms: &mut SymbolTable,
+) -> Result<Vec<Box<dyn Operator>>> {
     let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(specs.len());
     for spec in specs {
         let op: Box<dyn Operator> = match spec {
@@ -232,118 +308,153 @@ fn resolve_def(
     }
 }
 
-/// Per-query aggregation state.
+/// Consumes finished frame slots in frame order: the tail of every
+/// execution driver. The offline path accumulates a [`QueryResult`] per
+/// query ([`Collector`]); the serving layer demultiplexes matches to
+/// per-query subscribers incrementally.
+pub trait ResultSink {
+    /// Observes one finished slot. Called in frame order.
+    fn on_frame(&mut self, plan: &PlanDag, slot: &FrameSlot) -> Result<()>;
+}
+
+/// Per-query streaming accumulator: video-aggregate bookkeeping plus
+/// extraction of a frame's hit row. Uses O(1) state per query (no
+/// per-frame history), so it can run over unbounded live streams.
 #[derive(Debug, Default)]
-struct AggState {
+pub struct QueryAccum {
+    /// The alias whose nodes feed the video aggregate, if any.
+    agg_alias: Option<String>,
     distinct_tracks: BTreeSet<i64>,
-    per_frame_counts: Vec<u64>,
+    frames_seen: u64,
+    frames_hit: u64,
+    count_sum: u64,
+    count_max: u64,
+}
+
+impl QueryAccum {
+    /// An accumulator for one join of a plan.
+    pub fn new(join: &JoinSpec) -> Self {
+        Self::for_query(&join.query)
+    }
+
+    /// An accumulator for a query (the serving layer builds accumulators
+    /// before the super-plan containing the query exists).
+    pub fn for_query(query: &crate::frontend::query::Query) -> Self {
+        let agg_alias = match query.video_output() {
+            Some(Aggregate::CountDistinctTracks { alias })
+            | Some(Aggregate::AvgPerFrame { alias })
+            | Some(Aggregate::MaxPerFrame { alias }) => Some(alias.clone()),
+            _ => None,
+        };
+        Self {
+            agg_alias,
+            ..Self::default()
+        }
+    }
+
+    /// Observes join `ji`'s matches on a finished slot (must be called in
+    /// frame order), returning the frame's hit row when any combo matched.
+    pub fn observe(&mut self, join: &JoinSpec, slot: &FrameSlot, ji: usize) -> Option<FrameHit> {
+        static EMPTY: Vec<crate::backend::ops::MatchCombo> = Vec::new();
+        let combos = slot.matches.get(ji).unwrap_or(&EMPTY);
+        self.frames_seen += 1;
+        // Aggregation bookkeeping (count per frame even when zero).
+        let frame_count = if let Some(alias) = &self.agg_alias {
+            let mut frame_nodes = BTreeSet::new();
+            for c in combos {
+                if let Some(&node) = c.bindings.get(alias) {
+                    frame_nodes.insert(node);
+                    if let Value::Int(t) = slot.graph.nodes[node].value_of("track_id") {
+                        self.distinct_tracks.insert(t);
+                    }
+                }
+            }
+            frame_nodes.len() as u64
+        } else {
+            u64::from(!combos.is_empty())
+        };
+        self.count_sum += frame_count;
+        self.count_max = self.count_max.max(frame_count);
+        if combos.is_empty() {
+            return None;
+        }
+        self.frames_hit += 1;
+        let outputs: Vec<Vec<(String, Value)>> = combos
+            .iter()
+            .map(|c| {
+                join.query
+                    .frame_output()
+                    .iter()
+                    .filter_map(|p| {
+                        c.bindings.get(&p.alias).map(|&node| {
+                            (
+                                format!("{}.{}", p.alias, p.prop),
+                                slot.graph.nodes[node].value_of(&p.prop),
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(FrameHit {
+            frame: slot.frame.index,
+            time_s: slot.frame.time_s,
+            outputs,
+        })
+    }
+
+    /// The query's video-level aggregate over the frames observed so far.
+    pub fn video_value(&self, join: &JoinSpec) -> Option<Value> {
+        self.video_value_for(&join.query)
+    }
+
+    /// Same as [`QueryAccum::video_value`], from the query alone (the
+    /// accumulator is per-query state; the join spec adds nothing).
+    pub fn video_value_for(&self, query: &crate::frontend::query::Query) -> Option<Value> {
+        query.video_output().map(|a| match a {
+            Aggregate::CountDistinctTracks { .. } => Value::Int(self.distinct_tracks.len() as i64),
+            Aggregate::AvgPerFrame { .. } => {
+                Value::Float(self.count_sum as f64 / self.frames_seen.max(1) as f64)
+            }
+            Aggregate::MaxPerFrame { .. } => Value::Int(self.count_max as i64),
+            Aggregate::CountFrames => Value::Int(self.frames_hit as i64),
+        })
+    }
 }
 
 /// Accumulates per-join hits and aggregates as finished slots stream out of
-/// either driver (always in frame order).
-pub(crate) struct Collector {
+/// a driver (always in frame order): the batch/offline [`ResultSink`].
+pub struct Collector {
     hits: Vec<Vec<FrameHit>>,
-    aggs: Vec<AggState>,
-    /// Per join: the alias whose nodes feed the video aggregate, if any.
-    agg_alias: Vec<Option<String>>,
+    accums: Vec<QueryAccum>,
 }
 
 impl Collector {
-    pub(crate) fn new(plan: &PlanDag) -> Self {
-        let agg_alias = plan
-            .joins
-            .iter()
-            .map(|j| match j.query.video_output() {
-                Some(Aggregate::CountDistinctTracks { alias })
-                | Some(Aggregate::AvgPerFrame { alias })
-                | Some(Aggregate::MaxPerFrame { alias }) => Some(alias.clone()),
-                _ => None,
-            })
-            .collect();
+    /// An empty collector for a plan's query set.
+    pub fn new(plan: &PlanDag) -> Self {
         Self {
             hits: plan.joins.iter().map(|_| Vec::new()).collect(),
-            aggs: plan.joins.iter().map(|_| AggState::default()).collect(),
-            agg_alias,
+            accums: plan.joins.iter().map(QueryAccum::new).collect(),
         }
     }
 
     /// Records one finished slot's matches. Must be called in frame order.
-    pub(crate) fn collect(&mut self, plan: &PlanDag, slot: &FrameSlot) {
-        static EMPTY: Vec<crate::backend::ops::MatchCombo> = Vec::new();
+    pub fn collect(&mut self, plan: &PlanDag, slot: &FrameSlot) {
         for (ji, j) in plan.joins.iter().enumerate() {
-            let combos = slot.matches.get(ji).unwrap_or(&EMPTY);
-            let agg = &mut self.aggs[ji];
-            // Aggregation bookkeeping (count per frame even when zero).
-            if let Some(alias) = &self.agg_alias[ji] {
-                let mut frame_nodes = BTreeSet::new();
-                for c in combos {
-                    if let Some(&node) = c.bindings.get(alias) {
-                        frame_nodes.insert(node);
-                        if let Value::Int(t) = slot.graph.nodes[node].value_of("track_id") {
-                            agg.distinct_tracks.insert(t);
-                        }
-                    }
-                }
-                agg.per_frame_counts.push(frame_nodes.len() as u64);
-            } else {
-                agg.per_frame_counts.push(u64::from(!combos.is_empty()));
-            }
-
-            if !combos.is_empty() {
-                let outputs: Vec<Vec<(String, Value)>> = combos
-                    .iter()
-                    .map(|c| {
-                        j.query
-                            .frame_output()
-                            .iter()
-                            .filter_map(|p| {
-                                c.bindings.get(&p.alias).map(|&node| {
-                                    (
-                                        format!("{}.{}", p.alias, p.prop),
-                                        slot.graph.nodes[node].value_of(&p.prop),
-                                    )
-                                })
-                            })
-                            .collect()
-                    })
-                    .collect();
-                self.hits[ji].push(FrameHit {
-                    frame: slot.frame.index,
-                    time_s: slot.frame.time_s,
-                    outputs,
-                });
+            if let Some(hit) = self.accums[ji].observe(j, slot, ji) {
+                self.hits[ji].push(hit);
             }
         }
     }
 
     /// Builds the per-query results.
-    pub(crate) fn finalize(
-        self,
-        plan: &PlanDag,
-        metrics: ExecMetrics,
-        total_ms: f64,
-    ) -> Vec<QueryResult> {
+    pub fn finalize(self, plan: &PlanDag, metrics: ExecMetrics, total_ms: f64) -> Vec<QueryResult> {
         let mut results = Vec::with_capacity(plan.joins.len());
-        for ((j, agg), hits) in plan.joins.iter().zip(&self.aggs).zip(self.hits) {
-            let video_value = j.query.video_output().map(|a| match a {
-                Aggregate::CountDistinctTracks { .. } => {
-                    Value::Int(agg.distinct_tracks.len() as i64)
-                }
-                Aggregate::AvgPerFrame { .. } => {
-                    let n = agg.per_frame_counts.len().max(1) as f64;
-                    Value::Float(agg.per_frame_counts.iter().sum::<u64>() as f64 / n)
-                }
-                Aggregate::MaxPerFrame { .. } => {
-                    Value::Int(*agg.per_frame_counts.iter().max().unwrap_or(&0) as i64)
-                }
-                Aggregate::CountFrames => {
-                    Value::Int(agg.per_frame_counts.iter().filter(|&&c| c > 0).count() as i64)
-                }
-            });
+        for ((j, accum), hits) in plan.joins.iter().zip(&self.accums).zip(self.hits) {
             results.push(QueryResult {
                 query_name: j.query.name().to_owned(),
                 frame_hits: hits,
-                video_value,
+                video_value: accum.video_value(j),
                 metrics: metrics.clone(),
                 virtual_ms: total_ms,
             });
@@ -352,13 +463,108 @@ impl Collector {
     }
 }
 
-/// Index of the first detect operator: frames alive at this point count as
-/// "processed" (they survived the frame filters).
-pub(crate) fn first_detect_index(plan: &PlanDag) -> usize {
-    plan.ops
+impl ResultSink for Collector {
+    fn on_frame(&mut self, plan: &PlanDag, slot: &FrameSlot) -> Result<()> {
+        self.collect(plan, slot);
+        Ok(())
+    }
+}
+
+/// The operator-chain split every driver uses: frame filters (stateful,
+/// frame order) → detectors (stateless, parallelizable) → tail (stateful
+/// relational work). `(frame_specs, detect_specs, tail_specs)`.
+pub fn split_stage_specs(plan: &PlanDag) -> (&[OpSpec], &[OpSpec], &[OpSpec]) {
+    let first_detect = plan
+        .ops
         .iter()
-        .position(|o| matches!(o, OpSpec::Detect { .. }))
-        .unwrap_or(0)
+        .position(|o| matches!(o, OpSpec::Detect { .. }));
+    match first_detect {
+        Some(first_detect) => {
+            let after_detect = plan.ops[first_detect..]
+                .iter()
+                .position(|o| !matches!(o, OpSpec::Detect { .. }))
+                .map(|p| first_detect + p)
+                .unwrap_or(plan.ops.len());
+            (
+                &plan.ops[..first_detect],
+                &plan.ops[first_detect..after_detect],
+                &plan.ops[after_detect..],
+            )
+        }
+        None => (&plan.ops[..0], &plan.ops[..0], &plan.ops[..]),
+    }
+}
+
+/// Live operator chains, split at stage boundaries. `detects` holds one
+/// chain per pipeline worker (detectors are stateless, so each worker owns
+/// instances); sequential driving uses worker 0 only.
+///
+/// A `StageOps` owns all cross-frame operator state for a stream, so a
+/// serving layer can persist it across [`run_segment`] calls — and, via
+/// [`StageOps::export_states`] / [`StageOps::import_states`], across plan
+/// recompiles when queries attach or detach.
+pub struct StageOps {
+    pub filters: Vec<Box<dyn Operator>>,
+    pub detects: Vec<Vec<Box<dyn Operator>>>,
+    pub tail: Vec<Box<dyn Operator>>,
+}
+
+impl StageOps {
+    /// Extracts every stateful operator's cross-frame state, keyed by
+    /// [`Operator::state_key`]. Detect workers beyond the first hold no
+    /// state (detection is stateless), so only worker 0 is consulted.
+    pub fn export_states(&mut self) -> HashMap<String, OpState> {
+        let mut out = HashMap::new();
+        let chains = self
+            .filters
+            .iter_mut()
+            .chain(self.detects.first_mut().into_iter().flatten())
+            .chain(self.tail.iter_mut());
+        for op in chains {
+            if let (Some(key), Some(state)) = (op.state_key(), op.export_state()) {
+                out.insert(key, state);
+            }
+        }
+        out
+    }
+
+    /// Installs previously exported state into operators with matching
+    /// state keys; unmatched entries are dropped (their operator left the
+    /// plan) and unmatched operators start fresh (they just joined).
+    pub fn import_states(&mut self, states: &mut HashMap<String, OpState>) {
+        let chains = self
+            .filters
+            .iter_mut()
+            .chain(self.detects.iter_mut().flatten())
+            .chain(self.tail.iter_mut());
+        for op in chains {
+            if let Some(key) = op.state_key() {
+                if let Some(state) = states.remove(&key) {
+                    op.import_state(state);
+                }
+            }
+        }
+    }
+}
+
+/// Instantiates a plan's operators split by stage, with `workers` detect
+/// chains, interning execution symbols into `symbols` (see
+/// [`instantiate_ops_with`] for why the table must outlive recompiles).
+pub fn instantiate_stage_ops(
+    plan: &PlanDag,
+    zoo: &ModelZoo,
+    workers: usize,
+    symbols: &mut SymbolTable,
+) -> Result<StageOps> {
+    let workers = workers.max(1);
+    let (frame_specs, detect_specs, tail_specs) = split_stage_specs(plan);
+    Ok(StageOps {
+        filters: instantiate_ops_with(plan, frame_specs, zoo, symbols)?,
+        detects: (0..workers)
+            .map(|_| instantiate_ops_with(plan, detect_specs, zoo, symbols))
+            .collect::<Result<_>>()?,
+        tail: instantiate_ops_with(plan, tail_specs, zoo, symbols)?,
+    })
 }
 
 /// Executes a plan over a video, producing one result per query in the
@@ -375,36 +581,85 @@ pub fn execute_plan(
     clock: &Clock,
     config: &ExecConfig,
 ) -> Result<Vec<QueryResult>> {
-    match config.exec_mode {
-        ExecMode::Sequential => run_sequential(plan, source, zoo, clock, config),
-        ExecMode::Pipelined { workers } => {
-            crate::backend::pipeline::run_pipelined(plan, source, zoo, clock, config, workers)
-        }
-    }
-}
-
-fn run_sequential(
-    plan: &PlanDag,
-    source: &dyn VideoSource,
-    zoo: &ModelZoo,
-    clock: &Clock,
-    config: &ExecConfig,
-) -> Result<Vec<QueryResult>> {
-    let mut ops = instantiate_ops(plan, &plan.ops, zoo)?;
+    let workers = config.exec_mode.workers();
+    let mut symbols = plan.symbols.clone();
+    let mut ops = instantiate_stage_ops(plan, zoo, workers, &mut symbols)?;
     let mut reuse = config.make_reuse();
     let mut metrics = ExecMetrics::default();
     let mut collector = Collector::new(plan);
     let start_ms = clock.virtual_ms();
     let wall_start = Instant::now();
+    run_segment(
+        plan,
+        source,
+        zoo,
+        clock,
+        config,
+        0..source.frame_count(),
+        &mut ops,
+        &mut reuse,
+        &mut metrics,
+        &mut collector,
+    )?;
+    metrics.reuse = reuse.stats();
+    metrics
+        .stage_wall_ms
+        .push(("total".into(), wall_start.elapsed().as_secs_f64() * 1e3));
+    let total_ms = clock.virtual_ms() - start_ms;
+    Ok(collector.finalize(plan, metrics, total_ms))
+}
 
-    let first_detect = first_detect_index(plan);
-    let total = source.frame_count();
+/// Streams the contiguous frame `range` of `source` through `ops`,
+/// delivering every finished slot to `sink` in frame order. All cross-call
+/// state lives in `ops`/`reuse`/`metrics`, so callers may interleave
+/// segments with plan recompiles (the serving layer's attach/detach) or run
+/// one whole-video segment (the offline path). `metrics.reuse` is *not*
+/// refreshed here — callers snapshot `reuse.stats()` when they finish.
+#[allow(clippy::too_many_arguments)]
+pub fn run_segment(
+    plan: &PlanDag,
+    source: &dyn VideoSource,
+    zoo: &ModelZoo,
+    clock: &Clock,
+    config: &ExecConfig,
+    range: Range<u64>,
+    ops: &mut StageOps,
+    reuse: &mut ReuseCache,
+    metrics: &mut ExecMetrics,
+    sink: &mut dyn ResultSink,
+) -> Result<()> {
+    if range.is_empty() {
+        return Ok(());
+    }
+    match config.exec_mode {
+        ExecMode::Sequential => run_segment_sequential(
+            plan, source, zoo, clock, config, range, ops, reuse, metrics, sink,
+        ),
+        ExecMode::Pipelined { .. } => crate::backend::pipeline::run_segment_pipelined(
+            plan, source, zoo, clock, config, range, ops, reuse, metrics, sink,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_segment_sequential(
+    plan: &PlanDag,
+    source: &dyn VideoSource,
+    zoo: &ModelZoo,
+    clock: &Clock,
+    config: &ExecConfig,
+    range: Range<u64>,
+    ops: &mut StageOps,
+    reuse: &mut ReuseCache,
+    metrics: &mut ExecMetrics,
+    sink: &mut dyn ResultSink,
+) -> Result<()> {
     let batch = config.batch_size.max(1) as u64;
     // Slot workspaces, reused across batches.
     let mut slots: Vec<FrameSlot> = Vec::new();
-    let mut index = 0u64;
-    while index < total {
-        let end = (index + batch).min(total);
+    let mut index = range.start;
+    while index < range.end {
+        let end = (index + batch).min(range.end);
         let n = (end - index) as usize;
         let batch_start_ms = clock.virtual_ms();
         for (i, f) in (index..end).enumerate() {
@@ -423,19 +678,23 @@ fn run_sequential(
                 zoo,
                 clock,
                 fps: source.fps(),
-                reuse: &mut reuse,
+                reuse,
                 enable_reuse: config.enable_intrinsic_reuse,
             };
-            for (oi, op) in ops.iter_mut().enumerate() {
-                if oi == first_detect {
-                    metrics.frames_processed +=
-                        slots[..n].iter().filter(|s| s.alive).count() as u64;
-                }
+            for op in ops.filters.iter_mut() {
+                op.process_batch(&mut slots[..n], &mut ctx)?;
+            }
+            // Frames alive past the frame filters count as processed.
+            metrics.frames_processed += slots[..n].iter().filter(|s| s.alive).count() as u64;
+            for op in ops.detects[0].iter_mut() {
+                op.process_batch(&mut slots[..n], &mut ctx)?;
+            }
+            for op in ops.tail.iter_mut() {
                 op.process_batch(&mut slots[..n], &mut ctx)?;
             }
         }
         for slot in &slots[..n] {
-            collector.collect(plan, slot);
+            sink.on_frame(plan, slot)?;
         }
         if config.record_per_frame_ms {
             // Op-major batching interleaves charges across the batch's
@@ -450,13 +709,7 @@ fn run_sequential(
         }
         index = end;
     }
-
-    metrics.reuse = reuse.stats();
-    metrics
-        .stage_wall_ms
-        .push(("total".into(), wall_start.elapsed().as_secs_f64() * 1e3));
-    let total_ms = clock.virtual_ms() - start_ms;
-    Ok(collector.finalize(plan, metrics, total_ms))
+    Ok(())
 }
 
 #[cfg(test)]

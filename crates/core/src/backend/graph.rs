@@ -8,6 +8,7 @@
 //! temporal edges materialize in composition results (`compose` module)
 //! rather than per-frame graphs.
 
+use crate::backend::symbols::Istr;
 use crate::frontend::property::BuiltinProp;
 use std::collections::BTreeMap;
 use vqpy_models::{Detection, Value};
@@ -19,11 +20,16 @@ use vqpy_video::geometry::BBox;
 pub type NodeId = usize;
 
 /// A VObj instance on one frame.
+///
+/// `alias` and `class_label` are process-interned ([`Istr`]): nodes are
+/// created per detection per frame, and the interned fields make that
+/// construction allocation-free (the vocabulary is the bounded set of query
+/// aliases and detector class labels).
 #[derive(Debug, Clone)]
 pub struct VObjNode {
     /// Query alias this node belongs to.
-    pub alias: String,
-    pub class_label: String,
+    pub alias: Istr,
+    pub class_label: Istr,
     pub bbox: BBox,
     pub score: f32,
     /// Tracker identity, once the tracker operator has run.
@@ -44,11 +50,19 @@ pub struct VObjNode {
 }
 
 impl VObjNode {
-    /// Creates a node from a detection.
+    /// Creates a node from a detection. Interns `alias` and the detection's
+    /// class label; hot paths that already hold interned values should use
+    /// [`VObjNode::from_detection_interned`] instead.
     pub fn from_detection(alias: &str, det: &Detection) -> Self {
+        Self::from_detection_interned(Istr::new(alias), Istr::new(&det.class_label), det)
+    }
+
+    /// Creates a node from a detection with pre-interned alias and class
+    /// label — the allocation-free path used by the detect operator.
+    pub fn from_detection_interned(alias: Istr, class_label: Istr, det: &Detection) -> Self {
         Self {
-            alias: alias.to_owned(),
-            class_label: det.class_label.clone(),
+            alias,
+            class_label,
             bbox: det.bbox,
             score: det.score,
             track_id: None,
@@ -64,7 +78,7 @@ impl VObjNode {
     /// Reconstructs the detection view of this node (for attribute models).
     pub fn as_detection(&self) -> Detection {
         Detection {
-            class_label: self.class_label.clone(),
+            class_label: self.class_label.as_str().to_owned(),
             bbox: self.bbox,
             score: self.score,
             sim_entity: self.sim_entity,
@@ -76,7 +90,7 @@ impl VObjNode {
         match b {
             BuiltinProp::Bbox => Value::BBox(self.bbox),
             BuiltinProp::Score => Value::Float(self.score as f64),
-            BuiltinProp::ClassLabel => Value::Str(self.class_label.clone()),
+            BuiltinProp::ClassLabel => Value::Str(self.class_label.as_str().to_owned()),
             BuiltinProp::TrackId => match self.track_id {
                 Some(id) => Value::Int(id as i64),
                 None => Value::Null,
@@ -166,7 +180,7 @@ impl FrameGraph {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.alive && n.alias == alias)
+            .filter(|(_, n)| n.alive && n.alias == *alias)
             .map(|(i, _)| i)
             .collect()
     }
@@ -175,7 +189,7 @@ impl FrameGraph {
     pub fn alive_count(&self, alias: &str) -> usize {
         self.nodes
             .iter()
-            .filter(|n| n.alive && n.alias == alias)
+            .filter(|n| n.alive && n.alias == *alias)
             .count()
     }
 

@@ -8,7 +8,7 @@
 
 use crate::backend::graph::{Edge, EdgeKind, FrameGraph, NodeId, VObjNode};
 use crate::backend::reuse::ReuseCache;
-use crate::backend::symbols::Sym;
+use crate::backend::symbols::{Istr, Sym};
 use crate::error::{Result, VqpyError};
 use crate::frontend::predicate::{Pred, PredEnv};
 use crate::frontend::property::{PropertyCtx, PropertyDef, PropertyKind, PropertySource};
@@ -83,6 +83,26 @@ pub struct ExecCtx<'a> {
     pub enable_reuse: bool,
 }
 
+/// Cross-frame operator state, extracted so a serving layer can carry it
+/// across plan recompiles: when a query attaches or detaches mid-stream,
+/// the recompiled super-plan's operators with matching
+/// [`Operator::state_key`]s inherit the old state, keeping surviving
+/// queries' results byte-identical to an uninterrupted run.
+#[derive(Debug)]
+pub enum OpState {
+    /// [`DiffFrameFilter`]: the last kept frame's pixels.
+    DiffFilter { last_kept: Option<PixelBuffer> },
+    /// [`TrackOp`]: the tracker and its motion-edge bookkeeping.
+    Track {
+        tracker: SortTracker,
+        last_seen: HashMap<TrackId, u64>,
+    },
+    /// [`ProjectOp`]: per-track sliding windows of stateful dependencies.
+    Project {
+        history: HashMap<TrackId, VecDeque<BTreeMap<String, Value>>>,
+    },
+}
+
 /// A pipeline stage. Operators keep their own cross-frame state (trackers,
 /// history windows, previous pixels) and must therefore observe frames in
 /// order.
@@ -111,6 +131,22 @@ pub trait Operator: Send {
     fn wants_dead_frames(&self) -> bool {
         false
     }
+    /// Stable identity of this operator's cross-frame state, independent of
+    /// plan-local details like fusion or join indices. Two operators with
+    /// the same key compute the same stream function, so their state may be
+    /// transplanted across plan recompiles. `None` means stateless: the
+    /// operator can always be re-instantiated fresh.
+    fn state_key(&self) -> Option<String> {
+        None
+    }
+    /// Extracts the cross-frame state for carry-over, leaving this operator
+    /// reset. Only meaningful when [`Operator::state_key`] is `Some`.
+    fn export_state(&mut self) -> Option<OpState> {
+        None
+    }
+    /// Installs state previously exported by an operator with the same
+    /// [`Operator::state_key`]. Mismatched variants are ignored.
+    fn import_state(&mut self, _state: OpState) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -154,6 +190,22 @@ impl Operator for DiffFrameFilter {
             }
         }
         Ok(())
+    }
+
+    fn state_key(&self) -> Option<String> {
+        Some(format!("diff_filter(<{})", self.threshold))
+    }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        Some(OpState::DiffFilter {
+            last_kept: self.last_kept.take(),
+        })
+    }
+
+    fn import_state(&mut self, state: OpState) {
+        if let OpState::DiffFilter { last_kept } = state {
+            self.last_kept = last_kept;
+        }
     }
 }
 
@@ -206,21 +258,29 @@ impl Operator for BinaryFilterOp {
 /// alias whose class labels match.
 pub struct DetectOp {
     detector: Arc<dyn Detector>,
-    /// `(alias, class labels)` fed by this detector.
-    aliases: Vec<(String, Vec<String>)>,
+    /// `(alias, class labels)` fed by this detector, interned up front so
+    /// node construction in [`DetectOp::populate`] is allocation-free.
+    aliases: Vec<(Istr, Vec<Istr>)>,
 }
 
 impl DetectOp {
     /// Creates a detect operator feeding `aliases`.
     pub fn new(detector: Arc<dyn Detector>, aliases: Vec<(String, Vec<String>)>) -> Self {
+        let aliases = aliases
+            .into_iter()
+            .map(|(a, labels)| (Istr::new(&a), labels.iter().map(|l| Istr::new(l)).collect()))
+            .collect();
         Self { detector, aliases }
     }
 
     fn populate(&self, slot: &mut FrameSlot, detections: &[vqpy_models::Detection]) {
         for det in detections {
             for (alias, labels) in &self.aliases {
-                if labels.iter().any(|l| l == &det.class_label) {
-                    slot.graph.add_node(VObjNode::from_detection(alias, det));
+                // The matching label doubles as the node's interned
+                // class_label, so no per-detection interning is needed.
+                if let Some(&label) = labels.iter().find(|l| **l == det.class_label) {
+                    slot.graph
+                        .add_node(VObjNode::from_detection_interned(*alias, label, det));
                 }
             }
         }
@@ -233,7 +293,7 @@ impl Operator for DetectOp {
         format!(
             "detect({} -> {})",
             self.detector.profile().name,
-            aliases.join(",")
+            aliases.join(","),
         )
     }
 
@@ -306,6 +366,27 @@ impl Operator for TrackOp {
             self.last_seen.insert(up.track_id, slot.frame.index);
         }
         Ok(())
+    }
+
+    fn state_key(&self) -> Option<String> {
+        Some(format!("track({})", self.alias))
+    }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        Some(OpState::Track {
+            tracker: std::mem::replace(
+                &mut self.tracker,
+                SortTracker::new(TrackerParams::default()),
+            ),
+            last_seen: std::mem::take(&mut self.last_seen),
+        })
+    }
+
+    fn import_state(&mut self, state: OpState) {
+        if let OpState::Track { tracker, last_seen } = state {
+            self.tracker = tracker;
+            self.last_seen = last_seen;
+        }
     }
 }
 
@@ -420,6 +501,25 @@ impl Operator for ProjectOp {
             slot.alive = false;
         }
         Ok(())
+    }
+
+    /// The state key deliberately ignores fusion: whether a filter is fused
+    /// onto this projection changes across recompiles of a shared plan, but
+    /// the per-track history windows stay valid either way.
+    fn state_key(&self) -> Option<String> {
+        Some(format!("project({}.{})", self.alias, self.def.name))
+    }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        Some(OpState::Project {
+            history: std::mem::take(&mut self.history),
+        })
+    }
+
+    fn import_state(&mut self, state: OpState) {
+        if let OpState::Project { history } = state {
+            self.history = history;
+        }
     }
 }
 
@@ -553,7 +653,8 @@ impl ProjectOp {
 
 fn single_node_env(node: &VObjNode) -> PredEnv {
     let mut env = PredEnv::default();
-    env.objects.insert(node.alias.clone(), node.prop_map());
+    env.objects
+        .insert(node.alias.as_str().to_owned(), node.prop_map());
     env
 }
 

@@ -31,17 +31,22 @@
 //! completion) winds down all threads without deadlock. Results are
 //! byte-identical to [`ExecMode::Sequential`]; see the parity tests.
 //!
+//! Since the serving refactor this module exposes a *segment* runner: all
+//! cross-frame operator state lives in a caller-owned [`StageOps`], so a
+//! long-lived stream can alternate pipelined segments with plan recompiles
+//! (query attach/detach) without losing tracker or filter state.
+//!
 //! [`ExecMode::Pipelined`]: crate::backend::exec::ExecMode::Pipelined
 //! [`ExecMode::Sequential`]: crate::backend::exec::ExecMode::Sequential
 
-use crate::backend::exec::{
-    first_detect_index, instantiate_ops, Collector, ExecConfig, ExecMetrics, QueryResult,
-};
-use crate::backend::ops::{ExecCtx, FrameSlot, Operator};
-use crate::backend::plan::{OpSpec, PlanDag};
+use crate::backend::exec::{ExecConfig, ExecMetrics, ResultSink, StageOps};
+use crate::backend::ops::{ExecCtx, FrameSlot};
+use crate::backend::plan::PlanDag;
+use crate::backend::reuse::ReuseCache;
 use crate::error::{Result, VqpyError};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
@@ -140,51 +145,33 @@ fn set_error(slot: &Mutex<Option<VqpyError>>, cancel: &AtomicBool, e: VqpyError)
     cancel.store(true, Ordering::Relaxed);
 }
 
-/// Runs a plan through the staged pipeline. Called by
-/// [`crate::backend::exec::execute_plan`] for [`Pipelined`] mode.
+/// Runs one contiguous frame segment through the staged pipeline. Called by
+/// [`crate::backend::exec::run_segment`] for [`Pipelined`] mode; operator
+/// state, the reuse cache, and metrics persist in the caller across calls.
+///
+/// The worker count is `ops.detects.len()` (fixed at instantiation).
 ///
 /// [`Pipelined`]: crate::backend::exec::ExecMode::Pipelined
-pub(crate) fn run_pipelined(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_segment_pipelined(
     plan: &PlanDag,
     source: &dyn VideoSource,
     zoo: &ModelZoo,
     clock: &Clock,
     config: &ExecConfig,
-    workers: usize,
-) -> Result<Vec<QueryResult>> {
-    let workers = workers.max(1);
-    let start_ms = clock.virtual_ms();
-    let wall_start = Instant::now();
+    range: Range<u64>,
+    ops: &mut StageOps,
+    reuse: &mut ReuseCache,
+    metrics: &mut ExecMetrics,
+    sink: &mut dyn ResultSink,
+) -> Result<()> {
+    let workers = ops.detects.len().max(1);
+    let filter_ops = &mut ops.filters;
+    let detect_ops_per_worker = &mut ops.detects;
+    let tail_ops = &mut ops.tail;
 
-    // ---- split the operator chain into stages ----------------------------
-    let first_detect = first_detect_index(plan);
-    let has_detect = plan.ops.iter().any(|o| matches!(o, OpSpec::Detect { .. }));
-    let (frame_specs, detect_specs, tail_specs) = if has_detect {
-        let after_detect = plan.ops[first_detect..]
-            .iter()
-            .position(|o| !matches!(o, OpSpec::Detect { .. }))
-            .map(|p| first_detect + p)
-            .unwrap_or(plan.ops.len());
-        (
-            &plan.ops[..first_detect],
-            &plan.ops[first_detect..after_detect],
-            &plan.ops[after_detect..],
-        )
-    } else {
-        (&plan.ops[..0], &plan.ops[..0], &plan.ops[..])
-    };
-
-    // Instantiate up front so model-resolution errors surface before any
-    // thread spawns.
-    let mut filter_ops = instantiate_ops(plan, frame_specs, zoo)?;
-    let mut detect_ops_per_worker: Vec<Vec<Box<dyn Operator>>> = (0..workers)
-        .map(|_| instantiate_ops(plan, detect_specs, zoo))
-        .collect::<Result<_>>()?;
-    let mut tail_ops = instantiate_ops(plan, tail_specs, zoo)?;
-
-    let total = source.frame_count();
     let batch = config.batch_size.max(1) as u64;
-    let num_batches = total.div_ceil(batch);
+    let num_batches = (range.end - range.start).div_ceil(batch);
     let joins = plan.joins.len();
 
     // ---- channels ---------------------------------------------------------
@@ -203,10 +190,6 @@ pub(crate) fn run_pipelined(
     let stages = StageNanos::default();
     let frames_processed = AtomicU64::new(0);
 
-    let mut metrics = ExecMetrics::default();
-    let mut collector = Collector::new(plan);
-    let mut reuse = config.make_reuse();
-
     std::thread::scope(|scope| {
         // ---- stage 1a: decode workers (parallel, unordered) --------------
         for _ in 0..workers {
@@ -221,8 +204,8 @@ pub(crate) fn run_pipelined(
                 if b >= num_batches {
                     break;
                 }
-                let lo = b * batch;
-                let hi = ((b + 1) * batch).min(total);
+                let lo = range.start + b * batch;
+                let hi = (lo + batch).min(range.end);
                 let mut slots = recycle_rx.lock().try_recv().unwrap_or_default();
                 timed(&stages.decode, || {
                     for (i, f) in (lo..hi).enumerate() {
@@ -249,7 +232,7 @@ pub(crate) fn run_pipelined(
             let filtered_tx = filtered_tx.clone();
             let (cancel, stages, error, decoded_rx, frames_processed) =
                 (&cancel, &stages, &error, &decoded_rx, &frames_processed);
-            let filter_ops = &mut filter_ops;
+            let filter_ops = &mut *filter_ops;
             scope.spawn(move || {
                 let mut reorder = Reorder::new();
                 let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by filters
@@ -340,7 +323,7 @@ pub(crate) fn run_pipelined(
                             zoo,
                             clock,
                             fps: source.fps(),
-                            reuse: &mut reuse,
+                            reuse: &mut *reuse,
                             enable_reuse: config.enable_intrinsic_reuse,
                         };
                         for op in tail_ops.iter_mut() {
@@ -349,7 +332,7 @@ pub(crate) fn run_pipelined(
                         Ok::<(), VqpyError>(())
                     })?;
                     for slot in &slots {
-                        collector.collect(plan, slot);
+                        sink.on_frame(plan, slot)?;
                     }
                     let _ = recycle_tx.send(slots); // decode may have exited
                 }
@@ -368,18 +351,13 @@ pub(crate) fn run_pipelined(
         return Err(e);
     }
 
-    metrics.frames_processed = frames_processed.load(Ordering::Relaxed);
-    metrics.reuse = reuse.stats();
+    metrics.frames_processed += frames_processed.load(Ordering::Relaxed);
     let ns = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 / 1e6;
-    metrics.stage_wall_ms = vec![
-        ("decode".into(), ns(&stages.decode)),
-        ("frame_filters".into(), ns(&stages.frame_filters)),
-        ("detect".into(), ns(&stages.detect)),
-        ("tail".into(), ns(&stages.tail)),
-        ("total".into(), wall_start.elapsed().as_secs_f64() * 1e3),
-    ];
-    let total_ms = clock.virtual_ms() - start_ms;
-    Ok(collector.finalize(plan, metrics, total_ms))
+    metrics.add_stage_wall("decode", ns(&stages.decode));
+    metrics.add_stage_wall("frame_filters", ns(&stages.frame_filters));
+    metrics.add_stage_wall("detect", ns(&stages.detect));
+    metrics.add_stage_wall("tail", ns(&stages.tail));
+    Ok(())
 }
 
 #[cfg(test)]

@@ -117,6 +117,30 @@ impl PlanDag {
         let queries: Vec<&str> = self.joins.iter().map(|j| j.query.name()).collect();
         format!("{}|{}|{}", queries.join("+"), self.label, self.describe())
     }
+
+    /// Per-operator structural fingerprints, comparable *across* plans:
+    /// unlike [`OpSpec::label`], index-valued specs (joins, relation
+    /// projections) are expanded to the query/relation identity they point
+    /// at. The serving layer uses these to dedup operator state when the
+    /// super-plan is recompiled on query attach/detach — two ops with equal
+    /// fingerprints compute the same subgraph, so common decode / detect /
+    /// track / projection work executes once and stateful operators carry
+    /// their cross-frame state over.
+    pub fn op_fingerprints(&self) -> Vec<String> {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                OpSpec::Join { index } => {
+                    let j = &self.joins[*index];
+                    format!("join({} | {})", j.query.name(), j.pred)
+                }
+                OpSpec::ProjectRelation { index } => {
+                    format!("project_relation({})", self.relations[*index].name)
+                }
+                other => other.label(),
+            })
+            .collect()
+    }
 }
 
 /// Substituting a specialized NN for a detector + attribute filter.
@@ -352,6 +376,9 @@ pub fn build_plan(queries: &[Arc<Query>], zoo: &ModelZoo, opts: &PlanOptions) ->
     for (alias, n) in &needs {
         let schema = &schemas[alias];
         let single_query = queries.len() == 1;
+        // Shared disjunction pushdown bookkeeping (see
+        // [`emit_shared_disjunction`]).
+        let mut last_disjunction: Option<String> = None;
 
         let mut pending: Vec<(Pred, bool)> = n.conjuncts.clone();
         let mut available: BTreeSet<String> = ["bbox", "score", "class_label", "center"]
@@ -373,6 +400,16 @@ pub fn build_plan(queries: &[Arc<Query>], zoo: &ModelZoo, opts: &PlanOptions) ->
         available.insert("track_id".into());
         if !opts.eager_filters {
             emit_ready_filters(&mut ops, alias, &mut pending, &available, single_query, n);
+            emit_shared_disjunction(
+                &mut ops,
+                alias,
+                queries,
+                &available,
+                &conjunct_count,
+                opts,
+                n,
+                &mut last_disjunction,
+            );
         }
 
         // Projections in dependency order, cheapest-first.
@@ -397,6 +434,16 @@ pub fn build_plan(queries: &[Arc<Query>], zoo: &ModelZoo, opts: &PlanOptions) ->
                 continue;
             }
             emit_ready_filters(&mut ops, alias, &mut pending, &available, single_query, n);
+            emit_shared_disjunction(
+                &mut ops,
+                alias,
+                queries,
+                &available,
+                &conjunct_count,
+                opts,
+                n,
+                &mut last_disjunction,
+            );
         }
         if opts.eager_filters {
             let mut still: Vec<(Pred, bool)> = Vec::new();
@@ -498,6 +545,84 @@ fn conjunct_implemented(c: &Pred, alias: &str, opts: &PlanOptions) -> bool {
     )
 }
 
+/// Shared disjunction pushdown. In a multi-query plan, query-specific
+/// conjuncts cannot become node filters on their own (a node failing one
+/// query may satisfy another), so expensive downstream projections would
+/// run on every object. But the *disjunction over queries* of each query's
+/// alias-local constraints is always safe: an object failing every arm
+/// satisfies no query's frame constraint, so it can neither join nor feed
+/// an aggregate (aggregates count only join-satisfying bindings).
+///
+/// Called after the tracker and after every projection with the props
+/// available so far: each call emits the strongest disjunction currently
+/// evaluable (e.g. after `color` and `vtype` project, the filter is
+/// `OR_q(color == c_q & vtype == t_q)` — the true union of the queries'
+/// survivor sets), and only when it strengthens the previously emitted
+/// one. On the fig13 CVIP workload this prunes most objects before the
+/// non-memoizable `direction` model runs, which is what keeps one shared
+/// super-plan ahead of per-query sessions as query counts grow.
+///
+/// Arms deliberately exclude universally-shared conjuncts (those are
+/// ordinary hard filters already) and conjuncts implemented by a
+/// specialized detector. If any query has no evaluable alias-local
+/// conjunct, no filter is emitted: that query accepts any object, so the
+/// union is everything.
+#[allow(clippy::too_many_arguments)]
+fn emit_shared_disjunction(
+    ops: &mut Vec<OpSpec>,
+    alias: &str,
+    queries: &[Arc<Query>],
+    available: &BTreeSet<String>,
+    conjunct_count: &HashMap<String, usize>,
+    opts: &PlanOptions,
+    needs: &AliasNeeds,
+    last: &mut Option<String>,
+) {
+    if queries.len() < 2 {
+        return;
+    }
+    let mut arms: Vec<Pred> = Vec::new();
+    for q in queries {
+        let mut conjs: Vec<Pred> = Vec::new();
+        for c in q.frame_constraint().conjuncts() {
+            if c.single_alias().as_deref() != Some(alias)
+                || conjunct_implemented(c, alias, opts)
+                || conjunct_count[&c.to_string()] == queries.len()
+                || !c
+                    .referenced_props()
+                    .iter()
+                    .all(|p| available.contains(&p.prop))
+            {
+                continue;
+            }
+            conjs.push(c.clone());
+        }
+        if conjs.is_empty() {
+            return;
+        }
+        arms.push(Pred::all(conjs));
+    }
+    let mut seen = BTreeSet::new();
+    let arms: Vec<Pred> = arms
+        .into_iter()
+        .filter(|p| seen.insert(p.to_string()))
+        .collect();
+    if arms.len() <= 1 {
+        return;
+    }
+    let or = Pred::any(arms);
+    let display = or.to_string();
+    if last.as_deref() == Some(display.as_str()) {
+        return;
+    }
+    *last = Some(display);
+    ops.push(OpSpec::Filter {
+        alias: alias.to_owned(),
+        pred: or,
+        required: needs.required_by_all,
+    });
+}
+
 fn emit_ready_filters(
     ops: &mut Vec<OpSpec>,
     alias: &str,
@@ -531,14 +656,26 @@ fn emit_ready_filters(
 
 /// Orders property definitions cheapest-first while respecting deps
 /// (greedy Kahn's algorithm with min-cost selection).
+///
+/// Intrinsic properties are costed at a fraction of their model price:
+/// the §4.2 reuse cache memoizes them per track, so their steady-state
+/// per-frame cost is amortized near zero, and any filter they enable
+/// should run *before* non-memoizable projections that pay full price on
+/// every frame (e.g. CVIP's `direction` after `color`/`vtype`).
 fn cost_order(
     defs: Vec<crate::frontend::property::PropertyDef>,
     zoo: &ModelZoo,
 ) -> Vec<crate::frontend::property::PropertyDef> {
+    const INTRINSIC_AMORTIZATION: f64 = 0.1;
     let cost_of = |def: &crate::frontend::property::PropertyDef| -> f64 {
-        match &def.source {
+        let base = match &def.source {
             PropertySource::Model(m) => zoo.profile(m).map(|p| p.cost).unwrap_or(10.0),
             _ => 0.05,
+        };
+        if def.kind.is_intrinsic() {
+            base * INTRINSIC_AMORTIZATION
+        } else {
+            base
         }
     };
     let names: BTreeSet<String> = defs.iter().map(|d| d.name.clone()).collect();
@@ -716,6 +853,83 @@ mod tests {
         let plan = build_plan(&[red_car_query()], &zoo(), &opts).unwrap();
         assert!(matches!(plan.ops[0], OpSpec::DiffFilter { .. }));
         assert!(matches!(plan.ops[1], OpSpec::BinaryFilter { .. }));
+    }
+
+    #[test]
+    fn shared_plan_pushes_down_conjunct_disjunction() {
+        // Both queries constrain car.color, so the shared plan may filter
+        // nodes matching *neither* color before later work — and must not
+        // hard-filter either color alone.
+        let q1 = red_car_query();
+        let q2 = Query::builder("GreenCar")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "green"))
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q1, q2], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        let desc = plan.describe();
+        let or_pos = desc
+            .find("car.color == red | car.color == green")
+            .unwrap_or_else(|| panic!("no disjunction filter in:\n{desc}"));
+        let project_pos = desc.find("project(car.color)").expect("color projected");
+        assert!(
+            or_pos > project_pos,
+            "disjunction before its input:\n{desc}"
+        );
+        // The join predicates still carry the per-query colors.
+        assert!(plan.joins[0].pred.to_string().contains("red"));
+        assert!(plan.joins[1].pred.to_string().contains("green"));
+    }
+
+    #[test]
+    fn no_disjunction_when_a_query_is_unconstrained() {
+        // The Any query accepts every car, so no disjunction can exclude
+        // nodes on color.
+        let q1 = red_car_query();
+        let q2 = Query::builder("Any")
+            .vobj("car", library::vehicle_schema())
+            .frame_constraint(Pred::gt("car", "score", 0.6))
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q1, q2], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        assert!(
+            !plan.describe().contains(" | car.color"),
+            "{}",
+            plan.describe()
+        );
+    }
+
+    #[test]
+    fn intrinsic_projections_order_before_non_intrinsic_at_equal_cost() {
+        // color (intrinsic, memoized per track) must project before
+        // direction (non-intrinsic, paid per frame) despite equal model
+        // cost: the reuse cache amortizes the former to ~0.
+        let schema = crate::frontend::vobj::VObjSchema::builder("V")
+            .class_labels(&["car"])
+            .detector("yolox")
+            .property(crate::frontend::property::PropertyDef::stateless_model(
+                "color",
+                "color_detect",
+                true,
+            ))
+            .property(crate::frontend::property::PropertyDef::stateless_model(
+                "direction",
+                "direction_model",
+                false,
+            ))
+            .build();
+        let q = Query::builder("Both")
+            .vobj("car", schema)
+            .frame_constraint(
+                Pred::eq("car", "color", "red") & Pred::eq("car", "direction", "straight"),
+            )
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        let desc = plan.describe();
+        let color = desc.find("car.color").unwrap();
+        let direction = desc.find("car.direction").unwrap();
+        assert!(color < direction, "{desc}");
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! String interning for the execution hot path.
 //!
-//! Plan construction interns every alias and property name into a dense
-//! `u32` [`Sym`], so per-frame structures (most importantly the reuse-cache
-//! key of §4.2) can be `Copy` tuples instead of owned `String`s: the cache
-//! probe that used to clone two strings per lookup is now allocation-free.
+//! Two interners live here:
+//!
+//! - [`SymbolTable`] / [`Sym`]: a *plan-local* dense `u32` interner built at
+//!   plan-construction time, so per-frame structures (most importantly the
+//!   reuse-cache key of §4.2) can be `Copy` tuples instead of owned
+//!   `String`s. Serving-layer engines keep one append-only table across
+//!   plan recompiles so symbols stay stable for the lifetime of a stream.
+//! - [`Istr`] : a *process-global* leaked-string interner for the small,
+//!   bounded vocabulary of aliases and class labels that
+//!   [`VObjNode`](crate::backend::graph::VObjNode)s carry. Nodes are created
+//!   per detection per frame; an `Istr` is `Copy`, so node construction no
+//!   longer allocates two `String`s per detection.
 
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// An interned string: a dense index into the plan's [`SymbolTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,9 +71,150 @@ impl SymbolTable {
     }
 }
 
+/// The process-global [`Istr`] store. Entries are leaked once and live for
+/// the process lifetime; the vocabulary (query aliases + detector class
+/// labels) is small and bounded, so the leak is a deliberate arena.
+fn istr_store() -> &'static RwLock<HashMap<&'static str, &'static str>> {
+    static STORE: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// A process-interned immutable string: `Copy`, pointer-stable, and
+/// allocation-free to clone or compare. Used for the per-node alias and
+/// class-label fields of the object graph, which used to be the last
+/// per-frame `String` allocations on the hot path.
+#[derive(Clone, Copy)]
+pub struct Istr(&'static str);
+
+impl Istr {
+    /// Interns `s`, returning the canonical copy. Repeated calls with the
+    /// same content return the same pointer; construction off the hot path
+    /// (operator setup) is the intended pattern.
+    pub fn new(s: &str) -> Self {
+        if let Some(&hit) = istr_store().read().get(s) {
+            return Self(hit);
+        }
+        let mut store = istr_store().write();
+        if let Some(&hit) = store.get(s) {
+            return Self(hit);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        store.insert(leaked, leaked);
+        Self(leaked)
+    }
+
+    /// The interned string.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::ops::Deref for Istr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl PartialEq for Istr {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned strings are pointer-canonical; content check keeps
+        // hand-constructed values (none today) correct too.
+        std::ptr::eq(self.0, other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Istr {}
+
+impl PartialEq<str> for Istr {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Istr {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Istr {
+    fn eq(&self, other: &String) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl std::hash::Hash for Istr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for Istr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Istr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl std::fmt::Debug for Istr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl std::fmt::Display for Istr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<&str> for Istr {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<&String> for Istr {
+    fn from(s: &String) -> Self {
+        Self::new(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn istr_interning_dedups_storage() {
+        let a = Istr::new("car");
+        let b = Istr::new("car");
+        let c = Istr::new("person");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_ne!(a, c);
+        assert_eq!(a, "car");
+        assert_eq!(a, *"car");
+        assert_eq!(a, "car".to_owned());
+        assert_eq!(format!("{a}"), "car");
+        assert_eq!(format!("{a:?}"), "\"car\"");
+    }
+
+    #[test]
+    fn istr_orders_by_content() {
+        let mut v = [Istr::new("b"), Istr::new("a"), Istr::new("c")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+    }
 
     #[test]
     fn intern_is_idempotent() {

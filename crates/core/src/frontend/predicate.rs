@@ -301,6 +301,16 @@ impl Pred {
             acc => acc & p,
         })
     }
+
+    /// Disjunction of an iterator of predicates (`!True` when empty: an
+    /// empty disjunction holds for nothing).
+    pub fn any(preds: impl IntoIterator<Item = Pred>) -> Pred {
+        let mut iter = preds.into_iter();
+        match iter.next() {
+            None => !Pred::True,
+            Some(first) => iter.fold(first, |acc, p| acc | p),
+        }
+    }
 }
 
 impl BitAnd for Pred {

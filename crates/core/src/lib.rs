@@ -46,7 +46,10 @@ pub mod frontend;
 pub mod scoring;
 pub mod session;
 
-pub use backend::exec::{ExecConfig, ExecMetrics, ExecMode, FrameHit, QueryResult};
+pub use backend::exec::{
+    Collector, ExecConfig, ExecMetrics, ExecMode, FrameHit, QueryAccum, QueryResult, ResultSink,
+    StageOps,
+};
 pub use backend::plan::{build_plan, OpSpec, PlanDag, PlanOptions};
 pub use error::{ComposeError, VqpyError};
 pub use extend::{BinaryFilterReg, ExtensionRegistry, FrameFilterReg, SpecializedNnReg};

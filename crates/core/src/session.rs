@@ -98,11 +98,18 @@ impl VqpySession {
 
     /// Creates a session with explicit configuration.
     pub fn with_config(zoo: Arc<ModelZoo>, config: SessionConfig) -> Self {
+        Self::with_clock(zoo, config, Arc::new(Clock::new()))
+    }
+
+    /// Creates a session charging execution cost to an explicit clock.
+    /// Serving deployments pass a [`vqpy_models::ClockMode::Latency`] clock
+    /// so model cost is realized as wall latency on the stream threads.
+    pub fn with_clock(zoo: Arc<ModelZoo>, config: SessionConfig, clock: Arc<Clock>) -> Self {
         Self {
             zoo,
             extensions: ExtensionRegistry::new(),
             config,
-            clock: Arc::new(Clock::new()),
+            clock,
             plan_cache: Mutex::new(HashMap::new()),
             result_cache: Mutex::new(HashMap::new()),
             last_profiles: Mutex::new(Vec::new()),
@@ -112,6 +119,12 @@ impl VqpySession {
     /// The session's virtual clock (execution cost accumulates here).
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Shared handle to the session clock, for long-lived serving threads
+    /// (the `vqpy-serve` `StreamServer` charges stream execution here).
+    pub fn clock_handle(&self) -> Arc<Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// The model zoo.

@@ -1,0 +1,182 @@
+//! The per-stream execution engine: a persistent wrapper around the core
+//! segment runner that survives super-plan recompiles.
+//!
+//! A [`StreamEngine`] owns everything that must outlive any single plan:
+//!
+//! - the **operator chains** ([`StageOps`]) holding cross-frame state
+//!   (trackers, frame-difference filters, stateful property windows);
+//! - the **reuse cache** of §4.2, whose keys are interned symbols;
+//! - an **append-only symbol table**: recompiled plans intern into the
+//!   same table, so a symbol means the same `(alias, property)` for the
+//!   stream's whole lifetime and cached values are never read back under a
+//!   different identity;
+//! - cumulative [`ExecMetrics`].
+//!
+//! On [`StreamEngine::recompile`], operators of the new plan inherit the
+//! old plan's state wherever the structural fingerprint matches (see
+//! [`PlanDag::op_fingerprints`] and `Operator::state_key`); everything else
+//! starts fresh. This is what makes attach/detach invisible to surviving
+//! queries: their subgraph's operators are bit-for-bit the ones that were
+//! already running.
+
+use vqpy_core::backend::exec::{instantiate_stage_ops, run_segment, ResultSink};
+use vqpy_core::backend::plan::PlanDag;
+use vqpy_core::backend::reuse::ReuseCache;
+use vqpy_core::backend::symbols::SymbolTable;
+use vqpy_core::error::Result;
+use vqpy_core::{ExecConfig, ExecMetrics, StageOps};
+use vqpy_models::{Clock, ModelZoo};
+use vqpy_video::source::VideoSource;
+
+/// Live execution state for one stream, persistent across plan recompiles.
+pub struct StreamEngine {
+    plan: PlanDag,
+    symbols: SymbolTable,
+    ops: StageOps,
+    reuse: ReuseCache,
+    metrics: ExecMetrics,
+    workers: usize,
+    recompiles: u64,
+}
+
+impl StreamEngine {
+    /// Instantiates the engine for an initial super-plan.
+    pub fn new(plan: PlanDag, zoo: &ModelZoo, config: &ExecConfig) -> Result<Self> {
+        let workers = config.exec_mode.workers();
+        let mut symbols = plan.symbols.clone();
+        let ops = instantiate_stage_ops(&plan, zoo, workers, &mut symbols)?;
+        Ok(Self {
+            plan,
+            symbols,
+            ops,
+            reuse: config.make_reuse(),
+            metrics: ExecMetrics::default(),
+            workers,
+            recompiles: 0,
+        })
+    }
+
+    /// The currently executing super-plan.
+    pub fn plan(&self) -> &PlanDag {
+        &self.plan
+    }
+
+    /// How many times the super-plan has been swapped since creation.
+    pub fn recompiles(&self) -> u64 {
+        self.recompiles
+    }
+
+    /// Cumulative execution metrics, with a fresh reuse-cache snapshot.
+    pub fn metrics(&self) -> ExecMetrics {
+        let mut m = self.metrics.clone();
+        m.reuse = self.reuse.stats();
+        m
+    }
+
+    /// Swaps in a recompiled super-plan at a batch boundary. Cross-frame
+    /// operator state carries over wherever the old and new plans share an
+    /// operator fingerprint; the reuse cache survives untouched because
+    /// symbols are interned into the engine's append-only table.
+    ///
+    /// On error (unknown model in the new plan) the old plan keeps
+    /// running unchanged.
+    pub fn recompile(&mut self, plan: PlanDag, zoo: &ModelZoo) -> Result<()> {
+        let mut ops = instantiate_stage_ops(&plan, zoo, self.workers, &mut self.symbols)?;
+        let mut states = self.ops.export_states();
+        ops.import_states(&mut states);
+        self.ops = ops;
+        self.plan = plan;
+        self.recompiles += 1;
+        Ok(())
+    }
+
+    /// Runs a contiguous frame segment through the current plan, feeding
+    /// finished frames to `sink` in frame order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_segment(
+        &mut self,
+        source: &dyn VideoSource,
+        zoo: &ModelZoo,
+        clock: &Clock,
+        config: &ExecConfig,
+        range: std::ops::Range<u64>,
+        sink: &mut dyn ResultSink,
+    ) -> Result<()> {
+        run_segment(
+            &self.plan,
+            source,
+            zoo,
+            clock,
+            config,
+            range,
+            &mut self.ops,
+            &mut self.reuse,
+            &mut self.metrics,
+            sink,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vqpy_core::backend::plan::{build_plan, PlanOptions};
+    use vqpy_core::frontend::{library, predicate::Pred};
+    use vqpy_core::{Collector, Query};
+    use vqpy_models::ModelZoo;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::SyntheticVideo;
+
+    fn query(name: &str, color: &str) -> Arc<Query> {
+        Query::builder(name)
+            .vobj("car", library::vehicle_schema_intrinsic())
+            .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
+            .frame_output(&[("car", "track_id")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recompile_preserves_shared_fingerprints() {
+        let zoo = ModelZoo::standard();
+        let opts = PlanOptions::vqpy_default();
+        let p1 = build_plan(&[query("Red", "red"), query("Black", "black")], &zoo, &opts).unwrap();
+        let p2 = build_plan(&[query("Red", "red"), query("Green", "green")], &zoo, &opts).unwrap();
+        let shared: Vec<String> = p1
+            .op_fingerprints()
+            .into_iter()
+            .filter(|f| p2.op_fingerprints().contains(f))
+            .collect();
+        // Detector, tracker, and the color projection are shared subgraphs.
+        assert!(
+            shared.iter().any(|f| f.starts_with("detect(")),
+            "{shared:?}"
+        );
+        assert!(shared.iter().any(|f| f.starts_with("track(")), "{shared:?}");
+        assert!(shared.iter().any(|f| f.contains("car.color")), "{shared:?}");
+
+        let cfg = ExecConfig::default();
+        let mut engine = StreamEngine::new(p1, &zoo, &cfg).unwrap();
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 9, 6.0));
+        let clock = vqpy_models::Clock::new();
+        let mut sink = Collector::new(engine.plan());
+        engine
+            .run_segment(&v, &zoo, &clock, &cfg, 0..30, &mut sink)
+            .unwrap();
+        let reuse_before = engine.metrics().reuse;
+        engine.recompile(p2, &zoo).unwrap();
+        assert_eq!(engine.recompiles(), 1);
+        // The reuse cache survived the recompile.
+        let mut sink2 = Collector::new(engine.plan());
+        engine
+            .run_segment(&v, &zoo, &clock, &cfg, 30..60, &mut sink2)
+            .unwrap();
+        let reuse_after = engine.metrics().reuse;
+        assert!(
+            reuse_after.hits > reuse_before.hits,
+            "carried tracks should keep hitting the reuse cache: {reuse_before:?} -> {reuse_after:?}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # vqpy-serve
+//!
+//! Live stream serving on top of the VQPy backend: a [`StreamServer`] owns
+//! one or more long-lived video streams, merges every currently-attached
+//! query into one shared *super-plan* (detectors, trackers, and property
+//! projections common to several queries execute once per frame batch —
+//! §4.2/§5.3's sharing, applied continuously), and demultiplexes per-frame
+//! matches to per-query subscribers over bounded channels.
+//!
+//! Queries come and go at runtime: [`StreamServer::attach`] and
+//! [`StreamServer::detach`] take effect at the next batch boundary, where
+//! the super-plan is recompiled *incrementally* — cross-frame operator
+//! state (trackers, frame-difference filters, stateful property windows)
+//! carries over for every operator whose structural fingerprint survives
+//! the recompile, so no frames are dropped and the surviving queries'
+//! results are byte-identical to an uninterrupted run (see the
+//! `equivalence` tests).
+//!
+//! Overload is observable rather than silent: each subscription rides a
+//! bounded channel with a configurable [`Backpressure`] policy (block the
+//! stream, or drop events and count them), and per-stream [`ServeMetrics`]
+//! report frames/s, per-query delivery latency, dropped events, and the
+//! reuse-cache hit rate.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vqpy_core::frontend::{library, predicate::Pred};
+//! use vqpy_core::{Query, VqpySession};
+//! use vqpy_models::ModelZoo;
+//! use vqpy_serve::{ServeConfig, ServeSession, StreamServer};
+//! use vqpy_video::{presets, Scene, SyntheticVideo};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+//! let server = session.serve(ServeConfig::default());
+//! let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 7, 30.0));
+//! let stream = server.open_stream(Arc::new(video));
+//! let query = Query::builder("RedCar")
+//!     .vobj("car", library::vehicle_schema())
+//!     .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+//!     .build()?;
+//! let sub = server.attach(stream, query)?;
+//! server.run_to_end(stream)?;
+//! let (hits, _aggregate) = sub.collect();
+//! println!("{} matching frames", hits.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod server;
+pub mod subscription;
+
+pub use engine::StreamEngine;
+pub use metrics::{QueryServeMetrics, ServeMetrics};
+pub use server::{
+    Backpressure, ServeConfig, ServeError, ServeResult, ServeSession, StepOutcome, StreamId,
+    StreamServer,
+};
+pub use subscription::{ServeEvent, Subscription, SubscriptionClosed, SubscriptionId};

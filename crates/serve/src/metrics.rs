@@ -1,0 +1,89 @@
+//! Serving observability: per-stream and per-query counters.
+
+/// Delivery counters for one attached query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryServeMetrics {
+    /// Query name.
+    pub query: String,
+    /// Events successfully enqueued to the subscriber.
+    pub delivered: u64,
+    /// Events discarded by the [`Backpressure::Drop`] policy (the
+    /// subscriber's bounded channel was full).
+    ///
+    /// [`Backpressure::Drop`]: crate::server::Backpressure::Drop
+    pub dropped: u64,
+    /// Mean wall latency from a batch entering the engine to this query's
+    /// matches being enqueued, in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+/// Wall-clock serving metrics for one stream.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    /// Frames pushed through the super-plan so far.
+    pub frames_total: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Super-plan recompiles triggered by attach/detach.
+    pub recompiles: u64,
+    /// Wall milliseconds spent executing (excludes idle time between
+    /// steps).
+    pub wall_ms: f64,
+    /// Frames per wall second over the executed portion.
+    pub frames_per_s: f64,
+    /// Reuse-cache hit rate of the stream engine, `[0, 1]`.
+    pub reuse_hit_rate: f64,
+    /// Total events dropped across all subscriptions.
+    pub dropped_events: u64,
+    /// Per-query delivery counters, in attach order.
+    pub per_query: Vec<QueryServeMetrics>,
+}
+
+impl ServeMetrics {
+    /// One-line summary for logs and bench reports.
+    pub fn summary(&self) -> String {
+        let queries: Vec<String> = self
+            .per_query
+            .iter()
+            .map(|q| {
+                format!(
+                    "{}: {} delivered, {} dropped, {:.2}ms mean latency",
+                    q.query, q.delivered, q.dropped, q.mean_latency_ms
+                )
+            })
+            .collect();
+        format!(
+            "{} frames in {} batches ({:.1} frames/s, {} recompiles, reuse {:.1}%, {} dropped) | {}",
+            self.frames_total,
+            self.batches,
+            self.frames_per_s,
+            self.recompiles,
+            self.reuse_hit_rate * 100.0,
+            self.dropped_events,
+            queries.join("; "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_queries() {
+        let m = ServeMetrics {
+            frames_total: 100,
+            batches: 13,
+            frames_per_s: 250.0,
+            per_query: vec![QueryServeMetrics {
+                query: "RedCar".into(),
+                delivered: 7,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let s = m.summary();
+        assert!(s.contains("RedCar"), "{s}");
+        assert!(s.contains("100 frames"), "{s}");
+    }
+}

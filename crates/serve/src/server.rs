@@ -1,0 +1,629 @@
+//! The [`StreamServer`]: long-lived streams, runtime query attach/detach,
+//! and per-query demultiplexing of the shared super-plan's output.
+
+use crate::engine::StreamEngine;
+use crate::metrics::{QueryServeMetrics, ServeMetrics};
+use crate::subscription::{ServeEvent, Subscription, SubscriptionId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+use vqpy_core::backend::exec::{QueryAccum, ResultSink};
+use vqpy_core::backend::ops::FrameSlot;
+use vqpy_core::backend::plan::PlanDag;
+use vqpy_core::error::VqpyError;
+use vqpy_core::{ExecMetrics, Query, VqpySession};
+use vqpy_video::source::VideoSource;
+
+/// Identifier of one open stream on a server.
+pub type StreamId = u64;
+
+/// What happens when a subscriber's bounded channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the stream until the subscriber drains (the stream paces to
+    /// its slowest consumer; nothing is ever lost).
+    #[default]
+    Block,
+    /// Drop the event and count it in
+    /// [`QueryServeMetrics::dropped`] (the stream never stalls; overload
+    /// is visible in the metrics instead).
+    Drop,
+}
+
+/// Serving configuration. Execution itself (batch size, sequential vs.
+/// pipelined, reuse) follows the owning session's
+/// [`SessionConfig::exec`](vqpy_core::SessionConfig), so served results are
+/// byte-identical to what the same session computes offline.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded capacity of each subscription's event channel.
+    pub channel_capacity: usize,
+    /// Policy when a subscription's channel is full.
+    pub backpressure: Backpressure,
+    /// Batches executed per [`StreamServer::step`]; attach/detach commands
+    /// are applied only at step boundaries (which are batch boundaries).
+    /// Larger values amortize pipelined stage spin-up across more frames.
+    pub batches_per_step: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            channel_capacity: 1024,
+            backpressure: Backpressure::Block,
+            batches_per_step: 1,
+        }
+    }
+}
+
+/// Serving errors: stream lifecycle problems, or an execution error
+/// surfaced from the core engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The stream id is not open on this server.
+    UnknownStream(StreamId),
+    /// The subscription id is not attached to the given stream.
+    UnknownSubscription(SubscriptionId),
+    /// The stream already reached end-of-video.
+    StreamFinished,
+    /// Planning or execution failed in the core engine.
+    Core(VqpyError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            ServeError::UnknownSubscription(id) => write!(f, "unknown subscription {id}"),
+            ServeError::StreamFinished => write!(f, "stream already finished"),
+            ServeError::Core(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<VqpyError> for ServeError {
+    fn from(e: VqpyError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Serving result alias.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Outcome of one [`StreamServer::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutcome {
+    /// Frames executed this step.
+    pub frames: u64,
+    /// Whether the stream reached end-of-video.
+    pub finished: bool,
+    /// Whether pending attach/detach commands changed the query set (the
+    /// super-plan was swapped, created, or retired at this boundary).
+    pub recompiled: bool,
+}
+
+/// One attached query's server-side state: its accumulator (aggregates are
+/// computed from the attach boundary on) and the sending half of the
+/// subscriber channel.
+struct ActiveSub {
+    id: SubscriptionId,
+    query: Arc<Query>,
+    accum: QueryAccum,
+    tx: SyncSender<ServeEvent>,
+    /// Cleared when the subscriber drops its receiver.
+    connected: bool,
+    delivered: u64,
+    dropped: u64,
+    latency_sum_ms: f64,
+}
+
+impl ActiveSub {
+    fn new(p: PendingAttach) -> Self {
+        Self {
+            id: p.id,
+            accum: QueryAccum::for_query(&p.query),
+            query: p.query,
+            tx: p.tx,
+            connected: true,
+            delivered: 0,
+            dropped: 0,
+            latency_sum_ms: 0.0,
+        }
+    }
+
+    fn deliver(&mut self, event: ServeEvent, policy: Backpressure, ingest: Instant) {
+        if !self.connected {
+            return;
+        }
+        let outcome = match policy {
+            Backpressure::Block => self.tx.send(event).map_err(|_| false),
+            Backpressure::Drop => self.tx.try_send(event).map_err(|e| match e {
+                TrySendError::Full(_) => true,
+                TrySendError::Disconnected(_) => false,
+            }),
+        };
+        match outcome {
+            Ok(()) => {
+                self.delivered += 1;
+                self.latency_sum_ms += ingest.elapsed().as_secs_f64() * 1e3;
+            }
+            Err(true) => self.dropped += 1,
+            Err(false) => self.connected = false,
+        }
+    }
+
+    fn metrics(&self) -> QueryServeMetrics {
+        QueryServeMetrics {
+            query: self.query.name().to_owned(),
+            delivered: self.delivered,
+            dropped: self.dropped,
+            mean_latency_ms: if self.delivered == 0 {
+                0.0
+            } else {
+                self.latency_sum_ms / self.delivered as f64
+            },
+        }
+    }
+}
+
+struct PendingAttach {
+    id: SubscriptionId,
+    query: Arc<Query>,
+    tx: SyncSender<ServeEvent>,
+}
+
+/// Pending attach/detach commands, kept outside the execution state so
+/// [`StreamServer::attach`] / [`StreamServer::detach`] never block behind a
+/// running [`StreamServer::step`] (whose `Block`-policy sends can wait on
+/// slow subscribers).
+#[derive(Default)]
+struct Commands {
+    attach: Vec<PendingAttach>,
+    detach: Vec<SubscriptionId>,
+}
+
+/// One live stream: the engine, attached queries, and progress counters.
+struct Stream {
+    source: Arc<dyn VideoSource>,
+    engine: Option<StreamEngine>,
+    /// Attach order; index i corresponds to join i of the current plan.
+    subs: Vec<ActiveSub>,
+    next_frame: u64,
+    batches: u64,
+    recompiles: u64,
+    wall_ms: f64,
+    /// Execution metrics of engines retired when their last query
+    /// detached, so frames/reuse counters survive engine turnover.
+    retired_exec: ExecMetrics,
+    /// Metrics of queries that already detached.
+    past_queries: Vec<QueryServeMetrics>,
+}
+
+impl Stream {
+    fn new(source: Arc<dyn VideoSource>) -> Self {
+        Self {
+            source,
+            engine: None,
+            subs: Vec::new(),
+            next_frame: 0,
+            batches: 0,
+            recompiles: 0,
+            wall_ms: 0.0,
+            retired_exec: ExecMetrics::default(),
+            past_queries: Vec::new(),
+        }
+    }
+
+    /// Cumulative exec metrics: retired engines plus the live one.
+    fn exec_metrics(&self) -> ExecMetrics {
+        let mut m = self.retired_exec.clone();
+        if let Some(e) = &self.engine {
+            m.absorb(&e.metrics());
+        }
+        m
+    }
+}
+
+/// A stream's shared handle: commands and lifecycle flags are lockable
+/// independently of the (potentially long-held) execution state.
+struct StreamHandle {
+    commands: Mutex<Commands>,
+    /// Set (under the `commands` lock) when the stream reaches
+    /// end-of-video; checked by `attach` under the same lock so no attach
+    /// can slip in behind a finish.
+    finished: AtomicBool,
+    state: Mutex<Stream>,
+}
+
+/// Demultiplexes the super-plan's per-frame matches to the per-query
+/// subscribers: the serving [`ResultSink`]. `subs` is aligned with the
+/// plan's joins (attach order).
+struct DemuxSink<'a> {
+    subs: &'a mut [ActiveSub],
+    policy: Backpressure,
+    /// When this segment entered the engine, for delivery latency.
+    ingest: Instant,
+}
+
+impl ResultSink for DemuxSink<'_> {
+    fn on_frame(&mut self, plan: &PlanDag, slot: &FrameSlot) -> vqpy_core::error::Result<()> {
+        for (ji, join) in plan.joins.iter().enumerate() {
+            let sub = &mut self.subs[ji];
+            // `observe` must see every frame (aggregate bookkeeping), not
+            // just hits.
+            if let Some(hit) = sub.accum.observe(join, slot, ji) {
+                sub.deliver(ServeEvent::Hit(hit), self.policy, self.ingest);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multi-stream, multi-query serving frontend over one [`VqpySession`].
+///
+/// The server shares the session's model zoo, clock, plan cache, and
+/// execution configuration; each open stream owns a [`StreamEngine`]
+/// driving the session's configured executor (sequential or the PR-1
+/// pipelined engine) over the live source. All attached queries of a
+/// stream are compiled into one shared super-plan; [`StreamServer::step`]
+/// (or [`StreamServer::run_to_end`]) advances the stream and delivers
+/// per-query events to subscribers.
+///
+/// `attach` and `detach` are always non-blocking (they enqueue commands
+/// applied at the next step boundary). Observers (`position`, `metrics`,
+/// `exec_metrics`, `is_finished`) share the execution lock and may wait
+/// while a step is in flight — under [`Backpressure::Block`] that can be
+/// as long as subscribers take to drain.
+pub struct StreamServer {
+    session: Arc<VqpySession>,
+    config: ServeConfig,
+    streams: Mutex<HashMap<StreamId, Arc<StreamHandle>>>,
+    next_stream: AtomicU64,
+    next_sub: AtomicU64,
+}
+
+impl StreamServer {
+    /// Creates a server over a session.
+    pub fn new(session: Arc<VqpySession>, config: ServeConfig) -> Self {
+        Self {
+            session,
+            config,
+            streams: Mutex::new(HashMap::new()),
+            next_stream: AtomicU64::new(1),
+            next_sub: AtomicU64::new(1),
+        }
+    }
+
+    /// The owning session.
+    pub fn session(&self) -> &Arc<VqpySession> {
+        &self.session
+    }
+
+    /// Opens a live stream over a video source. Nothing executes until a
+    /// query is attached and the stream is stepped.
+    pub fn open_stream(&self, source: Arc<dyn VideoSource>) -> StreamId {
+        let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(
+            id,
+            Arc::new(StreamHandle {
+                commands: Mutex::new(Commands::default()),
+                finished: AtomicBool::new(false),
+                state: Mutex::new(Stream::new(source)),
+            }),
+        );
+        id
+    }
+
+    fn handle(&self, id: StreamId) -> ServeResult<Arc<StreamHandle>> {
+        self.streams
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownStream(id))
+    }
+
+    /// Attaches a query to a stream, returning its subscription. Takes
+    /// effect at the next step boundary; events start with the first frame
+    /// executed after that, and the query's video aggregate covers only
+    /// the frames it observed. Never blocks behind a running step.
+    pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> ServeResult<Subscription> {
+        let handle = self.handle(stream)?;
+        let mut commands = handle.commands.lock();
+        if handle.finished.load(Ordering::Acquire) {
+            return Err(ServeError::StreamFinished);
+        }
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = sync_channel(self.config.channel_capacity.max(1));
+        let sub = Subscription::new(id, query.name().to_owned(), rx);
+        commands.attach.push(PendingAttach { id, query, tx });
+        Ok(sub)
+    }
+
+    /// Detaches a subscription at the next step boundary. The subscriber
+    /// receives [`ServeEvent::Detached`] with its aggregate-so-far; other
+    /// queries are unaffected (their operators keep their state through
+    /// the recompile). Never blocks behind a running step, so a slow
+    /// subscriber can always detach itself.
+    pub fn detach(&self, stream: StreamId, sub: SubscriptionId) -> ServeResult<()> {
+        let handle = self.handle(stream)?;
+        let mut commands = handle.commands.lock();
+        if let Some(pos) = commands.attach.iter().position(|p| p.id == sub) {
+            // Attached and detached within the same boundary: never ran.
+            let p = commands.attach.remove(pos);
+            let _ = p.tx.try_send(ServeEvent::Detached { video_value: None });
+            return Ok(());
+        }
+        if commands.detach.contains(&sub) {
+            return Ok(());
+        }
+        // Validate against the live set without holding the state lock:
+        // enqueue optimistically and let apply_commands ignore unknown
+        // ids, but reject ids that were never issued for this stream when
+        // we can see that cheaply (state lock available).
+        if let Some(state) = handle.state.try_lock() {
+            if !state.subs.iter().any(|a| a.id == sub) {
+                return Err(ServeError::UnknownSubscription(sub));
+            }
+        }
+        commands.detach.push(sub);
+        Ok(())
+    }
+
+    /// The next frame index the stream will execute. Shares the execution
+    /// lock: may wait for an in-flight step.
+    pub fn position(&self, stream: StreamId) -> ServeResult<u64> {
+        Ok(self.handle(stream)?.state.lock().next_frame)
+    }
+
+    /// Whether the stream has reached end-of-video.
+    pub fn is_finished(&self, stream: StreamId) -> ServeResult<bool> {
+        Ok(self.handle(stream)?.finished.load(Ordering::Acquire))
+    }
+
+    /// Applies pending attach/detach commands, recompiling the super-plan
+    /// incrementally. Returns whether the query set changed.
+    ///
+    /// Order matters for failure atomicity: the prospective plan is
+    /// compiled and swapped in *before* any subscriber state changes, so a
+    /// planning error (e.g. a newly attached query referencing an unknown
+    /// model) leaves the stream running its old plan with its old
+    /// subscribers, and the commands stay queued (detaching the offending
+    /// attach clears the error).
+    fn apply_commands(&self, handle: &StreamHandle, s: &mut Stream) -> ServeResult<bool> {
+        let mut commands = handle.commands.lock();
+        if commands.attach.is_empty() && commands.detach.is_empty() {
+            return Ok(false);
+        }
+        let detach_ids: Vec<SubscriptionId> = commands
+            .detach
+            .iter()
+            .copied()
+            .filter(|id| s.subs.iter().any(|a| a.id == *id))
+            .collect();
+
+        // Prospective query set: survivors in attach order, then new
+        // attaches — matching the join order of the plan built from it.
+        let queries: Vec<Arc<Query>> = s
+            .subs
+            .iter()
+            .filter(|a| !detach_ids.contains(&a.id))
+            .map(|a| Arc::clone(&a.query))
+            .chain(commands.attach.iter().map(|p| Arc::clone(&p.query)))
+            .collect();
+
+        let had_engine = s.engine.is_some();
+        if queries.is_empty() {
+            // No queries left: retire the engine (a later attach restarts
+            // fresh; its metrics are preserved in `retired_exec`).
+            if let Some(engine) = s.engine.take() {
+                s.retired_exec.absorb(&engine.metrics());
+            }
+        } else {
+            // The session's planner dedups structurally: one detect per
+            // model, one tracker per alias, one projection per
+            // (alias, prop) — shared subgraphs of the attached queries
+            // execute once per batch. The session-level plan cache makes
+            // repeated query sets cheap.
+            let plan = self.session.plan_for(&queries, s.source.as_ref())?;
+            match &mut s.engine {
+                Some(engine) => engine.recompile(plan, self.session.zoo())?,
+                None => {
+                    s.engine = Some(StreamEngine::new(
+                        plan,
+                        self.session.zoo(),
+                        &self.session.config().exec,
+                    )?);
+                }
+            }
+        }
+        if had_engine {
+            s.recompiles += 1;
+        }
+
+        // Plan swap succeeded — now commit the subscriber changes.
+        commands.detach.clear();
+        for id in detach_ids {
+            if let Some(pos) = s.subs.iter().position(|a| a.id == id) {
+                let mut sub = s.subs.remove(pos);
+                // The accumulator is per-query state, final at detach.
+                let video_value = sub.accum.video_value_for(&sub.query);
+                sub.deliver(
+                    ServeEvent::Detached { video_value },
+                    self.config.backpressure,
+                    Instant::now(),
+                );
+                s.past_queries.push(sub.metrics());
+                // Dropping `sub` closes the channel: the subscriber's
+                // `collect` terminates even if the terminal event was
+                // dropped by an overloaded `Drop`-policy channel.
+            }
+        }
+        for p in commands.attach.drain(..) {
+            s.subs.push(ActiveSub::new(p));
+        }
+        Ok(true)
+    }
+
+    /// Finishes the stream: every subscriber gets [`ServeEvent::End`] with
+    /// its final aggregate, then its channel closes (senders drop), so
+    /// [`Subscription::collect`] terminates under either backpressure
+    /// policy. Pending never-run attaches are notified too.
+    fn finish(&self, handle: &StreamHandle, s: &mut Stream) {
+        let mut commands = handle.commands.lock();
+        handle.finished.store(true, Ordering::Release);
+        for p in commands.attach.drain(..) {
+            let _ = p.tx.try_send(ServeEvent::Detached { video_value: None });
+        }
+        commands.detach.clear();
+        drop(commands);
+        if let Some(engine) = &s.engine {
+            let joins = engine.plan().joins.clone();
+            for (i, mut sub) in s.subs.drain(..).enumerate() {
+                let video_value = joins.get(i).and_then(|j| sub.accum.video_value(j));
+                sub.deliver(
+                    ServeEvent::End { video_value },
+                    self.config.backpressure,
+                    Instant::now(),
+                );
+                s.past_queries.push(sub.metrics());
+            }
+        }
+    }
+
+    /// Advances a stream by one step ([`ServeConfig::batches_per_step`]
+    /// batches), applying pending attach/detach commands first. No frames
+    /// are skipped by a recompile: execution resumes at exactly the next
+    /// frame index.
+    pub fn step(&self, stream: StreamId) -> ServeResult<StepOutcome> {
+        let handle = self.handle(stream)?;
+        let mut s = handle.state.lock();
+        let s = &mut *s;
+        if handle.finished.load(Ordering::Acquire) {
+            return Ok(StepOutcome {
+                frames: 0,
+                finished: true,
+                recompiled: false,
+            });
+        }
+        let recompiled = self.apply_commands(&handle, s)?;
+        let total = s.source.frame_count();
+        if s.next_frame >= total {
+            self.finish(&handle, s);
+            return Ok(StepOutcome {
+                frames: 0,
+                finished: true,
+                recompiled,
+            });
+        }
+        let exec = &self.session.config().exec;
+        let batch = exec.batch_size.max(1) as u64;
+        let frames = (batch * self.config.batches_per_step.max(1)).min(total - s.next_frame);
+        let range = s.next_frame..s.next_frame + frames;
+        let wall = Instant::now();
+        if let Some(engine) = s.engine.as_mut() {
+            let mut sink = DemuxSink {
+                subs: &mut s.subs,
+                policy: self.config.backpressure,
+                ingest: wall,
+            };
+            engine.run_segment(
+                s.source.as_ref(),
+                self.session.zoo(),
+                self.session.clock(),
+                exec,
+                range.clone(),
+                &mut sink,
+            )?;
+            s.batches += frames.div_ceil(batch);
+        }
+        // With no queries attached the stream stays live but idle: frames
+        // are passed over without decoding (no subscriber needs them).
+        s.next_frame = range.end;
+        s.wall_ms += wall.elapsed().as_secs_f64() * 1e3;
+        if s.next_frame >= total {
+            self.finish(&handle, s);
+        }
+        Ok(StepOutcome {
+            frames,
+            finished: handle.finished.load(Ordering::Acquire),
+            recompiled,
+        })
+    }
+
+    /// Drives the stream to end-of-video, then returns its metrics. With
+    /// [`Backpressure::Block`], subscribers must be drained concurrently
+    /// (or fit within the channel capacity) or this will stall by design.
+    pub fn run_to_end(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
+        loop {
+            if self.step(stream)?.finished {
+                break;
+            }
+        }
+        self.metrics(stream)
+    }
+
+    /// Wall-clock serving metrics for a stream. Shares the execution
+    /// lock: may wait for an in-flight step.
+    pub fn metrics(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
+        let handle = self.handle(stream)?;
+        let s = handle.state.lock();
+        let exec = s.exec_metrics();
+        let mut per_query = s.past_queries.clone();
+        per_query.extend(s.subs.iter().map(|a| a.metrics()));
+        let dropped_events = per_query.iter().map(|q| q.dropped).sum();
+        Ok(ServeMetrics {
+            frames_total: exec.frames_total,
+            batches: s.batches,
+            recompiles: s.recompiles,
+            wall_ms: s.wall_ms,
+            frames_per_s: if s.wall_ms > 0.0 {
+                exec.frames_total as f64 / (s.wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            reuse_hit_rate: exec.reuse.hit_rate(),
+            dropped_events,
+            per_query,
+        })
+    }
+
+    /// Cumulative execution metrics of a stream (stage wall times, reuse
+    /// counters) across every engine it has run, for bench reports.
+    pub fn exec_metrics(&self, stream: StreamId) -> ServeResult<ExecMetrics> {
+        let handle = self.handle(stream)?;
+        let s = handle.state.lock();
+        Ok(s.exec_metrics())
+    }
+
+    /// Closes a stream, dropping its engine and subscriptions. Subscribers
+    /// see their channels close.
+    pub fn close_stream(&self, stream: StreamId) -> ServeResult<()> {
+        self.streams
+            .lock()
+            .remove(&stream)
+            .map(|_| ())
+            .ok_or(ServeError::UnknownStream(stream))
+    }
+}
+
+/// Session-level serving entry point: `session.serve(config)`.
+///
+/// Lives in `vqpy-serve` (as an extension trait) so the core crate stays
+/// independent of the serving layer; re-exported from the facade crate as
+/// `vqpy::serve::ServeSession`.
+pub trait ServeSession {
+    /// Opens a stream server backed by this session's zoo, clock, plan
+    /// cache, and execution configuration.
+    fn serve(self: &Arc<Self>, config: ServeConfig) -> StreamServer;
+}
+
+impl ServeSession for VqpySession {
+    fn serve(self: &Arc<Self>, config: ServeConfig) -> StreamServer {
+        StreamServer::new(Arc::clone(self), config)
+    }
+}

@@ -1,0 +1,115 @@
+//! Incremental result subscriptions: the consumer half of a served query.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::time::Duration;
+use vqpy_core::FrameHit;
+use vqpy_models::Value;
+
+/// Identifier of one attached query on one stream.
+pub type SubscriptionId = u64;
+
+/// The server side of this subscription is gone (the stream was closed or
+/// the terminal event was already consumed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionClosed;
+
+impl std::fmt::Display for SubscriptionClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("subscription channel closed")
+    }
+}
+
+impl std::error::Error for SubscriptionClosed {}
+
+/// An incremental result event. A subscription delivers the exact rows an
+/// offline [`QueryResult`](vqpy_core::QueryResult) would contain, one hit
+/// frame at a time, terminated by [`ServeEvent::End`] (stream exhausted) or
+/// [`ServeEvent::Detached`] (query removed at a batch boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// A frame matched the query, with its projected output rows.
+    Hit(FrameHit),
+    /// The stream ended; carries the query's final video-level aggregate
+    /// (over the frames observed since attach), if the query declared one.
+    End { video_value: Option<Value> },
+    /// The query was detached; carries the aggregate up to the detach
+    /// boundary.
+    Detached { video_value: Option<Value> },
+}
+
+/// The receiving end of one attached query's bounded event channel.
+///
+/// Dropping a `Subscription` closes the channel; the server notices on the
+/// next delivery attempt and stops *delivering* to it. The query itself
+/// stays in the super-plan — and keeps paying its share of execution —
+/// until `StreamServer::detach` removes it, so keep the id around (or
+/// detach before dropping) when a query is done.
+#[derive(Debug)]
+pub struct Subscription {
+    id: SubscriptionId,
+    query_name: String,
+    rx: Receiver<ServeEvent>,
+}
+
+impl Subscription {
+    pub(crate) fn new(id: SubscriptionId, query_name: String, rx: Receiver<ServeEvent>) -> Self {
+        Self { id, query_name, rx }
+    }
+
+    /// This subscription's identifier (pass to `StreamServer::detach`).
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Name of the subscribed query.
+    pub fn query_name(&self) -> &str {
+        &self.query_name
+    }
+
+    /// Blocks for the next event. `None` once the channel is closed (after
+    /// `End`/`Detached` has been consumed, or if the server dropped the
+    /// stream).
+    pub fn recv(&self) -> Option<ServeEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no event is ready yet.
+    pub fn try_recv(&self) -> Result<Option<ServeEvent>, SubscriptionClosed> {
+        match self.rx.try_recv() {
+            Ok(e) => Ok(Some(e)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(SubscriptionClosed),
+        }
+    }
+
+    /// Blocks up to `timeout` for the next event; `Ok(None)` on timeout.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<ServeEvent>, SubscriptionClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(e) => Ok(Some(e)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(SubscriptionClosed),
+        }
+    }
+
+    /// Drains the subscription to its terminal event, returning every hit
+    /// plus the final video aggregate. Blocks until the stream ends or the
+    /// query is detached, so only call this once the stream is being
+    /// driven (or has finished).
+    pub fn collect(self) -> (Vec<FrameHit>, Option<Value>) {
+        let mut hits = Vec::new();
+        let mut video_value = None;
+        while let Ok(event) = self.rx.recv() {
+            match event {
+                ServeEvent::Hit(h) => hits.push(h),
+                ServeEvent::End { video_value: v } | ServeEvent::Detached { video_value: v } => {
+                    video_value = v;
+                    break;
+                }
+            }
+        }
+        (hits, video_value)
+    }
+}

@@ -1,0 +1,399 @@
+//! Serving equivalence: subscription results must be byte-identical to the
+//! offline `execute_shared` path, and runtime attach/detach must not
+//! perturb surviving queries' results (the operator-state carry-over
+//! contract of the incremental recompile).
+
+use std::sync::Arc;
+use vqpy_core::frontend::{library, predicate::Pred};
+use vqpy_core::{Aggregate, Query, SessionConfig, VqpySession};
+use vqpy_models::ModelZoo;
+use vqpy_serve::{Backpressure, ServeConfig, ServeEvent, ServeSession};
+use vqpy_video::source::{SyntheticVideo, VideoSource};
+use vqpy_video::{presets, Scene};
+
+fn color_query(name: &str, color: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .unwrap()
+}
+
+fn count_query() -> Arc<Query> {
+    Query::builder("CountCars")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
+        })
+        .build()
+        .unwrap()
+}
+
+fn video(seed: u64, seconds: f64) -> SyntheticVideo {
+    SyntheticVideo::new(Scene::generate(presets::jackson(), seed, seconds))
+}
+
+/// Fixed query set attached before the stream starts: subscription results
+/// must be byte-identical to offline `execute_shared` on the same video.
+#[test]
+fn static_query_set_matches_execute_shared() {
+    for config in [SessionConfig::default(), SessionConfig::pipelined(3)] {
+        let v = video(71, 10.0);
+        let queries = [color_query("RedCar", "red"), count_query()];
+
+        let offline = Arc::new(VqpySession::with_config(
+            ModelZoo::standard(),
+            config.clone(),
+        ));
+        let expected = offline.execute_shared(&queries, &v).unwrap();
+
+        let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+        let server = session.serve(ServeConfig::default());
+        let stream = server.open_stream(Arc::new(v.clone()));
+        let subs: Vec<_> = queries
+            .iter()
+            .map(|q| server.attach(stream, Arc::clone(q)).unwrap())
+            .collect();
+        let metrics = server.run_to_end(stream).unwrap();
+        assert_eq!(metrics.frames_total, v.frame_count(), "no frames dropped");
+
+        for (sub, exp) in subs.into_iter().zip(&expected) {
+            let (hits, video_value) = sub.collect();
+            assert_eq!(hits, exp.frame_hits, "hits diverged for {}", exp.query_name);
+            assert_eq!(
+                video_value, exp.video_value,
+                "aggregate diverged for {}",
+                exp.query_name
+            );
+        }
+    }
+}
+
+/// A query attaches mid-stream and another detaches at the same boundary:
+/// the surviving query's full-stream results are unchanged vs. the static
+/// run, the detached query's results are the exact prefix, and the late
+/// query's results are the exact suffix (shared tracker/projection state
+/// carried through the recompile).
+#[test]
+fn attach_detach_mid_stream_preserves_surviving_queries() {
+    let v = video(72, 12.0);
+    let q_red = color_query("RedCar", "red");
+    let q_black = color_query("BlackCar", "black");
+    let q_green = color_query("GreenCar", "green");
+
+    // Static references, one uninterrupted run per query set member.
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let static_all = offline
+        .execute_shared(
+            &[
+                Arc::clone(&q_red),
+                Arc::clone(&q_black),
+                Arc::clone(&q_green),
+            ],
+            &v,
+        )
+        .unwrap();
+    let (static_red, static_black, static_green) = (&static_all[0], &static_all[1], &static_all[2]);
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig::default());
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let sub_red = server.attach(stream, Arc::clone(&q_red)).unwrap();
+    let sub_black = server.attach(stream, Arc::clone(&q_black)).unwrap();
+
+    // Run part of the stream, then swap the query set at a batch boundary.
+    for _ in 0..6 {
+        let out = server.step(stream).unwrap();
+        assert!(!out.finished, "video too short for the scenario");
+    }
+    let boundary = server.position(stream).unwrap();
+    assert!(boundary > 0 && boundary < v.frame_count());
+    let sub_green = server.attach(stream, Arc::clone(&q_green)).unwrap();
+    server.detach(stream, sub_black.id()).unwrap();
+    let out = server.step(stream).unwrap();
+    assert!(
+        out.recompiled,
+        "attach+detach must recompile the super-plan"
+    );
+    let metrics = server.run_to_end(stream).unwrap();
+    assert_eq!(metrics.recompiles, 1);
+    assert_eq!(
+        metrics.frames_total,
+        v.frame_count(),
+        "recompile must not drop frames"
+    );
+
+    // Survivor: byte-identical to the uninterrupted run.
+    let (red_hits, red_agg) = sub_red.collect();
+    assert_eq!(red_hits, static_red.frame_hits, "surviving query perturbed");
+    assert_eq!(red_agg, static_red.video_value);
+
+    // Detached at the boundary: the exact prefix.
+    let (black_hits, _) = sub_black.collect();
+    let expected_prefix: Vec<_> = static_black
+        .frame_hits
+        .iter()
+        .filter(|h| h.frame < boundary)
+        .cloned()
+        .collect();
+    assert_eq!(
+        black_hits, expected_prefix,
+        "detached query not a clean prefix"
+    );
+
+    // Attached at the boundary: the exact suffix — possible only because
+    // the shared tracker and reuse cache carried over the recompile.
+    let (green_hits, _) = sub_green.collect();
+    let expected_suffix: Vec<_> = static_green
+        .frame_hits
+        .iter()
+        .filter(|h| h.frame >= boundary)
+        .cloned()
+        .collect();
+    assert_eq!(green_hits, expected_suffix, "late query not a clean suffix");
+}
+
+/// Two streams on one server serve independently and match per-video
+/// offline execution.
+#[test]
+fn multiple_streams_serve_independently() {
+    let v1 = video(81, 6.0);
+    let v2 = video(82, 6.0);
+    let q = color_query("RedCar", "red");
+
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let e1 = offline.execute(&q, &v1).unwrap();
+    let e2 = offline.execute(&q, &v2).unwrap();
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig::default());
+    let s1 = server.open_stream(Arc::new(v1));
+    let s2 = server.open_stream(Arc::new(v2));
+    let sub1 = server.attach(s1, Arc::clone(&q)).unwrap();
+    let sub2 = server.attach(s2, Arc::clone(&q)).unwrap();
+    server.run_to_end(s1).unwrap();
+    server.run_to_end(s2).unwrap();
+    assert_eq!(sub1.collect().0, e1.frame_hits);
+    assert_eq!(sub2.collect().0, e2.frame_hits);
+}
+
+/// Drop backpressure: a tiny full channel drops events with a counter
+/// instead of stalling the stream, and the subscription still terminates.
+#[test]
+fn drop_backpressure_counts_dropped_events() {
+    let v = video(83, 8.0);
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig {
+        channel_capacity: 1,
+        backpressure: Backpressure::Drop,
+        ..ServeConfig::default()
+    });
+    let stream = server.open_stream(Arc::new(v));
+    // score > 0.0 matches nearly every frame: guaranteed overload.
+    let busy = Query::builder("AnyCar")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(Pred::gt("car", "score", 0.0))
+        .build()
+        .unwrap();
+    let sub = server.attach(stream, busy).unwrap();
+    let metrics = server.run_to_end(stream).unwrap();
+    assert!(
+        metrics.dropped_events > 0,
+        "expected drops: {}",
+        metrics.summary()
+    );
+    assert_eq!(metrics.dropped_events, metrics.per_query[0].dropped);
+    // The channel closed at finish, so collect terminates with <= capacity
+    // undrained events.
+    let (hits, _) = sub.collect();
+    assert!(
+        hits.len() <= 1,
+        "capacity-1 channel held {} hits",
+        hits.len()
+    );
+}
+
+/// Block backpressure with a draining consumer loses nothing.
+#[test]
+fn block_backpressure_delivers_everything() {
+    let v = video(84, 6.0);
+    let frames = v.frame_count();
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = Arc::new(session.serve(ServeConfig {
+        channel_capacity: 2,
+        backpressure: Backpressure::Block,
+        ..ServeConfig::default()
+    }));
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let busy = Query::builder("AnyCar")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(Pred::gt("car", "score", 0.0))
+        .build()
+        .unwrap();
+    let sub = server.attach(stream, busy).unwrap();
+    let driver = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run_to_end(stream).unwrap())
+    };
+    let mut hits = 0u64;
+    while let Some(event) = sub.recv() {
+        if matches!(event, ServeEvent::Hit(_)) {
+            hits += 1;
+        }
+    }
+    let metrics = driver.join().unwrap();
+    assert_eq!(metrics.dropped_events, 0);
+    assert_eq!(metrics.per_query[0].delivered, hits + 1, "hits + End event");
+    assert!(hits > 0 && hits <= frames);
+}
+
+/// A failed attach (query referencing a model the zoo lacks) must not
+/// perturb the running stream: the old plan and subscribers stay aligned,
+/// the error clears once the offending attach is detached, and the
+/// surviving query's results are still byte-identical to the static run.
+#[test]
+fn failed_recompile_leaves_stream_consistent() {
+    let v = video(86, 8.0);
+    let q_red = color_query("RedCar", "red");
+
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let expected = offline.execute(&q_red, &v).unwrap();
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig::default());
+    let stream = server.open_stream(Arc::new(v));
+    let sub_red = server.attach(stream, Arc::clone(&q_red)).unwrap();
+    for _ in 0..3 {
+        server.step(stream).unwrap();
+    }
+
+    // A schema bound to a detector the zoo does not have.
+    let broken_schema = vqpy_core::VObjSchema::builder("Ghost")
+        .class_labels(&["car"])
+        .detector("no_such_detector")
+        .build();
+    let broken = Query::builder("Broken")
+        .vobj("ghost", broken_schema)
+        .frame_constraint(Pred::gt("ghost", "score", 0.5))
+        .build()
+        .unwrap();
+    let bad_sub = server.attach(stream, broken).unwrap();
+    assert!(server.step(stream).is_err(), "recompile must fail");
+    // The command stays queued; detaching the bad attach clears it.
+    server.detach(stream, bad_sub.id()).unwrap();
+    server.run_to_end(stream).unwrap();
+
+    let (hits, _) = sub_red.collect();
+    assert_eq!(
+        hits, expected.frame_hits,
+        "survivor perturbed by failed recompile"
+    );
+}
+
+/// detach() must never block behind a running step: a subscriber that is
+/// the reason the stream is stalled (full Block-policy channel) can still
+/// remove itself.
+#[test]
+fn detach_is_nonblocking_while_stream_is_stalled() {
+    let v = video(87, 8.0);
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = Arc::new(session.serve(ServeConfig {
+        channel_capacity: 1,
+        backpressure: Backpressure::Block,
+        ..ServeConfig::default()
+    }));
+    let stream = server.open_stream(Arc::new(v));
+    let busy = Query::builder("AnyCar")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(Pred::gt("car", "score", 0.0))
+        .build()
+        .unwrap();
+    let sub = server.attach(stream, busy).unwrap();
+    let driver = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run_to_end(stream).unwrap())
+    };
+    // Wait until the driver is almost certainly parked on the full
+    // channel (capacity 1, nobody draining).
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Must return promptly instead of deadlocking on the stream lock.
+    server.detach(stream, sub.id()).unwrap();
+    // Drain so the in-flight send completes; the detach then applies at
+    // the next boundary and the driver finishes the (now idle) stream.
+    let (_hits, _) = sub.collect();
+    driver.join().unwrap();
+}
+
+/// Engine turnover (last query detaches, a new one attaches later) must
+/// not lose cumulative execution metrics.
+#[test]
+fn metrics_survive_engine_turnover() {
+    let v = video(88, 6.0);
+    let frames = v.frame_count();
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig::default());
+    let stream = server.open_stream(Arc::new(v));
+    let q = color_query("RedCar", "red");
+
+    let first = server.attach(stream, Arc::clone(&q)).unwrap();
+    let mut engine_frames = 0;
+    for _ in 0..3 {
+        engine_frames += server.step(stream).unwrap().frames;
+    }
+    server.detach(stream, first.id()).unwrap();
+    // Engine retires here (no queries); this step's frames are idle and
+    // must not appear in exec metrics.
+    server.step(stream).unwrap();
+    let after_retire = server.exec_metrics(stream).unwrap().frames_total;
+    assert_eq!(
+        after_retire, engine_frames,
+        "retired engine's frames must survive"
+    );
+    // ...and a fresh engine picks up the rest.
+    let second = server.attach(stream, Arc::clone(&q)).unwrap();
+    let metrics = server.run_to_end(stream).unwrap();
+    drop((first, second));
+    assert!(metrics.recompiles >= 1);
+    let exec = server.exec_metrics(stream).unwrap();
+    assert!(
+        exec.frames_total >= after_retire && exec.frames_total < frames,
+        "cumulative frames {} should include pre-turnover work and exclude idle frames ({} total)",
+        exec.frames_total,
+        frames
+    );
+}
+
+/// Lifecycle edge cases: idle streams advance, detach-before-start works,
+/// attach after end-of-video fails.
+#[test]
+fn lifecycle_edges() {
+    let v = video(85, 3.0);
+    let frames = v.frame_count();
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig::default());
+    let stream = server.open_stream(Arc::new(v));
+
+    // Attach then immediately detach, before any step: clean Detached.
+    let q = color_query("RedCar", "red");
+    let sub = server.attach(stream, Arc::clone(&q)).unwrap();
+    server.detach(stream, sub.id()).unwrap();
+    assert_eq!(sub.collect().0, Vec::new());
+
+    // No queries: the stream advances without executing.
+    let before = session.clock().virtual_ms();
+    let metrics = server.run_to_end(stream).unwrap();
+    assert_eq!(server.position(stream).unwrap(), frames);
+    assert_eq!(metrics.frames_total, 0, "idle stream must not decode");
+    assert_eq!(session.clock().virtual_ms(), before);
+
+    // Attach after end-of-video is rejected.
+    assert!(server.attach(stream, q).is_err());
+
+    // Unknown ids are rejected.
+    assert!(server.step(9999).is_err());
+    assert!(server.detach(stream, 12345).is_err());
+    server.close_stream(stream).unwrap();
+    assert!(server.close_stream(stream).is_err());
+}

@@ -1,0 +1,125 @@
+//! Live serving demo: a `StreamServer` drives two camera streams on
+//! background threads while queries attach and detach at runtime.
+//!
+//! Run with `cargo run --example live_serving`.
+
+use std::sync::Arc;
+use vqpy::core::frontend::{library, predicate::Pred};
+use vqpy::core::{Aggregate, Query, SessionConfig, VqpySession};
+use vqpy::models::ModelZoo;
+use vqpy::serve::{ServeConfig, ServeEvent, ServeSession};
+use vqpy::video::{presets, Scene, SyntheticVideo};
+
+fn query(name: &str, color: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
+        .frame_output(&[("car", "track_id")])
+        .build()
+        .expect("query builds")
+}
+
+fn main() {
+    // One session (shared zoo, plan cache, clock); the pipelined engine
+    // drives each stream.
+    let session = Arc::new(VqpySession::with_config(
+        ModelZoo::standard(),
+        SessionConfig::pipelined(2),
+    ));
+    let server = Arc::new(session.serve(ServeConfig {
+        batches_per_step: 4,
+        ..ServeConfig::default()
+    }));
+
+    // Two live "cameras".
+    let jackson = server.open_stream(Arc::new(SyntheticVideo::new(Scene::generate(
+        presets::jackson(),
+        11,
+        30.0,
+    ))));
+    let banff = server.open_stream(Arc::new(SyntheticVideo::new(Scene::generate(
+        presets::banff(),
+        22,
+        30.0,
+    ))));
+
+    // Initial query set: red cars on both streams, plus a traffic counter
+    // on the Jackson stream. Shared subgraphs (detector, tracker, color)
+    // execute once per stream regardless of query count.
+    let red_j = server.attach(jackson, query("RedCar", "red")).unwrap();
+    let red_b = server.attach(banff, query("RedCar", "red")).unwrap();
+    let count = server
+        .attach(
+            jackson,
+            Query::builder("CountCars")
+                .vobj("car", library::vehicle_schema_intrinsic())
+                .frame_constraint(Pred::gt("car", "score", 0.5))
+                .video_output(Aggregate::CountDistinctTracks {
+                    alias: "car".into(),
+                })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+
+    // Run part of the Jackson stream, then change the query set live: a
+    // black-car query joins, the red-car query leaves. The recompile
+    // happens at a batch boundary; no frames are dropped and the counter
+    // query's results are unaffected.
+    for _ in 0..8 {
+        server.step(jackson).unwrap();
+    }
+    println!(
+        "jackson @frame {}: attaching BlackCar, detaching RedCar",
+        server.position(jackson).unwrap()
+    );
+    let black_j = server.attach(jackson, query("BlackCar", "black")).unwrap();
+    server.detach(jackson, red_j.id()).unwrap();
+
+    // Drive both streams to end-of-video on background threads.
+    let drivers: Vec<_> = [jackson, banff]
+        .into_iter()
+        .map(|stream| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run_to_end(stream).unwrap())
+        })
+        .collect();
+
+    // Consume incrementally: each subscription is an independent bounded
+    // channel.
+    let consumers: Vec<_> = [
+        ("jackson/RedCar", red_j),
+        ("jackson/BlackCar", black_j),
+        ("banff/RedCar", red_b),
+        ("jackson/CountCars", count),
+    ]
+    .into_iter()
+    .map(|(label, sub)| {
+        std::thread::spawn(move || {
+            let mut hits = 0u64;
+            loop {
+                match sub.recv() {
+                    Some(ServeEvent::Hit(_)) => hits += 1,
+                    Some(ServeEvent::End { video_value }) => {
+                        println!("{label}: {hits} hit frames, final aggregate {video_value:?}");
+                        break;
+                    }
+                    Some(ServeEvent::Detached { video_value }) => {
+                        println!("{label}: detached after {hits} hit frames ({video_value:?})");
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        })
+    })
+    .collect();
+
+    for c in consumers {
+        c.join().unwrap();
+    }
+    for (stream, d) in [jackson, banff].into_iter().zip(drivers) {
+        let metrics = d.join().unwrap();
+        println!("stream {stream}: {}", metrics.summary());
+    }
+}

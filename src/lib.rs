@@ -28,6 +28,7 @@
 pub use vqpy_baselines as baselines;
 pub use vqpy_core as core;
 pub use vqpy_models as models;
+pub use vqpy_serve as serve;
 pub use vqpy_sql as sql;
 pub use vqpy_tracker as tracker;
 pub use vqpy_video as video;

@@ -9,6 +9,7 @@ use vqpy::core::backend::plan::{build_plan, PlanOptions};
 use vqpy::core::frontend::{library, predicate::Pred};
 use vqpy::core::{Aggregate, ExecConfig, ExecMode, Query};
 use vqpy::models::{Clock, ModelZoo};
+use vqpy::video::source::VideoSource;
 use vqpy::video::{presets, Scene, SyntheticVideo};
 
 fn red_car_query() -> Arc<Query> {
@@ -100,4 +101,90 @@ fn sequential_results_do_not_depend_on_batch_size() {
         assert_eq!(reference, hits, "batch {batch_size}");
         assert_eq!(ref_aggs, aggs, "batch {batch_size}");
     }
+}
+
+/// More pipeline workers than frames: every worker beyond the first finds
+/// the batch queue already drained, and results still match Sequential
+/// byte-for-byte (including with single-frame batches).
+#[test]
+fn more_workers_than_frames_matches_sequential() {
+    // 0.2s at jackson's fps is a handful of frames.
+    let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 55, 0.2));
+    let frames = video.frame_count();
+    for batch_size in [1usize, 4] {
+        let (seq_hits, seq_aggs) = run(&video, ExecMode::Sequential, batch_size);
+        let workers = (frames as usize) + 5;
+        let (pipe_hits, pipe_aggs) = run(&video, ExecMode::Pipelined { workers }, batch_size);
+        assert_eq!(seq_hits, pipe_hits, "batch {batch_size}, workers {workers}");
+        assert_eq!(seq_aggs, pipe_aggs, "batch {batch_size}, workers {workers}");
+    }
+}
+
+/// A zero-frame video source: no source to decode at all.
+struct EmptyVideo {
+    id: u64,
+}
+
+impl vqpy::video::source::VideoSource for EmptyVideo {
+    fn video_id(&self) -> u64 {
+        self.id
+    }
+
+    fn fps(&self) -> u32 {
+        10
+    }
+
+    fn resolution(&self) -> (u32, u32) {
+        (64, 48)
+    }
+
+    fn frame_count(&self) -> u64 {
+        0
+    }
+
+    fn frame(&self, index: u64) -> vqpy::video::frame::Frame {
+        panic!("empty video has no frame {index}")
+    }
+}
+
+/// An empty video produces empty (but well-formed) results in both modes:
+/// no hits, zero-valued aggregates, no frames counted, and no panics or
+/// hangs in the staged pipeline.
+#[test]
+fn empty_video_matches_sequential() {
+    let zoo = ModelZoo::standard();
+    let plan = build_plan(
+        &[red_car_query(), count_cars_query()],
+        &zoo,
+        &PlanOptions::vqpy_default(),
+    )
+    .expect("plan builds");
+    let empty = EmptyVideo {
+        id: vqpy::video::source::fresh_video_id(),
+    };
+    let mut all = Vec::new();
+    for mode in [ExecMode::Sequential, ExecMode::Pipelined { workers: 4 }] {
+        let clock = Clock::new();
+        let results = execute_plan(
+            &plan,
+            &empty,
+            &zoo,
+            &clock,
+            &ExecConfig {
+                batch_size: 1,
+                exec_mode: mode,
+                ..ExecConfig::default()
+            },
+        )
+        .expect("runs on empty input");
+        for r in &results {
+            assert!(r.frame_hits.is_empty());
+            assert_eq!(r.metrics.frames_total, 0);
+        }
+        assert_eq!(clock.virtual_ms(), 0.0, "nothing to charge for");
+        all.push(results);
+    }
+    let seq: Vec<_> = all[0].iter().map(|r| r.video_value.clone()).collect();
+    let pipe: Vec<_> = all[1].iter().map(|r| r.video_value.clone()).collect();
+    assert_eq!(seq, pipe, "aggregates on empty video diverged");
 }

@@ -34,6 +34,16 @@ impl<T: ?Sized> Mutex<T> {
             Err(p) => p.into_inner(),
         }
     }
+
+    /// Attempts to acquire the lock without blocking; `None` when another
+    /// holder has it. Ignores poisoning like `parking_lot` does.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 /// A reader-writer lock whose accessors never return poison errors.
