@@ -165,12 +165,12 @@ impl VideoChatSim {
     /// Video embedding precompute over a clip (Table 5's "Pre" phase).
     pub fn precompute(&self, clip: &dyn VideoSource, clock: &Clock) {
         let cost = self.variant.precompute_cost_per_frame() * clip.frame_count() as f64;
-        clock.charge_labeled(&format!("{}:pre", self.variant.name()), cost);
+        clock.charge_model(&format!("{}:pre", self.variant.name()), cost);
     }
 
     fn charge_query(&self, clip: &dyn VideoSource, q: &MllmQuestion, clock: &Clock) {
         let cost = self.variant.query_cost_per_frame(q) * clip.frame_count() as f64;
-        clock.charge_labeled(&format!("{}:query", self.variant.name()), cost);
+        clock.charge_model(&format!("{}:query", self.variant.name()), cost);
     }
 
     /// Asks a boolean question about a clip. Returns `None` when the

@@ -178,21 +178,24 @@ fn main() {
     );
 
     // ---- JSON record -------------------------------------------------------
-    let json = format!(
-        "{{\n  \"bench\": \"serve_multiquery_fig13_cvip\",\n  \"video_seconds\": {seconds:.1},\n  \
-         \"frames\": {frames},\n  \"queries\": {},\n  \"workers\": {WORKERS},\n  \
-         \"clock\": \"latency\",\n  \"independent_fps\": {indep_fps:.2},\n  \
-         \"shared_fps\": {shared_fps:.2},\n  \"speedup\": {speedup:.3},\n  \
-         \"results_identical\": true,\n  \"serve_summary\": \"{}\",\n  \
-         \"shared_exec\": {},\n  \"multi_stream\": {{\n    \"streams\": 2,\n    \
-         \"queries_per_stream\": 4,\n    \"frames\": {multi_frames},\n    \
-         \"combined_fps\": {multi_fps:.2}\n  }}\n}}\n",
+    // One section of BENCH_serve.json, co-owned with the multi-stream
+    // scaling bench (`serve_scale`) via `merge_section`.
+    let value = format!(
+        "{{\n    \"bench\": \"serve_multiquery_fig13_cvip\",\n    \
+         \"video_seconds\": {seconds:.1},\n    \
+         \"frames\": {frames},\n    \"queries\": {},\n    \"workers\": {WORKERS},\n    \
+         \"clock\": \"latency\",\n    \"independent_fps\": {indep_fps:.2},\n    \
+         \"shared_fps\": {shared_fps:.2},\n    \"speedup\": {speedup:.3},\n    \
+         \"results_identical\": true,\n    \"serve_summary\": \"{}\",\n    \
+         \"shared_exec\": {},\n    \"multi_stream\": {{\n      \"streams\": 2,\n      \
+         \"queries_per_stream\": 4,\n      \"frames\": {multi_frames},\n      \
+         \"combined_fps\": {multi_fps:.2}\n    }}\n  }}",
         queries.len(),
         json_escape(&serve_metrics.summary()),
-        exec_metrics_json(&exec, 2),
+        exec_metrics_json(&exec, 4),
     );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
-    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    vqpy_bench::report::merge_section(&path, "multiquery", &value);
     println!();
-    println!("wrote {}", path.display());
+    println!("merged \"multiquery\" into {}", path.display());
 }

@@ -52,6 +52,107 @@ pub fn exec_metrics_json(m: &ExecMetrics, indent: usize) -> String {
     )
 }
 
+/// Updates one top-level section of a `BENCH_*.json` file in place,
+/// leaving the other sections untouched, so independent bench binaries can
+/// co-own a report file (e.g. the multi-query serve bench and the
+/// multi-stream scaling bench both write `BENCH_serve.json`).
+///
+/// The file is a single JSON object whose top-level values are written by
+/// this function (one `"name": value` per section). `value` must itself be
+/// valid JSON. Unparseable files — and legacy single-bench files, whose
+/// top-level values are scalars rather than section objects — are
+/// replaced by a fresh single-section object.
+pub fn merge_section(path: &std::path::Path, name: &str, value: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut sections = parse_top_level(&existing)
+        .filter(|s| {
+            s.iter()
+                .all(|(_, v)| v.starts_with('{') || v.starts_with('['))
+        })
+        .unwrap_or_default();
+    match sections.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value.trim().to_owned(),
+        None => sections.push((name.to_owned(), value.trim().to_owned())),
+    }
+    let body: Vec<String> = sections
+        .iter()
+        .map(|(n, v)| format!("  \"{}\": {}", json_escape(n), v))
+        .collect();
+    let doc = format!("{{\n{}\n}}\n", body.join(",\n"));
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Splits a JSON object document into its top-level `(key, raw value)`
+/// pairs. Returns `None` when the document is not an object (or is
+/// malformed), in which case the caller starts a fresh file. Handles
+/// nested objects/arrays and strings with escapes; that is all our own
+/// writers emit.
+fn parse_top_level(doc: &str) -> Option<Vec<(String, String)>> {
+    let bytes = doc.as_bytes();
+    let mut i = doc.find('{')? + 1;
+    let mut out = Vec::new();
+    loop {
+        // Seek the next key (a quoted string) or the closing brace.
+        while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'}' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] == b'}' {
+            return Some(out);
+        }
+        let (key, after_key) = scan_string(doc, i)?;
+        i = after_key;
+        while i < bytes.len() && bytes[i] != b':' {
+            i += 1;
+        }
+        i += 1; // past ':'
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        // Scan the value: balance braces/brackets outside strings.
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    let (_, after) = scan_string(doc, i)?;
+                    i = after;
+                    continue;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    if depth == 0 {
+                        break; // the object's closing brace
+                    }
+                    depth -= 1;
+                }
+                b',' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push((key, doc[start..i].trim().to_owned()));
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// Scans the JSON string starting at `start` (which must index a `"`),
+/// returning its unescaped-enough content (escapes kept verbatim) and the
+/// index just past the closing quote.
+fn scan_string(doc: &str, start: usize) -> Option<(String, usize)> {
+    let bytes = doc.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some((doc[start + 1..i].to_owned(), i + 1)),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// Prints a section header.
 pub fn section(title: &str) {
     println!();
@@ -137,6 +238,70 @@ mod tests {
     #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn merge_section_coowns_a_file() {
+        let dir = std::env::temp_dir().join(format!("vqpy_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let _ = std::fs::remove_file(&path);
+
+        merge_section(
+            &path,
+            "alpha",
+            "{\n    \"x\": 1,\n    \"s\": \"a\\\"b}\"\n  }",
+        );
+        merge_section(&path, "beta", "[1, 2, 3]");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"alpha\""), "{doc}");
+        assert!(doc.contains("\"beta\": [1, 2, 3]"), "{doc}");
+
+        // Updating one section preserves the other, byte-for-byte.
+        merge_section(&path, "alpha", "{\n    \"x\": 2\n  }");
+        let doc2 = std::fs::read_to_string(&path).unwrap();
+        assert!(doc2.contains("\"x\": 2"), "{doc2}");
+        assert!(doc2.contains("\"beta\": [1, 2, 3]"), "{doc2}");
+        assert!(
+            !doc2.contains("a\\\"b}"),
+            "old alpha body must be gone: {doc2}"
+        );
+
+        // Merging is idempotent on untouched sections.
+        merge_section(&path, "alpha", "{\n    \"x\": 2\n  }");
+        assert_eq!(doc2, std::fs::read_to_string(&path).unwrap());
+
+        let parsed = parse_top_level(&doc2).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], ("beta".to_owned(), "[1, 2, 3]".to_owned()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_top_level_rejects_non_objects() {
+        assert!(parse_top_level("").is_none());
+        assert_eq!(parse_top_level("{}"), Some(Vec::new()));
+        let legacy = "{\n  \"bench\": \"x\",\n  \"n\": 3\n}";
+        let parsed = parse_top_level(legacy).unwrap();
+        assert_eq!(parsed[0], ("bench".to_owned(), "\"x\"".to_owned()));
+        assert_eq!(parsed[1], ("n".to_owned(), "3".to_owned()));
+    }
+
+    #[test]
+    fn merge_section_replaces_legacy_flat_files() {
+        let dir = std::env::temp_dir().join(format!("vqpy_legacy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_legacy.json");
+        // Pre-sections flat format: scalar top-level values.
+        std::fs::write(&path, "{\n  \"bench\": \"old\",\n  \"frames\": 80\n}").unwrap();
+        merge_section(&path, "scaling", "{\n    \"x\": 1\n  }");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !doc.contains("\"bench\": \"old\"") && !doc.contains("\"frames\""),
+            "legacy keys must be discarded, not merged into: {doc}"
+        );
+        assert!(doc.contains("\"scaling\""), "{doc}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

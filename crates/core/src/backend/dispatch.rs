@@ -1,0 +1,82 @@
+//! The injectable detect boundary.
+//!
+//! Every detect-stage model invocation goes through a [`DetectDispatch`]:
+//! the executor hands the dispatcher a detector and the batch's live
+//! frames, and gets per-frame detections back. The default
+//! ([`DirectDispatch`]) calls the detector's own batched entry point — one
+//! physical invocation per (stream, batch), exactly the pre-existing
+//! behavior.
+//!
+//! The indirection exists for the serving layer: a multi-stream supervisor
+//! installs a *shared* dispatcher (`vqpy-serve`'s `ModelBatcher`) that
+//! coalesces frames from many concurrent streams into one physical
+//! `detect_batch` call and demultiplexes the results back, amortizing the
+//! fixed per-invocation dispatch overhead across streams. Because every
+//! simulated detector answers deterministically per frame, routing a frame
+//! through a larger cross-stream batch never changes its detections — only
+//! the charged (and, on an exclusive device, wall-realized) cost.
+//!
+//! Dispatchers must be [`Send`] + [`Sync`]: the pipelined executor's detect
+//! workers share one dispatcher across threads.
+
+use std::sync::Arc;
+use vqpy_models::{Clock, Detection, Detector};
+use vqpy_video::frame::Frame;
+
+/// Issues detect-stage model invocations on behalf of the executor.
+pub trait DetectDispatch: Send + Sync {
+    /// Runs `detector` over `frames`, returning one detection list per
+    /// frame, in order. Implementations must be result-transparent: the
+    /// returned detections must equal `detector.detect_batch(frames, ..)`
+    /// regardless of how the physical invocation is organized.
+    fn dispatch(
+        &self,
+        detector: &Arc<dyn Detector>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Vec<Vec<Detection>>;
+}
+
+/// The default boundary: one physical batched invocation per call, issued
+/// directly on the calling thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectDispatch;
+
+impl DetectDispatch for DirectDispatch {
+    fn dispatch(
+        &self,
+        detector: &Arc<dyn Detector>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Vec<Vec<Detection>> {
+        detector.detect_batch(frames, clock)
+    }
+}
+
+/// A process-wide [`DirectDispatch`] for contexts built without a custom
+/// boundary (offline execution, tests).
+pub fn direct() -> &'static DirectDispatch {
+    static DIRECT: DirectDispatch = DirectDispatch;
+    &DIRECT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqpy_models::detectors::SimDetector;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::{SyntheticVideo, VideoSource};
+
+    #[test]
+    fn direct_dispatch_equals_detect_batch() {
+        let det: Arc<dyn Detector> =
+            Arc::new(SimDetector::general("yolox", &["car"], 30.0, 0.95, 1));
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 5.0));
+        let frames: Vec<Frame> = (0..4).map(|i| v.frame(i)).collect();
+        let refs: Vec<&Frame> = frames.iter().collect();
+        let a = DirectDispatch.dispatch(&det, &refs, &Clock::new());
+        let b = det.detect_batch(&refs, &Clock::new());
+        assert_eq!(a, b);
+    }
+}

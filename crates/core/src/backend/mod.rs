@@ -1,6 +1,7 @@
 //! The object-centric backend (§4): object graph, operators, planner,
 //! optimizer, canary profiler, execution engine, and reuse cache.
 
+pub mod dispatch;
 pub mod exec;
 pub mod graph;
 pub mod ops;

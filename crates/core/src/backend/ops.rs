@@ -81,6 +81,10 @@ pub struct ExecCtx<'a> {
     pub reuse: &'a mut ReuseCache,
     /// Whether intrinsic-property reuse is enabled (§4.2 toggle).
     pub enable_reuse: bool,
+    /// The detect boundary: how detect-stage model invocations are issued
+    /// (see [`crate::backend::dispatch`]). A serving supervisor swaps in a
+    /// cross-stream batcher here; everything else uses the direct path.
+    pub detect: &'a dyn crate::backend::dispatch::DetectDispatch,
 }
 
 /// Cross-frame operator state, extracted so a serving layer can carry it
@@ -298,8 +302,9 @@ impl Operator for DetectOp {
     }
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
-        let detections = self.detector.detect(&slot.frame, ctx.clock);
-        self.populate(slot, &detections);
+        let frames = [&slot.frame];
+        let per_frame = ctx.detect.dispatch(&self.detector, &frames, ctx.clock);
+        self.populate(slot, &per_frame[0]);
         Ok(())
     }
 
@@ -309,7 +314,7 @@ impl Operator for DetectOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
-        let per_frame = self.detector.detect_batch(&frames, ctx.clock);
+        let per_frame = ctx.detect.dispatch(&self.detector, &frames, ctx.clock);
         for (&i, detections) in live.iter().zip(&per_frame) {
             self.populate(&mut slots[i], detections);
         }
@@ -934,6 +939,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
+            detect: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -961,6 +967,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
+            detect: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1006,6 +1013,7 @@ mod tests {
         for i in 0..60 {
             let mut slot = FrameSlot::new(v.frame(i));
             let mut ctx = ExecCtx {
+                detect: crate::backend::dispatch::direct(),
                 zoo: &zoo,
                 clock: &clock,
                 fps: v.fps(),
@@ -1044,6 +1052,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
+            detect: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1067,6 +1076,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
+            detect: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1098,6 +1108,7 @@ mod tests {
         let scene = vqpy_video::SceneBuilder::new(presets::banff(), 5.0).build();
         let v = SyntheticVideo::new(scene);
         let mut ctx = ExecCtx {
+            detect: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),

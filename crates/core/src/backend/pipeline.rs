@@ -166,6 +166,7 @@ pub(crate) fn run_segment_pipelined(
     sink: &mut dyn ResultSink,
 ) -> Result<()> {
     let workers = ops.detects.len().max(1);
+    let dispatch = std::sync::Arc::clone(&ops.detect_dispatch);
     let filter_ops = &mut ops.filters;
     let detect_ops_per_worker = &mut ops.detects;
     let tail_ops = &mut ops.tail;
@@ -232,6 +233,7 @@ pub(crate) fn run_segment_pipelined(
             let filtered_tx = filtered_tx.clone();
             let (cancel, stages, error, decoded_rx, frames_processed) =
                 (&cancel, &stages, &error, &decoded_rx, &frames_processed);
+            let dispatch = std::sync::Arc::clone(&dispatch);
             let filter_ops = &mut *filter_ops;
             scope.spawn(move || {
                 let mut reorder = Reorder::new();
@@ -241,6 +243,7 @@ pub(crate) fn run_segment_pipelined(
                     while let Some((seq, mut slots)) = reorder.pop_ready() {
                         let outcome = timed(&stages.frame_filters, || {
                             let mut ctx = ExecCtx {
+                                detect: &*dispatch,
                                 zoo,
                                 clock,
                                 fps: source.fps(),
@@ -273,11 +276,13 @@ pub(crate) fn run_segment_pipelined(
         for detect_ops in detect_ops_per_worker.iter_mut() {
             let detected_tx = detected_tx.clone();
             let (cancel, stages, error, filtered_rx) = (&cancel, &stages, &error, &filtered_rx);
+            let dispatch = std::sync::Arc::clone(&dispatch);
             scope.spawn(move || {
                 let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by detectors
                 while let Some((seq, mut slots)) = recv_coop(filtered_rx, cancel) {
                     let outcome = timed(&stages.detect, || {
                         let mut ctx = ExecCtx {
+                            detect: &*dispatch,
                             zoo,
                             clock,
                             fps: source.fps(),
@@ -320,6 +325,7 @@ pub(crate) fn run_segment_pipelined(
                     metrics.frames_total += slots.len() as u64;
                     timed(&stages.tail, || {
                         let mut ctx = ExecCtx {
+                            detect: &*dispatch,
                             zoo,
                             clock,
                             fps: source.fps(),

@@ -44,7 +44,7 @@ impl Classifier for ColorClassifier {
     }
 
     fn classify(&self, frame: &Frame, det: &Detection, clock: &Clock) -> Value {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let mut rng = det_rng(self.salt, frame.index, entity_key(det));
         if rng.gen::<f32>() < self.confusion {
             let c = NamedColor::ALL[rng.gen_range(0..NamedColor::ALL.len())];
@@ -125,7 +125,7 @@ impl Classifier for LabelClassifier {
     }
 
     fn classify(&self, frame: &Frame, det: &Detection, clock: &Clock) -> Value {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let mut rng = det_rng(self.salt, frame.index, entity_key(det));
         let truth = det
             .sim_entity
@@ -163,7 +163,7 @@ impl Classifier for PlateRecognizer {
     }
 
     fn classify(&self, frame: &Frame, det: &Detection, clock: &Clock) -> Value {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let mut rng = det_rng(self.salt, frame.index, entity_key(det));
         let truth = det
             .sim_entity
@@ -232,7 +232,7 @@ impl Classifier for FeatureEmbedder {
     }
 
     fn classify(&self, frame: &Frame, det: &Detection, clock: &Clock) -> Value {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let mut rng = det_rng(self.salt, frame.index, entity_key(det));
         let mut v = match det.sim_entity {
             Some(id) => self.base_vector(id),

@@ -112,7 +112,7 @@ impl Detector for SimDetector {
     }
 
     fn detect(&self, frame: &Frame, clock: &Clock) -> Vec<Detection> {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let mut out = Vec::new();
         for v in &frame.truth.visible {
             if !self.classes.iter().any(|c| c == v.class_label) {

@@ -66,7 +66,7 @@ impl FrameClassifier for PresenceClassifier {
     }
 
     fn predict(&self, frame: &Frame, clock: &Clock) -> bool {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let relevant = (self.predicate)(&frame.truth);
         let mut rng = det_rng(self.salt, frame.index, 0);
         if relevant {

@@ -40,7 +40,7 @@ impl HoiModel for SimHoi {
         detections: &[Detection],
         clock: &Clock,
     ) -> Vec<HoiTriple> {
-        clock.charge_labeled(&self.profile.name, self.profile.cost);
+        clock.charge_model(&self.profile.name, self.profile.cost);
         let mut out = Vec::new();
         // Recover scripted interactions whose participants were detected.
         for inter in &frame.truth.interactions {

@@ -43,7 +43,7 @@ pub mod traits;
 pub mod value;
 pub mod zoo;
 
-pub use clock::{ChargeStat, Clock, ClockMode, CostUnits};
+pub use clock::{ChargeStat, Clock, ClockMode, CostUnits, DeviceModel};
 pub use detection::{det_rng, Detection};
 pub use traits::{
     Classifier, Detector, FrameClassifier, HoiModel, HoiTriple, ModelProfile, TaskKind,

@@ -74,10 +74,14 @@ pub trait Detector: Send + Sync {
     /// Runs detection over a batch of frames as one physical invocation,
     /// amortizing the fixed dispatch overhead across the batch. Results are
     /// identical to frame-at-a-time `detect`; only the charged cost differs.
+    /// The whole call is one [`Clock::batch_section`], so in Latency mode
+    /// the amortized net is realized as a single device sleep.
     fn detect_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<Vec<Detection>> {
-        let out = frames.iter().map(|f| self.detect(f, clock)).collect();
-        credit_batch_overhead(clock, self.profile().cost, frames.len());
-        out
+        clock.batch_section(|| {
+            let out = frames.iter().map(|f| self.detect(f, clock)).collect();
+            credit_batch_overhead(clock, self.profile().cost, frames.len());
+            out
+        })
     }
 }
 
@@ -93,12 +97,14 @@ pub trait Classifier: Send + Sync {
     /// identical to crop-at-a-time `classify`; only the charged cost
     /// differs.
     fn classify_batch(&self, frame: &Frame, dets: &[Detection], clock: &Clock) -> Vec<Value> {
-        let out = dets
-            .iter()
-            .map(|d| self.classify(frame, d, clock))
-            .collect();
-        credit_batch_overhead(clock, self.profile().cost, dets.len());
-        out
+        clock.batch_section(|| {
+            let out = dets
+                .iter()
+                .map(|d| self.classify(frame, d, clock))
+                .collect();
+            credit_batch_overhead(clock, self.profile().cost, dets.len());
+            out
+        })
     }
 }
 
@@ -113,9 +119,11 @@ pub trait FrameClassifier: Send + Sync {
     /// Predicts a batch of frames as one physical invocation, amortizing
     /// the fixed dispatch overhead across the batch.
     fn predict_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<bool> {
-        let out = frames.iter().map(|f| self.predict(f, clock)).collect();
-        credit_batch_overhead(clock, self.profile().cost, frames.len());
-        out
+        clock.batch_section(|| {
+            let out = frames.iter().map(|f| self.predict(f, clock)).collect();
+            credit_batch_overhead(clock, self.profile().cost, frames.len());
+            out
+        })
     }
 }
 

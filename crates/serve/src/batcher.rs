@@ -1,0 +1,376 @@
+//! The cross-stream [`ModelBatcher`]: one physical detect batch feeding
+//! many streams' detect stages.
+//!
+//! Per-stream engines batch within their own frame window, so N concurrent
+//! streams still pay N fixed model-dispatch overheads per round. The
+//! batcher closes that gap: every stream's detect stage submits its live
+//! frames to one shared queue, a coalescing thread gathers requests inside
+//! a time/size-bounded window, groups them by detector, and issues **one**
+//! `detect_batch` per detector over the concatenated frames — then splits
+//! the per-frame results back to each waiting stream. Simulated detectors
+//! answer deterministically per frame, so routing a frame through a larger
+//! cross-stream batch never changes its detections (the serve equivalence
+//! suite proves byte-identity against solo execution); only the amortized
+//! dispatch overhead changes.
+//!
+//! The batcher degrades gracefully: once [`ModelBatcher::shutdown`] runs
+//! (or the batcher is dropped), engines still holding its dispatch handle
+//! fall back to direct per-stream invocation instead of failing.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vqpy_core::DetectDispatch;
+use vqpy_models::{Clock, Detection, Detector};
+use vqpy_video::frame::Frame;
+
+/// Coalescing bounds for the cross-stream batcher.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Upper bound on frames in one physical batch. The window closes
+    /// early once this many frames are waiting.
+    pub max_batch_frames: usize,
+    /// How long the batcher holds an open window for more streams' frames
+    /// after the first request arrives. Longer windows coalesce more but
+    /// add up to this much latency when only one stream is active.
+    pub window: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_frames: 64,
+            window: Duration::from_millis(3),
+        }
+    }
+}
+
+/// Counters describing how well cross-stream coalescing is working.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatcherStats {
+    /// Physical `detect_batch` invocations issued.
+    pub physical_batches: u64,
+    /// Stream requests served (each would have been its own physical
+    /// invocation without the batcher).
+    pub requests: u64,
+    /// Total frames pushed through the batcher.
+    pub frames: u64,
+    /// Largest physical batch observed, in frames.
+    pub max_batch_frames: u64,
+}
+
+impl BatcherStats {
+    /// Mean requests folded into one physical invocation (1.0 = no
+    /// cross-stream sharing happened).
+    pub fn mean_coalesced(&self) -> f64 {
+        if self.physical_batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.physical_batches as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    physical_batches: AtomicU64,
+    requests: AtomicU64,
+    frames: AtomicU64,
+    max_batch_frames: AtomicU64,
+}
+
+/// One stream's detect-stage submission.
+struct Request {
+    detector: Arc<dyn Detector>,
+    frames: Vec<Frame>,
+    reply: SyncSender<Vec<Vec<Detection>>>,
+}
+
+/// The [`DetectDispatch`] handle streams install into their engines.
+///
+/// `dispatch` blocks the calling stream (its detect stage cannot proceed
+/// without results) while the coalescing thread folds the request into a
+/// physical batch. If the batcher has shut down, the call transparently
+/// falls back to a direct per-stream invocation.
+pub struct BatchedDispatch {
+    /// `None` after shutdown; dispatch then falls back to direct calls.
+    tx: Mutex<Option<SyncSender<Request>>>,
+    stats: Arc<StatsInner>,
+}
+
+impl std::fmt::Debug for BatchedDispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedDispatch")
+            .field("open", &self.tx.lock().is_some())
+            .finish()
+    }
+}
+
+impl DetectDispatch for BatchedDispatch {
+    fn dispatch(
+        &self,
+        detector: &Arc<dyn Detector>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Vec<Vec<Detection>> {
+        let sender = self.tx.lock().clone();
+        if let Some(tx) = sender {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let req = Request {
+                detector: Arc::clone(detector),
+                // Shipping frames to the coalescing thread clones them
+                // (truth is an Arc; pixels are the real copy). This is off
+                // the per-stream allocation-free fast path by design: the
+                // copy buys one physical model invocation across streams.
+                frames: frames.iter().map(|f| (*f).clone()).collect(),
+                reply: reply_tx,
+            };
+            if tx.send(req).is_ok() {
+                if let Ok(results) = reply_rx.recv() {
+                    return results;
+                }
+            }
+        }
+        // Batcher gone (shutdown or panicked): direct per-stream call.
+        detector.detect_batch(frames, clock)
+    }
+}
+
+/// A shared coalescing thread turning many streams' detect-stage batches
+/// into few physical model invocations. See the module docs.
+///
+/// Create one per [`StreamSupervisor`](crate::StreamSupervisor) (the
+/// supervisor does this itself when its config enables batching); all
+/// streams sharing a batcher must share the batcher's [`Clock`] — true by
+/// construction for streams of one session.
+pub struct ModelBatcher {
+    dispatch: Arc<BatchedDispatch>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ModelBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelBatcher")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ModelBatcher {
+    /// Spawns the coalescing thread. `clock` is the session clock every
+    /// participating stream charges to.
+    pub fn new(config: BatcherConfig, clock: Arc<Clock>) -> Self {
+        // The queue bound only limits burst submissions; each stream has
+        // at most a handful of in-flight requests (its detect workers).
+        let (tx, rx) = sync_channel::<Request>(1024);
+        let stats = Arc::new(StatsInner::default());
+        let worker_stats = Arc::clone(&stats);
+        let worker = std::thread::Builder::new()
+            .name("vqpy-model-batcher".into())
+            .spawn(move || run_batcher(rx, config, clock, worker_stats))
+            .expect("spawn batcher thread");
+        Self {
+            dispatch: Arc::new(BatchedDispatch {
+                tx: Mutex::new(Some(tx)),
+                stats,
+            }),
+            worker: Some(worker),
+        }
+    }
+
+    /// The dispatch handle to install into stream engines (e.g. via
+    /// [`StreamOptions::detect_dispatch`](crate::StreamOptions)).
+    pub fn dispatch(&self) -> Arc<BatchedDispatch> {
+        Arc::clone(&self.dispatch)
+    }
+
+    /// Coalescing counters so far.
+    pub fn stats(&self) -> BatcherStats {
+        let s = &self.dispatch.stats;
+        BatcherStats {
+            physical_batches: s.physical_batches.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            frames: s.frames.load(Ordering::Relaxed),
+            max_batch_frames: s.max_batch_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the coalescing thread. In-flight requests are still answered;
+    /// later dispatches through surviving handles fall back to direct
+    /// per-stream invocation. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        drop(self.dispatch.tx.lock().take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ModelBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_batcher(
+    rx: Receiver<Request>,
+    config: BatcherConfig,
+    clock: Arc<Clock>,
+    stats: Arc<StatsInner>,
+) {
+    let max_frames = config.max_batch_frames.max(1);
+    while let Ok(first) = rx.recv() {
+        // Coalescing window: gather whatever other streams submit before
+        // the deadline, closing early at the frame bound.
+        let deadline = Instant::now() + config.window;
+        let mut requests = vec![first];
+        let mut total_frames = requests[0].frames.len();
+        while total_frames < max_frames {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match rx.recv_timeout(left) {
+                Ok(r) => {
+                    total_frames += r.frames.len();
+                    requests.push(r);
+                }
+                Err(_) => break, // window elapsed or channel closed
+            }
+        }
+        execute_round(&requests, &clock, &stats);
+    }
+}
+
+/// Executes one coalescing round: requests grouped by detector, one
+/// physical invocation per group, results demultiplexed back in request
+/// order.
+fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>) {
+    // Group request indices by detector *instance* (`Arc` identity, not
+    // registry name): two streams may legitimately hold same-named but
+    // differently-configured detectors, and those must never share a
+    // physical batch — one would get the other's detections.
+    let mut groups: Vec<(&Arc<dyn Detector>, Vec<usize>)> = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        match groups.iter_mut().find(|(d, _)| Arc::ptr_eq(d, &r.detector)) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((&r.detector, vec![i])),
+        }
+    }
+    for (_, idxs) in &groups {
+        let detector = &requests[idxs[0]].detector;
+        let frames: Vec<&Frame> = idxs
+            .iter()
+            .flat_map(|&i| requests[i].frames.iter())
+            .collect();
+        // One physical invocation for every participating stream.
+        let mut results = detector.detect_batch(&frames, clock);
+        stats.physical_batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .requests
+            .fetch_add(idxs.len() as u64, Ordering::Relaxed);
+        stats
+            .frames
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        stats
+            .max_batch_frames
+            .fetch_max(frames.len() as u64, Ordering::Relaxed);
+        // Demux: split the concatenated results back per request. The
+        // receiver may have given up (stream torn down); ignore those.
+        for &i in idxs {
+            let rest = results.split_off(requests[i].frames.len());
+            let own = std::mem::replace(&mut results, rest);
+            let _ = requests[i].reply.send(own);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqpy_core::DirectDispatch;
+    use vqpy_models::detectors::SimDetector;
+    use vqpy_video::presets;
+    use vqpy_video::scene::Scene;
+    use vqpy_video::source::{SyntheticVideo, VideoSource};
+
+    fn detector() -> Arc<dyn Detector> {
+        Arc::new(SimDetector::general("yolox", &["car"], 30.0, 0.95, 1))
+    }
+
+    fn frames(seed: u64, n: u64) -> Vec<Frame> {
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), seed, 10.0));
+        (0..n).map(|i| v.frame(i)).collect()
+    }
+
+    #[test]
+    fn batched_results_equal_direct() {
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(BatcherConfig::default(), Arc::clone(&clock));
+        let det = detector();
+        let fs = frames(5, 6);
+        let refs: Vec<&Frame> = fs.iter().collect();
+        let via_batcher = batcher.dispatch().dispatch(&det, &refs, &clock);
+        let direct = DirectDispatch.dispatch(&det, &refs, &Clock::new());
+        assert_eq!(via_batcher, direct);
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_one_physical_batch() {
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(
+            BatcherConfig {
+                max_batch_frames: 64,
+                window: Duration::from_millis(50),
+            },
+            Arc::clone(&clock),
+        );
+        let det = detector();
+        std::thread::scope(|s| {
+            for seed in [11u64, 12, 13, 14] {
+                let dispatch = batcher.dispatch();
+                let det = Arc::clone(&det);
+                let clock = Arc::clone(&clock);
+                s.spawn(move || {
+                    let fs = frames(seed, 4);
+                    let refs: Vec<&Frame> = fs.iter().collect();
+                    let got = dispatch.dispatch(&det, &refs, &clock);
+                    let want = det.detect_batch(&refs, &Clock::new());
+                    assert_eq!(got, want, "stream {seed} results perturbed");
+                });
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.frames, 16);
+        assert!(
+            stats.physical_batches < 4,
+            "4 concurrent requests should share physical batches: {stats:?}"
+        );
+        assert!(stats.mean_coalesced() > 1.0);
+    }
+
+    #[test]
+    fn shutdown_falls_back_to_direct() {
+        let clock = Arc::new(Clock::new());
+        let mut batcher = ModelBatcher::new(BatcherConfig::default(), Arc::clone(&clock));
+        let handle = batcher.dispatch();
+        batcher.shutdown();
+        let det = detector();
+        let fs = frames(9, 3);
+        let refs: Vec<&Frame> = fs.iter().collect();
+        let got = handle.dispatch(&det, &refs, &clock);
+        assert_eq!(got, det.detect_batch(&refs, &Clock::new()));
+        assert_eq!(
+            batcher.stats().requests,
+            0,
+            "post-shutdown calls are direct"
+        );
+    }
+}

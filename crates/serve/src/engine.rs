@@ -73,15 +73,25 @@ impl StreamEngine {
         m
     }
 
+    /// Replaces the engine's detect boundary (see
+    /// [`vqpy_core::DetectDispatch`]). Installed once by the supervisor
+    /// when the stream joins a shared [`ModelBatcher`](crate::ModelBatcher)
+    /// and preserved across every later [`StreamEngine::recompile`].
+    pub fn set_detect_dispatch(&mut self, dispatch: std::sync::Arc<dyn vqpy_core::DetectDispatch>) {
+        self.ops.detect_dispatch = dispatch;
+    }
+
     /// Swaps in a recompiled super-plan at a batch boundary. Cross-frame
     /// operator state carries over wherever the old and new plans share an
     /// operator fingerprint; the reuse cache survives untouched because
-    /// symbols are interned into the engine's append-only table.
+    /// symbols are interned into the engine's append-only table. The detect
+    /// boundary (direct or cross-stream batcher) carries over too.
     ///
     /// On error (unknown model in the new plan) the old plan keeps
     /// running unchanged.
     pub fn recompile(&mut self, plan: PlanDag, zoo: &ModelZoo) -> Result<()> {
         let mut ops = instantiate_stage_ops(&plan, zoo, self.workers, &mut self.symbols)?;
+        ops.detect_dispatch = std::sync::Arc::clone(&self.ops.detect_dispatch);
         let mut states = self.ops.export_states();
         ops.import_states(&mut states);
         self.ops = ops;

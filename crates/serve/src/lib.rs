@@ -22,6 +22,13 @@
 //! report frames/s, per-query delivery latency, dropped events, and the
 //! reuse-cache hit rate.
 //!
+//! For multi-stream deployments, the [`StreamSupervisor`] layers per-stream
+//! worker threads, fps-paced ingestion ([`PaceMode`]), cross-stream model
+//! batching ([`ModelBatcher`] — one physical `detect_batch` feeding many
+//! streams), and [`ServePolicy`] admission control (typed [`AttachError`]
+//! rejections under sustained overload) on top of the server; see
+//! [`supervisor`] for the architecture.
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use vqpy_core::frontend::{library, predicate::Pred};
@@ -47,15 +54,24 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod batcher;
 pub mod engine;
 pub mod metrics;
 pub mod server;
 pub mod subscription;
+pub mod supervisor;
 
+pub use batcher::{BatchedDispatch, BatcherConfig, BatcherStats, ModelBatcher};
 pub use engine::StreamEngine;
-pub use metrics::{QueryServeMetrics, ServeMetrics};
+pub use metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
 pub use server::{
     Backpressure, ServeConfig, ServeError, ServeResult, ServeSession, StepOutcome, StreamId,
-    StreamServer,
+    StreamOptions, StreamServer,
 };
 pub use subscription::{ServeEvent, Subscription, SubscriptionClosed, SubscriptionId};
+pub use supervisor::{
+    AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamSupervisor,
+    SupervisorConfig,
+};

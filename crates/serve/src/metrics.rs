@@ -39,6 +39,46 @@ pub struct ServeMetrics {
     pub per_query: Vec<QueryServeMetrics>,
 }
 
+/// Server-wide load counters summed over all open streams, published at
+/// step boundaries (see `StreamServer::aggregate`). This is the signal
+/// admission control reads: it is always available without waiting on any
+/// stream's execution lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AggregateMetrics {
+    /// Open streams (finished ones included until closed).
+    pub streams: usize,
+    /// Streams that reached end-of-video.
+    pub finished_streams: usize,
+    /// Frames executed across all streams.
+    pub frames_total: u64,
+    /// Events delivered across all subscriptions.
+    pub delivered: u64,
+    /// Events dropped by the `Drop` backpressure policy across all
+    /// subscriptions.
+    pub dropped: u64,
+}
+
+impl AggregateMetrics {
+    /// Fraction of delivery attempts that were dropped, in `[0, 1]`
+    /// (0 when nothing has been attempted). A sustained high value means
+    /// subscribers are not keeping up with the streams.
+    pub fn drop_rate(&self) -> f64 {
+        let attempts = self.delivered + self.dropped;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempts as f64
+        }
+    }
+
+    /// Delivery attempts so far (delivered plus dropped); admission
+    /// policies gate the drop-rate signal on this to avoid judging a
+    /// server by its first few events.
+    pub fn delivery_attempts(&self) -> u64 {
+        self.delivered + self.dropped
+    }
+}
+
 impl ServeMetrics {
     /// One-line summary for logs and bench reports.
     pub fn summary(&self) -> String {

@@ -2,7 +2,7 @@
 //! and per-query demultiplexing of the shared super-plan's output.
 
 use crate::engine::StreamEngine;
-use crate::metrics::{QueryServeMetrics, ServeMetrics};
+use crate::metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
 use crate::subscription::{ServeEvent, Subscription, SubscriptionId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -14,7 +14,7 @@ use vqpy_core::backend::exec::{QueryAccum, ResultSink};
 use vqpy_core::backend::ops::FrameSlot;
 use vqpy_core::backend::plan::PlanDag;
 use vqpy_core::error::VqpyError;
-use vqpy_core::{ExecMetrics, Query, VqpySession};
+use vqpy_core::{DetectDispatch, ExecMetrics, Query, VqpySession};
 use vqpy_video::source::VideoSource;
 
 /// Identifier of one open stream on a server.
@@ -187,9 +187,28 @@ struct Commands {
     detach: Vec<SubscriptionId>,
 }
 
+/// Per-stream knobs fixed at [`StreamServer::open_stream_with`] time.
+///
+/// ```
+/// # use vqpy_serve::StreamOptions;
+/// let defaults = StreamOptions::default();
+/// assert!(defaults.detect_dispatch.is_none());
+/// ```
+#[derive(Default)]
+pub struct StreamOptions {
+    /// Detect boundary for this stream's engine, preserved across plan
+    /// recompiles. `None` means direct per-stream invocation; the
+    /// multi-stream supervisor passes a shared
+    /// [`ModelBatcher`](crate::ModelBatcher) handle here so the stream's
+    /// detect batches coalesce with other streams'.
+    pub detect_dispatch: Option<Arc<dyn DetectDispatch>>,
+}
+
 /// One live stream: the engine, attached queries, and progress counters.
 struct Stream {
     source: Arc<dyn VideoSource>,
+    /// Detect boundary installed into every engine this stream creates.
+    dispatch: Option<Arc<dyn DetectDispatch>>,
     engine: Option<StreamEngine>,
     /// Attach order; index i corresponds to join i of the current plan.
     subs: Vec<ActiveSub>,
@@ -205,9 +224,10 @@ struct Stream {
 }
 
 impl Stream {
-    fn new(source: Arc<dyn VideoSource>) -> Self {
+    fn new(source: Arc<dyn VideoSource>, options: StreamOptions) -> Self {
         Self {
             source,
+            dispatch: options.detect_dispatch,
             engine: None,
             subs: Vec::new(),
             next_frame: 0,
@@ -237,7 +257,31 @@ struct StreamHandle {
     /// end-of-video; checked by `attach` under the same lock so no attach
     /// can slip in behind a finish.
     finished: AtomicBool,
+    /// Load counters published at step boundaries so
+    /// [`StreamServer::aggregate`] (admission control's signal source)
+    /// never waits behind the execution lock — a `Block`-policy step can
+    /// hold it for as long as subscribers take to drain.
+    published_frames: AtomicU64,
+    published_delivered: AtomicU64,
+    published_dropped: AtomicU64,
     state: Mutex<Stream>,
+}
+
+impl StreamHandle {
+    /// Publishes the stream's delivery counters (called with the state
+    /// lock held, at step boundaries and on finish).
+    fn publish(&self, s: &Stream) {
+        let mut delivered: u64 = s.past_queries.iter().map(|q| q.delivered).sum();
+        let mut dropped: u64 = s.past_queries.iter().map(|q| q.dropped).sum();
+        for a in &s.subs {
+            delivered += a.delivered;
+            dropped += a.dropped;
+        }
+        self.published_frames
+            .store(s.exec_metrics().frames_total, Ordering::Relaxed);
+        self.published_delivered.store(delivered, Ordering::Relaxed);
+        self.published_dropped.store(dropped, Ordering::Relaxed);
+    }
 }
 
 /// Demultiplexes the super-plan's per-frame matches to the per-query
@@ -307,16 +351,38 @@ impl StreamServer {
     /// Opens a live stream over a video source. Nothing executes until a
     /// query is attached and the stream is stepped.
     pub fn open_stream(&self, source: Arc<dyn VideoSource>) -> StreamId {
+        self.open_stream_with(source, StreamOptions::default())
+    }
+
+    /// Opens a live stream with per-stream options (e.g. a shared
+    /// cross-stream detect boundary). Nothing executes until a query is
+    /// attached and the stream is stepped.
+    pub fn open_stream_with(
+        &self,
+        source: Arc<dyn VideoSource>,
+        options: StreamOptions,
+    ) -> StreamId {
         let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
         self.streams.lock().insert(
             id,
             Arc::new(StreamHandle {
                 commands: Mutex::new(Commands::default()),
                 finished: AtomicBool::new(false),
-                state: Mutex::new(Stream::new(source)),
+                published_frames: AtomicU64::new(0),
+                published_delivered: AtomicU64::new(0),
+                published_dropped: AtomicU64::new(0),
+                state: Mutex::new(Stream::new(source, options)),
             }),
         );
         id
+    }
+
+    /// Frames executed by one [`StreamServer::step`] (while the source
+    /// lasts): the session's execution batch size times
+    /// [`ServeConfig::batches_per_step`]. Paced ingestion converts a target
+    /// fps into a step cadence with this.
+    pub fn frames_per_step(&self) -> u64 {
+        self.session.config().exec.batch_size.max(1) as u64 * self.config.batches_per_step.max(1)
     }
 
     fn handle(&self, id: StreamId) -> ServeResult<Arc<StreamHandle>> {
@@ -331,6 +397,35 @@ impl StreamServer {
     /// effect at the next step boundary; events start with the first frame
     /// executed after that, and the query's video aggregate covers only
     /// the frames it observed. Never blocks behind a running step.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use vqpy_core::frontend::{library, predicate::Pred};
+    /// use vqpy_core::{Query, VqpySession};
+    /// use vqpy_models::ModelZoo;
+    /// use vqpy_serve::{ServeConfig, ServeSession};
+    /// use vqpy_video::{presets, Scene, SyntheticVideo};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    /// let server = session.serve(ServeConfig::default());
+    /// let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 7, 2.0));
+    /// let stream = server.open_stream(Arc::new(video));
+    ///
+    /// let query = Query::builder("RedCar")
+    ///     .vobj("car", library::vehicle_schema())
+    ///     .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+    ///     .build()?;
+    /// let sub = server.attach(stream, query)?;
+    ///
+    /// server.run_to_end(stream)?;
+    /// let (hits, _aggregate) = sub.collect();
+    /// assert!(hits.len() as u64 <= server.position(stream)?);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> ServeResult<Subscription> {
         let handle = self.handle(stream)?;
         let mut commands = handle.commands.lock();
@@ -433,11 +528,12 @@ impl StreamServer {
             match &mut s.engine {
                 Some(engine) => engine.recompile(plan, self.session.zoo())?,
                 None => {
-                    s.engine = Some(StreamEngine::new(
-                        plan,
-                        self.session.zoo(),
-                        &self.session.config().exec,
-                    )?);
+                    let mut engine =
+                        StreamEngine::new(plan, self.session.zoo(), &self.session.config().exec)?;
+                    if let Some(dispatch) = &s.dispatch {
+                        engine.set_detect_dispatch(Arc::clone(dispatch));
+                    }
+                    s.engine = Some(engine);
                 }
             }
         }
@@ -514,6 +610,7 @@ impl StreamServer {
         let total = s.source.frame_count();
         if s.next_frame >= total {
             self.finish(&handle, s);
+            handle.publish(s);
             return Ok(StepOutcome {
                 frames: 0,
                 finished: true,
@@ -548,6 +645,7 @@ impl StreamServer {
         if s.next_frame >= total {
             self.finish(&handle, s);
         }
+        handle.publish(s);
         Ok(StepOutcome {
             frames,
             finished: handle.finished.load(Ordering::Acquire),
@@ -598,6 +696,27 @@ impl StreamServer {
         let handle = self.handle(stream)?;
         let s = handle.state.lock();
         Ok(s.exec_metrics())
+    }
+
+    /// Server-wide load counters, summed over every open stream from
+    /// values published at step boundaries. Never waits on an execution
+    /// lock, so admission control can consult it while streams are
+    /// mid-step (the numbers lag a running step by at most one boundary).
+    pub fn aggregate(&self) -> AggregateMetrics {
+        let streams: Vec<Arc<StreamHandle>> = self.streams.lock().values().cloned().collect();
+        let mut agg = AggregateMetrics {
+            streams: streams.len(),
+            ..AggregateMetrics::default()
+        };
+        for h in &streams {
+            if h.finished.load(Ordering::Acquire) {
+                agg.finished_streams += 1;
+            }
+            agg.frames_total += h.published_frames.load(Ordering::Relaxed);
+            agg.delivered += h.published_delivered.load(Ordering::Relaxed);
+            agg.dropped += h.published_dropped.load(Ordering::Relaxed);
+        }
+        agg
     }
 
     /// Closes a stream, dropping its engine and subscriptions. Subscribers

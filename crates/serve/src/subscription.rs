@@ -29,12 +29,18 @@ impl std::error::Error for SubscriptionClosed {}
 pub enum ServeEvent {
     /// A frame matched the query, with its projected output rows.
     Hit(FrameHit),
-    /// The stream ended; carries the query's final video-level aggregate
-    /// (over the frames observed since attach), if the query declared one.
-    End { video_value: Option<Value> },
-    /// The query was detached; carries the aggregate up to the detach
-    /// boundary.
-    Detached { video_value: Option<Value> },
+    /// The stream ended.
+    End {
+        /// The query's final video-level aggregate (over the frames
+        /// observed since attach), if the query declared one.
+        video_value: Option<Value>,
+    },
+    /// The query was detached.
+    Detached {
+        /// The aggregate up to the detach boundary, if the query declared
+        /// one.
+        video_value: Option<Value>,
+    },
 }
 
 /// The receiving end of one attached query's bounded event channel.
@@ -44,6 +50,46 @@ pub enum ServeEvent {
 /// stays in the super-plan — and keeps paying its share of execution —
 /// until `StreamServer::detach` removes it, so keep the id around (or
 /// detach before dropping) when a query is done.
+///
+/// # Example
+///
+/// Consuming incrementally while a stream is driven elsewhere (the usual
+/// pattern is one consumer thread per subscription):
+///
+/// ```
+/// use std::sync::Arc;
+/// use vqpy_core::frontend::{library, predicate::Pred};
+/// use vqpy_core::{Query, VqpySession};
+/// use vqpy_models::ModelZoo;
+/// use vqpy_serve::{ServeConfig, ServeEvent, ServeSession};
+/// use vqpy_video::{presets, Scene, SyntheticVideo};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+/// let server = Arc::new(session.serve(ServeConfig::default()));
+/// let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 2.0));
+/// let stream = server.open_stream(Arc::new(video));
+/// let query = Query::builder("AnyCar")
+///     .vobj("car", library::vehicle_schema())
+///     .frame_constraint(Pred::gt("car", "score", 0.5))
+///     .build()?;
+/// let sub = server.attach(stream, query)?;
+///
+/// let driver = {
+///     let server = Arc::clone(&server);
+///     std::thread::spawn(move || server.run_to_end(stream).unwrap())
+/// };
+/// let mut hits = 0;
+/// while let Some(event) = sub.recv() {
+///     match event {
+///         ServeEvent::Hit(_) => hits += 1,
+///         ServeEvent::End { .. } | ServeEvent::Detached { .. } => break,
+///     }
+/// }
+/// driver.join().unwrap();
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct Subscription {
     id: SubscriptionId,

@@ -1,0 +1,628 @@
+//! The multi-stream [`StreamSupervisor`]: per-stream workers, paced
+//! ingestion, cross-stream model batching, and admission control.
+//!
+//! A bare [`StreamServer`] leaves *driving* to the
+//! caller: somebody must call `step`/`run_to_end` per stream, each stream
+//! pays its own model-dispatch overhead, and nothing says no when one more
+//! stream would sink the server. The supervisor closes those gaps:
+//!
+//! - **One worker per stream** — `add_stream` spawns a dedicated thread
+//!   that steps the stream to end-of-video, so N streams execute
+//!   concurrently with no caller-side orchestration.
+//! - **Paced ingestion** ([`PaceMode`]) — a live camera delivers frames at
+//!   its capture rate, not as fast as the engine can chew. `Fps(f)` makes
+//!   the worker execute a step only once all of the step's frames would
+//!   have arrived, over a bounded backlog of due-but-unexecuted steps (the
+//!   ingest queue). If the engine falls further behind than the bound, the
+//!   overflow is *shed*: the worker stops trying to catch up, the shed
+//!   ticks are counted in [`PaceMetrics::ticks_shed`], and admission
+//!   control sees the backlog. No frames are lost — sources are pull-based
+//!   — the stream just lags its schedule, which is exactly the overload
+//!   signal a real deployment acts on.
+//! - **Cross-stream model batching** — with
+//!   [`SupervisorConfig::batcher`] set, every stream's detect stage routes
+//!   through one shared [`ModelBatcher`]: frames from many streams
+//!   coalesce into one physical `detect_batch` call, amortizing fixed
+//!   dispatch overhead across streams (per-stream results stay
+//!   byte-identical to solo execution; see the serve equivalence suite).
+//! - **Admission control** ([`ServePolicy`]) — `add_stream` and `attach`
+//!   consult a [`LoadSnapshot`] (stream count, paced backlog, aggregate
+//!   drop rate) and reject with a typed [`AttachError`] instead of letting
+//!   the server degrade silently.
+//!
+//! ```text
+//!            StreamSupervisor
+//!   ┌────────────────────────────────────────────────────────┐
+//!   │  worker(stream 1): pace → step ──┐                     │
+//!   │  worker(stream 2): pace → step ──┼─ detect stages ──▶ ModelBatcher
+//!   │  worker(stream N): pace → step ──┘   (frames)          │   │ one physical
+//!   │        ▲                                               │   ▼ detect_batch
+//!   │   ServePolicy ◀── LoadSnapshot (backlog, drop rate)    │  demux results
+//!   └────────────────────────────────────────────────────────┘  back per stream
+//! ```
+
+use crate::batcher::{BatcherConfig, BatcherStats, ModelBatcher};
+use crate::server::{ServeConfig, ServeError, ServeResult, StreamId, StreamOptions, StreamServer};
+use crate::subscription::Subscription;
+use crate::ServeMetrics;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vqpy_core::{DetectDispatch, Query, VqpySession};
+use vqpy_video::source::VideoSource;
+
+/// How a stream's worker schedules step execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PaceMode {
+    /// Step as fast as the engine allows (offline/backfill processing).
+    #[default]
+    Unpaced,
+    /// Live-camera pacing: a step runs only once all of its frames would
+    /// have arrived at this capture rate (frames per second).
+    Fps(f32),
+}
+
+/// Admission thresholds consulted by [`StreamSupervisor::add_stream`] and
+/// [`StreamSupervisor::attach`]. Every bound is optional; the default
+/// policy admits everything.
+#[derive(Debug, Clone, Default)]
+pub struct ServePolicy {
+    /// Maximum concurrently *active* (unfinished) streams.
+    pub max_streams: Option<usize>,
+    /// Maximum total paced backlog (due-but-unexecuted steps summed over
+    /// all streams) before new work is refused.
+    pub max_queue_depth: Option<u64>,
+    /// Maximum aggregate drop rate (`[0, 1]`, dropped / attempted
+    /// deliveries) before new work is refused.
+    pub max_drop_rate: Option<f64>,
+    /// The drop-rate bound only applies after this many delivery attempts,
+    /// so a server is not judged overloaded by its first few events
+    /// (this is what makes the signal "sustained"). Zero means judge
+    /// immediately.
+    pub min_delivery_attempts: u64,
+}
+
+impl ServePolicy {
+    /// A policy with no bounds (admit everything). Equal to `default()`,
+    /// spelled out for call sites.
+    pub fn permissive() -> Self {
+        Self::default()
+    }
+
+    /// Checks attach-time admission (overload signals only; the stream
+    /// limit is enforced by [`ServePolicy::admit_stream`]).
+    pub fn admit(&self, load: &LoadSnapshot) -> Result<(), AttachError> {
+        if let Some(limit) = self.max_queue_depth {
+            if load.queue_depth > limit {
+                return Err(AttachError::QueueOverload {
+                    depth: load.queue_depth,
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.max_drop_rate {
+            let rate = load.drop_rate();
+            if load.delivery_attempts() >= self.min_delivery_attempts.max(1) && rate > limit {
+                return Err(AttachError::DropOverload { rate, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks stream-level admission: the overload signals of
+    /// [`ServePolicy::admit`] plus the active-stream limit.
+    pub fn admit_stream(&self, load: &LoadSnapshot) -> Result<(), AttachError> {
+        if let Some(limit) = self.max_streams {
+            if load.active_streams >= limit {
+                return Err(AttachError::StreamLimit {
+                    streams: load.active_streams,
+                    limit,
+                });
+            }
+        }
+        self.admit(load)
+    }
+}
+
+/// A point-in-time view of supervisor load, the input to
+/// [`ServePolicy`] admission decisions. Composed from counters published
+/// at step boundaries, so reading it never waits behind a stream's
+/// execution lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadSnapshot {
+    /// Streams the supervisor has opened (including finished ones not yet
+    /// removed).
+    pub streams: usize,
+    /// Streams still running (not at end-of-video).
+    pub active_streams: usize,
+    /// Due-but-unexecuted paced steps, summed over active streams.
+    pub queue_depth: u64,
+    /// Paced steps shed because a stream's backlog overflowed its ingest
+    /// queue (cumulative).
+    pub ticks_shed: u64,
+    /// Events delivered across all subscriptions.
+    pub delivered: u64,
+    /// Events dropped by `Backpressure::Drop` across all subscriptions.
+    pub dropped: u64,
+}
+
+impl LoadSnapshot {
+    /// Fraction of delivery attempts dropped, `[0, 1]` (0 when none yet).
+    pub fn drop_rate(&self) -> f64 {
+        if self.delivery_attempts() == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.delivery_attempts() as f64
+        }
+    }
+
+    /// Delivered plus dropped events.
+    pub fn delivery_attempts(&self) -> u64 {
+        self.delivered + self.dropped
+    }
+}
+
+/// Typed admission/attach failure. Policy rejections are recoverable by
+/// design: back off, shed elsewhere, or retry once load drains.
+#[derive(Debug)]
+pub enum AttachError {
+    /// The active-stream limit is reached.
+    StreamLimit {
+        /// Active streams at decision time.
+        streams: usize,
+        /// The policy's bound.
+        limit: usize,
+    },
+    /// The paced-ingest backlog exceeds the policy bound.
+    QueueOverload {
+        /// Total due-but-unexecuted steps at decision time.
+        depth: u64,
+        /// The policy's bound.
+        limit: u64,
+    },
+    /// The aggregate drop rate exceeds the policy bound.
+    DropOverload {
+        /// Observed drop rate, `[0, 1]`.
+        rate: f64,
+        /// The policy's bound.
+        limit: f64,
+    },
+    /// A non-policy serving failure (unknown stream, stream finished, …).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::StreamLimit { streams, limit } => {
+                write!(f, "stream limit reached ({streams} active, limit {limit})")
+            }
+            AttachError::QueueOverload { depth, limit } => {
+                write!(f, "ingest backlog {depth} steps exceeds limit {limit}")
+            }
+            AttachError::DropOverload { rate, limit } => write!(
+                f,
+                "drop rate {:.1}% exceeds limit {:.1}%",
+                rate * 100.0,
+                limit * 100.0
+            ),
+            AttachError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+impl From<ServeError> for AttachError {
+    fn from(e: ServeError) -> Self {
+        AttachError::Serve(e)
+    }
+}
+
+/// Pacing observability for one supervised stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaceMetrics {
+    /// The stream's pace mode.
+    pub pace: PaceMode,
+    /// Due-but-unexecuted steps right now (0 for unpaced streams).
+    pub queue_depth: u64,
+    /// Steps shed because the backlog overflowed the ingest queue.
+    pub ticks_shed: u64,
+    /// Whether the stream reached end-of-video.
+    pub finished: bool,
+}
+
+/// State shared between a stream's worker thread and the supervisor.
+#[derive(Default)]
+struct WorkerShared {
+    stop: AtomicBool,
+    finished: AtomicBool,
+    queue_depth: AtomicU64,
+    ticks_shed: AtomicU64,
+    error: Mutex<Option<ServeError>>,
+}
+
+struct StreamWorker {
+    pace: PaceMode,
+    shared: Arc<WorkerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Supervisor configuration. Execution itself still follows the owning
+/// session's `SessionConfig` (shared plans, batch size, sequential or
+/// pipelined engines); this adds the serving-layer knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorConfig {
+    /// Per-stream serving configuration (channels, backpressure, batches
+    /// per step).
+    pub serve: ServeConfig,
+    /// Enables the shared cross-stream [`ModelBatcher`]; `None` keeps
+    /// direct per-stream model invocation.
+    pub batcher: Option<BatcherConfig>,
+    /// Admission thresholds.
+    pub policy: ServePolicy,
+    /// Bound on each paced stream's backlog of due-but-unexecuted steps;
+    /// overflow is shed and counted. Clamped to at least 1. Irrelevant for
+    /// [`PaceMode::Unpaced`] streams. Zero (the `Default`) is treated
+    /// as 4.
+    pub ingest_queue: u64,
+}
+
+impl SupervisorConfig {
+    fn ingest_bound(&self) -> u64 {
+        if self.ingest_queue == 0 {
+            4
+        } else {
+            self.ingest_queue
+        }
+    }
+}
+
+/// A self-driving, multi-stream serving frontend: owns a
+/// [`StreamServer`], one worker thread per stream, an optional shared
+/// [`ModelBatcher`], and a [`ServePolicy`]. See the module docs for the
+/// architecture.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use vqpy_core::frontend::{library, predicate::Pred};
+/// use vqpy_core::{Query, VqpySession};
+/// use vqpy_models::ModelZoo;
+/// use vqpy_serve::{BatcherConfig, PaceMode, StreamSupervisor, SupervisorConfig};
+/// use vqpy_video::{presets, Scene, SyntheticVideo};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+/// let supervisor = StreamSupervisor::new(
+///     Arc::clone(&session),
+///     SupervisorConfig {
+///         batcher: Some(BatcherConfig::default()), // cross-stream batching on
+///         ..SupervisorConfig::default()
+///     },
+/// );
+/// let query = Query::builder("RedCar")
+///     .vobj("car", library::vehicle_schema())
+///     .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+///     .build()?;
+/// // Two paced "cameras", each driven by its own worker thread.
+/// for seed in [1u64, 2] {
+///     let video = SyntheticVideo::new(Scene::generate(presets::jackson(), seed, 30.0));
+///     let (stream, subs) =
+///         supervisor.add_stream(Arc::new(video), PaceMode::Fps(30.0), &[Arc::clone(&query)])?;
+///     std::thread::spawn(move || {
+///         let (hits, _) = subs.into_iter().next().unwrap().collect();
+///         println!("stream {stream}: {} matching frames", hits.len());
+///     });
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct StreamSupervisor {
+    server: Arc<StreamServer>,
+    batcher: Option<ModelBatcher>,
+    config: SupervisorConfig,
+    workers: Mutex<HashMap<StreamId, StreamWorker>>,
+}
+
+impl StreamSupervisor {
+    /// Creates a supervisor over a session, spawning the shared batcher
+    /// thread if configured.
+    pub fn new(session: Arc<VqpySession>, config: SupervisorConfig) -> Self {
+        let batcher = config
+            .batcher
+            .clone()
+            .map(|bc| ModelBatcher::new(bc, session.clock_handle()));
+        let server = Arc::new(StreamServer::new(session, config.serve.clone()));
+        Self {
+            server,
+            batcher,
+            config,
+            workers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying server, for observers ([`StreamServer::metrics`],
+    /// [`StreamServer::aggregate`], …). Stepping supervised streams by
+    /// hand is possible but defeats pacing.
+    pub fn server(&self) -> &Arc<StreamServer> {
+        &self.server
+    }
+
+    /// Opens a stream, attaches its initial queries, and spawns its worker
+    /// — subject to [`ServePolicy`] admission. The initial queries are in
+    /// place before the worker's first step, so their results cover the
+    /// stream from frame 0 (a stream added with no queries idles forward).
+    ///
+    /// Returns the stream id and one [`Subscription`] per query, in order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use vqpy_core::frontend::{library, predicate::Pred};
+    /// use vqpy_core::{Query, VqpySession};
+    /// use vqpy_models::ModelZoo;
+    /// use vqpy_serve::{PaceMode, StreamSupervisor, SupervisorConfig};
+    /// use vqpy_video::{presets, Scene, SyntheticVideo};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    /// let supervisor = StreamSupervisor::new(session, SupervisorConfig::default());
+    /// let query = Query::builder("AnyCar")
+    ///     .vobj("car", library::vehicle_schema())
+    ///     .frame_constraint(Pred::gt("car", "score", 0.5))
+    ///     .build()?;
+    /// let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 5, 2.0));
+    /// // The worker drives the stream; we only wait and read results.
+    /// let (stream, subs) = supervisor.add_stream(Arc::new(video), PaceMode::Unpaced, &[query])?;
+    /// let metrics = supervisor.join_stream(stream)?;
+    /// let (hits, _aggregate) = subs.into_iter().next().unwrap().collect();
+    /// assert_eq!(metrics.per_query[0].delivered, hits.len() as u64 + 1); // + End
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn add_stream(
+        &self,
+        source: Arc<dyn VideoSource>,
+        pace: PaceMode,
+        queries: &[Arc<Query>],
+    ) -> Result<(StreamId, Vec<Subscription>), AttachError> {
+        let mut workers = self.workers.lock();
+        self.config
+            .policy
+            .admit_stream(&self.load_locked(&workers))?;
+        let options = StreamOptions {
+            detect_dispatch: self
+                .batcher
+                .as_ref()
+                .map(|b| b.dispatch() as Arc<dyn DetectDispatch>),
+        };
+        let stream = self.server.open_stream_with(source, options);
+        let mut subs = Vec::with_capacity(queries.len());
+        for q in queries {
+            subs.push(self.server.attach(stream, Arc::clone(q))?);
+        }
+        let shared = Arc::new(WorkerShared::default());
+        let worker_shared = Arc::clone(&shared);
+        let server = Arc::clone(&self.server);
+        let bound = self.config.ingest_bound();
+        let handle = std::thread::Builder::new()
+            .name(format!("vqpy-stream-{stream}"))
+            .spawn(move || run_worker(server, stream, pace, bound, worker_shared))
+            .expect("spawn stream worker");
+        workers.insert(
+            stream,
+            StreamWorker {
+                pace,
+                shared,
+                handle: Some(handle),
+            },
+        );
+        Ok((stream, subs))
+    }
+
+    /// Attaches a query to a supervised stream, subject to admission
+    /// control. Takes effect at the stream's next step boundary.
+    pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> Result<Subscription, AttachError> {
+        self.config.policy.admit(&self.load())?;
+        Ok(self.server.attach(stream, query)?)
+    }
+
+    /// Detaches a subscription at the next step boundary (see
+    /// [`StreamServer::detach`]). Never blocked by pacing: a paced worker
+    /// sleeping between ticks picks the command up at its next step.
+    pub fn detach(
+        &self,
+        stream: StreamId,
+        sub: crate::subscription::SubscriptionId,
+    ) -> ServeResult<()> {
+        self.server.detach(stream, sub)
+    }
+
+    /// The current load snapshot admission control evaluates.
+    pub fn load(&self) -> LoadSnapshot {
+        self.load_locked(&self.workers.lock())
+    }
+
+    fn load_locked(&self, workers: &HashMap<StreamId, StreamWorker>) -> LoadSnapshot {
+        let agg = self.server.aggregate();
+        let mut load = LoadSnapshot {
+            streams: workers.len(),
+            delivered: agg.delivered,
+            dropped: agg.dropped,
+            ..LoadSnapshot::default()
+        };
+        for w in workers.values() {
+            if !w.shared.finished.load(Ordering::Acquire) {
+                load.active_streams += 1;
+                load.queue_depth += w.shared.queue_depth.load(Ordering::Relaxed);
+            }
+            load.ticks_shed += w.shared.ticks_shed.load(Ordering::Relaxed);
+        }
+        load
+    }
+
+    /// Pacing counters for one supervised stream.
+    pub fn pace_metrics(&self, stream: StreamId) -> ServeResult<PaceMetrics> {
+        let workers = self.workers.lock();
+        let w = workers
+            .get(&stream)
+            .ok_or(ServeError::UnknownStream(stream))?;
+        Ok(PaceMetrics {
+            pace: w.pace,
+            queue_depth: w.shared.queue_depth.load(Ordering::Relaxed),
+            ticks_shed: w.shared.ticks_shed.load(Ordering::Relaxed),
+            finished: w.shared.finished.load(Ordering::Acquire),
+        })
+    }
+
+    /// Serving metrics for one stream (delegates to the server).
+    pub fn metrics(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
+        self.server.metrics(stream)
+    }
+
+    /// Cross-stream batching counters, when the shared batcher is enabled.
+    pub fn batcher_stats(&self) -> Option<BatcherStats> {
+        self.batcher.as_ref().map(|b| b.stats())
+    }
+
+    /// Waits for a stream's worker to finish (end-of-video, stop, or
+    /// error), then returns the stream's final serving metrics — or the
+    /// error that stopped the worker (e.g. a failed recompile from a bad
+    /// attach). Under [`Backpressure::Block`](crate::Backpressure) this
+    /// blocks until subscribers drain, by design.
+    pub fn join_stream(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
+        let handle = {
+            let mut workers = self.workers.lock();
+            let w = workers
+                .get_mut(&stream)
+                .ok_or(ServeError::UnknownStream(stream))?;
+            w.handle.take()
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        let err = {
+            let workers = self.workers.lock();
+            workers
+                .get(&stream)
+                .and_then(|w| w.shared.error.lock().take())
+        };
+        match err {
+            Some(e) => Err(e),
+            None => self.server.metrics(stream),
+        }
+    }
+
+    /// Stops a stream's worker (it finishes its in-flight step first) and
+    /// closes the stream; subscribers see their channels close.
+    pub fn remove_stream(&self, stream: StreamId) -> ServeResult<()> {
+        let worker = self
+            .workers
+            .lock()
+            .remove(&stream)
+            .ok_or(ServeError::UnknownStream(stream))?;
+        worker.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = worker.handle {
+            let _ = h.join();
+        }
+        self.server.close_stream(stream)
+    }
+
+    /// Stops every worker and the batcher. Workers finish their in-flight
+    /// step; under `Backpressure::Block` that can wait on subscribers.
+    /// Also runs on drop.
+    pub fn shutdown(&self) {
+        let mut workers = self.workers.lock();
+        for w in workers.values() {
+            w.shared.stop.store(true, Ordering::Release);
+        }
+        for w in workers.values_mut() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for StreamSupervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+        // `self.batcher` drops after the workers are parked, so no stream
+        // is mid-dispatch when the coalescing thread winds down.
+    }
+}
+
+/// A stream worker: paces and steps one stream to end-of-video.
+fn run_worker(
+    server: Arc<StreamServer>,
+    stream: StreamId,
+    pace: PaceMode,
+    ingest_bound: u64,
+    shared: Arc<WorkerShared>,
+) {
+    // Number of steps this worker has executed (or shed) so far.
+    let mut consumed: u64 = 0;
+    let start = std::time::Instant::now();
+    let frames_per_step = server.frames_per_step().max(1);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let PaceMode::Fps(fps) = pace {
+            let fps = f64::from(fps.max(1e-3));
+            // Step k's frames have all arrived at t = ((k+1)*f - 1)/fps;
+            // the number of fully-arrived steps at time t is
+            // floor((t*fps + 1)/f).
+            let due_steps = |elapsed: Duration| {
+                ((elapsed.as_secs_f64() * fps + 1.0) / frames_per_step as f64) as u64
+            };
+            let backlog = loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    break 0;
+                }
+                let backlog = due_steps(start.elapsed()).saturating_sub(consumed);
+                if backlog > 0 {
+                    break backlog;
+                }
+                // Sleep toward the next step's arrival, polling stop.
+                let next_due = ((consumed + 1) * frames_per_step) as f64 / fps;
+                let wait = (next_due - start.elapsed().as_secs_f64()).max(0.0);
+                std::thread::sleep(Duration::from_secs_f64(wait.clamp(1e-4, 0.01)));
+            };
+            if backlog == 0 {
+                break; // stopped while waiting
+            }
+            if backlog > ingest_bound {
+                // Shed the overflow: stop chasing a schedule the engine
+                // cannot hold. (Sources are pull-based, so no frames are
+                // lost — the stream simply lags.)
+                let shed = backlog - ingest_bound;
+                shared.ticks_shed.fetch_add(shed, Ordering::Relaxed);
+                consumed += shed;
+                shared.queue_depth.store(ingest_bound, Ordering::Relaxed);
+            } else {
+                shared.queue_depth.store(backlog, Ordering::Relaxed);
+            }
+        }
+        match server.step(stream) {
+            Ok(out) => {
+                consumed += 1;
+                if out.finished {
+                    shared.finished.store(true, Ordering::Release);
+                    break;
+                }
+            }
+            Err(e) => {
+                *shared.error.lock() = Some(e);
+                break;
+            }
+        }
+    }
+    shared.queue_depth.store(0, Ordering::Relaxed);
+}

@@ -155,6 +155,73 @@ fn attach_detach_mid_stream_preserves_surviving_queries() {
     assert_eq!(green_hits, expected_suffix, "late query not a clean suffix");
 }
 
+/// Cross-stream model batching must be invisible in results: streams
+/// served through a supervisor whose detect stages share one
+/// [`ModelBatcher`] physical batch are byte-identical to each stream
+/// executed alone offline — under both executors.
+#[test]
+fn cross_stream_batching_is_byte_identical_to_solo() {
+    use vqpy_serve::{BatcherConfig, PaceMode, StreamSupervisor, SupervisorConfig};
+
+    for config in [SessionConfig::default(), SessionConfig::pipelined(2)] {
+        let seeds = [91u64, 92, 93];
+        let queries = [color_query("RedCar", "red"), count_query()];
+
+        // Solo references: each stream alone, no supervisor, no batcher.
+        let offline = Arc::new(VqpySession::with_config(
+            ModelZoo::standard(),
+            config.clone(),
+        ));
+        let expected: Vec<_> = seeds
+            .iter()
+            .map(|&s| offline.execute_shared(&queries, &video(s, 8.0)).unwrap())
+            .collect();
+
+        // All streams through one supervisor with aggressive coalescing.
+        let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+        let supervisor = StreamSupervisor::new(
+            session,
+            SupervisorConfig {
+                batcher: Some(BatcherConfig {
+                    max_batch_frames: 256,
+                    window: std::time::Duration::from_millis(5),
+                }),
+                ..SupervisorConfig::default()
+            },
+        );
+        let mut streams = Vec::new();
+        for &s in &seeds {
+            streams.push(
+                supervisor
+                    .add_stream(Arc::new(video(s, 8.0)), PaceMode::Unpaced, &queries)
+                    .unwrap(),
+            );
+        }
+        for (si, (stream, subs)) in streams.into_iter().enumerate() {
+            supervisor.join_stream(stream).unwrap();
+            for (sub, exp) in subs.into_iter().zip(&expected[si]) {
+                let (hits, video_value) = sub.collect();
+                assert_eq!(
+                    hits, exp.frame_hits,
+                    "stream {si} hits diverged for {} under cross-stream batching",
+                    exp.query_name
+                );
+                assert_eq!(
+                    video_value, exp.video_value,
+                    "stream {si} aggregate diverged for {}",
+                    exp.query_name
+                );
+            }
+        }
+        let stats = supervisor.batcher_stats().unwrap();
+        assert!(stats.requests > 0, "detect work must route via the batcher");
+        assert!(
+            stats.physical_batches > 0,
+            "batcher must have executed: {stats:?}"
+        );
+    }
+}
+
 /// Two streams on one server serve independently and match per-video
 /// offline execution.
 #[test]

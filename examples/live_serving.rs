@@ -1,13 +1,19 @@
-//! Live serving demo: a `StreamServer` drives two camera streams on
-//! background threads while queries attach and detach at runtime.
+//! Live serving demo: a `StreamSupervisor` drives two paced camera streams
+//! on its own worker threads — with cross-stream model batching — while
+//! queries attach and detach at runtime.
 //!
-//! Run with `cargo run --example live_serving`.
+//! Run with `cargo run --example live_serving`. The program exits cleanly
+//! when both streams end: every subscription is drained on its own thread,
+//! so no channel ever blocks the shutdown.
 
 use std::sync::Arc;
 use vqpy::core::frontend::{library, predicate::Pred};
 use vqpy::core::{Aggregate, Query, SessionConfig, VqpySession};
 use vqpy::models::ModelZoo;
-use vqpy::serve::{ServeConfig, ServeEvent, ServeSession};
+use vqpy::serve::{
+    BatcherConfig, PaceMode, ServeConfig, ServeEvent, ServePolicy, StreamSupervisor, Subscription,
+    SupervisorConfig,
+};
 use vqpy::video::{presets, Scene, SyntheticVideo};
 
 fn query(name: &str, color: &str) -> Arc<Query> {
@@ -19,107 +25,125 @@ fn query(name: &str, color: &str) -> Arc<Query> {
         .expect("query builds")
 }
 
+/// Drains a subscription on its own thread until its terminal event, so a
+/// slow main thread can never stall the stream (and the stream's end can
+/// never strand a consumer: the channel closes, the thread exits).
+fn consume(label: &'static str, sub: Subscription) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut hits = 0u64;
+        loop {
+            match sub.recv() {
+                Some(ServeEvent::Hit(_)) => hits += 1,
+                Some(ServeEvent::End { video_value }) => {
+                    println!("{label}: {hits} hit frames, final aggregate {video_value:?}");
+                    break;
+                }
+                Some(ServeEvent::Detached { video_value }) => {
+                    println!("{label}: detached after {hits} hit frames ({video_value:?})");
+                    break;
+                }
+                None => break, // channel closed without a terminal event
+            }
+        }
+    })
+}
+
 fn main() {
-    // One session (shared zoo, plan cache, clock); the pipelined engine
-    // drives each stream.
+    // One session (shared zoo, plan cache, clock); each stream runs the
+    // pipelined engine, and all streams' detect stages share one physical
+    // batch through the supervisor's ModelBatcher.
     let session = Arc::new(VqpySession::with_config(
         ModelZoo::standard(),
         SessionConfig::pipelined(2),
     ));
-    let server = Arc::new(session.serve(ServeConfig {
-        batches_per_step: 4,
-        ..ServeConfig::default()
-    }));
-
-    // Two live "cameras".
-    let jackson = server.open_stream(Arc::new(SyntheticVideo::new(Scene::generate(
-        presets::jackson(),
-        11,
-        30.0,
-    ))));
-    let banff = server.open_stream(Arc::new(SyntheticVideo::new(Scene::generate(
-        presets::banff(),
-        22,
-        30.0,
-    ))));
-
-    // Initial query set: red cars on both streams, plus a traffic counter
-    // on the Jackson stream. Shared subgraphs (detector, tracker, color)
-    // execute once per stream regardless of query count.
-    let red_j = server.attach(jackson, query("RedCar", "red")).unwrap();
-    let red_b = server.attach(banff, query("RedCar", "red")).unwrap();
-    let count = server
-        .attach(
-            jackson,
-            Query::builder("CountCars")
-                .vobj("car", library::vehicle_schema_intrinsic())
-                .frame_constraint(Pred::gt("car", "score", 0.5))
-                .video_output(Aggregate::CountDistinctTracks {
-                    alias: "car".into(),
-                })
-                .build()
-                .unwrap(),
-        )
-        .unwrap();
-
-    // Run part of the Jackson stream, then change the query set live: a
-    // black-car query joins, the red-car query leaves. The recompile
-    // happens at a batch boundary; no frames are dropped and the counter
-    // query's results are unaffected.
-    for _ in 0..8 {
-        server.step(jackson).unwrap();
-    }
-    println!(
-        "jackson @frame {}: attaching BlackCar, detaching RedCar",
-        server.position(jackson).unwrap()
+    let supervisor = StreamSupervisor::new(
+        Arc::clone(&session),
+        SupervisorConfig {
+            serve: ServeConfig {
+                batches_per_step: 4,
+                ..ServeConfig::default()
+            },
+            batcher: Some(BatcherConfig::default()),
+            policy: ServePolicy {
+                max_streams: Some(8),
+                ..ServePolicy::default()
+            },
+            ..SupervisorConfig::default()
+        },
     );
-    let black_j = server.attach(jackson, query("BlackCar", "black")).unwrap();
-    server.detach(jackson, red_j.id()).unwrap();
 
-    // Drive both streams to end-of-video on background threads.
-    let drivers: Vec<_> = [jackson, banff]
-        .into_iter()
-        .map(|stream| {
-            let server = Arc::clone(&server);
-            std::thread::spawn(move || server.run_to_end(stream).unwrap())
+    // Two live "cameras", paced at their capture rate (2x real time here
+    // so the demo stays quick) and driven by the supervisor's workers.
+    // Initial queries attach before the first frame executes.
+    let jackson_video = SyntheticVideo::new(Scene::generate(presets::jackson(), 11, 30.0));
+    let banff_video = SyntheticVideo::new(Scene::generate(presets::banff(), 22, 30.0));
+    let pace = PaceMode::Fps(60.0);
+
+    let count_cars = Query::builder("CountCars")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
         })
-        .collect();
+        .build()
+        .unwrap();
+    let (jackson, jackson_subs) = supervisor
+        .add_stream(
+            Arc::new(jackson_video),
+            pace,
+            &[query("RedCar", "red"), count_cars],
+        )
+        .expect("admit jackson stream");
+    let (banff, banff_subs) = supervisor
+        .add_stream(Arc::new(banff_video), pace, &[query("RedCar", "red")])
+        .expect("admit banff stream");
 
-    // Consume incrementally: each subscription is an independent bounded
-    // channel.
-    let consumers: Vec<_> = [
-        ("jackson/RedCar", red_j),
-        ("jackson/BlackCar", black_j),
-        ("banff/RedCar", red_b),
-        ("jackson/CountCars", count),
-    ]
-    .into_iter()
-    .map(|(label, sub)| {
-        std::thread::spawn(move || {
-            let mut hits = 0u64;
-            loop {
-                match sub.recv() {
-                    Some(ServeEvent::Hit(_)) => hits += 1,
-                    Some(ServeEvent::End { video_value }) => {
-                        println!("{label}: {hits} hit frames, final aggregate {video_value:?}");
-                        break;
-                    }
-                    Some(ServeEvent::Detached { video_value }) => {
-                        println!("{label}: detached after {hits} hit frames ({video_value:?})");
-                        break;
-                    }
-                    None => break,
-                }
-            }
-        })
-    })
-    .collect();
+    let mut consumers = Vec::new();
+    let mut jackson_subs = jackson_subs.into_iter();
+    let red_j = jackson_subs.next().unwrap();
+    consumers.push(consume("jackson/CountCars", jackson_subs.next().unwrap()));
+    let red_b = banff_subs.into_iter().next().unwrap();
+    consumers.push(consume("banff/RedCar", red_b));
 
-    for c in consumers {
-        c.join().unwrap();
+    // Change the query set live: a black-car query joins, the red-car
+    // query leaves. The recompile happens at a step boundary; no frames
+    // are dropped and the counter query's results are unaffected. (At
+    // 60fps pace a 32-frame step lands roughly every 0.53s, so by now a
+    // few steps have run and RedCar has results to carry out.)
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    println!(
+        "jackson load {:?}: attaching BlackCar, detaching RedCar",
+        supervisor.load()
+    );
+    let black_j = supervisor
+        .attach(jackson, query("BlackCar", "black"))
+        .expect("admitted under calm load");
+    supervisor.detach(jackson, red_j.id()).expect("detach");
+    consumers.push(consume("jackson/RedCar", red_j));
+    consumers.push(consume("jackson/BlackCar", black_j));
+
+    // Wait for both streams to finish; consumers drain concurrently, so
+    // nothing can block stream completion — then the consumers' channels
+    // close and every thread exits.
+    for (name, stream) in [("jackson", jackson), ("banff", banff)] {
+        let metrics = supervisor.join_stream(stream).expect("stream completes");
+        println!("{name}: {}", metrics.summary());
+        let pace = supervisor.pace_metrics(stream).expect("pace metrics");
+        println!(
+            "{name}: paced @{:?}, backlog {} steps, {} ticks shed",
+            pace.pace, pace.queue_depth, pace.ticks_shed
+        );
     }
-    for (stream, d) in [jackson, banff].into_iter().zip(drivers) {
-        let metrics = d.join().unwrap();
-        println!("stream {stream}: {}", metrics.summary());
+    for c in consumers {
+        c.join().expect("consumer exits");
+    }
+    if let Some(stats) = supervisor.batcher_stats() {
+        println!(
+            "batcher: {} requests -> {} physical batches (mean {:.2} coalesced, max {} frames)",
+            stats.requests,
+            stats.physical_batches,
+            stats.mean_coalesced(),
+            stats.max_batch_frames
+        );
     }
 }

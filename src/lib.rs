@@ -4,8 +4,8 @@
 //! API of every member crate so examples and downstream users need a single
 //! dependency.
 //!
-//! See the README for architecture, `DESIGN.md` for the system inventory,
-//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See the README for an overview and `docs/ARCHITECTURE.md` for the
+//! end-to-end walkthrough of every layer.
 //!
 //! ```
 //! use vqpy::core::frontend::{library, predicate::Pred};
