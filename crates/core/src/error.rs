@@ -1,7 +1,7 @@
 //! Error types for query construction, planning, and execution.
 
 use std::fmt;
-use vqpy_models::LookupModelError;
+use vqpy_models::{DecodeError, LookupModelError, ValueKind};
 
 /// Errors surfaced by the VQPy frontend and backend.
 #[derive(Debug)]
@@ -13,6 +13,35 @@ pub enum VqpyError {
     UnknownAlias(String),
     /// A relation name was referenced but not declared.
     UnknownRelation(String),
+    /// A declared relation has no property of the referenced name
+    /// (anywhere in the relation's inheritance chain).
+    UnknownRelationProperty { relation: String, property: String },
+    /// A typed `Prop<T>` handle was requested with a Rust type that cannot
+    /// decode the property's declared value kind.
+    PropertyTypeMismatch {
+        /// The schema the property resolves on.
+        schema: String,
+        /// The property name.
+        property: String,
+        /// The requested Rust type.
+        requested: &'static str,
+        /// The kind the schema declares for the property.
+        declared: ValueKind,
+    },
+    /// An extension registration supplied a literal whose kind contradicts
+    /// the target property's declared kind.
+    ExtensionKindMismatch {
+        /// The schema the registration targets.
+        schema: String,
+        /// The property the registration filters on.
+        property: String,
+        /// The kind the schema declares for the property.
+        declared: ValueKind,
+        /// The kind of the supplied literal.
+        literal: ValueKind,
+    },
+    /// Decoding a result row into a typed value failed.
+    Decode(DecodeError),
     /// Property dependencies form a cycle.
     CyclicDependency { schema: String, property: String },
     /// A model lookup failed.
@@ -69,6 +98,33 @@ impl fmt::Display for VqpyError {
             VqpyError::UnknownRelation(r) => {
                 write!(f, "query references undeclared relation `{r}`")
             }
+            VqpyError::UnknownRelationProperty { relation, property } => {
+                write!(
+                    f,
+                    "no property `{property}` on relation `{relation}` or its ancestors"
+                )
+            }
+            VqpyError::PropertyTypeMismatch {
+                schema,
+                property,
+                requested,
+                declared,
+            } => write!(
+                f,
+                "property `{schema}.{property}` is declared `{declared}`, \
+                 which cannot decode as `{requested}`"
+            ),
+            VqpyError::ExtensionKindMismatch {
+                schema,
+                property,
+                declared,
+                literal,
+            } => write!(
+                f,
+                "extension on `{schema}.{property}` supplies a `{literal}` \
+                 literal but the property is declared `{declared}`"
+            ),
+            VqpyError::Decode(e) => write!(f, "{e}"),
             VqpyError::CyclicDependency { schema, property } => {
                 write!(
                     f,
@@ -94,6 +150,7 @@ impl std::error::Error for VqpyError {
         match self {
             VqpyError::Model(e) => Some(e),
             VqpyError::Compose(e) => Some(e),
+            VqpyError::Decode(e) => Some(e),
             _ => None,
         }
     }
@@ -102,6 +159,12 @@ impl std::error::Error for VqpyError {
 impl From<LookupModelError> for VqpyError {
     fn from(e: LookupModelError) -> Self {
         VqpyError::Model(e)
+    }
+}
+
+impl From<DecodeError> for VqpyError {
+    fn from(e: DecodeError) -> Self {
+        VqpyError::Decode(e)
     }
 }
 

@@ -2,6 +2,13 @@
 //! queries that serve as building blocks — `Vehicle`, `Person`, `Ball`,
 //! native speed/velocity/direction properties, `SpeedQuery`,
 //! `CollisionQuery`.
+//!
+//! The primary interface is *typed*: [`vehicle()`], [`person()`], and
+//! [`ball()`] return [`Schema`] handles whose aliases carry named, typed
+//! property accessors (`car.color()`, `car.speed()`, `person.action()`),
+//! so library queries compose with compile-checked predicates. The raw
+//! `*_schema()` constructors remain for the stringly escape hatch and for
+//! deriving sub-VObjs.
 
 use crate::error::VqpyError;
 use crate::frontend::compose::{spatial_query, QueryExpr};
@@ -9,9 +16,10 @@ use crate::frontend::predicate::{CmpOp, Pred};
 use crate::frontend::property::{NativeFn, PropertyDef};
 use crate::frontend::query::Query;
 use crate::frontend::relation::{distance_relation, RelationSchema};
+use crate::frontend::typed::{Alias, Prop, Schema, TypedQuery};
 use crate::frontend::vobj::VObjSchema;
 use std::sync::Arc;
-use vqpy_models::Value;
+use vqpy_models::{Value, ValueKind};
 use vqpy_video::geometry::Point;
 
 /// Mean center displacement (pixels/frame) over the bbox history.
@@ -39,7 +47,7 @@ pub fn speed_prop(history_len: usize) -> PropertyDef {
                 None => Value::Null,
             },
         );
-    PropertyDef::stateful_native("speed", &["bbox"], history_len, f)
+    PropertyDef::stateful_native("speed", &["bbox"], history_len, f).with_kind(ValueKind::Float)
 }
 
 /// Stateful native `velocity` property: per-frame displacement vector.
@@ -51,7 +59,7 @@ pub fn velocity_prop(history_len: usize) -> PropertyDef {
                 None => Value::Null,
             },
         );
-    PropertyDef::stateful_native("velocity", &["bbox"], history_len, f)
+    PropertyDef::stateful_native("velocity", &["bbox"], history_len, f).with_kind(ValueKind::Point)
 }
 
 /// Stateful native `heading_change` property in degrees over the center
@@ -78,6 +86,7 @@ pub fn heading_change_prop(history_len: usize) -> PropertyDef {
         Value::Float(cross.atan2(dot).to_degrees() as f64)
     });
     PropertyDef::stateful_native("heading_change", &["bbox"], history_len, f)
+        .with_kind(ValueKind::Float)
 }
 
 /// The library `Vehicle` VObj (Figure 2): yolox detection, model-computed
@@ -88,18 +97,20 @@ pub fn vehicle_schema() -> Arc<VObjSchema> {
     VObjSchema::builder("Vehicle")
         .class_labels(&["car", "bus", "truck"])
         .detector("yolox")
-        .property(PropertyDef::stateless_model("color", "color_detect", false))
-        .property(PropertyDef::stateless_model("vtype", "vtype_detect", false))
-        .property(PropertyDef::stateless_model(
-            "direction",
-            "direction_model",
-            false,
-        ))
-        .property(PropertyDef::stateless_model(
-            "plate",
-            "plate_recognize",
-            false,
-        ))
+        .property(
+            PropertyDef::stateless_model("color", "color_detect", false).with_kind(ValueKind::Str),
+        )
+        .property(
+            PropertyDef::stateless_model("vtype", "vtype_detect", false).with_kind(ValueKind::Str),
+        )
+        .property(
+            PropertyDef::stateless_model("direction", "direction_model", false)
+                .with_kind(ValueKind::Str),
+        )
+        .property(
+            PropertyDef::stateless_model("plate", "plate_recognize", false)
+                .with_kind(ValueKind::Str),
+        )
         .property(speed_prop(3))
         .property(velocity_prop(3))
         .build()
@@ -113,13 +124,16 @@ pub fn vehicle_schema_intrinsic() -> Arc<VObjSchema> {
     // parent `Vehicle` still apply through inheritance.
     VObjSchema::builder("VehicleIntrinsic")
         .parent(vehicle_schema())
-        .property(PropertyDef::stateless_model("color", "color_detect", true))
-        .property(PropertyDef::stateless_model("vtype", "vtype_detect", true))
-        .property(PropertyDef::stateless_model(
-            "plate",
-            "plate_recognize",
-            true,
-        ))
+        .property(
+            PropertyDef::stateless_model("color", "color_detect", true).with_kind(ValueKind::Str),
+        )
+        .property(
+            PropertyDef::stateless_model("vtype", "vtype_detect", true).with_kind(ValueKind::Str),
+        )
+        .property(
+            PropertyDef::stateless_model("plate", "plate_recognize", true)
+                .with_kind(ValueKind::Str),
+        )
         .build()
 }
 
@@ -129,12 +143,14 @@ pub fn person_schema() -> Arc<VObjSchema> {
     VObjSchema::builder("Person")
         .class_labels(&["person"])
         .detector("yolox")
-        .property(PropertyDef::stateless_model(
-            "action",
-            "action_classify",
-            false,
-        ))
-        .property(PropertyDef::stateless_model("feature", "reid_embed", true))
+        .property(
+            PropertyDef::stateless_model("action", "action_classify", false)
+                .with_kind(ValueKind::Str),
+        )
+        .property(
+            PropertyDef::stateless_model("feature", "reid_embed", true)
+                .with_kind(ValueKind::FloatVec),
+        )
         .property(speed_prop(3))
         .build()
 }
@@ -145,6 +161,103 @@ pub fn ball_schema() -> Arc<VObjSchema> {
         .class_labels(&["ball"])
         .detector("yolox")
         .build()
+}
+
+/// Marker type for the library `Vehicle` schema family (plain and
+/// intrinsic-annotated): `Alias<Vehicle>` carries the typed accessors
+/// below.
+#[derive(Debug, Clone, Copy)]
+pub struct Vehicle;
+
+/// Marker type for the library `Person` schema.
+#[derive(Debug, Clone, Copy)]
+pub struct Person;
+
+/// Marker type for the library `Ball` schema.
+#[derive(Debug, Clone, Copy)]
+pub struct Ball;
+
+/// Typed handle on [`vehicle_schema`]: the primary way to author vehicle
+/// queries.
+///
+/// ```
+/// use vqpy_core::frontend::library;
+///
+/// let car = library::vehicle().alias("car");
+/// let pred = car.speed().gt(20.0) & car.color().eq("red");
+/// assert!(pred.to_string().contains("car.speed"));
+/// ```
+pub fn vehicle() -> Schema<Vehicle> {
+    Schema::new(vehicle_schema())
+}
+
+/// Typed handle on [`vehicle_schema_intrinsic`] (color/vtype/plate marked
+/// intrinsic, unlocking per-object reuse). Same accessors as [`vehicle`].
+pub fn vehicle_intrinsic() -> Schema<Vehicle> {
+    Schema::new(vehicle_schema_intrinsic())
+}
+
+/// Typed handle on [`person_schema`].
+pub fn person() -> Schema<Person> {
+    Schema::new(person_schema())
+}
+
+/// Typed handle on [`ball_schema`].
+pub fn ball() -> Schema<Ball> {
+    Schema::new(ball_schema())
+}
+
+// The accessors below mint unchecked: the names and kinds are correct by
+// construction for the library schemas, and a caller who pairs the marker
+// with an unrelated raw schema (`Schema::<Vehicle>::new(ball_schema())`)
+// gets a typed `UnknownProperty` at `Query::build()` instead of a panic.
+impl Alias<Vehicle> {
+    /// The model-computed color name (`"red"`, `"black"`, ...).
+    pub fn color(&self) -> Prop<String> {
+        self.unchecked("color")
+    }
+
+    /// The model-computed vehicle type (`"sedan"`, `"suv"`, ...).
+    pub fn vtype(&self) -> Prop<String> {
+        self.unchecked("vtype")
+    }
+
+    /// The model-computed movement direction label.
+    pub fn direction(&self) -> Prop<String> {
+        self.unchecked("direction")
+    }
+
+    /// The OCR'd license plate.
+    pub fn plate(&self) -> Prop<String> {
+        self.unchecked("plate")
+    }
+
+    /// Native speed in pixels/frame (stateful over the bbox history).
+    pub fn speed(&self) -> Prop<f64> {
+        self.unchecked("speed")
+    }
+
+    /// Native per-frame displacement vector.
+    pub fn velocity(&self) -> Prop<Point> {
+        self.unchecked("velocity")
+    }
+}
+
+impl Alias<Person> {
+    /// The model-computed action label (`"walking"`, `"standing"`, ...).
+    pub fn action(&self) -> Prop<String> {
+        self.unchecked("action")
+    }
+
+    /// The re-id embedding vector.
+    pub fn feature(&self) -> Prop<Vec<f32>> {
+        self.unchecked("feature")
+    }
+
+    /// Native speed in pixels/frame.
+    pub fn speed(&self) -> Prop<f64> {
+        self.unchecked("speed")
+    }
 }
 
 /// The library `SpeedQuery` (used by Figure 8's car-run-away): objects of
@@ -159,6 +272,27 @@ pub fn speed_query(
         .vobj(alias, schema)
         .frame_constraint(Pred::gt(alias, "score", 0.5) & Pred::gt(alias, "speed", threshold))
         .frame_output(&[(alias, "track_id"), (alias, "bbox")])
+        .build()
+}
+
+/// Typed `SpeedQuery`: same query as [`speed_query`], authored through a
+/// typed alias and returning rows of `(track_id, bbox)`. Works for any
+/// schema whose alias resolves a Float `speed` property.
+///
+/// # Errors
+///
+/// [`VqpyError::UnknownProperty`]/[`VqpyError::PropertyTypeMismatch`] if
+/// the alias's schema does not declare a Float-decodable `speed`.
+pub fn typed_speed_query<V>(
+    name: impl Into<String>,
+    alias: &Alias<V>,
+    threshold: f64,
+) -> Result<TypedQuery<(Option<i64>, vqpy_video::geometry::BBox)>, VqpyError> {
+    let speed: Prop<f64> = alias.prop("speed")?;
+    TypedQuery::builder(name)
+        .object(alias)
+        .filter(alias.score().gt(0.5) & speed.gt(threshold))
+        .select((alias.track_id().optional(), alias.bbox()))
         .build()
 }
 

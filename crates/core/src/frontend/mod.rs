@@ -7,4 +7,5 @@ pub mod predicate;
 pub mod property;
 pub mod query;
 pub mod relation;
+pub mod typed;
 pub mod vobj;

@@ -262,6 +262,28 @@ impl Pred {
         }
     }
 
+    /// All `(relation, property)` pairs referenced, so query validation can
+    /// reject a typo'd relation property at build time.
+    pub fn referenced_relation_props(&self) -> BTreeSet<(String, String)> {
+        let mut out = BTreeSet::new();
+        self.collect_relation_props(&mut out);
+        out
+    }
+
+    fn collect_relation_props(&self, out: &mut BTreeSet<(String, String)>) {
+        match self {
+            Pred::True | Pred::Cmp { .. } => {}
+            Pred::RelationCmp { relation, prop, .. } => {
+                out.insert((relation.clone(), prop.clone()));
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_relation_props(out);
+                b.collect_relation_props(out);
+            }
+            Pred::Not(a) => a.collect_relation_props(out),
+        }
+    }
+
     /// Splits the top-level conjunction into conjuncts.
     pub fn conjuncts(&self) -> Vec<&Pred> {
         match self {

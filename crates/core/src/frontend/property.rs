@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use vqpy_models::Value;
+use vqpy_models::{Value, ValueKind};
 
 /// Whether a property needs cross-frame history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,18 @@ impl BuiltinProp {
             _ => None,
         }
     }
+
+    /// The kind of value this built-in carries (well-known for every
+    /// built-in, which is what makes typed handles on them infallible).
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            BuiltinProp::Bbox => ValueKind::BBox,
+            BuiltinProp::Score => ValueKind::Float,
+            BuiltinProp::ClassLabel => ValueKind::Str,
+            BuiltinProp::TrackId => ValueKind::Int,
+            BuiltinProp::Center => ValueKind::Point,
+        }
+    }
 }
 
 /// Inputs available to a native property function.
@@ -133,6 +145,11 @@ pub struct PropertyDef {
     /// the object's crop and need no declared deps.
     pub deps: Vec<String>,
     pub source: PropertySource,
+    /// The declared kind of values this property produces, when the schema
+    /// author states one (via [`PropertyDef::with_kind`]). Typed `Prop<T>`
+    /// handles are checked against it at handle-creation time; `None`
+    /// defers the check to row-decode time.
+    pub value_kind: Option<ValueKind>,
 }
 
 impl PropertyDef {
@@ -147,6 +164,7 @@ impl PropertyDef {
             kind: PropertyKind::Stateless { intrinsic },
             deps: Vec::new(),
             source: PropertySource::Model(model.into()),
+            value_kind: None,
         }
     }
 
@@ -162,6 +180,7 @@ impl PropertyDef {
             kind: PropertyKind::Stateless { intrinsic },
             deps: deps.iter().map(|s| s.to_string()).collect(),
             source: PropertySource::Native(f),
+            value_kind: None,
         }
     }
 
@@ -178,7 +197,15 @@ impl PropertyDef {
             kind: PropertyKind::Stateful { history_len },
             deps: deps.iter().map(|s| s.to_string()).collect(),
             source: PropertySource::Native(f),
+            value_kind: None,
         }
+    }
+
+    /// Declares the kind of values this property produces, enabling
+    /// typed-handle checking at `Prop<T>` creation time.
+    pub fn with_kind(mut self, kind: ValueKind) -> Self {
+        self.value_kind = Some(kind);
+        self
     }
 }
 

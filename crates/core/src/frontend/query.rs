@@ -153,13 +153,19 @@ impl Query {
                 });
             }
         }
-        for rel in self.frame_constraint.referenced_relations() {
+        for (rel, prop) in self.frame_constraint.referenced_relation_props() {
             let decl = self
                 .relation(&rel)
                 .ok_or_else(|| VqpyError::UnknownRelation(rel.clone()))?;
-            // Relation property references are validated at plan time when
-            // the property name is known; here just check the schema exists.
-            let _ = decl;
+            // A typo'd relation property used to slip through to execution,
+            // where the missing value made the predicate silently false on
+            // every frame; reject it here with a typed error instead.
+            if decl.schema.resolve_property(&prop).is_none() {
+                return Err(VqpyError::UnknownRelationProperty {
+                    relation: rel,
+                    property: prop,
+                });
+            }
         }
         if let Some(agg) = &self.video_output {
             let alias = match agg {
@@ -332,6 +338,27 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(q.relations().len(), 1);
+    }
+
+    #[test]
+    fn typoed_relation_property_is_rejected_at_build_time() {
+        // Before build-time validation, `distnace` survived to execution
+        // where the predicate silently matched nothing.
+        let rel = distance_relation("near", vehicle(), person());
+        let err = Query::builder("Bad")
+            .vobj("car", vehicle())
+            .vobj("person", person())
+            .relation(rel, "car", "person")
+            .frame_constraint(Pred::relation("near", "distnace", CmpOp::Lt, 100.0))
+            .build()
+            .unwrap_err();
+        match err {
+            VqpyError::UnknownRelationProperty { relation, property } => {
+                assert_eq!(relation, "near");
+                assert_eq!(property, "distnace");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,883 @@
+//! The typed v2 frontend: compile-checked predicates and typed result rows.
+//!
+//! The paper's object-oriented claim is that queries are authored against
+//! *objects with typed properties* (§3, Figures 2/5). This module realizes
+//! that claim in Rust's type system: a [`Schema<V>`] mints [`Alias<V>`]
+//! handles, an alias mints [`Prop<T>`] accessors that are validated against
+//! the schema's `PropertyDef`s (including the inheritance chain) at
+//! handle-creation time, predicates compose with `&`/`|`/`!` on typed
+//! comparisons, and [`TypedQuery::select`](TypedQueryBuilder::select) fixes
+//! a typed row shape that results and live subscriptions decode into.
+//!
+//! Everything lowers onto the existing untyped machinery unchanged — a
+//! [`Prop<T>`] comparison *is* a [`Pred`], a built [`TypedQuery<R>`] *is*
+//! an `Arc<Query>` plus a row type — so typed and stringly queries are
+//! interchangeable at every layer below the surface (the equivalence tests
+//! prove byte-identical results). The stringly [`Query::builder`] remains
+//! the documented escape hatch for dynamically-shaped queries.
+//!
+//! ```
+//! use vqpy_core::frontend::library;
+//! use vqpy_core::frontend::typed::TypedQuery;
+//!
+//! # fn main() -> Result<(), vqpy_core::VqpyError> {
+//! let car = library::vehicle().alias("car");
+//! let query = TypedQuery::builder("RedCarPlates")
+//!     .object(&car)
+//!     .filter(car.score().gt(0.6) & car.color().eq("red"))
+//!     .select((car.track_id(), car.plate()))
+//!     .build()?;
+//! assert_eq!(query.name(), "RedCarPlates");
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+use crate::error::VqpyError;
+use crate::extend::{BinaryFilterReg, ExtensionRegistry, SpecializedNnReg};
+use crate::frontend::predicate::{CmpOp, Pred, PropRef};
+use crate::frontend::query::{Aggregate, Query, QueryBuilder};
+use crate::frontend::relation::RelationSchema;
+use crate::frontend::vobj::VObjSchema;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use vqpy_models::{DecodeError, FromRow, FromValue, Row, Value};
+use vqpy_video::geometry::{BBox, Point};
+
+/// A typed handle on a [`VObjSchema`]. The marker type `V` ties aliases,
+/// property accessors, and library extension impls to this schema at
+/// compile time; it carries no data.
+///
+/// Mint one from any raw schema with [`Schema::new`], or use the library's
+/// ready-made handles ([`library::vehicle`](crate::frontend::library::vehicle),
+/// [`library::person`](crate::frontend::library::person), ...).
+#[derive(Debug)]
+pub struct Schema<V> {
+    schema: Arc<VObjSchema>,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V> Clone for Schema<V> {
+    fn clone(&self) -> Self {
+        Self {
+            schema: Arc::clone(&self.schema),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V> Schema<V> {
+    /// Wraps a raw schema in a typed handle. The pairing of `V` with the
+    /// schema is the caller's assertion; marker-specific accessors (the
+    /// library's `car.color()` etc.) mint without re-checking, so a
+    /// mismatched pairing surfaces as a typed `UnknownProperty` when the
+    /// query is built, not as a panic.
+    pub fn new(schema: Arc<VObjSchema>) -> Self {
+        Self {
+            schema,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying untyped schema.
+    pub fn raw(&self) -> &Arc<VObjSchema> {
+        &self.schema
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Mints an alias handle for declaring this schema in a query.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vqpy_core::frontend::library;
+    ///
+    /// let car = library::vehicle().alias("car");
+    /// assert_eq!(car.name(), "car");
+    /// // Typed property accessors come off the alias:
+    /// let pred = car.score().gt(0.6);
+    /// assert!(pred.to_string().contains("car.score"));
+    /// ```
+    pub fn alias(&self, alias: impl Into<String>) -> Alias<V> {
+        Alias {
+            alias: alias.into(),
+            schema: Arc::clone(&self.schema),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A declared occurrence of a schema in a query, e.g. `car: Vehicle`.
+/// Property accessors minted here are validated against the schema (and
+/// its inheritance chain) immediately — a typo'd name or wrong-typed
+/// request never reaches plan time.
+#[derive(Debug)]
+pub struct Alias<V> {
+    alias: String,
+    schema: Arc<VObjSchema>,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V> Clone for Alias<V> {
+    fn clone(&self) -> Self {
+        Self {
+            alias: self.alias.clone(),
+            schema: Arc::clone(&self.schema),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V> Alias<V> {
+    /// The alias name as it appears in the query.
+    pub fn name(&self) -> &str {
+        &self.alias
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Arc<VObjSchema> {
+        &self.schema
+    }
+
+    /// Mints a typed accessor for a named property.
+    ///
+    /// # Errors
+    ///
+    /// [`VqpyError::UnknownProperty`] when `name` resolves nowhere on the
+    /// schema or its ancestors, and [`VqpyError::PropertyTypeMismatch`]
+    /// when the property declares a value kind that `T` cannot decode —
+    /// both at handle-creation time, naming the schema and property.
+    pub fn prop<T: FromValue>(&self, name: &str) -> Result<Prop<T>, VqpyError> {
+        let resolved =
+            self.schema
+                .resolve_property(name)
+                .ok_or_else(|| VqpyError::UnknownProperty {
+                    schema: self.schema.name().to_owned(),
+                    property: name.to_owned(),
+                })?;
+        if let Some(kind) = resolved.declared_kind() {
+            if !T::accepts(kind) {
+                return Err(VqpyError::PropertyTypeMismatch {
+                    schema: self.schema.name().to_owned(),
+                    property: name.to_owned(),
+                    requested: T::type_name(),
+                    declared: kind,
+                });
+            }
+        }
+        Ok(Prop {
+            target: PropRef::new(&self.alias, name),
+            _marker: PhantomData,
+        })
+    }
+
+    /// The built-in tracker identity (`Null` until the object is tracked,
+    /// so decode as `Option<i64>` via [`Prop::optional`] when the query
+    /// does not itself constrain `track_id`).
+    ///
+    /// The built-in accessors here mint with the built-in's well-known
+    /// kind. If a schema *shadows* a built-in name with its own
+    /// differently-kinded property definition, use the checked generic
+    /// path (`alias.prop::<T>("score")?`) instead — the infallible
+    /// accessor would surface the mismatch as a `DecodeError` at row
+    /// decode, not at mint time.
+    pub fn track_id(&self) -> Prop<i64> {
+        self.builtin("track_id")
+    }
+
+    /// The built-in detector confidence.
+    pub fn score(&self) -> Prop<f64> {
+        self.builtin("score")
+    }
+
+    /// The built-in bounding box.
+    pub fn bbox(&self) -> Prop<BBox> {
+        self.builtin("bbox")
+    }
+
+    /// The built-in box center.
+    pub fn center(&self) -> Prop<Point> {
+        self.builtin("center")
+    }
+
+    /// The built-in detector class label.
+    pub fn class_label(&self) -> Prop<String> {
+        self.builtin("class_label")
+    }
+
+    fn builtin<T: FromValue>(&self, name: &str) -> Prop<T> {
+        Prop {
+            target: PropRef::new(&self.alias, name),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mints a handle without the mint-time schema check. The library's
+    /// marker-specific accessors use this: their names are correct by
+    /// construction for the blessed schema, and if a caller pairs a
+    /// marker with an unrelated raw schema via [`Schema::new`], the bad
+    /// reference still surfaces as a typed `UnknownProperty` at
+    /// `Query::build()` — never a panic.
+    pub(crate) fn unchecked<T: FromValue>(&self, name: &str) -> Prop<T> {
+        self.builtin(name)
+    }
+}
+
+/// A typed accessor for `alias.prop`. Comparisons produce ordinary
+/// [`Pred`]s, so typed and stringly predicates mix freely; the payoff is
+/// that the literal's Rust type must match the property's (`car.speed()
+/// .gt("fast")` does not compile) and that the handle itself was validated
+/// against the schema when it was minted.
+#[derive(Debug)]
+pub struct Prop<T> {
+    target: PropRef,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Prop<T> {
+    fn clone(&self) -> Self {
+        Self {
+            target: self.target.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Prop<T> {
+    /// The underlying untyped property reference.
+    pub fn prop_ref(&self) -> &PropRef {
+        &self.target
+    }
+
+    /// Re-types the accessor to decode `Null` as `None` instead of
+    /// failing. Useful for built-ins like `track_id` that are `Null` until
+    /// the tracker confirms the object.
+    pub fn optional(self) -> Prop<Option<T>> {
+        Prop {
+            target: self.target,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: FromValue + Into<Value>> Prop<T> {
+    fn cmp(&self, op: CmpOp, value: impl Into<T>) -> Pred {
+        Pred::Cmp {
+            target: self.target.clone(),
+            op,
+            value: value.into().into(),
+        }
+    }
+
+    /// `alias.prop == value`.
+    pub fn eq(&self, value: impl Into<T>) -> Pred {
+        self.cmp(CmpOp::Eq, value)
+    }
+
+    /// `alias.prop != value`.
+    pub fn ne(&self, value: impl Into<T>) -> Pred {
+        self.cmp(CmpOp::Ne, value)
+    }
+
+    /// `alias.prop > value`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vqpy_core::frontend::library;
+    ///
+    /// let car = library::vehicle().alias("car");
+    /// let fast = car.prop::<f64>("speed")?.gt(60.0);
+    /// let red = car.color().eq("red");
+    /// // Typed comparisons are ordinary `Pred`s and compose with &, |, !:
+    /// assert_eq!((fast & red).conjuncts().len(), 2);
+    /// # Ok::<(), vqpy_core::VqpyError>(())
+    /// ```
+    pub fn gt(&self, value: impl Into<T>) -> Pred {
+        self.cmp(CmpOp::Gt, value)
+    }
+
+    /// `alias.prop >= value`.
+    pub fn ge(&self, value: impl Into<T>) -> Pred {
+        self.cmp(CmpOp::Ge, value)
+    }
+
+    /// `alias.prop < value`.
+    pub fn lt(&self, value: impl Into<T>) -> Pred {
+        self.cmp(CmpOp::Lt, value)
+    }
+
+    /// `alias.prop <= value`.
+    pub fn le(&self, value: impl Into<T>) -> Pred {
+        self.cmp(CmpOp::Le, value)
+    }
+}
+
+/// A projection list whose item types fix the decoded row type.
+///
+/// Implemented for tuples of [`Prop<T>`]s up to arity 8; the row decodes
+/// positionally in selection order.
+pub trait Select {
+    /// The Rust type one output row decodes into.
+    type Row: FromRow;
+
+    /// The projected property references, in row order.
+    fn columns(&self) -> Vec<PropRef>;
+}
+
+macro_rules! impl_select_tuple {
+    ($( $t:ident : $idx:tt ),+) => {
+        impl<$( $t: FromValue ),+> Select for ($( Prop<$t>, )+) {
+            type Row = ($( $t, )+);
+
+            fn columns(&self) -> Vec<PropRef> {
+                vec![$( self.$idx.target.clone(), )+]
+            }
+        }
+    };
+}
+
+impl_select_tuple!(A: 0);
+impl_select_tuple!(A: 0, B: 1);
+impl_select_tuple!(A: 0, B: 1, C: 2);
+impl_select_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_select_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_select_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_select_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_select_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// Builder for a [`TypedQuery`]. Starts untyped-row (`R = ()`); calling
+/// [`select`](TypedQueryBuilder::select) fixes the row type. Lowers every
+/// call onto the stringly [`QueryBuilder`], so validation and planning are
+/// shared with the untyped path.
+#[derive(Debug)]
+pub struct TypedQueryBuilder<R> {
+    inner: QueryBuilder,
+    _row: PhantomData<fn() -> R>,
+}
+
+impl<R: FromRow> TypedQueryBuilder<R> {
+    /// Declares a typed alias in the query.
+    pub fn object<V>(self, alias: &Alias<V>) -> Self {
+        Self {
+            inner: self.inner.vobj(alias.name(), Arc::clone(alias.schema())),
+            _row: PhantomData,
+        }
+    }
+
+    /// ANDs a predicate into the frame constraint.
+    pub fn filter(self, pred: Pred) -> Self {
+        Self {
+            inner: self.inner.frame_constraint(pred),
+            _row: PhantomData,
+        }
+    }
+
+    /// Declares a relation between two typed aliases.
+    pub fn relation<L, Rt>(
+        self,
+        schema: Arc<RelationSchema>,
+        left: &Alias<L>,
+        right: &Alias<Rt>,
+    ) -> Self {
+        Self {
+            inner: self.inner.relation(schema, left.name(), right.name()),
+            _row: PhantomData,
+        }
+    }
+
+    /// Video output: count of distinct tracked objects of `alias` that
+    /// ever matched.
+    pub fn count_distinct_tracks<V>(self, alias: &Alias<V>) -> Self {
+        self.video_output(Aggregate::CountDistinctTracks {
+            alias: alias.name().to_owned(),
+        })
+    }
+
+    /// Video output: average matched objects of `alias` per frame.
+    pub fn avg_per_frame<V>(self, alias: &Alias<V>) -> Self {
+        self.video_output(Aggregate::AvgPerFrame {
+            alias: alias.name().to_owned(),
+        })
+    }
+
+    /// Video output: maximum matched objects of `alias` on any frame.
+    pub fn max_per_frame<V>(self, alias: &Alias<V>) -> Self {
+        self.video_output(Aggregate::MaxPerFrame {
+            alias: alias.name().to_owned(),
+        })
+    }
+
+    /// Video output: number of matching frames.
+    pub fn count_frames(self) -> Self {
+        self.video_output(Aggregate::CountFrames)
+    }
+
+    /// Sets a raw video aggregation (escape hatch).
+    pub fn video_output(self, agg: Aggregate) -> Self {
+        Self {
+            inner: self.inner.video_output(agg),
+            _row: PhantomData,
+        }
+    }
+
+    /// Sets the planner accuracy target in `[0, 1]`.
+    pub fn accuracy_target(self, f1: f32) -> Self {
+        Self {
+            inner: self.inner.accuracy_target(f1),
+            _row: PhantomData,
+        }
+    }
+
+    /// Validates and finalizes the query.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the stringly builder's errors ([`VqpyError::UnknownAlias`],
+    /// [`VqpyError::UnknownProperty`], [`VqpyError::UnknownRelation`],
+    /// [`VqpyError::UnknownRelationProperty`], duplicate aliases, missing
+    /// detectors) — typed handles make most of them unreachable, but
+    /// stringly predicates may have been mixed in via
+    /// [`filter`](TypedQueryBuilder::filter).
+    pub fn build(self) -> Result<TypedQuery<R>, VqpyError> {
+        Ok(TypedQuery {
+            query: self.inner.build()?,
+            _row: PhantomData,
+        })
+    }
+}
+
+impl TypedQueryBuilder<()> {
+    /// Fixes the frame-output projection *and* the typed row shape in one
+    /// step: each selected [`Prop<T>`] contributes a column, and rows
+    /// decode into the tuple of the props' Rust types.
+    pub fn select<S: Select>(self, selection: S) -> TypedQueryBuilder<S::Row> {
+        let mut inner = self.inner;
+        for c in selection.columns() {
+            let refs = [(c.alias.as_str(), c.prop.as_str())];
+            inner = inner.frame_output(&refs);
+        }
+        TypedQueryBuilder {
+            inner,
+            _row: PhantomData,
+        }
+    }
+}
+
+/// A validated query with a typed row shape `R`. Wraps the same
+/// `Arc<Query>` the stringly builder produces — hand
+/// [`query()`](TypedQuery::query) to any existing API (sessions, serving,
+/// composition) — plus decoding of result rows into `R`.
+#[derive(Debug)]
+pub struct TypedQuery<R> {
+    query: Arc<Query>,
+    _row: PhantomData<fn() -> R>,
+}
+
+impl<R> Clone for TypedQuery<R> {
+    fn clone(&self) -> Self {
+        Self {
+            query: Arc::clone(&self.query),
+            _row: PhantomData,
+        }
+    }
+}
+
+/// One decoded hit frame: the typed counterpart of
+/// [`FrameHit`](crate::backend::exec::FrameHit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedHit<R> {
+    /// Frame index.
+    pub frame: u64,
+    /// Frame timestamp in seconds.
+    pub time_s: f64,
+    /// One decoded row per matching object combination.
+    pub rows: Vec<R>,
+}
+
+/// A fully-decoded offline result: the typed counterpart of
+/// [`QueryResult`](crate::backend::exec::QueryResult), which remains
+/// available as [`TypedResult::raw`].
+#[derive(Debug, Clone)]
+pub struct TypedResult<R> {
+    /// Decoded hit frames, in frame order.
+    pub hits: Vec<TypedHit<R>>,
+    /// The video-level aggregate, if the query declared one.
+    pub video_value: Option<Value>,
+    /// The untyped result (metrics, virtual time, raw rows).
+    pub raw: Arc<crate::backend::exec::QueryResult>,
+}
+
+impl TypedQuery<()> {
+    /// Starts building a typed query.
+    pub fn builder(name: impl Into<String>) -> TypedQueryBuilder<()> {
+        TypedQueryBuilder {
+            inner: Query::builder(name),
+            _row: PhantomData,
+        }
+    }
+}
+
+/// Decodes one untyped hit frame into typed rows — the single decode path
+/// shared by offline results ([`TypedQuery::decode_hit`]) and live typed
+/// subscriptions (`vqpy-serve`).
+///
+/// # Errors
+///
+/// [`DecodeError`] naming the first column whose value did not match `R`.
+pub fn decode_frame_hit<R: FromRow>(
+    hit: &crate::backend::exec::FrameHit,
+) -> Result<TypedHit<R>, DecodeError> {
+    let rows = hit
+        .outputs
+        .iter()
+        .map(|combo| R::from_row(Row::new(combo)))
+        .collect::<Result<Vec<R>, DecodeError>>()?;
+    Ok(TypedHit {
+        frame: hit.frame,
+        time_s: hit.time_s,
+        rows,
+    })
+}
+
+impl<R: FromRow> TypedQuery<R> {
+    /// Re-types an already-built query. The caller asserts that the
+    /// query's frame output decodes as `R`; a wrong assertion surfaces as
+    /// a [`DecodeError`] on the first decoded hit, never a panic.
+    pub fn wrap(query: Arc<Query>) -> Self {
+        Self {
+            query,
+            _row: PhantomData,
+        }
+    }
+
+    /// The underlying untyped query, accepted by every existing API.
+    pub fn query(&self) -> &Arc<Query> {
+        &self.query
+    }
+
+    /// The query name.
+    pub fn name(&self) -> &str {
+        self.query.name()
+    }
+
+    /// Decodes one untyped hit frame.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] naming the first column whose value did not match
+    /// the selected type.
+    pub fn decode_hit(
+        &self,
+        hit: &crate::backend::exec::FrameHit,
+    ) -> Result<TypedHit<R>, DecodeError> {
+        decode_frame_hit(hit)
+    }
+
+    /// Decodes a whole offline result.
+    pub fn decode_result(
+        &self,
+        result: Arc<crate::backend::exec::QueryResult>,
+    ) -> Result<TypedResult<R>, DecodeError> {
+        let hits = result
+            .frame_hits
+            .iter()
+            .map(|h| self.decode_hit(h))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TypedResult {
+            hits,
+            video_value: result.video_value.clone(),
+            raw: result,
+        })
+    }
+
+    /// Executes offline on a session and decodes the result.
+    ///
+    /// # Errors
+    ///
+    /// Any execution error, plus [`VqpyError::Decode`] if a row did not
+    /// match the selected types.
+    pub fn run(
+        &self,
+        session: &crate::session::VqpySession,
+        video: &dyn vqpy_video::source::VideoSource,
+    ) -> Result<TypedResult<R>, VqpyError> {
+        let raw = session.execute(&self.query, video)?;
+        Ok(self.decode_result(raw)?)
+    }
+}
+
+impl ExtensionRegistry {
+    /// Registers a specialized NN against a typed schema handle: the
+    /// property is validated on the schema (inheritance included) and the
+    /// literal's kind is checked against the property's declared kind —
+    /// the typed counterpart of
+    /// [`register_specialized_nn`](ExtensionRegistry::register_specialized_nn).
+    ///
+    /// # Errors
+    ///
+    /// [`VqpyError::UnknownProperty`] for a typo'd property name,
+    /// [`VqpyError::ExtensionKindMismatch`] when the literal's kind
+    /// contradicts the declared one.
+    pub fn register_specialized_nn_on<V>(
+        &self,
+        schema: &Schema<V>,
+        detector: impl Into<String>,
+        prop: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), VqpyError> {
+        let value = value.into();
+        let resolved =
+            schema
+                .raw()
+                .resolve_property(prop)
+                .ok_or_else(|| VqpyError::UnknownProperty {
+                    schema: schema.name().to_owned(),
+                    property: prop.to_owned(),
+                })?;
+        if let (Some(declared), Some(actual)) = (resolved.declared_kind(), value.kind()) {
+            if declared != actual {
+                return Err(VqpyError::ExtensionKindMismatch {
+                    schema: schema.name().to_owned(),
+                    property: prop.to_owned(),
+                    declared,
+                    literal: actual,
+                });
+            }
+        }
+        self.register_specialized_nn(SpecializedNnReg {
+            schema: schema.name().to_owned(),
+            detector: detector.into(),
+            prop: prop.to_owned(),
+            value,
+        });
+        Ok(())
+    }
+
+    /// Registers a binary frame-classifier filter against a typed schema
+    /// handle (the typed counterpart of
+    /// [`register_binary_filter`](ExtensionRegistry::register_binary_filter)).
+    pub fn register_binary_filter_on<V>(&self, schema: &Schema<V>, model: impl Into<String>) {
+        self.register_binary_filter(BinaryFilterReg {
+            schema: schema.name().to_owned(),
+            model: model.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::property::PropertyDef;
+    use vqpy_models::ValueKind;
+
+    struct Car;
+
+    fn vehicle() -> Schema<Car> {
+        Schema::new(
+            VObjSchema::builder("Vehicle")
+                .class_labels(&["car"])
+                .detector("yolox")
+                .property(
+                    PropertyDef::stateless_model("color", "color_detect", true)
+                        .with_kind(ValueKind::Str),
+                )
+                .property(
+                    PropertyDef::stateless_model("plate", "plate_recognize", true)
+                        .with_kind(ValueKind::Str),
+                )
+                .build(),
+        )
+    }
+
+    #[test]
+    fn typo_is_rejected_at_handle_creation_naming_schema_and_property() {
+        let car = vehicle().alias("car");
+        let err = car.prop::<String>("colour").unwrap_err();
+        match err {
+            VqpyError::UnknownProperty { schema, property } => {
+                assert_eq!(schema, "Vehicle");
+                assert_eq!(property, "colour");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_typed_handle_is_rejected_at_creation() {
+        let car = vehicle().alias("car");
+        let err = car.prop::<f32>("plate").unwrap_err();
+        match err {
+            VqpyError::PropertyTypeMismatch {
+                schema,
+                property,
+                requested,
+                declared,
+            } => {
+                assert_eq!(schema, "Vehicle");
+                assert_eq!(property, "plate");
+                assert_eq!(requested, "f32");
+                assert_eq!(declared, ValueKind::Str);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_handles_check_kinds_too() {
+        let car = vehicle().alias("car");
+        // Requesting score as a String through the generic path fails...
+        assert!(matches!(
+            car.prop::<String>("score"),
+            Err(VqpyError::PropertyTypeMismatch { .. })
+        ));
+        // ...while numeric views (f32 over a Float) are accepted.
+        assert!(car.prop::<f32>("score").is_ok());
+        assert!(car.prop::<i64>("track_id").is_ok());
+    }
+
+    #[test]
+    fn typed_builder_lowers_onto_the_same_query() {
+        let schema = vehicle();
+        let car = schema.alias("car");
+        let typed = TypedQuery::builder("RedCar")
+            .object(&car)
+            .filter(car.score().gt(0.6) & car.prop::<String>("color").unwrap().eq("red"))
+            .select((car.track_id(), car.prop::<String>("plate").unwrap()))
+            .build()
+            .unwrap();
+
+        let stringly = Query::builder("RedCar")
+            .vobj("car", Arc::clone(schema.raw()))
+            .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
+            .frame_output(&[("car", "track_id"), ("car", "plate")])
+            .build()
+            .unwrap();
+
+        assert_eq!(
+            typed.query().frame_constraint().to_string(),
+            stringly.frame_constraint().to_string()
+        );
+        assert_eq!(typed.query().frame_output(), stringly.frame_output());
+        assert_eq!(typed.query().vobjs().len(), 1);
+    }
+
+    #[test]
+    fn decode_hit_produces_typed_rows_and_typed_errors() {
+        let schema = vehicle();
+        let car = schema.alias("car");
+        let typed = TypedQuery::builder("Plates")
+            .object(&car)
+            .select((car.track_id(), car.prop::<String>("plate").unwrap()))
+            .build()
+            .unwrap();
+        let hit = crate::backend::exec::FrameHit {
+            frame: 7,
+            time_s: 0.5,
+            outputs: vec![vec![
+                ("car.track_id".into(), Value::Int(3)),
+                ("car.plate".into(), Value::from("AB-1234")),
+            ]],
+        };
+        let decoded = typed.decode_hit(&hit).unwrap();
+        assert_eq!(decoded.rows, vec![(3i64, "AB-1234".to_owned())]);
+
+        // A null plate is a decode error for String...
+        let bad = crate::backend::exec::FrameHit {
+            frame: 8,
+            time_s: 0.6,
+            outputs: vec![vec![
+                ("car.track_id".into(), Value::Int(3)),
+                ("car.plate".into(), Value::Null),
+            ]],
+        };
+        assert!(typed.decode_hit(&bad).is_err());
+        // ...unless the selection asked for Option<String>.
+        let lenient = TypedQuery::builder("Plates")
+            .object(&car)
+            .select((
+                car.track_id(),
+                car.prop::<String>("plate").unwrap().optional(),
+            ))
+            .build()
+            .unwrap();
+        let decoded = lenient.decode_hit(&bad).unwrap();
+        assert_eq!(decoded.rows, vec![(3i64, None)]);
+    }
+
+    #[test]
+    fn video_only_queries_build_without_select() {
+        let schema = vehicle();
+        let car = schema.alias("car");
+        let q = TypedQuery::builder("Count")
+            .object(&car)
+            .filter(car.score().gt(0.5))
+            .count_distinct_tracks(&car)
+            .build()
+            .unwrap();
+        assert!(q.query().video_output().is_some());
+        assert!(q.query().frame_output().is_empty());
+    }
+
+    #[test]
+    fn mismatched_marker_schema_fails_at_build_not_panic() {
+        // Pairing the Vehicle marker with an unrelated raw schema is a
+        // caller error, but it must surface as a typed build-time error.
+        let bogus: Schema<crate::frontend::library::Vehicle> = Schema::new(
+            VObjSchema::builder("Ball")
+                .class_labels(&["ball"])
+                .detector("yolox")
+                .build(),
+        );
+        let ball = bogus.alias("b");
+        let err = TypedQuery::builder("Bad")
+            .object(&ball)
+            .filter(ball.color().eq("red"))
+            .build()
+            .unwrap_err();
+        match err {
+            VqpyError::UnknownProperty { schema, property } => {
+                assert_eq!(schema, "Ball");
+                assert_eq!(property, "color");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_extension_registration_validates() {
+        let reg = ExtensionRegistry::new();
+        let schema = vehicle();
+        reg.register_specialized_nn_on(&schema, "red_car_detector", "color", "red")
+            .unwrap();
+        assert_eq!(reg.specialized_for(|n| n == "Vehicle").len(), 1);
+
+        // Typo'd property: typed error, nothing registered.
+        assert!(matches!(
+            reg.register_specialized_nn_on(&schema, "d", "colour", "red"),
+            Err(VqpyError::UnknownProperty { .. })
+        ));
+        // Wrong-kinded literal against a declared Str property; the error
+        // names both kinds.
+        match reg
+            .register_specialized_nn_on(&schema, "d", "color", 3.0f64)
+            .unwrap_err()
+        {
+            VqpyError::ExtensionKindMismatch {
+                declared, literal, ..
+            } => {
+                assert_eq!(declared, ValueKind::Str);
+                assert_eq!(literal, ValueKind::Float);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(reg.specialized_for(|n| n == "Vehicle").len(), 1);
+
+        reg.register_binary_filter_on(&schema, "no_red_on_road");
+        assert_eq!(reg.binary_for(|n| n == "Vehicle").len(), 1);
+    }
+}

@@ -190,6 +190,18 @@ pub enum ResolvedProperty<'a> {
     Builtin(BuiltinProp),
 }
 
+impl ResolvedProperty<'_> {
+    /// The declared value kind, if known: built-ins always know theirs;
+    /// defined properties know it when the schema author stated one via
+    /// [`PropertyDef::with_kind`](crate::frontend::property::PropertyDef::with_kind).
+    pub fn declared_kind(&self) -> Option<vqpy_models::ValueKind> {
+        match self {
+            ResolvedProperty::Defined(d) => d.value_kind,
+            ResolvedProperty::Builtin(b) => Some(b.kind()),
+        }
+    }
+}
+
 /// Builder for [`VObjSchema`].
 #[derive(Debug)]
 pub struct VObjSchemaBuilder {

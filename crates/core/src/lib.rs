@@ -57,5 +57,8 @@ pub use extend::{BinaryFilterReg, ExtensionRegistry, FrameFilterReg, Specialized
 pub use frontend::compose::{duration_query, spatial_query, temporal_query, QueryExpr};
 pub use frontend::predicate::{CmpOp, Pred, PropRef};
 pub use frontend::query::{Aggregate, Query, QueryBuilder};
+pub use frontend::typed::{
+    Alias, Prop, Schema, Select, TypedHit, TypedQuery, TypedQueryBuilder, TypedResult,
+};
 pub use frontend::vobj::VObjSchema;
 pub use session::{ComposedResult, SessionConfig, VqpySession};

@@ -1,0 +1,544 @@
+//! Decoding dynamic [`Value`]s into typed Rust values.
+//!
+//! The typed frontend projects query results as rows of `(column, Value)`
+//! pairs; the [`FromValue`]/[`FromRow`] trait family turns those rows into
+//! tuples or user structs. Decoding is *strict*: asking for an `f32` from a
+//! string plate is a [`DecodeError`], never a panic and never a silent
+//! coercion (the only coercion allowed is the numeric `Int` → `Float` view
+//! that [`Value::as_f64`] already performs).
+
+use crate::value::{Value, ValueKind};
+use std::fmt;
+use vqpy_video::geometry::{BBox, Point};
+
+/// A typed decode failed: the value (or row shape) did not match the
+/// requested Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The column the failure occurred in (`alias.prop`), when known.
+    pub column: Option<String>,
+    /// What the decoder was asked to produce (e.g. `"f32"`).
+    pub expected: &'static str,
+    /// What it found instead (a [`ValueKind`] name, `"null"`, or a row
+    /// shape description).
+    pub found: String,
+}
+
+impl DecodeError {
+    /// A mismatch between a requested type and an actual value.
+    pub fn mismatch(expected: &'static str, actual: &Value) -> Self {
+        Self {
+            column: None,
+            expected,
+            found: match actual.kind() {
+                Some(k) => k.to_string(),
+                None => "null".to_owned(),
+            },
+        }
+    }
+
+    /// A missing column in a row.
+    pub fn missing_column(column: &str, expected: &'static str) -> Self {
+        Self {
+            column: Some(column.to_owned()),
+            expected,
+            found: "no such column".to_owned(),
+        }
+    }
+
+    /// A row whose column count does not match the requested tuple arity.
+    pub fn arity(expected: &'static str, found_cols: usize) -> Self {
+        Self {
+            column: None,
+            expected,
+            found: format!("row with {found_cols} columns"),
+        }
+    }
+
+    /// Attaches the column name the failure occurred in.
+    pub fn in_column(mut self, column: &str) -> Self {
+        self.column = Some(column.to_owned());
+        self
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            Some(c) => write!(
+                f,
+                "cannot decode column `{c}` as {}: found {}",
+                self.expected, self.found
+            ),
+            None => write!(f, "cannot decode {} from {}", self.expected, self.found),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A type that can be decoded from a single [`Value`].
+///
+/// `accepts` is the *static* half of the contract: the typed frontend calls
+/// it when a `Prop<T>` handle is minted, against the property's declared
+/// [`ValueKind`], so a wrong-typed handle is rejected at build time.
+/// `from_value` is the runtime half, used on every decoded row.
+pub trait FromValue: Sized {
+    /// Human-readable name of the Rust type, for error messages.
+    fn type_name() -> &'static str;
+
+    /// Whether a value of `kind` can decode into `Self`.
+    fn accepts(kind: ValueKind) -> bool;
+
+    /// Decodes a value, strictly.
+    fn from_value(v: &Value) -> Result<Self, DecodeError>;
+}
+
+impl FromValue for bool {
+    fn type_name() -> &'static str {
+        "bool"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        kind == ValueKind::Bool
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_bool()
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for i64 {
+    fn type_name() -> &'static str {
+        "i64"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        kind == ValueKind::Int
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_i64()
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for f64 {
+    fn type_name() -> &'static str {
+        "f64"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        matches!(kind, ValueKind::Float | ValueKind::Int)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_f64()
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for f32 {
+    fn type_name() -> &'static str {
+        "f32"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        matches!(kind, ValueKind::Float | ValueKind::Int)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for String {
+    fn type_name() -> &'static str {
+        "String"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        kind == ValueKind::Str
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for Point {
+    fn type_name() -> &'static str {
+        "Point"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        kind == ValueKind::Point
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_point()
+            .copied()
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for BBox {
+    fn type_name() -> &'static str {
+        "BBox"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        kind == ValueKind::BBox
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_bbox()
+            .copied()
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+impl FromValue for Vec<f32> {
+    fn type_name() -> &'static str {
+        "Vec<f32>"
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        kind == ValueKind::FloatVec
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        v.as_float_vec()
+            .map(<[f32]>::to_vec)
+            .ok_or_else(|| DecodeError::mismatch(Self::type_name(), v))
+    }
+}
+
+/// Identity decode: keep the dynamic value (the escape hatch for columns
+/// whose type varies).
+impl FromValue for Value {
+    fn type_name() -> &'static str {
+        "Value"
+    }
+
+    fn accepts(_kind: ValueKind) -> bool {
+        true
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        Ok(v.clone())
+    }
+}
+
+/// `Null` decodes to `None`; anything else must decode as `T`.
+impl<T: FromValue> FromValue for Option<T> {
+    fn type_name() -> &'static str {
+        T::type_name()
+    }
+
+    fn accepts(kind: ValueKind) -> bool {
+        T::accepts(kind)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DecodeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+/// A borrowed view of one output row: ordered `(column, Value)` pairs where
+/// columns are `alias.prop` names.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    cols: &'a [(String, Value)],
+}
+
+impl<'a> Row<'a> {
+    /// Wraps a slice of `(column, value)` pairs.
+    pub fn new(cols: &'a [(String, Value)]) -> Self {
+        Self { cols }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` when the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Column names in row order.
+    pub fn columns(&self) -> impl Iterator<Item = &'a str> {
+        self.cols.iter().map(|(c, _)| c.as_str())
+    }
+
+    /// The raw value of a named column.
+    pub fn value(&self, column: &str) -> Option<&'a Value> {
+        self.cols.iter().find(|(c, _)| c == column).map(|(_, v)| v)
+    }
+
+    /// Decodes a named column (for struct-style [`FromRow`] impls).
+    pub fn get<T: FromValue>(&self, column: &str) -> Result<T, DecodeError> {
+        match self.value(column) {
+            Some(v) => T::from_value(v).map_err(|e| e.in_column(column)),
+            None => Err(DecodeError::missing_column(column, T::type_name())),
+        }
+    }
+
+    /// Decodes the column at `index` (for positional tuple decoding).
+    pub fn at<T: FromValue>(&self, index: usize) -> Result<T, DecodeError> {
+        match self.cols.get(index) {
+            Some((c, v)) => T::from_value(v).map_err(|e| e.in_column(c)),
+            None => Err(DecodeError::arity(T::type_name(), self.cols.len())),
+        }
+    }
+}
+
+/// A type that can be decoded from a whole output row.
+///
+/// Tuples of [`FromValue`] types decode *positionally* (the typed query's
+/// `select(...)` fixes the column order); user structs implement this by
+/// name via [`Row::get`].
+pub trait FromRow: Sized {
+    /// Decodes one row.
+    fn from_row(row: Row<'_>) -> Result<Self, DecodeError>;
+}
+
+/// The empty selection: accepts any row shape (used by queries that only
+/// declare a video-level aggregate).
+impl FromRow for () {
+    fn from_row(_row: Row<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_from_row_tuple {
+    ($n:expr, $( $t:ident : $i:expr ),+) => {
+        impl<$( $t: FromValue ),+> FromRow for ($( $t, )+) {
+            fn from_row(row: Row<'_>) -> Result<Self, DecodeError> {
+                if row.len() != $n {
+                    return Err(DecodeError::arity(
+                        concat!("tuple of ", $n, " columns"),
+                        row.len(),
+                    ));
+                }
+                Ok(($( row.at::<$t>($i)?, )+))
+            }
+        }
+    };
+}
+
+impl_from_row_tuple!(1, A: 0);
+impl_from_row_tuple!(2, A: 0, B: 1);
+impl_from_row_tuple!(3, A: 0, B: 1, C: 2);
+impl_from_row_tuple!(4, A: 0, B: 1, C: 2, D: 3);
+impl_from_row_tuple!(5, A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_from_row_tuple!(6, A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_from_row_tuple!(7, A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_from_row_tuple!(8, A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_of(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
+        pairs
+            .iter()
+            .map(|(c, v)| (c.to_string(), v.clone()))
+            .collect()
+    }
+
+    // Round-trip every Value variant through its natural Rust type.
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn int_round_trip() {
+        assert_eq!(i64::from_value(&Value::Int(42)), Ok(42));
+        // No silent float truncation.
+        assert!(i64::from_value(&Value::Float(42.0)).is_err());
+        assert!(i64::from_value(&Value::from("42")).is_err());
+    }
+
+    #[test]
+    fn float_round_trip_with_int_coercion() {
+        assert_eq!(f64::from_value(&Value::Float(2.5)), Ok(2.5));
+        assert_eq!(f64::from_value(&Value::Int(3)), Ok(3.0));
+        assert_eq!(f32::from_value(&Value::Float(2.5)), Ok(2.5f32));
+        assert_eq!(f32::from_value(&Value::Int(3)), Ok(3.0f32));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        assert_eq!(
+            String::from_value(&Value::from("red")),
+            Ok("red".to_owned())
+        );
+        assert!(String::from_value(&Value::Float(1.0)).is_err());
+    }
+
+    #[test]
+    fn point_round_trip() {
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(Point::from_value(&Value::Point(p)), Ok(p));
+        assert!(Point::from_value(&Value::BBox(BBox::new(0.0, 0.0, 1.0, 1.0))).is_err());
+    }
+
+    #[test]
+    fn bbox_round_trip() {
+        let b = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(BBox::from_value(&Value::BBox(b)), Ok(b));
+        assert!(BBox::from_value(&Value::Point(Point::new(0.0, 0.0))).is_err());
+    }
+
+    #[test]
+    fn float_vec_round_trip() {
+        let v = vec![1.0f32, 2.0];
+        assert_eq!(Vec::<f32>::from_value(&Value::FloatVec(v.clone())), Ok(v));
+        assert!(Vec::<f32>::from_value(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn value_identity_accepts_everything_including_null() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::from("x"),
+            Value::Point(Point::new(0.0, 0.0)),
+            Value::BBox(BBox::new(0.0, 0.0, 1.0, 1.0)),
+            Value::FloatVec(vec![1.0]),
+        ] {
+            assert_eq!(Value::from_value(&v), Ok(v.clone()));
+        }
+    }
+
+    #[test]
+    fn option_maps_null_to_none() {
+        assert_eq!(Option::<i64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<i64>::from_value(&Value::Int(7)), Ok(Some(7)));
+        // A present-but-mistyped value is still an error, not None.
+        assert!(Option::<i64>::from_value(&Value::from("7")).is_err());
+    }
+
+    #[test]
+    fn lossy_request_is_an_error_not_a_panic() {
+        // The satellite case: asking for f32 from a string plate.
+        let err = f32::from_value(&Value::from("AB-1234")).unwrap_err();
+        assert_eq!(err.expected, "f32");
+        assert_eq!(err.found, "str");
+        assert!(err.to_string().contains("f32"));
+    }
+
+    #[test]
+    fn null_fails_non_optional_decodes() {
+        let err = String::from_value(&Value::Null).unwrap_err();
+        assert_eq!(err.found, "null");
+    }
+
+    #[test]
+    fn accepts_matches_from_value_behavior() {
+        // For every (type, kind) pair, accepts() == from_value() succeeding
+        // on a representative value of that kind.
+        let samples = [
+            (ValueKind::Bool, Value::Bool(true)),
+            (ValueKind::Int, Value::Int(1)),
+            (ValueKind::Float, Value::Float(1.0)),
+            (ValueKind::Str, Value::from("s")),
+            (ValueKind::Point, Value::Point(Point::new(0.0, 0.0))),
+            (ValueKind::BBox, Value::BBox(BBox::new(0.0, 0.0, 1.0, 1.0))),
+            (ValueKind::FloatVec, Value::FloatVec(vec![1.0])),
+        ];
+        fn check<T: FromValue>(samples: &[(ValueKind, Value)]) {
+            for (kind, v) in samples {
+                assert_eq!(
+                    T::accepts(*kind),
+                    T::from_value(v).is_ok(),
+                    "{} vs {kind}",
+                    T::type_name()
+                );
+            }
+        }
+        check::<bool>(&samples);
+        check::<i64>(&samples);
+        check::<f64>(&samples);
+        check::<f32>(&samples);
+        check::<String>(&samples);
+        check::<Point>(&samples);
+        check::<BBox>(&samples);
+        check::<Vec<f32>>(&samples);
+        check::<Value>(&samples);
+    }
+
+    #[test]
+    fn row_positional_tuple_decode() {
+        let cols = row_of(&[
+            ("car.track_id", Value::Int(3)),
+            ("car.plate", Value::from("AB-1234")),
+        ]);
+        let (t, p): (i64, String) = FromRow::from_row(Row::new(&cols)).unwrap();
+        assert_eq!(t, 3);
+        assert_eq!(p, "AB-1234");
+    }
+
+    #[test]
+    fn row_arity_mismatch_is_an_error() {
+        let cols = row_of(&[("car.track_id", Value::Int(3))]);
+        let res: Result<(i64, String), _> = FromRow::from_row(Row::new(&cols));
+        let err = res.unwrap_err();
+        assert!(err.found.contains("1 columns"), "{err}");
+    }
+
+    #[test]
+    fn row_named_access_for_structs() {
+        #[derive(Debug)]
+        struct PlateRow {
+            track: i64,
+            plate: String,
+        }
+        impl FromRow for PlateRow {
+            fn from_row(row: Row<'_>) -> Result<Self, DecodeError> {
+                Ok(Self {
+                    track: row.get("car.track_id")?,
+                    plate: row.get("car.plate")?,
+                })
+            }
+        }
+        let cols = row_of(&[
+            ("car.track_id", Value::Int(9)),
+            ("car.plate", Value::from("XY-0001")),
+        ]);
+        let r = PlateRow::from_row(Row::new(&cols)).unwrap();
+        assert_eq!(r.track, 9);
+        assert_eq!(r.plate, "XY-0001");
+
+        let missing = PlateRow::from_row(Row::new(&cols[..1]));
+        let err = missing.unwrap_err();
+        assert_eq!(err.column.as_deref(), Some("car.plate"));
+    }
+
+    #[test]
+    fn decode_error_names_the_column() {
+        let cols = row_of(&[("car.plate", Value::from("AB-1234"))]);
+        let res: Result<(f32,), _> = FromRow::from_row(Row::new(&cols));
+        let err = res.unwrap_err();
+        assert_eq!(err.column.as_deref(), Some("car.plate"));
+        assert!(err.to_string().contains("car.plate"));
+    }
+}

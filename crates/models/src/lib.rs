@@ -35,6 +35,7 @@
 
 pub mod classifiers;
 pub mod clock;
+pub mod decode;
 pub mod detection;
 pub mod detectors;
 pub mod frame_filters;
@@ -44,10 +45,11 @@ pub mod value;
 pub mod zoo;
 
 pub use clock::{ChargeStat, Clock, ClockMode, CostUnits, DeviceModel};
+pub use decode::{DecodeError, FromRow, FromValue, Row};
 pub use detection::{det_rng, Detection};
 pub use traits::{
     Classifier, Detector, FrameClassifier, HoiModel, HoiTriple, ModelProfile, TaskKind,
     BATCH_OVERHEAD_FRACTION,
 };
-pub use value::Value;
+pub use value::{Value, ValueKind};
 pub use zoo::{LookupModelError, ModelZoo};

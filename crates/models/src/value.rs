@@ -23,10 +23,66 @@ pub enum Value {
     FloatVec(Vec<f32>),
 }
 
+/// The runtime kind of a non-null [`Value`]. Schemas declare a kind per
+/// property so typed handles (`Prop<T>`) can be checked when they are
+/// minted, long before any frame is decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// [`Value::Bool`].
+    Bool,
+    /// [`Value::Int`].
+    Int,
+    /// [`Value::Float`].
+    Float,
+    /// [`Value::Str`].
+    Str,
+    /// [`Value::Point`].
+    Point,
+    /// [`Value::BBox`].
+    BBox,
+    /// [`Value::FloatVec`].
+    FloatVec,
+}
+
+impl ValueKind {
+    /// The kind's lowercase name, for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueKind::Bool => "bool",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+            ValueKind::Point => "point",
+            ValueKind::BBox => "bbox",
+            ValueKind::FloatVec => "float_vec",
+        }
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl Value {
     /// `true` for [`Value::Null`].
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
+    }
+
+    /// The value's kind; `None` for [`Value::Null`].
+    pub fn kind(&self) -> Option<ValueKind> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(ValueKind::Bool),
+            Value::Int(_) => Some(ValueKind::Int),
+            Value::Float(_) => Some(ValueKind::Float),
+            Value::Str(_) => Some(ValueKind::Str),
+            Value::Point(_) => Some(ValueKind::Point),
+            Value::BBox(_) => Some(ValueKind::BBox),
+            Value::FloatVec(_) => Some(ValueKind::FloatVec),
+        }
     }
 
     /// Boolean view; `None` for non-bool values.
@@ -191,6 +247,12 @@ impl From<BBox> for Value {
 impl From<Point> for Value {
     fn from(p: Point) -> Self {
         Value::Point(p)
+    }
+}
+
+impl From<Vec<f32>> for Value {
+    fn from(v: Vec<f32>) -> Self {
+        Value::FloatVec(v)
     }
 }
 

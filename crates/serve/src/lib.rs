@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod server;
 pub mod subscription;
 pub mod supervisor;
+pub mod typed;
 
 pub use batcher::{BatchedDispatch, BatcherConfig, BatcherStats, ModelBatcher};
 pub use engine::StreamEngine;
@@ -75,3 +76,4 @@ pub use supervisor::{
     AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamSupervisor,
     SupervisorConfig,
 };
+pub use typed::{TypedServeEvent, TypedSubscription};

@@ -1,0 +1,211 @@
+//! Typed live subscriptions: the serving half of the typed frontend.
+//!
+//! [`StreamServer::attach_typed`] (and
+//! [`StreamSupervisor::attach_typed`]) accept a
+//! [`TypedQuery<R>`](vqpy_core::TypedQuery) and return a
+//! [`TypedSubscription<R>`] that decodes every
+//! [`ServeEvent::Hit`] into rows of `R` — live consumers never touch
+//! `(String, Value)` pairs. The wrapper delivers the *exact* event
+//! sequence of the underlying untyped [`Subscription`] (the equivalence
+//! tests prove it);
+//! decoding failures surface as [`DecodeError`]s, never panics.
+
+use crate::server::{ServeResult, StreamId, StreamServer};
+use crate::subscription::{ServeEvent, Subscription, SubscriptionClosed, SubscriptionId};
+use crate::supervisor::{AttachError, StreamSupervisor};
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+use vqpy_core::{TypedHit, TypedQuery};
+use vqpy_models::{DecodeError, FromRow, Value};
+
+/// A decoded incremental result event: the typed counterpart of
+/// [`ServeEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypedServeEvent<R> {
+    /// A frame matched the query, with its decoded rows.
+    Hit(TypedHit<R>),
+    /// The stream ended; carries the final video aggregate, if declared.
+    End {
+        /// The query's video-level aggregate over the frames observed
+        /// since attach.
+        video_value: Option<Value>,
+    },
+    /// The query was detached at a batch boundary.
+    Detached {
+        /// The aggregate up to the detach boundary, if declared.
+        video_value: Option<Value>,
+    },
+}
+
+/// The receiving end of one typed attached query: a
+/// [`Subscription`] that decodes each hit into `R` on receipt.
+///
+/// Dropping it has the same semantics as dropping the untyped
+/// subscription: the channel closes but the query keeps executing until
+/// detached.
+#[derive(Debug)]
+pub struct TypedSubscription<R> {
+    inner: Subscription,
+    _row: PhantomData<fn() -> R>,
+}
+
+impl<R: FromRow> TypedSubscription<R> {
+    /// Wraps an untyped subscription. The caller asserts the underlying
+    /// query's frame output decodes as `R` (which
+    /// [`StreamServer::attach_typed`] guarantees by construction); a wrong
+    /// assertion surfaces as a [`DecodeError`] on the first hit.
+    pub fn wrap(inner: Subscription) -> Self {
+        Self {
+            inner,
+            _row: PhantomData,
+        }
+    }
+
+    /// This subscription's identifier (pass to `detach`).
+    pub fn id(&self) -> SubscriptionId {
+        self.inner.id()
+    }
+
+    /// Name of the subscribed query.
+    pub fn query_name(&self) -> &str {
+        self.inner.query_name()
+    }
+
+    /// Blocks for the next event, decoded. `None` once the channel is
+    /// closed (after `End`/`Detached` was consumed or the stream was
+    /// dropped).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use vqpy_core::frontend::library;
+    /// use vqpy_core::{TypedQuery, VqpySession};
+    /// use vqpy_models::ModelZoo;
+    /// use vqpy_serve::{ServeConfig, ServeSession, TypedServeEvent};
+    /// use vqpy_video::{presets, Scene, SyntheticVideo};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    /// let server = Arc::new(session.serve(ServeConfig::default()));
+    /// let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 2.0));
+    /// let stream = server.open_stream(Arc::new(video));
+    ///
+    /// let car = library::vehicle().alias("car");
+    /// let query = TypedQuery::builder("AnyCar")
+    ///     .object(&car)
+    ///     .filter(car.score().gt(0.5))
+    ///     .select((car.track_id().optional(), car.bbox()))
+    ///     .build()?;
+    /// let sub = server.attach_typed(stream, &query)?;
+    ///
+    /// let driver = {
+    ///     let server = Arc::clone(&server);
+    ///     std::thread::spawn(move || server.run_to_end(stream).unwrap())
+    /// };
+    /// let mut rows = 0;
+    /// while let Some(event) = sub.recv() {
+    ///     match event? {
+    ///         TypedServeEvent::Hit(hit) => rows += hit.rows.len(),
+    ///         TypedServeEvent::End { .. } | TypedServeEvent::Detached { .. } => break,
+    ///     }
+    /// }
+    /// driver.join().unwrap();
+    /// # let _ = rows;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn recv(&self) -> Option<Result<TypedServeEvent<R>, DecodeError>> {
+        self.inner.recv().map(decode_event)
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no event is ready yet.
+    pub fn try_recv(
+        &self,
+    ) -> Result<Option<Result<TypedServeEvent<R>, DecodeError>>, SubscriptionClosed> {
+        Ok(self.inner.try_recv()?.map(decode_event))
+    }
+
+    /// Blocks up to `timeout`; `Ok(None)` on timeout.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<Result<TypedServeEvent<R>, DecodeError>>, SubscriptionClosed> {
+        Ok(self.inner.recv_timeout(timeout)?.map(decode_event))
+    }
+
+    /// Drains to the terminal event, returning every decoded hit plus the
+    /// final video aggregate. Blocks until the stream ends or the query is
+    /// detached; the first decode failure aborts the drain.
+    pub fn collect(self) -> Result<(Vec<TypedHit<R>>, Option<Value>), DecodeError> {
+        let mut hits = Vec::new();
+        let mut video_value = None;
+        while let Some(event) = self.inner.recv() {
+            match decode_event::<R>(event)? {
+                TypedServeEvent::Hit(h) => hits.push(h),
+                TypedServeEvent::End { video_value: v }
+                | TypedServeEvent::Detached { video_value: v } => {
+                    video_value = v;
+                    break;
+                }
+            }
+        }
+        Ok((hits, video_value))
+    }
+
+    /// Unwraps back to the untyped subscription (raw `ServeEvent`s).
+    pub fn into_inner(self) -> Subscription {
+        self.inner
+    }
+}
+
+fn decode_event<R: FromRow>(event: ServeEvent) -> Result<TypedServeEvent<R>, DecodeError> {
+    Ok(match event {
+        ServeEvent::Hit(hit) => {
+            TypedServeEvent::Hit(vqpy_core::frontend::typed::decode_frame_hit(&hit)?)
+        }
+        ServeEvent::End { video_value } => TypedServeEvent::End { video_value },
+        ServeEvent::Detached { video_value } => TypedServeEvent::Detached { video_value },
+    })
+}
+
+impl StreamServer {
+    /// Attaches a typed query to a stream; events arrive decoded as `R`.
+    /// The underlying attachment is exactly
+    /// [`attach`](StreamServer::attach) with the typed query's inner
+    /// `Arc<Query>`, so sharing, recompilation, and backpressure behave
+    /// identically to the stringly path.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`attach`](StreamServer::attach).
+    pub fn attach_typed<R: FromRow>(
+        &self,
+        stream: StreamId,
+        query: &TypedQuery<R>,
+    ) -> ServeResult<TypedSubscription<R>> {
+        Ok(TypedSubscription::wrap(
+            self.attach(stream, Arc::clone(query.query()))?,
+        ))
+    }
+}
+
+impl StreamSupervisor {
+    /// Attaches a typed query to a supervised stream, subject to the same
+    /// [`ServePolicy`](crate::ServePolicy) admission control as
+    /// [`attach`](StreamSupervisor::attach).
+    ///
+    /// # Errors
+    ///
+    /// The same [`AttachError`]s as [`attach`](StreamSupervisor::attach).
+    pub fn attach_typed<R: FromRow>(
+        &self,
+        stream: StreamId,
+        query: &TypedQuery<R>,
+    ) -> Result<TypedSubscription<R>, AttachError> {
+        Ok(TypedSubscription::wrap(
+            self.attach(stream, Arc::clone(query.query()))?,
+        ))
+    }
+}

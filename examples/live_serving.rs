@@ -1,45 +1,57 @@
 //! Live serving demo: a `StreamSupervisor` drives two paced camera streams
 //! on its own worker threads — with cross-stream model batching — while
-//! queries attach and detach at runtime.
+//! *typed* queries attach and detach at runtime: consumers receive decoded
+//! rows through `TypedSubscription`s, never `(String, Value)` pairs.
 //!
 //! Run with `cargo run --example live_serving`. The program exits cleanly
 //! when both streams end: every subscription is drained on its own thread,
 //! so no channel ever blocks the shutdown.
 
 use std::sync::Arc;
-use vqpy::core::frontend::{library, predicate::Pred};
-use vqpy::core::{Aggregate, Query, SessionConfig, VqpySession};
-use vqpy::models::ModelZoo;
-use vqpy::serve::{
-    BatcherConfig, PaceMode, ServeConfig, ServeEvent, ServePolicy, StreamSupervisor, Subscription,
-    SupervisorConfig,
-};
-use vqpy::video::{presets, Scene, SyntheticVideo};
+use vqpy::api::*;
+use vqpy::serve::{BatcherConfig, ServePolicy};
 
-fn query(name: &str, color: &str) -> Arc<Query> {
-    Query::builder(name)
-        .vobj("car", library::vehicle_schema_intrinsic())
-        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
-        .frame_output(&[("car", "track_id")])
+/// The typed row every car query projects: (track id once tracked, plate).
+type CarRow = (Option<i64>, String);
+
+fn car_query(name: &str, color: &str) -> TypedQuery<CarRow> {
+    let car = library::vehicle_intrinsic().alias("car");
+    TypedQuery::builder(name)
+        .object(&car)
+        .filter(car.score().gt(0.5) & car.color().eq(color))
+        .select((car.track_id().optional(), car.plate()))
         .build()
         .expect("query builds")
 }
 
-/// Drains a subscription on its own thread until its terminal event, so a
-/// slow main thread can never stall the stream (and the stream's end can
-/// never strand a consumer: the channel closes, the thread exits).
-fn consume(label: &'static str, sub: Subscription) -> std::thread::JoinHandle<()> {
+/// Drains a typed subscription on its own thread until its terminal event,
+/// so a slow main thread can never stall the stream (and the stream's end
+/// can never strand a consumer: the channel closes, the thread exits).
+fn consume(label: &'static str, sub: TypedSubscription<CarRow>) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let mut hits = 0u64;
+        let mut plates = std::collections::BTreeSet::new();
         loop {
             match sub.recv() {
-                Some(ServeEvent::Hit(_)) => hits += 1,
-                Some(ServeEvent::End { video_value }) => {
-                    println!("{label}: {hits} hit frames, final aggregate {video_value:?}");
+                Some(Ok(TypedServeEvent::Hit(hit))) => {
+                    hits += 1;
+                    for (_track, plate) in hit.rows {
+                        plates.insert(plate);
+                    }
+                }
+                Some(Ok(TypedServeEvent::End { video_value })) => {
+                    println!(
+                        "{label}: {hits} hit frames, {} distinct plates, final aggregate {video_value:?}",
+                        plates.len()
+                    );
                     break;
                 }
-                Some(ServeEvent::Detached { video_value }) => {
+                Some(Ok(TypedServeEvent::Detached { video_value })) => {
                     println!("{label}: detached after {hits} hit frames ({video_value:?})");
+                    break;
+                }
+                Some(Err(e)) => {
+                    println!("{label}: decode error: {e}");
                     break;
                 }
                 None => break, // channel closed without a terminal event
@@ -74,49 +86,64 @@ fn main() {
 
     // Two live "cameras", paced at their capture rate (2x real time here
     // so the demo stays quick) and driven by the supervisor's workers.
-    // Initial queries attach before the first frame executes.
+    // Initial queries attach before the first frame executes; typed
+    // queries hand their lowered Arc<Query> to add_stream and the
+    // subscriptions wrap back into typed ones.
     let jackson_video = SyntheticVideo::new(Scene::generate(presets::jackson(), 11, 30.0));
     let banff_video = SyntheticVideo::new(Scene::generate(presets::banff(), 22, 30.0));
     let pace = PaceMode::Fps(60.0);
 
-    let count_cars = Query::builder("CountCars")
-        .vobj("car", library::vehicle_schema_intrinsic())
-        .frame_constraint(Pred::gt("car", "score", 0.5))
-        .video_output(Aggregate::CountDistinctTracks {
-            alias: "car".into(),
-        })
+    let car = library::vehicle_intrinsic().alias("car");
+    let count_cars = TypedQuery::builder("CountCars")
+        .object(&car)
+        .filter(car.score().gt(0.5))
+        .count_distinct_tracks(&car)
         .build()
         .unwrap();
+    let red = car_query("RedCar", "red");
     let (jackson, jackson_subs) = supervisor
         .add_stream(
             Arc::new(jackson_video),
             pace,
-            &[query("RedCar", "red"), count_cars],
+            &[red.query().clone(), count_cars.query().clone()],
         )
         .expect("admit jackson stream");
     let (banff, banff_subs) = supervisor
-        .add_stream(Arc::new(banff_video), pace, &[query("RedCar", "red")])
+        .add_stream(
+            Arc::new(banff_video),
+            pace,
+            &[car_query("RedCar", "red").query().clone()],
+        )
         .expect("admit banff stream");
 
     let mut consumers = Vec::new();
     let mut jackson_subs = jackson_subs.into_iter();
-    let red_j = jackson_subs.next().unwrap();
-    consumers.push(consume("jackson/CountCars", jackson_subs.next().unwrap()));
-    let red_b = banff_subs.into_iter().next().unwrap();
+    let red_j: TypedSubscription<CarRow> = TypedSubscription::wrap(jackson_subs.next().unwrap());
+    // The counter query projects no rows; drain it untyped.
+    let count_sub = jackson_subs.next().unwrap();
+    consumers.push(std::thread::spawn(move || {
+        let (hits, aggregate) = count_sub.collect();
+        println!(
+            "jackson/CountCars: {} hit frames, final aggregate {aggregate:?}",
+            hits.len()
+        );
+    }));
+    let red_b = TypedSubscription::wrap(banff_subs.into_iter().next().unwrap());
     consumers.push(consume("banff/RedCar", red_b));
 
-    // Change the query set live: a black-car query joins, the red-car
-    // query leaves. The recompile happens at a step boundary; no frames
-    // are dropped and the counter query's results are unaffected. (At
-    // 60fps pace a 32-frame step lands roughly every 0.53s, so by now a
-    // few steps have run and RedCar has results to carry out.)
+    // Change the query set live: a black-car query joins (typed attach →
+    // typed subscription), the red-car query leaves. The recompile happens
+    // at a step boundary; no frames are dropped and the counter query's
+    // results are unaffected. (At 60fps pace a 32-frame step lands roughly
+    // every 0.53s, so by now a few steps have run and RedCar has results
+    // to carry out.)
     std::thread::sleep(std::time::Duration::from_millis(1500));
     println!(
         "jackson load {:?}: attaching BlackCar, detaching RedCar",
         supervisor.load()
     );
     let black_j = supervisor
-        .attach(jackson, query("BlackCar", "black"))
+        .attach_typed(jackson, &car_query("BlackCar", "black"))
         .expect("admitted under calm load");
     supervisor.detach(jackson, red_j.id()).expect("detach");
     consumers.push(consume("jackson/RedCar", red_j));

@@ -1,50 +1,54 @@
 //! Quickstart: the paper's headline example (Figure 5) — retrieve the
-//! license plates of red cars from a surveillance stream.
+//! license plates of red cars from a surveillance stream, authored on the
+//! typed frontend: property handles are validated against the schema when
+//! minted, predicates are compile-checked, and results come back as typed
+//! rows instead of `(String, Value)` pairs.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use vqpy::core::frontend::{library, predicate::Pred};
-use vqpy::core::{Query, VqpySession};
-use vqpy::models::ModelZoo;
-use vqpy::video::{presets, Scene, SyntheticVideo};
+use vqpy::api::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A minute of synthetic Jackson Hole traffic stands in for the camera.
     let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 42, 60.0));
 
     // Figure 5: a police officer retrieves the license plates of red cars.
-    // `Vehicle` comes from the library (Figure 2): yolox detection, a color
-    // model, plate OCR, and a native speed property.
-    let query = Query::builder("RedCarPlates")
-        .vobj("car", library::vehicle_schema_intrinsic())
-        .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
-        .frame_output(&[("car", "track_id"), ("car", "plate"), ("car", "bbox")])
+    // `Vehicle` comes from the library (Figure 2); the intrinsic variant
+    // marks color/plate constant per object, unlocking computation reuse.
+    let car = library::vehicle_intrinsic().alias("car");
+    let query = TypedQuery::builder("RedCarPlates")
+        .object(&car)
+        .filter(car.score().gt(0.6) & car.color().eq("red"))
+        // The selection fixes the typed row: (Option<i64>, String) —
+        // a typo'd property or mismatched type can't reach execution.
+        .select((car.track_id().optional(), car.plate()))
         .build()?;
 
     let session = VqpySession::new(ModelZoo::standard());
-    let result = session.execute(&query, &video)?;
+    let result = query.run(&session, &video)?;
 
     println!(
         "{} frames contain a red car ({} frames scanned, {:.1} virtual ms)",
-        result.frame_hits.len(),
-        result.metrics.frames_total,
-        result.virtual_ms,
+        result.hits.len(),
+        result.raw.metrics.frames_total,
+        result.raw.virtual_ms,
     );
     let mut seen = std::collections::BTreeSet::new();
-    for hit in &result.frame_hits {
-        for combo in &hit.outputs {
-            let track = combo.iter().find(|(k, _)| k == "car.track_id");
-            let plate = combo.iter().find(|(k, _)| k == "car.plate");
-            if let (Some((_, t)), Some((_, p))) = (track, plate) {
-                if seen.insert(t.to_string()) {
-                    println!("  track {t}: plate {p} (first seen frame {})", hit.frame);
+    for hit in &result.hits {
+        for (track, plate) in &hit.rows {
+            if let Some(track) = track {
+                if seen.insert(*track) {
+                    println!(
+                        "  track {track}: plate {plate} (first seen frame {})",
+                        hit.frame
+                    );
                 }
             }
         }
     }
     println!(
         "intrinsic reuse: {:.0}% of color/plate lookups served from cache",
-        result.metrics.reuse.hit_rate() * 100.0
+        result.raw.metrics.reuse.hit_rate() * 100.0
     );
     Ok(())
 }

@@ -2,21 +2,25 @@
 //! queries (a person matching a target feature vector; a red car) joined by
 //! a spatial relation, with the planner building the operator DAG.
 //!
+//! The basic queries are authored on the typed frontend: the suspect's
+//! custom `similarity` property is declared with a `Float` kind, so its
+//! typed handle is checked when minted, and the red-car query composes
+//! library accessors. The higher-order spatial composition takes the
+//! lowered `Arc<Query>`s — typed and stringly queries are interchangeable
+//! below the surface.
+//!
 //! Run with `cargo run --example suspect_red_car`.
 
 use std::sync::Arc;
+use vqpy::api::*;
 use vqpy::core::frontend::compose::spatial_query;
-use vqpy::core::frontend::library;
-use vqpy::core::frontend::predicate::{CmpOp, Pred};
 use vqpy::core::frontend::property::{NativeFn, PropertyDef};
-use vqpy::core::frontend::relation::distance_relation;
-use vqpy::core::frontend::vobj::VObjSchema;
-use vqpy::core::{build_plan, PlanOptions, Query, QueryExpr, VqpySession};
-use vqpy::models::{ModelZoo, Value};
+use vqpy::core::{build_plan, PlanOptions, QueryExpr};
 use vqpy::video::geometry::Point;
-use vqpy::video::{
-    presets, NamedColor, PersonAction, Scene, SceneBuilder, SyntheticVideo, Trajectory, VehicleType,
-};
+use vqpy::video::{NamedColor, PersonAction, SceneBuilder, Trajectory, VehicleType};
+
+/// Marker for the `Suspect` sub-VObj of the library `Person`.
+struct Suspect;
 
 fn scripted_scene() -> (Scene, u64) {
     let preset = presets::jackson();
@@ -87,39 +91,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 None => Value::Null,
             },
         );
-    let suspect_schema = VObjSchema::builder("Suspect")
-        .parent(library::person_schema())
-        .property(PropertyDef::stateless_native(
-            "similarity",
-            &["feature"],
-            false,
-            similarity,
-        ))
-        .build();
+    // Declaring the kind makes the typed handle below checkable at mint
+    // time — `person.prop::<String>("similarity")` would be rejected.
+    let suspect_schema: Schema<Suspect> = Schema::new(
+        VObjSchema::builder("Suspect")
+            .parent(library::person_schema())
+            .property(
+                PropertyDef::stateless_native("similarity", &["feature"], false, similarity)
+                    .with_kind(ValueKind::Float),
+            )
+            .build(),
+    );
 
     // Basic query 1: the suspect.
-    let suspect_q: Arc<Query> = Query::builder("Suspect")
-        .vobj("person", suspect_schema)
-        .frame_constraint(Pred::gt("person", "score", 0.5) & Pred::gt("person", "similarity", 0.8))
-        .frame_output(&[("person", "track_id")])
+    let person = suspect_schema.alias("person");
+    let suspect_q = TypedQuery::builder("Suspect")
+        .object(&person)
+        .filter(person.score().gt(0.5) & person.prop::<f64>("similarity")?.gt(0.8))
+        .select((person.track_id().optional(),))
         .build()?;
     // Basic query 2: the red car, with its plate as output.
-    let red_car_q: Arc<Query> = Query::builder("RedCar")
-        .vobj("car", library::vehicle_schema_intrinsic())
-        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
-        .frame_output(&[("car", "plate")])
+    let car = library::vehicle_intrinsic().alias("car");
+    let red_car_q = TypedQuery::builder("RedCar")
+        .object(&car)
+        .filter(car.score().gt(0.5) & car.color().eq("red"))
+        .select((car.plate(),))
         .build()?;
 
     // The spatial composition (PIntoC): person within reach of the car.
     let rel = distance_relation(
         "near_car",
-        suspect_q.vobj("person").unwrap().schema.clone(),
-        red_car_q.vobj("car").unwrap().schema.clone(),
+        Arc::clone(person.schema()),
+        Arc::clone(car.schema()),
     );
     let p_into_c = spatial_query(
         "SuspectIntoRedCar",
-        &suspect_q,
-        &red_car_q,
+        suspect_q.query(),
+        red_car_q.query(),
         rel,
         "person",
         "car",

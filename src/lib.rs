@@ -2,25 +2,26 @@
 //!
 //! Facade crate for the VQPy reproduction workspace: re-exports the public
 //! API of every member crate so examples and downstream users need a single
-//! dependency.
+//! dependency. The [`api`] module is the curated typed surface — most
+//! programs only need `use vqpy::api::*;`.
 //!
 //! See the README for an overview and `docs/ARCHITECTURE.md` for the
 //! end-to-end walkthrough of every layer.
 //!
 //! ```
-//! use vqpy::core::frontend::{library, predicate::Pred};
-//! use vqpy::core::{Query, VqpySession};
-//! use vqpy::models::ModelZoo;
-//! use vqpy::video::{presets, Scene, SyntheticVideo};
+//! use vqpy::api::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let query = Query::builder("RedCar")
-//!     .vobj("car", library::vehicle_schema())
-//!     .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
+//! let car = library::vehicle().alias("car");
+//! let query = TypedQuery::builder("RedCar")
+//!     .object(&car)
+//!     .filter(car.score().gt(0.6) & car.color().eq("red"))
+//!     .select((car.track_id().optional(), car.bbox()))
 //!     .build()?;
 //! let session = VqpySession::new(ModelZoo::standard());
 //! let video = SyntheticVideo::new(Scene::generate(presets::banff(), 7, 3.0));
-//! let _result = session.execute(&query, &video)?;
+//! let result = query.run(&session, &video)?;
+//! # let _ = result.hits.len();
 //! # Ok(())
 //! # }
 //! ```
@@ -32,3 +33,26 @@ pub use vqpy_serve as serve;
 pub use vqpy_sql as sql;
 pub use vqpy_tracker as tracker;
 pub use vqpy_video as video;
+
+/// The curated typed API surface: everything a typical program needs to
+/// author typed queries, run them offline, and subscribe to them live.
+///
+/// The stringly builder ([`Query::builder`](vqpy_core::Query::builder))
+/// stays available through the same import as the documented escape hatch
+/// for dynamically-shaped queries (e.g. property names arriving from
+/// config files).
+pub mod api {
+    pub use vqpy_core::frontend::library;
+    pub use vqpy_core::frontend::relation::{distance_relation, overlap_relation};
+    pub use vqpy_core::{
+        Aggregate, Alias, CmpOp, ExtensionRegistry, Pred, Prop, PropRef, Query, Schema, Select,
+        SessionConfig, TypedHit, TypedQuery, TypedQueryBuilder, TypedResult, VObjSchema, VqpyError,
+        VqpySession,
+    };
+    pub use vqpy_models::{DecodeError, FromRow, FromValue, ModelZoo, Row, Value, ValueKind};
+    pub use vqpy_serve::{
+        PaceMode, ServeConfig, ServeEvent, ServeSession, StreamServer, StreamSupervisor,
+        Subscription, SupervisorConfig, TypedServeEvent, TypedSubscription,
+    };
+    pub use vqpy_video::{presets, Scene, SyntheticVideo};
+}

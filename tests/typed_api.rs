@@ -1,0 +1,263 @@
+//! Acceptance tests for the typed frontend: a typed query and its stringly
+//! twin are interchangeable — byte-identical `QueryResult`s offline and an
+//! identical `ServeEvent` sequence when served through a
+//! `TypedSubscription` — and typo'd/wrong-typed handles are rejected with
+//! typed errors at handle-creation/build time.
+
+use std::sync::Arc;
+use vqpy::api::*;
+
+fn video(seed: u64, secs: f64) -> SyntheticVideo {
+    SyntheticVideo::new(Scene::generate(presets::jackson(), seed, secs))
+}
+
+type PlateRow = (Option<i64>, String);
+
+/// The typed query under test: red cars with (track_id, plate) rows.
+fn typed_red_car(name: &str) -> TypedQuery<PlateRow> {
+    let car = library::vehicle_intrinsic().alias("car");
+    TypedQuery::builder(name)
+        .object(&car)
+        .filter(car.score().gt(0.6) & car.color().eq("red"))
+        .select((car.track_id().optional(), car.plate()))
+        .build()
+        .expect("typed query builds")
+}
+
+/// Its stringly twin, authored on the escape-hatch builder.
+fn stringly_red_car(name: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.6) & Pred::eq("car", "color", "red"))
+        .frame_output(&[("car", "track_id"), ("car", "plate")])
+        .build()
+        .expect("stringly query builds")
+}
+
+#[test]
+fn typed_query_lowers_to_the_same_query() {
+    let typed = typed_red_car("RedCar");
+    let stringly = stringly_red_car("RedCar");
+    assert_eq!(
+        typed.query().frame_constraint().to_string(),
+        stringly.frame_constraint().to_string()
+    );
+    assert_eq!(typed.query().frame_output(), stringly.frame_output());
+}
+
+#[test]
+fn offline_results_are_byte_identical() {
+    let typed = typed_red_car("RedCar");
+    let stringly = stringly_red_car("RedCar");
+    let video = video(42, 20.0);
+
+    let typed_session = VqpySession::new(ModelZoo::standard());
+    let stringly_session = VqpySession::new(ModelZoo::standard());
+    let typed_raw = typed_session
+        .execute(typed.query(), &video)
+        .expect("typed executes");
+    let stringly_raw = stringly_session
+        .execute(&stringly, &video)
+        .expect("stringly executes");
+
+    // The full hit structure (frames, timestamps, every output pair) and
+    // the aggregate/charged-time must match exactly.
+    assert_eq!(
+        format!("{:?}", typed_raw.frame_hits),
+        format!("{:?}", stringly_raw.frame_hits)
+    );
+    assert_eq!(typed_raw.video_value, stringly_raw.video_value);
+    assert_eq!(typed_raw.virtual_ms, stringly_raw.virtual_ms);
+    assert!(!typed_raw.frame_hits.is_empty(), "workload should match");
+
+    // And the typed decode is a faithful view of the same rows.
+    let decoded = typed.decode_result(typed_raw.clone()).expect("rows decode");
+    assert_eq!(decoded.hits.len(), typed_raw.frame_hits.len());
+    for (typed_hit, raw_hit) in decoded.hits.iter().zip(&typed_raw.frame_hits) {
+        assert_eq!(typed_hit.frame, raw_hit.frame);
+        assert_eq!(typed_hit.rows.len(), raw_hit.outputs.len());
+        for (row, combo) in typed_hit.rows.iter().zip(&raw_hit.outputs) {
+            assert_eq!(combo[0].0, "car.track_id");
+            assert_eq!(combo[1].0, "car.plate");
+            match (&row.0, &combo[0].1) {
+                (Some(t), Value::Int(raw)) => assert_eq!(t, raw),
+                (None, Value::Null) => {}
+                other => panic!("track_id mismatch: {other:?}"),
+            }
+            assert_eq!(Some(row.1.as_str()), combo[1].1.as_str());
+        }
+    }
+}
+
+#[test]
+fn served_event_sequences_are_identical() {
+    use vqpy::serve::{ServeConfig, ServeSession};
+
+    let typed = typed_red_car("RedCarTyped");
+    let stringly = stringly_red_car("RedCar");
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = Arc::new(session.serve(ServeConfig::default()));
+    let stream = server.open_stream(Arc::new(video(42, 10.0)));
+
+    let raw_sub = server.attach(stream, stringly).expect("attach stringly");
+    let typed_sub = server.attach_typed(stream, &typed).expect("attach typed");
+
+    let driver = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run_to_end(stream).unwrap())
+    };
+
+    // Drain both concurrently (bounded channels: a single-threaded drain
+    // of one then the other could deadlock against backpressure).
+    let raw_thread = std::thread::spawn(move || {
+        let mut events = Vec::new();
+        while let Some(e) = raw_sub.recv() {
+            events.push(e);
+        }
+        events
+    });
+    let mut typed_events = Vec::new();
+    while let Some(e) = typed_sub.recv() {
+        typed_events.push(e.expect("typed rows decode"));
+    }
+    let raw_events = raw_thread.join().unwrap();
+    driver.join().unwrap();
+
+    // Same length, and event-by-event the typed stream is the decoded
+    // image of the raw one.
+    assert_eq!(raw_events.len(), typed_events.len());
+    let mut hits = 0;
+    for (raw, typed) in raw_events.iter().zip(&typed_events) {
+        match (raw, typed) {
+            (ServeEvent::Hit(r), TypedServeEvent::Hit(t)) => {
+                hits += 1;
+                assert_eq!(r.frame, t.frame);
+                assert_eq!(r.time_s, t.time_s);
+                assert_eq!(r.outputs.len(), t.rows.len());
+                for (combo, row) in r.outputs.iter().zip(&t.rows) {
+                    match (&row.0, &combo[0].1) {
+                        (Some(track), Value::Int(raw_track)) => assert_eq!(track, raw_track),
+                        (None, Value::Null) => {}
+                        other => panic!("track_id mismatch: {other:?}"),
+                    }
+                    assert_eq!(Some(row.1.as_str()), combo[1].1.as_str());
+                }
+            }
+            (ServeEvent::End { video_value: r }, TypedServeEvent::End { video_value: t }) => {
+                assert_eq!(r, t);
+            }
+            (
+                ServeEvent::Detached { video_value: r },
+                TypedServeEvent::Detached { video_value: t },
+            ) => assert_eq!(r, t),
+            other => panic!("event sequence diverged: {other:?}"),
+        }
+    }
+    assert!(hits > 0, "workload should produce hits");
+}
+
+#[test]
+fn property_typo_is_rejected_when_the_handle_is_minted() {
+    let car = library::vehicle().alias("car");
+    let err = car.prop::<String>("colour").unwrap_err();
+    match err {
+        VqpyError::UnknownProperty { schema, property } => {
+            assert_eq!(schema, "Vehicle");
+            assert_eq!(property, "colour");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    // The message names the schema and property.
+    let msg = car.prop::<String>("colour").unwrap_err().to_string();
+    assert!(msg.contains("Vehicle") && msg.contains("colour"), "{msg}");
+}
+
+#[test]
+fn wrong_typed_handle_is_rejected_when_minted() {
+    let car = library::vehicle().alias("car");
+    let err = car.prop::<f32>("plate").unwrap_err();
+    match err {
+        VqpyError::PropertyTypeMismatch {
+            schema,
+            property,
+            requested,
+            declared,
+        } => {
+            assert_eq!(schema, "Vehicle");
+            assert_eq!(property, "plate");
+            assert_eq!(requested, "f32");
+            assert_eq!(declared, ValueKind::Str);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn stringly_typo_still_fails_at_build_time_with_typed_error() {
+    // The escape hatch keeps the build-time validation: a typo'd property
+    // in a stringly predicate is caught by Query::build.
+    let err = Query::builder("Bad")
+        .vobj("car", library::vehicle_schema())
+        .frame_constraint(Pred::eq("car", "colour", "red"))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, VqpyError::UnknownProperty { .. }));
+}
+
+#[test]
+fn typed_library_speed_query_runs() {
+    let car = library::vehicle().alias("car");
+    let q = library::typed_speed_query("Speeding", &car, 2.0).expect("speed query builds");
+    let session = VqpySession::new(ModelZoo::standard());
+    let result = q.run(&session, &video(7, 8.0)).expect("runs and decodes");
+    for hit in &result.hits {
+        for (_track, bbox) in &hit.rows {
+            assert!(bbox.x2 > bbox.x1 && bbox.y2 > bbox.y1);
+        }
+    }
+}
+
+#[test]
+fn typed_supervisor_attach_decodes_live_rows() {
+    use vqpy::serve::ServePolicy;
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let supervisor = StreamSupervisor::new(
+        Arc::clone(&session),
+        SupervisorConfig {
+            policy: ServePolicy::default(),
+            ..SupervisorConfig::default()
+        },
+    );
+    let typed = typed_red_car("RedCar");
+    // Pace the stream so it is still live when the typed attach lands.
+    let (stream, subs) = supervisor
+        .add_stream(
+            Arc::new(video(42, 12.0)),
+            PaceMode::Fps(120.0),
+            &[typed.query().clone()],
+        )
+        .expect("stream admitted");
+    // Initial subscriptions come back untyped from add_stream; wrap one.
+    let initial: TypedSubscription<PlateRow> =
+        TypedSubscription::wrap(subs.into_iter().next().unwrap());
+    let late = supervisor
+        .attach_typed(stream, &typed_red_car("RedCarLate"))
+        .expect("typed attach while live");
+    let collectors = [
+        std::thread::spawn(move || initial.collect().expect("initial decodes")),
+        std::thread::spawn(move || late.collect().expect("late decodes")),
+    ];
+    supervisor.join_stream(stream).expect("stream completes");
+    let mut total_rows = 0;
+    for c in collectors {
+        let (hits, _aggregate) = c.join().unwrap();
+        for hit in &hits {
+            for (_track, plate) in &hit.rows {
+                total_rows += 1;
+                assert!(!plate.is_empty());
+            }
+        }
+    }
+    assert!(total_rows > 0, "typed rows should arrive live");
+}
