@@ -1,5 +1,5 @@
 //! Multi-stream scaling: N concurrent streams served by a
-//! `StreamSupervisor`, per-stream detect batching (baseline) vs. the
+//! `StreamSupervisor`, per-stream model batching (baseline) vs. the
 //! shared cross-stream `ModelBatcher`, on one *exclusive* simulated
 //! accelerator.
 //!
@@ -7,12 +7,15 @@
 //! serializes model charges on a single device
 //! (`DeviceModel::Exclusive`), so N per-stream engines do not enjoy N
 //! phantom GPUs, and a physical batch realizes its amortized net cost
-//! (`BATCH_OVERHEAD_FRACTION` credited for items after the first) as one
+//! (`BATCH_OVERHEAD_FRACTION` credited for items after the first, plus the
+//! fixed `DISPATCH_LAUNCH_COST` paid once per physical invocation) as one
 //! device sleep. Under that model every stream pays the fixed dispatch
-//! overhead per *its own* small batch in the baseline, while the shared
-//! batcher pays it once per coalesced cross-stream batch — which is
-//! exactly where the scaling gap comes from. Decode and tracker work stay
-//! host-side and overlap the device.
+//! overhead per *its own* small batch in the baseline — and per (stream,
+//! frame) for the non-memoizable `direction` projection, whose crop
+//! batches cannot outgrow a single frame inside one stream — while the
+//! shared batcher pays it once per coalesced cross-stream batch per
+//! (stage, model). That is exactly where the scaling gap comes from.
+//! Decode and tracker work stay host-side and overlap the device.
 //!
 //! Results land in the `"scaling"` section of `BENCH_serve.json`
 //! (co-owned with the multi-query bench via `report::merge_section`).
@@ -22,7 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vqpy_bench::bench_scale;
 use vqpy_bench::report::{merge_section, section, table};
-use vqpy_bench::workloads::red_car_query;
+use vqpy_bench::workloads::straight_car_query;
 use vqpy_core::{ExecConfig, ExecMode, SessionConfig, VqpySession};
 use vqpy_models::{Clock, ClockMode, DeviceModel, ModelZoo};
 use vqpy_serve::{
@@ -66,7 +69,7 @@ fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
             },
             batcher: shared_batcher.then(|| BatcherConfig {
                 max_batch_frames: 64,
-                window: Duration::from_millis(3),
+                window: Duration::from_millis(1),
             }),
             ..SupervisorConfig::default()
         },
@@ -82,7 +85,7 @@ fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
         })
         .collect();
     let total_frames: u64 = videos.iter().map(|v| v.frame_count()).sum();
-    let query = red_car_query();
+    let query = straight_car_query();
 
     let start = Instant::now();
     let ids: Vec<_> = videos
@@ -109,7 +112,8 @@ fn main() {
     let seconds = 30.0 * bench_scale();
     section("Multi-stream scaling (shared cross-stream batcher vs per-stream)");
     println!(
-        "{seconds:.0}s @30fps per stream, RedCar query, pipelined({WORKERS}) engines, \
+        "{seconds:.0}s @30fps per stream, StraightCar query (non-memoizable \
+         direction over every vehicle), pipelined({WORKERS}) engines, \
          batch {BATCH_SIZE}, latency clock on one exclusive device"
     );
 
@@ -127,19 +131,28 @@ fn main() {
             format!("{:.1}", baseline.fps),
             format!("{:.1}", shared.fps),
             format!("{speedup:.3}x"),
-            format!("{:.2}", stats.mean_coalesced()),
+            format!("{:.2}", stats.detect.mean_coalesced()),
+            format!("{:.2}", stats.classify.mean_coalesced()),
             stats.max_batch_frames.to_string(),
         ]);
         json_rows.push(format!(
             "      {{\"streams\": {n}, \"baseline_fps\": {:.2}, \"shared_fps\": {:.2}, \
              \"speedup\": {speedup:.4}, \"baseline_wall_s\": {:.2}, \"shared_wall_s\": {:.2}, \
-             \"mean_coalesced\": {:.2}, \"max_physical_batch_frames\": {}}}",
+             \"mean_coalesced\": {:.2}, \"max_physical_batch_frames\": {}, \
+             \"coalesced_per_stage\": {{\"detect\": {:.2}, \"predict\": {:.2}, \
+             \"classify\": {:.2}}}, \"classify_requests\": {}, \
+             \"classify_physical_batches\": {}}}",
             baseline.fps,
             shared.fps,
             baseline.wall_s,
             shared.wall_s,
             stats.mean_coalesced(),
             stats.max_batch_frames,
+            stats.detect.mean_coalesced(),
+            stats.predict.mean_coalesced(),
+            stats.classify.mean_coalesced(),
+            stats.classify.requests,
+            stats.classify.physical_batches,
         ));
         // The headline property: once several streams contend for the one
         // device, cross-stream coalescing must at least match per-stream
@@ -150,6 +163,10 @@ fn main() {
                 speedup >= 1.0,
                 "shared batcher fell below per-stream baseline at {n} streams: {speedup:.3}x"
             );
+            assert!(
+                stats.classify.requests > 0,
+                "property-stage traffic must route through the batcher"
+            );
         }
     }
     table(
@@ -158,7 +175,8 @@ fn main() {
             "per-stream fps",
             "shared-batcher fps",
             "speedup",
-            "mean coalesced",
+            "detect coalesced",
+            "classify coalesced",
             "max batch",
         ],
         &rows,
@@ -167,10 +185,11 @@ fn main() {
     let value = format!(
         "{{\n    \"bench\": \"serve_multistream_scaling\",\n    \
          \"video_seconds\": {seconds:.1},\n    \"frames_per_stream\": {frames_per_stream},\n    \
-         \"query\": \"RedCar (intrinsic color)\",\n    \
+         \"query\": \"StraightCar (non-memoizable direction)\",\n    \
          \"exec\": \"pipelined({WORKERS}), batch {BATCH_SIZE}, 4 batches/step\",\n    \
          \"clock\": \"latency, exclusive device\",\n    \
-         \"batcher\": {{\"max_batch_frames\": 64, \"window_ms\": 3}},\n    \
+         \"batcher\": {{\"max_batch_frames\": 64, \"window_ms\": 1, \
+         \"stages\": [\"detect\", \"predict\", \"classify\"]}},\n    \
          \"table\": [\n{}\n    ]\n  }}",
         json_rows.join(",\n"),
     );

@@ -1,0 +1,190 @@
+//! The CI bench-regression gate.
+//!
+//! Reads the *committed* `BENCH_exec.json` / `BENCH_serve.json` baselines,
+//! re-runs the smoke benches (which rewrite those files in the working
+//! tree), and compares the key **ratios** — pipelined-vs-sequential
+//! speedups, the shared-super-plan multi-query speedup, and the
+//! shared-batcher-vs-per-stream scaling speedups per stream count —
+//! against the committed values within a tolerance. Ratios, not absolute
+//! fps: under the virtual-latency clock the serving speedups are
+//! dominated by device sleeps and are near machine-independent; the
+//! pipelined-vs-sequential exec speedups also contain real host work
+//! (decode) and therefore *rise* with core count. The check is one-sided
+//! (fail only below the floor) and the committed baselines are generated
+//! on a deliberately modest 1-core container, so a beefier CI runner
+//! biases toward passing — regenerate the baselines from the CI
+//! artifact, not from a fast dev machine, or the floor loses meaning.
+//! Exits nonzero on regression so CI fails the job; the freshly
+//! generated JSON is left in the working tree for upload as a workflow
+//! artifact.
+//!
+//! Usage: `cargo run --release -p vqpy-bench --bin bench_gate --
+//! [--tolerance 0.15] [--skip-run]`. The bench scale is taken from
+//! `VQPY_BENCH_SCALE` (defaulting to the committed baselines' 0.2) and
+//! passed through to the bench subprocesses — gate and baselines must run
+//! at the same scale for ratios to be comparable.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use vqpy_bench::json::Json;
+
+/// One gated ratio extracted from a report file.
+struct Metric {
+    name: String,
+    value: f64,
+}
+
+struct Comparison {
+    name: String,
+    committed: f64,
+    fresh: f64,
+    floor: f64,
+    ok: bool,
+}
+
+fn read_json(path: &Path) -> Json {
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run from the workspace?)", path.display()));
+    Json::parse(&doc).unwrap_or_else(|| panic!("malformed JSON in {}", path.display()))
+}
+
+/// Pipelined-vs-sequential speedups per query from `BENCH_exec.json`.
+fn exec_metrics(doc: &Json) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(queries) = doc.path("queries").and_then(Json::as_arr) {
+        for q in queries {
+            if let (Some(name), Some(speedup)) = (
+                q.get("query").and_then(Json::as_str),
+                q.get("speedup").and_then(Json::as_f64),
+            ) {
+                out.push(Metric {
+                    name: format!("exec.pipelined_speedup.{name}"),
+                    value: speedup,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Multi-query and multi-stream scaling speedups from `BENCH_serve.json`.
+fn serve_metrics(doc: &Json) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(speedup) = doc.path("multiquery.speedup").and_then(Json::as_f64) {
+        out.push(Metric {
+            name: "serve.multiquery_speedup".into(),
+            value: speedup,
+        });
+    }
+    if let Some(rows) = doc.path("scaling.table").and_then(Json::as_arr) {
+        for row in rows {
+            if let (Some(streams), Some(speedup)) = (
+                row.get("streams").and_then(Json::as_f64),
+                row.get("speedup").and_then(Json::as_f64),
+            ) {
+                out.push(Metric {
+                    name: format!("serve.scaling_speedup.{}_streams", streams as u64),
+                    value: speedup,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn collect(root: &Path) -> Vec<Metric> {
+    let mut metrics = exec_metrics(&read_json(&root.join("BENCH_exec.json")));
+    metrics.extend(serve_metrics(&read_json(&root.join("BENCH_serve.json"))));
+    metrics
+}
+
+fn run_bench(root: &Path, bench: &str, scale: &str) {
+    println!("\n=== bench_gate: running {bench} (scale {scale}) ===");
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(root)
+        .args(["bench", "-p", "vqpy-bench", "--bench", bench])
+        .env("VQPY_BENCH_SCALE", scale)
+        .status()
+        .unwrap_or_else(|e| panic!("spawn cargo bench {bench}: {e}"));
+    assert!(status.success(), "bench {bench} failed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.15f64;
+    let mut skip_run = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance takes a number");
+            }
+            "--skip-run" => skip_run = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let scale = std::env::var("VQPY_BENCH_SCALE").unwrap_or_else(|_| "0.2".into());
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+
+    // Committed baselines first — the bench runs rewrite these files.
+    let committed = collect(&root);
+    assert!(
+        !committed.is_empty(),
+        "no gated metrics found in committed BENCH_*.json"
+    );
+
+    if !skip_run {
+        for bench in ["throughput", "serve", "serve_scale"] {
+            run_bench(&root, bench, &scale);
+        }
+    }
+
+    // Fresh numbers, same extraction.
+    let fresh: Vec<Metric> = collect(&root);
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for m in &committed {
+        let floor = m.value * (1.0 - tolerance);
+        let (fresh_value, ok) = match fresh.iter().find(|f| f.name == m.name) {
+            Some(f) => (f.value, f.value >= floor),
+            None => (f64::NAN, false), // metric vanished from the report
+        };
+        comparisons.push(Comparison {
+            name: m.name.clone(),
+            committed: m.value,
+            fresh: fresh_value,
+            floor,
+            ok,
+        });
+    }
+
+    println!(
+        "\n=== bench_gate: ratio comparison (tolerance -{:.0}%) ===",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<42} {:>10} {:>10} {:>10}  verdict",
+        "metric", "committed", "fresh", "floor"
+    );
+    let mut failed = false;
+    for c in &comparisons {
+        println!(
+            "{:<42} {:>9.3}x {:>9.3}x {:>9.3}x  {}",
+            c.name,
+            c.committed,
+            c.fresh,
+            c.floor,
+            if c.ok { "ok" } else { "REGRESSION" }
+        );
+        failed |= !c.ok;
+    }
+    if failed {
+        eprintln!("\nbench_gate: performance regression against committed BENCH_*.json");
+        std::process::exit(1);
+    }
+    println!("\nbench_gate: all ratios within tolerance");
+}

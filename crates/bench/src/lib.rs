@@ -6,6 +6,7 @@
 //! reproduction; this library provides the common workloads, query
 //! constructors, and table formatting.
 
+pub mod json;
 pub mod report;
 pub mod workloads;
 

@@ -111,6 +111,21 @@ pub fn red_car_query() -> Arc<Query> {
         .expect("red car query is well-formed")
 }
 
+/// The fig13-flavored serving query for the multi-stream scaling bench:
+/// its only model property is the *non-memoizable* `direction` projection,
+/// so post-detect device time is dominated by per-(stream, frame)
+/// property-model traffic over every detected vehicle — the stage
+/// cross-stream batching amortizes (reuse cannot help: direction changes
+/// frame to frame, so it is never intrinsic).
+pub fn straight_car_query() -> Arc<Query> {
+    Query::builder("StraightCar")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "direction", "straight"))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .expect("straight car query is well-formed")
+}
+
 /// The speeding-car query of §5.2 (Figures 22/23).
 pub fn speeding_car_query(threshold: f64) -> Arc<Query> {
     Query::builder("SpeedingCar")

@@ -1,40 +1,102 @@
-//! The injectable detect boundary.
+//! The injectable model-dispatch boundary.
 //!
-//! Every detect-stage model invocation goes through a [`DetectDispatch`]:
-//! the executor hands the dispatcher a detector and the batch's live
-//! frames, and gets per-frame detections back. The default
-//! ([`DirectDispatch`]) calls the detector's own batched entry point — one
-//! physical invocation per (stream, batch), exactly the pre-existing
-//! behavior.
+//! Every model-stage invocation the executors issue goes through a
+//! [`ModelDispatch`]: the executor hands the dispatcher a model handle and
+//! the stage's typed submission — live frames for detect and binary-filter
+//! stages, one frame's crops for classify/projection stages — and gets the
+//! stage's results back. The default ([`DirectDispatch`]) calls the model's
+//! own batched entry point — one physical invocation per (stream, batch)
+//! for frame stages and per (stream, frame) for crop stages, exactly the
+//! pre-existing behavior.
 //!
 //! The indirection exists for the serving layer: a multi-stream supervisor
 //! installs a *shared* dispatcher (`vqpy-serve`'s `ModelBatcher`) that
-//! coalesces frames from many concurrent streams into one physical
-//! `detect_batch` call and demultiplexes the results back, amortizing the
-//! fixed per-invocation dispatch overhead across streams. Because every
-//! simulated detector answers deterministically per frame, routing a frame
-//! through a larger cross-stream batch never changes its detections — only
-//! the charged (and, on an exclusive device, wall-realized) cost.
+//! coalesces submissions from many concurrent streams **per (stage,
+//! model)** into one physical `detect_batch` / `predict_batch` /
+//! `classify_batch_jobs` call and demultiplexes the results back,
+//! amortizing the fixed per-invocation dispatch overhead across streams.
+//! Because every simulated model answers deterministically per (frame,
+//! entity), routing a submission through a larger cross-stream batch never
+//! changes its results — only the charged (and, on an exclusive device,
+//! wall-realized) cost.
 //!
 //! Dispatchers must be [`Send`] + [`Sync`]: the pipelined executor's detect
-//! workers share one dispatcher across threads.
+//! workers share one dispatcher across threads, and the sequential tail
+//! submits classify traffic through the same handle.
 
 use std::sync::Arc;
-use vqpy_models::{Clock, Detection, Detector};
+use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, Value};
 use vqpy_video::frame::Frame;
 
-/// Issues detect-stage model invocations on behalf of the executor.
-pub trait DetectDispatch: Send + Sync {
+/// The model stages whose invocations cross the dispatch boundary. Indexes
+/// per-stage accounting (e.g. the serving batcher's coalesce counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelStage {
+    /// Object detection over live frames (`detect_batch`).
+    Detect,
+    /// Frame-level binary filters over live frames (`predict_batch`).
+    Predict,
+    /// Per-object property models over one frame's crops
+    /// (`classify_batch`).
+    Classify,
+}
+
+impl ModelStage {
+    /// All stages, in a stable order usable for indexed storage.
+    pub const ALL: [ModelStage; 3] = [
+        ModelStage::Detect,
+        ModelStage::Predict,
+        ModelStage::Classify,
+    ];
+
+    /// Stable lowercase name for reports and metrics keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelStage::Detect => "detect",
+            ModelStage::Predict => "predict",
+            ModelStage::Classify => "classify",
+        }
+    }
+
+    /// The stage's position in [`ModelStage::ALL`].
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Issues model-stage invocations on behalf of the executor, one typed
+/// entry point per stage. Implementations must be result-transparent: each
+/// method's return value must equal the model's own batched entry point on
+/// the same submission, regardless of how the physical invocation is
+/// organized.
+pub trait ModelDispatch: Send + Sync {
     /// Runs `detector` over `frames`, returning one detection list per
-    /// frame, in order. Implementations must be result-transparent: the
-    /// returned detections must equal `detector.detect_batch(frames, ..)`
-    /// regardless of how the physical invocation is organized.
-    fn dispatch(
+    /// frame, in order.
+    fn detect(
         &self,
         detector: &Arc<dyn Detector>,
         frames: &[&Frame],
         clock: &Clock,
     ) -> Vec<Vec<Detection>>;
+
+    /// Runs the binary frame classifier over `frames`, returning one
+    /// verdict per frame, in order.
+    fn predict(
+        &self,
+        model: &Arc<dyn FrameClassifier>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Vec<bool>;
+
+    /// Runs the per-object property model over `dets` (crops of `frame`),
+    /// returning one value per detection, in order.
+    fn classify(
+        &self,
+        model: &Arc<dyn Classifier>,
+        frame: &Frame,
+        dets: &[Detection],
+        clock: &Clock,
+    ) -> Vec<Value>;
 }
 
 /// The default boundary: one physical batched invocation per call, issued
@@ -42,14 +104,33 @@ pub trait DetectDispatch: Send + Sync {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DirectDispatch;
 
-impl DetectDispatch for DirectDispatch {
-    fn dispatch(
+impl ModelDispatch for DirectDispatch {
+    fn detect(
         &self,
         detector: &Arc<dyn Detector>,
         frames: &[&Frame],
         clock: &Clock,
     ) -> Vec<Vec<Detection>> {
         detector.detect_batch(frames, clock)
+    }
+
+    fn predict(
+        &self,
+        model: &Arc<dyn FrameClassifier>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Vec<bool> {
+        model.predict_batch(frames, clock)
+    }
+
+    fn classify(
+        &self,
+        model: &Arc<dyn Classifier>,
+        frame: &Frame,
+        dets: &[Detection],
+        clock: &Clock,
+    ) -> Vec<Value> {
+        model.classify_batch(frame, dets, clock)
     }
 }
 
@@ -64,6 +145,7 @@ pub fn direct() -> &'static DirectDispatch {
 mod tests {
     use super::*;
     use vqpy_models::detectors::SimDetector;
+    use vqpy_models::ModelZoo;
     use vqpy_video::presets;
     use vqpy_video::scene::Scene;
     use vqpy_video::source::{SyntheticVideo, VideoSource};
@@ -75,8 +157,41 @@ mod tests {
         let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 5.0));
         let frames: Vec<Frame> = (0..4).map(|i| v.frame(i)).collect();
         let refs: Vec<&Frame> = frames.iter().collect();
-        let a = DirectDispatch.dispatch(&det, &refs, &Clock::new());
+        let a = DirectDispatch.detect(&det, &refs, &Clock::new());
         let b = det.detect_batch(&refs, &Clock::new());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn direct_dispatch_equals_model_entry_points_on_every_stage() {
+        let zoo = ModelZoo::standard();
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 11, 5.0));
+        let frames: Vec<Frame> = (0..3).map(|i| v.frame(i)).collect();
+        let refs: Vec<&Frame> = frames.iter().collect();
+
+        let filter = zoo.frame_classifier("no_red_on_road").unwrap();
+        assert_eq!(
+            DirectDispatch.predict(&filter, &refs, &Clock::new()),
+            filter.predict_batch(&refs, &Clock::new()),
+        );
+
+        let det = zoo.detector("yolox").unwrap();
+        let dets = det.detect(&frames[0], &Clock::new());
+        let clf = zoo.classifier("direction_model").unwrap();
+        assert_eq!(
+            DirectDispatch.classify(&clf, &frames[0], &dets, &Clock::new()),
+            clf.classify_batch(&frames[0], &dets, &Clock::new()),
+        );
+    }
+
+    #[test]
+    fn stage_taxonomy_is_stable() {
+        for (i, s) in ModelStage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(
+            ModelStage::ALL.map(|s| s.name()),
+            ["detect", "predict", "classify"]
+        );
     }
 }

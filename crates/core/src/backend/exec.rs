@@ -25,7 +25,7 @@
 //! keyed by interned symbols, so the steady-state hot loop performs no
 //! per-frame allocations for caching or match bookkeeping.
 
-use crate::backend::dispatch::{DetectDispatch, DirectDispatch};
+use crate::backend::dispatch::{DirectDispatch, ModelDispatch};
 use crate::backend::ops::{
     BinaryFilterOp, DetectOp, DiffFrameFilter, ExecCtx, FilterOp, FrameSlot, JoinOp, OpState,
     Operator, ProjectOp, RelationProjectOp, TrackOp,
@@ -509,13 +509,13 @@ pub struct StageOps {
     pub filters: Vec<Box<dyn Operator>>,
     pub detects: Vec<Vec<Box<dyn Operator>>>,
     pub tail: Vec<Box<dyn Operator>>,
-    /// The detect boundary every driver routes detect-stage model
-    /// invocations through (see [`crate::backend::dispatch`]). Defaults to
-    /// [`DirectDispatch`]; a serving supervisor replaces it with a shared
-    /// cross-stream batcher. Owned here — rather than passed per segment —
-    /// so the boundary survives exactly as long as the stream's operator
-    /// state does.
-    pub detect_dispatch: Arc<dyn DetectDispatch>,
+    /// The model-dispatch boundary every driver routes detect-,
+    /// binary-filter-, and classify-stage model invocations through (see
+    /// [`crate::backend::dispatch`]). Defaults to [`DirectDispatch`]; a
+    /// serving supervisor replaces it with a shared cross-stream batcher.
+    /// Owned here — rather than passed per segment — so the boundary
+    /// survives exactly as long as the stream's operator state does.
+    pub dispatch: Arc<dyn ModelDispatch>,
 }
 
 impl StageOps {
@@ -573,7 +573,7 @@ pub fn instantiate_stage_ops(
             .map(|_| instantiate_ops_with(plan, detect_specs, zoo, symbols))
             .collect::<Result<_>>()?,
         tail: instantiate_ops_with(plan, tail_specs, zoo, symbols)?,
-        detect_dispatch: Arc::new(DirectDispatch),
+        dispatch: Arc::new(DirectDispatch),
     })
 }
 
@@ -665,7 +665,7 @@ fn run_segment_sequential(
     sink: &mut dyn ResultSink,
 ) -> Result<()> {
     let batch = config.batch_size.max(1) as u64;
-    let dispatch = Arc::clone(&ops.detect_dispatch);
+    let dispatch = Arc::clone(&ops.dispatch);
     // Slot workspaces, reused across batches.
     let mut slots: Vec<FrameSlot> = Vec::new();
     let mut index = range.start;
@@ -686,7 +686,7 @@ fn run_segment_sequential(
         }
         {
             let mut ctx = ExecCtx {
-                detect: &*dispatch,
+                dispatch: &*dispatch,
                 zoo,
                 clock,
                 fps: source.fps(),

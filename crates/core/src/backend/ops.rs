@@ -81,10 +81,11 @@ pub struct ExecCtx<'a> {
     pub reuse: &'a mut ReuseCache,
     /// Whether intrinsic-property reuse is enabled (§4.2 toggle).
     pub enable_reuse: bool,
-    /// The detect boundary: how detect-stage model invocations are issued
-    /// (see [`crate::backend::dispatch`]). A serving supervisor swaps in a
+    /// The model-dispatch boundary: how detect-, binary-filter-, and
+    /// classify-stage model invocations are issued (see
+    /// [`crate::backend::dispatch`]). A serving supervisor swaps in a
     /// cross-stream batcher here; everything else uses the direct path.
-    pub detect: &'a dyn crate::backend::dispatch::DetectDispatch,
+    pub dispatch: &'a dyn crate::backend::dispatch::ModelDispatch,
 }
 
 /// Cross-frame operator state, extracted so a serving layer can carry it
@@ -231,7 +232,8 @@ impl Operator for BinaryFilterOp {
     }
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
-        if !self.model.predict(&slot.frame, ctx.clock) {
+        let frames = [&slot.frame];
+        if !ctx.dispatch.predict(&self.model, &frames, ctx.clock)[0] {
             slot.alive = false;
         }
         Ok(())
@@ -243,7 +245,7 @@ impl Operator for BinaryFilterOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
-        let verdicts = self.model.predict_batch(&frames, ctx.clock);
+        let verdicts = ctx.dispatch.predict(&self.model, &frames, ctx.clock);
         for (&i, keep) in live.iter().zip(verdicts) {
             if !keep {
                 slots[i].alive = false;
@@ -303,7 +305,7 @@ impl Operator for DetectOp {
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let frames = [&slot.frame];
-        let per_frame = ctx.detect.dispatch(&self.detector, &frames, ctx.clock);
+        let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock);
         self.populate(slot, &per_frame[0]);
         Ok(())
     }
@@ -314,7 +316,7 @@ impl Operator for DetectOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
-        let per_frame = ctx.detect.dispatch(&self.detector, &frames, ctx.clock);
+        let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock);
         for (&i, detections) in live.iter().zip(&per_frame) {
             self.populate(&mut slots[i], detections);
         }
@@ -583,7 +585,9 @@ impl ProjectOp {
             return Ok(());
         }
         let clf = self.classifier(ctx)?;
-        let values = clf.classify_batch(&slot.frame, &self.pending_dets, ctx.clock);
+        let values = ctx
+            .dispatch
+            .classify(&clf, &slot.frame, &self.pending_dets, ctx.clock);
         for (&id, v) in self.pending_ids.iter().zip(values) {
             if intrinsic && ctx.enable_reuse {
                 if let Some(t) = slot.graph.nodes[id].track_id {
@@ -939,7 +943,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
-            detect: crate::backend::dispatch::direct(),
+            dispatch: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -967,7 +971,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
-            detect: crate::backend::dispatch::direct(),
+            dispatch: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1013,7 +1017,7 @@ mod tests {
         for i in 0..60 {
             let mut slot = FrameSlot::new(v.frame(i));
             let mut ctx = ExecCtx {
-                detect: crate::backend::dispatch::direct(),
+                dispatch: crate::backend::dispatch::direct(),
                 zoo: &zoo,
                 clock: &clock,
                 fps: v.fps(),
@@ -1052,7 +1056,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
-            detect: crate::backend::dispatch::direct(),
+            dispatch: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1076,7 +1080,7 @@ mod tests {
         let (zoo, clock, mut reuse) = ctx_parts();
         let v = video();
         let mut ctx = ExecCtx {
-            detect: crate::backend::dispatch::direct(),
+            dispatch: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1108,7 +1112,7 @@ mod tests {
         let scene = vqpy_video::SceneBuilder::new(presets::banff(), 5.0).build();
         let v = SyntheticVideo::new(scene);
         let mut ctx = ExecCtx {
-            detect: crate::backend::dispatch::direct(),
+            dispatch: crate::backend::dispatch::direct(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),

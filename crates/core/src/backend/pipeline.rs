@@ -166,7 +166,7 @@ pub(crate) fn run_segment_pipelined(
     sink: &mut dyn ResultSink,
 ) -> Result<()> {
     let workers = ops.detects.len().max(1);
-    let dispatch = std::sync::Arc::clone(&ops.detect_dispatch);
+    let dispatch = std::sync::Arc::clone(&ops.dispatch);
     let filter_ops = &mut ops.filters;
     let detect_ops_per_worker = &mut ops.detects;
     let tail_ops = &mut ops.tail;
@@ -243,7 +243,7 @@ pub(crate) fn run_segment_pipelined(
                     while let Some((seq, mut slots)) = reorder.pop_ready() {
                         let outcome = timed(&stages.frame_filters, || {
                             let mut ctx = ExecCtx {
-                                detect: &*dispatch,
+                                dispatch: &*dispatch,
                                 zoo,
                                 clock,
                                 fps: source.fps(),
@@ -282,7 +282,7 @@ pub(crate) fn run_segment_pipelined(
                 while let Some((seq, mut slots)) = recv_coop(filtered_rx, cancel) {
                     let outcome = timed(&stages.detect, || {
                         let mut ctx = ExecCtx {
-                            detect: &*dispatch,
+                            dispatch: &*dispatch,
                             zoo,
                             clock,
                             fps: source.fps(),
@@ -325,7 +325,7 @@ pub(crate) fn run_segment_pipelined(
                     metrics.frames_total += slots.len() as u64;
                     timed(&stages.tail, || {
                         let mut ctx = ExecCtx {
-                            detect: &*dispatch,
+                            dispatch: &*dispatch,
                             zoo,
                             clock,
                             fps: source.fps(),

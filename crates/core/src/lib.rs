@@ -46,7 +46,7 @@ pub mod frontend;
 pub mod scoring;
 pub mod session;
 
-pub use backend::dispatch::{DetectDispatch, DirectDispatch};
+pub use backend::dispatch::{DirectDispatch, ModelDispatch, ModelStage};
 pub use backend::exec::{
     Collector, ExecConfig, ExecMetrics, ExecMode, FrameHit, QueryAccum, QueryResult, ResultSink,
     StageOps,

@@ -49,7 +49,7 @@ pub use decode::{DecodeError, FromRow, FromValue, Row};
 pub use detection::{det_rng, Detection};
 pub use traits::{
     Classifier, Detector, FrameClassifier, HoiModel, HoiTriple, ModelProfile, TaskKind,
-    BATCH_OVERHEAD_FRACTION,
+    BATCH_OVERHEAD_FRACTION, DISPATCH_LABEL, DISPATCH_LAUNCH_COST,
 };
 pub use value::{Value, ValueKind};
 pub use zoo::{LookupModelError, ModelZoo};

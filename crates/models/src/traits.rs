@@ -58,6 +58,27 @@ impl ModelProfile {
 /// batch gets this fraction of its charge credited back (§4.1).
 pub const BATCH_OVERHEAD_FRACTION: f64 = 0.15;
 
+/// Fixed, *model-independent* virtual cost of issuing one physical
+/// accelerator invocation (kernel launch, host-device transfer setup,
+/// framework entry), charged once per physical `*_batch` call under the
+/// [`DISPATCH_LABEL`] label. Unlike [`BATCH_OVERHEAD_FRACTION`], this
+/// component does not scale with the model's per-item cost or the batch
+/// size — the only way to pay it less often is to issue fewer, larger
+/// physical batches, which is exactly what cross-stream batching buys.
+/// Zero-cost pseudo-models (dataset-track sources) skip it: they model a
+/// lookup, not a device dispatch.
+pub const DISPATCH_LAUNCH_COST: f64 = 2.0;
+
+/// Charge label of the fixed per-invocation launch cost, so per-model
+/// invocation counts in [`Clock::stat`] stay unpolluted.
+pub const DISPATCH_LABEL: &str = "dispatch";
+
+fn charge_launch(clock: &Clock, cost: CostUnits) {
+    if cost > 0.0 {
+        clock.charge_model(DISPATCH_LABEL, DISPATCH_LAUNCH_COST);
+    }
+}
+
 fn credit_batch_overhead(clock: &Clock, cost: CostUnits, items: usize) {
     if items > 1 {
         clock.credit(cost * BATCH_OVERHEAD_FRACTION * (items - 1) as f64);
@@ -77,7 +98,11 @@ pub trait Detector: Send + Sync {
     /// The whole call is one [`Clock::batch_section`], so in Latency mode
     /// the amortized net is realized as a single device sleep.
     fn detect_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<Vec<Detection>> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
         clock.batch_section(|| {
+            charge_launch(clock, self.profile().cost);
             let out = frames.iter().map(|f| self.detect(f, clock)).collect();
             credit_batch_overhead(clock, self.profile().cost, frames.len());
             out
@@ -97,12 +122,39 @@ pub trait Classifier: Send + Sync {
     /// identical to crop-at-a-time `classify`; only the charged cost
     /// differs.
     fn classify_batch(&self, frame: &Frame, dets: &[Detection], clock: &Clock) -> Vec<Value> {
+        self.classify_batch_jobs(&[(frame, dets)], clock)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Classifies crops drawn from *several* frames — possibly several
+    /// streams' frames — as **one** physical invocation: one `(frame,
+    /// crops)` job per source, one `Vec<Value>` per job back, in order.
+    /// This is the physical entry point a cross-stream batcher uses to fold
+    /// many per-`(stream, frame)` [`Classifier::classify_batch`] requests
+    /// into a single device dispatch. Results are identical to running each
+    /// job alone; only the charged cost differs (one launch cost, one
+    /// overhead amortization across every crop).
+    fn classify_batch_jobs(
+        &self,
+        jobs: &[(&Frame, &[Detection])],
+        clock: &Clock,
+    ) -> Vec<Vec<Value>> {
+        let items: usize = jobs.iter().map(|(_, dets)| dets.len()).sum();
+        if items == 0 {
+            return jobs.iter().map(|_| Vec::new()).collect();
+        }
         clock.batch_section(|| {
-            let out = dets
+            charge_launch(clock, self.profile().cost);
+            let out = jobs
                 .iter()
-                .map(|d| self.classify(frame, d, clock))
+                .map(|(frame, dets)| {
+                    dets.iter()
+                        .map(|d| self.classify(frame, d, clock))
+                        .collect()
+                })
                 .collect();
-            credit_batch_overhead(clock, self.profile().cost, dets.len());
+            credit_batch_overhead(clock, self.profile().cost, items);
             out
         })
     }
@@ -119,7 +171,11 @@ pub trait FrameClassifier: Send + Sync {
     /// Predicts a batch of frames as one physical invocation, amortizing
     /// the fixed dispatch overhead across the batch.
     fn predict_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<bool> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
         clock.batch_section(|| {
+            charge_launch(clock, self.profile().cost);
             let out = frames.iter().map(|f| self.predict(f, clock)).collect();
             credit_batch_overhead(clock, self.profile().cost, frames.len());
             out

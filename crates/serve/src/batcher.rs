@@ -1,17 +1,22 @@
-//! The cross-stream [`ModelBatcher`]: one physical detect batch feeding
-//! many streams' detect stages.
+//! The cross-stream [`ModelBatcher`]: one physical model invocation per
+//! (stage, model) feeding many streams' pipelines.
 //!
 //! Per-stream engines batch within their own frame window, so N concurrent
-//! streams still pay N fixed model-dispatch overheads per round. The
-//! batcher closes that gap: every stream's detect stage submits its live
-//! frames to one shared queue, a coalescing thread gathers requests inside
-//! a time/size-bounded window, groups them by detector, and issues **one**
-//! `detect_batch` per detector over the concatenated frames — then splits
-//! the per-frame results back to each waiting stream. Simulated detectors
-//! answer deterministically per frame, so routing a frame through a larger
-//! cross-stream batch never changes its detections (the serve equivalence
-//! suite proves byte-identity against solo execution); only the amortized
-//! dispatch overhead changes.
+//! streams still pay N fixed model-dispatch overheads per round — once per
+//! stream for detect and binary-filter batches, and once per (stream,
+//! frame) for per-object property models, whose crop batches cannot grow
+//! past a single frame inside one stream. The batcher closes that gap for
+//! *every* model stage: each stream's operators submit their typed
+//! requests (frames for detect/predict, one frame's crops for classify) to
+//! one shared queue; a coalescing thread gathers requests inside a
+//! time/size-bounded window, groups them by **(stage, model instance)**,
+//! and issues **one** physical `detect_batch` / `predict_batch` /
+//! `classify_batch_jobs` per group — then demultiplexes the per-frame (or
+//! per-crop) results back to each waiting stream in submission order.
+//! Simulated models answer deterministically per (frame, entity), so
+//! routing a submission through a larger cross-stream batch never changes
+//! its results (the serve equivalence suite proves byte-identity against
+//! solo execution); only the amortized dispatch overhead changes.
 //!
 //! The batcher degrades gracefully: once [`ModelBatcher::shutdown`] runs
 //! (or the batcher is dropped), engines still holding its dispatch handle
@@ -23,19 +28,21 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vqpy_core::DetectDispatch;
-use vqpy_models::{Clock, Detection, Detector};
+use vqpy_core::{ModelDispatch, ModelStage};
+use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, Value};
 use vqpy_video::frame::Frame;
 
 /// Coalescing bounds for the cross-stream batcher.
 #[derive(Debug, Clone)]
 pub struct BatcherConfig {
-    /// Upper bound on frames in one physical batch. The window closes
-    /// early once this many frames are waiting.
+    /// Upper bound on items (frames for detect/predict requests, crops for
+    /// classify requests) in one coalescing round. The window closes early
+    /// once this many items are waiting.
     pub max_batch_frames: usize,
-    /// How long the batcher holds an open window for more streams' frames
-    /// after the first request arrives. Longer windows coalesce more but
-    /// add up to this much latency when only one stream is active.
+    /// How long the batcher holds an open window for more streams'
+    /// requests after the first request arrives. Longer windows coalesce
+    /// more but add up to this much latency when only one stream is
+    /// active.
     pub window: Duration,
 }
 
@@ -48,18 +55,53 @@ impl Default for BatcherConfig {
     }
 }
 
-/// Counters describing how well cross-stream coalescing is working.
+/// Per-stage coalescing counters: how many stream requests were folded
+/// into how many physical invocations of one model stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct BatcherStats {
-    /// Physical `detect_batch` invocations issued.
+pub struct StageCoalesce {
+    /// Physical model invocations issued for this stage.
     pub physical_batches: u64,
     /// Stream requests served (each would have been its own physical
     /// invocation without the batcher).
     pub requests: u64,
-    /// Total frames pushed through the batcher.
+    /// Items pushed through: frames for detect/predict, crops for
+    /// classify.
+    pub items: u64,
+    /// Largest physical batch observed, in items.
+    pub max_batch_items: u64,
+}
+
+impl StageCoalesce {
+    /// Mean requests folded into one physical invocation (1.0 = no
+    /// cross-stream sharing happened; 0.0 = no traffic).
+    pub fn mean_coalesced(&self) -> f64 {
+        if self.physical_batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.physical_batches as f64
+        }
+    }
+}
+
+/// Counters describing how well cross-stream coalescing is working, in
+/// aggregate and per model stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatcherStats {
+    /// Physical model invocations issued, all stages.
+    pub physical_batches: u64,
+    /// Stream requests served, all stages.
+    pub requests: u64,
+    /// Total items pushed through the batcher (frames for frame stages,
+    /// crops for the classify stage).
     pub frames: u64,
-    /// Largest physical batch observed, in frames.
+    /// Largest physical batch observed, in items, across stages.
     pub max_batch_frames: u64,
+    /// Detect-stage coalescing counters.
+    pub detect: StageCoalesce,
+    /// Binary-filter-stage (`predict_batch`) coalescing counters.
+    pub predict: StageCoalesce,
+    /// Classify/projection-stage coalescing counters.
+    pub classify: StageCoalesce,
 }
 
 impl BatcherStats {
@@ -72,29 +114,109 @@ impl BatcherStats {
             self.requests as f64 / self.physical_batches as f64
         }
     }
+
+    /// The coalescing counters of one stage.
+    pub fn stage(&self, stage: ModelStage) -> &StageCoalesce {
+        match stage {
+            ModelStage::Detect => &self.detect,
+            ModelStage::Predict => &self.predict,
+            ModelStage::Classify => &self.classify,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StageStatsInner {
+    physical_batches: AtomicU64,
+    requests: AtomicU64,
+    items: AtomicU64,
+    max_batch_items: AtomicU64,
+}
+
+impl StageStatsInner {
+    fn snapshot(&self) -> StageCoalesce {
+        StageCoalesce {
+            physical_batches: self.physical_batches.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            max_batch_items: self.max_batch_items.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, requests: u64, items: u64) {
+        self.physical_batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(requests, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.max_batch_items.fetch_max(items, Ordering::Relaxed);
+    }
 }
 
 #[derive(Default)]
 struct StatsInner {
-    physical_batches: AtomicU64,
-    requests: AtomicU64,
-    frames: AtomicU64,
-    max_batch_frames: AtomicU64,
+    stages: [StageStatsInner; 3],
 }
 
-/// One stream's detect-stage submission.
-struct Request {
-    detector: Arc<dyn Detector>,
-    frames: Vec<Frame>,
-    reply: SyncSender<Vec<Vec<Detection>>>,
+/// One stream's typed model-stage submission.
+enum Request {
+    /// A detect-stage batch: live frames in, per-frame detections out.
+    Detect {
+        model: Arc<dyn Detector>,
+        frames: Vec<Frame>,
+        reply: SyncSender<Vec<Vec<Detection>>>,
+    },
+    /// A binary-filter batch: live frames in, per-frame verdicts out.
+    Predict {
+        model: Arc<dyn FrameClassifier>,
+        frames: Vec<Frame>,
+        reply: SyncSender<Vec<bool>>,
+    },
+    /// A classify/projection batch: one frame's crops in, per-crop values
+    /// out.
+    Classify {
+        model: Arc<dyn Classifier>,
+        frame: Frame,
+        dets: Vec<Detection>,
+        reply: SyncSender<Vec<Value>>,
+    },
 }
 
-/// The [`DetectDispatch`] handle streams install into their engines.
+impl Request {
+    fn stage(&self) -> ModelStage {
+        match self {
+            Request::Detect { .. } => ModelStage::Detect,
+            Request::Predict { .. } => ModelStage::Predict,
+            Request::Classify { .. } => ModelStage::Classify,
+        }
+    }
+
+    /// Items this request contributes to a physical batch (frames for
+    /// frame stages, crops for the classify stage).
+    fn items(&self) -> usize {
+        match self {
+            Request::Detect { frames, .. } | Request::Predict { frames, .. } => frames.len(),
+            Request::Classify { dets, .. } => dets.len(),
+        }
+    }
+
+    /// The model's `Arc` identity: requests coalesce only within one model
+    /// *instance* (not registry name) — two streams may legitimately hold
+    /// same-named but differently-configured models, and those must never
+    /// share a physical batch.
+    fn model_ptr(&self) -> *const () {
+        match self {
+            Request::Detect { model, .. } => Arc::as_ptr(model) as *const (),
+            Request::Predict { model, .. } => Arc::as_ptr(model) as *const (),
+            Request::Classify { model, .. } => Arc::as_ptr(model) as *const (),
+        }
+    }
+}
+
+/// The [`ModelDispatch`] handle streams install into their engines.
 ///
-/// `dispatch` blocks the calling stream (its detect stage cannot proceed
-/// without results) while the coalescing thread folds the request into a
-/// physical batch. If the batcher has shut down, the call transparently
-/// falls back to a direct per-stream invocation.
+/// Every stage's method blocks the calling stream (its operators cannot
+/// proceed without results) while the coalescing thread folds the request
+/// into a physical batch. If the batcher has shut down, the call
+/// transparently falls back to a direct per-stream invocation.
 pub struct BatchedDispatch {
     /// `None` after shutdown; dispatch then falls back to direct calls.
     tx: Mutex<Option<SyncSender<Request>>>,
@@ -109,37 +231,77 @@ impl std::fmt::Debug for BatchedDispatch {
     }
 }
 
-impl DetectDispatch for BatchedDispatch {
-    fn dispatch(
+impl BatchedDispatch {
+    /// Submits a request and waits for the coalescing thread's reply.
+    /// Returns `None` when the batcher is gone (shutdown or panicked), in
+    /// which case the caller issues the direct per-stream invocation.
+    fn roundtrip<T>(&self, make: impl FnOnce(SyncSender<T>) -> Request) -> Option<T> {
+        let sender = self.tx.lock().clone();
+        let tx = sender?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        if tx.send(make(reply_tx)).is_ok() {
+            if let Ok(results) = reply_rx.recv() {
+                return Some(results);
+            }
+        }
+        None
+    }
+}
+
+impl ModelDispatch for BatchedDispatch {
+    fn detect(
         &self,
         detector: &Arc<dyn Detector>,
         frames: &[&Frame],
         clock: &Clock,
     ) -> Vec<Vec<Detection>> {
-        let sender = self.tx.lock().clone();
-        if let Some(tx) = sender {
-            let (reply_tx, reply_rx) = sync_channel(1);
-            let req = Request {
-                detector: Arc::clone(detector),
-                // Shipping frames to the coalescing thread clones them
-                // (truth is an Arc; pixels are the real copy). This is off
-                // the per-stream allocation-free fast path by design: the
-                // copy buys one physical model invocation across streams.
-                frames: frames.iter().map(|f| (*f).clone()).collect(),
-                reply: reply_tx,
-            };
-            if tx.send(req).is_ok() {
-                if let Ok(results) = reply_rx.recv() {
-                    return results;
-                }
-            }
+        self.roundtrip(|reply| Request::Detect {
+            model: Arc::clone(detector),
+            // Shipping frames to the coalescing thread clones them (truth
+            // is an Arc; pixels are the real copy). This is off the
+            // per-stream allocation-free fast path by design: the copy
+            // buys one physical model invocation across streams.
+            frames: frames.iter().map(|f| (*f).clone()).collect(),
+            reply,
+        })
+        .unwrap_or_else(|| detector.detect_batch(frames, clock))
+    }
+
+    fn predict(
+        &self,
+        model: &Arc<dyn FrameClassifier>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Vec<bool> {
+        self.roundtrip(|reply| Request::Predict {
+            model: Arc::clone(model),
+            frames: frames.iter().map(|f| (*f).clone()).collect(),
+            reply,
+        })
+        .unwrap_or_else(|| model.predict_batch(frames, clock))
+    }
+
+    fn classify(
+        &self,
+        model: &Arc<dyn Classifier>,
+        frame: &Frame,
+        dets: &[Detection],
+        clock: &Clock,
+    ) -> Vec<Value> {
+        if dets.is_empty() {
+            return Vec::new();
         }
-        // Batcher gone (shutdown or panicked): direct per-stream call.
-        detector.detect_batch(frames, clock)
+        self.roundtrip(|reply| Request::Classify {
+            model: Arc::clone(model),
+            frame: frame.clone(),
+            dets: dets.to_vec(),
+            reply,
+        })
+        .unwrap_or_else(|| model.classify_batch(frame, dets, clock))
     }
 }
 
-/// A shared coalescing thread turning many streams' detect-stage batches
+/// A shared coalescing thread turning many streams' model-stage batches
 /// into few physical model invocations. See the module docs.
 ///
 /// Create one per [`StreamSupervisor`](crate::StreamSupervisor) (the
@@ -164,7 +326,8 @@ impl ModelBatcher {
     /// participating stream charges to.
     pub fn new(config: BatcherConfig, clock: Arc<Clock>) -> Self {
         // The queue bound only limits burst submissions; each stream has
-        // at most a handful of in-flight requests (its detect workers).
+        // at most a handful of in-flight requests (its detect workers plus
+        // the tail's classify traffic).
         let (tx, rx) = sync_channel::<Request>(1024);
         let stats = Arc::new(StatsInner::default());
         let worker_stats = Arc::clone(&stats);
@@ -182,19 +345,28 @@ impl ModelBatcher {
     }
 
     /// The dispatch handle to install into stream engines (e.g. via
-    /// [`StreamOptions::detect_dispatch`](crate::StreamOptions)).
+    /// [`StreamOptions::dispatch`](crate::StreamOptions)).
     pub fn dispatch(&self) -> Arc<BatchedDispatch> {
         Arc::clone(&self.dispatch)
     }
 
-    /// Coalescing counters so far.
+    /// Coalescing counters so far, in aggregate and per stage.
     pub fn stats(&self) -> BatcherStats {
-        let s = &self.dispatch.stats;
+        let per: Vec<StageCoalesce> = self
+            .dispatch
+            .stats
+            .stages
+            .iter()
+            .map(|s| s.snapshot())
+            .collect();
         BatcherStats {
-            physical_batches: s.physical_batches.load(Ordering::Relaxed),
-            requests: s.requests.load(Ordering::Relaxed),
-            frames: s.frames.load(Ordering::Relaxed),
-            max_batch_frames: s.max_batch_frames.load(Ordering::Relaxed),
+            physical_batches: per.iter().map(|s| s.physical_batches).sum(),
+            requests: per.iter().map(|s| s.requests).sum(),
+            frames: per.iter().map(|s| s.items).sum(),
+            max_batch_frames: per.iter().map(|s| s.max_batch_items).max().unwrap_or(0),
+            detect: per[ModelStage::Detect.index()],
+            predict: per[ModelStage::Predict.index()],
+            classify: per[ModelStage::Classify.index()],
         }
     }
 
@@ -221,14 +393,14 @@ fn run_batcher(
     clock: Arc<Clock>,
     stats: Arc<StatsInner>,
 ) {
-    let max_frames = config.max_batch_frames.max(1);
+    let max_items = config.max_batch_frames.max(1);
     while let Ok(first) = rx.recv() {
         // Coalescing window: gather whatever other streams submit before
-        // the deadline, closing early at the frame bound.
+        // the deadline, closing early at the item bound.
         let deadline = Instant::now() + config.window;
+        let mut total_items = first.items();
         let mut requests = vec![first];
-        let mut total_frames = requests[0].frames.len();
-        while total_frames < max_frames {
+        while total_items < max_items {
             let now = Instant::now();
             let Some(left) = deadline
                 .checked_duration_since(now)
@@ -238,7 +410,7 @@ fn run_batcher(
             };
             match rx.recv_timeout(left) {
                 Ok(r) => {
-                    total_frames += r.frames.len();
+                    total_items += r.items();
                     requests.push(r);
                 }
                 Err(_) => break, // window elapsed or channel closed
@@ -248,45 +420,105 @@ fn run_batcher(
     }
 }
 
-/// Executes one coalescing round: requests grouped by detector, one
-/// physical invocation per group, results demultiplexed back in request
-/// order.
+/// Executes one coalescing round: requests grouped by (stage, model
+/// instance), one physical invocation per group, results demultiplexed
+/// back in request order.
 fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>) {
-    // Group request indices by detector *instance* (`Arc` identity, not
-    // registry name): two streams may legitimately hold same-named but
-    // differently-configured detectors, and those must never share a
-    // physical batch — one would get the other's detections.
-    let mut groups: Vec<(&Arc<dyn Detector>, Vec<usize>)> = Vec::new();
+    let mut groups: Vec<((ModelStage, *const ()), Vec<usize>)> = Vec::new();
     for (i, r) in requests.iter().enumerate() {
-        match groups.iter_mut().find(|(d, _)| Arc::ptr_eq(d, &r.detector)) {
+        let key = (r.stage(), r.model_ptr());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, idxs)) => idxs.push(i),
-            None => groups.push((&r.detector, vec![i])),
+            None => groups.push((key, vec![i])),
         }
     }
-    for (_, idxs) in &groups {
-        let detector = &requests[idxs[0]].detector;
-        let frames: Vec<&Frame> = idxs
-            .iter()
-            .flat_map(|&i| requests[i].frames.iter())
-            .collect();
-        // One physical invocation for every participating stream.
-        let mut results = detector.detect_batch(&frames, clock);
-        stats.physical_batches.fetch_add(1, Ordering::Relaxed);
-        stats
-            .requests
-            .fetch_add(idxs.len() as u64, Ordering::Relaxed);
-        stats
-            .frames
-            .fetch_add(frames.len() as u64, Ordering::Relaxed);
-        stats
-            .max_batch_frames
-            .fetch_max(frames.len() as u64, Ordering::Relaxed);
-        // Demux: split the concatenated results back per request. The
-        // receiver may have given up (stream torn down); ignore those.
-        for &i in idxs {
-            let rest = results.split_off(requests[i].frames.len());
-            let own = std::mem::replace(&mut results, rest);
-            let _ = requests[i].reply.send(own);
+    for ((stage, _), idxs) in &groups {
+        let items: u64 = idxs.iter().map(|&i| requests[i].items() as u64).sum();
+        stats.stages[stage.index()].record(idxs.len() as u64, items);
+        match stage {
+            ModelStage::Detect => run_detect_group(requests, idxs, clock),
+            ModelStage::Predict => run_predict_group(requests, idxs, clock),
+            ModelStage::Classify => run_classify_group(requests, idxs, clock),
+        }
+    }
+}
+
+/// Shared demux for the frame-carrying stages: concatenates every
+/// participating request's frames, runs one physical invocation via
+/// `batch`, and splits the per-frame results back per request in
+/// submission order. Receivers may have given up (stream torn down);
+/// those sends are ignored.
+fn run_frame_group<R>(
+    requests: &[Request],
+    idxs: &[usize],
+    extract: impl Fn(&Request) -> Option<(&Vec<Frame>, &SyncSender<Vec<R>>)>,
+    batch: impl FnOnce(&[&Frame]) -> Vec<R>,
+) {
+    let parts: Vec<(&Vec<Frame>, &SyncSender<Vec<R>>)> =
+        idxs.iter().filter_map(|&i| extract(&requests[i])).collect();
+    let frames: Vec<&Frame> = parts.iter().flat_map(|(f, _)| f.iter()).collect();
+    let mut results = batch(&frames);
+    for (f, reply) in parts {
+        let rest = results.split_off(f.len());
+        let own = std::mem::replace(&mut results, rest);
+        let _ = reply.send(own);
+    }
+}
+
+/// One physical `detect_batch` over every participating stream's frames.
+fn run_detect_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
+    let Some(Request::Detect { model, .. }) = idxs.first().map(|&i| &requests[i]) else {
+        return;
+    };
+    run_frame_group(
+        requests,
+        idxs,
+        |r| match r {
+            Request::Detect { frames, reply, .. } => Some((frames, reply)),
+            _ => None,
+        },
+        |frames| model.detect_batch(frames, clock),
+    );
+}
+
+/// One physical `predict_batch` over every participating stream's frames.
+fn run_predict_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
+    let Some(Request::Predict { model, .. }) = idxs.first().map(|&i| &requests[i]) else {
+        return;
+    };
+    run_frame_group(
+        requests,
+        idxs,
+        |r| match r {
+            Request::Predict { frames, reply, .. } => Some((frames, reply)),
+            _ => None,
+        },
+        |frames| model.predict_batch(frames, clock),
+    );
+}
+
+/// One physical `classify_batch_jobs` over every participating stream's
+/// (frame, crops) jobs, one value list back per request.
+fn run_classify_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
+    let mut model = None;
+    let mut jobs: Vec<(&Frame, &[Detection])> = Vec::new();
+    for &i in idxs {
+        if let Request::Classify {
+            model: m,
+            frame,
+            dets,
+            ..
+        } = &requests[i]
+        {
+            model = Some(m);
+            jobs.push((frame, dets));
+        }
+    }
+    let Some(model) = model else { return };
+    let results = model.classify_batch_jobs(&jobs, clock);
+    for (&i, values) in idxs.iter().zip(results) {
+        if let Request::Classify { reply, .. } = &requests[i] {
+            let _ = reply.send(values);
         }
     }
 }
@@ -296,6 +528,7 @@ mod tests {
     use super::*;
     use vqpy_core::DirectDispatch;
     use vqpy_models::detectors::SimDetector;
+    use vqpy_models::ModelZoo;
     use vqpy_video::presets;
     use vqpy_video::scene::Scene;
     use vqpy_video::source::{SyntheticVideo, VideoSource};
@@ -316,9 +549,50 @@ mod tests {
         let det = detector();
         let fs = frames(5, 6);
         let refs: Vec<&Frame> = fs.iter().collect();
-        let via_batcher = batcher.dispatch().dispatch(&det, &refs, &clock);
-        let direct = DirectDispatch.dispatch(&det, &refs, &Clock::new());
+        let via_batcher = batcher.dispatch().detect(&det, &refs, &clock);
+        let direct = DirectDispatch.detect(&det, &refs, &Clock::new());
         assert_eq!(via_batcher, direct);
+    }
+
+    #[test]
+    fn batched_results_equal_direct_on_every_stage() {
+        let zoo = ModelZoo::standard();
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(BatcherConfig::default(), Arc::clone(&clock));
+        let dispatch = batcher.dispatch();
+        let fs = frames(6, 4);
+        let refs: Vec<&Frame> = fs.iter().collect();
+
+        let filter = zoo.frame_classifier("no_red_on_road").unwrap();
+        assert_eq!(
+            dispatch.predict(&filter, &refs, &clock),
+            filter.predict_batch(&refs, &Clock::new()),
+        );
+
+        let det = zoo.detector("yolox").unwrap();
+        let dets = det.detect(&fs[0], &Clock::new());
+        let clf = zoo.classifier("direction_model").unwrap();
+        assert_eq!(
+            dispatch.classify(&clf, &fs[0], &dets, &clock),
+            clf.classify_batch(&fs[0], &dets, &Clock::new()),
+        );
+
+        let stats = batcher.stats();
+        assert_eq!(stats.predict.requests, 1);
+        assert_eq!(stats.predict.items, 4);
+        if dets.is_empty() {
+            assert_eq!(
+                stats.classify.requests, 0,
+                "empty crop lists skip the queue"
+            );
+        } else {
+            assert_eq!(stats.classify.requests, 1);
+            assert_eq!(stats.classify.items, dets.len() as u64);
+        }
+        assert_eq!(
+            stats.requests,
+            stats.predict.requests + stats.classify.requests
+        );
     }
 
     #[test]
@@ -340,7 +614,7 @@ mod tests {
                 s.spawn(move || {
                     let fs = frames(seed, 4);
                     let refs: Vec<&Frame> = fs.iter().collect();
-                    let got = dispatch.dispatch(&det, &refs, &clock);
+                    let got = dispatch.detect(&det, &refs, &clock);
                     let want = det.detect_batch(&refs, &Clock::new());
                     assert_eq!(got, want, "stream {seed} results perturbed");
                 });
@@ -349,11 +623,99 @@ mod tests {
         let stats = batcher.stats();
         assert_eq!(stats.requests, 4);
         assert_eq!(stats.frames, 16);
+        assert_eq!(stats.detect.requests, 4, "all traffic is detect-stage");
         assert!(
             stats.physical_batches < 4,
             "4 concurrent requests should share physical batches: {stats:?}"
         );
         assert!(stats.mean_coalesced() > 1.0);
+        assert!(stats.detect.mean_coalesced() > 1.0);
+    }
+
+    #[test]
+    fn concurrent_classify_requests_coalesce_and_demux_exactly() {
+        let zoo = ModelZoo::standard();
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(
+            BatcherConfig {
+                max_batch_frames: 256,
+                window: Duration::from_millis(50),
+            },
+            Arc::clone(&clock),
+        );
+        let det = zoo.detector("yolox").unwrap();
+        let clf = zoo.classifier("direction_model").unwrap();
+        std::thread::scope(|s| {
+            for seed in [21u64, 22, 23, 24] {
+                let dispatch = batcher.dispatch();
+                let (det, clf, clock) = (Arc::clone(&det), Arc::clone(&clf), Arc::clone(&clock));
+                s.spawn(move || {
+                    // Several frames per stream: per-(stream, frame)
+                    // requests, exactly like the projection operator's.
+                    for f in frames(seed, 3) {
+                        let dets = det.detect(&f, &Clock::new());
+                        let got = dispatch.classify(&clf, &f, &dets, &clock);
+                        let want = clf.classify_batch(&f, &dets, &Clock::new());
+                        assert_eq!(got, want, "stream {seed} crop values perturbed");
+                    }
+                });
+            }
+        });
+        let stats = batcher.stats();
+        assert!(stats.classify.requests > 0);
+        assert!(
+            stats.classify.physical_batches < stats.classify.requests,
+            "concurrent classify requests should share physical batches: {stats:?}"
+        );
+        assert_eq!(stats.detect.requests, 0, "detect ran direct in this test");
+    }
+
+    #[test]
+    fn mixed_stage_round_demuxes_by_stage_and_model() {
+        let zoo = ModelZoo::standard();
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(
+            BatcherConfig {
+                max_batch_frames: 256,
+                window: Duration::from_millis(50),
+            },
+            Arc::clone(&clock),
+        );
+        let det = zoo.detector("yolox").unwrap();
+        let clf = zoo.classifier("color_detect").unwrap();
+        let filter = zoo.frame_classifier("no_red_on_road").unwrap();
+        std::thread::scope(|s| {
+            for seed in [31u64, 32] {
+                let dispatch = batcher.dispatch();
+                let (det, clf, filter, clock) = (
+                    Arc::clone(&det),
+                    Arc::clone(&clf),
+                    Arc::clone(&filter),
+                    Arc::clone(&clock),
+                );
+                s.spawn(move || {
+                    let fs = frames(seed, 2);
+                    let refs: Vec<&Frame> = fs.iter().collect();
+                    assert_eq!(
+                        dispatch.predict(&filter, &refs, &clock),
+                        filter.predict_batch(&refs, &Clock::new()),
+                    );
+                    let boxes = dispatch.detect(&det, &refs, &clock);
+                    assert_eq!(boxes, det.detect_batch(&refs, &Clock::new()));
+                    assert_eq!(
+                        dispatch.classify(&clf, &fs[0], &boxes[0], &clock),
+                        clf.classify_batch(&fs[0], &boxes[0], &Clock::new()),
+                    );
+                });
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.predict.requests, 2);
+        assert_eq!(stats.detect.requests, 2);
+        assert_eq!(
+            stats.requests,
+            stats.detect.requests + stats.predict.requests + stats.classify.requests
+        );
     }
 
     #[test]
@@ -365,8 +727,14 @@ mod tests {
         let det = detector();
         let fs = frames(9, 3);
         let refs: Vec<&Frame> = fs.iter().collect();
-        let got = handle.dispatch(&det, &refs, &clock);
+        let got = handle.detect(&det, &refs, &clock);
         assert_eq!(got, det.detect_batch(&refs, &Clock::new()));
+        let clf = ModelZoo::standard().classifier("color_detect").unwrap();
+        let dets = det.detect(&fs[0], &Clock::new());
+        assert_eq!(
+            handle.classify(&clf, &fs[0], &dets, &clock),
+            clf.classify_batch(&fs[0], &dets, &Clock::new()),
+        );
         assert_eq!(
             batcher.stats().requests,
             0,

@@ -73,25 +73,28 @@ impl StreamEngine {
         m
     }
 
-    /// Replaces the engine's detect boundary (see
-    /// [`vqpy_core::DetectDispatch`]). Installed once by the supervisor
-    /// when the stream joins a shared [`ModelBatcher`](crate::ModelBatcher)
-    /// and preserved across every later [`StreamEngine::recompile`].
-    pub fn set_detect_dispatch(&mut self, dispatch: std::sync::Arc<dyn vqpy_core::DetectDispatch>) {
-        self.ops.detect_dispatch = dispatch;
+    /// Replaces the engine's model-dispatch boundary (see
+    /// [`vqpy_core::ModelDispatch`]) for every model stage — detect,
+    /// binary filter, and classify/projection. Installed once by the
+    /// supervisor when the stream joins a shared
+    /// [`ModelBatcher`](crate::ModelBatcher) and preserved across every
+    /// later [`StreamEngine::recompile`].
+    pub fn set_dispatch(&mut self, dispatch: std::sync::Arc<dyn vqpy_core::ModelDispatch>) {
+        self.ops.dispatch = dispatch;
     }
 
     /// Swaps in a recompiled super-plan at a batch boundary. Cross-frame
     /// operator state carries over wherever the old and new plans share an
     /// operator fingerprint; the reuse cache survives untouched because
-    /// symbols are interned into the engine's append-only table. The detect
-    /// boundary (direct or cross-stream batcher) carries over too.
+    /// symbols are interned into the engine's append-only table. The
+    /// model-dispatch boundary (direct or cross-stream batcher) carries
+    /// over too.
     ///
     /// On error (unknown model in the new plan) the old plan keeps
     /// running unchanged.
     pub fn recompile(&mut self, plan: PlanDag, zoo: &ModelZoo) -> Result<()> {
         let mut ops = instantiate_stage_ops(&plan, zoo, self.workers, &mut self.symbols)?;
-        ops.detect_dispatch = std::sync::Arc::clone(&self.ops.detect_dispatch);
+        ops.dispatch = std::sync::Arc::clone(&self.ops.dispatch);
         let mut states = self.ops.export_states();
         ops.import_states(&mut states);
         self.ops = ops;

@@ -24,10 +24,11 @@
 //!
 //! For multi-stream deployments, the [`StreamSupervisor`] layers per-stream
 //! worker threads, fps-paced ingestion ([`PaceMode`]), cross-stream model
-//! batching ([`ModelBatcher`] — one physical `detect_batch` feeding many
-//! streams), and [`ServePolicy`] admission control (typed [`AttachError`]
-//! rejections under sustained overload) on top of the server; see
-//! [`supervisor`] for the architecture.
+//! batching ([`ModelBatcher`] — one physical invocation per (stage, model)
+//! feeding many streams' detect, binary-filter, and classify stages), and
+//! [`ServePolicy`] admission control (typed [`AttachError`] rejections
+//! under sustained overload) on top of the server; see [`supervisor`] for
+//! the architecture.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -64,7 +65,7 @@ pub mod subscription;
 pub mod supervisor;
 pub mod typed;
 
-pub use batcher::{BatchedDispatch, BatcherConfig, BatcherStats, ModelBatcher};
+pub use batcher::{BatchedDispatch, BatcherConfig, BatcherStats, ModelBatcher, StageCoalesce};
 pub use engine::StreamEngine;
 pub use metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
 pub use server::{

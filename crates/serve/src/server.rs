@@ -14,7 +14,7 @@ use vqpy_core::backend::exec::{QueryAccum, ResultSink};
 use vqpy_core::backend::ops::FrameSlot;
 use vqpy_core::backend::plan::PlanDag;
 use vqpy_core::error::VqpyError;
-use vqpy_core::{DetectDispatch, ExecMetrics, Query, VqpySession};
+use vqpy_core::{ExecMetrics, ModelDispatch, Query, VqpySession};
 use vqpy_video::source::VideoSource;
 
 /// Identifier of one open stream on a server.
@@ -192,23 +192,25 @@ struct Commands {
 /// ```
 /// # use vqpy_serve::StreamOptions;
 /// let defaults = StreamOptions::default();
-/// assert!(defaults.detect_dispatch.is_none());
+/// assert!(defaults.dispatch.is_none());
 /// ```
 #[derive(Default)]
 pub struct StreamOptions {
-    /// Detect boundary for this stream's engine, preserved across plan
-    /// recompiles. `None` means direct per-stream invocation; the
+    /// Model-dispatch boundary for this stream's engine, preserved across
+    /// plan recompiles. `None` means direct per-stream invocation; the
     /// multi-stream supervisor passes a shared
     /// [`ModelBatcher`](crate::ModelBatcher) handle here so the stream's
-    /// detect batches coalesce with other streams'.
-    pub detect_dispatch: Option<Arc<dyn DetectDispatch>>,
+    /// detect, binary-filter, and classify batches coalesce with other
+    /// streams'.
+    pub dispatch: Option<Arc<dyn ModelDispatch>>,
 }
 
 /// One live stream: the engine, attached queries, and progress counters.
 struct Stream {
     source: Arc<dyn VideoSource>,
-    /// Detect boundary installed into every engine this stream creates.
-    dispatch: Option<Arc<dyn DetectDispatch>>,
+    /// Model-dispatch boundary installed into every engine this stream
+    /// creates.
+    dispatch: Option<Arc<dyn ModelDispatch>>,
     engine: Option<StreamEngine>,
     /// Attach order; index i corresponds to join i of the current plan.
     subs: Vec<ActiveSub>,
@@ -227,7 +229,7 @@ impl Stream {
     fn new(source: Arc<dyn VideoSource>, options: StreamOptions) -> Self {
         Self {
             source,
-            dispatch: options.detect_dispatch,
+            dispatch: options.dispatch,
             engine: None,
             subs: Vec::new(),
             next_frame: 0,
@@ -531,7 +533,7 @@ impl StreamServer {
                     let mut engine =
                         StreamEngine::new(plan, self.session.zoo(), &self.session.config().exec)?;
                     if let Some(dispatch) = &s.dispatch {
-                        engine.set_detect_dispatch(Arc::clone(dispatch));
+                        engine.set_dispatch(Arc::clone(dispatch));
                     }
                     s.engine = Some(engine);
                 }

@@ -20,9 +20,11 @@
 //!   — the stream just lags its schedule, which is exactly the overload
 //!   signal a real deployment acts on.
 //! - **Cross-stream model batching** — with
-//!   [`SupervisorConfig::batcher`] set, every stream's detect stage routes
-//!   through one shared [`ModelBatcher`]: frames from many streams
-//!   coalesce into one physical `detect_batch` call, amortizing fixed
+//!   [`SupervisorConfig::batcher`] set, every stream's model stages —
+//!   detect, binary filter, and per-object classify/projection — route
+//!   through one shared [`ModelBatcher`]: submissions from many streams
+//!   coalesce per (stage, model) into one physical `detect_batch` /
+//!   `predict_batch` / `classify_batch_jobs` call, amortizing fixed
 //!   dispatch overhead across streams (per-stream results stay
 //!   byte-identical to solo execution; see the serve equivalence suite).
 //! - **Admission control** ([`ServePolicy`]) — `add_stream` and `attach`
@@ -34,11 +36,11 @@
 //!            StreamSupervisor
 //!   ┌────────────────────────────────────────────────────────┐
 //!   │  worker(stream 1): pace → step ──┐                     │
-//!   │  worker(stream 2): pace → step ──┼─ detect stages ──▶ ModelBatcher
-//!   │  worker(stream N): pace → step ──┘   (frames)          │   │ one physical
-//!   │        ▲                                               │   ▼ detect_batch
-//!   │   ServePolicy ◀── LoadSnapshot (backlog, drop rate)    │  demux results
-//!   └────────────────────────────────────────────────────────┘  back per stream
+//!   │  worker(stream 2): pace → step ──┼─ model stages ────▶ ModelBatcher
+//!   │  worker(stream N): pace → step ──┘  (frames, crops)    │   │ one physical
+//!   │        ▲                                               │   ▼ *_batch per
+//!   │   ServePolicy ◀── LoadSnapshot (backlog, drop rate)    │  (stage, model),
+//!   └────────────────────────────────────────────────────────┘  demux per stream
 //! ```
 
 use crate::batcher::{BatcherConfig, BatcherStats, ModelBatcher};
@@ -51,7 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use vqpy_core::{DetectDispatch, Query, VqpySession};
+use vqpy_core::{ModelDispatch, Query, VqpySession};
 use vqpy_video::source::VideoSource;
 
 /// How a stream's worker schedules step execution.
@@ -259,8 +261,9 @@ pub struct SupervisorConfig {
     /// Per-stream serving configuration (channels, backpressure, batches
     /// per step).
     pub serve: ServeConfig,
-    /// Enables the shared cross-stream [`ModelBatcher`]; `None` keeps
-    /// direct per-stream model invocation.
+    /// Enables the shared cross-stream [`ModelBatcher`] for every model
+    /// stage (detect, binary filter, classify); `None` keeps direct
+    /// per-stream model invocation.
     pub batcher: Option<BatcherConfig>,
     /// Admission thresholds.
     pub policy: ServePolicy,
@@ -397,10 +400,10 @@ impl StreamSupervisor {
             .policy
             .admit_stream(&self.load_locked(&workers))?;
         let options = StreamOptions {
-            detect_dispatch: self
+            dispatch: self
                 .batcher
                 .as_ref()
-                .map(|b| b.dispatch() as Arc<dyn DetectDispatch>),
+                .map(|b| b.dispatch() as Arc<dyn ModelDispatch>),
         };
         let stream = self.server.open_stream_with(source, options);
         let mut subs = Vec::with_capacity(queries.len());

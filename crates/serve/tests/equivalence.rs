@@ -20,6 +20,19 @@ fn color_query(name: &str, color: &str) -> Arc<Query> {
         .unwrap()
 }
 
+/// A query over the *non-memoizable* `direction` model property: every
+/// detected vehicle costs one classify-stage crop per frame, so serving it
+/// through a shared batcher exercises the property-stage (classify)
+/// dispatch boundary, not just detect.
+fn direction_query(name: &str, dir: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "direction", dir))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .unwrap()
+}
+
 fn count_query() -> Arc<Query> {
     Query::builder("CountCars")
         .vobj("car", library::vehicle_schema_intrinsic())
@@ -165,7 +178,13 @@ fn cross_stream_batching_is_byte_identical_to_solo() {
 
     for config in [SessionConfig::default(), SessionConfig::pipelined(2)] {
         let seeds = [91u64, 92, 93];
-        let queries = [color_query("RedCar", "red"), count_query()];
+        // The direction query keeps per-(stream, frame) classify traffic
+        // flowing, so the batcher folds crops as well as frames.
+        let queries = [
+            color_query("RedCar", "red"),
+            direction_query("StraightCar", "straight"),
+            count_query(),
+        ];
 
         // Solo references: each stream alone, no supervisor, no batcher.
         let offline = Arc::new(VqpySession::with_config(
@@ -214,11 +233,117 @@ fn cross_stream_batching_is_byte_identical_to_solo() {
             }
         }
         let stats = supervisor.batcher_stats().unwrap();
-        assert!(stats.requests > 0, "detect work must route via the batcher");
+        assert!(stats.requests > 0, "model work must route via the batcher");
         assert!(
             stats.physical_batches > 0,
             "batcher must have executed: {stats:?}"
         );
+        assert!(
+            stats.detect.requests > 0,
+            "detect stage must route via the batcher: {stats:?}"
+        );
+        assert!(
+            stats.classify.requests > 0,
+            "property (classify) stage must route via the batcher: {stats:?}"
+        );
+    }
+}
+
+/// Property-stage batching must stay invisible across a mid-stream
+/// attach/detach recompile: with the batcher's dispatch installed into the
+/// stream's engine, the surviving direction query's full-stream results
+/// are byte-identical to the uninterrupted static run, the detached query
+/// gets the exact prefix, and the late query the exact suffix — in both
+/// exec modes. This is the recompile-preservation contract of
+/// `StreamEngine::set_dispatch`: the shared boundary survives every plan
+/// swap.
+#[test]
+fn property_stage_batching_survives_attach_detach_recompile() {
+    use vqpy_serve::{BatcherConfig, ModelBatcher, StreamOptions};
+
+    for config in [SessionConfig::default(), SessionConfig::pipelined(2)] {
+        let v = video(95, 12.0);
+        let q_straight = direction_query("StraightCar", "straight");
+        let q_red = color_query("RedCar", "red");
+        let q_left = direction_query("LeftCar", "left");
+
+        // Static references, one uninterrupted run with all three queries.
+        let offline = Arc::new(VqpySession::with_config(
+            ModelZoo::standard(),
+            config.clone(),
+        ));
+        let static_all = offline
+            .execute_shared(
+                &[
+                    Arc::clone(&q_straight),
+                    Arc::clone(&q_red),
+                    Arc::clone(&q_left),
+                ],
+                &v,
+            )
+            .unwrap();
+
+        let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+        let batcher = ModelBatcher::new(
+            BatcherConfig {
+                max_batch_frames: 256,
+                window: std::time::Duration::from_millis(2),
+            },
+            session.clock_handle(),
+        );
+        let server = session.serve(ServeConfig::default());
+        let stream = server.open_stream_with(
+            Arc::new(v.clone()),
+            StreamOptions {
+                dispatch: Some(batcher.dispatch()),
+            },
+        );
+        let sub_straight = server.attach(stream, Arc::clone(&q_straight)).unwrap();
+        let sub_red = server.attach(stream, Arc::clone(&q_red)).unwrap();
+        for _ in 0..4 {
+            let out = server.step(stream).unwrap();
+            assert!(!out.finished, "video too short for the scenario");
+        }
+        let boundary = server.position(stream).unwrap();
+        let sub_left = server.attach(stream, Arc::clone(&q_left)).unwrap();
+        server.detach(stream, sub_red.id()).unwrap();
+        server.run_to_end(stream).unwrap();
+
+        let (straight_hits, straight_agg) = sub_straight.collect();
+        assert_eq!(
+            straight_hits, static_all[0].frame_hits,
+            "surviving property query perturbed by recompile under batching"
+        );
+        assert_eq!(straight_agg, static_all[0].video_value);
+
+        let (red_hits, _) = sub_red.collect();
+        let expected_prefix: Vec<_> = static_all[1]
+            .frame_hits
+            .iter()
+            .filter(|h| h.frame < boundary)
+            .cloned()
+            .collect();
+        assert_eq!(
+            red_hits, expected_prefix,
+            "detached query not a clean prefix"
+        );
+
+        let (left_hits, _) = sub_left.collect();
+        let expected_suffix: Vec<_> = static_all[2]
+            .frame_hits
+            .iter()
+            .filter(|h| h.frame >= boundary)
+            .cloned()
+            .collect();
+        assert_eq!(left_hits, expected_suffix, "late query not a clean suffix");
+
+        let stats = batcher.stats();
+        assert!(
+            stats.classify.requests > 0,
+            "classify traffic must have routed via the batcher both before \
+             and after the recompile: {stats:?}"
+        );
+        assert!(stats.detect.requests > 0, "{stats:?}");
     }
 }
 
