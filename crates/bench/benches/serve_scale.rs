@@ -66,10 +66,12 @@ fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
                 channel_capacity: 64,
                 backpressure: Backpressure::Drop, // nobody drains during the timed run
                 batches_per_step: 4,
+                ..ServeConfig::default()
             },
             batcher: shared_batcher.then(|| BatcherConfig {
                 max_batch_frames: 64,
                 window: Duration::from_millis(1),
+                ..BatcherConfig::default()
             }),
             ..SupervisorConfig::default()
         },

@@ -20,12 +20,21 @@
 //! changes its results — only the charged (and, on an exclusive device,
 //! wall-realized) cost.
 //!
+//! The boundary is **fallible**: every entry point returns a
+//! `Result<_, ModelFault>` so a transient model failure (an injected
+//! fault, a panicking coalesced batch, a real backend hiccup) surfaces as
+//! a typed error instead of a panic. [`RetryDispatch`] layers a
+//! [`RetryPolicy`] — bounded retries with exponential backoff charged
+//! honestly through the [`Clock`] — over any inner dispatcher; because
+//! models answer deterministically, a successful retry returns exactly
+//! what the failed attempt would have.
+//!
 //! Dispatchers must be [`Send`] + [`Sync`]: the pipelined executor's detect
 //! workers share one dispatcher across threads, and the sequential tail
 //! submits classify traffic through the same handle.
 
 use std::sync::Arc;
-use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, Value};
+use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, ModelFault, Value};
 use vqpy_video::frame::Frame;
 
 /// The model stages whose invocations cross the dispatch boundary. Indexes
@@ -66,41 +75,55 @@ impl ModelStage {
 
 /// Issues model-stage invocations on behalf of the executor, one typed
 /// entry point per stage. Implementations must be result-transparent: each
-/// method's return value must equal the model's own batched entry point on
+/// method's `Ok` value must equal the model's own batched entry point on
 /// the same submission, regardless of how the physical invocation is
 /// organized.
 pub trait ModelDispatch: Send + Sync {
     /// Runs `detector` over `frames`, returning one detection list per
     /// frame, in order.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation failed and the dispatcher did
+    /// not (or could not) recover it.
     fn detect(
         &self,
         detector: &Arc<dyn Detector>,
         frames: &[&Frame],
         clock: &Clock,
-    ) -> Vec<Vec<Detection>>;
+    ) -> Result<Vec<Vec<Detection>>, ModelFault>;
 
     /// Runs the binary frame classifier over `frames`, returning one
     /// verdict per frame, in order.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation failed unrecoverably.
     fn predict(
         &self,
         model: &Arc<dyn FrameClassifier>,
         frames: &[&Frame],
         clock: &Clock,
-    ) -> Vec<bool>;
+    ) -> Result<Vec<bool>, ModelFault>;
 
     /// Runs the per-object property model over `dets` (crops of `frame`),
     /// returning one value per detection, in order.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation failed unrecoverably.
     fn classify(
         &self,
         model: &Arc<dyn Classifier>,
         frame: &Frame,
         dets: &[Detection],
         clock: &Clock,
-    ) -> Vec<Value>;
+    ) -> Result<Vec<Value>, ModelFault>;
 }
 
 /// The default boundary: one physical batched invocation per call, issued
-/// directly on the calling thread.
+/// directly on the calling thread through the models' fallible entry
+/// points.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DirectDispatch;
 
@@ -110,8 +133,8 @@ impl ModelDispatch for DirectDispatch {
         detector: &Arc<dyn Detector>,
         frames: &[&Frame],
         clock: &Clock,
-    ) -> Vec<Vec<Detection>> {
-        detector.detect_batch(frames, clock)
+    ) -> Result<Vec<Vec<Detection>>, ModelFault> {
+        detector.try_detect_batch(frames, clock)
     }
 
     fn predict(
@@ -119,8 +142,8 @@ impl ModelDispatch for DirectDispatch {
         model: &Arc<dyn FrameClassifier>,
         frames: &[&Frame],
         clock: &Clock,
-    ) -> Vec<bool> {
-        model.predict_batch(frames, clock)
+    ) -> Result<Vec<bool>, ModelFault> {
+        model.try_predict_batch(frames, clock)
     }
 
     fn classify(
@@ -129,8 +152,8 @@ impl ModelDispatch for DirectDispatch {
         frame: &Frame,
         dets: &[Detection],
         clock: &Clock,
-    ) -> Vec<Value> {
-        model.classify_batch(frame, dets, clock)
+    ) -> Result<Vec<Value>, ModelFault> {
+        model.try_classify_batch(frame, dets, clock)
     }
 }
 
@@ -141,11 +164,141 @@ pub fn direct() -> &'static DirectDispatch {
     &DIRECT
 }
 
+/// Charge label under which retry backoff is recorded, so experiments can
+/// see exactly how much virtual time fault recovery cost.
+pub const RETRY_BACKOFF_LABEL: &str = "retry_backoff";
+
+/// Bounded-retry policy for the dispatch boundary.
+///
+/// On a [`ModelFault`], the dispatcher waits `backoff_base_ms * 2^attempt`
+/// (charged to the [`Clock`] under [`RETRY_BACKOFF_LABEL`], so backoff is
+/// real virtual time, not free) and re-issues the invocation, up to
+/// `max_retries` times. A `stage_timeout_ms` bounds the *total* backoff a
+/// single stage invocation may accumulate: once the budget would be
+/// exceeded, the fault is returned even if retries remain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-issues after the first failure (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is `backoff_base_ms * 2^k`.
+    pub backoff_base_ms: f64,
+    /// Cap on total backoff per stage invocation, when set.
+    pub stage_timeout_ms: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base_ms: 4.0,
+            stage_timeout_ms: Some(250.0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: faults surface immediately.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base_ms: 0.0,
+            stage_timeout_ms: None,
+        }
+    }
+
+    fn run<T>(
+        &self,
+        clock: &Clock,
+        mut attempt: impl FnMut() -> Result<T, ModelFault>,
+    ) -> Result<T, ModelFault> {
+        let mut backoff_spent = 0.0f64;
+        let mut last = match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) => e,
+        };
+        for k in 0..self.max_retries {
+            let wait = self.backoff_base_ms * (1u64 << k.min(62)) as f64;
+            if let Some(budget) = self.stage_timeout_ms {
+                if backoff_spent + wait > budget {
+                    break;
+                }
+            }
+            if wait > 0.0 {
+                clock.charge_labeled(RETRY_BACKOFF_LABEL, wait);
+                backoff_spent += wait;
+            }
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+}
+
+/// Wraps any [`ModelDispatch`] with a [`RetryPolicy`]. The serving
+/// supervisor installs this over its shared batcher handle so every
+/// stream's stage invocations get bounded, honestly-charged retries.
+pub struct RetryDispatch {
+    inner: Arc<dyn ModelDispatch>,
+    policy: RetryPolicy,
+}
+
+impl RetryDispatch {
+    /// Wraps `inner` with `policy`.
+    pub fn new(inner: Arc<dyn ModelDispatch>, policy: RetryPolicy) -> Self {
+        Self { inner, policy }
+    }
+
+    /// The wrapped dispatcher.
+    pub fn inner(&self) -> &Arc<dyn ModelDispatch> {
+        &self.inner
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+}
+
+impl ModelDispatch for RetryDispatch {
+    fn detect(
+        &self,
+        detector: &Arc<dyn Detector>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Result<Vec<Vec<Detection>>, ModelFault> {
+        self.policy
+            .run(clock, || self.inner.detect(detector, frames, clock))
+    }
+
+    fn predict(
+        &self,
+        model: &Arc<dyn FrameClassifier>,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Result<Vec<bool>, ModelFault> {
+        self.policy
+            .run(clock, || self.inner.predict(model, frames, clock))
+    }
+
+    fn classify(
+        &self,
+        model: &Arc<dyn Classifier>,
+        frame: &Frame,
+        dets: &[Detection],
+        clock: &Clock,
+    ) -> Result<Vec<Value>, ModelFault> {
+        self.policy
+            .run(clock, || self.inner.classify(model, frame, dets, clock))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use vqpy_models::detectors::SimDetector;
-    use vqpy_models::ModelZoo;
+    use vqpy_models::{FaultInjector, FaultPlan, ModelZoo};
     use vqpy_video::presets;
     use vqpy_video::scene::Scene;
     use vqpy_video::source::{SyntheticVideo, VideoSource};
@@ -157,7 +310,7 @@ mod tests {
         let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 5.0));
         let frames: Vec<Frame> = (0..4).map(|i| v.frame(i)).collect();
         let refs: Vec<&Frame> = frames.iter().collect();
-        let a = DirectDispatch.detect(&det, &refs, &Clock::new());
+        let a = DirectDispatch.detect(&det, &refs, &Clock::new()).unwrap();
         let b = det.detect_batch(&refs, &Clock::new());
         assert_eq!(a, b);
     }
@@ -171,7 +324,9 @@ mod tests {
 
         let filter = zoo.frame_classifier("no_red_on_road").unwrap();
         assert_eq!(
-            DirectDispatch.predict(&filter, &refs, &Clock::new()),
+            DirectDispatch
+                .predict(&filter, &refs, &Clock::new())
+                .unwrap(),
             filter.predict_batch(&refs, &Clock::new()),
         );
 
@@ -179,7 +334,9 @@ mod tests {
         let dets = det.detect(&frames[0], &Clock::new());
         let clf = zoo.classifier("direction_model").unwrap();
         assert_eq!(
-            DirectDispatch.classify(&clf, &frames[0], &dets, &Clock::new()),
+            DirectDispatch
+                .classify(&clf, &frames[0], &dets, &Clock::new())
+                .unwrap(),
             clf.classify_batch(&frames[0], &dets, &Clock::new()),
         );
     }
@@ -193,5 +350,99 @@ mod tests {
             ModelStage::ALL.map(|s| s.name()),
             ["detect", "predict", "classify"]
         );
+    }
+
+    fn faulty_detector(n: u64) -> (FaultInjector, Arc<dyn Detector>) {
+        let inj = FaultInjector::new(FaultPlan::every_nth(3, n));
+        let det = inj.wrap_detector(Arc::new(SimDetector::general(
+            "yolox",
+            &["car"],
+            30.0,
+            0.95,
+            1,
+        )));
+        (inj, det)
+    }
+
+    #[test]
+    fn retry_recovers_transient_faults_with_identical_results() {
+        // Every 1st invocation of each pair fails; the retry succeeds and
+        // must return exactly what a clean call returns.
+        let (inj, det) = faulty_detector(2);
+        let clean: Arc<dyn Detector> =
+            Arc::new(SimDetector::general("yolox", &["car"], 30.0, 0.95, 1));
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 5.0));
+        let frames: Vec<Frame> = (0..4).map(|i| v.frame(i)).collect();
+        let refs: Vec<&Frame> = frames.iter().collect();
+
+        let retry = RetryDispatch::new(Arc::new(DirectDispatch), RetryPolicy::default());
+        let clock = Clock::new();
+        // Invocation #1 succeeds, #2 fails and is retried as #3.
+        let first = retry.detect(&det, &refs, &clock).unwrap();
+        let second = retry.detect(&det, &refs, &clock).unwrap();
+        let want = clean.detect_batch(&refs, &Clock::new());
+        assert_eq!(first, want);
+        assert_eq!(second, want);
+        assert_eq!(inj.injected_faults(), 1);
+        // Backoff was charged honestly: one retry at base backoff.
+        let stat = clock.stat(RETRY_BACKOFF_LABEL).expect("backoff charged");
+        assert_eq!(stat.invocations, 1);
+        assert_eq!(stat.units, RetryPolicy::default().backoff_base_ms);
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        // Every invocation fails; the fault must surface after exactly
+        // max_retries + 1 attempts.
+        let inj = FaultInjector::new(FaultPlan::every_nth(3, 1));
+        let det = inj.wrap_detector(Arc::new(SimDetector::general(
+            "yolox",
+            &["car"],
+            30.0,
+            0.95,
+            1,
+        )));
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 2.0));
+        let frame = v.frame(0);
+        let retry = RetryDispatch::new(
+            Arc::new(DirectDispatch),
+            RetryPolicy {
+                max_retries: 3,
+                backoff_base_ms: 1.0,
+                stage_timeout_ms: None,
+            },
+        );
+        let err = retry.detect(&det, &[&frame], &Clock::new()).unwrap_err();
+        assert!(err.message.contains("injected"));
+        assert_eq!(inj.injected_faults(), 4); // initial + 3 retries
+    }
+
+    #[test]
+    fn stage_timeout_bounds_total_backoff() {
+        let inj = FaultInjector::new(FaultPlan::every_nth(3, 1));
+        let det = inj.wrap_detector(Arc::new(SimDetector::general(
+            "yolox",
+            &["car"],
+            30.0,
+            0.95,
+            1,
+        )));
+        let v = SyntheticVideo::new(Scene::generate(presets::jackson(), 3, 2.0));
+        let frame = v.frame(0);
+        let clock = Clock::new();
+        let retry = RetryDispatch::new(
+            Arc::new(DirectDispatch),
+            RetryPolicy {
+                max_retries: 10,
+                backoff_base_ms: 4.0,
+                // Budget admits 4 + 8 = 12ms of backoff; the third retry
+                // (16ms) would exceed it.
+                stage_timeout_ms: Some(15.0),
+            },
+        );
+        assert!(retry.detect(&det, &[&frame], &clock).is_err());
+        assert_eq!(inj.injected_faults(), 3); // initial + 2 affordable retries
+        let stat = clock.stat(RETRY_BACKOFF_LABEL).unwrap();
+        assert_eq!(stat.units, 12.0);
     }
 }

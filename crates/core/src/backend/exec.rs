@@ -117,6 +117,10 @@ pub struct ExecMetrics {
     pub frames_total: u64,
     /// Frames surviving the frame filters (i.e. reaching detectors).
     pub frames_processed: u64,
+    /// Frames whose decode failed ([`vqpy_video::DecodeFault`]) and were
+    /// skipped instead of aborting the segment. Not counted in
+    /// `frames_total`: a skipped frame never enters the super-plan.
+    pub decode_failures: u64,
     pub reuse: ReuseStats,
     /// Virtual ms spent on each frame (only when
     /// [`ExecConfig::record_per_frame_ms`] is set; sequential mode only).
@@ -141,6 +145,7 @@ impl ExecMetrics {
     pub fn absorb(&mut self, other: &ExecMetrics) {
         self.frames_total += other.frames_total;
         self.frames_processed += other.frames_processed;
+        self.decode_failures += other.decode_failures;
         self.reuse.hits += other.reuse.hits;
         self.reuse.misses += other.reuse.misses;
         self.reuse.evictions += other.reuse.evictions;
@@ -164,6 +169,12 @@ impl ExecMetrics {
             self.reuse.misses,
             self.reuse.evictions,
         );
+        if self.decode_failures > 0 {
+            s.push_str(&format!(
+                " | {} decode failures skipped",
+                self.decode_failures
+            ));
+        }
         if !self.stage_wall_ms.is_empty() {
             let stages: Vec<String> = self
                 .stage_wall_ms
@@ -671,18 +682,33 @@ fn run_segment_sequential(
     let mut index = range.start;
     while index < range.end {
         let end = (index + batch).min(range.end);
-        let n = (end - index) as usize;
         let batch_start_ms = clock.virtual_ms();
-        for (i, f) in (index..end).enumerate() {
+        // Fill slots with the decodable frames of the batch, in order. An
+        // undecodable frame is skipped with a counter — decode faults are
+        // per-frame events, not stream-fatal — so `n` is the number of
+        // *surviving* frames in this batch.
+        let mut n = 0usize;
+        for f in index..end {
             clock.charge_labeled("video_decode", vqpy_models::zoo::COST_VIDEO_DECODE);
-            let frame = source.frame(f);
-            if i < slots.len() {
-                slots[i].reset(frame);
+            let frame = match source.try_frame(f) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    metrics.decode_failures += 1;
+                    continue;
+                }
+            };
+            if n < slots.len() {
+                slots[n].reset(frame);
             } else {
                 slots.push(FrameSlot::new(frame));
             }
-            slots[i].prepare_joins(plan.joins.len());
+            slots[n].prepare_joins(plan.joins.len());
             metrics.frames_total += 1;
+            n += 1;
+        }
+        if n == 0 {
+            index = end;
+            continue;
         }
         {
             let mut ctx = ExecCtx {

@@ -93,7 +93,11 @@ pub struct ExecCtx<'a> {
 /// the recompiled super-plan's operators with matching
 /// [`Operator::state_key`]s inherit the old state, keeping surviving
 /// queries' results byte-identical to an uninterrupted run.
-#[derive(Debug)]
+///
+/// `Clone` gives the serving layer a cheap checkpoint: state is cloned
+/// before each fallible segment so a panicking worker can restart from
+/// exactly the pre-segment state.
+#[derive(Debug, Clone)]
 pub enum OpState {
     /// [`DiffFrameFilter`]: the last kept frame's pixels.
     DiffFilter { last_kept: Option<PixelBuffer> },
@@ -233,7 +237,7 @@ impl Operator for BinaryFilterOp {
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let frames = [&slot.frame];
-        if !ctx.dispatch.predict(&self.model, &frames, ctx.clock)[0] {
+        if !ctx.dispatch.predict(&self.model, &frames, ctx.clock)?[0] {
             slot.alive = false;
         }
         Ok(())
@@ -245,7 +249,7 @@ impl Operator for BinaryFilterOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
-        let verdicts = ctx.dispatch.predict(&self.model, &frames, ctx.clock);
+        let verdicts = ctx.dispatch.predict(&self.model, &frames, ctx.clock)?;
         for (&i, keep) in live.iter().zip(verdicts) {
             if !keep {
                 slots[i].alive = false;
@@ -305,7 +309,7 @@ impl Operator for DetectOp {
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let frames = [&slot.frame];
-        let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock);
+        let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock)?;
         self.populate(slot, &per_frame[0]);
         Ok(())
     }
@@ -316,7 +320,7 @@ impl Operator for DetectOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
-        let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock);
+        let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock)?;
         for (&i, detections) in live.iter().zip(&per_frame) {
             self.populate(&mut slots[i], detections);
         }
@@ -587,7 +591,7 @@ impl ProjectOp {
         let clf = self.classifier(ctx)?;
         let values = ctx
             .dispatch
-            .classify(&clf, &slot.frame, &self.pending_dets, ctx.clock);
+            .classify(&clf, &slot.frame, &self.pending_dets, ctx.clock)?;
         for (&id, v) in self.pending_ids.iter().zip(values) {
             if intrinsic && ctx.enable_reuse {
                 if let Some(t) = slot.graph.nodes[id].track_id {

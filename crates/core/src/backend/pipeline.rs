@@ -43,10 +43,11 @@ use crate::backend::exec::{ExecConfig, ExecMetrics, ResultSink, StageOps};
 use crate::backend::ops::{ExecCtx, FrameSlot};
 use crate::backend::plan::PlanDag;
 use crate::backend::reuse::ReuseCache;
-use crate::error::{Result, VqpyError};
+use crate::error::{panic_message, Result, VqpyError};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
@@ -145,6 +146,22 @@ fn set_error(slot: &Mutex<Option<VqpyError>>, cancel: &AtomicBool, e: VqpyError)
     cancel.store(true, Ordering::Relaxed);
 }
 
+/// Runs a stage body, converting a panic into a typed
+/// [`VqpyError::StagePanic`]. Stage threads must not unwind through the
+/// scope: a panicking scoped thread would re-raise at scope exit *after*
+/// the other stages wind down on channel disconnects — but a thread parked
+/// on a channel whose peer is still alive would never observe the
+/// disconnect, so containment-plus-`set_error` (which flips `cancel`) is
+/// the only ordering that is deadlock-free for every stage.
+fn contain<R>(stage: &'static str, f: impl FnOnce() -> Result<R>) -> Result<R> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|p| {
+        Err(VqpyError::StagePanic {
+            stage,
+            message: panic_message(&*p),
+        })
+    })
+}
+
 /// Runs one contiguous frame segment through the staged pipeline. Called by
 /// [`crate::backend::exec::run_segment`] for [`Pipelined`] mode; operator
 /// state, the reuse cache, and metrics persist in the caller across calls.
@@ -190,13 +207,20 @@ pub(crate) fn run_segment_pipelined(
     let next_batch = AtomicU64::new(0);
     let stages = StageNanos::default();
     let frames_processed = AtomicU64::new(0);
+    let decode_failures = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         // ---- stage 1a: decode workers (parallel, unordered) --------------
         for _ in 0..workers {
             let decoded_tx = decoded_tx.clone();
-            let (cancel, stages, next_batch, recycle_rx) =
-                (&cancel, &stages, &next_batch, &recycle_rx);
+            let (cancel, stages, next_batch, recycle_rx, error, decode_failures) = (
+                &cancel,
+                &stages,
+                &next_batch,
+                &recycle_rx,
+                &error,
+                &decode_failures,
+            );
             scope.spawn(move || loop {
                 if cancel.load(Ordering::Relaxed) {
                     break;
@@ -208,19 +232,39 @@ pub(crate) fn run_segment_pipelined(
                 let lo = range.start + b * batch;
                 let hi = (lo + batch).min(range.end);
                 let mut slots = recycle_rx.lock().try_recv().unwrap_or_default();
-                timed(&stages.decode, || {
-                    for (i, f) in (lo..hi).enumerate() {
-                        clock.charge_labeled("video_decode", vqpy_models::zoo::COST_VIDEO_DECODE);
-                        let frame = source.frame(f);
-                        if i < slots.len() {
-                            slots[i].reset(frame);
-                        } else {
-                            slots.push(FrameSlot::new(frame));
+                let outcome = contain("decode", || {
+                    timed(&stages.decode, || {
+                        // An undecodable frame is skipped with a counter;
+                        // the batch ships with its surviving frames only.
+                        let mut n = 0usize;
+                        for f in lo..hi {
+                            clock.charge_labeled(
+                                "video_decode",
+                                vqpy_models::zoo::COST_VIDEO_DECODE,
+                            );
+                            let frame = match source.try_frame(f) {
+                                Ok(frame) => frame,
+                                Err(_) => {
+                                    decode_failures.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                            };
+                            if n < slots.len() {
+                                slots[n].reset(frame);
+                            } else {
+                                slots.push(FrameSlot::new(frame));
+                            }
+                            slots[n].prepare_joins(joins);
+                            n += 1;
                         }
-                        slots[i].prepare_joins(joins);
-                    }
-                    slots.truncate((hi - lo) as usize);
+                        slots.truncate(n);
+                    });
+                    Ok(())
                 });
+                if let Err(e) = outcome {
+                    set_error(error, cancel, e);
+                    break;
+                }
                 if !send_coop(&decoded_tx, (b, slots), cancel) {
                     break;
                 }
@@ -241,19 +285,21 @@ pub(crate) fn run_segment_pipelined(
                 'outer: while let Some(b) = recv_coop(decoded_rx, cancel) {
                     reorder.push(b);
                     while let Some((seq, mut slots)) = reorder.pop_ready() {
-                        let outcome = timed(&stages.frame_filters, || {
-                            let mut ctx = ExecCtx {
-                                dispatch: &*dispatch,
-                                zoo,
-                                clock,
-                                fps: source.fps(),
-                                reuse: &mut reuse,
-                                enable_reuse: config.enable_intrinsic_reuse,
-                            };
-                            for op in filter_ops.iter_mut() {
-                                op.process_batch(&mut slots, &mut ctx)?;
-                            }
-                            Ok::<(), VqpyError>(())
+                        let outcome = contain("frame_filters", || {
+                            timed(&stages.frame_filters, || {
+                                let mut ctx = ExecCtx {
+                                    dispatch: &*dispatch,
+                                    zoo,
+                                    clock,
+                                    fps: source.fps(),
+                                    reuse: &mut reuse,
+                                    enable_reuse: config.enable_intrinsic_reuse,
+                                };
+                                for op in filter_ops.iter_mut() {
+                                    op.process_batch(&mut slots, &mut ctx)?;
+                                }
+                                Ok::<(), VqpyError>(())
+                            })
                         });
                         if let Err(e) = outcome {
                             set_error(error, cancel, e);
@@ -280,19 +326,21 @@ pub(crate) fn run_segment_pipelined(
             scope.spawn(move || {
                 let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by detectors
                 while let Some((seq, mut slots)) = recv_coop(filtered_rx, cancel) {
-                    let outcome = timed(&stages.detect, || {
-                        let mut ctx = ExecCtx {
-                            dispatch: &*dispatch,
-                            zoo,
-                            clock,
-                            fps: source.fps(),
-                            reuse: &mut reuse,
-                            enable_reuse: config.enable_intrinsic_reuse,
-                        };
-                        for op in detect_ops.iter_mut() {
-                            op.process_batch(&mut slots, &mut ctx)?;
-                        }
-                        Ok::<(), VqpyError>(())
+                    let outcome = contain("detect", || {
+                        timed(&stages.detect, || {
+                            let mut ctx = ExecCtx {
+                                dispatch: &*dispatch,
+                                zoo,
+                                clock,
+                                fps: source.fps(),
+                                reuse: &mut reuse,
+                                enable_reuse: config.enable_intrinsic_reuse,
+                            };
+                            for op in detect_ops.iter_mut() {
+                                op.process_batch(&mut slots, &mut ctx)?;
+                            }
+                            Ok::<(), VqpyError>(())
+                        })
                     });
                     if let Err(e) = outcome {
                         set_error(error, cancel, e);
@@ -308,7 +356,7 @@ pub(crate) fn run_segment_pipelined(
 
         // ---- stage 3: tail (this thread, frame order) --------------------
         let mut reorder = Reorder::new();
-        let tail_outcome: Result<()> = (|| {
+        let tail_outcome: Result<()> = contain("tail", || {
             loop {
                 let msg = match detected_rx.recv_timeout(RECV_POLL) {
                     Ok(m) => m,
@@ -344,7 +392,7 @@ pub(crate) fn run_segment_pipelined(
                 }
             }
             Ok(())
-        })();
+        });
         if let Err(e) = tail_outcome {
             set_error(&error, &cancel, e);
         }
@@ -358,6 +406,7 @@ pub(crate) fn run_segment_pipelined(
     }
 
     metrics.frames_processed += frames_processed.load(Ordering::Relaxed);
+    metrics.decode_failures += decode_failures.load(Ordering::Relaxed);
     let ns = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 / 1e6;
     metrics.add_stage_wall("decode", ns(&stages.decode));
     metrics.add_stage_wall("frame_filters", ns(&stages.frame_filters));

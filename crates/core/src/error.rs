@@ -1,7 +1,7 @@
 //! Error types for query construction, planning, and execution.
 
 use std::fmt;
-use vqpy_models::{DecodeError, LookupModelError, ValueKind};
+use vqpy_models::{DecodeError, LookupModelError, ModelFault, ValueKind};
 
 /// Errors surfaced by the VQPy frontend and backend.
 #[derive(Debug)]
@@ -46,6 +46,18 @@ pub enum VqpyError {
     CyclicDependency { schema: String, property: String },
     /// A model lookup failed.
     Model(LookupModelError),
+    /// A model invocation failed at the dispatch boundary and was not
+    /// recovered by the configured retry policy.
+    ModelFault(ModelFault),
+    /// An executor stage thread panicked mid-segment; the segment was
+    /// abandoned. The serving layer's restart policy treats this the same
+    /// as a caught caller-thread panic.
+    StagePanic {
+        /// The stage whose worker panicked ("decode", "filter", "detect").
+        stage: &'static str,
+        /// The panic payload, stringified.
+        message: String,
+    },
     /// A higher-order query composition violates Rules 1-3 (§3).
     Compose(ComposeError),
     /// A VObj schema that must detect objects has no detector anywhere in
@@ -132,6 +144,10 @@ impl fmt::Display for VqpyError {
                 )
             }
             VqpyError::Model(e) => write!(f, "{e}"),
+            VqpyError::ModelFault(e) => write!(f, "{e}"),
+            VqpyError::StagePanic { stage, message } => {
+                write!(f, "{stage} stage worker panicked: {message}")
+            }
             VqpyError::Compose(e) => write!(f, "{e}"),
             VqpyError::MissingDetector(s) => {
                 write!(f, "VObj `{s}` has no detector in its inheritance chain")
@@ -149,6 +165,7 @@ impl std::error::Error for VqpyError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             VqpyError::Model(e) => Some(e),
+            VqpyError::ModelFault(e) => Some(e),
             VqpyError::Compose(e) => Some(e),
             VqpyError::Decode(e) => Some(e),
             _ => None,
@@ -171,6 +188,26 @@ impl From<DecodeError> for VqpyError {
 impl From<ComposeError> for VqpyError {
     fn from(e: ComposeError) -> Self {
         VqpyError::Compose(e)
+    }
+}
+
+impl From<ModelFault> for VqpyError {
+    fn from(e: ModelFault) -> Self {
+        VqpyError::ModelFault(e)
+    }
+}
+
+/// Stringifies a caught panic payload (the `Box<dyn Any>` from
+/// `catch_unwind`/`JoinHandle::join`) for typed fault reporting. Panics
+/// raised by `panic!("...")` carry `&str` or `String`; anything else is
+/// reported generically.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

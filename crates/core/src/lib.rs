@@ -46,13 +46,15 @@ pub mod frontend;
 pub mod scoring;
 pub mod session;
 
-pub use backend::dispatch::{DirectDispatch, ModelDispatch, ModelStage};
+pub use backend::dispatch::{
+    DirectDispatch, ModelDispatch, ModelStage, RetryDispatch, RetryPolicy, RETRY_BACKOFF_LABEL,
+};
 pub use backend::exec::{
     Collector, ExecConfig, ExecMetrics, ExecMode, FrameHit, QueryAccum, QueryResult, ResultSink,
     StageOps,
 };
 pub use backend::plan::{build_plan, OpSpec, PlanDag, PlanOptions};
-pub use error::{ComposeError, VqpyError};
+pub use error::{panic_message, ComposeError, VqpyError};
 pub use extend::{BinaryFilterReg, ExtensionRegistry, FrameFilterReg, SpecializedNnReg};
 pub use frontend::compose::{duration_query, spatial_query, temporal_query, QueryExpr};
 pub use frontend::predicate::{CmpOp, Pred, PropRef};

@@ -205,15 +205,24 @@ impl Clock {
         if self.mode != ClockMode::Latency {
             return f();
         }
-        BATCH_SECTIONS.with(|s| s.borrow_mut().push(0.0));
-        // A panic in `f` would leak the section entry; acceptable, as a
-        // panicking charge path aborts the experiment anyway.
-        let out = f();
-        let nanos = BATCH_SECTIONS.with(|s| s.borrow_mut().pop().unwrap_or(0.0));
-        if nanos > 0.0 {
-            self.sleep_on_device(nanos / 1e6);
+        // The section entry is popped by a drop guard so a panic in `f`
+        // (e.g. an injected model fault caught further up by the serving
+        // layer) cannot leak the entry into the thread-local stack of a
+        // reused worker thread. The net sleep is realized only on the
+        // non-panicking path: an aborted invocation's charges are
+        // bookkept but not slept.
+        struct Section<'a>(&'a Clock);
+        impl Drop for Section<'_> {
+            fn drop(&mut self) {
+                let nanos = BATCH_SECTIONS.with(|s| s.borrow_mut().pop().unwrap_or(0.0));
+                if nanos > 0.0 && !std::thread::panicking() {
+                    self.0.sleep_on_device(nanos / 1e6);
+                }
+            }
         }
-        out
+        BATCH_SECTIONS.with(|s| s.borrow_mut().push(0.0));
+        let _section = Section(self);
+        f()
     }
 
     fn sleep_on_device(&self, units: CostUnits) {
@@ -359,6 +368,25 @@ mod tests {
         // ms, 4 invocations.
         assert!((c.virtual_ms() - 25.0).abs() < 1e-9);
         assert_eq!(c.stat("m").unwrap().invocations, 4);
+    }
+
+    #[test]
+    fn batch_section_survives_a_panic_without_leaking() {
+        let c = Clock::with_mode(ClockMode::Latency);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.batch_section(|| {
+                c.charge_model("m", 10.0);
+                panic!("injected");
+            })
+        }));
+        assert!(r.is_err());
+        // The section entry must be popped despite the panic: a later
+        // charge on this thread realizes its own sleep instead of
+        // accumulating into a leaked entry.
+        let start = std::time::Instant::now();
+        c.charge_model("m", 10.0);
+        let wall = start.elapsed();
+        assert!(wall >= std::time::Duration::from_millis(9), "{wall:?}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod clock;
 pub mod decode;
 pub mod detection;
 pub mod detectors;
+pub mod fault;
 pub mod frame_filters;
 pub mod hoi;
 pub mod traits;
@@ -47,6 +48,7 @@ pub mod zoo;
 pub use clock::{ChargeStat, Clock, ClockMode, CostUnits, DeviceModel};
 pub use decode::{DecodeError, FromRow, FromValue, Row};
 pub use detection::{det_rng, Detection};
+pub use fault::{FaultInjector, FaultPlan, ModelFault, FAULT_SPIKE_LABEL};
 pub use traits::{
     Classifier, Detector, FrameClassifier, HoiModel, HoiTriple, ModelProfile, TaskKind,
     BATCH_OVERHEAD_FRACTION, DISPATCH_LABEL, DISPATCH_LAUNCH_COST,

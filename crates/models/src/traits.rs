@@ -7,6 +7,7 @@
 
 use crate::clock::{Clock, CostUnits};
 use crate::detection::Detection;
+use crate::fault::ModelFault;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use vqpy_video::frame::Frame;
@@ -108,6 +109,24 @@ pub trait Detector: Send + Sync {
             out
         })
     }
+
+    /// Fallible twin of [`Detector::detect_batch`]: the entry point the
+    /// dispatch boundary calls. Simulated models never fail, so the
+    /// default is `Ok(detect_batch(...))`; fault-injection wrappers (and
+    /// real network-backed models) override it to surface transient
+    /// failures as [`ModelFault`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation fails transiently; retrying
+    /// may succeed.
+    fn try_detect_batch(
+        &self,
+        frames: &[&Frame],
+        clock: &Clock,
+    ) -> Result<Vec<Vec<Detection>>, ModelFault> {
+        Ok(self.detect_batch(frames, clock))
+    }
 }
 
 /// A per-object attribute model (color, type, plate, embedding, ...).
@@ -158,6 +177,35 @@ pub trait Classifier: Send + Sync {
             out
         })
     }
+
+    /// Fallible twin of [`Classifier::classify_batch`]. See
+    /// [`Detector::try_detect_batch`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation fails transiently.
+    fn try_classify_batch(
+        &self,
+        frame: &Frame,
+        dets: &[Detection],
+        clock: &Clock,
+    ) -> Result<Vec<Value>, ModelFault> {
+        Ok(self.classify_batch(frame, dets, clock))
+    }
+
+    /// Fallible twin of [`Classifier::classify_batch_jobs`]. See
+    /// [`Detector::try_detect_batch`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation fails transiently.
+    fn try_classify_batch_jobs(
+        &self,
+        jobs: &[(&Frame, &[Detection])],
+        clock: &Clock,
+    ) -> Result<Vec<Vec<Value>>, ModelFault> {
+        Ok(self.classify_batch_jobs(jobs, clock))
+    }
 }
 
 /// A frame-level yes/no model ("does this frame plausibly contain a red
@@ -180,6 +228,16 @@ pub trait FrameClassifier: Send + Sync {
             credit_batch_overhead(clock, self.profile().cost, frames.len());
             out
         })
+    }
+
+    /// Fallible twin of [`FrameClassifier::predict_batch`]. See
+    /// [`Detector::try_detect_batch`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// A [`ModelFault`] when the invocation fails transiently.
+    fn try_predict_batch(&self, frames: &[&Frame], clock: &Clock) -> Result<Vec<bool>, ModelFault> {
+        Ok(self.predict_batch(frames, clock))
     }
 }
 

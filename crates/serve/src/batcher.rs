@@ -18,18 +18,28 @@
 //! its results (the serve equivalence suite proves byte-identity against
 //! solo execution); only the amortized dispatch overhead changes.
 //!
-//! The batcher degrades gracefully: once [`ModelBatcher::shutdown`] runs
-//! (or the batcher is dropped), engines still holding its dispatch handle
-//! fall back to direct per-stream invocation instead of failing.
+//! The batcher degrades gracefully along a ladder: once
+//! [`ModelBatcher::shutdown`] runs (or the batcher is dropped), engines
+//! still holding its dispatch handle fall back to direct per-stream
+//! invocation instead of failing. A model call that fails (or panics)
+//! inside a coalesced round is converted to a typed
+//! [`ModelFault`] reply for every participating stream — one bad model
+//! never kills the coalescing thread. And a **per-model-instance circuit
+//! breaker** trips after [`BatcherConfig::breaker_trip_after`] consecutive
+//! batched failures, routing that model's submissions to direct dispatch
+//! (degraded but live, and isolated from other streams' shared rounds)
+//! until a periodic probe through the batcher succeeds.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vqpy_core::{ModelDispatch, ModelStage};
-use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, Value};
+use vqpy_core::{panic_message, ModelDispatch, ModelStage};
+use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, ModelFault, Value};
 use vqpy_video::frame::Frame;
 
 /// Coalescing bounds for the cross-stream batcher.
@@ -44,6 +54,13 @@ pub struct BatcherConfig {
     /// more but add up to this much latency when only one stream is
     /// active.
     pub window: Duration,
+    /// Consecutive batched failures of one model instance before its
+    /// circuit breaker opens and submissions route to direct dispatch.
+    pub breaker_trip_after: u32,
+    /// While a breaker is open, every `breaker_probe_every`-th submission
+    /// is sent through the batcher as a probe; a successful probe closes
+    /// the breaker.
+    pub breaker_probe_every: u64,
 }
 
 impl Default for BatcherConfig {
@@ -51,8 +68,32 @@ impl Default for BatcherConfig {
         Self {
             max_batch_frames: 64,
             window: Duration::from_millis(3),
+            breaker_trip_after: 3,
+            breaker_probe_every: 4,
         }
     }
+}
+
+/// Fault-handling counters of one dispatch handle: typed model faults
+/// surfaced to streams, circuit-breaker transitions, and coalescing-thread
+/// panics converted to faults. Exposed in [`BatcherStats`] and the
+/// supervisor's `LoadSnapshot` so trip/recover transitions are observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// `Err` results returned to calling streams through this handle
+    /// (after breaker routing, before any caller-side retry).
+    pub model_faults: u64,
+    /// Breaker open transitions (consecutive-failure threshold reached).
+    pub breaker_trips: u64,
+    /// Breaker close transitions (a probe through the batcher succeeded).
+    pub breaker_recoveries: u64,
+    /// Submissions routed to direct dispatch because a breaker was open.
+    pub broken_dispatches: u64,
+    /// Submissions sent through the batcher as probes while open.
+    pub probes: u64,
+    /// Coalesced rounds whose model call panicked; each became a typed
+    /// fault reply for every participating stream.
+    pub coalesce_panics: u64,
 }
 
 /// Per-stage coalescing counters: how many stream requests were folded
@@ -102,6 +143,9 @@ pub struct BatcherStats {
     pub predict: StageCoalesce,
     /// Classify/projection-stage coalescing counters.
     pub classify: StageCoalesce,
+    /// Fault-handling counters (typed faults, breaker transitions,
+    /// coalescing-thread panics).
+    pub faults: FaultStats,
 }
 
 impl BatcherStats {
@@ -152,8 +196,48 @@ impl StageStatsInner {
 }
 
 #[derive(Default)]
+struct FaultStatsInner {
+    model_faults: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_recoveries: AtomicU64,
+    broken_dispatches: AtomicU64,
+    probes: AtomicU64,
+    coalesce_panics: AtomicU64,
+}
+
+impl FaultStatsInner {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            model_faults: self.model_faults.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
+            broken_dispatches: self.broken_dispatches.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            coalesce_panics: self.coalesce_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Default)]
 struct StatsInner {
     stages: [StageStatsInner; 3],
+    faults: FaultStatsInner,
+}
+
+/// Breaker bookkeeping for one model instance (keyed by `Arc` identity).
+#[derive(Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open: bool,
+    calls_since_trip: u64,
+}
+
+/// Where one submission goes after consulting the model's breaker.
+enum Route {
+    /// Through the coalescing thread (normally, or as a probe while open).
+    Batched { probe: bool },
+    /// Direct per-stream invocation because the breaker is open.
+    Direct,
 }
 
 /// One stream's typed model-stage submission.
@@ -162,13 +246,13 @@ enum Request {
     Detect {
         model: Arc<dyn Detector>,
         frames: Vec<Frame>,
-        reply: SyncSender<Vec<Vec<Detection>>>,
+        reply: SyncSender<Result<Vec<Vec<Detection>>, ModelFault>>,
     },
     /// A binary-filter batch: live frames in, per-frame verdicts out.
     Predict {
         model: Arc<dyn FrameClassifier>,
         frames: Vec<Frame>,
-        reply: SyncSender<Vec<bool>>,
+        reply: SyncSender<Result<Vec<bool>, ModelFault>>,
     },
     /// A classify/projection batch: one frame's crops in, per-crop values
     /// out.
@@ -176,7 +260,7 @@ enum Request {
         model: Arc<dyn Classifier>,
         frame: Frame,
         dets: Vec<Detection>,
-        reply: SyncSender<Vec<Value>>,
+        reply: SyncSender<Result<Vec<Value>, ModelFault>>,
     },
 }
 
@@ -216,17 +300,28 @@ impl Request {
 /// Every stage's method blocks the calling stream (its operators cannot
 /// proceed without results) while the coalescing thread folds the request
 /// into a physical batch. If the batcher has shut down, the call
-/// transparently falls back to a direct per-stream invocation.
+/// transparently falls back to a direct per-stream invocation. A model
+/// whose circuit breaker is open also dispatches direct (except for
+/// periodic probes) until a probe through the batcher succeeds.
 pub struct BatchedDispatch {
     /// `None` after shutdown; dispatch then falls back to direct calls.
     tx: Mutex<Option<SyncSender<Request>>>,
     stats: Arc<StatsInner>,
+    breaker_trip_after: u32,
+    breaker_probe_every: u64,
+    /// Breaker state per model instance, keyed by `Arc` pointer identity —
+    /// the same identity requests coalesce under. (A key can in principle
+    /// be reused after a model is dropped and a new allocation lands at
+    /// the same address; the breaker then merely starts from that model's
+    /// prior state and self-corrects on its first outcomes.)
+    breakers: Mutex<HashMap<usize, BreakerState>>,
 }
 
 impl std::fmt::Debug for BatchedDispatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchedDispatch")
             .field("open", &self.tx.lock().is_some())
+            .field("faults", &self.stats.faults.snapshot())
             .finish()
     }
 }
@@ -246,6 +341,91 @@ impl BatchedDispatch {
         }
         None
     }
+
+    /// Consults (and advances) the model's breaker to route one
+    /// submission.
+    fn route(&self, key: usize) -> Route {
+        let mut map = self.breakers.lock();
+        let st = map.entry(key).or_default();
+        if !st.open {
+            return Route::Batched { probe: false };
+        }
+        st.calls_since_trip += 1;
+        if st.calls_since_trip.is_multiple_of(self.breaker_probe_every.max(1)) {
+            Route::Batched { probe: true }
+        } else {
+            Route::Direct
+        }
+    }
+
+    /// Records the outcome of a batched (or probe) call against the
+    /// model's breaker. Direct calls while open never update the breaker —
+    /// only a probe through the batcher can close it.
+    fn record_outcome(&self, key: usize, ok: bool) {
+        let mut map = self.breakers.lock();
+        let st = map.entry(key).or_default();
+        if ok {
+            st.consecutive_failures = 0;
+            if st.open {
+                st.open = false;
+                st.calls_since_trip = 0;
+                self.stats
+                    .faults
+                    .breaker_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            st.consecutive_failures = st.consecutive_failures.saturating_add(1);
+            if !st.open && st.consecutive_failures >= self.breaker_trip_after.max(1) {
+                st.open = true;
+                st.calls_since_trip = 0;
+                self.stats
+                    .faults
+                    .breaker_trips
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The breaker-aware submission path shared by every stage: route,
+    /// dispatch (batched, probe, or direct), record the outcome, and count
+    /// faults surfaced to the caller.
+    fn submit<T>(
+        &self,
+        key: usize,
+        make: impl FnOnce(SyncSender<Result<T, ModelFault>>) -> Request,
+        direct: impl Fn() -> Result<T, ModelFault>,
+    ) -> Result<T, ModelFault> {
+        let faults = &self.stats.faults;
+        match self.route(key) {
+            Route::Direct => {
+                faults.broken_dispatches.fetch_add(1, Ordering::Relaxed);
+                let r = direct();
+                if r.is_err() {
+                    faults.model_faults.fetch_add(1, Ordering::Relaxed);
+                }
+                r
+            }
+            Route::Batched { probe } => {
+                if probe {
+                    faults.probes.fetch_add(1, Ordering::Relaxed);
+                }
+                match self.roundtrip(make) {
+                    Some(result) => {
+                        self.record_outcome(key, result.is_ok());
+                        if result.is_err() {
+                            faults.model_faults.fetch_add(1, Ordering::Relaxed);
+                        }
+                        result
+                    }
+                    // Batcher gone (shutdown): plain direct fallback with
+                    // no breaker bookkeeping — there is no coalescing
+                    // path left to protect or probe.
+                    None => direct(),
+                }
+            }
+        }
+    }
 }
 
 impl ModelDispatch for BatchedDispatch {
@@ -254,17 +434,20 @@ impl ModelDispatch for BatchedDispatch {
         detector: &Arc<dyn Detector>,
         frames: &[&Frame],
         clock: &Clock,
-    ) -> Vec<Vec<Detection>> {
-        self.roundtrip(|reply| Request::Detect {
-            model: Arc::clone(detector),
-            // Shipping frames to the coalescing thread clones them (truth
-            // is an Arc; pixels are the real copy). This is off the
-            // per-stream allocation-free fast path by design: the copy
-            // buys one physical model invocation across streams.
-            frames: frames.iter().map(|f| (*f).clone()).collect(),
-            reply,
-        })
-        .unwrap_or_else(|| detector.detect_batch(frames, clock))
+    ) -> Result<Vec<Vec<Detection>>, ModelFault> {
+        self.submit(
+            Arc::as_ptr(detector) as *const () as usize,
+            |reply| Request::Detect {
+                model: Arc::clone(detector),
+                // Shipping frames to the coalescing thread clones them
+                // (truth is an Arc; pixels are the real copy). This is off
+                // the per-stream allocation-free fast path by design: the
+                // copy buys one physical model invocation across streams.
+                frames: frames.iter().map(|f| (*f).clone()).collect(),
+                reply,
+            },
+            || detector.try_detect_batch(frames, clock),
+        )
     }
 
     fn predict(
@@ -272,13 +455,16 @@ impl ModelDispatch for BatchedDispatch {
         model: &Arc<dyn FrameClassifier>,
         frames: &[&Frame],
         clock: &Clock,
-    ) -> Vec<bool> {
-        self.roundtrip(|reply| Request::Predict {
-            model: Arc::clone(model),
-            frames: frames.iter().map(|f| (*f).clone()).collect(),
-            reply,
-        })
-        .unwrap_or_else(|| model.predict_batch(frames, clock))
+    ) -> Result<Vec<bool>, ModelFault> {
+        self.submit(
+            Arc::as_ptr(model) as *const () as usize,
+            |reply| Request::Predict {
+                model: Arc::clone(model),
+                frames: frames.iter().map(|f| (*f).clone()).collect(),
+                reply,
+            },
+            || model.try_predict_batch(frames, clock),
+        )
     }
 
     fn classify(
@@ -287,17 +473,20 @@ impl ModelDispatch for BatchedDispatch {
         frame: &Frame,
         dets: &[Detection],
         clock: &Clock,
-    ) -> Vec<Value> {
+    ) -> Result<Vec<Value>, ModelFault> {
         if dets.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        self.roundtrip(|reply| Request::Classify {
-            model: Arc::clone(model),
-            frame: frame.clone(),
-            dets: dets.to_vec(),
-            reply,
-        })
-        .unwrap_or_else(|| model.classify_batch(frame, dets, clock))
+        self.submit(
+            Arc::as_ptr(model) as *const () as usize,
+            |reply| Request::Classify {
+                model: Arc::clone(model),
+                frame: frame.clone(),
+                dets: dets.to_vec(),
+                reply,
+            },
+            || model.try_classify_batch(frame, dets, clock),
+        )
     }
 }
 
@@ -324,6 +513,10 @@ impl std::fmt::Debug for ModelBatcher {
 impl ModelBatcher {
     /// Spawns the coalescing thread. `clock` is the session clock every
     /// participating stream charges to.
+    ///
+    /// If the OS refuses the thread, the batcher degrades instead of
+    /// panicking: handles dispatch direct per-stream from the start,
+    /// exactly as after [`ModelBatcher::shutdown`].
     pub fn new(config: BatcherConfig, clock: Arc<Clock>) -> Self {
         // The queue bound only limits burst submissions; each stream has
         // at most a handful of in-flight requests (its detect workers plus
@@ -331,16 +524,23 @@ impl ModelBatcher {
         let (tx, rx) = sync_channel::<Request>(1024);
         let stats = Arc::new(StatsInner::default());
         let worker_stats = Arc::clone(&stats);
-        let worker = std::thread::Builder::new()
+        let worker_config = config.clone();
+        let spawned = std::thread::Builder::new()
             .name("vqpy-model-batcher".into())
-            .spawn(move || run_batcher(rx, config, clock, worker_stats))
-            .expect("spawn batcher thread");
+            .spawn(move || run_batcher(rx, worker_config, clock, worker_stats));
+        let (worker, tx) = match spawned {
+            Ok(w) => (Some(w), Some(tx)),
+            Err(_) => (None, None),
+        };
         Self {
             dispatch: Arc::new(BatchedDispatch {
-                tx: Mutex::new(Some(tx)),
+                tx: Mutex::new(tx),
                 stats,
+                breaker_trip_after: config.breaker_trip_after,
+                breaker_probe_every: config.breaker_probe_every,
+                breakers: Mutex::new(HashMap::new()),
             }),
-            worker: Some(worker),
+            worker,
         }
     }
 
@@ -367,6 +567,7 @@ impl ModelBatcher {
             detect: per[ModelStage::Detect.index()],
             predict: per[ModelStage::Predict.index()],
             classify: per[ModelStage::Classify.index()],
+            faults: self.dispatch.stats.faults.snapshot(),
         }
     }
 
@@ -436,9 +637,32 @@ fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>) {
         let items: u64 = idxs.iter().map(|&i| requests[i].items() as u64).sum();
         stats.stages[stage.index()].record(idxs.len() as u64, items);
         match stage {
-            ModelStage::Detect => run_detect_group(requests, idxs, clock),
-            ModelStage::Predict => run_predict_group(requests, idxs, clock),
-            ModelStage::Classify => run_classify_group(requests, idxs, clock),
+            ModelStage::Detect => run_detect_group(requests, idxs, clock, stats),
+            ModelStage::Predict => run_predict_group(requests, idxs, clock, stats),
+            ModelStage::Classify => run_classify_group(requests, idxs, clock, stats),
+        }
+    }
+}
+
+/// Runs one physical model call, converting a panic into a typed fault so
+/// the coalescing thread survives — every participating stream still gets
+/// an answer, and one poisoned model cannot take the shared batcher down.
+fn guard<T>(
+    stats: &StatsInner,
+    model: &str,
+    call: impl FnOnce() -> Result<T, ModelFault>,
+) -> Result<T, ModelFault> {
+    match catch_unwind(AssertUnwindSafe(call)) {
+        Ok(r) => r,
+        Err(payload) => {
+            stats.faults.coalesce_panics.fetch_add(1, Ordering::Relaxed);
+            Err(ModelFault::new(
+                model,
+                format!(
+                    "panic in coalesced batch: {}",
+                    panic_message(payload.as_ref())
+                ),
+            ))
         }
     }
 }
@@ -446,27 +670,40 @@ fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>) {
 /// Shared demux for the frame-carrying stages: concatenates every
 /// participating request's frames, runs one physical invocation via
 /// `batch`, and splits the per-frame results back per request in
-/// submission order. Receivers may have given up (stream torn down);
+/// submission order. A failed invocation replies a cloned fault to every
+/// participant instead. Receivers may have given up (stream torn down);
 /// those sends are ignored.
+/// A participating request's frames plus its reply channel, as extracted
+/// from a coalesced window by `run_frame_group`.
+type FramePart<'a, R> = (&'a Vec<Frame>, &'a SyncSender<Result<Vec<R>, ModelFault>>);
+
 fn run_frame_group<R>(
     requests: &[Request],
     idxs: &[usize],
-    extract: impl Fn(&Request) -> Option<(&Vec<Frame>, &SyncSender<Vec<R>>)>,
-    batch: impl FnOnce(&[&Frame]) -> Vec<R>,
+    extract: impl Fn(&Request) -> Option<FramePart<'_, R>>,
+    batch: impl FnOnce(&[&Frame]) -> Result<Vec<R>, ModelFault>,
 ) {
-    let parts: Vec<(&Vec<Frame>, &SyncSender<Vec<R>>)> =
+    let parts: Vec<FramePart<'_, R>> =
         idxs.iter().filter_map(|&i| extract(&requests[i])).collect();
     let frames: Vec<&Frame> = parts.iter().flat_map(|(f, _)| f.iter()).collect();
-    let mut results = batch(&frames);
-    for (f, reply) in parts {
-        let rest = results.split_off(f.len());
-        let own = std::mem::replace(&mut results, rest);
-        let _ = reply.send(own);
+    match batch(&frames) {
+        Ok(mut results) => {
+            for (f, reply) in parts {
+                let rest = results.split_off(f.len());
+                let own = std::mem::replace(&mut results, rest);
+                let _ = reply.send(Ok(own));
+            }
+        }
+        Err(fault) => {
+            for (_, reply) in parts {
+                let _ = reply.send(Err(fault.clone()));
+            }
+        }
     }
 }
 
 /// One physical `detect_batch` over every participating stream's frames.
-fn run_detect_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
+fn run_detect_group(requests: &[Request], idxs: &[usize], clock: &Clock, stats: &StatsInner) {
     let Some(Request::Detect { model, .. }) = idxs.first().map(|&i| &requests[i]) else {
         return;
     };
@@ -477,12 +714,16 @@ fn run_detect_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
             Request::Detect { frames, reply, .. } => Some((frames, reply)),
             _ => None,
         },
-        |frames| model.detect_batch(frames, clock),
+        |frames| {
+            guard(stats, &model.profile().name, || {
+                model.try_detect_batch(frames, clock)
+            })
+        },
     );
 }
 
 /// One physical `predict_batch` over every participating stream's frames.
-fn run_predict_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
+fn run_predict_group(requests: &[Request], idxs: &[usize], clock: &Clock, stats: &StatsInner) {
     let Some(Request::Predict { model, .. }) = idxs.first().map(|&i| &requests[i]) else {
         return;
     };
@@ -493,13 +734,17 @@ fn run_predict_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
             Request::Predict { frames, reply, .. } => Some((frames, reply)),
             _ => None,
         },
-        |frames| model.predict_batch(frames, clock),
+        |frames| {
+            guard(stats, &model.profile().name, || {
+                model.try_predict_batch(frames, clock)
+            })
+        },
     );
 }
 
 /// One physical `classify_batch_jobs` over every participating stream's
 /// (frame, crops) jobs, one value list back per request.
-fn run_classify_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
+fn run_classify_group(requests: &[Request], idxs: &[usize], clock: &Clock, stats: &StatsInner) {
     let mut model = None;
     let mut jobs: Vec<(&Frame, &[Detection])> = Vec::new();
     for &i in idxs {
@@ -515,10 +760,22 @@ fn run_classify_group(requests: &[Request], idxs: &[usize], clock: &Clock) {
         }
     }
     let Some(model) = model else { return };
-    let results = model.classify_batch_jobs(&jobs, clock);
-    for (&i, values) in idxs.iter().zip(results) {
-        if let Request::Classify { reply, .. } = &requests[i] {
-            let _ = reply.send(values);
+    match guard(stats, &model.profile().name, || {
+        model.try_classify_batch_jobs(&jobs, clock)
+    }) {
+        Ok(results) => {
+            for (&i, values) in idxs.iter().zip(results) {
+                if let Request::Classify { reply, .. } = &requests[i] {
+                    let _ = reply.send(Ok(values));
+                }
+            }
+        }
+        Err(fault) => {
+            for &i in idxs {
+                if let Request::Classify { reply, .. } = &requests[i] {
+                    let _ = reply.send(Err(fault.clone()));
+                }
+            }
         }
     }
 }
@@ -549,8 +806,8 @@ mod tests {
         let det = detector();
         let fs = frames(5, 6);
         let refs: Vec<&Frame> = fs.iter().collect();
-        let via_batcher = batcher.dispatch().detect(&det, &refs, &clock);
-        let direct = DirectDispatch.detect(&det, &refs, &Clock::new());
+        let via_batcher = batcher.dispatch().detect(&det, &refs, &clock).unwrap();
+        let direct = DirectDispatch.detect(&det, &refs, &Clock::new()).unwrap();
         assert_eq!(via_batcher, direct);
     }
 
@@ -565,7 +822,7 @@ mod tests {
 
         let filter = zoo.frame_classifier("no_red_on_road").unwrap();
         assert_eq!(
-            dispatch.predict(&filter, &refs, &clock),
+            dispatch.predict(&filter, &refs, &clock).unwrap(),
             filter.predict_batch(&refs, &Clock::new()),
         );
 
@@ -573,7 +830,7 @@ mod tests {
         let dets = det.detect(&fs[0], &Clock::new());
         let clf = zoo.classifier("direction_model").unwrap();
         assert_eq!(
-            dispatch.classify(&clf, &fs[0], &dets, &clock),
+            dispatch.classify(&clf, &fs[0], &dets, &clock).unwrap(),
             clf.classify_batch(&fs[0], &dets, &Clock::new()),
         );
 
@@ -602,6 +859,7 @@ mod tests {
             BatcherConfig {
                 max_batch_frames: 64,
                 window: Duration::from_millis(50),
+                ..BatcherConfig::default()
             },
             Arc::clone(&clock),
         );
@@ -614,7 +872,7 @@ mod tests {
                 s.spawn(move || {
                     let fs = frames(seed, 4);
                     let refs: Vec<&Frame> = fs.iter().collect();
-                    let got = dispatch.detect(&det, &refs, &clock);
+                    let got = dispatch.detect(&det, &refs, &clock).unwrap();
                     let want = det.detect_batch(&refs, &Clock::new());
                     assert_eq!(got, want, "stream {seed} results perturbed");
                 });
@@ -640,6 +898,7 @@ mod tests {
             BatcherConfig {
                 max_batch_frames: 256,
                 window: Duration::from_millis(50),
+                ..BatcherConfig::default()
             },
             Arc::clone(&clock),
         );
@@ -654,7 +913,7 @@ mod tests {
                     // requests, exactly like the projection operator's.
                     for f in frames(seed, 3) {
                         let dets = det.detect(&f, &Clock::new());
-                        let got = dispatch.classify(&clf, &f, &dets, &clock);
+                        let got = dispatch.classify(&clf, &f, &dets, &clock).unwrap();
                         let want = clf.classify_batch(&f, &dets, &Clock::new());
                         assert_eq!(got, want, "stream {seed} crop values perturbed");
                     }
@@ -678,6 +937,7 @@ mod tests {
             BatcherConfig {
                 max_batch_frames: 256,
                 window: Duration::from_millis(50),
+                ..BatcherConfig::default()
             },
             Arc::clone(&clock),
         );
@@ -697,13 +957,13 @@ mod tests {
                     let fs = frames(seed, 2);
                     let refs: Vec<&Frame> = fs.iter().collect();
                     assert_eq!(
-                        dispatch.predict(&filter, &refs, &clock),
+                        dispatch.predict(&filter, &refs, &clock).unwrap(),
                         filter.predict_batch(&refs, &Clock::new()),
                     );
-                    let boxes = dispatch.detect(&det, &refs, &clock);
+                    let boxes = dispatch.detect(&det, &refs, &clock).unwrap();
                     assert_eq!(boxes, det.detect_batch(&refs, &Clock::new()));
                     assert_eq!(
-                        dispatch.classify(&clf, &fs[0], &boxes[0], &clock),
+                        dispatch.classify(&clf, &fs[0], &boxes[0], &clock).unwrap(),
                         clf.classify_batch(&fs[0], &boxes[0], &Clock::new()),
                     );
                 });
@@ -727,12 +987,12 @@ mod tests {
         let det = detector();
         let fs = frames(9, 3);
         let refs: Vec<&Frame> = fs.iter().collect();
-        let got = handle.detect(&det, &refs, &clock);
+        let got = handle.detect(&det, &refs, &clock).unwrap();
         assert_eq!(got, det.detect_batch(&refs, &Clock::new()));
         let clf = ModelZoo::standard().classifier("color_detect").unwrap();
         let dets = det.detect(&fs[0], &Clock::new());
         assert_eq!(
-            handle.classify(&clf, &fs[0], &dets, &clock),
+            handle.classify(&clf, &fs[0], &dets, &clock).unwrap(),
             clf.classify_batch(&fs[0], &dets, &Clock::new()),
         );
         assert_eq!(
@@ -740,5 +1000,93 @@ mod tests {
             0,
             "post-shutdown calls are direct"
         );
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_faults_and_recovers_on_probe() {
+        use vqpy_models::{FaultInjector, FaultPlan};
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(
+            BatcherConfig {
+                breaker_trip_after: 2,
+                breaker_probe_every: 2,
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&clock),
+        );
+        let dispatch = batcher.dispatch();
+        // Fails every invocation until 3 faults are injected, then heals.
+        let injector = FaultInjector::new(FaultPlan::every_nth(7, 1).heal_after(3));
+        let det = injector.wrap_detector(detector());
+        let fs = frames(41, 2);
+        let refs: Vec<&Frame> = fs.iter().collect();
+
+        // Calls 1-2: batched, both fail -> breaker trips at 2 consecutive.
+        assert!(dispatch.detect(&det, &refs, &clock).is_err());
+        assert!(dispatch.detect(&det, &refs, &clock).is_err());
+        // Call 3: breaker open, routed direct (still failing: 3rd fault).
+        assert!(dispatch.detect(&det, &refs, &clock).is_err());
+        // Call 4: every 2nd open call is a probe; the model has healed, so
+        // the probe succeeds and closes the breaker.
+        let recovered = dispatch.detect(&det, &refs, &clock).unwrap();
+        assert_eq!(recovered, detector().detect_batch(&refs, &Clock::new()));
+        // Call 5: breaker closed again, normal batched path.
+        let after = dispatch.detect(&det, &refs, &clock).unwrap();
+        assert_eq!(after, recovered);
+
+        assert_eq!(injector.injected_faults(), 3);
+        let faults = batcher.stats().faults;
+        assert_eq!(
+            faults,
+            FaultStats {
+                model_faults: 3,
+                breaker_trips: 1,
+                breaker_recoveries: 1,
+                broken_dispatches: 1,
+                probes: 1,
+                coalesce_panics: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn coalesced_panic_becomes_a_typed_fault_and_batcher_survives() {
+        struct PanicDetector {
+            profile: vqpy_models::ModelProfile,
+        }
+        impl Detector for PanicDetector {
+            fn profile(&self) -> &vqpy_models::ModelProfile {
+                &self.profile
+            }
+            fn detect(&self, _frame: &Frame, _clock: &Clock) -> Vec<Detection> {
+                panic!("poisoned weights")
+            }
+        }
+        let clock = Arc::new(Clock::new());
+        let batcher = ModelBatcher::new(BatcherConfig::default(), Arc::clone(&clock));
+        let dispatch = batcher.dispatch();
+        let bad: Arc<dyn Detector> = Arc::new(PanicDetector {
+            profile: vqpy_models::ModelProfile::new(
+                "bad_det",
+                vqpy_models::TaskKind::Detection,
+                1.0,
+                0.5,
+            ),
+        });
+        let fs = frames(43, 2);
+        let refs: Vec<&Frame> = fs.iter().collect();
+
+        let err = dispatch.detect(&bad, &refs, &clock).unwrap_err();
+        assert!(err.to_string().contains("poisoned weights"), "{err}");
+
+        // The coalescing thread survived the panic: a healthy model still
+        // goes through the batcher and coalescing stats keep advancing.
+        let det = detector();
+        let ok = dispatch.detect(&det, &refs, &clock).unwrap();
+        assert_eq!(ok, det.detect_batch(&refs, &Clock::new()));
+        let stats = batcher.stats();
+        assert_eq!(stats.faults.coalesce_panics, 1);
+        assert_eq!(stats.faults.model_faults, 1);
+        assert_eq!(stats.detect.requests, 2, "both calls used the batcher");
     }
 }

@@ -19,7 +19,9 @@
 //! queries: their subgraph's operators are bit-for-bit the ones that were
 //! already running.
 
+use std::collections::HashMap;
 use vqpy_core::backend::exec::{instantiate_stage_ops, run_segment, ResultSink};
+use vqpy_core::backend::ops::OpState;
 use vqpy_core::backend::plan::PlanDag;
 use vqpy_core::backend::reuse::ReuseCache;
 use vqpy_core::backend::symbols::SymbolTable;
@@ -27,6 +29,19 @@ use vqpy_core::error::Result;
 use vqpy_core::{ExecConfig, ExecMetrics, StageOps};
 use vqpy_models::{Clock, ModelZoo};
 use vqpy_video::source::VideoSource;
+
+/// A restorable checkpoint of one stream engine: every stateful operator's
+/// cross-frame state (tracker tracks, frame-difference reference frames,
+/// stateful property windows) plus the cumulative metrics at capture time.
+///
+/// Taken by the serving layer before each segment when worker restarts are
+/// enabled; [`StreamEngine::restore`] rolls the engine back so a panicked
+/// segment can be re-run (or skipped) from a consistent boundary.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    states: HashMap<String, OpState>,
+    metrics: ExecMetrics,
+}
 
 /// Live execution state for one stream, persistent across plan recompiles.
 pub struct StreamEngine {
@@ -81,6 +96,32 @@ impl StreamEngine {
     /// later [`StreamEngine::recompile`].
     pub fn set_dispatch(&mut self, dispatch: std::sync::Arc<dyn vqpy_core::ModelDispatch>) {
         self.ops.dispatch = dispatch;
+    }
+
+    /// Captures a restorable checkpoint of every stateful operator plus
+    /// the cumulative metrics. Export drains the operators, so the state
+    /// is cloned and immediately re-imported — the engine keeps running
+    /// exactly as before the call.
+    pub fn snapshot(&mut self) -> EngineSnapshot {
+        let mut states = self.ops.export_states();
+        let cloned = states.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        self.ops.import_states(&mut states);
+        EngineSnapshot {
+            states: cloned,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Rolls the engine back to a checkpoint taken by
+    /// [`StreamEngine::snapshot`]: every stateful operator's cross-frame
+    /// state and the cumulative metrics are overwritten. Used by the
+    /// serving layer's restart policy after a worker panic, so a re-run
+    /// (or skip) starts from the same consistent boundary the failed
+    /// segment did.
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) {
+        let mut states = snapshot.states.clone();
+        self.ops.import_states(&mut states);
+        self.metrics = snapshot.metrics.clone();
     }
 
     /// Swaps in a recompiled super-plan at a batch boundary. Cross-frame

@@ -65,14 +65,16 @@ pub mod subscription;
 pub mod supervisor;
 pub mod typed;
 
-pub use batcher::{BatchedDispatch, BatcherConfig, BatcherStats, ModelBatcher, StageCoalesce};
+pub use batcher::{
+    BatchedDispatch, BatcherConfig, BatcherStats, FaultStats, ModelBatcher, StageCoalesce,
+};
 pub use engine::StreamEngine;
 pub use metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
 pub use server::{
-    Backpressure, ServeConfig, ServeError, ServeResult, ServeSession, StepOutcome, StreamId,
-    StreamOptions, StreamServer,
+    Backpressure, RestartPolicy, ResumeMode, ServeConfig, ServeError, ServeResult, ServeSession,
+    StepOutcome, StreamId, StreamOptions, StreamServer, RESTART_BACKOFF_LABEL,
 };
-pub use subscription::{ServeEvent, Subscription, SubscriptionClosed, SubscriptionId};
+pub use subscription::{ServeEvent, StreamFault, Subscription, SubscriptionClosed, SubscriptionId};
 pub use supervisor::{
     AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamSupervisor,
     SupervisorConfig,

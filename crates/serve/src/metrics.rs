@@ -26,6 +26,15 @@ pub struct ServeMetrics {
     pub batches: u64,
     /// Super-plan recompiles triggered by attach/detach.
     pub recompiles: u64,
+    /// Automatic worker restarts after panics (see
+    /// `RestartPolicy`).
+    pub restarts: u64,
+    /// Frames permanently lost to faulted segments (skip-mode resumes or
+    /// an exhausted restart budget).
+    pub frames_lost: u64,
+    /// Frames the decoder failed on and the executors skipped (never
+    /// counted in `frames_total`).
+    pub decode_failures: u64,
     /// Wall milliseconds spent executing (excludes idle time between
     /// steps).
     pub wall_ms: f64,
@@ -92,7 +101,7 @@ impl ServeMetrics {
                 )
             })
             .collect();
-        format!(
+        let mut line = format!(
             "{} frames in {} batches ({:.1} frames/s, {} recompiles, reuse {:.1}%, {} dropped) | {}",
             self.frames_total,
             self.batches,
@@ -101,7 +110,20 @@ impl ServeMetrics {
             self.reuse_hit_rate * 100.0,
             self.dropped_events,
             queries.join("; "),
-        )
+        );
+        if self.restarts > 0 || self.frames_lost > 0 {
+            line.push_str(&format!(
+                " | {} restarts, {} frames lost",
+                self.restarts, self.frames_lost
+            ));
+        }
+        if self.decode_failures > 0 {
+            line.push_str(&format!(
+                " | {} decode failures skipped",
+                self.decode_failures
+            ));
+        }
+        line
     }
 }
 

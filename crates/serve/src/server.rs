@@ -3,9 +3,10 @@
 
 use crate::engine::StreamEngine;
 use crate::metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
-use crate::subscription::{ServeEvent, Subscription, SubscriptionId};
+use crate::subscription::{ServeEvent, StreamFault, Subscription, SubscriptionId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -14,11 +15,59 @@ use vqpy_core::backend::exec::{QueryAccum, ResultSink};
 use vqpy_core::backend::ops::FrameSlot;
 use vqpy_core::backend::plan::PlanDag;
 use vqpy_core::error::VqpyError;
-use vqpy_core::{ExecMetrics, ModelDispatch, Query, VqpySession};
+use vqpy_core::{panic_message, ExecMetrics, ModelDispatch, Query, VqpySession};
 use vqpy_video::source::VideoSource;
 
 /// Identifier of one open stream on a server.
 pub type StreamId = u64;
+
+/// Clock label the restart backoff is charged under, so recovery pauses
+/// are visible in the session's charge ledger like any other model cost.
+pub const RESTART_BACKOFF_LABEL: &str = "restart_backoff";
+
+/// What a restarted stream does with the segment that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Re-run the faulted segment from the pre-segment checkpoint.
+    /// Frames the failed attempt already delivered are suppressed on the
+    /// re-run, so subscribers see each frame's results exactly once, and
+    /// surviving results stay byte-identical to a fault-free run.
+    #[default]
+    Retry,
+    /// Skip the rest of the faulted segment; the skipped frames are
+    /// counted in [`ServeMetrics::frames_lost`] and in the
+    /// [`StreamFault`] notice.
+    Skip,
+}
+
+/// Bounded automatic restarts after a worker panic. The stream's engine is
+/// checkpointed before each segment; on a panic (caught at the step
+/// boundary, or a contained pipeline-stage panic surfaced as
+/// [`VqpyError::StagePanic`]) the engine rolls back to the checkpoint,
+/// subscribers get a typed [`ServeEvent::StreamFault`], and the segment is
+/// re-run or skipped per [`ResumeMode`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartPolicy {
+    /// Panics tolerated per stream before [`StreamServer::step`] gives up
+    /// with [`ServeError::WorkerPanic`]. Zero makes the first panic fatal
+    /// (still typed — never a propagated panic).
+    pub max_restarts: u64,
+    /// Wall-clock pause charged to the session clock (label
+    /// [`RESTART_BACKOFF_LABEL`]) before each re-run.
+    pub backoff_ms: f64,
+    /// What to do with the faulted segment.
+    pub resume: ResumeMode,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 2,
+            backoff_ms: 5.0,
+            resume: ResumeMode::Retry,
+        }
+    }
+}
 
 /// What happens when a subscriber's bounded channel is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +96,10 @@ pub struct ServeConfig {
     /// are applied only at step boundaries (which are batch boundaries).
     /// Larger values amortize pipelined stage spin-up across more frames.
     pub batches_per_step: u64,
+    /// Worker-panic containment: how many automatic restarts a stream
+    /// gets, how long to back off, and whether faulted segments are
+    /// re-run or skipped.
+    pub restart: RestartPolicy,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +108,7 @@ impl Default for ServeConfig {
             channel_capacity: 1024,
             backpressure: Backpressure::Block,
             batches_per_step: 1,
+            restart: RestartPolicy::default(),
         }
     }
 }
@@ -69,6 +123,18 @@ pub enum ServeError {
     UnknownSubscription(SubscriptionId),
     /// The stream already reached end-of-video.
     StreamFinished,
+    /// The stream's execution worker panicked and the restart budget is
+    /// exhausted. Subscribers received a final non-resumed
+    /// [`ServeEvent::StreamFault`] and their channels closed; the stream
+    /// is finished in a faulted state.
+    WorkerPanic {
+        /// The stringified panic payload of the final fault.
+        message: String,
+        /// Automatic restarts consumed before giving up.
+        restarts: u64,
+    },
+    /// The OS refused to spawn a stream's worker thread.
+    WorkerSpawn(String),
     /// Planning or execution failed in the core engine.
     Core(VqpyError),
 }
@@ -79,6 +145,11 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownStream(id) => write!(f, "unknown stream {id}"),
             ServeError::UnknownSubscription(id) => write!(f, "unknown subscription {id}"),
             ServeError::StreamFinished => write!(f, "stream already finished"),
+            ServeError::WorkerPanic { message, restarts } => write!(
+                f,
+                "stream worker panicked after {restarts} restarts: {message}"
+            ),
+            ServeError::WorkerSpawn(e) => write!(f, "failed to spawn stream worker: {e}"),
             ServeError::Core(e) => write!(f, "execution error: {e}"),
         }
     }
@@ -157,6 +228,25 @@ impl ActiveSub {
         }
     }
 
+    /// Sends an out-of-band notice (fault events) without touching the
+    /// delivery counters, so `delivered`/`dropped` keep meaning "result
+    /// events" for equivalence accounting.
+    fn notify(&mut self, event: ServeEvent, policy: Backpressure) {
+        if !self.connected {
+            return;
+        }
+        let outcome = match policy {
+            Backpressure::Block => self.tx.send(event).map_err(|_| false),
+            Backpressure::Drop => self.tx.try_send(event).map_err(|e| match e {
+                TrySendError::Full(_) => true,
+                TrySendError::Disconnected(_) => false,
+            }),
+        };
+        if let Err(false) = outcome {
+            self.connected = false;
+        }
+    }
+
     fn metrics(&self) -> QueryServeMetrics {
         QueryServeMetrics {
             query: self.query.name().to_owned(),
@@ -217,6 +307,11 @@ struct Stream {
     next_frame: u64,
     batches: u64,
     recompiles: u64,
+    /// Automatic worker restarts consumed (see [`RestartPolicy`]).
+    restarts: u64,
+    /// Frames permanently lost to faulted segments ([`ResumeMode::Skip`]
+    /// or a non-resumed final fault).
+    frames_lost: u64,
     wall_ms: f64,
     /// Execution metrics of engines retired when their last query
     /// detached, so frames/reuse counters survive engine turnover.
@@ -235,6 +330,8 @@ impl Stream {
             next_frame: 0,
             batches: 0,
             recompiles: 0,
+            restarts: 0,
+            frames_lost: 0,
             wall_ms: 0.0,
             retired_exec: ExecMetrics::default(),
             past_queries: Vec::new(),
@@ -294,10 +391,24 @@ struct DemuxSink<'a> {
     policy: Backpressure,
     /// When this segment entered the engine, for delivery latency.
     ingest: Instant,
+    /// Frames at or below this index were fully observed and delivered by
+    /// an earlier attempt of this segment that later faulted; they are
+    /// passed over wholesale on the re-run (both `observe` and delivery),
+    /// so aggregates count each frame once and subscribers never see a
+    /// duplicate hit.
+    skip_through: Option<u64>,
+    /// Highest frame index fully demuxed (every join observed) by this
+    /// attempt; the restart machinery reads it to know where delivery
+    /// actually got to when the attempt faulted.
+    progress: Option<u64>,
 }
 
 impl ResultSink for DemuxSink<'_> {
     fn on_frame(&mut self, plan: &PlanDag, slot: &FrameSlot) -> vqpy_core::error::Result<()> {
+        let frame = slot.frame.index;
+        if self.skip_through.is_some_and(|t| frame <= t) {
+            return Ok(());
+        }
         for (ji, join) in plan.joins.iter().enumerate() {
             let sub = &mut self.subs[ji];
             // `observe` must see every frame (aggregate bookkeeping), not
@@ -306,6 +417,7 @@ impl ResultSink for DemuxSink<'_> {
                 sub.deliver(ServeEvent::Hit(hit), self.policy, self.ingest);
             }
         }
+        self.progress = Some(frame);
         Ok(())
     }
 }
@@ -593,6 +705,123 @@ impl StreamServer {
         }
     }
 
+    /// Runs one segment with panic isolation and the configured
+    /// [`RestartPolicy`]: checkpoint the engine, run, and on a worker
+    /// panic (caught here, or a contained pipeline-stage panic surfaced as
+    /// [`VqpyError::StagePanic`]) roll back to the checkpoint, notify
+    /// subscribers with a typed [`ServeEvent::StreamFault`], and re-run or
+    /// skip the segment. Exhausting the restart budget finishes the
+    /// stream in a faulted state and returns
+    /// [`ServeError::WorkerPanic`]. Non-panic execution errors propagate
+    /// unchanged.
+    fn run_segment_isolated(
+        &self,
+        handle: &StreamHandle,
+        s: &mut Stream,
+        range: &std::ops::Range<u64>,
+        wall: Instant,
+    ) -> ServeResult<()> {
+        let restart = self.config.restart;
+        let engine = s.engine.as_mut().expect("caller checked engine presence");
+        let mut skip_through: Option<u64> = None;
+        loop {
+            let checkpoint = engine.snapshot();
+            let mut sink = DemuxSink {
+                subs: &mut s.subs,
+                policy: self.config.backpressure,
+                ingest: wall,
+                skip_through,
+                progress: None,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                engine.run_segment(
+                    s.source.as_ref(),
+                    self.session.zoo(),
+                    self.session.clock(),
+                    &self.session.config().exec,
+                    range.clone(),
+                    &mut sink,
+                )
+            }));
+            let message = match outcome {
+                Ok(Ok(())) => return Ok(()),
+                // A stage-thread panic the pipelined executor already
+                // contained: same fault class as a caller-thread panic.
+                Ok(Err(VqpyError::StagePanic { stage, message })) => {
+                    format!("{stage} stage: {message}")
+                }
+                Ok(Err(e)) => return Err(e.into()),
+                Err(payload) => panic_message(payload.as_ref()),
+            };
+            let progress = sink.progress;
+            // Highest frame already delivered to subscribers, across every
+            // attempt of this segment.
+            let delivered_through = progress.or(skip_through);
+            let lost_if_abandoned = range.end - delivered_through.map_or(range.start, |p| p + 1);
+            engine.restore(&checkpoint);
+
+            if s.restarts >= restart.max_restarts {
+                // Budget exhausted: final non-resumed fault notice, then
+                // the channels close (collect() terminates) and the typed
+                // error surfaces to the driver.
+                let fault = StreamFault {
+                    frame: range.start,
+                    message: message.clone(),
+                    restarts: s.restarts,
+                    resumed: false,
+                    frames_lost: lost_if_abandoned,
+                };
+                for sub in s.subs.iter_mut() {
+                    sub.notify(
+                        ServeEvent::StreamFault(fault.clone()),
+                        self.config.backpressure,
+                    );
+                }
+                s.frames_lost += lost_if_abandoned;
+                s.subs.clear();
+                handle.finished.store(true, Ordering::Release);
+                return Err(ServeError::WorkerPanic {
+                    message,
+                    restarts: s.restarts,
+                });
+            }
+            s.restarts += 1;
+            if restart.backoff_ms > 0.0 {
+                self.session
+                    .clock()
+                    .charge_labeled(RESTART_BACKOFF_LABEL, restart.backoff_ms);
+            }
+            let frames_lost = match restart.resume {
+                ResumeMode::Retry => {
+                    if let Some(p) = progress {
+                        skip_through = Some(p);
+                    }
+                    0
+                }
+                ResumeMode::Skip => {
+                    s.frames_lost += lost_if_abandoned;
+                    lost_if_abandoned
+                }
+            };
+            let fault = StreamFault {
+                frame: range.start,
+                message,
+                restarts: s.restarts,
+                resumed: true,
+                frames_lost,
+            };
+            for sub in s.subs.iter_mut() {
+                sub.notify(
+                    ServeEvent::StreamFault(fault.clone()),
+                    self.config.backpressure,
+                );
+            }
+            if restart.resume == ResumeMode::Skip {
+                return Ok(());
+            }
+        }
+    }
+
     /// Advances a stream by one step ([`ServeConfig::batches_per_step`]
     /// batches), applying pending attach/detach commands first. No frames
     /// are skipped by a recompile: execution resumes at exactly the next
@@ -624,20 +853,8 @@ impl StreamServer {
         let frames = (batch * self.config.batches_per_step.max(1)).min(total - s.next_frame);
         let range = s.next_frame..s.next_frame + frames;
         let wall = Instant::now();
-        if let Some(engine) = s.engine.as_mut() {
-            let mut sink = DemuxSink {
-                subs: &mut s.subs,
-                policy: self.config.backpressure,
-                ingest: wall,
-            };
-            engine.run_segment(
-                s.source.as_ref(),
-                self.session.zoo(),
-                self.session.clock(),
-                exec,
-                range.clone(),
-                &mut sink,
-            )?;
+        if s.engine.is_some() {
+            self.run_segment_isolated(&handle, s, &range, wall)?;
             s.batches += frames.div_ceil(batch);
         }
         // With no queries attached the stream stays live but idle: frames
@@ -680,6 +897,9 @@ impl StreamServer {
             frames_total: exec.frames_total,
             batches: s.batches,
             recompiles: s.recompiles,
+            restarts: s.restarts,
+            frames_lost: s.frames_lost,
+            decode_failures: exec.decode_failures,
             wall_ms: s.wall_ms,
             frames_per_s: if s.wall_ms > 0.0 {
                 exec.frames_total as f64 / (s.wall_ms / 1e3)

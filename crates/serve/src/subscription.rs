@@ -21,14 +21,42 @@ impl std::fmt::Display for SubscriptionClosed {
 
 impl std::error::Error for SubscriptionClosed {}
 
+/// A typed worker-fault notice delivered to every subscriber of a stream
+/// whose execution panicked mid-segment (see
+/// [`RestartPolicy`](crate::RestartPolicy)). Informational: when `resumed`
+/// is true the restart policy recovered the stream and more events follow;
+/// when false the restart budget is exhausted and the channel closes next.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFault {
+    /// First frame of the segment that faulted.
+    pub frame: u64,
+    /// The stringified panic payload (or contained stage-panic message).
+    pub message: String,
+    /// Automatic restarts consumed by this stream so far, this fault
+    /// included when it was restartable.
+    pub restarts: u64,
+    /// Whether the stream restarted and continues (`true`), or gave up
+    /// because the restart budget is exhausted (`false`).
+    pub resumed: bool,
+    /// Frames permanently lost to this fault (nonzero only under
+    /// [`ResumeMode::Skip`](crate::ResumeMode::Skip) or when the stream
+    /// gave up).
+    pub frames_lost: u64,
+}
+
 /// An incremental result event. A subscription delivers the exact rows an
 /// offline [`QueryResult`](vqpy_core::QueryResult) would contain, one hit
 /// frame at a time, terminated by [`ServeEvent::End`] (stream exhausted) or
 /// [`ServeEvent::Detached`] (query removed at a batch boundary).
+/// [`ServeEvent::StreamFault`] notices may be interleaved; they are not
+/// terminal when the fault was resumed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeEvent {
     /// A frame matched the query, with its projected output rows.
     Hit(FrameHit),
+    /// The stream's worker panicked; the restart policy handled it (see
+    /// [`StreamFault::resumed`]).
+    StreamFault(StreamFault),
     /// The stream ended.
     End {
         /// The query's final video-level aggregate (over the frames
@@ -83,6 +111,7 @@ pub enum ServeEvent {
 /// while let Some(event) = sub.recv() {
 ///     match event {
 ///         ServeEvent::Hit(_) => hits += 1,
+///         ServeEvent::StreamFault(fault) => eprintln!("worker fault: {}", fault.message),
 ///         ServeEvent::End { .. } | ServeEvent::Detached { .. } => break,
 ///     }
 /// }
@@ -150,6 +179,9 @@ impl Subscription {
         while let Ok(event) = self.rx.recv() {
             match event {
                 ServeEvent::Hit(h) => hits.push(h),
+                // Resumed faults are informational; an unresumed fault is
+                // followed by the channel closing, which ends the loop.
+                ServeEvent::StreamFault(_) => {}
                 ServeEvent::End { video_value: v } | ServeEvent::Detached { video_value: v } => {
                     video_value = v;
                     break;

@@ -43,7 +43,7 @@
 //!   └────────────────────────────────────────────────────────┘  demux per stream
 //! ```
 
-use crate::batcher::{BatcherConfig, BatcherStats, ModelBatcher};
+use crate::batcher::{BatcherConfig, BatcherStats, FaultStats, ModelBatcher};
 use crate::server::{ServeConfig, ServeError, ServeResult, StreamId, StreamOptions, StreamServer};
 use crate::subscription::Subscription;
 use crate::ServeMetrics;
@@ -53,7 +53,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use vqpy_core::{ModelDispatch, Query, VqpySession};
+use vqpy_core::{
+    panic_message, DirectDispatch, ModelDispatch, Query, RetryDispatch, RetryPolicy, VqpySession,
+};
 use vqpy_video::source::VideoSource;
 
 /// How a stream's worker schedules step execution.
@@ -149,6 +151,10 @@ pub struct LoadSnapshot {
     pub delivered: u64,
     /// Events dropped by `Backpressure::Drop` across all subscriptions.
     pub dropped: u64,
+    /// Fault-handling counters of the shared batcher's dispatch boundary
+    /// (typed model faults, circuit-breaker trips/recoveries, coalescing
+    /// panics). All zero when no batcher is configured.
+    pub faults: FaultStats,
 }
 
 impl LoadSnapshot {
@@ -265,6 +271,12 @@ pub struct SupervisorConfig {
     /// stage (detect, binary filter, classify); `None` keeps direct
     /// per-stream model invocation.
     pub batcher: Option<BatcherConfig>,
+    /// Retries transient model faults at every stream's dispatch boundary
+    /// (bounded attempts, exponential backoff charged to the session
+    /// clock, per-stage timeout). Applies over the batcher when one is
+    /// configured, and over direct dispatch otherwise. `None` surfaces
+    /// faults to the engine unretried.
+    pub retry: Option<RetryPolicy>,
     /// Admission thresholds.
     pub policy: ServePolicy,
     /// Bound on each paced stream's backlog of due-but-unexecuted steps;
@@ -399,12 +411,21 @@ impl StreamSupervisor {
         self.config
             .policy
             .admit_stream(&self.load_locked(&workers))?;
-        let options = StreamOptions {
-            dispatch: self
-                .batcher
-                .as_ref()
-                .map(|b| b.dispatch() as Arc<dyn ModelDispatch>),
+        let base: Option<Arc<dyn ModelDispatch>> = self
+            .batcher
+            .as_ref()
+            .map(|b| b.dispatch() as Arc<dyn ModelDispatch>);
+        let dispatch = match (base, self.config.retry) {
+            (Some(d), Some(policy)) => {
+                Some(Arc::new(RetryDispatch::new(d, policy)) as Arc<dyn ModelDispatch>)
+            }
+            (None, Some(policy)) => Some(Arc::new(RetryDispatch::new(
+                Arc::new(DirectDispatch),
+                policy,
+            )) as Arc<dyn ModelDispatch>),
+            (d, None) => d,
         };
+        let options = StreamOptions { dispatch };
         let stream = self.server.open_stream_with(source, options);
         let mut subs = Vec::with_capacity(queries.len());
         for q in queries {
@@ -414,10 +435,18 @@ impl StreamSupervisor {
         let worker_shared = Arc::clone(&shared);
         let server = Arc::clone(&self.server);
         let bound = self.config.ingest_bound();
-        let handle = std::thread::Builder::new()
+        let handle = match std::thread::Builder::new()
             .name(format!("vqpy-stream-{stream}"))
             .spawn(move || run_worker(server, stream, pace, bound, worker_shared))
-            .expect("spawn stream worker");
+        {
+            Ok(h) => h,
+            Err(e) => {
+                // Roll the stream back out so subscribers see their
+                // channels close rather than a stream nobody drives.
+                let _ = self.server.close_stream(stream);
+                return Err(AttachError::Serve(ServeError::WorkerSpawn(e.to_string())));
+            }
+        };
         workers.insert(
             stream,
             StreamWorker {
@@ -467,6 +496,9 @@ impl StreamSupervisor {
             }
             load.ticks_shed += w.shared.ticks_shed.load(Ordering::Relaxed);
         }
+        if let Some(b) = &self.batcher {
+            load.faults = b.stats().faults;
+        }
         load
     }
 
@@ -500,22 +532,28 @@ impl StreamSupervisor {
     /// attach). Under [`Backpressure::Block`](crate::Backpressure) this
     /// blocks until subscribers drain, by design.
     pub fn join_stream(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
-        let handle = {
+        let (handle, shared) = {
             let mut workers = self.workers.lock();
             let w = workers
                 .get_mut(&stream)
                 .ok_or(ServeError::UnknownStream(stream))?;
-            w.handle.take()
+            (w.handle.take(), Arc::clone(&w.shared))
         };
         if let Some(h) = handle {
-            let _ = h.join();
+            if let Err(payload) = h.join() {
+                // The worker thread itself died (a panic that escaped the
+                // step-level containment): surface it typed, immediately.
+                shared.finished.store(true, Ordering::Release);
+                let mut err = shared.error.lock();
+                if err.is_none() {
+                    *err = Some(ServeError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                        restarts: 0,
+                    });
+                }
+            }
         }
-        let err = {
-            let workers = self.workers.lock();
-            workers
-                .get(&stream)
-                .and_then(|w| w.shared.error.lock().take())
-        };
+        let err = shared.error.lock().take();
         match err {
             Some(e) => Err(e),
             None => self.server.metrics(stream),

@@ -11,7 +11,9 @@
 //! decoding failures surface as [`DecodeError`]s, never panics.
 
 use crate::server::{ServeResult, StreamId, StreamServer};
-use crate::subscription::{ServeEvent, Subscription, SubscriptionClosed, SubscriptionId};
+use crate::subscription::{
+    ServeEvent, StreamFault, Subscription, SubscriptionClosed, SubscriptionId,
+};
 use crate::supervisor::{AttachError, StreamSupervisor};
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -25,6 +27,10 @@ use vqpy_models::{DecodeError, FromRow, Value};
 pub enum TypedServeEvent<R> {
     /// A frame matched the query, with its decoded rows.
     Hit(TypedHit<R>),
+    /// The stream's worker panicked and the restart policy handled it
+    /// (passed through undecoded; see
+    /// [`StreamFault`]). Not terminal when the fault was resumed.
+    StreamFault(StreamFault),
     /// The stream ended; carries the final video aggregate, if declared.
     End {
         /// The query's video-level aggregate over the frames observed
@@ -108,6 +114,7 @@ impl<R: FromRow> TypedSubscription<R> {
     /// while let Some(event) = sub.recv() {
     ///     match event? {
     ///         TypedServeEvent::Hit(hit) => rows += hit.rows.len(),
+    ///         TypedServeEvent::StreamFault(fault) => eprintln!("fault: {}", fault.message),
     ///         TypedServeEvent::End { .. } | TypedServeEvent::Detached { .. } => break,
     ///     }
     /// }
@@ -144,6 +151,9 @@ impl<R: FromRow> TypedSubscription<R> {
         while let Some(event) = self.inner.recv() {
             match decode_event::<R>(event)? {
                 TypedServeEvent::Hit(h) => hits.push(h),
+                // Resumed faults are informational; an unresumed fault is
+                // followed by the channel closing, ending the loop.
+                TypedServeEvent::StreamFault(_) => {}
                 TypedServeEvent::End { video_value: v }
                 | TypedServeEvent::Detached { video_value: v } => {
                     video_value = v;
@@ -165,6 +175,7 @@ fn decode_event<R: FromRow>(event: ServeEvent) -> Result<TypedServeEvent<R>, Dec
         ServeEvent::Hit(hit) => {
             TypedServeEvent::Hit(vqpy_core::frontend::typed::decode_frame_hit(&hit)?)
         }
+        ServeEvent::StreamFault(fault) => TypedServeEvent::StreamFault(fault),
         ServeEvent::End { video_value } => TypedServeEvent::End { video_value },
         ServeEvent::Detached { video_value } => TypedServeEvent::Detached { video_value },
     })

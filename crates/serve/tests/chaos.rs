@@ -1,0 +1,505 @@
+//! Deterministic chaos suite: every fault in the serving degradation
+//! ladder — injected model failures, circuit-breaker trips, coalesced-batch
+//! panics, worker panics, and decode faults — is driven on a seeded
+//! schedule, and the surviving frames' results are asserted byte-identical
+//! to a fault-free run.
+//!
+//! The schedule seed comes from `VQPY_CHAOS_SEED` (default 1), so CI can
+//! replay the suite under several fixed seeds. Identity assertions hold for
+//! *any* seed; exact-count assertions use seed-independent schedules
+//! (`every_nth` / panic-once), so the whole suite is deterministic per
+//! seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use vqpy_core::frontend::{library, predicate::Pred};
+use vqpy_core::{Aggregate, Query, RetryPolicy, SessionConfig, VqpySession};
+use vqpy_models::{
+    Clock, Detection, Detector, FaultInjector, FaultPlan, ModelProfile, ModelZoo, TaskKind,
+};
+use vqpy_serve::{
+    BatcherConfig, FaultStats, PaceMode, ServeConfig, ServeError, ServeEvent, ServeSession,
+    StreamFault, StreamSupervisor, SupervisorConfig,
+};
+use vqpy_video::{presets, FaultyVideo, Frame, Scene, SyntheticVideo, VideoSource};
+
+/// Seed for the fault schedules; CI replays the suite under several values.
+fn chaos_seed() -> u64 {
+    std::env::var("VQPY_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn video(seed: u64, seconds: f64) -> SyntheticVideo {
+    SyntheticVideo::new(Scene::generate(presets::jackson(), seed, seconds))
+}
+
+fn color_query(name: &str, color: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .unwrap()
+}
+
+fn count_query() -> Arc<Query> {
+    Query::builder("CountCars")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
+        })
+        .build()
+        .unwrap()
+}
+
+/// Rebuilds the standard zoo, routing the models selected by `wrap`
+/// through the injector. Registry names are preserved, so plans are
+/// identical to the clean zoo's — only the fallible batch entry points
+/// change behavior.
+fn wrapped_zoo(inj: &FaultInjector, wrap: impl Fn(&str) -> bool) -> Arc<ModelZoo> {
+    let std_zoo = ModelZoo::standard();
+    let zoo = ModelZoo::new();
+    for name in std_zoo.names() {
+        let task = std_zoo.profile(&name).unwrap().task;
+        match task {
+            TaskKind::Detection => {
+                let m = std_zoo.detector(&name).unwrap();
+                zoo.register_detector(if wrap(&name) { inj.wrap_detector(m) } else { m });
+            }
+            TaskKind::Classification | TaskKind::Embedding => {
+                let m = std_zoo.classifier(&name).unwrap();
+                zoo.register_classifier(if wrap(&name) {
+                    inj.wrap_classifier(m)
+                } else {
+                    m
+                });
+            }
+            TaskKind::FrameClassification => {
+                let m = std_zoo.frame_classifier(&name).unwrap();
+                zoo.register_frame_classifier(if wrap(&name) {
+                    inj.wrap_frame_classifier(m)
+                } else {
+                    m
+                });
+            }
+            TaskKind::Interaction => zoo.register_hoi(std_zoo.hoi(&name).unwrap()),
+        }
+    }
+    Arc::new(zoo)
+}
+
+/// Every model in the pipeline fails probabilistically; the supervisor's
+/// retry layer re-issues each failed stage invocation, and the served
+/// results — hits and video aggregates — are byte-identical to a fault-free
+/// run. Holds for any `VQPY_CHAOS_SEED`.
+#[test]
+fn injected_model_faults_retry_to_fault_free_results() {
+    let seed = chaos_seed();
+    let v = video(81, 8.0);
+    let queries = [color_query("RedCar", "red"), count_query()];
+
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let expected = offline.execute_shared(&queries, &v).unwrap();
+
+    let inj = FaultInjector::new(FaultPlan::with_failure_prob(seed, 0.3));
+    let session = Arc::new(VqpySession::new(wrapped_zoo(&inj, |_| true)));
+    let supervisor = StreamSupervisor::new(
+        session,
+        SupervisorConfig {
+            // Generous budget: 0.3^9 per invocation makes exhausting it a
+            // once-per-tens-of-thousands-of-runs event for any seed.
+            retry: Some(RetryPolicy {
+                max_retries: 8,
+                backoff_base_ms: 0.5,
+                stage_timeout_ms: None,
+            }),
+            ..SupervisorConfig::default()
+        },
+    );
+    let (stream, subs) = supervisor
+        .add_stream(Arc::new(v), PaceMode::Unpaced, &queries)
+        .unwrap();
+    supervisor.join_stream(stream).unwrap();
+    for (sub, exp) in subs.into_iter().zip(&expected) {
+        let (hits, video_value) = sub.collect();
+        assert_eq!(
+            hits, exp.frame_hits,
+            "hits diverged under injected faults for {} (seed {seed})",
+            exp.query_name
+        );
+        assert_eq!(
+            video_value, exp.video_value,
+            "aggregate diverged for {} (seed {seed})",
+            exp.query_name
+        );
+    }
+    assert!(
+        inj.injected_faults() > 0,
+        "chaos run must actually inject faults (seed {seed})"
+    );
+}
+
+/// A transient detector outage (first three invocations fail, then the
+/// model heals) trips the per-model circuit breaker, routes traffic to
+/// direct dispatch while open, recovers on the first successful probe —
+/// with exact `FaultStats` accounting — and the results still match the
+/// fault-free run.
+#[test]
+fn breaker_trips_and_recovers_with_exact_accounting() {
+    let seed = chaos_seed();
+    let v = video(82, 8.0);
+    let queries = [count_query()];
+
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let expected = offline.execute_shared(&queries, &v).unwrap();
+
+    let inj = FaultInjector::new(FaultPlan::every_nth(seed, 1).heal_after(3));
+    let session = Arc::new(VqpySession::new(wrapped_zoo(&inj, |n| n == "yolox")));
+    let supervisor = StreamSupervisor::new(
+        session,
+        SupervisorConfig {
+            batcher: Some(BatcherConfig {
+                breaker_trip_after: 3,
+                breaker_probe_every: 4,
+                ..BatcherConfig::default()
+            }),
+            retry: Some(RetryPolicy {
+                max_retries: 5,
+                backoff_base_ms: 0.25,
+                stage_timeout_ms: None,
+            }),
+            ..SupervisorConfig::default()
+        },
+    );
+    let (stream, subs) = supervisor
+        .add_stream(Arc::new(v), PaceMode::Unpaced, &queries)
+        .unwrap();
+    supervisor.join_stream(stream).unwrap();
+    for (sub, exp) in subs.into_iter().zip(&expected) {
+        let (hits, video_value) = sub.collect();
+        assert_eq!(hits, exp.frame_hits, "hits diverged through the breaker");
+        assert_eq!(video_value, exp.video_value, "aggregate diverged");
+    }
+
+    // The schedule is exact: 3 failures trip the breaker (consecutive
+    // retries of the first detect dispatch), the next 3 detect calls route
+    // direct while open, the 4th is a probe that succeeds and closes it.
+    assert_eq!(inj.injected_faults(), 3, "heal_after must cap the outage");
+    let faults = supervisor.load().faults;
+    assert_eq!(
+        faults,
+        FaultStats {
+            model_faults: 3,
+            breaker_trips: 1,
+            breaker_recoveries: 1,
+            broken_dispatches: 3,
+            probes: 1,
+            coalesce_panics: 0,
+        },
+        "breaker lifecycle accounting must be exact"
+    );
+}
+
+/// A "camera" whose decode panics exactly once at frame `at` — the shape of
+/// a transient driver crash the worker must contain and retry through.
+struct PanicOnceVideo {
+    inner: SyntheticVideo,
+    at: u64,
+    fired: AtomicBool,
+}
+
+impl VideoSource for PanicOnceVideo {
+    fn video_id(&self) -> u64 {
+        self.inner.video_id()
+    }
+    fn fps(&self) -> u32 {
+        self.inner.fps()
+    }
+    fn resolution(&self) -> (u32, u32) {
+        self.inner.resolution()
+    }
+    fn frame_count(&self) -> u64 {
+        self.inner.frame_count()
+    }
+    fn frame(&self, index: u64) -> Frame {
+        if index == self.at && !self.fired.swap(true, Ordering::Relaxed) {
+            panic!("chaos camera died at frame {index}");
+        }
+        self.inner.frame(index)
+    }
+    fn scene(&self) -> Option<&Scene> {
+        self.inner.scene()
+    }
+}
+
+/// Same camera, but the panic is permanent: every decode of frame `at`
+/// dies, so the restart budget must run out.
+struct AlwaysPanicVideo {
+    inner: SyntheticVideo,
+    at: u64,
+}
+
+impl VideoSource for AlwaysPanicVideo {
+    fn video_id(&self) -> u64 {
+        self.inner.video_id()
+    }
+    fn fps(&self) -> u32 {
+        self.inner.fps()
+    }
+    fn resolution(&self) -> (u32, u32) {
+        self.inner.resolution()
+    }
+    fn frame_count(&self) -> u64 {
+        self.inner.frame_count()
+    }
+    fn frame(&self, index: u64) -> Frame {
+        if index == self.at {
+            panic!("chaos camera wedged at frame {index}");
+        }
+        self.inner.frame(index)
+    }
+    fn scene(&self) -> Option<&Scene> {
+        self.inner.scene()
+    }
+}
+
+/// Drains a subscription fully, separating result hits from fault notices.
+fn drain(sub: vqpy_serve::Subscription) -> (Vec<vqpy_core::FrameHit>, Vec<StreamFault>, bool) {
+    let mut hits = Vec::new();
+    let mut faults = Vec::new();
+    let mut terminal = false;
+    while let Some(event) = sub.recv() {
+        match event {
+            ServeEvent::Hit(h) => hits.push(h),
+            ServeEvent::StreamFault(f) => faults.push(f),
+            ServeEvent::End { .. } | ServeEvent::Detached { .. } => {
+                terminal = true;
+                break;
+            }
+        }
+    }
+    (hits, faults, terminal)
+}
+
+/// A worker panic mid-stream is contained: the engine rolls back to its
+/// checkpoint, subscribers get a typed resumed `StreamFault`, the segment
+/// is replayed, and the full result set is byte-identical to a clean run —
+/// in both sequential and pipelined execution.
+#[test]
+fn worker_panic_restart_is_byte_identical() {
+    for config in [SessionConfig::default(), SessionConfig::pipelined(2)] {
+        let clean = video(83, 4.0);
+        let query = color_query("RedCar", "red");
+
+        let offline = Arc::new(VqpySession::with_config(
+            ModelZoo::standard(),
+            config.clone(),
+        ));
+        let expected = offline.execute(&query, &clean).unwrap();
+
+        let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+        let server = Arc::new(session.serve(ServeConfig::default()));
+        let stream = server.open_stream(Arc::new(PanicOnceVideo {
+            inner: clean,
+            at: 12,
+            fired: AtomicBool::new(false),
+        }));
+        let sub = server.attach(stream, Arc::clone(&query)).unwrap();
+        let consumer = std::thread::spawn(move || drain(sub));
+        let metrics = server.run_to_end(stream).unwrap();
+        let (hits, faults, terminal) = consumer.join().unwrap();
+
+        assert!(terminal, "stream must still end cleanly");
+        assert_eq!(hits, expected.frame_hits, "replayed results diverged");
+        assert_eq!(metrics.restarts, 1, "exactly one restart");
+        assert_eq!(metrics.frames_lost, 0, "retry-resume loses nothing");
+        assert_eq!(faults.len(), 1, "one fault notice: {faults:?}");
+        let f = &faults[0];
+        assert!(f.resumed, "fault must be resumed: {f:?}");
+        assert_eq!(f.restarts, 1);
+        assert_eq!(f.frames_lost, 0);
+        assert_eq!(f.frame, 8, "fault segment starts at the batch boundary");
+        assert!(
+            f.message.contains("chaos camera"),
+            "panic payload must surface: {}",
+            f.message
+        );
+    }
+}
+
+/// A permanent panic exhausts the restart budget: subscribers get resumed
+/// notices for each restart, then a final non-resumed notice with exact
+/// lost-frame accounting, the channel closes, and the driver receives a
+/// typed `WorkerPanic` error.
+#[test]
+fn restart_budget_exhaustion_is_typed_and_counted() {
+    let clean = video(84, 2.0); // 30 frames at 15fps; the wedge sits in [8, 16)
+    let query = color_query("RedCar", "red");
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = Arc::new(session.serve(ServeConfig::default()));
+    let stream = server.open_stream(Arc::new(AlwaysPanicVideo {
+        inner: clean,
+        at: 12,
+    }));
+    let sub = server.attach(stream, Arc::clone(&query)).unwrap();
+    let consumer = std::thread::spawn(move || drain(sub));
+
+    let err = server.run_to_end(stream).expect_err("budget must exhaust");
+    match &err {
+        ServeError::WorkerPanic { message, restarts } => {
+            assert_eq!(*restarts, 2, "default budget is 2 restarts");
+            assert!(message.contains("chaos camera"), "got: {message}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+
+    let (hits, faults, terminal) = consumer.join().unwrap();
+    assert!(!terminal, "no End after an abandoned stream");
+    assert!(
+        hits.iter().all(|h| h.frame < 8),
+        "no hits from the wedged segment: {hits:?}"
+    );
+    // Two resumed restarts, then the giving-up notice. The whole segment
+    // [8, 16) is lost: its batch never demuxed (decode precedes delivery).
+    assert_eq!(faults.len(), 3, "{faults:?}");
+    assert_eq!((faults[0].restarts, faults[0].resumed), (1, true));
+    assert_eq!((faults[1].restarts, faults[1].resumed), (2, true));
+    let last = &faults[2];
+    assert!(!last.resumed);
+    assert_eq!(last.restarts, 2);
+    assert_eq!(last.frames_lost, 8, "exact lost-segment accounting");
+
+    let metrics = server.metrics(stream).unwrap();
+    assert_eq!(metrics.restarts, 2);
+    assert_eq!(metrics.frames_lost, 8);
+}
+
+/// Corrupt frames at the decoder become per-frame skips with exact
+/// counters, not stream aborts: the run completes, `decode_failures` is
+/// exact, and results on surviving frames are byte-identical to the clean
+/// run's (corruption at the stream tail, so stateful operators see an
+/// identical prefix).
+#[test]
+fn decode_faults_skip_frames_with_exact_accounting() {
+    let clean = video(85, 6.0);
+    let n = clean.frame_count();
+    let query = color_query("RedCar", "red");
+
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let expected = offline.execute(&query, &clean).unwrap();
+    let expected_prefix: Vec<_> = expected
+        .frame_hits
+        .iter()
+        .filter(|h| h.frame < n - 2)
+        .cloned()
+        .collect();
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = Arc::new(session.serve(ServeConfig::default()));
+    let faulty = FaultyVideo::new(Arc::new(clean), [n - 2, n - 1]);
+    let stream = server.open_stream(Arc::new(faulty));
+    let sub = server.attach(stream, query).unwrap();
+    let metrics = server.run_to_end(stream).unwrap();
+    let (hits, _) = sub.collect();
+
+    assert_eq!(metrics.decode_failures, 2, "both corrupt frames counted");
+    assert_eq!(metrics.frames_total, n - 2, "skips never count as frames");
+    assert_eq!(metrics.restarts, 0, "decode faults are not panics");
+    assert_eq!(hits, expected_prefix, "surviving frames must be identical");
+}
+
+/// A detector that panics on exactly one `detect_batch` invocation —
+/// landing inside a coalesced cross-stream round — then behaves normally.
+struct PanicNthDetector {
+    inner: Arc<dyn Detector>,
+    nth: u64,
+    calls: AtomicU64,
+}
+
+impl Detector for PanicNthDetector {
+    fn profile(&self) -> &ModelProfile {
+        self.inner.profile()
+    }
+    fn detect(&self, frame: &Frame, clock: &Clock) -> Vec<Detection> {
+        self.inner.detect(frame, clock)
+    }
+    fn detect_batch(&self, frames: &[&Frame], clock: &Clock) -> Vec<Vec<Detection>> {
+        if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.nth {
+            panic!("transient coalescer crash");
+        }
+        self.inner.detect_batch(frames, clock)
+    }
+}
+
+/// Satellite guarantee for the degraded batcher path: a physical-model
+/// panic mid-coalesce-window becomes a typed fault, every participant
+/// retries through direct/batched dispatch, and no (stream, frame, object)
+/// result is lost or duplicated — both streams' full result sets are
+/// byte-identical to clean runs.
+#[test]
+fn coalesced_panic_mid_window_loses_no_results() {
+    let queries = [color_query("RedCar", "red")];
+    let videos = [video(91, 6.0), video(92, 6.0)];
+
+    let offline = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let expected: Vec<_> = videos
+        .iter()
+        .map(|v| offline.execute_shared(&queries, v).unwrap())
+        .collect();
+
+    let inj = FaultInjector::new(FaultPlan::default()); // passthrough for non-target models
+    let zoo = {
+        let std_zoo = ModelZoo::standard();
+        let zoo = wrapped_zoo(&inj, |_| false);
+        // Shadow the shared detector with the panic-once wrapper.
+        zoo.register_detector(Arc::new(PanicNthDetector {
+            inner: std_zoo.detector("yolox").unwrap(),
+            nth: 5,
+            calls: AtomicU64::new(0),
+        }));
+        zoo
+    };
+    let session = Arc::new(VqpySession::new(zoo));
+    let supervisor = StreamSupervisor::new(
+        session,
+        SupervisorConfig {
+            batcher: Some(BatcherConfig::default()),
+            retry: Some(RetryPolicy {
+                max_retries: 3,
+                backoff_base_ms: 0.25,
+                stage_timeout_ms: None,
+            }),
+            ..SupervisorConfig::default()
+        },
+    );
+    let mut streams = Vec::new();
+    for v in videos {
+        streams.push(
+            supervisor
+                .add_stream(Arc::new(v), PaceMode::Unpaced, &queries)
+                .unwrap(),
+        );
+    }
+    for (si, (stream, subs)) in streams.into_iter().enumerate() {
+        supervisor.join_stream(stream).unwrap();
+        for (sub, exp) in subs.into_iter().zip(&expected[si]) {
+            let (hits, video_value) = sub.collect();
+            assert_eq!(
+                hits, exp.frame_hits,
+                "stream {si} lost or duplicated results across the panic"
+            );
+            assert_eq!(video_value, exp.video_value, "stream {si} aggregate");
+        }
+    }
+    let faults = supervisor.load().faults;
+    assert_eq!(faults.coalesce_panics, 1, "exactly one round panicked");
+    assert!(
+        faults.model_faults >= 1,
+        "the panic must surface as a typed fault: {faults:?}"
+    );
+    assert_eq!(faults.breaker_trips, 0, "one failure must not trip");
+}

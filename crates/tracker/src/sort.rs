@@ -29,7 +29,7 @@ impl Default for TrackerParams {
 /// Stable identifier of a tracked object (unique within one tracker).
 pub type TrackId = u64;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Track {
     id: TrackId,
     class_label: String,
@@ -53,7 +53,12 @@ pub struct TrackUpdate {
 }
 
 /// A SORT-style tracker over labeled boxes.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full tracker state (tracks, Kalman filters, id
+/// counter); the serving layer uses this to checkpoint operator state
+/// before a fallible segment so a panicking worker can be restarted
+/// without identity drift.
+#[derive(Debug, Clone)]
 pub struct SortTracker {
     params: TrackerParams,
     tracks: Vec<Track>,

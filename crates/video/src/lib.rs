@@ -46,5 +46,5 @@ pub use frame::{Frame, PixelBuffer};
 pub use geometry::{BBox, Point};
 pub use presets::CameraPreset;
 pub use scene::{GroundTruth, Scene, SceneBuilder, VisibleEntity};
-pub use source::{frames, Clip, SyntheticVideo, VideoSource};
+pub use source::{frames, Clip, DecodeFault, FaultyVideo, SyntheticVideo, VideoSource};
 pub use trajectory::{Direction, Trajectory, Waypoint};

@@ -8,6 +8,8 @@
 use crate::frame::Frame;
 use crate::render::render_frame;
 use crate::scene::{Scene, SharedScene};
+use std::collections::BTreeSet;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -36,6 +38,19 @@ pub trait VideoSource: Send + Sync {
     ///
     /// Implementations may panic if `index >= frame_count()`.
     fn frame(&self, index: u64) -> Frame;
+
+    /// Fallible twin of [`VideoSource::frame`]: the entry point decode
+    /// loops call. A corrupt or undecodable frame surfaces as a
+    /// [`DecodeFault`] so the executor can skip it with a counter instead
+    /// of aborting the stream. The default delegates to the infallible
+    /// `frame` (synthetic sources never fail to render).
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeFault`] when the frame exists but cannot be decoded.
+    fn try_frame(&self, index: u64) -> Result<Frame, DecodeFault> {
+        Ok(self.frame(index))
+    }
 
     /// The scene behind this source, for ground-truth scoring. Returns
     /// `None` for sources without an answer key.
@@ -205,6 +220,95 @@ impl VideoSource for Clip {
     }
 }
 
+/// A frame that exists but cannot be decoded (bitstream corruption,
+/// truncated packet, reference loss after a dropped keyframe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeFault {
+    /// The source's video id.
+    pub video_id: u64,
+    /// Index of the undecodable frame.
+    pub frame: u64,
+}
+
+impl fmt::Display for DecodeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame {} of video {} failed to decode",
+            self.frame, self.video_id
+        )
+    }
+}
+
+impl std::error::Error for DecodeFault {}
+
+/// A wrapper that corrupts an explicit set of frames of any source:
+/// [`VideoSource::try_frame`] returns a [`DecodeFault`] for them and the
+/// infallible [`VideoSource::frame`] panics (mirroring a real decoder
+/// hitting unrecoverable bitstream damage on the legacy path).
+///
+/// The corrupt set is fixed at construction, so a chaos schedule is
+/// exactly reproducible: the same indices fail on every run.
+pub struct FaultyVideo {
+    inner: Arc<dyn VideoSource>,
+    corrupt: BTreeSet<u64>,
+}
+
+impl FaultyVideo {
+    /// Wraps `inner`, corrupting exactly the given frame indices.
+    pub fn new(inner: Arc<dyn VideoSource>, corrupt: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            inner,
+            corrupt: corrupt.into_iter().collect(),
+        }
+    }
+
+    /// The corrupt frame indices, in order.
+    pub fn corrupt_frames(&self) -> impl Iterator<Item = u64> + '_ {
+        self.corrupt.iter().copied()
+    }
+}
+
+impl VideoSource for FaultyVideo {
+    fn video_id(&self) -> u64 {
+        self.inner.video_id()
+    }
+
+    fn fps(&self) -> u32 {
+        self.inner.fps()
+    }
+
+    fn resolution(&self) -> (u32, u32) {
+        self.inner.resolution()
+    }
+
+    fn frame_count(&self) -> u64 {
+        self.inner.frame_count()
+    }
+
+    fn frame(&self, index: u64) -> Frame {
+        assert!(
+            !self.corrupt.contains(&index),
+            "frame {index} is corrupt and cannot be decoded"
+        );
+        self.inner.frame(index)
+    }
+
+    fn try_frame(&self, index: u64) -> Result<Frame, DecodeFault> {
+        if self.corrupt.contains(&index) {
+            return Err(DecodeFault {
+                video_id: self.video_id(),
+                frame: index,
+            });
+        }
+        self.inner.try_frame(index)
+    }
+
+    fn scene(&self) -> Option<&Scene> {
+        self.inner.scene()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +358,26 @@ mod tests {
     fn out_of_range_frame_panics() {
         let v = video();
         let _ = v.frame(v.frame_count());
+    }
+
+    #[test]
+    fn faulty_video_fails_exactly_its_corrupt_frames() {
+        let v = Arc::new(video());
+        let faulty = FaultyVideo::new(v.clone(), [3, 7]);
+        assert!(faulty.try_frame(2).is_ok());
+        let err = faulty.try_frame(3).unwrap_err();
+        assert_eq!(err.frame, 3);
+        assert_eq!(err.video_id, v.video_id());
+        assert!(faulty.try_frame(7).is_err());
+        // Surviving frames are byte-identical to the unwrapped source.
+        assert_eq!(faulty.try_frame(4).unwrap().pixels, v.frame(4).pixels);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn faulty_video_infallible_path_panics_on_corrupt_frame() {
+        let faulty = FaultyVideo::new(Arc::new(video()), [0]);
+        let _ = faulty.frame(0);
     }
 
     #[test]

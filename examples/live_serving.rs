@@ -3,13 +3,55 @@
 //! *typed* queries attach and detach at runtime: consumers receive decoded
 //! rows through `TypedSubscription`s, never `(String, Value)` pairs.
 //!
+//! The demo also injects one mid-stream fault: the banff "camera" panics
+//! once while decoding, the worker's `RestartPolicy` restores the last
+//! checkpoint and resumes, and the subscriber observes the typed
+//! `StreamFault` notice and keeps consuming — no frames lost, no process
+//! crash.
+//!
 //! Run with `cargo run --example live_serving`. The program exits cleanly
 //! when both streams end: every subscription is drained on its own thread,
 //! so no channel ever blocks the shutdown.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vqpy::api::*;
 use vqpy::serve::{BatcherConfig, ServePolicy};
+use vqpy::video::Frame;
+
+/// A flaky "camera": panics exactly once when asked for frame `at`, then
+/// behaves normally — the shape of a transient driver/decoder crash. The
+/// stream worker catches the panic, notifies subscribers with a
+/// `StreamFault`, restores its checkpoint, and replays the segment.
+struct PanicOnce<V> {
+    inner: V,
+    at: u64,
+    fired: AtomicBool,
+}
+
+impl<V: VideoSource> VideoSource for PanicOnce<V> {
+    fn video_id(&self) -> u64 {
+        self.inner.video_id()
+    }
+    fn fps(&self) -> u32 {
+        self.inner.fps()
+    }
+    fn resolution(&self) -> (u32, u32) {
+        self.inner.resolution()
+    }
+    fn frame_count(&self) -> u64 {
+        self.inner.frame_count()
+    }
+    fn frame(&self, index: u64) -> Frame {
+        if index == self.at && !self.fired.swap(true, Ordering::Relaxed) {
+            panic!("demo camera driver crashed at frame {index}");
+        }
+        self.inner.frame(index)
+    }
+    fn scene(&self) -> Option<&Scene> {
+        self.inner.scene()
+    }
+}
 
 /// The typed row every car query projects: (track id once tracked, plate).
 type CarRow = (Option<i64>, String);
@@ -49,6 +91,18 @@ fn consume(label: &'static str, sub: TypedSubscription<CarRow>) -> std::thread::
                 Some(Ok(TypedServeEvent::Detached { video_value })) => {
                     println!("{label}: detached after {hits} hit frames ({video_value:?})");
                     break;
+                }
+                Some(Ok(TypedServeEvent::StreamFault(fault))) => {
+                    // Informational: when `resumed` is true the worker
+                    // already restarted and more events follow on this same
+                    // channel, so keep looping.
+                    println!(
+                        "{label}: worker fault at frame {} ({}); resumed={} after {} restart(s), {} frame(s) lost",
+                        fault.frame, fault.message, fault.resumed, fault.restarts, fault.frames_lost
+                    );
+                    if !fault.resumed {
+                        break;
+                    }
                 }
                 Some(Err(e)) => {
                     println!("{label}: decode error: {e}");
@@ -90,7 +144,15 @@ fn main() {
     // queries hand their lowered Arc<Query> to add_stream and the
     // subscriptions wrap back into typed ones.
     let jackson_video = SyntheticVideo::new(Scene::generate(presets::jackson(), 11, 30.0));
-    let banff_video = SyntheticVideo::new(Scene::generate(presets::banff(), 22, 30.0));
+    // The banff camera "crashes" once mid-stream: the worker catches the
+    // panic, emits a StreamFault to subscribers, and restarts from its
+    // checkpoint (RestartPolicy::default(): up to 2 restarts, Retry mode —
+    // the replay makes the surviving results identical to a clean run).
+    let banff_video = PanicOnce {
+        inner: SyntheticVideo::new(Scene::generate(presets::banff(), 22, 30.0)),
+        at: 40,
+        fired: AtomicBool::new(false),
+    };
     let pace = PaceMode::Fps(60.0);
 
     let car = library::vehicle_intrinsic().alias("car");

@@ -51,8 +51,9 @@ pub mod api {
     };
     pub use vqpy_models::{DecodeError, FromRow, FromValue, ModelZoo, Row, Value, ValueKind};
     pub use vqpy_serve::{
-        PaceMode, ServeConfig, ServeEvent, ServeSession, StreamServer, StreamSupervisor,
-        Subscription, SupervisorConfig, TypedServeEvent, TypedSubscription,
+        FaultStats, PaceMode, RestartPolicy, ResumeMode, ServeConfig, ServeEvent, ServeSession,
+        StreamFault, StreamServer, StreamSupervisor, Subscription, SupervisorConfig,
+        TypedServeEvent, TypedSubscription,
     };
-    pub use vqpy_video::{presets, Scene, SyntheticVideo};
+    pub use vqpy_video::{presets, FaultyVideo, Scene, SyntheticVideo, VideoSource};
 }
