@@ -24,13 +24,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vqpy_bench::bench_scale;
-use vqpy_bench::report::{merge_section, section, table};
+use vqpy_bench::report::{merge_section, percentiles_json, section, table};
 use vqpy_bench::workloads::straight_car_query;
 use vqpy_core::{ExecConfig, ExecMode, SessionConfig, VqpySession};
 use vqpy_models::{Clock, ClockMode, DeviceModel, ModelZoo};
 use vqpy_serve::{
     Backpressure, BatcherConfig, BatcherStats, PaceMode, ServeConfig, StreamSupervisor,
-    SupervisorConfig,
+    SupervisorConfig, Telemetry,
 };
 use vqpy_video::source::{SyntheticVideo, VideoSource};
 use vqpy_video::{presets, Scene};
@@ -46,6 +46,10 @@ struct RunResult {
     fps: f64,
     wall_s: f64,
     stats: Option<BatcherStats>,
+    /// Cross-stream delivery latency `(p50, p95, p99, max)` in ms, read
+    /// from the telemetry registry's per-query histogram (spans every
+    /// stream's subscription to the shared query name).
+    latency_ms: (f64, f64, f64, f64),
 }
 
 fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
@@ -59,6 +63,9 @@ fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
         ..SessionConfig::default()
     };
     let session = Arc::new(VqpySession::with_clock(ModelZoo::standard(), config, clock));
+    // Metrics only (no span ring): the registry's delivery-latency
+    // histogram is fed regardless of whether tracing is on.
+    let telemetry = Telemetry::disabled();
     let supervisor = StreamSupervisor::new(
         Arc::clone(&session),
         SupervisorConfig {
@@ -66,6 +73,7 @@ fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
                 channel_capacity: 64,
                 backpressure: Backpressure::Drop, // nobody drains during the timed run
                 batches_per_step: 4,
+                telemetry: telemetry.clone(),
                 ..ServeConfig::default()
             },
             batcher: shared_batcher.then(|| BatcherConfig {
@@ -90,23 +98,36 @@ fn run(streams: usize, shared_batcher: bool, seconds: f64) -> RunResult {
     let query = straight_car_query();
 
     let start = Instant::now();
-    let ids: Vec<_> = videos
-        .into_iter()
-        .map(|v| {
-            supervisor
-                .add_stream(v, PaceMode::Unpaced, &[Arc::clone(&query)])
-                .expect("add stream")
-                .0
-        })
-        .collect();
+    // Hold the subscriptions (undrained — the Drop policy sheds whatever
+    // overflows the channel) so deliveries actually happen and feed the
+    // delivery-latency histogram; dropping them would disconnect every
+    // channel before the first event.
+    let mut ids = Vec::new();
+    let mut subs = Vec::new();
+    for v in videos {
+        let (id, s) = supervisor
+            .add_stream(v, PaceMode::Unpaced, &[Arc::clone(&query)])
+            .expect("add stream");
+        ids.push(id);
+        subs.push(s);
+    }
     for id in ids {
         supervisor.join_stream(id).expect("stream run");
     }
     let wall_s = start.elapsed().as_secs_f64();
+    drop(subs);
+    let latency_ms = telemetry
+        .registry()
+        .histogram(&format!(
+            "vqpy_delivery_latency_ms{{query=\"{}\"}}",
+            query.name()
+        ))
+        .percentiles();
     RunResult {
         fps: total_frames as f64 / wall_s,
         wall_s,
         stats: supervisor.batcher_stats(),
+        latency_ms,
     }
 }
 
@@ -136,6 +157,7 @@ fn main() {
             format!("{:.2}", stats.detect.mean_coalesced()),
             format!("{:.2}", stats.classify.mean_coalesced()),
             stats.max_batch_frames.to_string(),
+            format!("{:.1}", shared.latency_ms.1),
         ]);
         json_rows.push(format!(
             "      {{\"streams\": {n}, \"baseline_fps\": {:.2}, \"shared_fps\": {:.2}, \
@@ -143,7 +165,7 @@ fn main() {
              \"mean_coalesced\": {:.2}, \"max_physical_batch_frames\": {}, \
              \"coalesced_per_stage\": {{\"detect\": {:.2}, \"predict\": {:.2}, \
              \"classify\": {:.2}}}, \"classify_requests\": {}, \
-             \"classify_physical_batches\": {}}}",
+             \"classify_physical_batches\": {}, \"latency_ms\": {}}}",
             baseline.fps,
             shared.fps,
             baseline.wall_s,
@@ -155,6 +177,7 @@ fn main() {
             stats.classify.mean_coalesced(),
             stats.classify.requests,
             stats.classify.physical_batches,
+            percentiles_json(shared.latency_ms),
         ));
         // The headline property: once several streams contend for the one
         // device, cross-stream coalescing must at least match per-stream
@@ -180,6 +203,7 @@ fn main() {
             "detect coalesced",
             "classify coalesced",
             "max batch",
+            "shared p95 ms",
         ],
         &rows,
     );

@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 use vqpy_bench::bench_scale;
-use vqpy_bench::report::{exec_metrics_json, section};
+use vqpy_bench::report::{exec_metrics_json, percentiles, section};
 use vqpy_bench::workloads::{bench_zoo, cityflow_video, table1_queries, triple_query};
 use vqpy_core::backend::exec::execute_plan;
 use vqpy_core::backend::plan::{build_plan, PlanOptions};
@@ -43,6 +43,9 @@ fn run_mode(query_index: usize, mode: ExecMode, seconds: f64) -> Run {
     let clock = Clock::with_mode(ClockMode::Latency);
     let config = ExecConfig {
         exec_mode: mode,
+        // Sequential runs record per-frame wall latency so the report can
+        // quote p50/p95/p99 alongside the mean throughput.
+        record_per_frame_ms: true,
         ..ExecConfig::default()
     };
     let start = Instant::now();
@@ -81,6 +84,13 @@ fn bench_query(query_index: usize, seconds: f64) -> String {
         "  pipelined:   {:7.1} frames/s  ({:.2}s wall, {WORKERS} workers)  speedup {speedup:.2}x",
         pipe.fps, pipe.wall_s
     );
+    if !seq.metrics.per_frame_ms.is_empty() {
+        let (p50, p95, p99, max) = percentiles(&seq.metrics.per_frame_ms);
+        println!(
+            "  sequential frame latency: p50 {p50:.2}ms  p95 {p95:.2}ms  \
+             p99 {p99:.2}ms  max {max:.2}ms"
+        );
+    }
     println!("  reuse hit rate: {:.3}", pipe.metrics.reuse.hit_rate());
     for (stage, ms) in &pipe.metrics.stage_wall_ms {
         println!("    stage {stage:<14} {ms:9.1} ms busy");

@@ -131,12 +131,54 @@ fn serve_metrics(doc: &Json, ctx: &str) -> Vec<Metric> {
     out
 }
 
+/// Telemetry nudge, warn-only: current bench runs embed latency-percentile
+/// objects (`frame_latency_ms` inside each query's sequential exec metrics,
+/// `latency_ms` inside each scaling row). A committed baseline without them
+/// simply predates the telemetry work — percentiles are reported, not
+/// ratio-gated, so their absence never fails the gate, but it is worth a
+/// loud reminder to regenerate the baseline and pick them up.
+fn warn_missing_percentiles(exec: Option<&Json>, serve: Option<&Json>) {
+    let exec_has = exec.is_none_or(|doc| {
+        doc.path("queries").and_then(Json::as_arr).is_none_or(|qs| {
+            qs.iter().all(|q| {
+                q.get("sequential_exec")
+                    .and_then(|e| e.get("frame_latency_ms"))
+                    .is_some()
+            })
+        })
+    });
+    if !exec_has {
+        eprintln!(
+            "bench_gate: WARNING: committed BENCH_exec.json has no \
+             `frame_latency_ms` percentiles; regenerate with `cargo bench -p \
+             vqpy-bench --bench throughput` to record per-frame p50/p95/p99"
+        );
+    }
+    let serve_has = serve.is_none_or(|doc| {
+        doc.path("scaling.table")
+            .and_then(Json::as_arr)
+            .is_none_or(|rows| rows.iter().all(|r| r.get("latency_ms").is_some()))
+    });
+    if !serve_has {
+        eprintln!(
+            "bench_gate: WARNING: committed BENCH_serve.json scaling rows have \
+             no `latency_ms` percentiles; regenerate with `cargo bench -p \
+             vqpy-bench --bench serve_scale` to record delivery p50/p95/p99"
+        );
+    }
+}
+
 fn collect(root: &Path, ctx: &str) -> Vec<Metric> {
     let mut metrics = Vec::new();
-    if let Some(doc) = read_json(&root.join("BENCH_exec.json"), ctx) {
+    let exec_doc = read_json(&root.join("BENCH_exec.json"), ctx);
+    let serve_doc = read_json(&root.join("BENCH_serve.json"), ctx);
+    if ctx == "committed" {
+        warn_missing_percentiles(exec_doc.as_ref(), serve_doc.as_ref());
+    }
+    if let Some(doc) = exec_doc {
         metrics.extend(exec_metrics(&doc, ctx));
     }
-    if let Some(doc) = read_json(&root.join("BENCH_serve.json"), ctx) {
+    if let Some(doc) = serve_doc {
         metrics.extend(serve_metrics(&doc, ctx));
     }
     metrics

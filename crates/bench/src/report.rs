@@ -19,11 +19,39 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Exact latency percentiles of a sample set, `(p50, p95, p99, max)`.
+///
+/// Uses the same rank convention as the obs crate's histogram —
+/// `rank = clamp(ceil(q·n), 1, n)` over the sorted samples — so bench JSON
+/// and Prometheus snapshots of the same run quote comparable quantiles.
+/// Returns zeros for empty input.
+pub fn percentiles(samples: &[f64]) -> (f64, f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pick = |q: f64| {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    (pick(0.50), pick(0.95), pick(0.99), sorted[sorted.len() - 1])
+}
+
+/// Renders a `(p50, p95, p99, max)` tuple as an inline JSON object.
+pub fn percentiles_json(p: (f64, f64, f64, f64)) -> String {
+    format!(
+        "{{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+        p.0, p.1, p.2, p.3
+    )
+}
+
 /// Renders execution metrics as a JSON object (indented by `indent`
 /// spaces): frame counts, reuse-cache counters and hit rate, per-stage
-/// wall times, and the one-line [`ExecMetrics::summary`] string, so bench
-/// JSON records the cache and stage behavior behind each throughput
-/// number.
+/// wall times, per-frame latency percentiles (when the run recorded them
+/// via `ExecConfig::record_per_frame_ms`), and the one-line
+/// [`ExecMetrics::summary`] string, so bench JSON records the cache and
+/// stage behavior behind each throughput number.
 pub fn exec_metrics_json(m: &ExecMetrics, indent: usize) -> String {
     let pad = " ".repeat(indent);
     let inner = " ".repeat(indent + 2);
@@ -37,11 +65,19 @@ pub fn exec_metrics_json(m: &ExecMetrics, indent: usize) -> String {
     } else {
         format!("{{\n{}\n{inner}}}", stages.join(",\n"))
     };
+    let latency = if m.per_frame_ms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "{inner}\"frame_latency_ms\": {},\n",
+            percentiles_json(percentiles(&m.per_frame_ms))
+        )
+    };
     format!(
         "{{\n{inner}\"frames_total\": {},\n{inner}\"frames_processed\": {},\n\
          {inner}\"reuse_hits\": {},\n{inner}\"reuse_misses\": {},\n\
          {inner}\"reuse_evictions\": {},\n{inner}\"reuse_hit_rate\": {:.4},\n\
-         {inner}\"stage_wall_ms\": {stages_block},\n{inner}\"summary\": \"{}\"\n{pad}}}",
+         {inner}\"stage_wall_ms\": {stages_block},\n{latency}{inner}\"summary\": \"{}\"\n{pad}}}",
         m.frames_total,
         m.frames_processed,
         m.reuse.hits,
@@ -319,5 +355,26 @@ mod tests {
         assert!(json.contains("\"decode\": 1.50"), "{json}");
         assert!(json.contains("\"reuse_hit_rate\": 0.7500"), "{json}");
         assert!(json.contains("\"summary\""), "{json}");
+        // No per-frame samples recorded: no latency block.
+        assert!(!json.contains("frame_latency_ms"), "{json}");
+
+        m.per_frame_ms = vec![3.0, 1.0, 2.0, 4.0];
+        let json = exec_metrics_json(&m, 2);
+        assert!(
+            json.contains(
+                "\"frame_latency_ms\": {\"p50\": 2.000, \"p95\": 4.000, \
+                 \"p99\": 4.000, \"max\": 4.000}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn percentiles_use_ceil_rank() {
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(percentiles(&[7.0]), (7.0, 7.0, 7.0, 7.0));
+        // 1..=100: rank(q) = ceil(q*100) → p50=50, p95=95, p99=99.
+        let xs: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        assert_eq!(percentiles(&xs), (50.0, 95.0, 99.0, 100.0));
     }
 }

@@ -209,6 +209,8 @@ impl RetryPolicy {
     fn run<T>(
         &self,
         clock: &Clock,
+        stage: ModelStage,
+        tracer: &vqpy_obs::Tracer,
         mut attempt: impl FnMut() -> Result<T, ModelFault>,
     ) -> Result<T, ModelFault> {
         let mut backoff_spent = 0.0f64;
@@ -224,6 +226,11 @@ impl RetryPolicy {
                 }
             }
             if wait > 0.0 {
+                let _span = tracer
+                    .span("dispatch", RETRY_BACKOFF_LABEL)
+                    .arg("stage", stage.name())
+                    .arg("attempt", k + 1)
+                    .arg("wait_ms", wait);
                 clock.charge_labeled(RETRY_BACKOFF_LABEL, wait);
                 backoff_spent += wait;
             }
@@ -242,12 +249,24 @@ impl RetryPolicy {
 pub struct RetryDispatch {
     inner: Arc<dyn ModelDispatch>,
     policy: RetryPolicy,
+    tracer: vqpy_obs::Tracer,
 }
 
 impl RetryDispatch {
     /// Wraps `inner` with `policy`.
     pub fn new(inner: Arc<dyn ModelDispatch>, policy: RetryPolicy) -> Self {
-        Self { inner, policy }
+        Self {
+            inner,
+            policy,
+            tracer: vqpy_obs::Tracer::disabled(),
+        }
+    }
+
+    /// Installs a span tracer: every backoff wait is recorded as a
+    /// `retry_backoff` span carrying stage, attempt, and wait attributes.
+    pub fn with_tracer(mut self, tracer: vqpy_obs::Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The wrapped dispatcher.
@@ -269,7 +288,9 @@ impl ModelDispatch for RetryDispatch {
         clock: &Clock,
     ) -> Result<Vec<Vec<Detection>>, ModelFault> {
         self.policy
-            .run(clock, || self.inner.detect(detector, frames, clock))
+            .run(clock, ModelStage::Detect, &self.tracer, || {
+                self.inner.detect(detector, frames, clock)
+            })
     }
 
     fn predict(
@@ -279,7 +300,9 @@ impl ModelDispatch for RetryDispatch {
         clock: &Clock,
     ) -> Result<Vec<bool>, ModelFault> {
         self.policy
-            .run(clock, || self.inner.predict(model, frames, clock))
+            .run(clock, ModelStage::Predict, &self.tracer, || {
+                self.inner.predict(model, frames, clock)
+            })
     }
 
     fn classify(
@@ -290,7 +313,9 @@ impl ModelDispatch for RetryDispatch {
         clock: &Clock,
     ) -> Result<Vec<Value>, ModelFault> {
         self.policy
-            .run(clock, || self.inner.classify(model, frame, dets, clock))
+            .run(clock, ModelStage::Classify, &self.tracer, || {
+                self.inner.classify(model, frame, dets, clock)
+            })
     }
 }
 

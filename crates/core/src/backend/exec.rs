@@ -527,6 +527,14 @@ pub struct StageOps {
     /// Owned here — rather than passed per segment — so the boundary
     /// survives exactly as long as the stream's operator state does.
     pub dispatch: Arc<dyn ModelDispatch>,
+    /// Span tracer both drivers open stage spans on (decode,
+    /// frame-filter, detect, tail) and hand to operators via
+    /// [`ExecCtx`] for dispatch-level
+    /// spans. Defaults to a disabled tracer — one atomic load per
+    /// would-be span — and is owned here for the same reason `dispatch`
+    /// is: the serving layer installs an enabled, per-stream handle once
+    /// and it survives plan recompiles.
+    pub tracer: vqpy_obs::Tracer,
 }
 
 impl StageOps {
@@ -585,6 +593,7 @@ pub fn instantiate_stage_ops(
             .collect::<Result<_>>()?,
         tail: instantiate_ops_with(plan, tail_specs, zoo, symbols)?,
         dispatch: Arc::new(DirectDispatch),
+        tracer: vqpy_obs::Tracer::disabled(),
     })
 }
 
@@ -677,6 +686,7 @@ fn run_segment_sequential(
 ) -> Result<()> {
     let batch = config.batch_size.max(1) as u64;
     let dispatch = Arc::clone(&ops.dispatch);
+    let tracer = ops.tracer.clone();
     // Slot workspaces, reused across batches.
     let mut slots: Vec<FrameSlot> = Vec::new();
     let mut index = range.start;
@@ -688,23 +698,30 @@ fn run_segment_sequential(
         // per-frame events, not stream-fatal — so `n` is the number of
         // *surviving* frames in this batch.
         let mut n = 0usize;
-        for f in index..end {
-            clock.charge_labeled("video_decode", vqpy_models::zoo::COST_VIDEO_DECODE);
-            let frame = match source.try_frame(f) {
-                Ok(frame) => frame,
-                Err(_) => {
-                    metrics.decode_failures += 1;
-                    continue;
+        {
+            let mut span = tracer
+                .span("exec", "decode")
+                .arg("start", index)
+                .arg("end", end);
+            for f in index..end {
+                clock.charge_labeled("video_decode", vqpy_models::zoo::COST_VIDEO_DECODE);
+                let frame = match source.try_frame(f) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        metrics.decode_failures += 1;
+                        continue;
+                    }
+                };
+                if n < slots.len() {
+                    slots[n].reset(frame);
+                } else {
+                    slots.push(FrameSlot::new(frame));
                 }
-            };
-            if n < slots.len() {
-                slots[n].reset(frame);
-            } else {
-                slots.push(FrameSlot::new(frame));
+                slots[n].prepare_joins(plan.joins.len());
+                metrics.frames_total += 1;
+                n += 1;
             }
-            slots[n].prepare_joins(plan.joins.len());
-            metrics.frames_total += 1;
-            n += 1;
+            span.add_arg("decoded", n);
         }
         if n == 0 {
             index = end;
@@ -713,22 +730,41 @@ fn run_segment_sequential(
         {
             let mut ctx = ExecCtx {
                 dispatch: &*dispatch,
+                tracer: &tracer,
                 zoo,
                 clock,
                 fps: source.fps(),
                 reuse,
                 enable_reuse: config.enable_intrinsic_reuse,
             };
-            for op in ops.filters.iter_mut() {
-                op.process_batch(&mut slots[..n], &mut ctx)?;
+            {
+                let _span = tracer
+                    .span("exec", "frame_filter")
+                    .arg("start", index)
+                    .arg("frames", n);
+                for op in ops.filters.iter_mut() {
+                    op.process_batch(&mut slots[..n], &mut ctx)?;
+                }
             }
             // Frames alive past the frame filters count as processed.
             metrics.frames_processed += slots[..n].iter().filter(|s| s.alive).count() as u64;
-            for op in ops.detects[0].iter_mut() {
-                op.process_batch(&mut slots[..n], &mut ctx)?;
+            {
+                let _span = tracer
+                    .span("exec", "detect")
+                    .arg("start", index)
+                    .arg("frames", n);
+                for op in ops.detects[0].iter_mut() {
+                    op.process_batch(&mut slots[..n], &mut ctx)?;
+                }
             }
-            for op in ops.tail.iter_mut() {
-                op.process_batch(&mut slots[..n], &mut ctx)?;
+            {
+                let _span = tracer
+                    .span("exec", "tail")
+                    .arg("start", index)
+                    .arg("frames", n);
+                for op in ops.tail.iter_mut() {
+                    op.process_batch(&mut slots[..n], &mut ctx)?;
+                }
             }
         }
         for slot in &slots[..n] {

@@ -86,6 +86,11 @@ pub struct ExecCtx<'a> {
     /// [`crate::backend::dispatch`]). A serving supervisor swaps in a
     /// cross-stream batcher here; everything else uses the direct path.
     pub dispatch: &'a dyn crate::backend::dispatch::ModelDispatch,
+    /// Span tracer for dispatch-level instrumentation. Disabled by
+    /// default (one atomic load per would-be span); the serving layer
+    /// installs an enabled handle via
+    /// [`StageOps`](crate::backend::exec::StageOps).
+    pub tracer: &'a vqpy_obs::Tracer,
 }
 
 /// Cross-frame operator state, extracted so a serving layer can carry it
@@ -237,6 +242,11 @@ impl Operator for BinaryFilterOp {
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let frames = [&slot.frame];
+        let _span = ctx
+            .tracer
+            .span("dispatch", "dispatch:predict")
+            .arg("model", &self.model.profile().name)
+            .arg("frame", slot.frame.index);
         if !ctx.dispatch.predict(&self.model, &frames, ctx.clock)?[0] {
             slot.alive = false;
         }
@@ -249,6 +259,12 @@ impl Operator for BinaryFilterOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
+        let _span = ctx
+            .tracer
+            .span("dispatch", "dispatch:predict")
+            .arg("model", &self.model.profile().name)
+            .arg("frame", frames[0].index)
+            .arg("items", frames.len());
         let verdicts = ctx.dispatch.predict(&self.model, &frames, ctx.clock)?;
         for (&i, keep) in live.iter().zip(verdicts) {
             if !keep {
@@ -309,6 +325,11 @@ impl Operator for DetectOp {
 
     fn process(&mut self, slot: &mut FrameSlot, ctx: &mut ExecCtx<'_>) -> Result<()> {
         let frames = [&slot.frame];
+        let _span = ctx
+            .tracer
+            .span("dispatch", "dispatch:detect")
+            .arg("model", &self.detector.profile().name)
+            .arg("frame", slot.frame.index);
         let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock)?;
         self.populate(slot, &per_frame[0]);
         Ok(())
@@ -320,6 +341,12 @@ impl Operator for DetectOp {
             return Ok(());
         }
         let frames: Vec<&Frame> = live.iter().map(|&i| &slots[i].frame).collect();
+        let _span = ctx
+            .tracer
+            .span("dispatch", "dispatch:detect")
+            .arg("model", &self.detector.profile().name)
+            .arg("frame", frames[0].index)
+            .arg("items", frames.len());
         let per_frame = ctx.dispatch.detect(&self.detector, &frames, ctx.clock)?;
         for (&i, detections) in live.iter().zip(&per_frame) {
             self.populate(&mut slots[i], detections);
@@ -589,6 +616,12 @@ impl ProjectOp {
             return Ok(());
         }
         let clf = self.classifier(ctx)?;
+        let _span = ctx
+            .tracer
+            .span("dispatch", "dispatch:classify")
+            .arg("model", &clf.profile().name)
+            .arg("frame", slot.frame.index)
+            .arg("items", self.pending_dets.len());
         let values = ctx
             .dispatch
             .classify(&clf, &slot.frame, &self.pending_dets, ctx.clock)?;
@@ -948,6 +981,7 @@ mod tests {
         let v = video();
         let mut ctx = ExecCtx {
             dispatch: crate::backend::dispatch::direct(),
+            tracer: &vqpy_obs::Tracer::disabled(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -976,6 +1010,7 @@ mod tests {
         let v = video();
         let mut ctx = ExecCtx {
             dispatch: crate::backend::dispatch::direct(),
+            tracer: &vqpy_obs::Tracer::disabled(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1022,6 +1057,7 @@ mod tests {
             let mut slot = FrameSlot::new(v.frame(i));
             let mut ctx = ExecCtx {
                 dispatch: crate::backend::dispatch::direct(),
+                tracer: &vqpy_obs::Tracer::disabled(),
                 zoo: &zoo,
                 clock: &clock,
                 fps: v.fps(),
@@ -1061,6 +1097,7 @@ mod tests {
         let v = video();
         let mut ctx = ExecCtx {
             dispatch: crate::backend::dispatch::direct(),
+            tracer: &vqpy_obs::Tracer::disabled(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1085,6 +1122,7 @@ mod tests {
         let v = video();
         let mut ctx = ExecCtx {
             dispatch: crate::backend::dispatch::direct(),
+            tracer: &vqpy_obs::Tracer::disabled(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),
@@ -1117,6 +1155,7 @@ mod tests {
         let v = SyntheticVideo::new(scene);
         let mut ctx = ExecCtx {
             dispatch: crate::backend::dispatch::direct(),
+            tracer: &vqpy_obs::Tracer::disabled(),
             zoo: &zoo,
             clock: &clock,
             fps: v.fps(),

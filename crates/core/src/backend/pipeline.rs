@@ -184,6 +184,7 @@ pub(crate) fn run_segment_pipelined(
 ) -> Result<()> {
     let workers = ops.detects.len().max(1);
     let dispatch = std::sync::Arc::clone(&ops.dispatch);
+    let tracer = ops.tracer.clone();
     let filter_ops = &mut ops.filters;
     let detect_ops_per_worker = &mut ops.detects;
     let tail_ops = &mut ops.tail;
@@ -221,6 +222,7 @@ pub(crate) fn run_segment_pipelined(
                 &error,
                 &decode_failures,
             );
+            let tracer = &tracer;
             scope.spawn(move || loop {
                 if cancel.load(Ordering::Relaxed) {
                     break;
@@ -234,6 +236,10 @@ pub(crate) fn run_segment_pipelined(
                 let mut slots = recycle_rx.lock().try_recv().unwrap_or_default();
                 let outcome = contain("decode", || {
                     timed(&stages.decode, || {
+                        let mut span = tracer
+                            .span("exec", "decode")
+                            .arg("start", lo)
+                            .arg("end", hi);
                         // An undecodable frame is skipped with a counter;
                         // the batch ships with its surviving frames only.
                         let mut n = 0usize;
@@ -258,6 +264,7 @@ pub(crate) fn run_segment_pipelined(
                             n += 1;
                         }
                         slots.truncate(n);
+                        span.add_arg("decoded", n);
                     });
                     Ok(())
                 });
@@ -278,6 +285,7 @@ pub(crate) fn run_segment_pipelined(
             let (cancel, stages, error, decoded_rx, frames_processed) =
                 (&cancel, &stages, &error, &decoded_rx, &frames_processed);
             let dispatch = std::sync::Arc::clone(&dispatch);
+            let tracer = &tracer;
             let filter_ops = &mut *filter_ops;
             scope.spawn(move || {
                 let mut reorder = Reorder::new();
@@ -287,8 +295,13 @@ pub(crate) fn run_segment_pipelined(
                     while let Some((seq, mut slots)) = reorder.pop_ready() {
                         let outcome = contain("frame_filters", || {
                             timed(&stages.frame_filters, || {
+                                let _span = tracer
+                                    .span("exec", "frame_filter")
+                                    .arg("batch", seq)
+                                    .arg("frames", slots.len());
                                 let mut ctx = ExecCtx {
                                     dispatch: &*dispatch,
+                                    tracer,
                                     zoo,
                                     clock,
                                     fps: source.fps(),
@@ -323,13 +336,19 @@ pub(crate) fn run_segment_pipelined(
             let detected_tx = detected_tx.clone();
             let (cancel, stages, error, filtered_rx) = (&cancel, &stages, &error, &filtered_rx);
             let dispatch = std::sync::Arc::clone(&dispatch);
+            let tracer = &tracer;
             scope.spawn(move || {
                 let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by detectors
                 while let Some((seq, mut slots)) = recv_coop(filtered_rx, cancel) {
                     let outcome = contain("detect", || {
                         timed(&stages.detect, || {
+                            let _span = tracer
+                                .span("exec", "detect")
+                                .arg("batch", seq)
+                                .arg("frames", slots.len());
                             let mut ctx = ExecCtx {
                                 dispatch: &*dispatch,
+                                tracer,
                                 zoo,
                                 clock,
                                 fps: source.fps(),
@@ -369,11 +388,16 @@ pub(crate) fn run_segment_pipelined(
                     Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                 };
                 reorder.push(msg);
-                while let Some((_, mut slots)) = reorder.pop_ready() {
+                while let Some((seq, mut slots)) = reorder.pop_ready() {
                     metrics.frames_total += slots.len() as u64;
                     timed(&stages.tail, || {
+                        let _span = tracer
+                            .span("exec", "tail")
+                            .arg("batch", seq)
+                            .arg("frames", slots.len());
                         let mut ctx = ExecCtx {
                             dispatch: &*dispatch,
+                            tracer: &tracer,
                             zoo,
                             clock,
                             fps: source.fps(),

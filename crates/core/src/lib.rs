@@ -46,6 +46,8 @@ pub mod frontend;
 pub mod scoring;
 pub mod session;
 
+pub use vqpy_obs::{Telemetry, Tracer};
+
 pub use backend::dispatch::{
     DirectDispatch, ModelDispatch, ModelStage, RetryDispatch, RetryPolicy, RETRY_BACKOFF_LABEL,
 };

@@ -274,6 +274,13 @@ impl Clock {
         self.virtual_nanos.load(Ordering::Relaxed) as f64 / 1e6
     }
 
+    /// Total virtual microseconds charged so far, as an integer tick.
+    /// Span tracers use this as a time source under [`ClockMode::Virtual`],
+    /// where wall timestamps would be meaningless (no real time passes).
+    pub fn virtual_micros(&self) -> u64 {
+        self.virtual_nanos.load(Ordering::Relaxed) / 1_000
+    }
+
     /// Per-label charge statistics (a snapshot).
     pub fn labeled_stats(&self) -> HashMap<String, ChargeStat> {
         self.labeled.lock().clone()

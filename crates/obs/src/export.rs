@@ -1,0 +1,208 @@
+//! Exporters: Chrome/Perfetto `trace_event` JSON for the span timeline,
+//! Prometheus text exposition for the metrics registry.
+//!
+//! Both are plain-`String` producers with no I/O; callers decide where
+//! the snapshot goes (a file, stdout, an HTTP response).
+
+use crate::metrics::{Metric, Registry};
+use crate::trace::{SpanRecord, Tracer};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_event(out: &mut String, s: &SpanRecord) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+        json_escape(&s.name),
+        json_escape(s.cat),
+        s.start_us,
+        s.dur_us,
+        s.pid,
+        s.tid
+    );
+    if !s.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in s.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Renders a tracer's retained spans as a Chrome/Perfetto `trace_event`
+/// JSON document (`{"traceEvents": [...]}` object form). Spans are sorted
+/// by `(pid, tid, ts)` so the output is deterministic for a deterministic
+/// run; named lanes (see [`Tracer::set_process_name`]) are emitted as
+/// `process_name` metadata events. Open the result at `ui.perfetto.dev`
+/// or `chrome://tracing`.
+pub fn perfetto_json(tracer: &Tracer) -> String {
+    let mut spans = tracer.spans();
+    spans.sort_by_key(|s| (s.pid, s.tid, s.start_us, s.dur_us));
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, name) in tracer.process_names() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            json_escape(&name)
+        );
+    }
+    for s in &spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        span_event(&mut out, s);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Splits a metric name into `(base, labels)` where `labels` includes the
+/// surrounding braces (empty when the name carries none).
+fn split_name(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Merges an extra `key="value"` pair into an inline label set.
+fn with_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a registry snapshot in Prometheus text exposition format.
+///
+/// Counters and gauges emit one sample each; histograms emit summary-style
+/// `quantile` samples (p50/p95/p99) plus `_max`, `_sum`, and `_count`
+/// series. Inline labels in metric names (e.g.
+/// `latency_ms{query="RedCar"}`) are preserved and merged with the
+/// `quantile` label. `# TYPE` lines are emitted once per base name.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_type_line: Option<String> = None;
+    for (name, metric) in registry.snapshot() {
+        let (base, labels) = split_name(&name);
+        let kind = match &metric {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        };
+        let type_line = format!("# TYPE {base} {kind}");
+        if last_type_line.as_deref() != Some(&type_line) {
+            let _ = writeln!(out, "{type_line}");
+            last_type_line = Some(type_line);
+        }
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "{base}{labels} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "{base}{labels} {}", fmt_value(g.get()));
+            }
+            Metric::Histogram(h) => {
+                for (q, v) in [
+                    ("0.5", h.quantile(0.50)),
+                    ("0.95", h.quantile(0.95)),
+                    ("0.99", h.quantile(0.99)),
+                ] {
+                    let merged = with_label(labels, &format!("quantile=\"{q}\""));
+                    let _ = writeln!(out, "{base}{merged} {}", fmt_value(v));
+                }
+                let _ = writeln!(out, "{base}_max{labels} {}", fmt_value(h.max_ms()));
+                let _ = writeln!(out, "{base}_sum{labels} {}", fmt_value(h.sum_ms()));
+                let _ = writeln!(out, "{base}_count{labels} {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prometheus_text_emits_all_kinds() {
+        let r = Registry::new();
+        r.counter("vqpy_frames_total").add(42);
+        r.gauge("vqpy_queue_depth").set(3.0);
+        let h = r.histogram("vqpy_latency_ms{query=\"Red\"}");
+        for us in 1..=100u64 {
+            h.observe_us(us);
+        }
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE vqpy_frames_total counter"), "{text}");
+        assert!(text.contains("vqpy_frames_total 42"), "{text}");
+        assert!(text.contains("# TYPE vqpy_queue_depth gauge"), "{text}");
+        assert!(text.contains("vqpy_queue_depth 3"), "{text}");
+        assert!(text.contains("# TYPE vqpy_latency_ms summary"), "{text}");
+        assert!(
+            text.contains("vqpy_latency_ms{query=\"Red\",quantile=\"0.5\"} 0.05"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vqpy_latency_ms_count{query=\"Red\"} 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vqpy_latency_ms_max{query=\"Red\"} 0.1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_base_name() {
+        let r = Registry::new();
+        r.histogram("lat_ms{query=\"A\"}").observe_us(5);
+        r.histogram("lat_ms{query=\"B\"}").observe_us(7);
+        let text = prometheus_text(&r);
+        assert_eq!(text.matches("# TYPE lat_ms summary").count(), 1, "{text}");
+    }
+}

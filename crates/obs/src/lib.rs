@@ -1,0 +1,82 @@
+//! # vqpy-obs
+//!
+//! End-to-end telemetry for the VQPy reproduction: a lock-light
+//! [`Registry`] of atomic counters, gauges, and log-bucketed histograms
+//! (exact p50/p95/p99/max readout); a ring-buffer [`Tracer`] producing
+//! structured spans with stream/frame/stage attributes; and exporters
+//! rendering a whole run as a Chrome/Perfetto `trace_event` JSON timeline
+//! ([`perfetto_json`]) or a Prometheus text-exposition snapshot
+//! ([`prometheus_text`]).
+//!
+//! The crate sits below every other layer (it depends only on the
+//! vendored `parking_lot`), so the executors, the cross-stream batcher,
+//! and the stream supervisor can all carry the same [`Telemetry`] handle.
+//! Everything defaults to disabled tracing — one relaxed atomic load per
+//! would-be span — so instrumentation stays compiled in unconditionally
+//! without moving the benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{json_escape, perfetto_json, prometheus_text};
+pub use metrics::{label_escape, Counter, Gauge, Histogram, Metric, Registry};
+pub use trace::{SpanGuard, SpanRecord, TimeSource, Tracer, DEFAULT_SPAN_CAPACITY};
+
+/// The bundle a serving run carries: one metrics [`Registry`] plus one
+/// span [`Tracer`]. Clones share both; the handle is what
+/// `ServeConfig.telemetry` holds and `StreamSupervisor::telemetry()`
+/// returns, so one call captures a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Telemetry {
+    /// Metrics on, span tracing off (the default): the registry always
+    /// collects — its hot path is a few relaxed atomics — while would-be
+    /// spans cost one atomic load each.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Metrics on and span tracing on, with the default ring capacity.
+    pub fn with_tracing() -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: Tracer::enabled(),
+        }
+    }
+
+    /// Metrics on and span tracing on, retaining at most `capacity`
+    /// spans.
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: Tracer::with_capacity(capacity),
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Renders the span timeline as Chrome/Perfetto `trace_event` JSON.
+    pub fn perfetto_json(&self) -> String {
+        perfetto_json(&self.tracer)
+    }
+
+    /// Renders the registry as a Prometheus text-exposition snapshot.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text(&self.registry)
+    }
+}

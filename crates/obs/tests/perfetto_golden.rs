@@ -1,0 +1,172 @@
+//! Golden-file test: the Perfetto export of a tiny deterministic run is
+//! byte-stable and valid Chrome `trace_event` JSON.
+//!
+//! Determinism comes from a counter time source (each clock read advances
+//! exactly 100us) and single-threaded span emission (one tid lane). To
+//! regenerate the golden file after an intentional exporter change, run
+//! with `VQPY_BLESS=1` and commit the result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use vqpy_obs::{perfetto_json, Tracer};
+
+/// Minimal recursive-descent JSON validator: returns the remaining input
+/// after one value, or panics with a position on malformed input. Used
+/// instead of a JSON dependency to genuinely check well-formedness.
+mod json {
+    pub fn validate(s: &str) {
+        let rest = skip_ws(value(skip_ws(s)));
+        assert!(rest.is_empty(), "trailing garbage: {rest:.40?}");
+    }
+
+    fn skip_ws(s: &str) -> &str {
+        s.trim_start_matches([' ', '\t', '\n', '\r'])
+    }
+
+    fn value(s: &str) -> &str {
+        match s.chars().next() {
+            Some('{') => object(s),
+            Some('[') => array(s),
+            Some('"') => string(s),
+            Some('t') => literal(s, "true"),
+            Some('f') => literal(s, "false"),
+            Some('n') => literal(s, "null"),
+            Some(c) if c == '-' || c.is_ascii_digit() => number(s),
+            other => panic!("unexpected start of value: {other:?} at {s:.40?}"),
+        }
+    }
+
+    fn literal<'a>(s: &'a str, lit: &str) -> &'a str {
+        s.strip_prefix(lit)
+            .unwrap_or_else(|| panic!("expected {lit} at {s:.40?}"))
+    }
+
+    fn number(s: &str) -> &str {
+        let end = s
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(s.len());
+        assert!(end > 0, "empty number at {s:.40?}");
+        &s[end..]
+    }
+
+    fn string(s: &str) -> &str {
+        let mut chars = s.char_indices().skip(1);
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return &s[i + 1..],
+                '\\' => {
+                    chars.next().expect("escape at end of input");
+                }
+                c if (c as u32) < 0x20 => panic!("raw control char in string"),
+                _ => {}
+            }
+        }
+        panic!("unterminated string at {s:.40?}");
+    }
+
+    fn object(s: &str) -> &str {
+        let mut rest = skip_ws(&s[1..]);
+        if let Some(r) = rest.strip_prefix('}') {
+            return r;
+        }
+        loop {
+            rest = skip_ws(string(rest));
+            rest = skip_ws(literal(rest, ":"));
+            rest = skip_ws(value(rest));
+            match rest.chars().next() {
+                Some(',') => rest = skip_ws(&rest[1..]),
+                Some('}') => return &rest[1..],
+                other => panic!("expected , or }} in object, got {other:?}"),
+            }
+        }
+    }
+
+    fn array(s: &str) -> &str {
+        let mut rest = skip_ws(&s[1..]);
+        if let Some(r) = rest.strip_prefix(']') {
+            return r;
+        }
+        loop {
+            rest = skip_ws(value(rest));
+            match rest.chars().next() {
+                Some(',') => rest = skip_ws(&rest[1..]),
+                Some(']') => return &rest[1..],
+                other => panic!("expected , or ] in array, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Replays the span shapes of a miniature serving step: decode with a
+/// nested detect dispatch on stream lane 1, a shared coalesce window on
+/// lane 0, and a demux on stream lane 2.
+fn tiny_run() -> Tracer {
+    let tracer = Tracer::enabled();
+    let t = AtomicU64::new(0);
+    tracer.set_time_source(move || t.fetch_add(100, Ordering::Relaxed));
+    tracer.set_process_name(0, "shared");
+    tracer.set_process_name(1, "stream 0");
+    tracer.set_process_name(2, "stream 1");
+    let stream0 = tracer.for_stream(1);
+    {
+        let _decode = stream0.span("exec", "decode").arg("frames", "0..8");
+        let _detect = stream0
+            .span("dispatch", "dispatch:detect")
+            .arg("model", "yolo")
+            .arg("items", 8);
+    }
+    {
+        let _coalesce = tracer
+            .span("batcher", "coalesce")
+            .arg("requests", 2)
+            .arg("items", 16);
+    }
+    {
+        let _demux = tracer.for_stream(2).span("serve", "demux").arg("frame", 7);
+    }
+    tracer
+}
+
+#[test]
+fn perfetto_export_matches_golden_and_is_valid_json() {
+    let exported = perfetto_json(&tiny_run());
+    json::validate(&exported);
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace.json");
+    if std::env::var_os("VQPY_BLESS").is_some() {
+        std::fs::write(golden_path, &exported).expect("bless golden file");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden_trace.json exists");
+    assert_eq!(
+        exported,
+        golden.trim_end(),
+        "Perfetto export drifted from the golden file; rerun with VQPY_BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn perfetto_export_of_empty_tracer_is_valid() {
+    let exported = perfetto_json(&Tracer::disabled());
+    json::validate(&exported);
+    assert!(exported.contains("\"traceEvents\":[]"), "{exported}");
+}
+
+#[test]
+fn export_carries_required_trace_event_fields() {
+    let exported = perfetto_json(&tiny_run());
+    for field in [
+        "\"ph\":\"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"pid\":",
+        "\"tid\":",
+    ] {
+        assert!(exported.contains(field), "missing {field}: {exported}");
+    }
+    for name in ["decode", "dispatch:detect", "coalesce", "demux"] {
+        assert!(
+            exported.contains(&format!("\"name\":\"{name}\"")),
+            "missing span {name}: {exported}"
+        );
+    }
+    assert!(exported.contains("\"process_name\""), "{exported}");
+}

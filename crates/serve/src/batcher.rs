@@ -40,6 +40,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vqpy_core::{panic_message, ModelDispatch, ModelStage};
 use vqpy_models::{Classifier, Clock, Detection, Detector, FrameClassifier, ModelFault, Value};
+use vqpy_obs::{Histogram, Telemetry, Tracer};
 use vqpy_video::frame::Frame;
 
 /// Coalescing bounds for the cross-stream batcher.
@@ -224,6 +225,34 @@ struct StatsInner {
     faults: FaultStatsInner,
 }
 
+/// The coalescing thread's telemetry: the shared-lane tracer (pid 0 in
+/// the exported timeline) plus one registry histogram of physical batch
+/// sizes per stage. Values recorded into `batch_items` are item counts
+/// (frames or crops), not durations, despite the histogram's
+/// millisecond-named accessors.
+struct BatcherObs {
+    tracer: Tracer,
+    batch_items: [Histogram; 3],
+}
+
+impl BatcherObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        let hist = |stage: ModelStage| {
+            telemetry
+                .registry()
+                .histogram(&format!("vqpy_batch_items{{stage=\"{}\"}}", stage.name()))
+        };
+        Self {
+            tracer: telemetry.tracer().for_stream(0),
+            batch_items: [
+                hist(ModelStage::Detect),
+                hist(ModelStage::Predict),
+                hist(ModelStage::Classify),
+            ],
+        }
+    }
+}
+
 /// Breaker bookkeeping for one model instance (keyed by `Arc` identity).
 #[derive(Default)]
 struct BreakerState {
@@ -351,7 +380,10 @@ impl BatchedDispatch {
             return Route::Batched { probe: false };
         }
         st.calls_since_trip += 1;
-        if st.calls_since_trip.is_multiple_of(self.breaker_probe_every.max(1)) {
+        if st
+            .calls_since_trip
+            .is_multiple_of(self.breaker_probe_every.max(1))
+        {
             Route::Batched { probe: true }
         } else {
             Route::Direct
@@ -518,6 +550,15 @@ impl ModelBatcher {
     /// panicking: handles dispatch direct per-stream from the start,
     /// exactly as after [`ModelBatcher::shutdown`].
     pub fn new(config: BatcherConfig, clock: Arc<Clock>) -> Self {
+        Self::with_telemetry(config, clock, &Telemetry::disabled())
+    }
+
+    /// Like [`ModelBatcher::new`], with telemetry: each coalescing round
+    /// becomes a `coalesce` span in the shared process lane (pid 0), and
+    /// physical batch sizes feed the `vqpy_batch_items{stage=...}`
+    /// registry histograms. The supervisor passes its serve config's
+    /// [`Telemetry`] here.
+    pub fn with_telemetry(config: BatcherConfig, clock: Arc<Clock>, telemetry: &Telemetry) -> Self {
         // The queue bound only limits burst submissions; each stream has
         // at most a handful of in-flight requests (its detect workers plus
         // the tail's classify traffic).
@@ -525,9 +566,10 @@ impl ModelBatcher {
         let stats = Arc::new(StatsInner::default());
         let worker_stats = Arc::clone(&stats);
         let worker_config = config.clone();
+        let obs = BatcherObs::new(telemetry);
         let spawned = std::thread::Builder::new()
             .name("vqpy-model-batcher".into())
-            .spawn(move || run_batcher(rx, worker_config, clock, worker_stats));
+            .spawn(move || run_batcher(rx, worker_config, clock, worker_stats, obs));
         let (worker, tx) = match spawned {
             Ok(w) => (Some(w), Some(tx)),
             Err(_) => (None, None),
@@ -593,11 +635,15 @@ fn run_batcher(
     config: BatcherConfig,
     clock: Arc<Clock>,
     stats: Arc<StatsInner>,
+    obs: BatcherObs,
 ) {
     let max_items = config.max_batch_frames.max(1);
     while let Ok(first) = rx.recv() {
         // Coalescing window: gather whatever other streams submit before
-        // the deadline, closing early at the item bound.
+        // the deadline, closing early at the item bound. The span opens
+        // with the window (so its duration covers gathering plus the
+        // physical model calls) and lands in the shared lane, pid 0.
+        let mut span = obs.tracer.span("serve", "coalesce");
         let deadline = Instant::now() + config.window;
         let mut total_items = first.items();
         let mut requests = vec![first];
@@ -617,14 +663,16 @@ fn run_batcher(
                 Err(_) => break, // window elapsed or channel closed
             }
         }
-        execute_round(&requests, &clock, &stats);
+        span.add_arg("requests", requests.len());
+        span.add_arg("items", total_items);
+        execute_round(&requests, &clock, &stats, &obs);
     }
 }
 
 /// Executes one coalescing round: requests grouped by (stage, model
 /// instance), one physical invocation per group, results demultiplexed
 /// back in request order.
-fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>) {
+fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>, obs: &BatcherObs) {
     let mut groups: Vec<((ModelStage, *const ()), Vec<usize>)> = Vec::new();
     for (i, r) in requests.iter().enumerate() {
         let key = (r.stage(), r.model_ptr());
@@ -636,6 +684,7 @@ fn execute_round(requests: &[Request], clock: &Clock, stats: &Arc<StatsInner>) {
     for ((stage, _), idxs) in &groups {
         let items: u64 = idxs.iter().map(|&i| requests[i].items() as u64).sum();
         stats.stages[stage.index()].record(idxs.len() as u64, items);
+        obs.batch_items[stage.index()].observe(items as f64);
         match stage {
             ModelStage::Detect => run_detect_group(requests, idxs, clock, stats),
             ModelStage::Predict => run_predict_group(requests, idxs, clock, stats),
@@ -683,8 +732,7 @@ fn run_frame_group<R>(
     extract: impl Fn(&Request) -> Option<FramePart<'_, R>>,
     batch: impl FnOnce(&[&Frame]) -> Result<Vec<R>, ModelFault>,
 ) {
-    let parts: Vec<FramePart<'_, R>> =
-        idxs.iter().filter_map(|&i| extract(&requests[i])).collect();
+    let parts: Vec<FramePart<'_, R>> = idxs.iter().filter_map(|&i| extract(&requests[i])).collect();
     let frames: Vec<&Frame> = parts.iter().flat_map(|(f, _)| f.iter()).collect();
     match batch(&frames) {
         Ok(mut results) => {

@@ -98,6 +98,14 @@ impl StreamEngine {
         self.ops.dispatch = dispatch;
     }
 
+    /// Replaces the engine's span tracer (see [`vqpy_core::Tracer`]).
+    /// Installed once by the serving layer with the stream's process-lane
+    /// handle and preserved across every later [`StreamEngine::recompile`],
+    /// exactly like the dispatch boundary.
+    pub fn set_tracer(&mut self, tracer: vqpy_core::Tracer) {
+        self.ops.tracer = tracer;
+    }
+
     /// Captures a restorable checkpoint of every stateful operator plus
     /// the cumulative metrics. Export drains the operators, so the state
     /// is cloned and immediately re-imported — the engine keeps running
@@ -136,6 +144,7 @@ impl StreamEngine {
     pub fn recompile(&mut self, plan: PlanDag, zoo: &ModelZoo) -> Result<()> {
         let mut ops = instantiate_stage_ops(&plan, zoo, self.workers, &mut self.symbols)?;
         ops.dispatch = std::sync::Arc::clone(&self.ops.dispatch);
+        ops.tracer = self.ops.tracer.clone();
         let mut states = self.ops.export_states();
         ops.import_states(&mut states);
         self.ops = ops;

@@ -76,7 +76,8 @@ pub use server::{
 };
 pub use subscription::{ServeEvent, StreamFault, Subscription, SubscriptionClosed, SubscriptionId};
 pub use supervisor::{
-    AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamSupervisor,
+    AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamLoad, StreamSupervisor,
     SupervisorConfig,
 };
 pub use typed::{TypedServeEvent, TypedSubscription};
+pub use vqpy_obs::{Registry, Telemetry, Tracer};

@@ -15,6 +15,16 @@ pub struct QueryServeMetrics {
     /// Mean wall latency from a batch entering the engine to this query's
     /// matches being enqueued, in milliseconds.
     pub mean_latency_ms: f64,
+    /// Median delivery latency, read from the query's log-bucketed
+    /// histogram (exact to the microsecond below 128µs, bucket lower
+    /// bound above).
+    pub p50_latency_ms: f64,
+    /// 95th-percentile delivery latency, in milliseconds.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile delivery latency, in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Worst delivery latency observed, in milliseconds (exact).
+    pub max_latency_ms: f64,
 }
 
 /// Wall-clock serving metrics for one stream.
@@ -96,8 +106,15 @@ impl ServeMetrics {
             .iter()
             .map(|q| {
                 format!(
-                    "{}: {} delivered, {} dropped, {:.2}ms mean latency",
-                    q.query, q.delivered, q.dropped, q.mean_latency_ms
+                    "{}: {} delivered, {} dropped, latency mean {:.2}ms p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms max {:.2}ms",
+                    q.query,
+                    q.delivered,
+                    q.dropped,
+                    q.mean_latency_ms,
+                    q.p50_latency_ms,
+                    q.p95_latency_ms,
+                    q.p99_latency_ms,
+                    q.max_latency_ms
                 )
             })
             .collect();
@@ -140,6 +157,7 @@ mod tests {
             per_query: vec![QueryServeMetrics {
                 query: "RedCar".into(),
                 delivered: 7,
+                p95_latency_ms: 1.25,
                 ..Default::default()
             }],
             ..Default::default()
@@ -147,5 +165,6 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("RedCar"), "{s}");
         assert!(s.contains("100 frames"), "{s}");
+        assert!(s.contains("p95 1.25ms"), "{s}");
     }
 }

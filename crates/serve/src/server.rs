@@ -16,6 +16,8 @@ use vqpy_core::backend::ops::FrameSlot;
 use vqpy_core::backend::plan::PlanDag;
 use vqpy_core::error::VqpyError;
 use vqpy_core::{panic_message, ExecMetrics, ModelDispatch, Query, VqpySession};
+use vqpy_models::ClockMode;
+use vqpy_obs::{label_escape, Histogram, Telemetry, Tracer};
 use vqpy_video::source::VideoSource;
 
 /// Identifier of one open stream on a server.
@@ -100,6 +102,14 @@ pub struct ServeConfig {
     /// gets, how long to back off, and whether faulted segments are
     /// re-run or skipped.
     pub restart: RestartPolicy,
+    /// Telemetry carried by the run: a metrics [`Registry`] (delivery
+    /// latency histograms, always collected) plus a span [`Tracer`]
+    /// (disabled by default; [`Telemetry::with_tracing`] turns the span
+    /// timeline on). Clones of this config share the same registry and
+    /// ring, so one handle exports the whole server's run.
+    ///
+    /// [`Registry`]: vqpy_obs::Registry
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +119,7 @@ impl Default for ServeConfig {
             backpressure: Backpressure::Block,
             batches_per_step: 1,
             restart: RestartPolicy::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -190,11 +201,21 @@ struct ActiveSub {
     connected: bool,
     delivered: u64,
     dropped: u64,
-    latency_sum_ms: f64,
+    /// This subscription's own delivery-latency histogram, backing the
+    /// exact mean/p50/p95/p99/max of [`QueryServeMetrics`].
+    latency: Histogram,
+    /// The registry-wide `vqpy_delivery_latency_ms{query=...}` histogram,
+    /// shared by every subscription of the same query name (what the
+    /// Prometheus exposition reports).
+    shared_latency: Histogram,
 }
 
 impl ActiveSub {
-    fn new(p: PendingAttach) -> Self {
+    fn new(p: PendingAttach, telemetry: &Telemetry) -> Self {
+        let shared_latency = telemetry.registry().histogram(&format!(
+            "vqpy_delivery_latency_ms{{query=\"{}\"}}",
+            label_escape(p.query.name())
+        ));
         Self {
             id: p.id,
             accum: QueryAccum::for_query(&p.query),
@@ -203,7 +224,8 @@ impl ActiveSub {
             connected: true,
             delivered: 0,
             dropped: 0,
-            latency_sum_ms: 0.0,
+            latency: Histogram::new(),
+            shared_latency,
         }
     }
 
@@ -221,7 +243,9 @@ impl ActiveSub {
         match outcome {
             Ok(()) => {
                 self.delivered += 1;
-                self.latency_sum_ms += ingest.elapsed().as_secs_f64() * 1e3;
+                let latency_ms = ingest.elapsed().as_secs_f64() * 1e3;
+                self.latency.observe(latency_ms);
+                self.shared_latency.observe(latency_ms);
             }
             Err(true) => self.dropped += 1,
             Err(false) => self.connected = false,
@@ -248,15 +272,16 @@ impl ActiveSub {
     }
 
     fn metrics(&self) -> QueryServeMetrics {
+        let (p50, p95, p99, max) = self.latency.percentiles();
         QueryServeMetrics {
             query: self.query.name().to_owned(),
             delivered: self.delivered,
             dropped: self.dropped,
-            mean_latency_ms: if self.delivered == 0 {
-                0.0
-            } else {
-                self.latency_sum_ms / self.delivered as f64
-            },
+            mean_latency_ms: self.latency.mean_ms(),
+            p50_latency_ms: p50,
+            p95_latency_ms: p95,
+            p99_latency_ms: p99,
+            max_latency_ms: max,
         }
     }
 }
@@ -301,6 +326,9 @@ struct Stream {
     /// Model-dispatch boundary installed into every engine this stream
     /// creates.
     dispatch: Option<Arc<dyn ModelDispatch>>,
+    /// The stream's process-lane span tracer (pid = stream id + 1),
+    /// installed into every engine this stream creates.
+    tracer: Tracer,
     engine: Option<StreamEngine>,
     /// Attach order; index i corresponds to join i of the current plan.
     subs: Vec<ActiveSub>,
@@ -321,10 +349,11 @@ struct Stream {
 }
 
 impl Stream {
-    fn new(source: Arc<dyn VideoSource>, options: StreamOptions) -> Self {
+    fn new(source: Arc<dyn VideoSource>, options: StreamOptions, tracer: Tracer) -> Self {
         Self {
             source,
             dispatch: options.dispatch,
+            tracer,
             engine: None,
             subs: Vec::new(),
             next_frame: 0,
@@ -388,6 +417,8 @@ impl StreamHandle {
 /// plan's joins (attach order).
 struct DemuxSink<'a> {
     subs: &'a mut [ActiveSub],
+    /// The stream's process-lane tracer, for per-frame demux spans.
+    tracer: &'a Tracer,
     policy: Backpressure,
     /// When this segment entered the engine, for delivery latency.
     ingest: Instant,
@@ -409,6 +440,11 @@ impl ResultSink for DemuxSink<'_> {
         if self.skip_through.is_some_and(|t| frame <= t) {
             return Ok(());
         }
+        let _span = self
+            .tracer
+            .span("serve", "demux")
+            .arg("frame", frame)
+            .arg("joins", plan.joins.len());
         for (ji, join) in plan.joins.iter().enumerate() {
             let sub = &mut self.subs[ji];
             // `observe` must see every frame (aggregate bookkeeping), not
@@ -447,7 +483,22 @@ pub struct StreamServer {
 
 impl StreamServer {
     /// Creates a server over a session.
+    ///
+    /// When span tracing is enabled and the session clock runs in
+    /// [`ClockMode::Virtual`] (no real time passes during model charges),
+    /// span timestamps are rebound to the clock's virtual-microsecond
+    /// tick, so the exported timeline reflects modeled cost rather than
+    /// meaningless wall gaps. `Busy` and `Latency` modes really elapse,
+    /// so their wall timestamps are already honest.
     pub fn new(session: Arc<VqpySession>, config: ServeConfig) -> Self {
+        let tracer = config.telemetry.tracer();
+        if tracer.is_enabled() {
+            tracer.set_process_name(0, "shared");
+            if session.clock().mode() == ClockMode::Virtual {
+                let clock = session.clock_handle();
+                tracer.set_time_source(move || clock.virtual_micros());
+            }
+        }
         Self {
             session,
             config,
@@ -477,6 +528,12 @@ impl StreamServer {
         options: StreamOptions,
     ) -> StreamId {
         let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        // Stream lanes are pid = id + 1 in the exported timeline; pid 0 is
+        // reserved for shared components (the cross-stream batcher).
+        let tracer = self.config.telemetry.tracer().for_stream(id + 1);
+        if tracer.is_enabled() {
+            tracer.set_process_name(id + 1, format!("stream {id}"));
+        }
         self.streams.lock().insert(
             id,
             Arc::new(StreamHandle {
@@ -485,7 +542,7 @@ impl StreamServer {
                 published_frames: AtomicU64::new(0),
                 published_delivered: AtomicU64::new(0),
                 published_dropped: AtomicU64::new(0),
-                state: Mutex::new(Stream::new(source, options)),
+                state: Mutex::new(Stream::new(source, options, tracer)),
             }),
         );
         id
@@ -647,6 +704,7 @@ impl StreamServer {
                     if let Some(dispatch) = &s.dispatch {
                         engine.set_dispatch(Arc::clone(dispatch));
                     }
+                    engine.set_tracer(s.tracer.clone());
                     s.engine = Some(engine);
                 }
             }
@@ -674,7 +732,7 @@ impl StreamServer {
             }
         }
         for p in commands.attach.drain(..) {
-            s.subs.push(ActiveSub::new(p));
+            s.subs.push(ActiveSub::new(p, &self.config.telemetry));
         }
         Ok(true)
     }
@@ -722,12 +780,14 @@ impl StreamServer {
         wall: Instant,
     ) -> ServeResult<()> {
         let restart = self.config.restart;
+        let tracer = s.tracer.clone();
         let engine = s.engine.as_mut().expect("caller checked engine presence");
         let mut skip_through: Option<u64> = None;
         loop {
             let checkpoint = engine.snapshot();
             let mut sink = DemuxSink {
                 subs: &mut s.subs,
+                tracer: &tracer,
                 policy: self.config.backpressure,
                 ingest: wall,
                 skip_through,
@@ -787,6 +847,10 @@ impl StreamServer {
             }
             s.restarts += 1;
             if restart.backoff_ms > 0.0 {
+                let _span = tracer
+                    .span("serve", RESTART_BACKOFF_LABEL)
+                    .arg("restart", s.restarts)
+                    .arg("wait_ms", restart.backoff_ms);
                 self.session
                     .clock()
                     .charge_labeled(RESTART_BACKOFF_LABEL, restart.backoff_ms);
@@ -939,6 +1003,26 @@ impl StreamServer {
             agg.dropped += h.published_dropped.load(Ordering::Relaxed);
         }
         agg
+    }
+
+    /// One stream's published load counters — (frames executed, events
+    /// delivered, events dropped), as of its last step boundary. Like
+    /// [`StreamServer::aggregate`], never waits on the execution lock.
+    pub fn stream_counters(&self, stream: StreamId) -> ServeResult<(u64, u64, u64)> {
+        let h = self.handle(stream)?;
+        Ok((
+            h.published_frames.load(Ordering::Relaxed),
+            h.published_delivered.load(Ordering::Relaxed),
+            h.published_dropped.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// The server's telemetry handle (shared with
+    /// [`ServeConfig::telemetry`]): export the span timeline with
+    /// [`Telemetry::perfetto_json`] and the metric registry with
+    /// [`Telemetry::prometheus_text`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
     }
 
     /// Closes a stream, dropping its engine and subscriptions. Subscribers

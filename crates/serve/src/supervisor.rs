@@ -54,8 +54,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use vqpy_core::{
-    panic_message, DirectDispatch, ModelDispatch, Query, RetryDispatch, RetryPolicy, VqpySession,
+    panic_message, DirectDispatch, ModelDispatch, ModelStage, Query, RetryDispatch, RetryPolicy,
+    VqpySession,
 };
+use vqpy_obs::Telemetry;
 use vqpy_video::source::VideoSource;
 
 /// How a stream's worker schedules step execution.
@@ -230,6 +232,32 @@ impl From<ServeError> for AttachError {
     }
 }
 
+/// A point-in-time, per-stream load breakdown — the per-stream complement
+/// of the server-wide [`LoadSnapshot`]. Composed from worker-shared
+/// atomics and counters published at step boundaries, so reading it never
+/// waits behind the stream's execution lock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamLoad {
+    /// The stream's id.
+    pub stream: StreamId,
+    /// The stream's pace mode.
+    pub pace: PaceMode,
+    /// Due-but-unexecuted paced steps right now (0 for unpaced streams).
+    pub queue_depth: u64,
+    /// Paced steps shed because the backlog overflowed the ingest queue.
+    pub ticks_shed: u64,
+    /// Whether the stream reached end-of-video.
+    pub finished: bool,
+    /// Frames executed, as of the last step boundary.
+    pub frames_total: u64,
+    /// Events delivered across the stream's subscriptions, as of the last
+    /// step boundary.
+    pub delivered: u64,
+    /// Events dropped by `Backpressure::Drop`, as of the last step
+    /// boundary.
+    pub dropped: u64,
+}
+
 /// Pacing observability for one supervised stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaceMetrics {
@@ -348,10 +376,9 @@ impl StreamSupervisor {
     /// Creates a supervisor over a session, spawning the shared batcher
     /// thread if configured.
     pub fn new(session: Arc<VqpySession>, config: SupervisorConfig) -> Self {
-        let batcher = config
-            .batcher
-            .clone()
-            .map(|bc| ModelBatcher::new(bc, session.clock_handle()));
+        let batcher = config.batcher.clone().map(|bc| {
+            ModelBatcher::with_telemetry(bc, session.clock_handle(), &config.serve.telemetry)
+        });
         let server = Arc::new(StreamServer::new(session, config.serve.clone()));
         Self {
             server,
@@ -415,14 +442,16 @@ impl StreamSupervisor {
             .batcher
             .as_ref()
             .map(|b| b.dispatch() as Arc<dyn ModelDispatch>);
+        // Retry backoff waits land in the shared trace lane (pid 0) with
+        // stage/attempt attributes, alongside the batcher's coalesce spans.
+        let retry_tracer = self.config.serve.telemetry.tracer().for_stream(0);
         let dispatch = match (base, self.config.retry) {
-            (Some(d), Some(policy)) => {
-                Some(Arc::new(RetryDispatch::new(d, policy)) as Arc<dyn ModelDispatch>)
-            }
-            (None, Some(policy)) => Some(Arc::new(RetryDispatch::new(
-                Arc::new(DirectDispatch),
-                policy,
-            )) as Arc<dyn ModelDispatch>),
+            (Some(d), Some(policy)) => Some(Arc::new(
+                RetryDispatch::new(d, policy).with_tracer(retry_tracer),
+            ) as Arc<dyn ModelDispatch>),
+            (None, Some(policy)) => Some(Arc::new(
+                RetryDispatch::new(Arc::new(DirectDispatch), policy).with_tracer(retry_tracer),
+            ) as Arc<dyn ModelDispatch>),
             (d, None) => d,
         };
         let options = StreamOptions { dispatch };
@@ -524,6 +553,89 @@ impl StreamSupervisor {
     /// Cross-stream batching counters, when the shared batcher is enabled.
     pub fn batcher_stats(&self) -> Option<BatcherStats> {
         self.batcher.as_ref().map(|b| b.stats())
+    }
+
+    /// The run's telemetry handle, shared with every layer the supervisor
+    /// drives (engines, batcher, retry dispatch, demux). Export the span
+    /// timeline with [`Telemetry::perfetto_json`] (or
+    /// [`StreamSupervisor::trace_json`]) and the metric registry with
+    /// [`StreamSupervisor::prometheus_snapshot`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.serve.telemetry
+    }
+
+    /// Per-stream load breakdown: pacing backlog and shed ticks from the
+    /// stream's worker, plus the frame/delivery counters published at its
+    /// last step boundary. Never waits behind the execution lock.
+    pub fn stream_snapshot(&self, stream: StreamId) -> ServeResult<StreamLoad> {
+        let (frames_total, delivered, dropped) = self.server.stream_counters(stream)?;
+        let workers = self.workers.lock();
+        let w = workers
+            .get(&stream)
+            .ok_or(ServeError::UnknownStream(stream))?;
+        Ok(StreamLoad {
+            stream,
+            pace: w.pace,
+            queue_depth: w.shared.queue_depth.load(Ordering::Relaxed),
+            ticks_shed: w.shared.ticks_shed.load(Ordering::Relaxed),
+            finished: w.shared.finished.load(Ordering::Acquire),
+            frames_total,
+            delivered,
+            dropped,
+        })
+    }
+
+    /// Renders a Prometheus text-exposition snapshot of the run: the
+    /// always-collected histograms (delivery latency per query, physical
+    /// batch sizes per stage), plus the supervisor's load and batcher
+    /// counters, synced into the registry at export time so the hot path
+    /// never pays for them twice.
+    pub fn prometheus_snapshot(&self) -> String {
+        let telemetry = self.telemetry();
+        let reg = telemetry.registry();
+        let load = self.load();
+        reg.gauge("vqpy_streams").set(load.streams as f64);
+        reg.gauge("vqpy_active_streams")
+            .set(load.active_streams as f64);
+        reg.gauge("vqpy_queue_depth").set(load.queue_depth as f64);
+        reg.counter("vqpy_ticks_shed_total").store(load.ticks_shed);
+        reg.counter("vqpy_delivered_total").store(load.delivered);
+        reg.counter("vqpy_dropped_total").store(load.dropped);
+        if let Some(stats) = self.batcher_stats() {
+            for stage in [
+                ModelStage::Detect,
+                ModelStage::Predict,
+                ModelStage::Classify,
+            ] {
+                let s = stats.stage(stage);
+                reg.counter(&format!(
+                    "vqpy_batcher_requests_total{{stage=\"{}\"}}",
+                    stage.name()
+                ))
+                .store(s.requests);
+                reg.counter(&format!(
+                    "vqpy_batcher_physical_batches_total{{stage=\"{}\"}}",
+                    stage.name()
+                ))
+                .store(s.physical_batches);
+            }
+            reg.counter("vqpy_model_faults_total")
+                .store(stats.faults.model_faults);
+            reg.counter("vqpy_breaker_trips_total")
+                .store(stats.faults.breaker_trips);
+            reg.counter("vqpy_breaker_recoveries_total")
+                .store(stats.faults.breaker_recoveries);
+            reg.counter("vqpy_coalesce_panics_total")
+                .store(stats.faults.coalesce_panics);
+        }
+        telemetry.prometheus_text()
+    }
+
+    /// Renders the run's span timeline as Chrome/Perfetto `trace_event`
+    /// JSON (empty but valid when tracing is disabled). Load the output
+    /// at `ui.perfetto.dev` to see per-stream process lanes.
+    pub fn trace_json(&self) -> String {
+        self.telemetry().perfetto_json()
     }
 
     /// Waits for a stream's worker to finish (end-of-video, stop, or

@@ -1,0 +1,190 @@
+//! End-to-end telemetry: one supervised multi-stream run must produce a
+//! valid Perfetto timeline covering every span kind across per-stream
+//! process lanes, a Prometheus snapshot with counters, gauges, and
+//! histogram quantiles — and tracing must never perturb results.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use vqpy_core::frontend::{library, predicate::Pred};
+use vqpy_core::{Query, SessionConfig, VqpySession};
+use vqpy_models::ModelZoo;
+use vqpy_serve::{
+    BatcherConfig, PaceMode, ServeConfig, StreamSupervisor, SupervisorConfig, Telemetry,
+};
+use vqpy_video::source::SyntheticVideo;
+use vqpy_video::{presets, Scene};
+
+fn video(seed: u64, seconds: f64) -> SyntheticVideo {
+    SyntheticVideo::new(Scene::generate(presets::jackson(), seed, seconds))
+}
+
+fn color_query(name: &str, color: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
+        .frame_output(&[("car", "track_id")])
+        .build()
+        .unwrap()
+}
+
+/// The acceptance scenario: two streams under one supervisor with the
+/// cross-stream batcher and span tracing enabled. The exported timeline
+/// must show decode → dispatch → coalesce → tail → demux spans across at
+/// least two stream lanes, and the Prometheus snapshot must expose
+/// counters, gauges, and per-query latency quantiles.
+#[test]
+fn two_stream_run_exports_full_timeline_and_metrics() {
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let telemetry = Telemetry::with_tracing();
+    let supervisor = StreamSupervisor::new(
+        Arc::clone(&session),
+        SupervisorConfig {
+            serve: ServeConfig {
+                telemetry: telemetry.clone(),
+                ..ServeConfig::default()
+            },
+            batcher: Some(BatcherConfig::default()),
+            ..SupervisorConfig::default()
+        },
+    );
+
+    let mut streams = Vec::new();
+    for seed in [81u64, 82] {
+        let (stream, subs) = supervisor
+            .add_stream(
+                Arc::new(video(seed, 6.0)),
+                PaceMode::Unpaced,
+                &[color_query("RedCar", "red")],
+            )
+            .unwrap();
+        streams.push((stream, subs));
+    }
+    for (stream, subs) in streams {
+        let metrics = supervisor.join_stream(stream).unwrap();
+        for sub in subs {
+            let _ = sub.collect();
+        }
+
+        // Satellite: per-query percentile readout from the histograms.
+        let q = &metrics.per_query[0];
+        assert!(q.delivered > 0, "scenario needs traffic");
+        assert!(q.max_latency_ms > 0.0, "{q:?}");
+        assert!(q.p50_latency_ms <= q.p95_latency_ms, "{q:?}");
+        assert!(q.p95_latency_ms <= q.p99_latency_ms, "{q:?}");
+        assert!(q.p99_latency_ms <= q.max_latency_ms, "{q:?}");
+
+        // Satellite: the per-stream load breakdown composes worker and
+        // published counters.
+        let load = supervisor.stream_snapshot(stream).unwrap();
+        assert!(load.finished);
+        assert!(load.frames_total > 0);
+        assert_eq!(load.delivered, q.delivered);
+    }
+
+    // Every layer's span kind is present, attributed to the right lane.
+    let spans = telemetry.tracer().spans();
+    let names: BTreeSet<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "decode",
+        "detect",
+        "tail",
+        "demux",
+        "coalesce",
+        "dispatch:detect",
+    ] {
+        assert!(
+            names.contains(expected),
+            "missing {expected:?} in {names:?}"
+        );
+    }
+    let stream_pids: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.name == "decode")
+        .map(|s| s.pid)
+        .collect();
+    assert!(
+        stream_pids.len() >= 2,
+        "decode spans should span two stream lanes: {stream_pids:?}"
+    );
+    assert!(
+        spans
+            .iter()
+            .filter(|s| s.name == "coalesce")
+            .all(|s| s.pid == 0),
+        "coalesce spans belong to the shared lane"
+    );
+    let dispatch = spans.iter().find(|s| s.name == "dispatch:detect").unwrap();
+    assert!(
+        dispatch.args.iter().any(|(k, _)| *k == "model"),
+        "dispatch spans carry the model attribute: {dispatch:?}"
+    );
+
+    // The Perfetto export is non-empty and structurally sound.
+    let trace = supervisor.trace_json();
+    assert!(trace.starts_with("{\"traceEvents\":["), "{}", &trace[..64]);
+    assert!(trace.contains("\"process_name\""), "named lanes expected");
+    assert!(trace.contains("\"name\":\"stream 1\""), "stream lane names");
+
+    // The Prometheus snapshot has counters, gauges, and quantiles.
+    let prom = supervisor.prometheus_snapshot();
+    assert!(
+        prom.contains("# TYPE vqpy_delivered_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("# TYPE vqpy_streams gauge"), "{prom}");
+    assert!(
+        prom.contains("vqpy_delivery_latency_ms{query=\"RedCar\",quantile=\"0.95\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("vqpy_delivery_latency_ms_count{query=\"RedCar\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("vqpy_batch_items{stage=\"detect\",quantile=\"0.5\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("vqpy_batcher_requests_total{stage=\"detect\"}"),
+        "{prom}"
+    );
+}
+
+/// Tracing must be observation only: a served run with the span ring
+/// enabled produces byte-identical hits and aggregates to the offline
+/// executor, under both the sequential and pipelined engines.
+#[test]
+fn tracing_never_perturbs_results() {
+    for config in [SessionConfig::default(), SessionConfig::pipelined(2)] {
+        let v = video(83, 8.0);
+        let query = color_query("RedCar", "red");
+
+        let offline = Arc::new(VqpySession::with_config(
+            ModelZoo::standard(),
+            config.clone(),
+        ));
+        let expected = offline.execute(&query, &v).unwrap();
+
+        let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+        let telemetry = Telemetry::with_tracing();
+        let supervisor = StreamSupervisor::new(
+            session,
+            SupervisorConfig {
+                serve: ServeConfig {
+                    telemetry: telemetry.clone(),
+                    ..ServeConfig::default()
+                },
+                batcher: Some(BatcherConfig::default()),
+                ..SupervisorConfig::default()
+            },
+        );
+        let (stream, subs) = supervisor
+            .add_stream(Arc::new(v), PaceMode::Unpaced, &[Arc::clone(&query)])
+            .unwrap();
+        supervisor.join_stream(stream).unwrap();
+        let (hits, video_value) = subs.into_iter().next().unwrap().collect();
+        assert_eq!(hits, expected.frame_hits, "hits diverged under tracing");
+        assert_eq!(video_value, expected.video_value, "aggregate diverged");
+        assert!(telemetry.tracer().span_count() > 0, "spans were recorded");
+    }
+}

@@ -12,11 +12,16 @@
 //! Run with `cargo run --example live_serving`. The program exits cleanly
 //! when both streams end: every subscription is drained on its own thread,
 //! so no channel ever blocks the shutdown.
+//!
+//! The run is fully instrumented: span tracing is on, and setting
+//! `VQPY_TRACE_OUT=trace.json` / `VQPY_METRICS_OUT=metrics.prom` writes the
+//! Perfetto timeline (open it at <https://ui.perfetto.dev>) and the
+//! Prometheus metrics snapshot on exit.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vqpy::api::*;
-use vqpy::serve::{BatcherConfig, ServePolicy};
+use vqpy::serve::{BatcherConfig, ServePolicy, Telemetry};
 use vqpy::video::Frame;
 
 /// A flaky "camera": panics exactly once when asked for frame `at`, then
@@ -122,11 +127,15 @@ fn main() {
         ModelZoo::standard(),
         SessionConfig::pipelined(2),
     ));
+    // Span tracing is cheap enough to leave on for the whole demo; the
+    // exports at the bottom turn it into files on request.
+    let telemetry = Telemetry::with_tracing();
     let supervisor = StreamSupervisor::new(
         Arc::clone(&session),
         SupervisorConfig {
             serve: ServeConfig {
                 batches_per_step: 4,
+                telemetry: telemetry.clone(),
                 ..ServeConfig::default()
             },
             batcher: Some(BatcherConfig::default()),
@@ -234,5 +243,21 @@ fn main() {
             stats.mean_coalesced(),
             stats.max_batch_frames
         );
+    }
+
+    // Telemetry exports: the whole run — decode, dispatch, coalesce
+    // windows, demux, the injected fault's restart backoff — is one span
+    // timeline plus a metrics registry; dump them when asked.
+    println!(
+        "telemetry: {} spans recorded across both streams",
+        telemetry.tracer().span_count()
+    );
+    if let Ok(path) = std::env::var("VQPY_TRACE_OUT") {
+        std::fs::write(&path, supervisor.trace_json()).expect("write trace");
+        println!("telemetry: wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Ok(path) = std::env::var("VQPY_METRICS_OUT") {
+        std::fs::write(&path, supervisor.prometheus_snapshot()).expect("write metrics");
+        println!("telemetry: wrote Prometheus snapshot to {path}");
     }
 }

@@ -29,6 +29,7 @@
 pub use vqpy_baselines as baselines;
 pub use vqpy_core as core;
 pub use vqpy_models as models;
+pub use vqpy_obs as obs;
 pub use vqpy_serve as serve;
 pub use vqpy_sql as sql;
 pub use vqpy_tracker as tracker;
@@ -52,8 +53,8 @@ pub mod api {
     pub use vqpy_models::{DecodeError, FromRow, FromValue, ModelZoo, Row, Value, ValueKind};
     pub use vqpy_serve::{
         FaultStats, PaceMode, RestartPolicy, ResumeMode, ServeConfig, ServeEvent, ServeSession,
-        StreamFault, StreamServer, StreamSupervisor, Subscription, SupervisorConfig,
-        TypedServeEvent, TypedSubscription,
+        StreamFault, StreamLoad, StreamServer, StreamSupervisor, Subscription, SupervisorConfig,
+        Telemetry, TypedServeEvent, TypedSubscription,
     };
     pub use vqpy_video::{presets, FaultyVideo, Scene, SyntheticVideo, VideoSource};
 }
