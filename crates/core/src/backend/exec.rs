@@ -535,6 +535,12 @@ pub struct StageOps {
     /// is: the serving layer installs an enabled, per-stream handle once
     /// and it survives plan recompiles.
     pub tracer: vqpy_obs::Tracer,
+    /// Frame-slot workspace the sequential driver fills per batch. Owned
+    /// here so re-entrant segment stepping — a shard worker running one
+    /// short segment per scheduler turn — reuses the allocations across
+    /// calls instead of rebuilding slot buffers every step. Purely a
+    /// workspace: its contents between calls carry no semantic state.
+    pub slots: Vec<FrameSlot>,
 }
 
 impl StageOps {
@@ -594,6 +600,7 @@ pub fn instantiate_stage_ops(
         tail: instantiate_ops_with(plan, tail_specs, zoo, symbols)?,
         dispatch: Arc::new(DirectDispatch),
         tracer: vqpy_obs::Tracer::disabled(),
+        slots: Vec::new(),
     })
 }
 
@@ -684,11 +691,34 @@ fn run_segment_sequential(
     metrics: &mut ExecMetrics,
     sink: &mut dyn ResultSink,
 ) -> Result<()> {
+    // The slot workspace lives in `ops` so it survives across segment
+    // calls; detach it for the duration of the run (the stage loops need
+    // `ops`'s operator chains mutably) and put it back even on error.
+    let mut slots = std::mem::take(&mut ops.slots);
+    let result = run_sequential_batches(
+        plan, source, zoo, clock, config, range, ops, reuse, metrics, sink, &mut slots,
+    );
+    ops.slots = slots;
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sequential_batches(
+    plan: &PlanDag,
+    source: &dyn VideoSource,
+    zoo: &ModelZoo,
+    clock: &Clock,
+    config: &ExecConfig,
+    range: Range<u64>,
+    ops: &mut StageOps,
+    reuse: &mut ReuseCache,
+    metrics: &mut ExecMetrics,
+    sink: &mut dyn ResultSink,
+    slots: &mut Vec<FrameSlot>,
+) -> Result<()> {
     let batch = config.batch_size.max(1) as u64;
     let dispatch = Arc::clone(&ops.dispatch);
     let tracer = ops.tracer.clone();
-    // Slot workspaces, reused across batches.
-    let mut slots: Vec<FrameSlot> = Vec::new();
     let mut index = range.start;
     while index < range.end {
         let end = (index + batch).min(range.end);

@@ -23,7 +23,9 @@ pub mod trace;
 
 pub use export::{json_escape, perfetto_json, prometheus_text};
 pub use metrics::{label_escape, Counter, Gauge, Histogram, Metric, Registry};
-pub use trace::{SpanGuard, SpanRecord, TimeSource, Tracer, DEFAULT_SPAN_CAPACITY};
+pub use trace::{
+    SpanGuard, SpanRecord, TimeSource, Tracer, DEFAULT_SPAN_CAPACITY, SHARD_LANE_BASE,
+};
 
 /// The bundle a serving run carries: one metrics [`Registry`] plus one
 /// span [`Tracer`]. Clones share both; the handle is what

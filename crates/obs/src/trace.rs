@@ -20,6 +20,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// First `pid` lane reserved for shard workers in the exported timeline:
+/// shard `s`'s spans carry `pid = SHARD_LANE_BASE + s` (see
+/// [`Tracer::for_shard`]). Chosen far above any realistic stream count so
+/// shard lanes can never collide with per-stream lanes (`pid = stream + 1`).
+pub const SHARD_LANE_BASE: u64 = 1 << 32;
+
 /// Where a tracer reads "now" (microseconds since trace start) from.
 #[derive(Clone)]
 pub enum TimeSource {
@@ -151,6 +157,21 @@ impl Tracer {
             inner: Arc::clone(&self.inner),
             pid: stream_lane,
         }
+    }
+
+    /// Derives a handle whose spans land in shard `shard`'s lane
+    /// (`pid = SHARD_LANE_BASE + shard`) and names the lane
+    /// `"shard <shard>"` in the Perfetto export. Shard lanes sit far above
+    /// the per-stream lanes (`pid = stream + 1`), so a timeline shows the
+    /// scheduler's step multiplexing alongside each stream's stage spans.
+    pub fn for_shard(&self, shard: u64) -> Tracer {
+        let lane = SHARD_LANE_BASE + shard;
+        // Only name the lane when spans are actually recorded, so a
+        // disabled tracer's export stays empty.
+        if self.is_enabled() {
+            self.set_process_name(lane, format!("shard {shard}"));
+        }
+        self.for_stream(lane)
     }
 
     /// Names a `pid` lane in the Perfetto export (emitted as a

@@ -22,8 +22,9 @@
 //! report frames/s, per-query delivery latency, dropped events, and the
 //! reuse-cache hit rate.
 //!
-//! For multi-stream deployments, the [`StreamSupervisor`] layers per-stream
-//! worker threads, fps-paced ingestion ([`PaceMode`]), cross-stream model
+//! For multi-stream deployments, the [`StreamSupervisor`] layers a sharded
+//! event-driven scheduler (N shard workers multiplexing M streams each —
+//! [`ServeConfig::shards`]), fps-paced ingestion ([`PaceMode`]), cross-stream model
 //! batching ([`ModelBatcher`] — one physical invocation per (stage, model)
 //! feeding many streams' detect, binary-filter, and classify stages), and
 //! [`ServePolicy`] admission control (typed [`AttachError`] rejections
@@ -61,23 +62,29 @@ pub mod batcher;
 pub mod engine;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 pub mod subscription;
 pub mod supervisor;
+pub mod threaded;
 pub mod typed;
 
 pub use batcher::{
     BatchedDispatch, BatcherConfig, BatcherStats, FaultStats, ModelBatcher, StageCoalesce,
 };
 pub use engine::StreamEngine;
-pub use metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
+pub use metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics, ShardLoad};
 pub use server::{
     Backpressure, RestartPolicy, ResumeMode, ServeConfig, ServeError, ServeResult, ServeSession,
     StepOutcome, StreamId, StreamOptions, StreamServer, RESTART_BACKOFF_LABEL,
+};
+pub use shard::{
+    DeterministicScheduler, PaceCounters, ShardConfig, ShardCore, SplitMix64, TimerWheel,
 };
 pub use subscription::{ServeEvent, StreamFault, Subscription, SubscriptionClosed, SubscriptionId};
 pub use supervisor::{
     AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamLoad, StreamSupervisor,
     SupervisorConfig,
 };
+pub use threaded::ThreadedSupervisor;
 pub use typed::{TypedServeEvent, TypedSubscription};
-pub use vqpy_obs::{Registry, Telemetry, Tracer};
+pub use vqpy_obs::{Registry, Telemetry, Tracer, SHARD_LANE_BASE};

@@ -77,6 +77,22 @@ pub struct AggregateMetrics {
     pub dropped: u64,
 }
 
+/// A point-in-time view of one shard worker's load, read from
+/// scheduler-shared counters (never waits behind any stream's execution
+/// lock). One row per shard from `StreamSupervisor::shard_loads`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard's index, `0..shard_budget`.
+    pub shard: usize,
+    /// Active (unfinished) streams currently assigned to the shard.
+    pub streams: usize,
+    /// Due-but-unexecuted paced steps summed over the shard's streams.
+    pub queue_depth: u64,
+    /// Steps the shard worker has executed (cumulative, across removed
+    /// streams too).
+    pub steps: u64,
+}
+
 impl AggregateMetrics {
     /// Fraction of delivery attempts that were dropped, in `[0, 1]`
     /// (0 when nothing has been attempted). A sustained high value means

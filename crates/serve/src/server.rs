@@ -110,6 +110,13 @@ pub struct ServeConfig {
     ///
     /// [`Registry`]: vqpy_obs::Registry
     pub telemetry: Telemetry,
+    /// Shard budget for the supervisor's event-driven scheduler: how many
+    /// shard worker threads multiplex the supervised streams (each stream
+    /// is pinned to one shard; paced streams become timer-wheel events).
+    /// `0` (the default) sizes the budget automatically from
+    /// [`std::thread::available_parallelism`], capped at 8. Ignored by a
+    /// bare [`StreamServer`], which leaves driving to the caller.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +127,22 @@ impl Default for ServeConfig {
             batches_per_step: 1,
             restart: RestartPolicy::default(),
             telemetry: Telemetry::disabled(),
+            shards: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The resolved shard budget: `shards`, or an automatic size from the
+    /// host's available parallelism (capped at 8) when `shards == 0`.
+    pub fn shard_budget(&self) -> usize {
+        if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8)
+        } else {
+            self.shards
         }
     }
 }

@@ -1,66 +1,81 @@
-//! The multi-stream [`StreamSupervisor`]: per-stream workers, paced
-//! ingestion, cross-stream model batching, and admission control.
+//! The multi-stream [`StreamSupervisor`]: a sharded, event-driven
+//! scheduler multiplexing many streams onto a fixed budget of worker
+//! threads, with paced ingestion, cross-stream model batching, and
+//! admission control.
 //!
 //! A bare [`StreamServer`] leaves *driving* to the
 //! caller: somebody must call `step`/`run_to_end` per stream, each stream
 //! pays its own model-dispatch overhead, and nothing says no when one more
 //! stream would sink the server. The supervisor closes those gaps:
 //!
-//! - **One worker per stream** — `add_stream` spawns a dedicated thread
-//!   that steps the stream to end-of-video, so N streams execute
-//!   concurrently with no caller-side orchestration.
+//! - **N shard workers, M streams each** — `add_stream` pins the stream to
+//!   a shard (round-robin); each shard worker multiplexes its streams
+//!   through one event loop, so stream count scales with device throughput
+//!   instead of OS threads ([`ServeConfig::shards`] sets the budget).
+//!   A runnable stream's step is a closure over its engine segment
+//!   (`StreamServer::step`), wrapped in panic containment so one stream's
+//!   escape never stalls its shard siblings.
 //! - **Paced ingestion** ([`PaceMode`]) — a live camera delivers frames at
-//!   its capture rate, not as fast as the engine can chew. `Fps(f)` makes
-//!   the worker execute a step only once all of the step's frames would
-//!   have arrived, over a bounded backlog of due-but-unexecuted steps (the
-//!   ingest queue). If the engine falls further behind than the bound, the
-//!   overflow is *shed*: the worker stops trying to catch up, the shed
-//!   ticks are counted in [`PaceMetrics::ticks_shed`], and admission
-//!   control sees the backlog. No frames are lost — sources are pull-based
-//!   — the stream just lags its schedule, which is exactly the overload
-//!   signal a real deployment acts on.
+//!   its capture rate, not as fast as the engine can chew. `Fps(f)` turns
+//!   the stream into a timer-wheel event: a step runs only once all of the
+//!   step's frames would have arrived, over a bounded backlog of
+//!   due-but-unexecuted steps (the ingest queue). If the engine falls
+//!   further behind than the bound, the overflow is *shed*: counted in
+//!   [`PaceMetrics::ticks_shed`], visible to admission control, and no
+//!   frames are lost — sources are pull-based, the stream just lags its
+//!   schedule.
 //! - **Cross-stream model batching** — with
-//!   [`SupervisorConfig::batcher`] set, every stream's model stages —
-//!   detect, binary filter, and per-object classify/projection — route
-//!   through one shared [`ModelBatcher`]: submissions from many streams
-//!   coalesce per (stage, model) into one physical `detect_batch` /
-//!   `predict_batch` / `classify_batch_jobs` call, amortizing fixed
-//!   dispatch overhead across streams (per-stream results stay
-//!   byte-identical to solo execution; see the serve equivalence suite).
+//!   [`SupervisorConfig::batcher`] set, every stream's model stages route
+//!   through one shared [`ModelBatcher`]: the batcher's window fills from
+//!   whichever streams are currently runnable across all shards, and
+//!   submissions coalesce per (stage, model) into one physical call
+//!   (per-stream results stay byte-identical to solo execution; see the
+//!   serve equivalence suite).
 //! - **Admission control** ([`ServePolicy`]) — `add_stream` and `attach`
 //!   consult a [`LoadSnapshot`] (stream count, paced backlog, aggregate
 //!   drop rate) and reject with a typed [`AttachError`] instead of letting
 //!   the server degrade silently.
 //!
 //! ```text
-//!            StreamSupervisor
-//!   ┌────────────────────────────────────────────────────────┐
-//!   │  worker(stream 1): pace → step ──┐                     │
-//!   │  worker(stream 2): pace → step ──┼─ model stages ────▶ ModelBatcher
-//!   │  worker(stream N): pace → step ──┘  (frames, crops)    │   │ one physical
-//!   │        ▲                                               │   ▼ *_batch per
-//!   │   ServePolicy ◀── LoadSnapshot (backlog, drop rate)    │  (stage, model),
-//!   └────────────────────────────────────────────────────────┘  demux per stream
+//!                 StreamSupervisor (shards = N)
+//!   ┌──────────────────────────────────────────────────────────┐
+//!   │ shard 0: [timer wheel] → runnable ─┬─ step ──┐           │
+//!   │ shard 1: [timer wheel] → runnable ─┼─ step ──┼──▶ ModelBatcher
+//!   │ shard N: [timer wheel] → runnable ─┴─ step ──┘   │ one physical
+//!   │        ▲        (M streams per shard)            ▼ *_batch per
+//!   │   ServePolicy ◀── LoadSnapshot (backlog, drops) (stage, model),
+//!   └──────────────────────────────────────────────────demux per stream
 //! ```
+//!
+//! The scheduling core (timer wheel, runnable ring, shed accounting) lives
+//! in [`crate::shard`] and is clock-agnostic; the
+//! [`DeterministicScheduler`](crate::shard::DeterministicScheduler)
+//! harness replays it on a virtual clock with a seeded interleaving, so
+//! shard scheduling is testable without threads. The previous
+//! thread-per-stream implementation survives as
+//! [`ThreadedSupervisor`](crate::ThreadedSupervisor), the equivalence
+//! suite's oracle.
 
 use crate::batcher::{BatcherConfig, BatcherStats, FaultStats, ModelBatcher};
+use crate::metrics::ShardLoad;
 use crate::server::{ServeConfig, ServeError, ServeResult, StreamId, StreamOptions, StreamServer};
+use crate::shard::{ShardConfig, ShardCore};
 use crate::subscription::Subscription;
 use crate::ServeMetrics;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vqpy_core::{
-    panic_message, DirectDispatch, ModelDispatch, ModelStage, Query, RetryDispatch, RetryPolicy,
-    VqpySession,
+    panic_message, DirectDispatch, ModelDispatch, ModelStage, Query, RetryDispatch, VqpySession,
 };
 use vqpy_obs::Telemetry;
 use vqpy_video::source::VideoSource;
 
-/// How a stream's worker schedules step execution.
+/// How a stream's steps are scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PaceMode {
     /// Step as fast as the engine allows (offline/backfill processing).
@@ -233,7 +248,7 @@ impl From<ServeError> for AttachError {
 }
 
 /// A point-in-time, per-stream load breakdown — the per-stream complement
-/// of the server-wide [`LoadSnapshot`]. Composed from worker-shared
+/// of the server-wide [`LoadSnapshot`]. Composed from scheduler-shared
 /// atomics and counters published at step boundaries, so reading it never
 /// waits behind the stream's execution lock.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -271,29 +286,14 @@ pub struct PaceMetrics {
     pub finished: bool,
 }
 
-/// State shared between a stream's worker thread and the supervisor.
-#[derive(Default)]
-struct WorkerShared {
-    stop: AtomicBool,
-    finished: AtomicBool,
-    queue_depth: AtomicU64,
-    ticks_shed: AtomicU64,
-    error: Mutex<Option<ServeError>>,
-}
-
-struct StreamWorker {
-    pace: PaceMode,
-    shared: Arc<WorkerShared>,
-    handle: Option<JoinHandle<()>>,
-}
-
 /// Supervisor configuration. Execution itself still follows the owning
 /// session's `SessionConfig` (shared plans, batch size, sequential or
-/// pipelined engines); this adds the serving-layer knobs.
+/// pipelined engines); this adds the serving-layer knobs. The shard
+/// budget rides in [`ServeConfig::shards`].
 #[derive(Debug, Clone, Default)]
 pub struct SupervisorConfig {
     /// Per-stream serving configuration (channels, backpressure, batches
-    /// per step).
+    /// per step, shard budget).
     pub serve: ServeConfig,
     /// Enables the shared cross-stream [`ModelBatcher`] for every model
     /// stage (detect, binary filter, classify); `None` keeps direct
@@ -304,7 +304,7 @@ pub struct SupervisorConfig {
     /// clock, per-stage timeout). Applies over the batcher when one is
     /// configured, and over direct dispatch otherwise. `None` surfaces
     /// faults to the engine unretried.
-    pub retry: Option<RetryPolicy>,
+    pub retry: Option<vqpy_core::RetryPolicy>,
     /// Admission thresholds.
     pub policy: ServePolicy,
     /// Bound on each paced stream's backlog of due-but-unexecuted steps;
@@ -315,7 +315,7 @@ pub struct SupervisorConfig {
 }
 
 impl SupervisorConfig {
-    fn ingest_bound(&self) -> u64 {
+    pub(crate) fn ingest_bound(&self) -> u64 {
         if self.ingest_queue == 0 {
             4
         } else {
@@ -324,10 +324,127 @@ impl SupervisorConfig {
     }
 }
 
+/// Builds a stream's model-dispatch boundary from the supervisor config:
+/// the shared batcher's dispatch when one is configured, wrapped in retry
+/// when a [`vqpy_core::RetryPolicy`] is set. Shared by the sharded and
+/// threaded supervisors so both route model traffic identically.
+pub(crate) fn build_stream_dispatch(
+    config: &SupervisorConfig,
+    batcher: Option<&ModelBatcher>,
+) -> Option<Arc<dyn ModelDispatch>> {
+    let base: Option<Arc<dyn ModelDispatch>> =
+        batcher.map(|b| b.dispatch() as Arc<dyn ModelDispatch>);
+    // Retry backoff waits land in the shared trace lane (pid 0) with
+    // stage/attempt attributes, alongside the batcher's coalesce spans.
+    let retry_tracer = config.serve.telemetry.tracer().for_stream(0);
+    match (base, config.retry) {
+        (Some(d), Some(policy)) => Some(Arc::new(
+            RetryDispatch::new(d, policy).with_tracer(retry_tracer),
+        ) as Arc<dyn ModelDispatch>),
+        (None, Some(policy)) => Some(Arc::new(
+            RetryDispatch::new(Arc::new(DirectDispatch), policy).with_tracer(retry_tracer),
+        ) as Arc<dyn ModelDispatch>),
+        (d, None) => d,
+    }
+}
+
+/// State shared between a stream's owning shard and the supervisor.
+struct StreamShared {
+    /// Asks the shard to detach the stream (it finishes any in-flight
+    /// step first).
+    stop: AtomicBool,
+    /// The stream reached end-of-video (or died to an escaped panic).
+    finished: AtomicBool,
+    queue_depth: AtomicU64,
+    ticks_shed: AtomicU64,
+    /// Whether the scheduler is done with the stream (finished, errored,
+    /// stopped, or supervisor shutdown) — the join condition.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    error: Mutex<Option<ServeError>>,
+}
+
+impl Default for StreamShared {
+    fn default() -> Self {
+        Self {
+            stop: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            queue_depth: AtomicU64::new(0),
+            ticks_shed: AtomicU64::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            error: Mutex::new(None),
+        }
+    }
+}
+
+impl StreamShared {
+    /// Marks the scheduler done with this stream and wakes joiners.
+    fn mark_done(&self) {
+        self.queue_depth.store(0, Ordering::Relaxed);
+        *self.done.lock() = true;
+        self.done_cv.notify_all();
+    }
+
+    /// Blocks until the scheduler is done with this stream.
+    fn wait_done(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.done_cv.wait(&mut done);
+        }
+    }
+}
+
+/// A command posted to a shard's inbox.
+enum ShardCmd {
+    Add {
+        stream: StreamId,
+        pace: PaceMode,
+        shared: Arc<StreamShared>,
+    },
+    Remove(StreamId),
+}
+
+/// State shared between one shard worker and the supervisor.
+struct ShardState {
+    inbox: Mutex<Vec<ShardCmd>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    steps: AtomicU64,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            inbox: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// Posts a command and wakes the shard if it is idle.
+    fn post(&self, cmd: ShardCmd) {
+        self.inbox.lock().push(cmd);
+        self.wake.notify_all();
+    }
+}
+
+struct ShardHandle {
+    state: Arc<ShardState>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct StreamEntry {
+    pace: PaceMode,
+    shard: usize,
+    shared: Arc<StreamShared>,
+}
+
 /// A self-driving, multi-stream serving frontend: owns a
-/// [`StreamServer`], one worker thread per stream, an optional shared
-/// [`ModelBatcher`], and a [`ServePolicy`]. See the module docs for the
-/// architecture.
+/// [`StreamServer`], a fixed budget of shard worker threads multiplexing
+/// the streams, an optional shared [`ModelBatcher`], and a
+/// [`ServePolicy`]. See the module docs for the architecture.
 ///
 /// # Example
 ///
@@ -352,7 +469,7 @@ impl SupervisorConfig {
 ///     .vobj("car", library::vehicle_schema())
 ///     .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
 ///     .build()?;
-/// // Two paced "cameras", each driven by its own worker thread.
+/// // Two paced "cameras", multiplexed onto the shard budget.
 /// for seed in [1u64, 2] {
 ///     let video = SyntheticVideo::new(Scene::generate(presets::jackson(), seed, 30.0));
 ///     let (stream, subs) =
@@ -369,12 +486,18 @@ pub struct StreamSupervisor {
     server: Arc<StreamServer>,
     batcher: Option<ModelBatcher>,
     config: SupervisorConfig,
-    workers: Mutex<HashMap<StreamId, StreamWorker>>,
+    streams: Mutex<HashMap<StreamId, StreamEntry>>,
+    /// Shard workers, spawned lazily on the first `add_stream` so a
+    /// supervisor that never serves costs no threads (and so spawn
+    /// failure surfaces as a typed [`AttachError`], like the
+    /// thread-per-stream supervisor's did).
+    shards: Mutex<Vec<ShardHandle>>,
+    next_shard: AtomicUsize,
 }
 
 impl StreamSupervisor {
     /// Creates a supervisor over a session, spawning the shared batcher
-    /// thread if configured.
+    /// thread if configured. Shard workers spawn on first use.
     pub fn new(session: Arc<VqpySession>, config: SupervisorConfig) -> Self {
         let batcher = config.batcher.clone().map(|bc| {
             ModelBatcher::with_telemetry(bc, session.clock_handle(), &config.serve.telemetry)
@@ -384,7 +507,9 @@ impl StreamSupervisor {
             server,
             batcher,
             config,
-            workers: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            shards: Mutex::new(Vec::new()),
+            next_shard: AtomicUsize::new(0),
         }
     }
 
@@ -395,10 +520,41 @@ impl StreamSupervisor {
         &self.server
     }
 
-    /// Opens a stream, attaches its initial queries, and spawns its worker
-    /// — subject to [`ServePolicy`] admission. The initial queries are in
-    /// place before the worker's first step, so their results cover the
-    /// stream from frame 0 (a stream added with no queries idles forward).
+    /// The number of shard workers the supervisor schedules streams on.
+    pub fn shard_budget(&self) -> usize {
+        self.config.serve.shard_budget().max(1)
+    }
+
+    /// Spawns the shard workers if they are not running yet.
+    fn ensure_shards(&self) -> Result<(), ServeError> {
+        let mut shards = self.shards.lock();
+        if !shards.is_empty() {
+            return Ok(());
+        }
+        let budget = self.shard_budget();
+        let ingest_bound = self.config.ingest_bound();
+        for i in 0..budget {
+            let state = Arc::new(ShardState::new());
+            let worker_state = Arc::clone(&state);
+            let server = Arc::clone(&self.server);
+            let tracer = self.config.serve.telemetry.tracer().for_shard(i as u64);
+            let handle = std::thread::Builder::new()
+                .name(format!("vqpy-shard-{i}"))
+                .spawn(move || run_shard(server, worker_state, ingest_bound, tracer))
+                .map_err(|e| ServeError::WorkerSpawn(e.to_string()))?;
+            shards.push(ShardHandle {
+                state,
+                handle: Some(handle),
+            });
+        }
+        Ok(())
+    }
+
+    /// Opens a stream, attaches its initial queries, and schedules it on
+    /// a shard — subject to [`ServePolicy`] admission. The initial
+    /// queries are in place before the stream's first step, so their
+    /// results cover the stream from frame 0 (a stream added with no
+    /// queries idles forward).
     ///
     /// Returns the stream id and one [`Subscription`] per query, in order.
     ///
@@ -420,7 +576,7 @@ impl StreamSupervisor {
     ///     .frame_constraint(Pred::gt("car", "score", 0.5))
     ///     .build()?;
     /// let video = SyntheticVideo::new(Scene::generate(presets::jackson(), 5, 2.0));
-    /// // The worker drives the stream; we only wait and read results.
+    /// // A shard drives the stream; we only wait and read results.
     /// let (stream, subs) = supervisor.add_stream(Arc::new(video), PaceMode::Unpaced, &[query])?;
     /// let metrics = supervisor.join_stream(stream)?;
     /// let (hits, _aggregate) = subs.into_iter().next().unwrap().collect();
@@ -434,54 +590,33 @@ impl StreamSupervisor {
         pace: PaceMode,
         queries: &[Arc<Query>],
     ) -> Result<(StreamId, Vec<Subscription>), AttachError> {
-        let mut workers = self.workers.lock();
+        let mut streams = self.streams.lock();
         self.config
             .policy
-            .admit_stream(&self.load_locked(&workers))?;
-        let base: Option<Arc<dyn ModelDispatch>> = self
-            .batcher
-            .as_ref()
-            .map(|b| b.dispatch() as Arc<dyn ModelDispatch>);
-        // Retry backoff waits land in the shared trace lane (pid 0) with
-        // stage/attempt attributes, alongside the batcher's coalesce spans.
-        let retry_tracer = self.config.serve.telemetry.tracer().for_stream(0);
-        let dispatch = match (base, self.config.retry) {
-            (Some(d), Some(policy)) => Some(Arc::new(
-                RetryDispatch::new(d, policy).with_tracer(retry_tracer),
-            ) as Arc<dyn ModelDispatch>),
-            (None, Some(policy)) => Some(Arc::new(
-                RetryDispatch::new(Arc::new(DirectDispatch), policy).with_tracer(retry_tracer),
-            ) as Arc<dyn ModelDispatch>),
-            (d, None) => d,
-        };
+            .admit_stream(&self.load_locked(&streams))?;
+        self.ensure_shards()?;
+        let dispatch = build_stream_dispatch(&self.config, self.batcher.as_ref());
         let options = StreamOptions { dispatch };
         let stream = self.server.open_stream_with(source, options);
         let mut subs = Vec::with_capacity(queries.len());
         for q in queries {
             subs.push(self.server.attach(stream, Arc::clone(q))?);
         }
-        let shared = Arc::new(WorkerShared::default());
-        let worker_shared = Arc::clone(&shared);
-        let server = Arc::clone(&self.server);
-        let bound = self.config.ingest_bound();
-        let handle = match std::thread::Builder::new()
-            .name(format!("vqpy-stream-{stream}"))
-            .spawn(move || run_worker(server, stream, pace, bound, worker_shared))
-        {
-            Ok(h) => h,
-            Err(e) => {
-                // Roll the stream back out so subscribers see their
-                // channels close rather than a stream nobody drives.
-                let _ = self.server.close_stream(stream);
-                return Err(AttachError::Serve(ServeError::WorkerSpawn(e.to_string())));
-            }
-        };
-        workers.insert(
+        let shared = Arc::new(StreamShared::default());
+        let shards = self.shards.lock();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shards.len();
+        shards[shard].state.post(ShardCmd::Add {
             stream,
-            StreamWorker {
+            pace,
+            shared: Arc::clone(&shared),
+        });
+        drop(shards);
+        streams.insert(
+            stream,
+            StreamEntry {
                 pace,
+                shard,
                 shared,
-                handle: Some(handle),
             },
         );
         Ok((stream, subs))
@@ -495,8 +630,8 @@ impl StreamSupervisor {
     }
 
     /// Detaches a subscription at the next step boundary (see
-    /// [`StreamServer::detach`]). Never blocked by pacing: a paced worker
-    /// sleeping between ticks picks the command up at its next step.
+    /// [`StreamServer::detach`]). Never blocked by pacing: a paced stream
+    /// parked on the timer wheel picks the command up at its next step.
     pub fn detach(
         &self,
         stream: StreamId,
@@ -507,23 +642,23 @@ impl StreamSupervisor {
 
     /// The current load snapshot admission control evaluates.
     pub fn load(&self) -> LoadSnapshot {
-        self.load_locked(&self.workers.lock())
+        self.load_locked(&self.streams.lock())
     }
 
-    fn load_locked(&self, workers: &HashMap<StreamId, StreamWorker>) -> LoadSnapshot {
+    fn load_locked(&self, streams: &HashMap<StreamId, StreamEntry>) -> LoadSnapshot {
         let agg = self.server.aggregate();
         let mut load = LoadSnapshot {
-            streams: workers.len(),
+            streams: streams.len(),
             delivered: agg.delivered,
             dropped: agg.dropped,
             ..LoadSnapshot::default()
         };
-        for w in workers.values() {
-            if !w.shared.finished.load(Ordering::Acquire) {
+        for e in streams.values() {
+            if !e.shared.finished.load(Ordering::Acquire) {
                 load.active_streams += 1;
-                load.queue_depth += w.shared.queue_depth.load(Ordering::Relaxed);
+                load.queue_depth += e.shared.queue_depth.load(Ordering::Relaxed);
             }
-            load.ticks_shed += w.shared.ticks_shed.load(Ordering::Relaxed);
+            load.ticks_shed += e.shared.ticks_shed.load(Ordering::Relaxed);
         }
         if let Some(b) = &self.batcher {
             load.faults = b.stats().faults;
@@ -533,15 +668,15 @@ impl StreamSupervisor {
 
     /// Pacing counters for one supervised stream.
     pub fn pace_metrics(&self, stream: StreamId) -> ServeResult<PaceMetrics> {
-        let workers = self.workers.lock();
-        let w = workers
+        let streams = self.streams.lock();
+        let e = streams
             .get(&stream)
             .ok_or(ServeError::UnknownStream(stream))?;
         Ok(PaceMetrics {
-            pace: w.pace,
-            queue_depth: w.shared.queue_depth.load(Ordering::Relaxed),
-            ticks_shed: w.shared.ticks_shed.load(Ordering::Relaxed),
-            finished: w.shared.finished.load(Ordering::Acquire),
+            pace: e.pace,
+            queue_depth: e.shared.queue_depth.load(Ordering::Relaxed),
+            ticks_shed: e.shared.ticks_shed.load(Ordering::Relaxed),
+            finished: e.shared.finished.load(Ordering::Acquire),
         })
     }
 
@@ -555,6 +690,42 @@ impl StreamSupervisor {
         self.batcher.as_ref().map(|b| b.stats())
     }
 
+    /// Per-shard load: streams assigned, paced backlog, steps executed.
+    /// One row per shard worker (empty before the first `add_stream`
+    /// spawns the shard pool).
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        // Lock order is streams → shards everywhere (shutdown, add), so
+        // collect the per-stream rollup first.
+        let mut per_shard: Vec<(usize, u64)> = Vec::new();
+        {
+            let streams = self.streams.lock();
+            for e in streams.values() {
+                if e.shard >= per_shard.len() {
+                    per_shard.resize(e.shard + 1, (0, 0));
+                }
+                if !e.shared.finished.load(Ordering::Acquire) {
+                    per_shard[e.shard].0 += 1;
+                    per_shard[e.shard].1 += e.shared.queue_depth.load(Ordering::Relaxed);
+                }
+            }
+        }
+        let shards = self.shards.lock();
+        per_shard.resize(shards.len().max(per_shard.len()), (0, 0));
+        per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, &(streams, queue_depth))| ShardLoad {
+                shard: i,
+                streams,
+                queue_depth,
+                steps: shards
+                    .get(i)
+                    .map(|s| s.state.steps.load(Ordering::Relaxed))
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+
     /// The run's telemetry handle, shared with every layer the supervisor
     /// drives (engines, batcher, retry dispatch, demux). Export the span
     /// timeline with [`Telemetry::perfetto_json`] (or
@@ -565,20 +736,21 @@ impl StreamSupervisor {
     }
 
     /// Per-stream load breakdown: pacing backlog and shed ticks from the
-    /// stream's worker, plus the frame/delivery counters published at its
-    /// last step boundary. Never waits behind the execution lock.
+    /// stream's scheduler entry, plus the frame/delivery counters
+    /// published at its last step boundary. Never waits behind the
+    /// execution lock.
     pub fn stream_snapshot(&self, stream: StreamId) -> ServeResult<StreamLoad> {
         let (frames_total, delivered, dropped) = self.server.stream_counters(stream)?;
-        let workers = self.workers.lock();
-        let w = workers
+        let streams = self.streams.lock();
+        let e = streams
             .get(&stream)
             .ok_or(ServeError::UnknownStream(stream))?;
         Ok(StreamLoad {
             stream,
-            pace: w.pace,
-            queue_depth: w.shared.queue_depth.load(Ordering::Relaxed),
-            ticks_shed: w.shared.ticks_shed.load(Ordering::Relaxed),
-            finished: w.shared.finished.load(Ordering::Acquire),
+            pace: e.pace,
+            queue_depth: e.shared.queue_depth.load(Ordering::Relaxed),
+            ticks_shed: e.shared.ticks_shed.load(Ordering::Relaxed),
+            finished: e.shared.finished.load(Ordering::Acquire),
             frames_total,
             delivered,
             dropped,
@@ -587,9 +759,9 @@ impl StreamSupervisor {
 
     /// Renders a Prometheus text-exposition snapshot of the run: the
     /// always-collected histograms (delivery latency per query, physical
-    /// batch sizes per stage), plus the supervisor's load and batcher
-    /// counters, synced into the registry at export time so the hot path
-    /// never pays for them twice.
+    /// batch sizes per stage), plus the supervisor's load, per-shard
+    /// occupancy, and batcher counters, synced into the registry at
+    /// export time so the hot path never pays for them twice.
     pub fn prometheus_snapshot(&self) -> String {
         let telemetry = self.telemetry();
         let reg = telemetry.registry();
@@ -601,6 +773,14 @@ impl StreamSupervisor {
         reg.counter("vqpy_ticks_shed_total").store(load.ticks_shed);
         reg.counter("vqpy_delivered_total").store(load.delivered);
         reg.counter("vqpy_dropped_total").store(load.dropped);
+        for s in self.shard_loads() {
+            reg.gauge(&format!("vqpy_shard_occupancy{{shard=\"{}\"}}", s.shard))
+                .set(s.streams as f64);
+            reg.gauge(&format!("vqpy_shard_queue_depth{{shard=\"{}\"}}", s.shard))
+                .set(s.queue_depth as f64);
+            reg.counter(&format!("vqpy_shard_steps_total{{shard=\"{}\"}}", s.shard))
+                .store(s.steps);
+        }
         if let Some(stats) = self.batcher_stats() {
             for stage in [
                 ModelStage::Detect,
@@ -633,38 +813,28 @@ impl StreamSupervisor {
 
     /// Renders the run's span timeline as Chrome/Perfetto `trace_event`
     /// JSON (empty but valid when tracing is disabled). Load the output
-    /// at `ui.perfetto.dev` to see per-stream process lanes.
+    /// at `ui.perfetto.dev` to see per-stream and per-shard process
+    /// lanes.
     pub fn trace_json(&self) -> String {
         self.telemetry().perfetto_json()
     }
 
-    /// Waits for a stream's worker to finish (end-of-video, stop, or
-    /// error), then returns the stream's final serving metrics — or the
-    /// error that stopped the worker (e.g. a failed recompile from a bad
+    /// Waits until the scheduler is done with a stream (end-of-video,
+    /// stop, or error), then returns the stream's final serving metrics —
+    /// or the error that stopped it (e.g. a failed recompile from a bad
     /// attach). Under [`Backpressure::Block`](crate::Backpressure) this
     /// blocks until subscribers drain, by design.
     pub fn join_stream(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
-        let (handle, shared) = {
-            let mut workers = self.workers.lock();
-            let w = workers
-                .get_mut(&stream)
-                .ok_or(ServeError::UnknownStream(stream))?;
-            (w.handle.take(), Arc::clone(&w.shared))
+        let shared = {
+            let streams = self.streams.lock();
+            Arc::clone(
+                &streams
+                    .get(&stream)
+                    .ok_or(ServeError::UnknownStream(stream))?
+                    .shared,
+            )
         };
-        if let Some(h) = handle {
-            if let Err(payload) = h.join() {
-                // The worker thread itself died (a panic that escaped the
-                // step-level containment): surface it typed, immediately.
-                shared.finished.store(true, Ordering::Release);
-                let mut err = shared.error.lock();
-                if err.is_none() {
-                    *err = Some(ServeError::WorkerPanic {
-                        message: panic_message(payload.as_ref()),
-                        restarts: 0,
-                    });
-                }
-            }
-        }
+        shared.wait_done();
         let err = shared.error.lock().take();
         match err {
             Some(e) => Err(e),
@@ -672,31 +842,46 @@ impl StreamSupervisor {
         }
     }
 
-    /// Stops a stream's worker (it finishes its in-flight step first) and
-    /// closes the stream; subscribers see their channels close.
+    /// Detaches a stream from its shard (any in-flight step finishes
+    /// first) and closes the stream; subscribers see their channels
+    /// close.
     pub fn remove_stream(&self, stream: StreamId) -> ServeResult<()> {
-        let worker = self
-            .workers
+        let entry = self
+            .streams
             .lock()
             .remove(&stream)
             .ok_or(ServeError::UnknownStream(stream))?;
-        worker.shared.stop.store(true, Ordering::Release);
-        if let Some(h) = worker.handle {
-            let _ = h.join();
+        entry.shared.stop.store(true, Ordering::Release);
+        {
+            let shards = self.shards.lock();
+            if let Some(s) = shards.get(entry.shard) {
+                s.state.post(ShardCmd::Remove(stream));
+            }
         }
+        entry.shared.wait_done();
         self.server.close_stream(stream)
     }
 
-    /// Stops every worker and the batcher. Workers finish their in-flight
-    /// step; under `Backpressure::Block` that can wait on subscribers.
-    /// Also runs on drop.
+    /// Stops every shard worker and the batcher. Shards finish their
+    /// in-flight step; under `Backpressure::Block` that can wait on
+    /// subscribers. Also runs on drop.
     pub fn shutdown(&self) {
-        let mut workers = self.workers.lock();
-        for w in workers.values() {
-            w.shared.stop.store(true, Ordering::Release);
+        {
+            let streams = self.streams.lock();
+            for e in streams.values() {
+                e.shared.stop.store(true, Ordering::Release);
+            }
         }
-        for w in workers.values_mut() {
-            if let Some(h) = w.handle.take() {
+        let mut shards = self.shards.lock();
+        for s in shards.iter() {
+            s.state.stop.store(true, Ordering::Release);
+            // Lock the inbox while notifying so a shard between its
+            // empty-check and its wait cannot miss the wakeup.
+            let _inbox = s.state.inbox.lock();
+            s.state.wake.notify_all();
+        }
+        for s in shards.iter_mut() {
+            if let Some(h) = s.handle.take() {
                 let _ = h.join();
             }
         }
@@ -706,76 +891,142 @@ impl StreamSupervisor {
 impl Drop for StreamSupervisor {
     fn drop(&mut self) {
         self.shutdown();
-        // `self.batcher` drops after the workers are parked, so no stream
+        // `self.batcher` drops after the shards are parked, so no stream
         // is mid-dispatch when the coalescing thread winds down.
     }
 }
 
-/// A stream worker: paces and steps one stream to end-of-video.
-fn run_worker(
+/// One shard worker: an event loop multiplexing its assigned streams.
+/// Paced streams park on the timer wheel; runnable streams step
+/// round-robin, each step wrapped in panic containment so one stream's
+/// escape detaches only that stream, never its shard siblings.
+fn run_shard(
     server: Arc<StreamServer>,
-    stream: StreamId,
-    pace: PaceMode,
+    state: Arc<ShardState>,
     ingest_bound: u64,
-    shared: Arc<WorkerShared>,
+    tracer: vqpy_obs::Tracer,
 ) {
-    // Number of steps this worker has executed (or shed) so far.
-    let mut consumed: u64 = 0;
-    let start = std::time::Instant::now();
-    let frames_per_step = server.frames_per_step().max(1);
+    let epoch = Instant::now();
+    let now_us = || epoch.elapsed().as_micros() as u64;
+    let mut core = ShardCore::new(ShardConfig {
+        ingest_bound,
+        frames_per_step: server.frames_per_step().max(1),
+        ..ShardConfig::default()
+    });
+    let mut members: HashMap<StreamId, Arc<StreamShared>> = HashMap::new();
     loop {
-        if shared.stop.load(Ordering::Acquire) {
+        // Drain commands first so attach/detach never wait on pacing.
+        {
+            let mut inbox = state.inbox.lock();
+            for cmd in inbox.drain(..) {
+                match cmd {
+                    ShardCmd::Add {
+                        stream,
+                        pace,
+                        shared,
+                    } => {
+                        core.register(stream, pace, now_us());
+                        members.insert(stream, shared);
+                    }
+                    ShardCmd::Remove(stream) => {
+                        core.remove(stream);
+                        if let Some(shared) = members.remove(&stream) {
+                            shared.mark_done();
+                        }
+                    }
+                }
+            }
+        }
+        if state.stop.load(Ordering::Acquire) {
             break;
         }
-        if let PaceMode::Fps(fps) = pace {
-            let fps = f64::from(fps.max(1e-3));
-            // Step k's frames have all arrived at t = ((k+1)*f - 1)/fps;
-            // the number of fully-arrived steps at time t is
-            // floor((t*fps + 1)/f).
-            let due_steps = |elapsed: Duration| {
-                ((elapsed.as_secs_f64() * fps + 1.0) / frames_per_step as f64) as u64
-            };
-            let backlog = loop {
-                if shared.stop.load(Ordering::Acquire) {
-                    break 0;
-                }
-                let backlog = due_steps(start.elapsed()).saturating_sub(consumed);
-                if backlog > 0 {
-                    break backlog;
-                }
-                // Sleep toward the next step's arrival, polling stop.
-                let next_due = ((consumed + 1) * frames_per_step) as f64 / fps;
-                let wait = (next_due - start.elapsed().as_secs_f64()).max(0.0);
-                std::thread::sleep(Duration::from_secs_f64(wait.clamp(1e-4, 0.01)));
-            };
-            if backlog == 0 {
-                break; // stopped while waiting
+        core.advance(now_us());
+        let Some(stream) = core.pop_runnable(now_us()) else {
+            // Idle: wait for a command, stop, or the next timer deadline
+            // (polling band matches the threaded worker's 0.1–10 ms).
+            let mut inbox = state.inbox.lock();
+            if !inbox.is_empty() || state.stop.load(Ordering::Acquire) {
+                continue;
             }
-            if backlog > ingest_bound {
-                // Shed the overflow: stop chasing a schedule the engine
-                // cannot hold. (Sources are pull-based, so no frames are
-                // lost — the stream simply lags.)
-                let shed = backlog - ingest_bound;
-                shared.ticks_shed.fetch_add(shed, Ordering::Relaxed);
-                consumed += shed;
-                shared.queue_depth.store(ingest_bound, Ordering::Relaxed);
-            } else {
-                shared.queue_depth.store(backlog, Ordering::Relaxed);
+            match core.next_deadline() {
+                Some(deadline) => {
+                    let wait = deadline.saturating_sub(now_us()).clamp(100, 10_000);
+                    state.wake.wait_for(&mut inbox, Duration::from_micros(wait));
+                }
+                None => {
+                    state.wake.wait(&mut inbox);
+                }
             }
+            continue;
+        };
+        let Some(shared) = members.get(&stream).map(Arc::clone) else {
+            core.remove(stream);
+            continue;
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            core.remove(stream);
+            members.remove(&stream);
+            shared.mark_done();
+            continue;
         }
-        match server.step(stream) {
-            Ok(out) => {
-                consumed += 1;
+        // Publish the pacing counters the pop-evaluation just updated.
+        if let Some(c) = core.counters(stream) {
+            shared.queue_depth.store(c.queue_depth, Ordering::Relaxed);
+            shared.ticks_shed.store(c.ticks_shed, Ordering::Relaxed);
+        }
+        let result = {
+            let _span = tracer
+                .span("shard", "step")
+                .arg("stream", stream)
+                .arg("occupancy", core.occupancy());
+            std::panic::catch_unwind(AssertUnwindSafe(|| server.step(stream)))
+        };
+        state.steps.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(Ok(out)) => {
                 if out.finished {
                     shared.finished.store(true, Ordering::Release);
-                    break;
+                    core.remove(stream);
+                    members.remove(&stream);
+                    shared.mark_done();
+                } else {
+                    core.completed_step(stream, now_us());
+                    if let Some(c) = core.counters(stream) {
+                        shared.queue_depth.store(c.queue_depth, Ordering::Relaxed);
+                        shared.ticks_shed.store(c.ticks_shed, Ordering::Relaxed);
+                    }
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 *shared.error.lock() = Some(e);
-                break;
+                core.remove(stream);
+                members.remove(&stream);
+                shared.mark_done();
+            }
+            Err(payload) => {
+                // A panic that escaped the server's step-level containment
+                // (checkpoint/restart). In the threaded supervisor this
+                // killed the stream's thread; here it detaches only this
+                // stream — its shard siblings keep running.
+                shared.finished.store(true, Ordering::Release);
+                let mut err = shared.error.lock();
+                if err.is_none() {
+                    *err = Some(ServeError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                        restarts: 0,
+                    });
+                }
+                drop(err);
+                core.remove(stream);
+                members.remove(&stream);
+                shared.mark_done();
             }
         }
     }
-    shared.queue_depth.store(0, Ordering::Relaxed);
+    // Stop: detach every remaining stream. `finished` stays as-is,
+    // matching the threaded supervisor, where shutdown parks workers
+    // without marking their streams finished.
+    for (_, shared) in members.drain() {
+        shared.mark_done();
+    }
 }

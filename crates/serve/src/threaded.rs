@@ -1,0 +1,352 @@
+//! The thread-per-stream [`ThreadedSupervisor`]: the original supervisor
+//! implementation, retained as the behavioral *reference* for the sharded
+//! [`StreamSupervisor`](crate::StreamSupervisor).
+//!
+//! One OS thread per stream is the simplest correct scheduler — pacing is
+//! a sleep loop, isolation is the thread boundary — but it caps stream
+//! count by threads rather than device throughput. The sharded supervisor
+//! replaces it; this type stays (a) as the oracle the sharded-vs-threaded
+//! equivalence suite compares event sequences against, byte for byte, and
+//! (b) as a fallback for deployments that prefer one thread per stream at
+//! small scale. Both supervisors share every semantic type —
+//! [`PaceMode`], [`ServePolicy`](crate::ServePolicy), [`LoadSnapshot`],
+//! [`AttachError`], [`SupervisorConfig`] — and the same pacing/shed
+//! contract.
+
+use crate::batcher::ModelBatcher;
+use crate::server::{ServeError, ServeResult, StreamId, StreamOptions, StreamServer};
+use crate::subscription::Subscription;
+use crate::supervisor::{
+    build_stream_dispatch, AttachError, LoadSnapshot, PaceMetrics, PaceMode, StreamLoad,
+    SupervisorConfig,
+};
+use crate::ServeMetrics;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vqpy_core::{panic_message, Query, VqpySession};
+use vqpy_video::source::VideoSource;
+
+/// State shared between a stream's worker thread and the supervisor.
+#[derive(Default)]
+struct WorkerShared {
+    stop: AtomicBool,
+    finished: AtomicBool,
+    queue_depth: AtomicU64,
+    ticks_shed: AtomicU64,
+    error: Mutex<Option<ServeError>>,
+}
+
+struct StreamWorker {
+    pace: PaceMode,
+    shared: Arc<WorkerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A thread-per-stream serving frontend with the same public surface as
+/// the sharded [`StreamSupervisor`](crate::StreamSupervisor): paced
+/// ingestion, shared cross-stream batching, admission control, typed
+/// errors. See the module docs for why it is kept.
+pub struct ThreadedSupervisor {
+    server: Arc<StreamServer>,
+    batcher: Option<ModelBatcher>,
+    config: SupervisorConfig,
+    workers: Mutex<HashMap<StreamId, StreamWorker>>,
+}
+
+impl ThreadedSupervisor {
+    /// Creates a supervisor over a session, spawning the shared batcher
+    /// thread if configured.
+    pub fn new(session: Arc<VqpySession>, config: SupervisorConfig) -> Self {
+        let batcher = config.batcher.clone().map(|bc| {
+            ModelBatcher::with_telemetry(bc, session.clock_handle(), &config.serve.telemetry)
+        });
+        let server = Arc::new(StreamServer::new(session, config.serve.clone()));
+        Self {
+            server,
+            batcher,
+            config,
+            workers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying server, for observers.
+    pub fn server(&self) -> &Arc<StreamServer> {
+        &self.server
+    }
+
+    /// Opens a stream, attaches its initial queries, and spawns its
+    /// dedicated worker thread — subject to admission control. Returns
+    /// the stream id and one [`Subscription`] per query, in order.
+    pub fn add_stream(
+        &self,
+        source: Arc<dyn VideoSource>,
+        pace: PaceMode,
+        queries: &[Arc<Query>],
+    ) -> Result<(StreamId, Vec<Subscription>), AttachError> {
+        let mut workers = self.workers.lock();
+        self.config
+            .policy
+            .admit_stream(&self.load_locked(&workers))?;
+        let dispatch = build_stream_dispatch(&self.config, self.batcher.as_ref());
+        let options = StreamOptions { dispatch };
+        let stream = self.server.open_stream_with(source, options);
+        let mut subs = Vec::with_capacity(queries.len());
+        for q in queries {
+            subs.push(self.server.attach(stream, Arc::clone(q))?);
+        }
+        let shared = Arc::new(WorkerShared::default());
+        let worker_shared = Arc::clone(&shared);
+        let server = Arc::clone(&self.server);
+        let bound = self.config.ingest_bound();
+        let handle = match std::thread::Builder::new()
+            .name(format!("vqpy-stream-{stream}"))
+            .spawn(move || run_worker(server, stream, pace, bound, worker_shared))
+        {
+            Ok(h) => h,
+            Err(e) => {
+                // Roll the stream back out so subscribers see their
+                // channels close rather than a stream nobody drives.
+                let _ = self.server.close_stream(stream);
+                return Err(AttachError::Serve(ServeError::WorkerSpawn(e.to_string())));
+            }
+        };
+        workers.insert(
+            stream,
+            StreamWorker {
+                pace,
+                shared,
+                handle: Some(handle),
+            },
+        );
+        Ok((stream, subs))
+    }
+
+    /// Attaches a query to a supervised stream, subject to admission
+    /// control. Takes effect at the stream's next step boundary.
+    pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> Result<Subscription, AttachError> {
+        self.config.policy.admit(&self.load())?;
+        Ok(self.server.attach(stream, query)?)
+    }
+
+    /// Detaches a subscription at the next step boundary.
+    pub fn detach(
+        &self,
+        stream: StreamId,
+        sub: crate::subscription::SubscriptionId,
+    ) -> ServeResult<()> {
+        self.server.detach(stream, sub)
+    }
+
+    /// The current load snapshot admission control evaluates.
+    pub fn load(&self) -> LoadSnapshot {
+        self.load_locked(&self.workers.lock())
+    }
+
+    fn load_locked(&self, workers: &HashMap<StreamId, StreamWorker>) -> LoadSnapshot {
+        let agg = self.server.aggregate();
+        let mut load = LoadSnapshot {
+            streams: workers.len(),
+            delivered: agg.delivered,
+            dropped: agg.dropped,
+            ..LoadSnapshot::default()
+        };
+        for w in workers.values() {
+            if !w.shared.finished.load(Ordering::Acquire) {
+                load.active_streams += 1;
+                load.queue_depth += w.shared.queue_depth.load(Ordering::Relaxed);
+            }
+            load.ticks_shed += w.shared.ticks_shed.load(Ordering::Relaxed);
+        }
+        if let Some(b) = &self.batcher {
+            load.faults = b.stats().faults;
+        }
+        load
+    }
+
+    /// Pacing counters for one supervised stream.
+    pub fn pace_metrics(&self, stream: StreamId) -> ServeResult<PaceMetrics> {
+        let workers = self.workers.lock();
+        let w = workers
+            .get(&stream)
+            .ok_or(ServeError::UnknownStream(stream))?;
+        Ok(PaceMetrics {
+            pace: w.pace,
+            queue_depth: w.shared.queue_depth.load(Ordering::Relaxed),
+            ticks_shed: w.shared.ticks_shed.load(Ordering::Relaxed),
+            finished: w.shared.finished.load(Ordering::Acquire),
+        })
+    }
+
+    /// Serving metrics for one stream (delegates to the server).
+    pub fn metrics(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
+        self.server.metrics(stream)
+    }
+
+    /// Cross-stream batching counters, when the shared batcher is
+    /// enabled.
+    pub fn batcher_stats(&self) -> Option<crate::batcher::BatcherStats> {
+        self.batcher.as_ref().map(|b| b.stats())
+    }
+
+    /// Per-stream load breakdown, never waiting behind the execution
+    /// lock.
+    pub fn stream_snapshot(&self, stream: StreamId) -> ServeResult<StreamLoad> {
+        let (frames_total, delivered, dropped) = self.server.stream_counters(stream)?;
+        let workers = self.workers.lock();
+        let w = workers
+            .get(&stream)
+            .ok_or(ServeError::UnknownStream(stream))?;
+        Ok(StreamLoad {
+            stream,
+            pace: w.pace,
+            queue_depth: w.shared.queue_depth.load(Ordering::Relaxed),
+            ticks_shed: w.shared.ticks_shed.load(Ordering::Relaxed),
+            finished: w.shared.finished.load(Ordering::Acquire),
+            frames_total,
+            delivered,
+            dropped,
+        })
+    }
+
+    /// Waits for a stream's worker to finish (end-of-video, stop, or
+    /// error), then returns the stream's final serving metrics — or the
+    /// error that stopped the worker.
+    pub fn join_stream(&self, stream: StreamId) -> ServeResult<ServeMetrics> {
+        let (handle, shared) = {
+            let mut workers = self.workers.lock();
+            let w = workers
+                .get_mut(&stream)
+                .ok_or(ServeError::UnknownStream(stream))?;
+            (w.handle.take(), Arc::clone(&w.shared))
+        };
+        if let Some(h) = handle {
+            if let Err(payload) = h.join() {
+                // The worker thread itself died (a panic that escaped the
+                // step-level containment): surface it typed, immediately.
+                shared.finished.store(true, Ordering::Release);
+                let mut err = shared.error.lock();
+                if err.is_none() {
+                    *err = Some(ServeError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                        restarts: 0,
+                    });
+                }
+            }
+        }
+        let err = shared.error.lock().take();
+        match err {
+            Some(e) => Err(e),
+            None => self.server.metrics(stream),
+        }
+    }
+
+    /// Stops a stream's worker (it finishes its in-flight step first) and
+    /// closes the stream; subscribers see their channels close.
+    pub fn remove_stream(&self, stream: StreamId) -> ServeResult<()> {
+        let worker = self
+            .workers
+            .lock()
+            .remove(&stream)
+            .ok_or(ServeError::UnknownStream(stream))?;
+        worker.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = worker.handle {
+            let _ = h.join();
+        }
+        self.server.close_stream(stream)
+    }
+
+    /// Stops every worker and the batcher. Workers finish their in-flight
+    /// step. Also runs on drop.
+    pub fn shutdown(&self) {
+        let mut workers = self.workers.lock();
+        for w in workers.values() {
+            w.shared.stop.store(true, Ordering::Release);
+        }
+        for w in workers.values_mut() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadedSupervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+        // `self.batcher` drops after the workers are parked, so no stream
+        // is mid-dispatch when the coalescing thread winds down.
+    }
+}
+
+/// A stream worker: paces and steps one stream to end-of-video.
+fn run_worker(
+    server: Arc<StreamServer>,
+    stream: StreamId,
+    pace: PaceMode,
+    ingest_bound: u64,
+    shared: Arc<WorkerShared>,
+) {
+    // Number of steps this worker has executed (or shed) so far.
+    let mut consumed: u64 = 0;
+    let start = std::time::Instant::now();
+    let frames_per_step = server.frames_per_step().max(1);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let PaceMode::Fps(fps) = pace {
+            let fps = f64::from(fps.max(1e-3));
+            // Step k's frames have all arrived at t = ((k+1)*f - 1)/fps;
+            // the number of fully-arrived steps at time t is
+            // floor((t*fps + 1)/f).
+            let due_steps = |elapsed: Duration| {
+                ((elapsed.as_secs_f64() * fps + 1.0) / frames_per_step as f64) as u64
+            };
+            let backlog = loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    break 0;
+                }
+                let backlog = due_steps(start.elapsed()).saturating_sub(consumed);
+                if backlog > 0 {
+                    break backlog;
+                }
+                // Sleep toward the next step's arrival, polling stop.
+                let next_due = ((consumed + 1) * frames_per_step) as f64 / fps;
+                let wait = (next_due - start.elapsed().as_secs_f64()).max(0.0);
+                std::thread::sleep(Duration::from_secs_f64(wait.clamp(1e-4, 0.01)));
+            };
+            if backlog == 0 {
+                break; // stopped while waiting
+            }
+            if backlog > ingest_bound {
+                // Shed the overflow: stop chasing a schedule the engine
+                // cannot hold. (Sources are pull-based, so no frames are
+                // lost — the stream simply lags.)
+                let shed = backlog - ingest_bound;
+                shared.ticks_shed.fetch_add(shed, Ordering::Relaxed);
+                consumed += shed;
+                shared.queue_depth.store(ingest_bound, Ordering::Relaxed);
+            } else {
+                shared.queue_depth.store(backlog, Ordering::Relaxed);
+            }
+        }
+        match server.step(stream) {
+            Ok(out) => {
+                consumed += 1;
+                if out.finished {
+                    shared.finished.store(true, Ordering::Release);
+                    break;
+                }
+            }
+            Err(e) => {
+                *shared.error.lock() = Some(e);
+                break;
+            }
+        }
+    }
+    shared.queue_depth.store(0, Ordering::Relaxed);
+}

@@ -119,11 +119,33 @@ fn two_stream_run_exports_full_timeline_and_metrics() {
         "dispatch spans carry the model attribute: {dispatch:?}"
     );
 
+    // The shard workers trace their steps into dedicated per-shard lanes
+    // above the stream-id range, with stream and occupancy attributes.
+    let shard_spans: Vec<_> = spans.iter().filter(|s| s.cat == "shard").collect();
+    assert!(!shard_spans.is_empty(), "shard workers must trace steps");
+    assert!(
+        shard_spans
+            .iter()
+            .all(|s| s.pid >= vqpy_serve::SHARD_LANE_BASE && s.name == "step"),
+        "shard spans live in shard lanes: {:?}",
+        shard_spans[0]
+    );
+    assert!(
+        shard_spans
+            .iter()
+            .all(|s| s.args.iter().any(|(k, _)| *k == "stream")),
+        "shard step spans carry the stream attribute"
+    );
+
     // The Perfetto export is non-empty and structurally sound.
     let trace = supervisor.trace_json();
     assert!(trace.starts_with("{\"traceEvents\":["), "{}", &trace[..64]);
     assert!(trace.contains("\"process_name\""), "named lanes expected");
     assert!(trace.contains("\"name\":\"stream 1\""), "stream lane names");
+    assert!(
+        trace.contains("\"name\":\"shard 0\""),
+        "per-shard lanes must be named in the export"
+    );
 
     // The Prometheus snapshot has counters, gauges, and quantiles.
     let prom = supervisor.prometheus_snapshot();

@@ -1,0 +1,216 @@
+//! Timer-wheel and scheduler property tests, driven by seeded loops
+//! (`VQPY_SHARD_SEED` and its two successors, so CI replays the suite
+//! under several fixed seeds):
+//!
+//! 1. **No early fire** — under randomized tick sizes, slot counts,
+//!    deadlines, and advance increments, the wheel never yields an entry
+//!    before its deadline, never duplicates, never loses.
+//! 2. **Lateness is bounded by shard occupancy** — on the virtual-clock
+//!    harness with a nonzero step cost, a paced stream's step fires no
+//!    earlier than its schedule and no later than what its shard
+//!    siblings' step costs can explain.
+//! 3. **Exact shed accounting under oversubscription** — when the step
+//!    cost makes the pace schedule infeasible, `steps + ticks_shed`
+//!    equals the schedule's due count minus the bounded backlog, exactly.
+
+use std::collections::{BTreeSet, HashMap};
+use vqpy_serve::{DeterministicScheduler, PaceMode, ShardConfig, SplitMix64, StreamId, TimerWheel};
+
+/// Base interleaving seed; the suite loops over `base..base+3`.
+fn seeds() -> [u64; 3] {
+    let base = std::env::var("VQPY_SHARD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    [base, base + 1, base + 2]
+}
+
+/// Property 1: across randomized wheel geometries and advance schedules —
+/// including mid-run insertions and multi-rotation jumps — every entry
+/// fires exactly once, never before its deadline, and the wheel drains.
+#[test]
+fn wheel_never_fires_early_loses_or_duplicates() {
+    for seed in seeds() {
+        let mut rng = SplitMix64::new(seed);
+        for case in 0..25 {
+            let tick_us = 1 + rng.below(5_000) as u64;
+            let slots = 1 + rng.below(512);
+            let mut wheel = TimerWheel::new(tick_us, slots);
+            let mut pending: HashMap<u64, u64> = HashMap::new();
+            let mut next_key = 0u64;
+            for _ in 0..(20 + rng.below(200)) {
+                let deadline = rng.below(2_000_000) as u64;
+                wheel.schedule(next_key, deadline);
+                pending.insert(next_key, deadline);
+                next_key += 1;
+            }
+            let mut fired = BTreeSet::new();
+            let mut now = 0u64;
+            let mut due = Vec::new();
+            while !wheel.is_empty() {
+                // Jumps up to 100ms cross the wheel many times at small
+                // tick sizes — the rotation-capped scan must still be
+                // exact.
+                now += 1 + rng.below(100_000) as u64;
+                // Occasionally insert mid-run, ahead of or behind `now`.
+                if rng.below(4) == 0 {
+                    let deadline = now.saturating_sub(50_000) + rng.below(500_000) as u64;
+                    wheel.schedule(next_key, deadline);
+                    pending.insert(next_key, deadline);
+                    next_key += 1;
+                }
+                due.clear();
+                wheel.advance(now, &mut due);
+                for &(deadline, key) in &due {
+                    assert!(
+                        deadline <= now,
+                        "entry {key} fired {}us early (seed {seed}, case {case})",
+                        deadline - now
+                    );
+                    assert_eq!(
+                        pending.remove(&key),
+                        Some(deadline),
+                        "entry {key} fired twice or with a corrupted deadline \
+                         (seed {seed}, case {case})"
+                    );
+                    assert!(fired.insert(key));
+                }
+            }
+            assert!(
+                pending.is_empty(),
+                "wheel drained but entries never fired: {pending:?} (seed {seed}, case {case})"
+            );
+            assert_eq!(wheel.next_deadline(), None);
+        }
+    }
+}
+
+/// Virtual-time "ready" instant of a paced stream's `k`-th step at
+/// `frames_per_step = 1`: its one frame arrives at `k / fps`.
+fn ready_us(k: u64, fps: f64) -> u64 {
+    ((k as f64 / fps) * 1e6) as u64
+}
+
+/// Property 2: with a feasible schedule (utilization < 1), no step ever
+/// fires before its frames arrive, nothing is shed, and the worst
+/// lateness is bounded by what shard occupancy explains — the bound grows
+/// with streams-per-shard, pinned by comparing a lonely shard against a
+/// crowded one.
+#[test]
+fn paced_lateness_is_bounded_by_shard_occupancy() {
+    let fps = 50.0;
+    let step_cost_us = 1_000u64;
+    let horizon_us = 2_000_000u64;
+
+    let max_lateness = |streams: u64, seed: u64| -> u64 {
+        let mut sched = DeterministicScheduler::new(
+            1,
+            ShardConfig {
+                frames_per_step: 1,
+                ..ShardConfig::default()
+            },
+            seed,
+        )
+        .with_step_cost(step_cost_us);
+        for id in 0..streams {
+            sched.add_stream(id as StreamId, PaceMode::Fps(fps as f32));
+        }
+        let mut executed: HashMap<StreamId, u64> = HashMap::new();
+        let mut worst = 0u64;
+        sched.run_until(horizon_us, |stream, fire_us| {
+            let k = executed.entry(stream).or_insert(0);
+            let ready = ready_us(*k, fps);
+            assert!(
+                fire_us >= ready,
+                "stream {stream} step {k} fired {}us early (seed {seed})",
+                ready - fire_us
+            );
+            worst = worst.max(fire_us - ready);
+            *k += 1;
+            false
+        });
+        for id in 0..streams {
+            assert_eq!(
+                sched.counters(id as StreamId).ticks_shed,
+                0,
+                "feasible schedule must not shed (streams {streams}, seed {seed})"
+            );
+        }
+        worst
+    };
+
+    for seed in seeds() {
+        // 8 streams × 50 steps/s × 1ms/step = 40% utilization: feasible.
+        let crowded = max_lateness(8, seed);
+        let lonely = max_lateness(1, seed);
+        // Worst pending work on the shard: every stream at its backlog
+        // bound, each step charging `step_cost`, plus wheel granularity.
+        let bound = 8 * 4 * step_cost_us + vqpy_serve::shard::DEFAULT_TICK_US;
+        assert!(
+            crowded <= bound,
+            "lateness {crowded}us exceeds the occupancy bound {bound}us (seed {seed})"
+        );
+        // Occupancy is the cause: a shard with siblings is measurably
+        // later than a shard serving one stream.
+        assert!(
+            lonely < crowded,
+            "expected contention lateness: lonely {lonely}us vs crowded {crowded}us (seed {seed})"
+        );
+        assert!(
+            crowded >= step_cost_us,
+            "8 streams starting together must contend for the shard (seed {seed})"
+        );
+    }
+}
+
+/// Property 3: under oversubscription (step cost 5ms against a 1000fps
+/// schedule — 5× infeasible), shed accounting is exact: at the horizon,
+/// `steps + ticks_shed = due(now) - queue_depth`, the backlog never
+/// exceeds the ingest bound, and throughput lands at the step-cost
+/// ceiling.
+#[test]
+fn oversubscription_sheds_exactly_in_virtual_time() {
+    let fps = 1_000.0;
+    let step_cost_us = 5_000u64;
+    let bound = 4u64;
+    let horizon_us = 1_000_000u64;
+
+    for seed in seeds() {
+        let mut sched = DeterministicScheduler::new(
+            1,
+            ShardConfig {
+                ingest_bound: bound,
+                frames_per_step: 1,
+                ..ShardConfig::default()
+            },
+            seed,
+        )
+        .with_step_cost(step_cost_us);
+        sched.add_stream(0, PaceMode::Fps(fps as f32));
+        let mut steps = 0u64;
+        sched.run_until(horizon_us, |_, _| {
+            steps += 1;
+            false
+        });
+
+        let c = sched.counters(0);
+        assert_eq!(c.steps, steps, "counter must match executed steps");
+        let due = ((sched.now_us() as f64 / 1e6) * fps + 1.0).trunc() as u64;
+        assert_eq!(
+            c.steps + c.ticks_shed,
+            due - c.queue_depth,
+            "consumed schedule must account for every due step exactly \
+             (due {due}, counters {c:?}, seed {seed})"
+        );
+        assert!(c.queue_depth <= bound, "backlog over bound: {c:?}");
+        assert!(
+            c.ticks_shed > 0,
+            "5x oversubscription must shed (seed {seed}): {c:?}"
+        );
+        // One step per 5ms of virtual time: the ceiling is 200 steps/s.
+        assert!(
+            (190..=201).contains(&steps),
+            "throughput off the step-cost ceiling: {steps} (seed {seed})"
+        );
+    }
+}

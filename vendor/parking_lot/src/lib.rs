@@ -6,6 +6,7 @@
 //! guard on poison.
 
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]
@@ -43,6 +44,93 @@ impl<T: ?Sized> Mutex<T> {
             Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
         }
+    }
+}
+
+/// Whether a `Condvar::wait_for` returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable for the shim [`Mutex`], mirroring the
+/// `parking_lot` API: `wait`/`wait_for` reborrow the guard instead of
+/// consuming it, and poisoning is ignored.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Blocks until notified, releasing the lock while waiting. Spurious
+    /// wakeups are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_guard(guard, |g| match self.0.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_guard(guard, |g| match self.0.wait_timeout(g, timeout) {
+            Ok((g, r)) => {
+                timed_out = r.timed_out();
+                g
+            }
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                timed_out = r.timed_out();
+                g
+            }
+        });
+        WaitTimeoutResult(timed_out)
+    }
+}
+
+/// Feeds the guard by value through `f` via an exclusive reference. The
+/// slot is momentarily a moved-out hole, so an unwind from `f` would
+/// double-drop it; `std::sync::Condvar` only panics on cross-mutex misuse
+/// (a programming error), which we turn into an abort instead.
+fn take_guard<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let guard = std::ptr::read(slot);
+        let bomb = Bomb;
+        let guard = f(guard);
+        std::mem::forget(bomb);
+        std::ptr::write(slot, guard);
     }
 }
 
@@ -93,6 +181,30 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_notifies_and_times_out() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let worker = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                *pair.0.lock() = true;
+                pair.1.notify_all();
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        assert!(*ready);
+        drop(ready);
+        worker.join().unwrap();
+        let mut ready = lock.lock();
+        let r = cv.wait_for(&mut ready, Duration::from_millis(1));
+        assert!(r.timed_out());
     }
 
     #[test]
