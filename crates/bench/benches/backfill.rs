@@ -1,0 +1,120 @@
+//! Backfill throughput: replaying a stored stream vs. decoding it live.
+//!
+//! One stream runs live once with the frame store enabled (persisting every
+//! model stage's outputs), then the same query is attached `from` the
+//! stream's origin and the stored history is replayed. With the latency
+//! clock and the standard zoo (a 30 ms-per-frame general detector), the
+//! live pass pays full virtual model cost per frame while the replay pays
+//! only the flat store-read charge for every frame whose outputs are on
+//! disk — the fps gap is the paper-level payoff of the store: querying the
+//! past without re-running the models.
+//!
+//! Results merge into the `backfill` section of `BENCH_serve.json`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use vqpy_bench::bench_scale;
+use vqpy_bench::report::{merge_section, section};
+use vqpy_core::frontend::{library, predicate::Pred};
+use vqpy_core::{Query, SessionConfig, VqpySession};
+use vqpy_models::{Clock, ClockMode, ModelZoo};
+use vqpy_serve::{ServeConfig, ServeSession};
+use vqpy_store::{FrameStore, StoreConfig};
+use vqpy_video::source::{SyntheticVideo, VideoSource};
+use vqpy_video::{presets, Scene};
+
+fn main() {
+    let seconds = 20.0 * bench_scale();
+    section("Backfill (stored replay vs. live decode, red-car query)");
+    println!("video: {seconds:.0}s @15fps jackson preset, latency clock, standard zoo");
+
+    let dir = std::env::temp_dir().join(format!("vqpy_bench_backfill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = FrameStore::open(StoreConfig {
+        background_eviction: false,
+        ..StoreConfig::new(dir.clone())
+    })
+    .expect("open store");
+
+    let query: Arc<Query> = Query::builder("RedCar")
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", "red"))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .expect("query");
+    let video = Arc::new(SyntheticVideo::new(Scene::generate(
+        presets::jackson(),
+        57,
+        seconds,
+    )));
+    let frames = video.frame_count();
+
+    let session = Arc::new(VqpySession::with_clock(
+        ModelZoo::standard(),
+        SessionConfig::default(),
+        Arc::new(Clock::with_mode(ClockMode::Latency)),
+    ));
+    let server = session.serve(ServeConfig {
+        store: Some(Arc::clone(&fs)),
+        batches_per_step: 4,
+        ..ServeConfig::default()
+    });
+
+    // ---- live pass: decode + full model cost, persisting as it goes -------
+    let stream = server.open_stream(Arc::clone(&video) as Arc<dyn VideoSource>);
+    let live_sub = server.attach(stream, Arc::clone(&query)).expect("attach");
+    let live_start = Instant::now();
+    server.run_to_end(stream).expect("live run");
+    let live_wall = live_start.elapsed().as_secs_f64();
+    let live_fps = frames as f64 / live_wall;
+    let (live_hits, live_agg) = live_sub.collect();
+    println!("  live decode:   {live_fps:7.1} frames/s  ({live_wall:.2}s wall, {frames} frames)");
+
+    // ---- backfill: replay the stored history from the origin ---------------
+    let (sub, replay) = server
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .expect("attach_from");
+    let replay_start = Instant::now();
+    server.run_replay(replay).expect("replay run");
+    let replay_wall = replay_start.elapsed().as_secs_f64();
+    let replay_fps = frames as f64 / replay_wall;
+    let (replay_hits, replay_agg) = sub.collect();
+    let replay_hit_frames = fs
+        .metrics()
+        .replay_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let speedup = replay_fps / live_fps;
+    println!(
+        "  stored replay: {replay_fps:7.1} frames/s  ({replay_wall:.2}s wall)  speedup {speedup:.2}x"
+    );
+    println!("  store answered {replay_hit_frames} frames' model stages");
+
+    // Replay must be byte-identical to the live pass, and — the point of
+    // the store — faster than paying the models again.
+    assert_eq!(replay_hits, live_hits, "replay diverged from live");
+    assert_eq!(replay_agg, live_agg, "replay aggregate diverged");
+    println!("  results identical between live and replay");
+    if frames >= 50 {
+        assert!(
+            speedup > 1.0,
+            "stored replay must beat live decode, got {speedup:.2}x"
+        );
+    }
+
+    // ---- JSON record -------------------------------------------------------
+    let value = format!(
+        "{{\n    \"bench\": \"backfill_stored_replay\",\n    \
+         \"video_seconds\": {seconds:.1},\n    \"frames\": {frames},\n    \
+         \"query\": \"RedCar (intrinsic color)\",\n    \
+         \"clock\": \"latency\",\n    \"live_fps\": {live_fps:.2},\n    \
+         \"replay_fps\": {replay_fps:.2},\n    \"speedup\": {speedup:.3},\n    \
+         \"replay_store_hits\": {replay_hit_frames},\n    \
+         \"results_identical\": true\n  }}"
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    merge_section(&path, "backfill", &value);
+    println!();
+    println!("merged \"backfill\" into {}", path.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -112,6 +112,22 @@ fn serve_metrics(doc: &Json, ctx: &str) -> Vec<Metric> {
              `multiquery.speedup`; the multi-query ratio is not gated this run"
         ),
     }
+    // The backfill ratio (stored-replay fps over live-decode fps) joined
+    // the report after the other sections: a committed baseline that
+    // predates it merely warns — the gate must not fail repos whose
+    // baseline was generated before the frame store existed.
+    match doc.path("backfill.speedup").and_then(Json::as_f64) {
+        Some(speedup) => out.push(Metric {
+            name: "serve.backfill_speedup".into(),
+            value: speedup,
+        }),
+        None => eprintln!(
+            "bench_gate: WARNING: {ctx} BENCH_serve.json has no \
+             `backfill.speedup` (baseline predates the frame store?); the \
+             stored-replay ratio is not gated this run — regenerate with \
+             `cargo bench -p vqpy-bench --bench backfill` and commit"
+        ),
+    }
     match doc.path("scaling.table").and_then(Json::as_arr) {
         Some(rows) => {
             for row in rows {
@@ -260,7 +276,7 @@ fn main() {
     }
 
     if !skip_run {
-        for bench in ["throughput", "serve", "serve_scale"] {
+        for bench in ["throughput", "serve", "serve_scale", "backfill"] {
             run_bench(&root, bench, &scale);
         }
     }

@@ -149,6 +149,7 @@ impl ExecMetrics {
         self.reuse.hits += other.reuse.hits;
         self.reuse.misses += other.reuse.misses;
         self.reuse.evictions += other.reuse.evictions;
+        self.reuse.tier_hits += other.reuse.tier_hits;
         self.per_frame_ms.extend_from_slice(&other.per_frame_ms);
         for (name, ms) in &other.stage_wall_ms {
             self.add_stage_wall(name, *ms);

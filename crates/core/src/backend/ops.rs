@@ -597,9 +597,15 @@ impl ProjectOp {
             // otherwise pin a bad classification for the object's whole
             // lifetime.
             let cached = if intrinsic && ctx.enable_reuse && node.track_confirmed {
-                node.track_id
-                    .and_then(|t| ctx.reuse.lookup(self.alias_sym, t, self.prop_sym))
-                    .cloned()
+                node.track_id.and_then(|t| {
+                    ctx.reuse.lookup_named(
+                        self.alias_sym,
+                        t,
+                        self.prop_sym,
+                        &self.alias,
+                        &self.def.name,
+                    )
+                })
             } else {
                 None
             };
@@ -628,7 +634,14 @@ impl ProjectOp {
         for (&id, v) in self.pending_ids.iter().zip(values) {
             if intrinsic && ctx.enable_reuse {
                 if let Some(t) = slot.graph.nodes[id].track_id {
-                    ctx.reuse.store(self.alias_sym, t, self.prop_sym, v.clone());
+                    ctx.reuse.store_named(
+                        self.alias_sym,
+                        t,
+                        self.prop_sym,
+                        v.clone(),
+                        &self.alias,
+                        &self.def.name,
+                    );
                 }
             }
             self.apply_value(slot, id, v);

@@ -14,8 +14,27 @@
 
 use crate::backend::symbols::Sym;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 use vqpy_models::Value;
 use vqpy_tracker::TrackId;
+
+/// A durable backing tier behind the in-memory cache.
+///
+/// The serving layer installs one backed by the persistent frame store
+/// (`vqpy-store`): in-memory misses fall through to
+/// [`ReuseTier::load`], and every memoized value is written through via
+/// [`ReuseTier::save`]. Keys use *names* rather than interned [`Sym`]s —
+/// symbols are per-process and not durable. Tier methods must never block
+/// for long (the hit path of every projection runs through them) and must
+/// tolerate concurrent calls.
+pub trait ReuseTier: Send + Sync + fmt::Debug {
+    /// Fetches a previously saved intrinsic value, if the tier still has
+    /// it.
+    fn load(&self, alias: &str, track: TrackId, prop: &str) -> Option<Value>;
+    /// Persists one intrinsic value.
+    fn save(&self, alias: &str, track: TrackId, prop: &str, value: &Value);
+}
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +43,9 @@ pub struct ReuseStats {
     pub misses: u64,
     /// Entries dropped by the LRU capacity bound.
     pub evictions: u64,
+    /// In-memory misses answered by the durable tier (a subset of
+    /// `misses`: every tier hit was first counted as an in-memory miss).
+    pub tier_hits: u64,
 }
 
 impl ReuseStats {
@@ -65,6 +87,8 @@ pub struct ReuseCache {
     tail: Option<usize>,
     capacity: Option<usize>,
     stats: ReuseStats,
+    /// Durable backing tier; `None` keeps the cache purely in-memory.
+    tier: Option<Arc<dyn ReuseTier>>,
 }
 
 impl ReuseCache {
@@ -178,6 +202,61 @@ impl ReuseCache {
         self.push_front(i);
     }
 
+    /// Installs a durable backing tier. In-memory misses on the *named*
+    /// paths fall through to it, and named stores write through; the
+    /// symbol-only [`ReuseCache::lookup`]/[`ReuseCache::store`] paths are
+    /// unaffected.
+    pub fn set_tier(&mut self, tier: Arc<dyn ReuseTier>) {
+        self.tier = Some(tier);
+    }
+
+    /// Whether a durable tier is installed.
+    pub fn has_tier(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// [`ReuseCache::lookup`] with a durable-tier fallback: an in-memory
+    /// miss consults the tier under the entry's *names*; a tier hit is
+    /// promoted into the in-memory cache (so subsequent probes stay
+    /// allocation-free) and counted in [`ReuseStats::tier_hits`].
+    pub fn lookup_named(
+        &mut self,
+        alias: Sym,
+        track: TrackId,
+        prop: Sym,
+        alias_name: &str,
+        prop_name: &str,
+    ) -> Option<Value> {
+        if let Some(v) = self.lookup(alias, track, prop) {
+            return Some(v.clone());
+        }
+        let value = self
+            .tier
+            .as_ref()
+            .and_then(|t| t.load(alias_name, track, prop_name))?;
+        self.stats.tier_hits += 1;
+        self.store(alias, track, prop, value.clone());
+        Some(value)
+    }
+
+    /// [`ReuseCache::store`] with durable write-through: the value is
+    /// memoized in memory and, when a tier is installed, saved under the
+    /// entry's names so it survives process restarts and LRU eviction.
+    pub fn store_named(
+        &mut self,
+        alias: Sym,
+        track: TrackId,
+        prop: Sym,
+        value: Value,
+        alias_name: &str,
+        prop_name: &str,
+    ) {
+        if let Some(t) = &self.tier {
+            t.save(alias_name, track, prop_name, &value);
+        }
+        self.store(alias, track, prop, value);
+    }
+
     /// Cache statistics so far.
     pub fn stats(&self) -> ReuseStats {
         self.stats
@@ -224,7 +303,7 @@ mod tests {
             ReuseStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                ..Default::default()
             }
         );
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
@@ -235,14 +314,14 @@ mod tests {
         assert_eq!(ReuseStats::default().hit_rate(), 0.0);
         let all_hits = ReuseStats {
             hits: 10,
-            misses: 0,
-            evictions: 0,
+            ..Default::default()
         };
         assert!((all_hits.hit_rate() - 1.0).abs() < 1e-12);
         let mixed = ReuseStats {
             hits: 3,
             misses: 9,
             evictions: 2,
+            ..Default::default()
         };
         assert!((mixed.hit_rate() - 0.25).abs() < 1e-12);
     }
@@ -295,6 +374,50 @@ mod tests {
         for t in 96..100u64 {
             assert_eq!(c.lookup(CAR, t, COLOR).cloned(), Some(Value::Int(t as i64)));
         }
+    }
+
+    #[derive(Debug, Default)]
+    struct MapTier(parking_lot::Mutex<HashMap<(String, TrackId, String), Value>>);
+
+    impl ReuseTier for MapTier {
+        fn load(&self, alias: &str, track: TrackId, prop: &str) -> Option<Value> {
+            self.0
+                .lock()
+                .get(&(alias.to_owned(), track, prop.to_owned()))
+                .cloned()
+        }
+        fn save(&self, alias: &str, track: TrackId, prop: &str, value: &Value) {
+            self.0
+                .lock()
+                .insert((alias.to_owned(), track, prop.to_owned()), value.clone());
+        }
+    }
+
+    #[test]
+    fn tier_read_through_and_write_through() {
+        let tier = Arc::new(MapTier::default());
+        let mut c = ReuseCache::with_capacity(1);
+        c.set_tier(Arc::clone(&tier) as Arc<dyn ReuseTier>);
+
+        // Write-through: a named store lands in the tier.
+        c.store_named(CAR, 1, COLOR, Value::from("red"), "car", "color");
+        assert_eq!(tier.load("car", 1, "color"), Some(Value::from("red")));
+
+        // Capacity-evict the entry, then read it back through the tier.
+        c.store_named(CAR, 2, COLOR, Value::from("blue"), "car", "color");
+        assert_eq!(c.stats().evictions, 1);
+        let v = c.lookup_named(CAR, 1, COLOR, "car", "color");
+        assert_eq!(v, Some(Value::from("red")));
+        assert_eq!(c.stats().tier_hits, 1);
+        // The tier hit was counted as an in-memory miss first.
+        assert_eq!(c.stats().misses, 1);
+
+        // Promotion: the value is back in memory (hit, no new tier hit).
+        assert_eq!(c.lookup(CAR, 1, COLOR).cloned(), Some(Value::from("red")));
+        assert_eq!(c.stats().tier_hits, 1);
+
+        // Unknown keys miss both layers.
+        assert_eq!(c.lookup_named(TRUCK, 9, PLATE, "truck", "plate"), None);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod trace;
 pub use export::{json_escape, perfetto_json, prometheus_text};
 pub use metrics::{label_escape, Counter, Gauge, Histogram, Metric, Registry};
 pub use trace::{
-    SpanGuard, SpanRecord, TimeSource, Tracer, DEFAULT_SPAN_CAPACITY, SHARD_LANE_BASE,
+    SpanGuard, SpanRecord, TimeSource, Tracer, DEFAULT_SPAN_CAPACITY, SHARD_LANE_BASE, STORE_LANE,
 };
 
 /// The bundle a serving run carries: one metrics [`Registry`] plus one

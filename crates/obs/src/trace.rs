@@ -26,6 +26,12 @@ use std::time::Instant;
 /// shard lanes can never collide with per-stream lanes (`pid = stream + 1`).
 pub const SHARD_LANE_BASE: u64 = 1 << 32;
 
+/// The `pid` lane carrying frame-store spans (segment appends, replay
+/// chunk loads, replay execution, the replay→live splice). A single shared
+/// lane above the shard band: store traffic is cross-stream by nature, and
+/// one lane keeps the timeline readable.
+pub const STORE_LANE: u64 = 2 << 32;
+
 /// Where a tracer reads "now" (microseconds since trace start) from.
 #[derive(Clone)]
 pub enum TimeSource {

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use vqpy_core::backend::exec::{instantiate_stage_ops, run_segment, ResultSink};
 use vqpy_core::backend::ops::OpState;
 use vqpy_core::backend::plan::PlanDag;
-use vqpy_core::backend::reuse::ReuseCache;
+use vqpy_core::backend::reuse::{ReuseCache, ReuseTier};
 use vqpy_core::backend::symbols::SymbolTable;
 use vqpy_core::error::Result;
 use vqpy_core::{ExecConfig, ExecMetrics, StageOps};
@@ -106,6 +106,33 @@ impl StreamEngine {
         self.ops.tracer = tracer;
     }
 
+    /// Installs a durable tier behind the engine's in-memory reuse cache
+    /// (see [`vqpy_core::backend::reuse::ReuseTier`]): cache misses fall
+    /// through to the tier, and stored values are written through to it.
+    /// The serving layer points this at the stream's
+    /// [`vqpy_store::StreamStore`] so intrinsic property values survive
+    /// engine retirement — and whole processes.
+    pub fn set_reuse_tier(&mut self, tier: std::sync::Arc<dyn ReuseTier>) {
+        self.reuse.set_tier(tier);
+    }
+
+    /// Drains every stateful operator's cross-frame state out of the
+    /// engine, keyed by structural fingerprint. Used when a replay engine
+    /// retires at the splice boundary: its states seed the live engine via
+    /// [`StreamEngine::recompile_with_seed`] / [`StreamEngine::seed_states`].
+    /// The engine is left with empty operator state and should be dropped.
+    pub fn take_states(&mut self) -> HashMap<String, OpState> {
+        self.ops.export_states()
+    }
+
+    /// Imports operator states into a freshly built engine (states whose
+    /// fingerprint has no matching operator are ignored). Only meaningful
+    /// before the engine has run anything; later recompiles carry the
+    /// seeded state forward like any other operator state.
+    pub fn seed_states(&mut self, mut seed: HashMap<String, OpState>) {
+        self.ops.import_states(&mut seed);
+    }
+
     /// Captures a restorable checkpoint of every stateful operator plus
     /// the cumulative metrics. Export drains the operators, so the state
     /// is cloned and immediately re-imported — the engine keeps running
@@ -142,10 +169,29 @@ impl StreamEngine {
     /// On error (unknown model in the new plan) the old plan keeps
     /// running unchanged.
     pub fn recompile(&mut self, plan: PlanDag, zoo: &ModelZoo) -> Result<()> {
+        self.recompile_with_seed(plan, zoo, HashMap::new())
+    }
+
+    /// [`StreamEngine::recompile`] with a set of *seed* operator states
+    /// (exported from another engine via [`StreamEngine::take_states`]).
+    /// This engine's own states always win: a seed entry is used only for
+    /// operators the old plan did not have. The replay→live splice uses
+    /// this so a replayed query's operators (its tracker, windows, …)
+    /// arrive with full history, while operators the live engine was
+    /// already running keep their live state — which, for shared
+    /// fingerprints, the replay recomputed identically anyway.
+    pub fn recompile_with_seed(
+        &mut self,
+        plan: PlanDag,
+        zoo: &ModelZoo,
+        mut seed: HashMap<String, OpState>,
+    ) -> Result<()> {
         let mut ops = instantiate_stage_ops(&plan, zoo, self.workers, &mut self.symbols)?;
         ops.dispatch = std::sync::Arc::clone(&self.ops.dispatch);
         ops.tracer = self.ops.tracer.clone();
         let mut states = self.ops.export_states();
+        seed.retain(|k, _| !states.contains_key(k));
+        states.extend(seed);
         ops.import_states(&mut states);
         self.ops = ops;
         self.plan = plan;

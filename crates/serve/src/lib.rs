@@ -61,6 +61,7 @@
 pub mod batcher;
 pub mod engine;
 pub mod metrics;
+pub mod replay;
 pub mod server;
 pub mod shard;
 pub mod subscription;
@@ -73,6 +74,9 @@ pub use batcher::{
 };
 pub use engine::StreamEngine;
 pub use metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics, ShardLoad};
+pub use replay::{
+    RecordingDispatch, StoreDispatch, StoreTier, STORE_READ_COST_MS, STORE_READ_LABEL,
+};
 pub use server::{
     Backpressure, RestartPolicy, ResumeMode, ServeConfig, ServeError, ServeResult, ServeSession,
     StepOutcome, StreamId, StreamOptions, StreamServer, RESTART_BACKOFF_LABEL,
@@ -80,11 +84,13 @@ pub use server::{
 pub use shard::{
     DeterministicScheduler, PaceCounters, ShardConfig, ShardCore, SplitMix64, TimerWheel,
 };
-pub use subscription::{ServeEvent, StreamFault, Subscription, SubscriptionClosed, SubscriptionId};
+pub use subscription::{
+    ServeEvent, StoreFaultNotice, StreamFault, Subscription, SubscriptionClosed, SubscriptionId,
+};
 pub use supervisor::{
     AttachError, LoadSnapshot, PaceMetrics, PaceMode, ServePolicy, StreamLoad, StreamSupervisor,
     SupervisorConfig,
 };
 pub use threaded::ThreadedSupervisor;
 pub use typed::{TypedServeEvent, TypedSubscription};
-pub use vqpy_obs::{Registry, Telemetry, Tracer, SHARD_LANE_BASE};
+pub use vqpy_obs::{Registry, Telemetry, Tracer, SHARD_LANE_BASE, STORE_LANE};

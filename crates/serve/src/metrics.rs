@@ -45,6 +45,10 @@ pub struct ServeMetrics {
     /// Frames the decoder failed on and the executors skipped (never
     /// counted in `frames_total`).
     pub decode_failures: u64,
+    /// Damaged stored segments hit by this stream's past-replays. The
+    /// affected frames were recomputed from the decoded video (results
+    /// unchanged, just slower) — mirrors `decode_failures` in spirit.
+    pub store_corruptions: u64,
     /// Wall milliseconds spent executing (excludes idle time between
     /// steps).
     pub wall_ms: f64,
@@ -154,6 +158,12 @@ impl ServeMetrics {
             line.push_str(&format!(
                 " | {} decode failures skipped",
                 self.decode_failures
+            ));
+        }
+        if self.store_corruptions > 0 {
+            line.push_str(&format!(
+                " | {} corrupt store segments recomputed",
+                self.store_corruptions
             ));
         }
         line

@@ -3,7 +3,10 @@
 
 use crate::engine::StreamEngine;
 use crate::metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
-use crate::subscription::{ServeEvent, StreamFault, Subscription, SubscriptionId};
+use crate::replay::{RecordingDispatch, StoreDispatch, StoreTier};
+use crate::subscription::{
+    ServeEvent, StoreFaultNotice, StreamFault, Subscription, SubscriptionId,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -15,9 +18,10 @@ use vqpy_core::backend::exec::{QueryAccum, ResultSink};
 use vqpy_core::backend::ops::FrameSlot;
 use vqpy_core::backend::plan::PlanDag;
 use vqpy_core::error::VqpyError;
-use vqpy_core::{panic_message, ExecMetrics, ModelDispatch, Query, VqpySession};
+use vqpy_core::{panic_message, DirectDispatch, ExecMetrics, ModelDispatch, Query, VqpySession};
 use vqpy_models::ClockMode;
-use vqpy_obs::{label_escape, Histogram, Telemetry, Tracer};
+use vqpy_obs::{label_escape, Histogram, Telemetry, Tracer, STORE_LANE};
+use vqpy_store::{FrameRecord, FrameStore, StreamStore};
 use vqpy_video::source::VideoSource;
 
 /// Identifier of one open stream on a server.
@@ -117,6 +121,14 @@ pub struct ServeConfig {
     /// [`std::thread::available_parallelism`], capped at 8. Ignored by a
     /// bare [`StreamServer`], which leaves driving to the caller.
     pub shards: usize,
+    /// Persistent frame/result store. When set, every stream appends its
+    /// model outputs (detections, binary verdicts, intrinsic property
+    /// values) to a per-stream segment log as it executes, and
+    /// [`StreamServer::attach_from`] can replay the stored past of a
+    /// stream — skipping the model stages whose outputs are on disk — and
+    /// splice the query into the live frames. `None` (the default) serves
+    /// live-only, exactly as before.
+    pub store: Option<Arc<FrameStore>>,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +140,7 @@ impl Default for ServeConfig {
             restart: RestartPolicy::default(),
             telemetry: Telemetry::disabled(),
             shards: 0,
+            store: None,
         }
     }
 }
@@ -169,6 +182,10 @@ pub enum ServeError {
     },
     /// The OS refused to spawn a stream's worker thread.
     WorkerSpawn(String),
+    /// A past-replay attach was requested but the server has no
+    /// [`ServeConfig::store`] (or the stream's store directory failed to
+    /// open), so there is no stored history to replay.
+    StoreDisabled,
     /// Planning or execution failed in the core engine.
     Core(VqpyError),
 }
@@ -184,6 +201,9 @@ impl std::fmt::Display for ServeError {
                 "stream worker panicked after {restarts} restarts: {message}"
             ),
             ServeError::WorkerSpawn(e) => write!(f, "failed to spawn stream worker: {e}"),
+            ServeError::StoreDisabled => {
+                write!(f, "no frame store configured (ServeConfig::store is None)")
+            }
             ServeError::Core(e) => write!(f, "execution error: {e}"),
         }
     }
@@ -352,6 +372,12 @@ struct Stream {
     /// The stream's process-lane span tracer (pid = stream id + 1),
     /// installed into every engine this stream creates.
     tracer: Tracer,
+    /// The stream's persisted history, when the server has a store. Live
+    /// execution appends to it; replays read from it.
+    store: Option<Arc<StreamStore>>,
+    /// Captures model answers per frame for persistence (wraps `dispatch`
+    /// in the engine). Present iff `store` is.
+    recorder: Option<Arc<RecordingDispatch>>,
     engine: Option<StreamEngine>,
     /// Attach order; index i corresponds to join i of the current plan.
     subs: Vec<ActiveSub>,
@@ -377,6 +403,8 @@ impl Stream {
             source,
             dispatch: options.dispatch,
             tracer,
+            store: None,
+            recorder: None,
             engine: None,
             subs: Vec::new(),
             next_frame: 0,
@@ -415,6 +443,12 @@ struct StreamHandle {
     published_frames: AtomicU64,
     published_delivered: AtomicU64,
     published_dropped: AtomicU64,
+    /// The next frame index the stream will execute, as of the last step
+    /// boundary. Replays chase this to know when they have caught up.
+    published_next_frame: AtomicU64,
+    /// Damaged stored segments hit by this stream's replays (the frames
+    /// were recomputed; mirrors `decode_failures` in spirit).
+    store_corruptions: AtomicU64,
     state: Mutex<Stream>,
 }
 
@@ -432,6 +466,8 @@ impl StreamHandle {
             .store(s.exec_metrics().frames_total, Ordering::Relaxed);
         self.published_delivered.store(delivered, Ordering::Relaxed);
         self.published_dropped.store(dropped, Ordering::Relaxed);
+        self.published_next_frame
+            .store(s.next_frame, Ordering::Release);
     }
 }
 
@@ -481,6 +517,71 @@ impl ResultSink for DemuxSink<'_> {
     }
 }
 
+/// How many live steps' worth of frames one [`StreamServer::replay_step`]
+/// call may execute. Replays are scheduled like any other stream (one
+/// bounded turn per scheduler visit), so this caps how long a backfill
+/// turn holds its shard — backfill never starves live streams — while
+/// still letting the replay catch up: it advances several steps' worth per
+/// turn against the live stream's one.
+const REPLAY_BUDGET_STEPS: u64 = 4;
+
+/// Demux for one replaying query: a single join, observing every frame
+/// from the stream origin (so its aggregate covers the full stream, like
+/// an always-attached query's) but delivering hits only from
+/// `deliver_from` on.
+struct ReplaySink<'a> {
+    sub: &'a mut ActiveSub,
+    deliver_from: u64,
+    policy: Backpressure,
+    ingest: Instant,
+}
+
+impl ResultSink for ReplaySink<'_> {
+    fn on_frame(&mut self, plan: &PlanDag, slot: &FrameSlot) -> vqpy_core::error::Result<()> {
+        let frame = slot.frame.index;
+        if let Some(join) = plan.joins.first() {
+            if let Some(hit) = self.sub.accum.observe(join, slot, 0) {
+                if frame >= self.deliver_from {
+                    self.sub
+                        .deliver(ServeEvent::Hit(hit), self.policy, self.ingest);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One in-flight past-replay: a private engine re-executing the stream
+/// from its origin with the store answering model stages, racing the live
+/// stream until it catches up and splices.
+struct Replay {
+    handle: Arc<StreamHandle>,
+    store: Arc<StreamStore>,
+    source: Arc<dyn VideoSource>,
+    engine: StreamEngine,
+    dispatch: Arc<StoreDispatch>,
+    /// The replayed query's subscriber state; moves into the live stream's
+    /// subscriber list at the splice.
+    sub: Option<ActiveSub>,
+    query: Arc<Query>,
+    deliver_from: u64,
+    next_frame: u64,
+}
+
+/// A replay's shared handle, mirroring [`StreamHandle`]'s split between
+/// lockable lifecycle flags and the (potentially long-held) replay state.
+struct ReplayHandle {
+    /// The replayed subscription's id, for mid-replay detach.
+    sub_id: SubscriptionId,
+    /// The live stream being replayed.
+    live: StreamId,
+    finished: AtomicBool,
+    /// Set by [`StreamServer::detach`]: the next replay step delivers
+    /// [`ServeEvent::Detached`] and retires the replay.
+    cancel: AtomicBool,
+    state: Mutex<Replay>,
+}
+
 /// A multi-stream, multi-query serving frontend over one [`VqpySession`].
 ///
 /// The server shares the session's model zoo, clock, plan cache, and
@@ -500,6 +601,12 @@ pub struct StreamServer {
     session: Arc<VqpySession>,
     config: ServeConfig,
     streams: Mutex<HashMap<StreamId, Arc<StreamHandle>>>,
+    /// Active past-replays, keyed by their pseudo-stream id (same id space
+    /// as live streams, so a supervisor can schedule both uniformly).
+    replays: Mutex<HashMap<StreamId, Arc<ReplayHandle>>>,
+    /// Span tracer for the shared `store` lane (appends, replay chunk
+    /// loads, replay execution, splices).
+    store_tracer: Tracer,
     next_stream: AtomicU64,
     next_sub: AtomicU64,
 }
@@ -522,13 +629,25 @@ impl StreamServer {
                 tracer.set_time_source(move || clock.virtual_micros());
             }
         }
+        let store_tracer = tracer.for_stream(STORE_LANE);
+        if store_tracer.is_enabled() && config.store.is_some() {
+            store_tracer.set_process_name(STORE_LANE, "store");
+        }
         Self {
             session,
             config,
             streams: Mutex::new(HashMap::new()),
+            replays: Mutex::new(HashMap::new()),
+            store_tracer,
             next_stream: AtomicU64::new(1),
             next_sub: AtomicU64::new(1),
         }
+    }
+
+    /// The server's frame store, when one is configured
+    /// ([`ServeConfig::store`]).
+    pub fn store(&self) -> Option<&Arc<FrameStore>> {
+        self.config.store.as_ref()
     }
 
     /// The owning session.
@@ -557,6 +676,29 @@ impl StreamServer {
         if tracer.is_enabled() {
             tracer.set_process_name(id + 1, format!("stream {id}"));
         }
+        let mut stream = Stream::new(source, options, tracer);
+        if let Some(fs) = &self.config.store {
+            match fs.stream(&format!("stream-{id}")) {
+                Ok(ss) => {
+                    // Record model answers by wrapping the stream's
+                    // dispatch boundary; the recorder composes over a
+                    // supervisor-supplied batcher/retry chain unchanged.
+                    let inner: Arc<dyn ModelDispatch> = stream
+                        .dispatch
+                        .take()
+                        .unwrap_or_else(|| Arc::new(DirectDispatch));
+                    let recorder = Arc::new(RecordingDispatch::new(inner));
+                    stream.dispatch = Some(Arc::clone(&recorder) as Arc<dyn ModelDispatch>);
+                    stream.recorder = Some(recorder);
+                    stream.store = Some(ss);
+                }
+                Err(e) => {
+                    // The stream serves live-only; attach_from will report
+                    // StoreDisabled for it.
+                    eprintln!("vqpy-serve: store disabled for stream {id}: {e}");
+                }
+            }
+        }
         self.streams.lock().insert(
             id,
             Arc::new(StreamHandle {
@@ -565,7 +707,9 @@ impl StreamServer {
                 published_frames: AtomicU64::new(0),
                 published_delivered: AtomicU64::new(0),
                 published_dropped: AtomicU64::new(0),
-                state: Mutex::new(Stream::new(source, options, tracer)),
+                published_next_frame: AtomicU64::new(0),
+                store_corruptions: AtomicU64::new(0),
+                state: Mutex::new(stream),
             }),
         );
         id
@@ -639,6 +783,20 @@ impl StreamServer {
     /// the recompile). Never blocks behind a running step, so a slow
     /// subscriber can always detach itself.
     pub fn detach(&self, stream: StreamId, sub: SubscriptionId) -> ServeResult<()> {
+        // A mid-replay detach: `stream` may be the replay's pseudo-id or
+        // the live stream the replay targets. Cancel the replay; its next
+        // step delivers [`ServeEvent::Detached`] with the aggregate so far.
+        {
+            let replays = self.replays.lock();
+            if let Some(rh) = replays
+                .iter()
+                .find(|(rid, rh)| rh.sub_id == sub && (**rid == stream || rh.live == stream))
+                .map(|(_, rh)| rh)
+            {
+                rh.cancel.store(true, Ordering::Release);
+                return Ok(());
+            }
+        }
         let handle = self.handle(stream)?;
         let mut commands = handle.commands.lock();
         if let Some(pos) = commands.attach.iter().position(|p| p.id == sub) {
@@ -728,6 +886,12 @@ impl StreamServer {
                         engine.set_dispatch(Arc::clone(dispatch));
                     }
                     engine.set_tracer(s.tracer.clone());
+                    if let Some(ss) = &s.store {
+                        // Intrinsics written by this engine persist; values
+                        // a previous engine (or process) computed are read
+                        // back instead of re-running classify stages.
+                        engine.set_reuse_tier(Arc::new(StoreTier::new(Arc::clone(ss))));
+                    }
                     s.engine = Some(engine);
                 }
             }
@@ -947,6 +1111,7 @@ impl StreamServer {
         // With no queries attached the stream stays live but idle: frames
         // are passed over without decoding (no subscriber needs them).
         s.next_frame = range.end;
+        self.persist_segment(s, &range);
         s.wall_ms += wall.elapsed().as_secs_f64() * 1e3;
         if s.next_frame >= total {
             self.finish(&handle, s);
@@ -957,6 +1122,395 @@ impl StreamServer {
             finished: handle.finished.load(Ordering::Acquire),
             recompiled,
         })
+    }
+
+    /// Appends one [`FrameRecord`] per frame of the just-executed range to
+    /// the stream's store: recorded model answers where the frame ran
+    /// through a model stage, filler records (time + ingest stamp, no
+    /// answers) for idle or decode-failed frames, so the ingest-time index
+    /// stays complete and appends stay contiguous. Pending intrinsic
+    /// write-throughs ride along inside the store (see
+    /// `StreamStore::tier_save`).
+    fn persist_segment(&self, s: &mut Stream, range: &std::ops::Range<u64>) {
+        let (Some(ss), Some(fs)) = (s.store.clone(), self.config.store.as_ref()) else {
+            return;
+        };
+        let mut recorded = s.recorder.as_ref().map(|r| r.drain()).unwrap_or_default();
+        let ingest_us = fs.now_us();
+        let fps = s.source.fps().max(1) as f64;
+        let _span = self
+            .store_tracer
+            .span("store", "append")
+            .arg("start", range.start)
+            .arg("frames", range.end - range.start);
+        for f in range.clone() {
+            if f < ss.next_frame() {
+                // Already persisted — a reopened store directory ahead of
+                // this process's progress. Execution is deterministic, so
+                // the stored records are identical to what we would write.
+                continue;
+            }
+            let (time_s, detects, predicts) = match recorded.remove(&f) {
+                Some(r) => (r.time_s, r.detects, r.predicts),
+                None => (f as f64 / fps, Vec::new(), Vec::new()),
+            };
+            let rec = FrameRecord {
+                frame: f,
+                time_s,
+                ingest_us,
+                detects,
+                predicts,
+                intrinsics: Vec::new(),
+            };
+            if let Err(e) = ss.append(rec) {
+                // An I/O failure mid-log would leave later appends
+                // non-contiguous; degrade this stream to live-only.
+                eprintln!("vqpy-serve: store append failed, disabling store for this stream: {e}");
+                s.store = None;
+                s.recorder = None;
+                return;
+            }
+        }
+    }
+
+    /// Attaches a query to a stream **from a past instant**: the stored
+    /// history is replayed — model stages whose outputs are on disk are
+    /// answered from the store instead of re-executed — and the query is
+    /// spliced into the live stream when the replay catches up.
+    ///
+    /// Semantically the subscription behaves *as if it had been attached at
+    /// the stream's origin, delivering from `from`*: hits arrive for every
+    /// frame whose ingest time is at or after `from` (stored past first,
+    /// then live), and the video aggregate covers the whole stream. The
+    /// replay runs on a private engine; an equivalence suite pins its
+    /// results byte-identical to an always-attached subscription's.
+    ///
+    /// Returns the subscription plus the replay's pseudo-stream id. The
+    /// replay is *driven* like a stream: either by a
+    /// [`StreamSupervisor`](crate::StreamSupervisor) (which schedules it on
+    /// a shard automatically when you use its `attach_from`) or manually
+    /// via [`StreamServer::replay_step`] interleaved with the live
+    /// stream's [`StreamServer::step`]. Attaching to an already-finished
+    /// stream is allowed: the replay runs the stored history to the end
+    /// and delivers [`ServeEvent::End`].
+    ///
+    /// Errors with [`ServeError::StoreDisabled`] when the server has no
+    /// [`ServeConfig::store`] or the stream's store directory failed to
+    /// open.
+    pub fn attach_from(
+        &self,
+        stream: StreamId,
+        query: Arc<Query>,
+        from: Instant,
+    ) -> ServeResult<(Subscription, StreamId)> {
+        let fs = self
+            .config
+            .store
+            .as_ref()
+            .ok_or(ServeError::StoreDisabled)?;
+        let handle = self.handle(stream)?;
+        let (source, store) = {
+            let s = handle.state.lock();
+            let store = s.store.clone().ok_or(ServeError::StoreDisabled)?;
+            (Arc::clone(&s.source), store)
+        };
+        // First frame whose ingest timestamp is at or after `from`; if the
+        // whole stored past predates `from`, delivery starts at the live
+        // boundary (frames ingested after this call).
+        let deliver_from = store
+            .frame_at_or_after(fs.instant_us(from))
+            .unwrap_or_else(|| store.next_frame());
+        let plan = self
+            .session
+            .plan_for(std::slice::from_ref(&query), source.as_ref())?;
+        let mut engine = StreamEngine::new(plan, self.session.zoo(), &self.session.config().exec)?;
+        let dispatch = Arc::new(StoreDispatch::new(Arc::new(DirectDispatch), fs.metrics()));
+        engine.set_dispatch(Arc::clone(&dispatch) as Arc<dyn ModelDispatch>);
+        engine.set_tracer(self.store_tracer.clone());
+        engine.set_reuse_tier(Arc::new(StoreTier::new(Arc::clone(&store))));
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = sync_channel(self.config.channel_capacity.max(1));
+        let sub = Subscription::new(id, query.name().to_owned(), rx);
+        let active = ActiveSub::new(
+            PendingAttach {
+                id,
+                query: Arc::clone(&query),
+                tx,
+            },
+            &self.config.telemetry,
+        );
+        let rid = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        self.replays.lock().insert(
+            rid,
+            Arc::new(ReplayHandle {
+                sub_id: id,
+                live: stream,
+                finished: AtomicBool::new(false),
+                cancel: AtomicBool::new(false),
+                state: Mutex::new(Replay {
+                    handle,
+                    store,
+                    source,
+                    engine,
+                    dispatch,
+                    sub: Some(active),
+                    query,
+                    deliver_from,
+                    next_frame: 0,
+                }),
+            }),
+        );
+        Ok((sub, rid))
+    }
+
+    /// Advances one replay by a bounded amount of work (at most four
+    /// live steps' worth of frames), exactly as
+    /// [`StreamServer::step`] advances a live stream. Returns
+    /// `finished: true` once the replay has spliced into the live stream
+    /// (hybrid case), delivered [`ServeEvent::End`] (finished-stream
+    /// replay), or was cancelled — after which the pseudo-id is retired.
+    pub fn replay_step(&self, replay: StreamId) -> ServeResult<StepOutcome> {
+        let rh = self
+            .replays
+            .lock()
+            .get(&replay)
+            .cloned()
+            .ok_or(ServeError::UnknownStream(replay))?;
+        let out = self.replay_step_inner(&rh, replay);
+        if out.is_err() {
+            // Execution errors retire the replay (its channel closes).
+            rh.finished.store(true, Ordering::Release);
+            self.replays.lock().remove(&replay);
+        }
+        out
+    }
+
+    fn replay_step_inner(
+        &self,
+        rh: &Arc<ReplayHandle>,
+        replay: StreamId,
+    ) -> ServeResult<StepOutcome> {
+        let mut r = rh.state.lock();
+        if rh.finished.load(Ordering::Acquire) {
+            return Ok(StepOutcome {
+                frames: 0,
+                finished: true,
+                recompiled: false,
+            });
+        }
+        let live_open = self.streams.lock().contains_key(&rh.live);
+        if rh.cancel.load(Ordering::Acquire) || !live_open {
+            // Cancelled, or the live stream was closed underneath us:
+            // deliver the aggregate-so-far and retire.
+            return self.finish_replay(rh, &mut r, replay, false);
+        }
+        let step_frames = self.frames_per_step().max(1);
+        let budget = step_frames * REPLAY_BUDGET_STEPS;
+        let total = r.source.frame_count();
+        let live_finished = r.handle.finished.load(Ordering::Acquire);
+        // Chase the live stream's published boundary (or end-of-video once
+        // it finished): frames past it are not stored yet.
+        let target = if live_finished {
+            total
+        } else {
+            r.handle
+                .published_next_frame
+                .load(Ordering::Acquire)
+                .min(total)
+        };
+        let mut executed = 0u64;
+        while executed < budget && r.next_frame < target {
+            let start = r.next_frame;
+            let end = (start + step_frames).min(target);
+            executed += end - start;
+            self.run_replay_chunk(&mut r, start..end)?;
+        }
+        if live_finished && r.next_frame >= total {
+            // Pure replay of a finished stream: terminal End.
+            return self.finish_replay(rh, &mut r, replay, true);
+        }
+        if !live_finished && r.next_frame >= target && executed < budget {
+            // Caught up to the live boundary with budget to spare: try to
+            // splice. Taking the live execution lock orders us against a
+            // running step; the live stream may have advanced (or
+            // finished) meanwhile, so re-check under the lock.
+            let handle = Arc::clone(&r.handle);
+            let mut s = handle.state.lock();
+            let s = &mut *s;
+            if !handle.finished.load(Ordering::Acquire) {
+                let gap = s.next_frame.saturating_sub(r.next_frame);
+                if gap <= step_frames {
+                    // Close the (bounded) gap under the lock — the live
+                    // stream cannot advance past us — then splice.
+                    while r.next_frame < s.next_frame {
+                        let start = r.next_frame;
+                        let end = (start + step_frames).min(s.next_frame);
+                        self.run_replay_chunk(&mut r, start..end)?;
+                    }
+                    self.splice(s, &mut r)?;
+                    handle.publish(s);
+                    rh.finished.store(true, Ordering::Release);
+                    self.replays.lock().remove(&replay);
+                    return Ok(StepOutcome {
+                        frames: executed,
+                        finished: true,
+                        recompiled: true,
+                    });
+                }
+            }
+            // Live finished or ran ahead while we waited: next call
+            // resumes the chase.
+        }
+        Ok(StepOutcome {
+            frames: executed,
+            finished: false,
+            recompiled: false,
+        })
+    }
+
+    /// Runs one replay chunk: loads the stored records (damaged segments
+    /// become typed [`ServeEvent::StoreFault`] notices and their frames
+    /// recompute), primes the store-backed dispatch window, and executes
+    /// the range on the replay engine.
+    fn run_replay_chunk(&self, r: &mut Replay, range: std::ops::Range<u64>) -> ServeResult<()> {
+        let load = {
+            let _span = self
+                .store_tracer
+                .span("store", "load_chunk")
+                .arg("start", range.start)
+                .arg("end", range.end);
+            r.store.load_range(range.start, range.end)
+        };
+        for fault in &load.faults {
+            r.handle.store_corruptions.fetch_add(1, Ordering::Relaxed);
+            if let Some(sub) = r.sub.as_mut() {
+                sub.notify(
+                    ServeEvent::StoreFault(StoreFaultNotice {
+                        frame: range.start,
+                        detail: fault.to_string(),
+                    }),
+                    self.config.backpressure,
+                );
+            }
+        }
+        r.dispatch.set_window(&load.records);
+        let _span = self
+            .store_tracer
+            .span("store", "replay")
+            .arg("start", range.start)
+            .arg("frames", range.end - range.start);
+        let Replay {
+            engine,
+            sub,
+            source,
+            deliver_from,
+            ..
+        } = r;
+        let mut sink = ReplaySink {
+            sub: sub.as_mut().expect("replay sub present until finish"),
+            deliver_from: *deliver_from,
+            policy: self.config.backpressure,
+            ingest: Instant::now(),
+        };
+        engine.run_segment(
+            source.as_ref(),
+            self.session.zoo(),
+            self.session.clock(),
+            &self.session.config().exec,
+            range.clone(),
+            &mut sink,
+        )?;
+        r.next_frame = range.end;
+        Ok(())
+    }
+
+    /// Splices a caught-up replay into the live stream (called with the
+    /// live execution lock held, at what is by construction a batch
+    /// boundary for both engines): the live super-plan is recompiled with
+    /// the replayed query appended, seeded with the replay engine's
+    /// operator states so the query's tracker/windows arrive with full
+    /// history, and the subscriber joins the live delivery list.
+    fn splice(&self, s: &mut Stream, r: &mut Replay) -> ServeResult<()> {
+        let _span = self
+            .store_tracer
+            .span("store", "splice")
+            .arg("frame", s.next_frame);
+        let seed = r.engine.take_states();
+        // Survivors in attach order, then the replayed query — the same
+        // join-order rule apply_commands uses.
+        let queries: Vec<Arc<Query>> = s
+            .subs
+            .iter()
+            .map(|a| Arc::clone(&a.query))
+            .chain(std::iter::once(Arc::clone(&r.query)))
+            .collect();
+        let plan = self.session.plan_for(&queries, s.source.as_ref())?;
+        match &mut s.engine {
+            Some(engine) => {
+                engine.recompile_with_seed(plan, self.session.zoo(), seed)?;
+                s.recompiles += 1;
+            }
+            None => {
+                let mut engine =
+                    StreamEngine::new(plan, self.session.zoo(), &self.session.config().exec)?;
+                if let Some(dispatch) = &s.dispatch {
+                    engine.set_dispatch(Arc::clone(dispatch));
+                }
+                engine.set_tracer(s.tracer.clone());
+                if let Some(ss) = &s.store {
+                    engine.set_reuse_tier(Arc::new(StoreTier::new(Arc::clone(ss))));
+                }
+                engine.seed_states(seed);
+                s.engine = Some(engine);
+            }
+        }
+        s.subs
+            .push(r.sub.take().expect("replay sub present at splice"));
+        Ok(())
+    }
+
+    /// Retires a replay, delivering its terminal event: `End` (with the
+    /// full-stream aggregate) when the stream's history was replayed to
+    /// its end, `Detached` (aggregate so far) on cancel or live-close.
+    fn finish_replay(
+        &self,
+        rh: &ReplayHandle,
+        r: &mut Replay,
+        replay: StreamId,
+        ended: bool,
+    ) -> ServeResult<StepOutcome> {
+        if let Some(mut sub) = r.sub.take() {
+            let video_value = sub.accum.video_value_for(&sub.query);
+            let event = if ended {
+                ServeEvent::End { video_value }
+            } else {
+                ServeEvent::Detached { video_value }
+            };
+            sub.deliver(event, self.config.backpressure, Instant::now());
+        }
+        rh.finished.store(true, Ordering::Release);
+        self.replays.lock().remove(&replay);
+        Ok(StepOutcome {
+            frames: 0,
+            finished: true,
+            recompiled: false,
+        })
+    }
+
+    /// Drives a replay until it finishes (splice, end, or cancel). For a
+    /// hybrid replay of a still-live stream, the live stream must be
+    /// stepped concurrently (a shard or driver thread) or the replay will
+    /// spin at the chase boundary.
+    pub fn run_replay(&self, replay: StreamId) -> ServeResult<()> {
+        loop {
+            let out = self.replay_step(replay)?;
+            if out.finished {
+                return Ok(());
+            }
+            if out.frames == 0 {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Drives the stream to end-of-video, then returns its metrics. With
@@ -987,6 +1541,7 @@ impl StreamServer {
             restarts: s.restarts,
             frames_lost: s.frames_lost,
             decode_failures: exec.decode_failures,
+            store_corruptions: handle.store_corruptions.load(Ordering::Relaxed),
             wall_ms: s.wall_ms,
             frames_per_s: if s.wall_ms > 0.0 {
                 exec.frames_total as f64 / (s.wall_ms / 1e3)

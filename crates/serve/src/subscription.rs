@@ -44,12 +44,27 @@ pub struct StreamFault {
     pub frames_lost: u64,
 }
 
+/// A typed notice that a replay hit a damaged stored segment (truncated
+/// tail or bit rot — see [`vqpy_store::SegmentFault`]). Informational and
+/// never terminal: the affected frames are simply treated as not stored,
+/// so the replay recomputes them from the decoded video — results stay
+/// byte-identical, only slower. Counted in
+/// [`ServeMetrics::store_corruptions`](crate::ServeMetrics::store_corruptions),
+/// mirroring how decode failures are surfaced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreFaultNotice {
+    /// First frame of the replay chunk whose load hit the fault.
+    pub frame: u64,
+    /// Human-readable description of the damage (segment path and cause).
+    pub detail: String,
+}
+
 /// An incremental result event. A subscription delivers the exact rows an
 /// offline [`QueryResult`](vqpy_core::QueryResult) would contain, one hit
 /// frame at a time, terminated by [`ServeEvent::End`] (stream exhausted) or
 /// [`ServeEvent::Detached`] (query removed at a batch boundary).
-/// [`ServeEvent::StreamFault`] notices may be interleaved; they are not
-/// terminal when the fault was resumed.
+/// [`ServeEvent::StreamFault`] and [`ServeEvent::StoreFault`] notices may
+/// be interleaved; they are not terminal when the fault was resumed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeEvent {
     /// A frame matched the query, with its projected output rows.
@@ -57,6 +72,9 @@ pub enum ServeEvent {
     /// The stream's worker panicked; the restart policy handled it (see
     /// [`StreamFault::resumed`]).
     StreamFault(StreamFault),
+    /// A replay chunk's stored segment was damaged and its frames are
+    /// being recomputed instead (never terminal; see [`StoreFaultNotice`]).
+    StoreFault(StoreFaultNotice),
     /// The stream ended.
     End {
         /// The query's final video-level aggregate (over the frames
@@ -112,6 +130,7 @@ pub enum ServeEvent {
 ///     match event {
 ///         ServeEvent::Hit(_) => hits += 1,
 ///         ServeEvent::StreamFault(fault) => eprintln!("worker fault: {}", fault.message),
+///         ServeEvent::StoreFault(_) => {}
 ///         ServeEvent::End { .. } | ServeEvent::Detached { .. } => break,
 ///     }
 /// }
@@ -181,7 +200,8 @@ impl Subscription {
                 ServeEvent::Hit(h) => hits.push(h),
                 // Resumed faults are informational; an unresumed fault is
                 // followed by the channel closing, which ends the loop.
-                ServeEvent::StreamFault(_) => {}
+                // Store faults are always informational (frames recompute).
+                ServeEvent::StreamFault(_) | ServeEvent::StoreFault(_) => {}
                 ServeEvent::End { video_value: v } | ServeEvent::Detached { video_value: v } => {
                     video_value = v;
                     break;

@@ -395,11 +395,23 @@ impl StreamShared {
     }
 }
 
+/// What kind of work a shard drives for one registered id: a live stream
+/// (`StreamServer::step`) or a past-replay pseudo-stream
+/// (`StreamServer::replay_step`). Replays multiplex onto the same shard
+/// event loop as live streams — one bounded turn per visit — so backfill
+/// shares the budget instead of starving live work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardTask {
+    Live,
+    Replay,
+}
+
 /// A command posted to a shard's inbox.
 enum ShardCmd {
     Add {
         stream: StreamId,
         pace: PaceMode,
+        task: ShardTask,
         shared: Arc<StreamShared>,
     },
     Remove(StreamId),
@@ -608,6 +620,7 @@ impl StreamSupervisor {
         shards[shard].state.post(ShardCmd::Add {
             stream,
             pace,
+            task: ShardTask::Live,
             shared: Arc::clone(&shared),
         });
         drop(shards);
@@ -627,6 +640,34 @@ impl StreamSupervisor {
     pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> Result<Subscription, AttachError> {
         self.config.policy.admit(&self.load())?;
         Ok(self.server.attach(stream, query)?)
+    }
+
+    /// Attaches a query to a supervised stream **from a past instant**
+    /// (see [`StreamServer::attach_from`]): the stored history replays on
+    /// a shard — scheduled like any other stream, so backfill never
+    /// starves live work — and the query splices into the live stream when
+    /// the replay catches up. Subject to the same admission control as
+    /// [`attach`](StreamSupervisor::attach).
+    pub fn attach_from(
+        &self,
+        stream: StreamId,
+        query: Arc<Query>,
+        from: Instant,
+    ) -> Result<Subscription, AttachError> {
+        self.config.policy.admit(&self.load())?;
+        self.ensure_shards()?;
+        let (sub, replay) = self.server.attach_from(stream, query, from)?;
+        let shards = self.shards.lock();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shards.len();
+        // The replay retires itself (splice, end, or cancel); nobody joins
+        // its shared entry, so no supervisor-side bookkeeping to clean up.
+        shards[shard].state.post(ShardCmd::Add {
+            stream: replay,
+            pace: PaceMode::Unpaced,
+            task: ShardTask::Replay,
+            shared: Arc::new(StreamShared::default()),
+        });
+        Ok(sub)
     }
 
     /// Detaches a subscription at the next step boundary (see
@@ -808,6 +849,19 @@ impl StreamSupervisor {
             reg.counter("vqpy_coalesce_panics_total")
                 .store(stats.faults.coalesce_panics);
         }
+        if let Some(fs) = self.server.store() {
+            let m = fs.metrics();
+            reg.gauge("vqpy_store_bytes")
+                .set(m.bytes.load(Ordering::Relaxed) as f64);
+            reg.gauge("vqpy_store_segments")
+                .set(m.segments.load(Ordering::Relaxed) as f64);
+            reg.counter("vqpy_store_evictions_total")
+                .store(m.evictions.load(Ordering::Relaxed));
+            reg.counter("vqpy_store_replay_hits_total")
+                .store(m.replay_hits.load(Ordering::Relaxed));
+            reg.counter("vqpy_store_corrupt_segments_total")
+                .store(m.corrupt_segments.load(Ordering::Relaxed));
+        }
         telemetry.prometheus_text()
     }
 
@@ -913,7 +967,7 @@ fn run_shard(
         frames_per_step: server.frames_per_step().max(1),
         ..ShardConfig::default()
     });
-    let mut members: HashMap<StreamId, Arc<StreamShared>> = HashMap::new();
+    let mut members: HashMap<StreamId, (Arc<StreamShared>, ShardTask)> = HashMap::new();
     loop {
         // Drain commands first so attach/detach never wait on pacing.
         {
@@ -923,14 +977,15 @@ fn run_shard(
                     ShardCmd::Add {
                         stream,
                         pace,
+                        task,
                         shared,
                     } => {
                         core.register(stream, pace, now_us());
-                        members.insert(stream, shared);
+                        members.insert(stream, (shared, task));
                     }
                     ShardCmd::Remove(stream) => {
                         core.remove(stream);
-                        if let Some(shared) = members.remove(&stream) {
+                        if let Some((shared, _)) = members.remove(&stream) {
                             shared.mark_done();
                         }
                     }
@@ -959,7 +1014,7 @@ fn run_shard(
             }
             continue;
         };
-        let Some(shared) = members.get(&stream).map(Arc::clone) else {
+        let Some((shared, task)) = members.get(&stream).map(|(s, t)| (Arc::clone(s), *t)) else {
             core.remove(stream);
             continue;
         };
@@ -979,7 +1034,10 @@ fn run_shard(
                 .span("shard", "step")
                 .arg("stream", stream)
                 .arg("occupancy", core.occupancy());
-            std::panic::catch_unwind(AssertUnwindSafe(|| server.step(stream)))
+            std::panic::catch_unwind(AssertUnwindSafe(|| match task {
+                ShardTask::Live => server.step(stream),
+                ShardTask::Replay => server.replay_step(stream),
+            }))
         };
         state.steps.fetch_add(1, Ordering::Relaxed);
         match result {
@@ -1026,7 +1084,7 @@ fn run_shard(
     // Stop: detach every remaining stream. `finished` stays as-is,
     // matching the threaded supervisor, where shutdown parks workers
     // without marking their streams finished.
-    for (_, shared) in members.drain() {
+    for (_, (shared, _)) in members.drain() {
         shared.mark_done();
     }
 }

@@ -12,12 +12,12 @@
 
 use crate::server::{ServeResult, StreamId, StreamServer};
 use crate::subscription::{
-    ServeEvent, StreamFault, Subscription, SubscriptionClosed, SubscriptionId,
+    ServeEvent, StoreFaultNotice, StreamFault, Subscription, SubscriptionClosed, SubscriptionId,
 };
 use crate::supervisor::{AttachError, StreamSupervisor};
 use std::marker::PhantomData;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vqpy_core::{TypedHit, TypedQuery};
 use vqpy_models::{DecodeError, FromRow, Value};
 
@@ -31,6 +31,9 @@ pub enum TypedServeEvent<R> {
     /// (passed through undecoded; see
     /// [`StreamFault`]). Not terminal when the fault was resumed.
     StreamFault(StreamFault),
+    /// A replay chunk hit a damaged stored segment; its frames were
+    /// recomputed instead (passed through undecoded; never terminal).
+    StoreFault(StoreFaultNotice),
     /// The stream ended; carries the final video aggregate, if declared.
     End {
         /// The query's video-level aggregate over the frames observed
@@ -115,6 +118,7 @@ impl<R: FromRow> TypedSubscription<R> {
     ///     match event? {
     ///         TypedServeEvent::Hit(hit) => rows += hit.rows.len(),
     ///         TypedServeEvent::StreamFault(fault) => eprintln!("fault: {}", fault.message),
+    ///         TypedServeEvent::StoreFault(_) => {}
     ///         TypedServeEvent::End { .. } | TypedServeEvent::Detached { .. } => break,
     ///     }
     /// }
@@ -152,8 +156,9 @@ impl<R: FromRow> TypedSubscription<R> {
             match decode_event::<R>(event)? {
                 TypedServeEvent::Hit(h) => hits.push(h),
                 // Resumed faults are informational; an unresumed fault is
-                // followed by the channel closing, ending the loop.
-                TypedServeEvent::StreamFault(_) => {}
+                // followed by the channel closing, ending the loop. Store
+                // faults are always informational (frames recompute).
+                TypedServeEvent::StreamFault(_) | TypedServeEvent::StoreFault(_) => {}
                 TypedServeEvent::End { video_value: v }
                 | TypedServeEvent::Detached { video_value: v } => {
                     video_value = v;
@@ -176,6 +181,7 @@ fn decode_event<R: FromRow>(event: ServeEvent) -> Result<TypedServeEvent<R>, Dec
             TypedServeEvent::Hit(vqpy_core::frontend::typed::decode_frame_hit(&hit)?)
         }
         ServeEvent::StreamFault(fault) => TypedServeEvent::StreamFault(fault),
+        ServeEvent::StoreFault(fault) => TypedServeEvent::StoreFault(fault),
         ServeEvent::End { video_value } => TypedServeEvent::End { video_value },
         ServeEvent::Detached { video_value } => TypedServeEvent::Detached { video_value },
     })
@@ -200,6 +206,25 @@ impl StreamServer {
             self.attach(stream, Arc::clone(query.query()))?,
         ))
     }
+
+    /// Typed counterpart of [`attach_from`](StreamServer::attach_from):
+    /// replays the stored past from `from` and splices into the live
+    /// stream, delivering decoded events. Returns the subscription plus
+    /// the replay's pseudo-stream id (drive it with
+    /// [`replay_step`](StreamServer::replay_step)).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`attach_from`](StreamServer::attach_from).
+    pub fn attach_from_typed<R: FromRow>(
+        &self,
+        stream: StreamId,
+        query: &TypedQuery<R>,
+        from: Instant,
+    ) -> ServeResult<(TypedSubscription<R>, StreamId)> {
+        let (sub, replay) = self.attach_from(stream, Arc::clone(query.query()), from)?;
+        Ok((TypedSubscription::wrap(sub), replay))
+    }
 }
 
 impl StreamSupervisor {
@@ -218,5 +243,22 @@ impl StreamSupervisor {
         Ok(TypedSubscription::wrap(
             self.attach(stream, Arc::clone(query.query()))?,
         ))
+    }
+
+    /// Typed counterpart of
+    /// [`attach_from`](StreamSupervisor::attach_from): replays the stored
+    /// past from `from` on a shard and splices into the live stream,
+    /// delivering decoded events. Subject to the same admission control.
+    pub fn attach_from_typed<R: FromRow>(
+        &self,
+        stream: StreamId,
+        query: &TypedQuery<R>,
+        from: Instant,
+    ) -> Result<TypedSubscription<R>, AttachError> {
+        Ok(TypedSubscription::wrap(self.attach_from(
+            stream,
+            Arc::clone(query.query()),
+            from,
+        )?))
     }
 }

@@ -275,6 +275,7 @@ fn drain(sub: vqpy_serve::Subscription) -> (Vec<vqpy_core::FrameHit>, Vec<Stream
         match event {
             ServeEvent::Hit(h) => hits.push(h),
             ServeEvent::StreamFault(f) => faults.push(f),
+            ServeEvent::StoreFault(_) => {}
             ServeEvent::End { .. } | ServeEvent::Detached { .. } => {
                 terminal = true;
                 break;

@@ -1,0 +1,553 @@
+//! Hybrid replay equivalence: a `from: Instant` attach must deliver
+//! byte-identical results to an always-attached subscription over the same
+//! frame range — through store hits, store misses (eviction, corruption,
+//! retention = 0), a mid-replay attach/detach recompile on the live
+//! stream, and in both execution modes.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+use vqpy_core::frontend::{library, predicate::Pred};
+use vqpy_core::{Aggregate, FrameHit, Query, SessionConfig, VqpySession};
+use vqpy_models::{ModelZoo, Value};
+use vqpy_serve::{ServeConfig, ServeError, ServeEvent, ServeSession, StreamServer};
+use vqpy_store::{corrupt_segment, FrameStore, RetentionPolicy, SegmentCorruption, StoreConfig};
+use vqpy_video::source::{SyntheticVideo, VideoSource};
+use vqpy_video::{presets, Scene};
+
+fn color_query(name: &str, color: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5) & Pred::eq("car", "color", color))
+        .frame_output(&[("car", "track_id"), ("car", "bbox")])
+        .build()
+        .unwrap()
+}
+
+fn count_query(name: &str) -> Arc<Query> {
+    Query::builder(name)
+        .vobj("car", library::vehicle_schema_intrinsic())
+        .frame_constraint(Pred::gt("car", "score", 0.5))
+        .video_output(Aggregate::CountDistinctTracks {
+            alias: "car".into(),
+        })
+        .build()
+        .unwrap()
+}
+
+fn video(seed: u64, seconds: f64) -> SyntheticVideo {
+    SyntheticVideo::new(Scene::generate(presets::jackson(), seed, seconds))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vqpy_replay_{tag}_{}_{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "_")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_at(dir: &Path) -> Arc<FrameStore> {
+    FrameStore::open(StoreConfig {
+        background_eviction: false,
+        ..StoreConfig::new(dir.to_path_buf())
+    })
+    .unwrap()
+}
+
+/// Runs `query` always-attached over `v` on a store-less server and
+/// returns its full event stream (hits + aggregate): the oracle every
+/// replay path is compared against.
+fn baseline(
+    config: &SessionConfig,
+    v: &SyntheticVideo,
+    query: &Arc<Query>,
+) -> (Vec<FrameHit>, Option<Value>) {
+    let session = Arc::new(VqpySession::with_config(
+        ModelZoo::standard(),
+        config.clone(),
+    ));
+    let server = session.serve(ServeConfig::default());
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let sub = server.attach(stream, Arc::clone(query)).unwrap();
+    server.run_to_end(stream).unwrap();
+    sub.collect()
+}
+
+fn serve_with_store(config: &SessionConfig, fs: &Arc<FrameStore>) -> StreamServer {
+    let session = Arc::new(VqpySession::with_config(
+        ModelZoo::standard(),
+        config.clone(),
+    ));
+    session.serve(ServeConfig {
+        store: Some(Arc::clone(fs)),
+        ..ServeConfig::default()
+    })
+}
+
+/// Drains a subscription, splitting hits, store-fault notices, and the
+/// terminal aggregate.
+fn drain(sub: vqpy_serve::Subscription) -> (Vec<FrameHit>, usize, Option<Value>) {
+    let mut hits = Vec::new();
+    let mut store_faults = 0;
+    let mut video_value = None;
+    while let Some(event) = sub.recv() {
+        match event {
+            ServeEvent::Hit(h) => hits.push(h),
+            ServeEvent::StoreFault(_) => store_faults += 1,
+            ServeEvent::StreamFault(_) => {}
+            ServeEvent::End { video_value: v } | ServeEvent::Detached { video_value: v } => {
+                video_value = v;
+                break;
+            }
+        }
+    }
+    (hits, store_faults, video_value)
+}
+
+fn exec_modes() -> [SessionConfig; 2] {
+    [SessionConfig::default(), SessionConfig::pipelined(3)]
+}
+
+/// Pure replay of a finished stream from its origin: byte-identical to an
+/// always-attached subscription, with the model stages answered from the
+/// store (replay hits counted, model stages skipped).
+#[test]
+fn pure_replay_matches_always_attached() {
+    for (i, config) in exec_modes().iter().enumerate() {
+        let v = video(57, 10.0);
+        let query = color_query("RedCar", "red");
+        let (exp_hits, exp_agg) = baseline(config, &v, &query);
+        assert!(!exp_hits.is_empty(), "test video must produce hits");
+
+        let dir = tempdir(&format!("pure{i}"));
+        let fs = store_at(&dir);
+        let server = serve_with_store(config, &fs);
+        let stream = server.open_stream(Arc::new(v.clone()));
+        // Live pass: persists every frame's model outputs.
+        let live = server.attach(stream, Arc::clone(&query)).unwrap();
+        server.run_to_end(stream).unwrap();
+        drain(live);
+
+        let epoch = fs.epoch();
+        let (sub, replay) = server
+            .attach_from(stream, Arc::clone(&query), epoch)
+            .unwrap();
+        server.run_replay(replay).unwrap();
+        let (hits, faults, agg) = drain(sub);
+        assert_eq!(hits, exp_hits, "replayed hits diverged (mode {i})");
+        assert_eq!(agg, exp_agg, "replayed aggregate diverged (mode {i})");
+        assert_eq!(faults, 0);
+        assert!(
+            fs.metrics()
+                .replay_hits
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0,
+            "replay should answer model stages from the store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The hybrid path: `attach_from` lands mid-stream, replays the stored
+/// prefix while the live stream keeps executing, and splices — through a
+/// mid-replay attach + detach recompile on the live engine. Both the
+/// replayed query and the always-attached control must stay byte-identical
+/// to their baselines.
+#[test]
+fn hybrid_attach_from_splices_into_live() {
+    for (i, config) in exec_modes().iter().enumerate() {
+        let v = video(29, 12.0);
+        let replay_query = count_query("CountCars");
+        let control_query = color_query("RedCar", "red");
+        let extra_query = color_query("BlackCar", "black");
+        let (exp_replay_hits, exp_replay_agg) = baseline(config, &v, &replay_query);
+        let (exp_control_hits, exp_control_agg) = baseline(config, &v, &control_query);
+
+        let dir = tempdir(&format!("hybrid{i}"));
+        let fs = store_at(&dir);
+        let server = serve_with_store(config, &fs);
+        let stream = server.open_stream(Arc::new(v.clone()));
+        let control = server.attach(stream, Arc::clone(&control_query)).unwrap();
+
+        // Run the live stream about a third of the way in.
+        let total = v.frame_count();
+        while server.position(stream).unwrap() < total / 3 {
+            server.step(stream).unwrap();
+        }
+
+        // Attach from the origin: the stored prefix replays while the
+        // live stream keeps going.
+        let epoch = fs.epoch();
+        let (sub, replay) = server
+            .attach_from(stream, Arc::clone(&replay_query), epoch)
+            .unwrap();
+
+        // Mid-replay, churn the live plan: attach + detach another query,
+        // forcing recompiles while the replay is in flight.
+        let extra = server.attach(stream, Arc::clone(&extra_query)).unwrap();
+        server.step(stream).unwrap();
+        server.detach(stream, extra.id()).unwrap();
+        server.step(stream).unwrap();
+        drop(extra);
+
+        // Interleave live steps and replay turns until the splice.
+        let mut spliced = false;
+        for _ in 0..10_000 {
+            if server.replay_step(replay).unwrap().finished {
+                spliced = true;
+                break;
+            }
+            if !server.is_finished(stream).unwrap() {
+                server.step(stream).unwrap();
+            }
+        }
+        assert!(spliced, "replay never caught up (mode {i})");
+        server.run_to_end(stream).unwrap();
+
+        let (hits, _faults, agg) = drain(sub);
+        assert_eq!(hits, exp_replay_hits, "replayed query diverged (mode {i})");
+        assert_eq!(
+            agg, exp_replay_agg,
+            "replayed aggregate diverged (mode {i})"
+        );
+        let (c_hits, _, c_agg) = drain(control);
+        assert_eq!(
+            c_hits, exp_control_hits,
+            "control query perturbed (mode {i})"
+        );
+        assert_eq!(c_agg, exp_control_agg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `from: Instant::now()` mid-stream delivers exactly the suffix whose
+/// ingest time is at or after the instant — while the aggregate still
+/// covers the whole stream, as if attached at the origin.
+#[test]
+fn attach_from_mid_instant_delivers_suffix() {
+    let config = SessionConfig::default();
+    let v = video(57, 10.0);
+    let query = color_query("RedCar", "red");
+    let (exp_hits, exp_agg) = baseline(&config, &v, &query);
+
+    let dir = tempdir("suffix");
+    let fs = store_at(&dir);
+    let server = serve_with_store(&config, &fs);
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let warm = server.attach(stream, Arc::clone(&query)).unwrap();
+
+    let total = v.frame_count();
+    while server.position(stream).unwrap() < total / 2 {
+        server.step(stream).unwrap();
+    }
+    let from = Instant::now();
+    server.run_to_end(stream).unwrap();
+    drain(warm);
+
+    let (sub, replay) = server
+        .attach_from(stream, Arc::clone(&query), from)
+        .unwrap();
+    server.run_replay(replay).unwrap();
+    let (hits, _faults, agg) = drain(sub);
+
+    // The contract boundary: first stored frame ingested at or after
+    // `from` (the same lookup attach_from performs).
+    let ss = fs.stream(&format!("stream-{stream}")).unwrap();
+    let deliver_from = ss.frame_at_or_after(fs.instant_us(from)).unwrap();
+    assert!(deliver_from > 0 && deliver_from < total, "{deliver_from}");
+    let expected: Vec<FrameHit> = exp_hits
+        .iter()
+        .filter(|h| h.frame >= deliver_from)
+        .cloned()
+        .collect();
+    assert!(expected.len() < exp_hits.len(), "suffix must be proper");
+    assert_eq!(hits, expected, "suffix delivery diverged");
+    assert_eq!(agg, exp_agg, "aggregate must cover the full stream");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged segment (truncated tail) is skipped with a typed notice and
+/// its frames recomputed from the decoded video: results stay identical,
+/// the fault is counted in `ServeMetrics::store_corruptions`.
+#[test]
+fn corrupted_segment_recomputes_with_notice() {
+    let config = SessionConfig::default();
+    let v = video(57, 10.0);
+    let query = color_query("RedCar", "red");
+    let (exp_hits, exp_agg) = baseline(&config, &v, &query);
+
+    let dir = tempdir("corrupt");
+    let fs = store_at(&dir);
+    let server = serve_with_store(&config, &fs);
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let live = server.attach(stream, Arc::clone(&query)).unwrap();
+    server.run_to_end(stream).unwrap();
+    drain(live);
+
+    // Damage the first sealed segment on disk.
+    let ss = fs.stream(&format!("stream-{stream}")).unwrap();
+    let segments = ss.segments();
+    assert!(
+        segments.len() > 1,
+        "need sealed segments: {}",
+        segments.len()
+    );
+    corrupt_segment(&segments[0].path, SegmentCorruption::TruncateTail(37)).unwrap();
+
+    let (sub, replay) = server
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .unwrap();
+    server.run_replay(replay).unwrap();
+    let (hits, faults, agg) = drain(sub);
+    assert_eq!(hits, exp_hits, "corruption must not change results");
+    assert_eq!(agg, exp_agg);
+    assert!(faults >= 1, "subscriber should see a StoreFault notice");
+    let metrics = server.metrics(stream).unwrap();
+    assert!(
+        metrics.store_corruptions >= 1,
+        "corruption must be counted: {}",
+        metrics.store_corruptions
+    );
+    assert!(metrics.summary().contains("corrupt store segments"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replay racing eviction: retention evicts sealed segments while the
+/// replay is mid-flight; evicted chunks fall back to recomputation and
+/// results stay identical.
+#[test]
+fn replay_racing_eviction_stays_correct() {
+    let config = SessionConfig::default();
+    let v = video(33, 8.0);
+    let query = color_query("RedCar", "red");
+    let (exp_hits, exp_agg) = baseline(&config, &v, &query);
+
+    let dir = tempdir("evict");
+    let fs = FrameStore::open(StoreConfig {
+        background_eviction: false,
+        segment_frames: 16,
+        retention: RetentionPolicy {
+            max_bytes: Some(4096),
+            max_age: None,
+        },
+        ..StoreConfig::new(dir.clone())
+    })
+    .unwrap();
+    let server = serve_with_store(&config, &fs);
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let live = server.attach(stream, Arc::clone(&query)).unwrap();
+    server.run_to_end(stream).unwrap();
+    drain(live);
+
+    let (sub, replay) = server
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .unwrap();
+    // Interleave eviction with replay turns so segments disappear while
+    // the replay is using the store.
+    loop {
+        let out = server.replay_step(replay).unwrap();
+        fs.enforce_retention();
+        if out.finished {
+            break;
+        }
+    }
+    let (hits, _faults, agg) = drain(sub);
+    assert_eq!(hits, exp_hits, "eviction must not change results");
+    assert_eq!(agg, exp_agg);
+    assert!(
+        fs.metrics()
+            .evictions
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "retention should have evicted segments"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Retention = 0 bytes: everything sealed is evicted immediately, so the
+/// replay is pure recomputation — still byte-identical.
+#[test]
+fn retention_zero_replays_by_recompute() {
+    let config = SessionConfig::default();
+    let v = video(44, 6.0);
+    let query = color_query("RedCar", "red");
+    let (exp_hits, exp_agg) = baseline(&config, &v, &query);
+
+    let dir = tempdir("zero");
+    let fs = FrameStore::open(StoreConfig {
+        background_eviction: false,
+        retention: RetentionPolicy {
+            max_bytes: Some(0),
+            max_age: None,
+        },
+        ..StoreConfig::new(dir.clone())
+    })
+    .unwrap();
+    let server = serve_with_store(&config, &fs);
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let live = server.attach(stream, Arc::clone(&query)).unwrap();
+    server.run_to_end(stream).unwrap();
+    drain(live);
+    fs.enforce_retention();
+
+    let (sub, replay) = server
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .unwrap();
+    server.run_replay(replay).unwrap();
+    let (hits, _faults, agg) = drain(sub);
+    assert_eq!(hits, exp_hits);
+    assert_eq!(agg, exp_agg);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without a configured store, `attach_from` fails with the typed
+/// `StoreDisabled` error.
+#[test]
+fn attach_from_without_store_is_typed_error() {
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let server = session.serve(ServeConfig::default());
+    let stream = server.open_stream(Arc::new(video(1, 2.0)));
+    let err = server
+        .attach_from(stream, color_query("RedCar", "red"), Instant::now())
+        .unwrap_err();
+    assert!(matches!(err, ServeError::StoreDisabled), "{err}");
+}
+
+/// Detaching mid-replay cancels the replay: the subscriber gets a terminal
+/// `Detached` event and the pseudo-stream retires.
+#[test]
+fn detach_mid_replay_delivers_detached() {
+    let config = SessionConfig::default();
+    let v = video(18, 8.0);
+    let query = color_query("RedCar", "red");
+
+    let dir = tempdir("cancel");
+    let fs = store_at(&dir);
+    let server = serve_with_store(&config, &fs);
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let live = server.attach(stream, Arc::clone(&query)).unwrap();
+    server.run_to_end(stream).unwrap();
+    drain(live);
+
+    let (sub, replay) = server
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .unwrap();
+    server.replay_step(replay).unwrap();
+    // Detach via the replay pseudo-id; the live-stream id works too.
+    server.detach(replay, sub.id()).unwrap();
+    let out = server.replay_step(replay).unwrap();
+    assert!(out.finished, "cancelled replay must retire");
+    let mut saw_detached = false;
+    while let Some(event) = sub.recv() {
+        if matches!(event, ServeEvent::Detached { .. }) {
+            saw_detached = true;
+        }
+    }
+    assert!(saw_detached);
+    // The pseudo-id is gone.
+    assert!(matches!(
+        server.replay_step(replay),
+        Err(ServeError::UnknownStream(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The typed wrapper delivers the same decoded rows through `attach_from`
+/// as the untyped path delivers raw.
+#[test]
+fn typed_attach_from_decodes_rows() {
+    use vqpy_core::TypedQuery;
+    use vqpy_serve::TypedServeEvent;
+    use vqpy_video::BBox;
+
+    let config = SessionConfig::default();
+    let v = video(57, 10.0);
+    let query = color_query("RedCar", "red");
+    let (exp_hits, _) = baseline(&config, &v, &query);
+
+    let dir = tempdir("typed");
+    let fs = store_at(&dir);
+    let server = serve_with_store(&config, &fs);
+    let stream = server.open_stream(Arc::new(v.clone()));
+    let live = server.attach(stream, Arc::clone(&query)).unwrap();
+    server.run_to_end(stream).unwrap();
+    drain(live);
+
+    let car = library::vehicle().alias("car");
+    let typed = TypedQuery::builder("RedCar")
+        .object(&car)
+        .filter(car.score().gt(0.5) & car.color().eq("red"))
+        .select((car.track_id().optional(), car.bbox()))
+        .build()
+        .unwrap();
+    let (sub, replay) = server
+        .attach_from_typed::<(Option<i64>, BBox)>(stream, &typed, fs.epoch())
+        .unwrap();
+    server.run_replay(replay).unwrap();
+
+    let mut frames = Vec::new();
+    while let Some(event) = sub.recv() {
+        match event.unwrap() {
+            TypedServeEvent::Hit(hit) => frames.push(hit.frame),
+            TypedServeEvent::End { .. } | TypedServeEvent::Detached { .. } => break,
+            _ => {}
+        }
+    }
+    let exp_frames: Vec<u64> = exp_hits.iter().map(|h| h.frame).collect();
+    assert_eq!(frames, exp_frames, "typed replay frames diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end through the supervisor: a shard drives both the live stream
+/// and the replay; the `attach_from` subscription converges to the
+/// always-attached baseline.
+#[test]
+fn supervisor_attach_from_end_to_end() {
+    use vqpy_serve::{PaceMode, StreamSupervisor, SupervisorConfig};
+
+    let config = SessionConfig::default();
+    let v = video(92, 10.0);
+    let query = color_query("RedCar", "red");
+    let (exp_hits, exp_agg) = baseline(&config, &v, &query);
+
+    let dir = tempdir("super");
+    let fs = store_at(&dir);
+    let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+    let supervisor = StreamSupervisor::new(
+        session,
+        SupervisorConfig {
+            serve: ServeConfig {
+                store: Some(Arc::clone(&fs)),
+                ..ServeConfig::default()
+            },
+            ..SupervisorConfig::default()
+        },
+    );
+    let (stream, mut subs) = supervisor
+        .add_stream(
+            Arc::new(v.clone()),
+            PaceMode::Unpaced,
+            &[Arc::clone(&query)],
+        )
+        .unwrap();
+    // Attach-from while the stream is (probably) still live; the replay
+    // chases it on a shard and splices — or, if the stream already
+    // finished, replays the full history to `End`. Both converge to the
+    // baseline.
+    let sub = supervisor
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .unwrap();
+    supervisor.join_stream(stream).unwrap();
+    drain(subs.remove(0));
+    let (hits, _faults, agg) = drain(sub);
+    assert_eq!(hits, exp_hits, "supervised replay diverged");
+    assert_eq!(agg, exp_agg);
+    supervisor.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

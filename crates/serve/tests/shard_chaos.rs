@@ -125,6 +125,7 @@ fn split(events: Vec<ServeEvent>) -> (Vec<vqpy_core::FrameHit>, Vec<StreamFault>
         match event {
             ServeEvent::Hit(h) => hits.push(h),
             ServeEvent::StreamFault(f) => faults.push(f),
+            ServeEvent::StoreFault(_) => {}
             ServeEvent::End { .. } | ServeEvent::Detached { .. } => terminal = true,
         }
     }

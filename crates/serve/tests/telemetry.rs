@@ -172,6 +172,115 @@ fn two_stream_run_exports_full_timeline_and_metrics() {
     );
 }
 
+/// The store satellite: with a frame store configured, a run plus an
+/// `attach_from` replay must surface `vqpy_store_*` gauges and counters in
+/// the Prometheus snapshot and a dedicated "store" span lane (append,
+/// load_chunk, replay spans) in the Perfetto export.
+#[test]
+fn store_lane_and_metrics_are_exported() {
+    let dir = std::env::temp_dir().join(format!("vqpy_store_telemetry_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = vqpy_store::FrameStore::open(vqpy_store::StoreConfig {
+        background_eviction: false,
+        ..vqpy_store::StoreConfig::new(dir.clone())
+    })
+    .unwrap();
+
+    let session = Arc::new(VqpySession::new(ModelZoo::standard()));
+    let telemetry = Telemetry::with_tracing();
+    let supervisor = StreamSupervisor::new(
+        session,
+        SupervisorConfig {
+            serve: ServeConfig {
+                telemetry: telemetry.clone(),
+                store: Some(Arc::clone(&fs)),
+                ..ServeConfig::default()
+            },
+            ..SupervisorConfig::default()
+        },
+    );
+    let query = color_query("RedCar", "red");
+    let (stream, subs) = supervisor
+        .add_stream(
+            Arc::new(video(57, 6.0)),
+            PaceMode::Unpaced,
+            &[Arc::clone(&query)],
+        )
+        .unwrap();
+    let sub = supervisor
+        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .unwrap();
+    supervisor.join_stream(stream).unwrap();
+    for s in subs {
+        let _ = s.collect();
+    }
+    let _ = sub.collect();
+
+    // The store's spans live in their own lane.
+    let spans = telemetry.tracer().spans();
+    let store_spans: Vec<_> = spans.iter().filter(|s| s.cat == "store").collect();
+    assert!(!store_spans.is_empty(), "store work must trace");
+    assert!(
+        store_spans.iter().all(|s| s.pid == vqpy_serve::STORE_LANE),
+        "store spans live in the store lane: {:?}",
+        store_spans[0]
+    );
+    let names: BTreeSet<&str> = store_spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["append", "load_chunk", "replay"] {
+        assert!(
+            names.contains(expected),
+            "missing {expected:?} in {names:?}"
+        );
+    }
+    let trace = supervisor.trace_json();
+    assert!(
+        trace.contains("\"name\":\"store\""),
+        "store lane must be named in the export"
+    );
+
+    // The snapshot carries the store gauges and counters.
+    let prom = supervisor.prometheus_snapshot();
+    assert!(prom.contains("# TYPE vqpy_store_bytes gauge"), "{prom}");
+    assert!(prom.contains("# TYPE vqpy_store_segments gauge"), "{prom}");
+    assert!(
+        prom.contains("# TYPE vqpy_store_evictions_total counter"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("# TYPE vqpy_store_replay_hits_total counter"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("# TYPE vqpy_store_corrupt_segments_total counter"),
+        "{prom}"
+    );
+    let bytes_line = prom
+        .lines()
+        .find(|l| l.starts_with("vqpy_store_bytes "))
+        .unwrap();
+    let bytes: f64 = bytes_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(bytes > 0.0, "persisted frames must show up: {bytes_line}");
+    let hits_line = prom
+        .lines()
+        .find(|l| l.starts_with("vqpy_store_replay_hits_total "))
+        .unwrap();
+    let hits: f64 = hits_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(hits > 0.0, "replay must read from the store: {hits_line}");
+
+    supervisor.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Tracing must be observation only: a served run with the span ring
 /// enabled produces byte-identical hits and aggregates to the offline
 /// executor, under both the sequential and pipelined engines.

@@ -1,0 +1,50 @@
+//! # vqpy-store
+//!
+//! A persistent frame/result store for the VQPy serving stack: the durable
+//! tier that turns "attach a query and watch future frames" into "query
+//! last Tuesday's footage, *then* keep watching".
+//!
+//! Each stream gets a directory of append-only segment files persisting,
+//! per frame, everything the models computed: detector outputs,
+//! frame-classifier verdicts, and intrinsic property values keyed the same
+//! way as the in-memory reuse cache (`(alias, track, property)`, with
+//! names instead of interned symbols, which are not durable). Pixels are
+//! **not** stored — decode is cheap and deterministic, so a replay
+//! re-decodes and uses the store as a *persistent reuse cache*, skipping
+//! exactly the expensive model stages whose outputs are on disk.
+//!
+//! Key pieces:
+//!
+//! - [`FrameStore`] / [`StreamStore`] — the store and its per-stream
+//!   handles ([`FrameStore::stream`]); appends roll segment files at
+//!   [`StoreConfig::segment_frames`] frames.
+//! - [`RetentionPolicy`] — max-bytes / max-age bounds over sealed
+//!   segments, enforced by a background eviction thread (or manually via
+//!   [`FrameStore::enforce_retention`] for deterministic tests).
+//! - [`segment`] — the on-disk format: checksummed, length-prefixed
+//!   records whose scanner treats truncation and bit rot as typed
+//!   [`SegmentFault`]s, never panics. [`corrupt_segment`] is the
+//!   deterministic damage injector for tests.
+//! - [`FrameRecord`] — the per-frame artifact record and its codec.
+//! - [`StoreMetrics`] — shared atomic counters the serving layer exports
+//!   as `vqpy_store_*` Prometheus metrics.
+//!
+//! The serving layer (`vqpy-serve`) builds hybrid replay on top: a
+//! `from: Instant` attach replays the stored suffix through the engine and
+//! splices into the live stream. This crate knows nothing about engines —
+//! it stores and retrieves artifacts.
+
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod segment;
+pub mod store;
+
+pub use record::FrameRecord;
+pub use segment::{
+    corrupt_segment, fnv1a, scan_segment, SegmentCorruption, SegmentFault, SegmentFaultKind,
+    SegmentMeta,
+};
+pub use store::{
+    FrameStore, RangeLoad, RetentionPolicy, StoreConfig, StoreFault, StoreMetrics, StreamStore,
+};

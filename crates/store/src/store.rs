@@ -1,0 +1,956 @@
+//! The frame store: per-stream segment directories, retention, eviction.
+
+use crate::record::FrameRecord;
+use crate::segment::{
+    append_record, scan_segment, segment_file_name, write_header, SegmentFault, SegmentFaultKind,
+    SegmentMeta, SEGMENT_HEADER_LEN,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vqpy_models::Value;
+
+/// What the store keeps and for how long.
+///
+/// `None` bounds mean "keep everything". Retention applies to *sealed*
+/// segments only — the active tail segment is never evicted, so a
+/// `max_bytes` of 0 still leaves the most recent partial segment readable
+/// (and evicts every segment the moment it seals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionPolicy {
+    /// Evict oldest sealed segments while a stream's total stored bytes
+    /// exceed this.
+    pub max_bytes: Option<u64>,
+    /// Evict sealed segments whose newest record is older than this
+    /// (measured against the store's monotonic epoch clock).
+    pub max_age: Option<Duration>,
+}
+
+impl RetentionPolicy {
+    /// Keep everything (the default).
+    pub fn keep_all() -> Self {
+        Self::default()
+    }
+}
+
+/// Configuration for [`FrameStore::open`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding one subdirectory per stream key.
+    pub root: PathBuf,
+    /// Frames per segment file before it seals and a new one starts.
+    pub segment_frames: u64,
+    /// Retention bounds enforced over sealed segments.
+    pub retention: RetentionPolicy,
+    /// Run a background eviction thread (woken on every segment seal).
+    /// Disable for deterministic tests and call
+    /// [`FrameStore::enforce_retention`] manually instead.
+    pub background_eviction: bool,
+}
+
+impl StoreConfig {
+    /// Defaults: 64-frame segments, keep everything, background eviction.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            segment_frames: 64,
+            retention: RetentionPolicy::keep_all(),
+            background_eviction: true,
+        }
+    }
+}
+
+/// Monotonic store-wide counters, shared with readers (the serving layer
+/// exports them as `vqpy_store_*` Prometheus metrics). `bytes` and
+/// `segments` are gauges tracking current footprint; the rest only grow.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Bytes currently stored across all streams.
+    pub bytes: AtomicU64,
+    /// Segment files currently on disk across all streams.
+    pub segments: AtomicU64,
+    /// Segments evicted by retention since open.
+    pub evictions: AtomicU64,
+    /// Model-stage invocations answered from stored records during replay
+    /// (incremented by the serving layer's replay dispatcher).
+    pub replay_hits: AtomicU64,
+    /// Segments found damaged (garbled/bad header) by scans since open.
+    pub corrupt_segments: AtomicU64,
+    /// Frame records appended since open.
+    pub appended_frames: AtomicU64,
+}
+
+impl StoreMetrics {
+    fn add_segment(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.segments.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A fault hit while reading stored history. Readers treat every fault as
+/// "these frames are simply not stored": replay recomputes them, so a
+/// damaged store degrades to slower replay, never to wrong results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreFault {
+    /// A segment file was damaged; the unreadable suffix is skipped.
+    Corrupt(SegmentFault),
+    /// A segment file vanished between snapshot and read (eviction racing
+    /// a replay).
+    Missing {
+        /// The segment file that disappeared.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreFault::Corrupt(fault) => write!(f, "corrupt {fault}"),
+            StoreFault::Missing { path } => {
+                write!(f, "segment {} evicted during read", path.display())
+            }
+        }
+    }
+}
+
+/// Records plus faults returned by [`StreamStore::load_range`].
+#[derive(Debug, Default)]
+pub struct RangeLoad {
+    /// The stored records intersecting the requested range, frame order.
+    pub records: Vec<FrameRecord>,
+    /// Damage encountered while reading; the affected frames are absent
+    /// from `records`.
+    pub faults: Vec<StoreFault>,
+}
+
+struct EvictSignal {
+    state: Mutex<bool>, // true => stop
+    cv: Condvar,
+}
+
+impl EvictSignal {
+    fn wake(&self) {
+        self.cv.notify_all();
+    }
+    fn stop(&self) {
+        *self.state.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The persistent frame/result store: one subdirectory of append-only
+/// segment files per stream, an in-memory derived index, retention
+/// enforcement, and an intrinsic-value map that acts as the durable tier
+/// behind the in-memory reuse cache.
+///
+/// All methods take `&self`; per-stream state is internally locked, so one
+/// store instance is shared freely between the ingest path (live serving
+/// appends) and any number of replay readers.
+pub struct FrameStore {
+    config: StoreConfig,
+    epoch: Instant,
+    streams: Arc<Mutex<HashMap<String, Arc<StreamStore>>>>,
+    metrics: Arc<StoreMetrics>,
+    signal: Arc<EvictSignal>,
+    evictor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for FrameStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameStore")
+            .field("root", &self.config.root)
+            .field("segment_frames", &self.config.segment_frames)
+            .field("retention", &self.config.retention)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrameStore {
+    /// Opens (creating if needed) the store rooted at `config.root`,
+    /// rescanning any stream directories already on disk — the index is
+    /// always rebuilt from the files, never loaded from a sidecar.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] when the root cannot be created or an
+    /// existing stream directory cannot be read.
+    pub fn open(config: StoreConfig) -> std::io::Result<Arc<FrameStore>> {
+        std::fs::create_dir_all(&config.root)?;
+        let metrics = Arc::new(StoreMetrics::default());
+        let signal = Arc::new(EvictSignal {
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let streams: Arc<Mutex<HashMap<String, Arc<StreamStore>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        {
+            let mut map = streams.lock();
+            for entry in std::fs::read_dir(&config.root)? {
+                let entry = entry?;
+                if entry.file_type()?.is_dir() {
+                    let key = entry.file_name().to_string_lossy().into_owned();
+                    let stream = StreamStore::open(
+                        &key,
+                        entry.path(),
+                        config.segment_frames,
+                        &metrics,
+                        Arc::downgrade(&signal),
+                    )?;
+                    map.insert(key, Arc::new(stream));
+                }
+            }
+        }
+        let store = Arc::new(FrameStore {
+            config,
+            epoch: Instant::now(),
+            streams,
+            metrics,
+            signal,
+            evictor: Mutex::new(None),
+        });
+        if store.config.background_eviction {
+            let streams = Arc::clone(&store.streams);
+            let signal = Arc::clone(&store.signal);
+            let retention = store.config.retention;
+            let epoch = store.epoch;
+            let handle = std::thread::Builder::new()
+                .name("vqpy-store-evict".into())
+                .spawn(move || loop {
+                    {
+                        let mut stop = signal.state.lock();
+                        if *stop {
+                            return;
+                        }
+                        signal.cv.wait_for(&mut stop, Duration::from_millis(200));
+                        if *stop {
+                            return;
+                        }
+                    }
+                    let now_us = epoch.elapsed().as_micros() as u64;
+                    let targets: Vec<Arc<StreamStore>> = streams.lock().values().cloned().collect();
+                    for s in targets {
+                        s.enforce_retention(&retention, now_us);
+                    }
+                })
+                .expect("spawn store eviction thread");
+            *store.evictor.lock() = Some(handle);
+        }
+        Ok(store)
+    }
+
+    /// The instant all `ingest_us` timestamps are measured from. Maps a
+    /// `from: Instant` attach onto the stored timeline.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Microseconds elapsed since the store epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Converts an [`Instant`] to microseconds since the store epoch,
+    /// saturating to 0 for instants before it.
+    pub fn instant_us(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_micros() as u64)
+    }
+
+    /// The shared metric counters.
+    pub fn metrics(&self) -> Arc<StoreMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The store's retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.config.retention
+    }
+
+    /// Returns the per-stream store for `key`, opening its directory (and
+    /// rescanning any existing segments) on first use.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] when the stream directory cannot be created
+    /// or scanned.
+    pub fn stream(&self, key: &str) -> std::io::Result<Arc<StreamStore>> {
+        let mut map = self.streams.lock();
+        if let Some(s) = map.get(key) {
+            return Ok(Arc::clone(s));
+        }
+        let dir = self.config.root.join(key);
+        std::fs::create_dir_all(&dir)?;
+        let stream = Arc::new(StreamStore::open(
+            key,
+            dir,
+            self.config.segment_frames,
+            &self.metrics,
+            Arc::downgrade(&self.signal),
+        )?);
+        map.insert(key.to_owned(), Arc::clone(&stream));
+        Ok(stream)
+    }
+
+    /// Stream keys currently known to the store, sorted.
+    pub fn stream_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.streams.lock().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Synchronously enforces the retention policy over every stream.
+    /// The background evictor calls the same code; tests call this for
+    /// deterministic eviction points.
+    pub fn enforce_retention(&self) {
+        let now_us = self.now_us();
+        let targets: Vec<Arc<StreamStore>> = self.streams.lock().values().cloned().collect();
+        for s in targets {
+            s.enforce_retention(&self.config.retention, now_us);
+        }
+    }
+}
+
+impl Drop for FrameStore {
+    fn drop(&mut self) {
+        self.signal.stop();
+        if let Some(h) = self.evictor.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ActiveSegment {
+    meta: SegmentMeta,
+    file: File,
+    /// Read-your-writes overlay: the active segment's records stay in
+    /// memory so readers never re-scan the file being appended to.
+    overlay: Vec<FrameRecord>,
+}
+
+struct StreamInner {
+    sealed: Vec<SegmentMeta>,
+    active: Option<ActiveSegment>,
+    next_frame: u64,
+    /// `(frame, ingest_us)` pairs for retained frames, frame-ascending;
+    /// the binary-search index behind [`StreamStore::frame_at_or_after`].
+    ingest_index: Vec<(u64, u64)>,
+    /// Durable tier behind the in-memory reuse cache, keyed by names
+    /// (interned `Sym`s are not stable across processes).
+    intrinsics: HashMap<(String, u64, String), Value>,
+    /// Tier writes since the last append, drained into the next
+    /// [`FrameRecord`] so intrinsics reach disk alongside the frames that
+    /// produced them.
+    pending_intrinsics: Vec<(String, u64, String, Value)>,
+}
+
+/// One stream's persisted history. Obtained from [`FrameStore::stream`];
+/// cheap to clone via `Arc` and safe to share between the live ingest
+/// path and replay readers.
+pub struct StreamStore {
+    key: String,
+    dir: PathBuf,
+    segment_frames: u64,
+    metrics: Arc<StoreMetrics>,
+    inner: Mutex<StreamInner>,
+    signal: std::sync::Weak<EvictSignal>,
+}
+
+impl fmt::Debug for StreamStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamStore")
+            .field("key", &self.key)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamStore {
+    fn open(
+        key: &str,
+        dir: PathBuf,
+        segment_frames: u64,
+        metrics: &Arc<StoreMetrics>,
+        signal: std::sync::Weak<EvictSignal>,
+    ) -> std::io::Result<StreamStore> {
+        assert!(segment_frames > 0, "segment_frames must be positive");
+        // Rebuild the index by scanning every segment file, base-frame
+        // ascending. Crash artifacts (truncated tails) are trimmed so the
+        // writer can resume appending; garbled segments are kept read-only
+        // up to their clean prefix and counted.
+        let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if let Some(name) = name {
+                if let Some(base) = name
+                    .strip_prefix("seg-")
+                    .and_then(|s| s.strip_suffix(".vqs"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    paths.push((base, path));
+                }
+            }
+        }
+        paths.sort();
+
+        let mut sealed = Vec::new();
+        let mut active: Option<ActiveSegment> = None;
+        let mut next_frame = 0u64;
+        let mut ingest_index = Vec::new();
+        let mut intrinsics = HashMap::new();
+        let last = paths.len().wrapping_sub(1);
+        for (i, (_, path)) in paths.iter().enumerate() {
+            let scanned = scan_segment(path)?;
+            if let Some(fault) = &scanned.fault {
+                match fault.kind {
+                    SegmentFaultKind::TruncatedTail => {
+                        // Normal crash artifact: trim back to the clean
+                        // prefix so appends can resume.
+                        let f = OpenOptions::new().write(true).open(path)?;
+                        f.set_len(fault.clean_len)?;
+                    }
+                    SegmentFaultKind::Garbled | SegmentFaultKind::BadHeader => {
+                        metrics.corrupt_segments.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            for rec in &scanned.records {
+                ingest_index.push((rec.frame, rec.ingest_us));
+                for (alias, track, prop, value) in &rec.intrinsics {
+                    intrinsics.insert((alias.clone(), *track, prop.clone()), value.clone());
+                }
+            }
+            next_frame = next_frame.max(scanned.meta.end_frame);
+            metrics.add_segment(scanned.meta.bytes);
+            let full = scanned.meta.records >= segment_frames;
+            let damaged = scanned
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.kind != SegmentFaultKind::TruncatedTail);
+            if i == last && !full && !damaged {
+                // Resume appending into the tail segment.
+                let file = OpenOptions::new().append(true).open(path)?;
+                active = Some(ActiveSegment {
+                    meta: scanned.meta,
+                    file,
+                    overlay: scanned.records,
+                });
+            } else {
+                let mut meta = scanned.meta;
+                meta.sealed = true;
+                sealed.push(meta);
+            }
+        }
+        Ok(StreamStore {
+            key: key.to_owned(),
+            dir,
+            segment_frames,
+            metrics: Arc::clone(metrics),
+            inner: Mutex::new(StreamInner {
+                sealed,
+                active,
+                next_frame,
+                ingest_index,
+                intrinsics,
+                pending_intrinsics: Vec::new(),
+            }),
+            signal,
+        })
+    }
+
+    /// The stream key (directory name under the store root).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Appends one frame record. Frames must arrive in order: `rec.frame`
+    /// must equal [`StreamStore::next_frame`].
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] when the segment file cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// When `rec.frame` is out of order.
+    pub fn append(&self, mut rec: FrameRecord) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        assert_eq!(
+            rec.frame, inner.next_frame,
+            "stream {}: append out of order",
+            self.key
+        );
+        // Tier writes since the last append ride this record to disk, so
+        // a reopened store rebuilds the same intrinsics map.
+        if !inner.pending_intrinsics.is_empty() {
+            let pending = std::mem::take(&mut inner.pending_intrinsics);
+            rec.intrinsics.extend(pending);
+        }
+        if inner.active.is_none() {
+            let base = inner.next_frame;
+            let path = self.dir.join(segment_file_name(base));
+            let mut file = File::create(&path)?;
+            write_header(&mut file, base)?;
+            self.metrics.add_segment(SEGMENT_HEADER_LEN);
+            inner.active = Some(ActiveSegment {
+                meta: SegmentMeta {
+                    base_frame: base,
+                    end_frame: base,
+                    records: 0,
+                    bytes: SEGMENT_HEADER_LEN,
+                    min_ingest_us: 0,
+                    max_ingest_us: 0,
+                    sealed: false,
+                    path,
+                },
+                file,
+                overlay: Vec::new(),
+            });
+        }
+        for (alias, track, prop, value) in &rec.intrinsics {
+            inner
+                .intrinsics
+                .insert((alias.clone(), *track, prop.clone()), value.clone());
+        }
+        inner.ingest_index.push((rec.frame, rec.ingest_us));
+        let written = {
+            let active = inner.active.as_mut().unwrap();
+            let written = append_record(&mut active.file, &rec)?;
+            if active.meta.records == 0 {
+                active.meta.min_ingest_us = rec.ingest_us;
+            }
+            active.meta.max_ingest_us = rec.ingest_us;
+            active.meta.records += 1;
+            active.meta.end_frame = rec.frame + 1;
+            active.meta.bytes += written;
+            active.overlay.push(rec);
+            written
+        };
+        inner.next_frame += 1;
+        self.metrics.bytes.fetch_add(written, Ordering::Relaxed);
+        self.metrics.appended_frames.fetch_add(1, Ordering::Relaxed);
+        if inner.active.as_ref().unwrap().meta.records >= self.segment_frames {
+            let mut meta = inner.active.take().unwrap().meta;
+            meta.sealed = true;
+            inner.sealed.push(meta);
+            if let Some(signal) = self.signal.upgrade() {
+                signal.wake();
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores one intrinsic property value in the durable tier (the
+    /// reuse-cache write-through path). The value also rides the next
+    /// appended [`FrameRecord`]'s `intrinsics` list for persistence; this
+    /// map is the authoritative in-memory view.
+    pub fn tier_save(&self, alias: &str, track: u64, prop: &str, value: Value) {
+        let mut inner = self.inner.lock();
+        let key = (alias.to_owned(), track, prop.to_owned());
+        if inner.intrinsics.get(&key).is_some_and(|v| *v == value) {
+            return; // replay re-deriving a stored value: nothing new
+        }
+        inner
+            .pending_intrinsics
+            .push((alias.to_owned(), track, prop.to_owned(), value.clone()));
+        inner.intrinsics.insert(key, value);
+    }
+
+    /// Reads one intrinsic property value from the durable tier.
+    pub fn tier_load(&self, alias: &str, track: u64, prop: &str) -> Option<Value> {
+        self.inner
+            .lock()
+            .intrinsics
+            .get(&(alias.to_owned(), track, prop.to_owned()))
+            .cloned()
+    }
+
+    /// One past the last appended frame.
+    pub fn next_frame(&self) -> u64 {
+        self.inner.lock().next_frame
+    }
+
+    /// The earliest frame still retained, `None` when nothing is stored.
+    pub fn earliest_frame(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner
+            .sealed
+            .first()
+            .map(|m| m.base_frame)
+            .or_else(|| inner.active.as_ref().map(|a| a.meta.base_frame))
+            .filter(|_| inner.next_frame > 0)
+    }
+
+    /// The first indexed frame ingested at or after `ingest_us`; `None`
+    /// when every indexed frame is older. The index covers every frame
+    /// appended since open — including frames whose segments were since
+    /// evicted — so replay delivery boundaries survive retention. A
+    /// reopened store indexes retained segments only.
+    pub fn frame_at_or_after(&self, ingest_us: u64) -> Option<u64> {
+        let inner = self.inner.lock();
+        let idx = inner.ingest_index.partition_point(|&(_, t)| t < ingest_us);
+        inner.ingest_index.get(idx).map(|&(f, _)| f)
+    }
+
+    /// Snapshot of the current segment index (sealed first, then the
+    /// active tail), for tests and introspection.
+    pub fn segments(&self) -> Vec<SegmentMeta> {
+        let inner = self.inner.lock();
+        let mut out = inner.sealed.clone();
+        out.extend(inner.active.as_ref().map(|a| a.meta.clone()));
+        out
+    }
+
+    /// Loads every stored record with `start <= frame < end`.
+    ///
+    /// The segment list is snapshotted under the lock, then files are read
+    /// *outside* it, so bulk replay reads never block the ingest path. A
+    /// segment evicted or damaged between snapshot and read yields a typed
+    /// [`StoreFault`] and its frames are simply absent — callers recompute
+    /// them.
+    pub fn load_range(&self, start: u64, end: u64) -> RangeLoad {
+        let mut out = RangeLoad::default();
+        if start >= end {
+            return out;
+        }
+        // Snapshot under the lock; clone the active overlay records that
+        // intersect the range (read-your-writes).
+        let (sealed, mut overlay): (Vec<SegmentMeta>, Vec<FrameRecord>) = {
+            let inner = self.inner.lock();
+            let sealed = inner
+                .sealed
+                .iter()
+                .filter(|m| m.base_frame < end && m.end_frame > start)
+                .cloned()
+                .collect();
+            let overlay = inner
+                .active
+                .as_ref()
+                .map(|a| {
+                    a.overlay
+                        .iter()
+                        .filter(|r| r.frame >= start && r.frame < end)
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
+            (sealed, overlay)
+        };
+        for meta in sealed {
+            match scan_segment(&meta.path) {
+                Ok(scanned) => {
+                    if let Some(fault) = scanned.fault {
+                        self.metrics
+                            .corrupt_segments
+                            .fetch_add(1, Ordering::Relaxed);
+                        out.faults.push(StoreFault::Corrupt(fault));
+                    }
+                    out.records.extend(
+                        scanned
+                            .records
+                            .into_iter()
+                            .filter(|r| r.frame >= start && r.frame < end),
+                    );
+                }
+                Err(_) => out.faults.push(StoreFault::Missing { path: meta.path }),
+            }
+        }
+        out.records.append(&mut overlay);
+        out.records.sort_by_key(|r| r.frame);
+        out
+    }
+
+    /// Applies `policy` to this stream's sealed segments: oldest-first
+    /// eviction while over `max_bytes`, plus eviction of segments whose
+    /// newest record is older than `max_age` relative to `now_us`.
+    pub fn enforce_retention(&self, policy: &RetentionPolicy, now_us: u64) {
+        let mut evicted = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let age_cut_us = policy
+                .max_age
+                .map(|age| now_us.saturating_sub(age.as_micros() as u64));
+            loop {
+                let total: u64 = inner.sealed.iter().map(|m| m.bytes).sum::<u64>()
+                    + inner.active.as_ref().map_or(0, |a| a.meta.bytes);
+                let Some(oldest) = inner.sealed.first() else {
+                    break;
+                };
+                let over_bytes = policy.max_bytes.is_some_and(|cap| total > cap);
+                let over_age = age_cut_us.is_some_and(|cut| oldest.max_ingest_us < cut);
+                if !(over_bytes || over_age) {
+                    break;
+                }
+                evicted.push(inner.sealed.remove(0));
+            }
+            // The ingest index is deliberately NOT pruned: replay delivery
+            // boundaries (`frame_at_or_after`) must stay exact even for
+            // frames whose data was evicted — those frames are recomputed,
+            // not skipped. 16 bytes/frame, in memory only; a reopened store
+            // indexes retained segments only.
+        }
+        for meta in evicted {
+            let _ = std::fs::remove_file(&meta.path);
+            self.metrics.bytes.fetch_sub(meta.bytes, Ordering::Relaxed);
+            self.metrics.segments.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{corrupt_segment, SegmentCorruption};
+
+    fn rec(frame: u64) -> FrameRecord {
+        FrameRecord {
+            frame,
+            time_s: frame as f64 / 30.0,
+            ingest_us: 1000 + frame * 1000,
+            intrinsics: vec![("car".into(), frame % 3, "color".into(), Value::from("red"))],
+            ..FrameRecord::default()
+        }
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vqpy_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(tag: &str) -> StoreConfig {
+        let mut c = StoreConfig::new(tmp_root(tag));
+        c.segment_frames = 4;
+        c.background_eviction = false;
+        c
+    }
+
+    #[test]
+    fn append_roll_and_read_back() {
+        let store = FrameStore::open(config("basic")).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..10 {
+            s.append(rec(f)).unwrap();
+        }
+        assert_eq!(s.next_frame(), 10);
+        assert_eq!(s.earliest_frame(), Some(0));
+        let segs = s.segments();
+        assert_eq!(segs.len(), 3, "4+4+2 frames");
+        assert!(segs[0].sealed && segs[1].sealed && !segs[2].sealed);
+        let load = s.load_range(2, 9);
+        assert!(load.faults.is_empty());
+        assert_eq!(
+            load.records.iter().map(|r| r.frame).collect::<Vec<_>>(),
+            (2..9).collect::<Vec<_>>()
+        );
+        assert_eq!(load.records[0], rec(2));
+        assert_eq!(store.metrics().appended_frames.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn tier_roundtrip_and_rebuild_on_reopen() {
+        let cfg = config("tier");
+        let store = FrameStore::open(cfg.clone()).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..6 {
+            s.append(rec(f)).unwrap();
+        }
+        s.tier_save("car", 9, "vtype", Value::from("bus"));
+        assert_eq!(s.tier_load("car", 9, "vtype"), Some(Value::from("bus")));
+        assert_eq!(s.tier_load("car", 0, "color"), Some(Value::from("red")));
+        drop(s);
+        drop(store);
+
+        // Reopen: intrinsics persisted via records are rebuilt; the
+        // tier_save that never rode a record is (by design) gone.
+        let store = FrameStore::open(cfg).unwrap();
+        let s = store.stream("cam0").unwrap();
+        assert_eq!(s.tier_load("car", 0, "color"), Some(Value::from("red")));
+        assert_eq!(s.tier_load("car", 9, "vtype"), None);
+    }
+
+    #[test]
+    fn crash_recovery_reopen_mid_segment_rebuilds_index_byte_identically() {
+        let cfg = config("crash");
+        let before = {
+            let store = FrameStore::open(cfg.clone()).unwrap();
+            let s = store.stream("cam0").unwrap();
+            for f in 0..6 {
+                s.append(rec(f)).unwrap();
+            }
+            s.segments()
+        };
+        // "Crash": the store was dropped with an unsealed tail segment.
+        let store = FrameStore::open(cfg.clone()).unwrap();
+        let s = store.stream("cam0").unwrap();
+        assert_eq!(s.segments(), before, "index must rebuild identically");
+        assert_eq!(s.next_frame(), 6);
+        // Appends resume into the recovered tail.
+        s.append(rec(6)).unwrap();
+        s.append(rec(7)).unwrap();
+        let segs = s.segments();
+        assert_eq!(segs.len(), 2);
+        assert!(segs[1].sealed, "tail filled to 4 records and sealed");
+        assert_eq!(s.load_range(0, 8).records.len(), 8);
+
+        // A crash that tore the tail record mid-write: trim and resume.
+        drop(s);
+        drop(store);
+        let torn = cfg.root.join("cam0").join(segment_file_name(8));
+        {
+            let store = FrameStore::open(cfg.clone()).unwrap();
+            let s = store.stream("cam0").unwrap();
+            for f in 8..10 {
+                s.append(rec(f)).unwrap();
+            }
+        }
+        corrupt_segment(&torn, SegmentCorruption::TruncateTail(5)).unwrap();
+        let store = FrameStore::open(cfg).unwrap();
+        let s = store.stream("cam0").unwrap();
+        assert_eq!(s.next_frame(), 9, "torn record 9 trimmed");
+        s.append(rec(9)).unwrap();
+        assert_eq!(s.load_range(8, 10).records.len(), 2);
+    }
+
+    #[test]
+    fn retention_by_bytes_evicts_oldest_sealed_only() {
+        let mut cfg = config("bytes");
+        cfg.retention.max_bytes = Some(0);
+        let store = FrameStore::open(cfg).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..9 {
+            s.append(rec(f)).unwrap();
+        }
+        store.enforce_retention();
+        let segs = s.segments();
+        assert_eq!(segs.len(), 1, "every sealed segment evicted");
+        assert!(!segs[0].sealed, "active tail survives retention=0");
+        assert_eq!(s.earliest_frame(), Some(8));
+        assert_eq!(store.metrics().evictions.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            store.metrics().segments.load(Ordering::Relaxed),
+            1,
+            "gauge tracks surviving segments"
+        );
+        // Evicted frames are gone; retained ones still read.
+        let load = s.load_range(0, 9);
+        assert_eq!(
+            load.records.iter().map(|r| r.frame).collect::<Vec<_>>(),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn retention_by_age() {
+        let mut cfg = config("age");
+        cfg.retention.max_age = Some(Duration::from_micros(3500));
+        let store = FrameStore::open(cfg).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..8 {
+            s.append(rec(f)).unwrap(); // ingest_us = 1000..=8000
+        }
+        // now_us = 9000 → cutoff 5500: first segment (max ingest 4000)
+        // ages out, second (max ingest 8000) stays.
+        s.enforce_retention(&store.retention(), 9_000);
+        assert_eq!(s.earliest_frame(), Some(4));
+    }
+
+    #[test]
+    fn replay_racing_eviction_yields_typed_fault() {
+        let store = FrameStore::open(config("race")).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..8 {
+            s.append(rec(f)).unwrap();
+        }
+        // Simulate eviction racing a reader that already snapshotted the
+        // segment list: delete the file behind the index's back.
+        let first = s.segments()[0].path.clone();
+        std::fs::remove_file(&first).unwrap();
+        let load = s.load_range(0, 8);
+        assert_eq!(load.faults, vec![StoreFault::Missing { path: first }]);
+        assert_eq!(load.records.len(), 4, "remaining frames still load");
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_skips_with_typed_fault() {
+        let store = FrameStore::open(config("corrupt")).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..8 {
+            s.append(rec(f)).unwrap();
+        }
+        let first = s.segments()[0].path.clone();
+        corrupt_segment(&first, SegmentCorruption::FlipByteFromEnd(2)).unwrap();
+        let load = s.load_range(0, 8);
+        assert_eq!(load.faults.len(), 1);
+        assert!(matches!(load.faults[0], StoreFault::Corrupt(_)));
+        // Frames 0..3 minus the garbled record survive; 4..8 untouched.
+        assert_eq!(load.records.len(), 7);
+        assert!(store.metrics().corrupt_segments.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn empty_stream_and_empty_range_edges() {
+        let store = FrameStore::open(config("edges")).unwrap();
+        let s = store.stream("cam0").unwrap();
+        assert_eq!(s.earliest_frame(), None);
+        assert_eq!(s.next_frame(), 0);
+        assert!(s.load_range(0, 100).records.is_empty());
+        assert!(s.load_range(5, 5).records.is_empty());
+        assert_eq!(s.frame_at_or_after(0), None);
+        store.enforce_retention(); // no-op, must not panic
+    }
+
+    #[test]
+    fn frame_at_or_after_maps_instants_to_frames() {
+        let store = FrameStore::open(config("when")).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..5 {
+            s.append(rec(f)).unwrap(); // ingest_us = 1000,2000,...
+        }
+        assert_eq!(s.frame_at_or_after(0), Some(0));
+        assert_eq!(s.frame_at_or_after(2000), Some(1));
+        assert_eq!(s.frame_at_or_after(2001), Some(2));
+        assert_eq!(s.frame_at_or_after(99_999), None);
+    }
+
+    #[test]
+    fn ingest_index_survives_eviction() {
+        let mut cfg = config("when_evicted");
+        cfg.retention.max_bytes = Some(0);
+        let store = FrameStore::open(cfg).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..9 {
+            s.append(rec(f)).unwrap();
+        }
+        store.enforce_retention();
+        assert_eq!(s.earliest_frame(), Some(8), "data evicted");
+        // Delivery boundaries still resolve inside the evicted range:
+        // those frames are recomputed on replay, never silently skipped.
+        assert_eq!(s.frame_at_or_after(0), Some(0));
+        assert_eq!(s.frame_at_or_after(3500), Some(3));
+    }
+
+    #[test]
+    fn background_evictor_runs_on_seal() {
+        let mut cfg = config("bg");
+        cfg.retention.max_bytes = Some(0);
+        cfg.background_eviction = true;
+        let store = FrameStore::open(cfg).unwrap();
+        let s = store.stream("cam0").unwrap();
+        for f in 0..8 {
+            s.append(rec(f)).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.metrics().evictions.load(Ordering::Relaxed) < 2 {
+            assert!(Instant::now() < deadline, "evictor never ran");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(store); // joins the evictor thread
+    }
+}

@@ -97,6 +97,9 @@ fn consume(label: &'static str, sub: TypedSubscription<CarRow>) -> std::thread::
                     println!("{label}: detached after {hits} hit frames ({video_value:?})");
                     break;
                 }
+                // Store faults only occur on replayed streams (none here);
+                // the affected frames recompute, so they are never terminal.
+                Some(Ok(TypedServeEvent::StoreFault(_))) => {}
                 Some(Ok(TypedServeEvent::StreamFault(fault))) => {
                     // Informational: when `resumed` is true the worker
                     // already restarted and more events follow on this same

@@ -32,6 +32,7 @@ pub use vqpy_models as models;
 pub use vqpy_obs as obs;
 pub use vqpy_serve as serve;
 pub use vqpy_sql as sql;
+pub use vqpy_store as store;
 pub use vqpy_tracker as tracker;
 pub use vqpy_video as video;
 
@@ -53,8 +54,9 @@ pub mod api {
     pub use vqpy_models::{DecodeError, FromRow, FromValue, ModelZoo, Row, Value, ValueKind};
     pub use vqpy_serve::{
         FaultStats, PaceMode, RestartPolicy, ResumeMode, ServeConfig, ServeEvent, ServeSession,
-        StreamFault, StreamLoad, StreamServer, StreamSupervisor, Subscription, SupervisorConfig,
-        Telemetry, TypedServeEvent, TypedSubscription,
+        StoreFaultNotice, StreamFault, StreamLoad, StreamServer, StreamSupervisor, Subscription,
+        SupervisorConfig, Telemetry, TypedServeEvent, TypedSubscription,
     };
+    pub use vqpy_store::{FrameStore, RetentionPolicy, StoreConfig};
     pub use vqpy_video::{presets, FaultyVideo, Scene, SyntheticVideo, VideoSource};
 }
