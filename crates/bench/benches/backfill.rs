@@ -19,7 +19,7 @@ use vqpy_bench::report::{merge_section, section};
 use vqpy_core::frontend::{library, predicate::Pred};
 use vqpy_core::{Query, SessionConfig, VqpySession};
 use vqpy_models::{Clock, ClockMode, ModelZoo};
-use vqpy_serve::{ServeConfig, ServeSession};
+use vqpy_serve::{AttachSpec, ServeConfig, ServeSession};
 use vqpy_store::{FrameStore, StoreConfig};
 use vqpy_video::source::{SyntheticVideo, VideoSource};
 use vqpy_video::{presets, Scene};
@@ -72,9 +72,10 @@ fn main() {
     println!("  live decode:   {live_fps:7.1} frames/s  ({live_wall:.2}s wall, {frames} frames)");
 
     // ---- backfill: replay the stored history from the origin ---------------
-    let (sub, replay) = server
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
-        .expect("attach_from");
+    let sub = server
+        .attach(stream, AttachSpec::new(Arc::clone(&query)).from(fs.epoch()))
+        .expect("attach from epoch");
+    let replay = sub.replay().expect("from-past attach yields a replay");
     let replay_start = Instant::now();
     server.run_replay(replay).expect("replay run");
     let replay_wall = replay_start.elapsed().as_secs_f64();

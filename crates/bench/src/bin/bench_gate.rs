@@ -47,28 +47,44 @@ struct Comparison {
     ok: bool,
 }
 
+/// Every warn/skip names exactly where in which report it came from —
+/// `[ctx file :: section.key]` — so a CI log line is actionable without
+/// opening the JSON.
+fn warn_skip(ctx: &str, file: &str, section_key: &str, why: &str) {
+    eprintln!("bench_gate: WARNING: [{ctx} {file} :: {section_key}] {why}");
+}
+
 /// Reads and parses one report. A missing or malformed file is flagged
 /// loudly but does not abort the gate: the remaining reports' metrics are
 /// still compared (and an empty committed set fails cleanly in `main`).
 fn read_json(path: &Path, ctx: &str) -> Option<Json> {
+    let file = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
     let doc = match std::fs::read_to_string(path) {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!(
-                "bench_gate: WARNING: {ctx} baseline {} is unreadable ({e}); \
-                 its metrics are skipped — regenerate the report and commit it \
-                 to restore gate coverage",
-                path.display()
+            warn_skip(
+                ctx,
+                &file,
+                "<whole file>",
+                &format!(
+                    "unreadable ({e}); all of its metrics are skipped — \
+                     regenerate the report and commit it to restore gate coverage"
+                ),
             );
             return None;
         }
     };
     let parsed = Json::parse(&doc);
     if parsed.is_none() {
-        eprintln!(
-            "bench_gate: WARNING: {ctx} baseline {} is malformed JSON; its \
-             metrics are skipped — regenerate the report and commit it",
-            path.display()
+        warn_skip(
+            ctx,
+            &file,
+            "<whole file>",
+            "malformed JSON; all of its metrics are skipped — regenerate the \
+             report and commit it",
         );
     }
     parsed
@@ -79,21 +95,37 @@ fn exec_metrics(doc: &Json, ctx: &str) -> Vec<Metric> {
     let mut out = Vec::new();
     match doc.path("queries").and_then(Json::as_arr) {
         Some(queries) => {
-            for q in queries {
-                if let (Some(name), Some(speedup)) = (
+            for (i, q) in queries.iter().enumerate() {
+                match (
                     q.get("query").and_then(Json::as_str),
                     q.get("speedup").and_then(Json::as_f64),
                 ) {
-                    out.push(Metric {
+                    (Some(name), Some(speedup)) => out.push(Metric {
                         name: format!("exec.pipelined_speedup.{name}"),
                         value: speedup,
-                    });
+                    }),
+                    (name, _) => {
+                        let missing = if name.is_none() {
+                            format!("queries[{i}].query")
+                        } else {
+                            format!("queries[{i}].speedup")
+                        };
+                        warn_skip(
+                            ctx,
+                            "BENCH_exec.json",
+                            &missing,
+                            "key missing or wrong type; this row's exec speedup \
+                             is not gated this run",
+                        );
+                    }
                 }
             }
         }
-        None => eprintln!(
-            "bench_gate: WARNING: {ctx} BENCH_exec.json has no `queries` \
-             section; exec speedups are not gated this run"
+        None => warn_skip(
+            ctx,
+            "BENCH_exec.json",
+            "queries",
+            "section missing; exec speedups are not gated this run",
         ),
     }
     out
@@ -107,9 +139,11 @@ fn serve_metrics(doc: &Json, ctx: &str) -> Vec<Metric> {
             name: "serve.multiquery_speedup".into(),
             value: speedup,
         }),
-        None => eprintln!(
-            "bench_gate: WARNING: {ctx} BENCH_serve.json has no \
-             `multiquery.speedup`; the multi-query ratio is not gated this run"
+        None => warn_skip(
+            ctx,
+            "BENCH_serve.json",
+            "multiquery.speedup",
+            "key missing; the multi-query ratio is not gated this run",
         ),
     }
     // The backfill ratio (stored-replay fps over live-decode fps) joined
@@ -121,11 +155,62 @@ fn serve_metrics(doc: &Json, ctx: &str) -> Vec<Metric> {
             name: "serve.backfill_speedup".into(),
             value: speedup,
         }),
-        None => eprintln!(
-            "bench_gate: WARNING: {ctx} BENCH_serve.json has no \
-             `backfill.speedup` (baseline predates the frame store?); the \
+        None => warn_skip(
+            ctx,
+            "BENCH_serve.json",
+            "backfill.speedup",
+            "key missing (baseline predates the frame store?); the \
              stored-replay ratio is not gated this run — regenerate with \
-             `cargo bench -p vqpy-bench --bench backfill` and commit"
+             `cargo bench -p vqpy-bench --bench backfill` and commit",
+        ),
+    }
+    // Device-scaling speedups (devices=1 vs n under `DeviceModel::Devices`)
+    // joined the report with the placement work: a committed baseline
+    // without the section merely warns, it never fails the gate.
+    match doc.path("device_scale.table").and_then(Json::as_arr) {
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                match (
+                    row.get("devices").and_then(Json::as_f64),
+                    row.get("speedup").and_then(Json::as_f64),
+                ) {
+                    (Some(devices), Some(speedup)) => {
+                        // devices=1 is the ratio's own denominator (1.0x
+                        // by construction) — report-only.
+                        if devices as u64 > 1 {
+                            out.push(Metric {
+                                name: format!(
+                                    "serve.device_scale_speedup.{}_devices",
+                                    devices as u64
+                                ),
+                                value: speedup,
+                            });
+                        }
+                    }
+                    (devices, _) => {
+                        let missing = if devices.is_none() {
+                            format!("device_scale.table[{i}].devices")
+                        } else {
+                            format!("device_scale.table[{i}].speedup")
+                        };
+                        warn_skip(
+                            ctx,
+                            "BENCH_serve.json",
+                            &missing,
+                            "key missing or wrong type; this row's device \
+                             scaling is not gated this run",
+                        );
+                    }
+                }
+            }
+        }
+        None => warn_skip(
+            ctx,
+            "BENCH_serve.json",
+            "device_scale.table",
+            "section missing (baseline predates device placement?); device \
+             scaling is not gated this run — regenerate with `cargo bench -p \
+             vqpy-bench --bench device_scale` and commit",
         ),
     }
     match doc.path("scaling.table").and_then(Json::as_arr) {
@@ -163,9 +248,11 @@ fn serve_metrics(doc: &Json, ctx: &str) -> Vec<Metric> {
                 }
             }
         }
-        None => eprintln!(
-            "bench_gate: WARNING: {ctx} BENCH_serve.json has no \
-             `scaling.table`; stream-scaling ratios are not gated this run"
+        None => warn_skip(
+            ctx,
+            "BENCH_serve.json",
+            "scaling.table",
+            "section missing; stream-scaling ratios are not gated this run",
         ),
     }
     out
@@ -188,10 +275,12 @@ fn warn_missing_percentiles(exec: Option<&Json>, serve: Option<&Json>) {
         })
     });
     if !exec_has {
-        eprintln!(
-            "bench_gate: WARNING: committed BENCH_exec.json has no \
-             `frame_latency_ms` percentiles; regenerate with `cargo bench -p \
-             vqpy-bench --bench throughput` to record per-frame p50/p95/p99"
+        warn_skip(
+            "committed",
+            "BENCH_exec.json",
+            "queries[*].sequential_exec.frame_latency_ms",
+            "percentile objects missing; regenerate with `cargo bench -p \
+             vqpy-bench --bench throughput` to record per-frame p50/p95/p99",
         );
     }
     // Only the batcher-comparison rows (the ones carrying a speedup)
@@ -206,10 +295,12 @@ fn warn_missing_percentiles(exec: Option<&Json>, serve: Option<&Json>) {
             })
     });
     if !serve_has {
-        eprintln!(
-            "bench_gate: WARNING: committed BENCH_serve.json scaling rows have \
-             no `latency_ms` percentiles; regenerate with `cargo bench -p \
-             vqpy-bench --bench serve_scale` to record delivery p50/p95/p99"
+        warn_skip(
+            "committed",
+            "BENCH_serve.json",
+            "scaling.table[*].latency_ms",
+            "percentile objects missing; regenerate with `cargo bench -p \
+             vqpy-bench --bench serve_scale` to record delivery p50/p95/p99",
         );
     }
 }
@@ -276,7 +367,13 @@ fn main() {
     }
 
     if !skip_run {
-        for bench in ["throughput", "serve", "serve_scale", "backfill"] {
+        for bench in [
+            "throughput",
+            "serve",
+            "serve_scale",
+            "backfill",
+            "device_scale",
+        ] {
             run_bench(&root, bench, &scale);
         }
     }

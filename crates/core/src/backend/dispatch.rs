@@ -123,7 +123,8 @@ pub trait ModelDispatch: Send + Sync {
 
 /// The default boundary: one physical batched invocation per call, issued
 /// directly on the calling thread through the models' fallible entry
-/// points.
+/// points. Each invocation runs inside a [`vqpy_models::placement_scope`]
+/// keyed by (stage, model name) so a multi-device clock can route it.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DirectDispatch;
 
@@ -134,7 +135,9 @@ impl ModelDispatch for DirectDispatch {
         frames: &[&Frame],
         clock: &Clock,
     ) -> Result<Vec<Vec<Detection>>, ModelFault> {
-        detector.try_detect_batch(frames, clock)
+        vqpy_models::placement_scope(ModelStage::Detect.index(), &detector.profile().name, || {
+            detector.try_detect_batch(frames, clock)
+        })
     }
 
     fn predict(
@@ -143,7 +146,9 @@ impl ModelDispatch for DirectDispatch {
         frames: &[&Frame],
         clock: &Clock,
     ) -> Result<Vec<bool>, ModelFault> {
-        model.try_predict_batch(frames, clock)
+        vqpy_models::placement_scope(ModelStage::Predict.index(), &model.profile().name, || {
+            model.try_predict_batch(frames, clock)
+        })
     }
 
     fn classify(
@@ -153,7 +158,9 @@ impl ModelDispatch for DirectDispatch {
         dets: &[Detection],
         clock: &Clock,
     ) -> Result<Vec<Value>, ModelFault> {
-        model.try_classify_batch(frame, dets, clock)
+        vqpy_models::placement_scope(ModelStage::Classify.index(), &model.profile().name, || {
+            model.try_classify_batch(frame, dets, clock)
+        })
     }
 }
 

@@ -520,6 +520,20 @@ pub fn split_stage_specs(plan: &PlanDag) -> (&[OpSpec], &[OpSpec], &[OpSpec]) {
 pub struct StageOps {
     pub filters: Vec<Box<dyn Operator>>,
     pub detects: Vec<Vec<Box<dyn Operator>>>,
+    /// Ordered pre-enrich segment of the tail: the tracker plus every
+    /// stateful or reuse-cache-touching projection, in plan order (see
+    /// [`PlanDag::partition_tail`]). Runs in frame order in both drivers.
+    pub prep: Vec<Box<dyn Operator>>,
+    /// Hoisted enrich chains, one per pipeline worker: order-free,
+    /// cache-free per-object projections and filters the planner lifted
+    /// out of the tail. Each worker owns its chain as a reusable workspace
+    /// (operators here are stateless, so chains never need state
+    /// carry-over but are still consulted by
+    /// [`StageOps::import_states`] for forward compatibility). Sequential
+    /// driving uses chain 0 only.
+    pub enrichs: Vec<Vec<Box<dyn Operator>>>,
+    /// The thin, genuinely order-dependent tail: relation projections and
+    /// joins.
     pub tail: Vec<Box<dyn Operator>>,
     /// The model-dispatch boundary every driver routes detect-,
     /// binary-filter-, and classify-stage model invocations through (see
@@ -554,6 +568,8 @@ impl StageOps {
             .filters
             .iter_mut()
             .chain(self.detects.first_mut().into_iter().flatten())
+            .chain(self.prep.iter_mut())
+            .chain(self.enrichs.first_mut().into_iter().flatten())
             .chain(self.tail.iter_mut());
         for op in chains {
             if let (Some(key), Some(state)) = (op.state_key(), op.export_state()) {
@@ -571,6 +587,8 @@ impl StageOps {
             .filters
             .iter_mut()
             .chain(self.detects.iter_mut().flatten())
+            .chain(self.prep.iter_mut())
+            .chain(self.enrichs.iter_mut().flatten())
             .chain(self.tail.iter_mut());
         for op in chains {
             if let Some(key) = op.state_key() {
@@ -592,11 +610,16 @@ pub fn instantiate_stage_ops(
     symbols: &mut SymbolTable,
 ) -> Result<StageOps> {
     let workers = workers.max(1);
-    let (frame_specs, detect_specs, tail_specs) = split_stage_specs(plan);
+    let (frame_specs, detect_specs, tail_all) = split_stage_specs(plan);
+    let (prep_specs, enrich_specs, tail_specs) = plan.partition_tail(tail_all);
     Ok(StageOps {
         filters: instantiate_ops_with(plan, frame_specs, zoo, symbols)?,
         detects: (0..workers)
             .map(|_| instantiate_ops_with(plan, detect_specs, zoo, symbols))
+            .collect::<Result<_>>()?,
+        prep: instantiate_ops_with(plan, prep_specs, zoo, symbols)?,
+        enrichs: (0..workers)
+            .map(|_| instantiate_ops_with(plan, enrich_specs, zoo, symbols))
             .collect::<Result<_>>()?,
         tail: instantiate_ops_with(plan, tail_specs, zoo, symbols)?,
         dispatch: Arc::new(DirectDispatch),
@@ -785,6 +808,24 @@ fn run_sequential_batches(
                     .arg("start", index)
                     .arg("frames", n);
                 for op in ops.detects[0].iter_mut() {
+                    op.process_batch(&mut slots[..n], &mut ctx)?;
+                }
+            }
+            {
+                let _span = tracer
+                    .span("exec", "track")
+                    .arg("start", index)
+                    .arg("frames", n);
+                for op in ops.prep.iter_mut() {
+                    op.process_batch(&mut slots[..n], &mut ctx)?;
+                }
+            }
+            {
+                let _span = tracer
+                    .span("exec", "enrich")
+                    .arg("start", index)
+                    .arg("frames", n);
+                for op in ops.enrichs[0].iter_mut() {
                     op.process_batch(&mut slots[..n], &mut ctx)?;
                 }
             }

@@ -2,14 +2,14 @@
 //!
 //! Real video-analytics engines overlap decode, detection, and downstream
 //! relational work instead of interpreting one frame at a time. This
-//! executor splits the operator chain into three stages connected by
+//! executor splits the operator chain into five stages connected by
 //! bounded channels:
 //!
 //! ```text
-//!  decode workers ──▶ frame-filter stage ──▶ detect workers ──▶ tail
-//!   (parallel,          (single thread,        (parallel,       (caller
-//!    unordered)          frame order)           unordered)       thread,
-//!                                                                frame order)
+//!  decode workers ─▶ frame filters ─▶ detect workers ─▶ track/prep ─▶ enrich workers ─▶ tail
+//!   (parallel,        (single thread,   (parallel,       (single thread,  (parallel,      (caller
+//!    unordered)        frame order)      unordered)       frame order)     unordered)      thread,
+//!                                                                                          frame order)
 //! ```
 //!
 //! - **Decode** fans out across `workers` threads: each claims the next
@@ -21,9 +21,20 @@
 //! - **Detect** fans out again: detection is deterministic per frame, so
 //!   `workers` threads each run their own detect operators on whole
 //!   batches.
-//! - **Tail** (track → project → filter → join) runs on the calling thread,
-//!   reordering batches back into frame order: the tracker, stateful
-//!   properties, and the reuse cache all require sequential frames.
+//! - **Track/prep** runs the ordered pre-enrich tail segment — the tracker
+//!   plus every stateful or reuse-cache-touching projection
+//!   ([`crate::backend::plan::PlanDag::partition_tail`]) — on one thread in
+//!   frame order: it owns the real reuse cache, so hit/eviction order is
+//!   byte-identical to sequential execution.
+//! - **Enrich** fans the hoisted per-object projections and filters (e.g.
+//!   non-memoizable classifier properties) across `workers` threads, each
+//!   owning its operator chain as a reusable workspace. These ops are
+//!   order-free and cache-free by the planner's hoisting rule, so batches
+//!   process unordered; while enrich chews on batch *b*, prep is already
+//!   sequencing batch *b+1* — the stage that used to dominate the tail
+//!   overlaps with everything else.
+//! - **Tail** (relation projections, joins) runs on the calling thread,
+//!   reordering batches back into frame order for result delivery.
 //!
 //! Slots recycle through a return channel, so the steady state allocates no
 //! new frame workspaces. Cancellation is cooperative: every blocking send /
@@ -128,6 +139,8 @@ struct StageNanos {
     decode: AtomicU64,
     frame_filters: AtomicU64,
     detect: AtomicU64,
+    track: AtomicU64,
+    enrich: AtomicU64,
     tail: AtomicU64,
 }
 
@@ -187,6 +200,8 @@ pub(crate) fn run_segment_pipelined(
     let tracer = ops.tracer.clone();
     let filter_ops = &mut ops.filters;
     let detect_ops_per_worker = &mut ops.detects;
+    let prep_ops = &mut ops.prep;
+    let enrich_ops_per_worker = &mut ops.enrichs;
     let tail_ops = &mut ops.tail;
 
     let batch = config.batch_size.max(1) as u64;
@@ -198,9 +213,13 @@ pub(crate) fn run_segment_pipelined(
     let (decoded_tx, decoded_rx) = sync_channel::<Batch>(depth);
     let (filtered_tx, filtered_rx) = sync_channel::<Batch>(depth);
     let (detected_tx, detected_rx) = sync_channel::<Batch>(depth);
+    let (prepped_tx, prepped_rx) = sync_channel::<Batch>(depth);
+    let (enriched_tx, enriched_rx) = sync_channel::<Batch>(depth);
     let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<Vec<FrameSlot>>();
     let decoded_rx = Mutex::new(decoded_rx);
     let filtered_rx = Mutex::new(filtered_rx);
+    let detected_rx = Mutex::new(detected_rx);
+    let prepped_rx = Mutex::new(prepped_rx);
     let recycle_rx = Mutex::new(recycle_rx);
 
     let cancel = AtomicBool::new(false);
@@ -373,11 +392,112 @@ pub(crate) fn run_segment_pipelined(
         }
         drop(detected_tx);
 
-        // ---- stage 3: tail (this thread, frame order) --------------------
+        // ---- stage 3: track/prep (single thread, frame order) ------------
+        // Owns the stream's *real* reuse cache for the whole segment: the
+        // tracker, stateful windows, and intrinsic projections must see
+        // frames in order for results — and the cache's hit/eviction
+        // sequence — to stay byte-identical to sequential execution.
+        {
+            let prepped_tx = prepped_tx.clone();
+            let (cancel, stages, error, detected_rx) = (&cancel, &stages, &error, &detected_rx);
+            let dispatch = std::sync::Arc::clone(&dispatch);
+            let tracer = &tracer;
+            let prep_ops = &mut *prep_ops;
+            let reuse = &mut *reuse;
+            scope.spawn(move || {
+                let mut reorder = Reorder::new();
+                'outer: while let Some(b) = recv_coop(detected_rx, cancel) {
+                    reorder.push(b);
+                    while let Some((seq, mut slots)) = reorder.pop_ready() {
+                        let outcome = contain("track", || {
+                            timed(&stages.track, || {
+                                let _span = tracer
+                                    .span("exec", "track")
+                                    .arg("batch", seq)
+                                    .arg("frames", slots.len());
+                                let mut ctx = ExecCtx {
+                                    dispatch: &*dispatch,
+                                    tracer,
+                                    zoo,
+                                    clock,
+                                    fps: source.fps(),
+                                    reuse: &mut *reuse,
+                                    enable_reuse: config.enable_intrinsic_reuse,
+                                };
+                                for op in prep_ops.iter_mut() {
+                                    op.process_batch(&mut slots, &mut ctx)?;
+                                }
+                                Ok::<(), VqpyError>(())
+                            })
+                        });
+                        if let Err(e) = outcome {
+                            set_error(error, cancel, e);
+                            break 'outer;
+                        }
+                        if !send_coop(&prepped_tx, (seq, slots), cancel) {
+                            break 'outer;
+                        }
+                    }
+                }
+            });
+        }
+        drop(prepped_tx);
+
+        // ---- stage 4: enrich workers (parallel, unordered) ---------------
+        // Each worker owns one hoisted operator chain as a reusable
+        // workspace. The planner guarantees these ops are order-free and
+        // cache-free, so workers take batches as they come; the dummy
+        // reuse cache is never consulted.
+        for enrich_ops in enrich_ops_per_worker.iter_mut() {
+            let enriched_tx = enriched_tx.clone();
+            let (cancel, stages, error, prepped_rx) = (&cancel, &stages, &error, &prepped_rx);
+            let dispatch = std::sync::Arc::clone(&dispatch);
+            let tracer = &tracer;
+            scope.spawn(move || {
+                let mut reuse = crate::backend::reuse::ReuseCache::new(); // unused by enrich ops
+                while let Some((seq, mut slots)) = recv_coop(prepped_rx, cancel) {
+                    let outcome = contain("enrich", || {
+                        timed(&stages.enrich, || {
+                            let _span = tracer
+                                .span("exec", "enrich")
+                                .arg("batch", seq)
+                                .arg("frames", slots.len());
+                            let mut ctx = ExecCtx {
+                                dispatch: &*dispatch,
+                                tracer,
+                                zoo,
+                                clock,
+                                fps: source.fps(),
+                                reuse: &mut reuse,
+                                enable_reuse: config.enable_intrinsic_reuse,
+                            };
+                            for op in enrich_ops.iter_mut() {
+                                op.process_batch(&mut slots, &mut ctx)?;
+                            }
+                            Ok::<(), VqpyError>(())
+                        })
+                    });
+                    if let Err(e) = outcome {
+                        set_error(error, cancel, e);
+                        break;
+                    }
+                    if !send_coop(&enriched_tx, (seq, slots), cancel) {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(enriched_tx);
+
+        // ---- stage 5: tail (this thread, frame order) --------------------
+        // Joins and relation projections never touch the reuse cache (it
+        // lives with the prep thread for the segment), so the tail runs
+        // with a dummy.
+        let mut tail_reuse = crate::backend::reuse::ReuseCache::new();
         let mut reorder = Reorder::new();
         let tail_outcome: Result<()> = contain("tail", || {
             loop {
-                let msg = match detected_rx.recv_timeout(RECV_POLL) {
+                let msg = match enriched_rx.recv_timeout(RECV_POLL) {
                     Ok(m) => m,
                     Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                         if cancel.load(Ordering::Relaxed) {
@@ -401,7 +521,7 @@ pub(crate) fn run_segment_pipelined(
                             zoo,
                             clock,
                             fps: source.fps(),
-                            reuse: &mut *reuse,
+                            reuse: &mut tail_reuse,
                             enable_reuse: config.enable_intrinsic_reuse,
                         };
                         for op in tail_ops.iter_mut() {
@@ -422,7 +542,7 @@ pub(crate) fn run_segment_pipelined(
         }
         // Unblock any worker still parked on a full channel.
         cancel.store(true, Ordering::Relaxed);
-        drop(detected_rx);
+        drop(enriched_rx);
     });
 
     if let Some(e) = error.into_inner() {
@@ -435,6 +555,8 @@ pub(crate) fn run_segment_pipelined(
     metrics.add_stage_wall("decode", ns(&stages.decode));
     metrics.add_stage_wall("frame_filters", ns(&stages.frame_filters));
     metrics.add_stage_wall("detect", ns(&stages.detect));
+    metrics.add_stage_wall("track", ns(&stages.track));
+    metrics.add_stage_wall("enrich", ns(&stages.enrich));
     metrics.add_stage_wall("tail", ns(&stages.tail));
     Ok(())
 }
@@ -525,7 +647,15 @@ mod tests {
             .collect();
         assert_eq!(
             stages,
-            vec!["decode", "frame_filters", "detect", "tail", "total"]
+            vec![
+                "decode",
+                "frame_filters",
+                "detect",
+                "track",
+                "enrich",
+                "tail",
+                "total"
+            ]
         );
         assert!(results[0]
             .metrics

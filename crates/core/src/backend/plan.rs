@@ -10,9 +10,9 @@
 use crate::backend::symbols::SymbolTable;
 use crate::error::{Result, VqpyError};
 use crate::frontend::predicate::{Pred, PropRef};
-use crate::frontend::property::{BuiltinProp, PropertySource};
+use crate::frontend::property::{BuiltinProp, PropertyKind, PropertySource};
 use crate::frontend::query::{Aggregate, Query, RelationDecl};
-use crate::frontend::vobj::VObjSchema;
+use crate::frontend::vobj::{ResolvedProperty, VObjSchema};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use vqpy_models::{ModelZoo, Value};
@@ -140,6 +140,109 @@ impl PlanDag {
                 other => other.label(),
             })
             .collect()
+    }
+
+    /// Resolves a projected property's execution traits: its
+    /// [`PropertyKind`] and whether it is model-backed. `None` for builtins
+    /// and unresolvable names.
+    fn prop_traits(&self, alias: &str, prop: &str) -> Option<(PropertyKind, bool)> {
+        let schema = self.schemas.get(alias)?;
+        match schema.resolve_property(prop) {
+            Some(ResolvedProperty::Defined(def)) => {
+                Some((def.kind, matches!(def.source, PropertySource::Model(_))))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a tail operator *sequences* the stream: it either carries
+    /// cross-frame state that must observe frames in order (tracker,
+    /// stateful sliding windows) or touches the shared reuse cache, whose
+    /// hit pattern and LRU order are part of the results' byte-identity
+    /// (intrinsic model projections, §4.2). Everything up to and including
+    /// the last sequencing op stays in the ordered prep segment of the
+    /// tail; see [`PlanDag::partition_tail`].
+    pub fn op_is_sequencing(&self, op: &OpSpec) -> bool {
+        match op {
+            OpSpec::Track { .. } => true,
+            OpSpec::Project { alias, prop } | OpSpec::FusedProjectFilter { alias, prop, .. } => {
+                match self.prop_traits(alias, prop) {
+                    Some((kind, is_model)) => {
+                        kind.is_stateful() || (kind.is_intrinsic() && is_model)
+                    }
+                    // Unresolvable here means instantiation will fail anyway;
+                    // stay conservative and keep it ordered.
+                    None => true,
+                }
+            }
+            OpSpec::Filter { .. } | OpSpec::ProjectRelation { .. } | OpSpec::Join { .. } => false,
+            // Frame-level ops never appear in the tail; if one does, keep it
+            // ordered.
+            _ => true,
+        }
+    }
+
+    /// Whether a tail operator may hoist into the parallel enrich stage:
+    /// it is deterministic per object from the frame's own state — no
+    /// cross-frame operator state, no reuse-cache access — so enrich
+    /// workers can process disjoint batches concurrently without changing
+    /// results. Stateless non-intrinsic projections (model or native) and
+    /// plain object filters qualify; relation projections and joins stay in
+    /// the sequential tail.
+    pub fn op_is_hoistable(&self, op: &OpSpec) -> bool {
+        match op {
+            OpSpec::Filter { .. } => true,
+            OpSpec::Project { alias, prop } | OpSpec::FusedProjectFilter { alias, prop, .. } => {
+                match self.prop_traits(alias, prop) {
+                    // Not stateful, and not an intrinsic model property
+                    // (those read through the shared reuse cache, whose
+                    // hit/eviction order is part of result identity).
+                    Some((kind, is_model)) => {
+                        !(kind.is_stateful() || (kind.is_intrinsic() && is_model))
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Splits the post-detect tail into `(prep, enrich, tail)` — the
+    /// planner's hoisting decision (ROADMAP open item 2):
+    ///
+    /// - **prep** runs in frame order and ends at the *last* sequencing op
+    ///   (see [`PlanDag::op_is_sequencing`]): the tracker plus every
+    ///   stateful or reuse-cache-touching projection, in their original
+    ///   relative order, so cache access order — and therefore hit/eviction
+    ///   behavior — is byte-identical to an unsplit tail.
+    /// - **enrich** is the maximal contiguous run of hoistable ops after
+    ///   prep (see [`PlanDag::op_is_hoistable`]): order-free, cache-free
+    ///   per-object projections and filters that executors may fan out
+    ///   across parallel workers.
+    /// - **tail** is the remainder (relation projections, joins): thin,
+    ///   sequential, frame-ordered.
+    ///
+    /// Every op keeps its original position within its segment, and
+    /// `prep ++ enrich ++ tail` is exactly the input slice, so running the
+    /// three segments back-to-back on one thread is the unsplit tail.
+    pub fn partition_tail<'a>(
+        &self,
+        tail: &'a [OpSpec],
+    ) -> (&'a [OpSpec], &'a [OpSpec], &'a [OpSpec]) {
+        let prep_len = tail
+            .iter()
+            .rposition(|o| self.op_is_sequencing(o))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let enrich_len = tail[prep_len..]
+            .iter()
+            .position(|o| !self.op_is_hoistable(o))
+            .unwrap_or(tail.len() - prep_len);
+        (
+            &tail[..prep_len],
+            &tail[prep_len..prep_len + enrich_len],
+            &tail[prep_len + enrich_len..],
+        )
     }
 }
 
@@ -930,6 +1033,108 @@ mod tests {
         let color = desc.find("car.color").unwrap();
         let direction = desc.find("car.direction").unwrap();
         assert!(color < direction, "{desc}");
+    }
+
+    #[test]
+    fn tail_partition_hoists_non_intrinsic_projections() {
+        // color: intrinsic model (cache-touching -> prep). direction:
+        // non-intrinsic model (order-free -> enrich). Join stays in tail.
+        let schema = crate::frontend::vobj::VObjSchema::builder("V")
+            .class_labels(&["car"])
+            .detector("yolox")
+            .property(crate::frontend::property::PropertyDef::stateless_model(
+                "color",
+                "color_detect",
+                true,
+            ))
+            .property(crate::frontend::property::PropertyDef::stateless_model(
+                "direction",
+                "direction_model",
+                false,
+            ))
+            .build();
+        let q = Query::builder("Both")
+            .vobj("car", schema)
+            .frame_constraint(
+                Pred::eq("car", "color", "red") & Pred::eq("car", "direction", "straight"),
+            )
+            .build()
+            .unwrap();
+        let plan = build_plan(&[q], &zoo(), &PlanOptions::vqpy_default()).unwrap();
+        let first_detect = plan
+            .ops
+            .iter()
+            .position(|o| matches!(o, OpSpec::Detect { .. }))
+            .unwrap();
+        let tail = &plan.ops[first_detect + 1..];
+        let (prep, enrich, rest) = plan.partition_tail(tail);
+        let labels = |ops: &[OpSpec]| -> String {
+            ops.iter().map(|o| o.label()).collect::<Vec<_>>().join("\n")
+        };
+        // Tracker and the intrinsic color projection stay ordered.
+        assert!(labels(prep).contains("track(car)"), "{}", labels(prep));
+        assert!(
+            labels(prep).contains("project(car.color)"),
+            "{}",
+            labels(prep)
+        );
+        // The non-memoizable direction projection hoists into enrich
+        // (filters over already-computed props hoist too — they only read
+        // frame-local state).
+        assert!(
+            labels(enrich).contains("car.direction"),
+            "{}",
+            labels(enrich)
+        );
+        assert!(
+            !labels(enrich).contains("project(car.color)")
+                && !labels(enrich).contains("project+filter(car.color"),
+            "cache-touching intrinsic projection must not hoist: {}",
+            labels(enrich)
+        );
+        // Joins stay in the sequential tail.
+        assert!(labels(rest).contains("join"), "{}", labels(rest));
+        // The three segments reassemble the original tail exactly.
+        assert_eq!(prep.len() + enrich.len() + rest.len(), tail.len());
+    }
+
+    #[test]
+    fn tail_partition_keeps_stateful_projections_in_prep() {
+        // A stateful property (speed-style sliding window) after the
+        // intrinsics must extend prep past it: its per-track history is
+        // kill-sensitive and frame-ordered.
+        let plan = build_plan(
+            &[Query::builder("Fast")
+                .vobj("car", library::vehicle_schema())
+                .frame_constraint(Pred::gt("car", "speed", 5.0))
+                .build()
+                .unwrap()],
+            &zoo(),
+            &PlanOptions::vqpy_default(),
+        )
+        .unwrap();
+        let first_detect = plan
+            .ops
+            .iter()
+            .position(|o| matches!(o, OpSpec::Detect { .. }))
+            .unwrap();
+        let (prep, enrich, _) = plan.partition_tail(&plan.ops[first_detect + 1..]);
+        let projects_speed = |o: &OpSpec| {
+            matches!(
+                o,
+                OpSpec::Project { prop, .. } | OpSpec::FusedProjectFilter { prop, .. }
+                    if prop == "speed"
+            )
+        };
+        assert!(
+            prep.iter().any(projects_speed),
+            "{:?}",
+            prep.iter().map(|o| o.label()).collect::<Vec<_>>()
+        );
+        assert!(
+            !enrich.iter().any(projects_speed),
+            "stateful projection must not hoist"
+        );
     }
 
     #[test]

@@ -24,9 +24,10 @@
 //!   and never touches the device.
 
 use parking_lot::Mutex;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Cost in virtual milliseconds.
 pub type CostUnits = f64;
@@ -71,8 +72,107 @@ pub enum DeviceModel {
     /// serialize exactly like kernels on a single GPU. Native CPU charges
     /// ([`Clock::charge_labeled`]) are unaffected. This is the honest
     /// resource model for multi-stream serving benches: without it, N
-    /// per-stream engines would enjoy N phantom accelerators.
+    /// per-stream engines would enjoy N phantom accelerators. Equivalent
+    /// to `Devices(1)`.
     Exclusive,
+    /// A fixed pool of `n` accelerators: each model charge sleeps while
+    /// holding exactly one of `n` device locks, chosen by the clock's
+    /// [`PlacementPolicy`]. Up to `n` model invocations overlap; the rest
+    /// queue, exactly like kernels on an `n`-GPU node. `Devices(1)` behaves
+    /// like [`DeviceModel::Exclusive`].
+    Devices(usize),
+}
+
+impl DeviceModel {
+    /// Number of device locks this model maintains (0 = unbounded, i.e.
+    /// no device contention is simulated).
+    pub fn device_count(&self) -> usize {
+        match self {
+            DeviceModel::Unbounded => 0,
+            DeviceModel::Exclusive => 1,
+            DeviceModel::Devices(n) => (*n).max(1),
+        }
+    }
+}
+
+/// How a model charge picks its device under [`DeviceModel::Devices`].
+///
+/// Placement never affects results or virtual-time bookkeeping — only
+/// which lock a Latency-mode sleep queues on — so policies are free to be
+/// heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Pick the device with the fewest queued-or-running charges at
+    /// submission time (ties break toward the lowest index). The right
+    /// default: it spreads coalesced physical batches across idle devices.
+    #[default]
+    LeastLoaded,
+    /// Pin each pipeline stage to `stage % n`: detect traffic and
+    /// property-model traffic land on distinct devices, which keeps a
+    /// stage's working set (weights, activations) resident. Falls back to
+    /// least-loaded when the caller provided no placement hint.
+    StageAffinity,
+    /// Replicate by model identity: charges for the same model label hash
+    /// to the same device, as if each device held a subset of the model
+    /// instances. Falls back to least-loaded without a hint.
+    ModelReplica,
+}
+
+/// The placement context a dispatcher establishes around a physical model
+/// invocation: which pipeline stage issued it and which model it runs.
+#[derive(Debug, Clone, Copy)]
+struct PlacementHint {
+    stage: usize,
+    model: u64,
+}
+
+thread_local! {
+    /// The innermost open placement scope on this thread (see
+    /// [`placement_scope`]).
+    static PLACEMENT_HINT: Cell<Option<PlacementHint>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with a placement hint installed for the current thread: model
+/// charges realized inside (including a [`Clock::batch_section`]'s
+/// deferred net sleep, which closes within the scope) can be routed by
+/// [`PlacementPolicy::StageAffinity`] (per `stage`) or
+/// [`PlacementPolicy::ModelReplica`] (per `model` label). Scopes nest; the
+/// previous hint is restored on exit, panic included.
+pub fn placement_scope<R>(stage: usize, model: &str, f: impl FnOnce() -> R) -> R {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    model.hash(&mut hasher);
+    let hint = PlacementHint {
+        stage,
+        model: hasher.finish(),
+    };
+    struct Restore(Option<PlacementHint>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PLACEMENT_HINT.with(|h| h.set(self.0));
+        }
+    }
+    let _restore = Restore(PLACEMENT_HINT.with(|h| h.replace(Some(hint))));
+    f()
+}
+
+/// One simulated accelerator: a lock that serializes Latency-mode sleeps,
+/// plus occupancy accounting.
+#[derive(Debug, Default)]
+struct DeviceSlot {
+    lock: Mutex<()>,
+    /// Charges currently queued on or holding this device's lock.
+    queued: AtomicUsize,
+    /// Nanoseconds this device has spent executing (sleeping) charges.
+    busy_nanos: AtomicU64,
+}
+
+/// Occupancy snapshot of one simulated device ([`Clock::device_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceStat {
+    /// Milliseconds this device spent executing model charges.
+    pub busy_ms: f64,
+    /// Charges queued on or holding the device at snapshot time.
+    pub queued: usize,
 }
 
 thread_local! {
@@ -88,8 +188,10 @@ thread_local! {
 pub struct Clock {
     mode: ClockMode,
     device: DeviceModel,
-    /// Serializes Latency-mode model sleeps under [`DeviceModel::Exclusive`].
-    device_lock: Mutex<()>,
+    placement: PlacementPolicy,
+    /// One slot per simulated device; empty under
+    /// [`DeviceModel::Unbounded`].
+    devices: Vec<DeviceSlot>,
     /// Virtual nanoseconds accumulated (1 unit = 1 ms = 1e6 ns).
     virtual_nanos: AtomicU64,
     /// Busy-mode work per unit (blackbox float ops).
@@ -111,7 +213,8 @@ impl Clock {
         Self {
             mode,
             device: DeviceModel::Unbounded,
-            device_lock: Mutex::new(()),
+            placement: PlacementPolicy::default(),
+            devices: Vec::new(),
             virtual_nanos: AtomicU64::new(0),
             busy_ops_per_unit: 4_000,
             labeled: Mutex::new(HashMap::new()),
@@ -121,6 +224,16 @@ impl Clock {
     /// Sets how model charges are realized in Latency mode (builder style).
     pub fn with_device(mut self, device: DeviceModel) -> Self {
         self.device = device;
+        self.devices = (0..device.device_count())
+            .map(|_| DeviceSlot::default())
+            .collect();
+        self
+    }
+
+    /// Sets how model charges pick a device under
+    /// [`DeviceModel::Devices`] (builder style).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -132,6 +245,23 @@ impl Clock {
     /// The clock's device model.
     pub fn device(&self) -> DeviceModel {
         self.device
+    }
+
+    /// The clock's placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Occupancy snapshot of every simulated device, in index order.
+    /// Empty under [`DeviceModel::Unbounded`].
+    pub fn device_stats(&self) -> Vec<DeviceStat> {
+        self.devices
+            .iter()
+            .map(|d| DeviceStat {
+                busy_ms: d.busy_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+                queued: d.queued.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Charges `units` of anonymous cost.
@@ -227,12 +357,40 @@ impl Clock {
 
     fn sleep_on_device(&self, units: CostUnits) {
         let dur = std::time::Duration::from_secs_f64(units.max(0.0) / 1e3);
-        match self.device {
-            DeviceModel::Unbounded => std::thread::sleep(dur),
-            DeviceModel::Exclusive => {
-                let _guard = self.device_lock.lock();
-                std::thread::sleep(dur);
-            }
+        if self.devices.is_empty() {
+            std::thread::sleep(dur);
+            return;
+        }
+        let slot = &self.devices[self.pick_device()];
+        slot.queued.fetch_add(1, Ordering::SeqCst);
+        {
+            let _guard = slot.lock.lock();
+            std::thread::sleep(dur);
+            slot.busy_nanos
+                .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+        }
+        slot.queued.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Chooses the device for one charge. Single-device pools short-circuit;
+    /// otherwise the hint-aware policies route by the ambient
+    /// [`placement_scope`] and everything else falls back to least-loaded.
+    fn pick_device(&self) -> usize {
+        let n = self.devices.len();
+        if n == 1 {
+            return 0;
+        }
+        let hint = PLACEMENT_HINT.with(|h| h.get());
+        match (self.placement, hint) {
+            (PlacementPolicy::StageAffinity, Some(h)) => h.stage % n,
+            (PlacementPolicy::ModelReplica, Some(h)) => (h.model % n as u64) as usize,
+            _ => self
+                .devices
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, d)| d.queued.load(Ordering::SeqCst))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
         }
     }
 
@@ -405,6 +563,121 @@ mod tests {
         });
         assert_eq!(out, 7);
         assert!((c.virtual_ms() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_pool_overlaps_up_to_n() {
+        // Devices(3): three concurrent 20ms charges land on distinct
+        // devices (least-loaded) and overlap, where Devices(1)/Exclusive
+        // would serialize them to 60ms+.
+        let c = std::sync::Arc::new(
+            Clock::with_mode(ClockMode::Latency).with_device(DeviceModel::Devices(3)),
+        );
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || c.charge_model("m", 20.0));
+            }
+        });
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(50),
+            "{:?}",
+            start.elapsed()
+        );
+        let stats = c.device_stats();
+        assert_eq!(stats.len(), 3);
+        assert!(
+            stats.iter().all(|d| d.busy_ms >= 19.0),
+            "least-loaded must spread one charge per device: {stats:?}"
+        );
+        assert!(stats.iter().all(|d| d.queued == 0), "{stats:?}");
+        assert!((c.virtual_ms() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn devices_one_serializes_like_exclusive() {
+        let c = std::sync::Arc::new(
+            Clock::with_mode(ClockMode::Latency).with_device(DeviceModel::Devices(1)),
+        );
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || c.charge_model("m", 12.0));
+            }
+        });
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(30),
+            "{:?}",
+            start.elapsed()
+        );
+        assert_eq!(c.device_stats().len(), 1);
+    }
+
+    #[test]
+    fn stage_affinity_routes_by_hint() {
+        let c = Clock::with_mode(ClockMode::Latency)
+            .with_device(DeviceModel::Devices(2))
+            .with_placement(PlacementPolicy::StageAffinity);
+        placement_scope(0, "det", || c.charge_model("det", 2.0));
+        placement_scope(1, "clf", || c.charge_model("clf", 2.0));
+        placement_scope(3, "clf", || c.charge_model("clf", 2.0));
+        let stats = c.device_stats();
+        assert!((stats[0].busy_ms - 2.0).abs() < 1.0, "{stats:?}");
+        assert!((stats[1].busy_ms - 4.0).abs() < 1.0, "{stats:?}");
+    }
+
+    #[test]
+    fn model_replica_pins_a_model_to_one_device() {
+        let c = Clock::with_mode(ClockMode::Latency)
+            .with_device(DeviceModel::Devices(4))
+            .with_placement(PlacementPolicy::ModelReplica);
+        for _ in 0..4 {
+            placement_scope(0, "the_model", || c.charge_model("m", 1.0));
+        }
+        let stats = c.device_stats();
+        let busy: Vec<_> = stats.iter().filter(|d| d.busy_ms > 0.5).collect();
+        assert_eq!(busy.len(), 1, "same model must pin one device: {stats:?}");
+    }
+
+    #[test]
+    fn placement_scope_nests_and_restores() {
+        let outer = placement_scope(5, "a", || {
+            let inner = placement_scope(7, "b", || PLACEMENT_HINT.with(|h| h.get()));
+            (inner, PLACEMENT_HINT.with(|h| h.get()))
+        });
+        assert_eq!(outer.0.unwrap().stage, 7);
+        assert_eq!(outer.1.unwrap().stage, 5);
+        assert!(PLACEMENT_HINT.with(|h| h.get()).is_none());
+    }
+
+    #[test]
+    fn placement_scope_covers_batch_section_realization() {
+        // The net sleep of a batch section realizes at section close,
+        // still inside the placement scope that wrapped the section — so
+        // stage-affine routing applies to coalesced physical batches.
+        let c = Clock::with_mode(ClockMode::Latency)
+            .with_device(DeviceModel::Devices(2))
+            .with_placement(PlacementPolicy::StageAffinity);
+        placement_scope(1, "clf", || {
+            c.batch_section(|| {
+                c.charge_model("m", 2.0);
+                c.charge_model("m", 2.0);
+            })
+        });
+        let stats = c.device_stats();
+        assert!(stats[0].busy_ms < 0.5, "{stats:?}");
+        assert!(stats[1].busy_ms >= 3.0, "{stats:?}");
+    }
+
+    #[test]
+    fn device_count_taxonomy() {
+        assert_eq!(DeviceModel::Unbounded.device_count(), 0);
+        assert_eq!(DeviceModel::Exclusive.device_count(), 1);
+        assert_eq!(DeviceModel::Devices(0).device_count(), 1);
+        assert_eq!(DeviceModel::Devices(4).device_count(), 4);
+        assert!(Clock::new().device_stats().is_empty());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attach;
 pub mod batcher;
 pub mod engine;
 pub mod metrics;
@@ -69,6 +70,7 @@ pub mod supervisor;
 pub mod threaded;
 pub mod typed;
 
+pub use attach::{AttachMode, AttachSpec, Attached, Typed, Untyped};
 pub use batcher::{
     BatchedDispatch, BatcherConfig, BatcherStats, FaultStats, ModelBatcher, StageCoalesce,
 };
@@ -78,8 +80,9 @@ pub use replay::{
     RecordingDispatch, StoreDispatch, StoreTier, STORE_READ_COST_MS, STORE_READ_LABEL,
 };
 pub use server::{
-    Backpressure, RestartPolicy, ResumeMode, ServeConfig, ServeError, ServeResult, ServeSession,
-    StepOutcome, StreamId, StreamOptions, StreamServer, RESTART_BACKOFF_LABEL,
+    Backpressure, ConfigError, RestartPolicy, ResumeMode, ServeConfig, ServeConfigBuilder,
+    ServeError, ServeResult, ServeSession, StepOutcome, StreamId, StreamOptions, StreamServer,
+    RESTART_BACKOFF_LABEL,
 };
 pub use shard::{
     DeterministicScheduler, PaceCounters, ShardConfig, ShardCore, SplitMix64, TimerWheel,

@@ -1,6 +1,7 @@
 //! The [`StreamServer`]: long-lived streams, runtime query attach/detach,
 //! and per-query demultiplexing of the shared super-plan's output.
 
+use crate::attach::{AttachMode, AttachSpec, Attached};
 use crate::engine::StreamEngine;
 use crate::metrics::{AggregateMetrics, QueryServeMetrics, ServeMetrics};
 use crate::replay::{RecordingDispatch, StoreDispatch, StoreTier};
@@ -157,6 +158,151 @@ impl ServeConfig {
         } else {
             self.shards
         }
+    }
+
+    /// A validating builder over the defaults. Unlike struct-literal
+    /// construction, [`ServeConfigBuilder::build`] rejects combinations
+    /// that would misbehave at runtime (see [`ConfigError`]).
+    ///
+    /// ```
+    /// use vqpy_serve::ServeConfig;
+    ///
+    /// # fn main() -> Result<(), vqpy_serve::ConfigError> {
+    /// let config = ServeConfig::builder()
+    ///     .shards(4)
+    ///     .channel_capacity(256)
+    ///     .batches_per_step(2)
+    ///     .build()?;
+    /// assert_eq!(config.shards, 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// A rejected [`ServeConfig`] combination — returned by
+/// [`ServeConfigBuilder::build`] instead of letting the nonsense surface
+/// as a runtime stall or a silently clamped knob.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `restart.max_restarts > 0` with `channel_capacity == 0`: restart
+    /// recovery delivers [`StreamFault`] notices over
+    /// the subscriber channels, and a zero-capacity channel cannot carry
+    /// them (the runtime would otherwise clamp the capacity to 1
+    /// silently).
+    RestartNeedsCapacity {
+        /// The configured restart budget.
+        max_restarts: u64,
+    },
+    /// `batches_per_step == 0`: a step must execute at least one batch
+    /// (the runtime would otherwise clamp to 1 silently).
+    ZeroBatchesPerStep,
+    /// `restart.backoff_ms` is negative or not finite.
+    InvalidBackoff {
+        /// The rejected value.
+        backoff_ms: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::RestartNeedsCapacity { max_restarts } => write!(
+                f,
+                "restart policy allows {max_restarts} restart(s) but channel_capacity is 0; \
+                 fault notices need a subscriber channel with capacity"
+            ),
+            ConfigError::ZeroBatchesPerStep => {
+                write!(f, "batches_per_step must be at least 1")
+            }
+            ConfigError::InvalidBackoff { backoff_ms } => {
+                write!(
+                    f,
+                    "restart backoff_ms must be finite and >= 0, got {backoff_ms}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder returned by [`ServeConfig::builder`]. Setters mirror the
+/// config's fields; [`ServeConfigBuilder::build`] validates the whole
+/// combination.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bounded capacity of each subscription's event channel.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Policy when a subscription's channel is full.
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.config.backpressure = policy;
+        self
+    }
+
+    /// Batches executed per [`StreamServer::step`].
+    pub fn batches_per_step(mut self, batches: u64) -> Self {
+        self.config.batches_per_step = batches;
+        self
+    }
+
+    /// Worker-panic containment policy.
+    pub fn restart(mut self, restart: RestartPolicy) -> Self {
+        self.config.restart = restart;
+        self
+    }
+
+    /// Telemetry carried by the run.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Shard budget for the supervisor's scheduler (`0` = automatic).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Persistent frame/result store backing replays.
+    pub fn store(mut self, store: Arc<FrameStore>) -> Self {
+        self.config.store = Some(store);
+        self
+    }
+
+    /// Validates the combination and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`] for every rejected combination.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let c = &self.config;
+        if c.batches_per_step == 0 {
+            return Err(ConfigError::ZeroBatchesPerStep);
+        }
+        if !c.restart.backoff_ms.is_finite() || c.restart.backoff_ms < 0.0 {
+            return Err(ConfigError::InvalidBackoff {
+                backoff_ms: c.restart.backoff_ms,
+            });
+        }
+        if c.restart.max_restarts > 0 && c.channel_capacity == 0 {
+            return Err(ConfigError::RestartNeedsCapacity {
+                max_restarts: c.restart.max_restarts,
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -731,10 +877,19 @@ impl StreamServer {
             .ok_or(ServeError::UnknownStream(id))
     }
 
-    /// Attaches a query to a stream, returning its subscription. Takes
-    /// effect at the next step boundary; events start with the first frame
-    /// executed after that, and the query's video aggregate covers only
-    /// the frames it observed. Never blocks behind a running step.
+    /// Attaches a query to a stream, described by an [`AttachSpec`] (a
+    /// bare `Arc<Query>` or `&TypedQuery<R>` converts). Live attachments
+    /// take effect at the next step boundary; events start with the first
+    /// frame executed after that, and the query's video aggregate covers
+    /// only the frames it observed. Never blocks behind a running step.
+    ///
+    /// A spec with [`AttachSpec::from`] replays the stored past instead
+    /// (requires [`ServeConfig::store`]); the returned [`Attached`] then
+    /// carries the replay's pseudo-stream id — drive it with
+    /// [`StreamServer::replay_step`] interleaved with the live stream's
+    /// [`StreamServer::step`]. The spec's mode ([`Untyped`](crate::Untyped)
+    /// or [`Typed<R>`](crate::Typed)) decides the subscription type at
+    /// compile time.
     ///
     /// # Example
     ///
@@ -764,7 +919,31 @@ impl StreamServer {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> ServeResult<Subscription> {
+    pub fn attach<M: AttachMode>(
+        &self,
+        stream: StreamId,
+        spec: impl Into<AttachSpec<M>>,
+    ) -> ServeResult<Attached<M::Sub>> {
+        let spec = spec.into();
+        match spec.from {
+            None => Ok(Attached::new(
+                M::wrap(self.attach_queued(stream, spec.query)?),
+                None,
+            )),
+            Some(from) => {
+                let (sub, replay) = self.attach_replay(stream, spec.query, from)?;
+                Ok(Attached::new(M::wrap(sub), Some(replay)))
+            }
+        }
+    }
+
+    /// The live attach path: enqueues the query for the next step
+    /// boundary and returns the raw subscription.
+    pub(crate) fn attach_queued(
+        &self,
+        stream: StreamId,
+        query: Arc<Query>,
+    ) -> ServeResult<Subscription> {
         let handle = self.handle(stream)?;
         let mut commands = handle.commands.lock();
         if handle.finished.load(Ordering::Acquire) {
@@ -1173,10 +1352,27 @@ impl StreamServer {
         }
     }
 
-    /// Attaches a query to a stream **from a past instant**: the stored
-    /// history is replayed — model stages whose outputs are on disk are
-    /// answered from the store instead of re-executed — and the query is
-    /// spliced into the live stream when the replay catches up.
+    /// Attaches a query to a stream **from a past instant**.
+    ///
+    /// Deprecated spelling of
+    /// `attach(stream, AttachSpec::new(query).from(instant))`; see
+    /// [`StreamServer::attach`].
+    #[deprecated(note = "use `attach` with `AttachSpec::new(query).from(instant)`")]
+    pub fn attach_from(
+        &self,
+        stream: StreamId,
+        query: Arc<Query>,
+        from: Instant,
+    ) -> ServeResult<(Subscription, StreamId)> {
+        let attached = self.attach(stream, AttachSpec::new(query).from(from))?;
+        let replay = attached
+            .replay()
+            .expect("from-past attach always returns a replay id");
+        Ok((attached.into_inner(), replay))
+    }
+
+    /// The from-past attach path: builds the private replay engine over
+    /// the stored history and registers the replay pseudo-stream.
     ///
     /// Semantically the subscription behaves *as if it had been attached at
     /// the stream's origin, delivering from `from`*: hits arrive for every
@@ -1188,16 +1384,16 @@ impl StreamServer {
     /// Returns the subscription plus the replay's pseudo-stream id. The
     /// replay is *driven* like a stream: either by a
     /// [`StreamSupervisor`](crate::StreamSupervisor) (which schedules it on
-    /// a shard automatically when you use its `attach_from`) or manually
-    /// via [`StreamServer::replay_step`] interleaved with the live
-    /// stream's [`StreamServer::step`]. Attaching to an already-finished
-    /// stream is allowed: the replay runs the stored history to the end
-    /// and delivers [`ServeEvent::End`].
+    /// a shard automatically for from-past specs) or manually via
+    /// [`StreamServer::replay_step`] interleaved with the live stream's
+    /// [`StreamServer::step`]. Attaching to an already-finished stream is
+    /// allowed: the replay runs the stored history to the end and
+    /// delivers [`ServeEvent::End`].
     ///
     /// Errors with [`ServeError::StoreDisabled`] when the server has no
     /// [`ServeConfig::store`] or the stream's store directory failed to
     /// open.
-    pub fn attach_from(
+    pub(crate) fn attach_replay(
         &self,
         stream: StreamId,
         query: Arc<Query>,

@@ -56,6 +56,7 @@
 //! [`ThreadedSupervisor`](crate::ThreadedSupervisor), the equivalence
 //! suite's oracle.
 
+use crate::attach::{AttachMode, AttachSpec};
 use crate::batcher::{BatcherConfig, BatcherStats, FaultStats, ModelBatcher};
 use crate::metrics::ShardLoad;
 use crate::server::{ServeConfig, ServeError, ServeResult, StreamId, StreamOptions, StreamServer};
@@ -612,7 +613,7 @@ impl StreamSupervisor {
         let stream = self.server.open_stream_with(source, options);
         let mut subs = Vec::with_capacity(queries.len());
         for q in queries {
-            subs.push(self.server.attach(stream, Arc::clone(q))?);
+            subs.push(self.server.attach_queued(stream, Arc::clone(q))?);
         }
         let shared = Arc::new(StreamShared::default());
         let shards = self.shards.lock();
@@ -635,39 +636,65 @@ impl StreamSupervisor {
         Ok((stream, subs))
     }
 
-    /// Attaches a query to a supervised stream, subject to admission
-    /// control. Takes effect at the stream's next step boundary.
-    pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> Result<Subscription, AttachError> {
+    /// Attaches a query to a supervised stream, described by an
+    /// [`AttachSpec`] (a bare `Arc<Query>` or `&TypedQuery<R>` converts) —
+    /// subject to [`ServePolicy`] admission control. Live attachments
+    /// take effect at the stream's next step boundary.
+    ///
+    /// A spec with [`AttachSpec::from`] replays the stored history on a
+    /// shard — scheduled like any other stream, so backfill never starves
+    /// live work — and splices into the live stream when the replay
+    /// catches up; the replay's driving is the supervisor's business, so
+    /// (unlike [`StreamServer::attach`]) only the subscription is
+    /// returned.
+    ///
+    /// [`TypedQuery<R>`]: vqpy_core::TypedQuery
+    pub fn attach<M: AttachMode>(
+        &self,
+        stream: StreamId,
+        spec: impl Into<AttachSpec<M>>,
+    ) -> Result<M::Sub, AttachError> {
+        let spec = spec.into();
         self.config.policy.admit(&self.load())?;
-        Ok(self.server.attach(stream, query)?)
+        match spec.replay_from() {
+            None => Ok(M::wrap(
+                self.server
+                    .attach_queued(stream, Arc::clone(spec.query()))?,
+            )),
+            Some(from) => {
+                self.ensure_shards()?;
+                let (sub, replay) =
+                    self.server
+                        .attach_replay(stream, Arc::clone(spec.query()), from)?;
+                let shards = self.shards.lock();
+                let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shards.len();
+                // The replay retires itself (splice, end, or cancel);
+                // nobody joins its shared entry, so no supervisor-side
+                // bookkeeping to clean up.
+                shards[shard].state.post(ShardCmd::Add {
+                    stream: replay,
+                    pace: PaceMode::Unpaced,
+                    task: ShardTask::Replay,
+                    shared: Arc::new(StreamShared::default()),
+                });
+                Ok(M::wrap(sub))
+            }
+        }
     }
 
-    /// Attaches a query to a supervised stream **from a past instant**
-    /// (see [`StreamServer::attach_from`]): the stored history replays on
-    /// a shard — scheduled like any other stream, so backfill never
-    /// starves live work — and the query splices into the live stream when
-    /// the replay catches up. Subject to the same admission control as
-    /// [`attach`](StreamSupervisor::attach).
+    /// Attaches a query to a supervised stream **from a past instant**.
+    ///
+    /// Deprecated spelling of
+    /// `attach(stream, AttachSpec::new(query).from(instant))`; see
+    /// [`StreamSupervisor::attach`].
+    #[deprecated(note = "use `attach` with `AttachSpec::new(query).from(instant)`")]
     pub fn attach_from(
         &self,
         stream: StreamId,
         query: Arc<Query>,
         from: Instant,
     ) -> Result<Subscription, AttachError> {
-        self.config.policy.admit(&self.load())?;
-        self.ensure_shards()?;
-        let (sub, replay) = self.server.attach_from(stream, query, from)?;
-        let shards = self.shards.lock();
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shards.len();
-        // The replay retires itself (splice, end, or cancel); nobody joins
-        // its shared entry, so no supervisor-side bookkeeping to clean up.
-        shards[shard].state.post(ShardCmd::Add {
-            stream: replay,
-            pace: PaceMode::Unpaced,
-            task: ShardTask::Replay,
-            shared: Arc::new(StreamShared::default()),
-        });
-        Ok(sub)
+        self.attach(stream, AttachSpec::new(query).from(from))
     }
 
     /// Detaches a subscription at the next step boundary (see
@@ -848,6 +875,22 @@ impl StreamSupervisor {
                 .store(stats.faults.breaker_recoveries);
             reg.counter("vqpy_coalesce_panics_total")
                 .store(stats.faults.coalesce_panics);
+        }
+        // Device occupancy of the session clock's placement layer: one
+        // busy-time/queue-depth pair per modeled device (empty under
+        // `DeviceModel::Unbounded`, which has no per-device slots).
+        for (i, d) in self
+            .server
+            .session()
+            .clock()
+            .device_stats()
+            .iter()
+            .enumerate()
+        {
+            reg.gauge(&format!("vqpy_device_busy_ms{{device=\"{i}\"}}"))
+                .set(d.busy_ms);
+            reg.gauge(&format!("vqpy_device_queued{{device=\"{i}\"}}"))
+                .set(d.queued as f64);
         }
         if let Some(fs) = self.server.store() {
             let m = fs.metrics();

@@ -96,7 +96,7 @@ impl ThreadedSupervisor {
         let stream = self.server.open_stream_with(source, options);
         let mut subs = Vec::with_capacity(queries.len());
         for q in queries {
-            subs.push(self.server.attach(stream, Arc::clone(q))?);
+            subs.push(self.server.attach_queued(stream, Arc::clone(q))?);
         }
         let shared = Arc::new(WorkerShared::default());
         let worker_shared = Arc::clone(&shared);
@@ -129,7 +129,7 @@ impl ThreadedSupervisor {
     /// control. Takes effect at the stream's next step boundary.
     pub fn attach(&self, stream: StreamId, query: Arc<Query>) -> Result<Subscription, AttachError> {
         self.config.policy.admit(&self.load())?;
-        Ok(self.server.attach(stream, query)?)
+        Ok(self.server.attach_queued(stream, query)?)
     }
 
     /// Detaches a subscription at the next step boundary.

@@ -1,8 +1,9 @@
 //! Typed live subscriptions: the serving half of the typed frontend.
 //!
-//! [`StreamServer::attach_typed`] (and
-//! [`StreamSupervisor::attach_typed`]) accept a
-//! [`TypedQuery<R>`](vqpy_core::TypedQuery) and return a
+//! Attaching a [`TypedQuery<R>`](vqpy_core::TypedQuery) (pass `&query` to
+//! [`StreamServer::attach`] / [`StreamSupervisor::attach`], or build an
+//! [`AttachSpec`](crate::AttachSpec) with
+//! [`typed`](crate::AttachSpec::typed)) returns a
 //! [`TypedSubscription<R>`] that decodes every
 //! [`ServeEvent::Hit`] into rows of `R` — live consumers never touch
 //! `(String, Value)` pairs. The wrapper delivers the *exact* event
@@ -61,9 +62,9 @@ pub struct TypedSubscription<R> {
 
 impl<R: FromRow> TypedSubscription<R> {
     /// Wraps an untyped subscription. The caller asserts the underlying
-    /// query's frame output decodes as `R` (which
-    /// [`StreamServer::attach_typed`] guarantees by construction); a wrong
-    /// assertion surfaces as a [`DecodeError`] on the first hit.
+    /// query's frame output decodes as `R` (which attaching a
+    /// `&TypedQuery<R>` guarantees by construction); a wrong assertion
+    /// surfaces as a [`DecodeError`] on the first hit.
     pub fn wrap(inner: Subscription) -> Self {
         Self {
             inner,
@@ -107,7 +108,7 @@ impl<R: FromRow> TypedSubscription<R> {
     ///     .filter(car.score().gt(0.5))
     ///     .select((car.track_id().optional(), car.bbox()))
     ///     .build()?;
-    /// let sub = server.attach_typed(stream, &query)?;
+    /// let sub = server.attach(stream, &query)?;
     ///
     /// let driver = {
     ///     let server = Arc::clone(&server);
@@ -189,76 +190,86 @@ fn decode_event<R: FromRow>(event: ServeEvent) -> Result<TypedServeEvent<R>, Dec
 
 impl StreamServer {
     /// Attaches a typed query to a stream; events arrive decoded as `R`.
-    /// The underlying attachment is exactly
-    /// [`attach`](StreamServer::attach) with the typed query's inner
-    /// `Arc<Query>`, so sharing, recompilation, and backpressure behave
-    /// identically to the stringly path.
+    ///
+    /// Deprecated spelling of `attach(stream, &query)` (a `&TypedQuery<R>`
+    /// converts to a typed [`AttachSpec`](crate::AttachSpec)); see
+    /// [`attach`](StreamServer::attach).
     ///
     /// # Errors
     ///
     /// The same errors as [`attach`](StreamServer::attach).
+    #[deprecated(note = "use `attach` — a `&TypedQuery<R>` converts to a typed `AttachSpec`")]
     pub fn attach_typed<R: FromRow>(
         &self,
         stream: StreamId,
         query: &TypedQuery<R>,
     ) -> ServeResult<TypedSubscription<R>> {
-        Ok(TypedSubscription::wrap(
-            self.attach(stream, Arc::clone(query.query()))?,
-        ))
+        Ok(self.attach(stream, query)?.into_inner())
     }
 
-    /// Typed counterpart of [`attach_from`](StreamServer::attach_from):
-    /// replays the stored past from `from` and splices into the live
-    /// stream, delivering decoded events. Returns the subscription plus
-    /// the replay's pseudo-stream id (drive it with
-    /// [`replay_step`](StreamServer::replay_step)).
+    /// Replays the stored past from `from` and splices into the live
+    /// stream, delivering decoded events.
+    ///
+    /// Deprecated spelling of
+    /// `attach(stream, AttachSpec::new(query).typed::<R>().from(instant))`;
+    /// see [`attach`](StreamServer::attach).
     ///
     /// # Errors
     ///
-    /// The same errors as [`attach_from`](StreamServer::attach_from).
+    /// The same errors as [`attach`](StreamServer::attach).
+    #[deprecated(note = "use `attach` with a typed `AttachSpec` and `.from(instant)`")]
     pub fn attach_from_typed<R: FromRow>(
         &self,
         stream: StreamId,
         query: &TypedQuery<R>,
         from: Instant,
     ) -> ServeResult<(TypedSubscription<R>, StreamId)> {
-        let (sub, replay) = self.attach_from(stream, Arc::clone(query.query()), from)?;
-        Ok((TypedSubscription::wrap(sub), replay))
+        let spec = crate::AttachSpec::new(Arc::clone(query.query()))
+            .typed::<R>()
+            .from(from);
+        let attached = self.attach(stream, spec)?;
+        let replay = attached
+            .replay()
+            .expect("from-past attach always returns a replay id");
+        Ok((attached.into_inner(), replay))
     }
 }
 
 impl StreamSupervisor {
-    /// Attaches a typed query to a supervised stream, subject to the same
-    /// [`ServePolicy`](crate::ServePolicy) admission control as
+    /// Attaches a typed query to a supervised stream, subject to
+    /// [`ServePolicy`](crate::ServePolicy) admission control.
+    ///
+    /// Deprecated spelling of `attach(stream, &query)`; see
     /// [`attach`](StreamSupervisor::attach).
     ///
     /// # Errors
     ///
     /// The same [`AttachError`]s as [`attach`](StreamSupervisor::attach).
+    #[deprecated(note = "use `attach` — a `&TypedQuery<R>` converts to a typed `AttachSpec`")]
     pub fn attach_typed<R: FromRow>(
         &self,
         stream: StreamId,
         query: &TypedQuery<R>,
     ) -> Result<TypedSubscription<R>, AttachError> {
-        Ok(TypedSubscription::wrap(
-            self.attach(stream, Arc::clone(query.query()))?,
-        ))
+        self.attach(stream, query)
     }
 
-    /// Typed counterpart of
-    /// [`attach_from`](StreamSupervisor::attach_from): replays the stored
-    /// past from `from` on a shard and splices into the live stream,
-    /// delivering decoded events. Subject to the same admission control.
+    /// Replays the stored past from `from` on a shard and splices into
+    /// the live stream, delivering decoded events.
+    ///
+    /// Deprecated spelling of
+    /// `attach(stream, AttachSpec::new(query).typed::<R>().from(instant))`;
+    /// see [`attach`](StreamSupervisor::attach).
+    #[deprecated(note = "use `attach` with a typed `AttachSpec` and `.from(instant)`")]
     pub fn attach_from_typed<R: FromRow>(
         &self,
         stream: StreamId,
         query: &TypedQuery<R>,
         from: Instant,
     ) -> Result<TypedSubscription<R>, AttachError> {
-        Ok(TypedSubscription::wrap(self.attach_from(
-            stream,
-            Arc::clone(query.query()),
-            from,
-        )?))
+        let spec = crate::AttachSpec::new(Arc::clone(query.query()))
+            .typed::<R>()
+            .from(from);
+        self.attach(stream, spec)
     }
 }

@@ -308,7 +308,10 @@ fn worker_panic_restart_is_byte_identical() {
             at: 12,
             fired: AtomicBool::new(false),
         }));
-        let sub = server.attach(stream, Arc::clone(&query)).unwrap();
+        let sub = server
+            .attach(stream, Arc::clone(&query))
+            .unwrap()
+            .into_inner();
         let consumer = std::thread::spawn(move || drain(sub));
         let metrics = server.run_to_end(stream).unwrap();
         let (hits, faults, terminal) = consumer.join().unwrap();
@@ -346,7 +349,10 @@ fn restart_budget_exhaustion_is_typed_and_counted() {
         inner: clean,
         at: 12,
     }));
-    let sub = server.attach(stream, Arc::clone(&query)).unwrap();
+    let sub = server
+        .attach(stream, Arc::clone(&query))
+        .unwrap()
+        .into_inner();
     let consumer = std::thread::spawn(move || drain(sub));
 
     let err = server.run_to_end(stream).expect_err("budget must exhaust");

@@ -349,6 +349,133 @@ fn property_stage_batching_survives_attach_detach_recompile() {
     }
 }
 
+/// The parallel enrich stage must carry its state cleanly across a
+/// mid-stream attach/detach recompile: under the pipelined executor the
+/// hoistable `direction` projections run on enrich workers that still
+/// hold in-flight jobs from the previous batch when the recompile lands
+/// at the boundary. The surviving direction query must stay
+/// byte-identical to the uninterrupted static run (no lost or duplicated
+/// property values), the detached query gets the exact prefix, the late
+/// query the exact suffix — and the trace must show enrich spans on both
+/// sides of the recompile, proving the stage was actually live, not
+/// drained and bypassed.
+#[test]
+fn enrich_stage_survives_recompile_with_jobs_in_flight() {
+    use vqpy_serve::Telemetry;
+
+    for workers in [2usize, 3] {
+        let config = SessionConfig::pipelined(workers);
+        let v = video(96, 12.0);
+        let q_straight = direction_query("StraightCar", "straight");
+        let q_left = direction_query("LeftCar", "left");
+        let q_right = direction_query("RightCar", "right");
+
+        let offline = Arc::new(VqpySession::with_config(
+            ModelZoo::standard(),
+            config.clone(),
+        ));
+        let static_all = offline
+            .execute_shared(
+                &[
+                    Arc::clone(&q_straight),
+                    Arc::clone(&q_left),
+                    Arc::clone(&q_right),
+                ],
+                &v,
+            )
+            .unwrap();
+
+        let telemetry = Telemetry::with_tracing();
+        let session = Arc::new(VqpySession::with_config(ModelZoo::standard(), config));
+        let server = session.serve(ServeConfig {
+            telemetry: telemetry.clone(),
+            ..ServeConfig::default()
+        });
+        let stream = server.open_stream(Arc::new(v.clone()));
+        let sub_straight = server.attach(stream, Arc::clone(&q_straight)).unwrap();
+        let sub_left = server.attach(stream, Arc::clone(&q_left)).unwrap();
+        for _ in 0..4 {
+            let out = server.step(stream).unwrap();
+            assert!(!out.finished, "video too short for the scenario");
+        }
+        let boundary = server.position(stream).unwrap();
+        let spans_before = telemetry
+            .tracer()
+            .spans()
+            .iter()
+            .filter(|s| s.name == "enrich")
+            .count();
+        assert!(
+            spans_before > 0,
+            "direction projections must run on the enrich stage before the \
+             recompile ({workers} workers)"
+        );
+        let sub_right = server.attach(stream, Arc::clone(&q_right)).unwrap();
+        server.detach(stream, sub_left.id()).unwrap();
+        let metrics = server.run_to_end(stream).unwrap();
+        assert_eq!(metrics.recompiles, 1);
+        assert_eq!(metrics.frames_total, v.frame_count(), "no frames dropped");
+
+        let (straight_hits, straight_agg) = sub_straight.collect();
+        assert_eq!(
+            straight_hits, static_all[0].frame_hits,
+            "surviving enrich-stage query perturbed by recompile ({workers} workers)"
+        );
+        assert_eq!(straight_agg, static_all[0].video_value);
+
+        let (left_hits, _) = sub_left.collect();
+        let expected_prefix: Vec<_> = static_all[1]
+            .frame_hits
+            .iter()
+            .filter(|h| h.frame < boundary)
+            .cloned()
+            .collect();
+        assert_eq!(
+            left_hits, expected_prefix,
+            "detached enrich-stage query not a clean prefix"
+        );
+
+        let (right_hits, _) = sub_right.collect();
+        let expected_suffix: Vec<_> = static_all[2]
+            .frame_hits
+            .iter()
+            .filter(|h| h.frame >= boundary)
+            .cloned()
+            .collect();
+        assert_eq!(
+            right_hits, expected_suffix,
+            "late enrich-stage query not a clean suffix"
+        );
+
+        // The recompiled plan kept the stage live: new enrich spans were
+        // recorded after the boundary.
+        let spans_after = telemetry
+            .tracer()
+            .spans()
+            .iter()
+            .filter(|s| s.name == "enrich")
+            .count();
+        assert!(
+            spans_after > spans_before,
+            "enrich stage must keep running after the recompile \
+             ({spans_before} -> {spans_after} spans, {workers} workers)"
+        );
+        // ...and the executor accounted wall time to it.
+        let exec = server.exec_metrics(stream).unwrap();
+        let enrich_wall = exec
+            .stage_wall_ms
+            .iter()
+            .find(|(n, _)| n == "enrich")
+            .map(|(_, ms)| *ms)
+            .unwrap_or(0.0);
+        assert!(
+            enrich_wall > 0.0,
+            "enrich stage wall time must be accounted: {:?}",
+            exec.stage_wall_ms
+        );
+    }
+}
+
 /// Two streams on one server serve independently and match per-video
 /// offline execution.
 #[test]

@@ -10,7 +10,10 @@ use std::time::Instant;
 use vqpy_core::frontend::{library, predicate::Pred};
 use vqpy_core::{Aggregate, FrameHit, Query, SessionConfig, VqpySession};
 use vqpy_models::{ModelZoo, Value};
-use vqpy_serve::{ServeConfig, ServeError, ServeEvent, ServeSession, StreamServer};
+use vqpy_serve::{
+    AttachSpec, ServeConfig, ServeError, ServeEvent, ServeResult, ServeSession, StreamId,
+    StreamServer, Subscription,
+};
 use vqpy_store::{corrupt_segment, FrameStore, RetentionPolicy, SegmentCorruption, StoreConfig};
 use vqpy_video::source::{SyntheticVideo, VideoSource};
 use vqpy_video::{presets, Scene};
@@ -90,9 +93,24 @@ fn serve_with_store(config: &SessionConfig, fs: &Arc<FrameStore>) -> StreamServe
     })
 }
 
+/// From-past attach through the unified spec API, unpacked to the
+/// (subscription, replay pseudo-stream id) pair the assertions drive.
+fn attach_from(
+    server: &StreamServer,
+    stream: StreamId,
+    query: Arc<Query>,
+    from: Instant,
+) -> ServeResult<(Subscription, StreamId)> {
+    let attached = server.attach(stream, AttachSpec::new(query).from(from))?;
+    let replay = attached
+        .replay()
+        .expect("from-past attach yields a replay id");
+    Ok((attached.into_inner(), replay))
+}
+
 /// Drains a subscription, splitting hits, store-fault notices, and the
 /// terminal aggregate.
-fn drain(sub: vqpy_serve::Subscription) -> (Vec<FrameHit>, usize, Option<Value>) {
+fn drain(sub: Subscription) -> (Vec<FrameHit>, usize, Option<Value>) {
     let mut hits = Vec::new();
     let mut store_faults = 0;
     let mut video_value = None;
@@ -132,12 +150,10 @@ fn pure_replay_matches_always_attached() {
         // Live pass: persists every frame's model outputs.
         let live = server.attach(stream, Arc::clone(&query)).unwrap();
         server.run_to_end(stream).unwrap();
-        drain(live);
+        drain(live.into_inner());
 
         let epoch = fs.epoch();
-        let (sub, replay) = server
-            .attach_from(stream, Arc::clone(&query), epoch)
-            .unwrap();
+        let (sub, replay) = attach_from(&server, stream, Arc::clone(&query), epoch).unwrap();
         server.run_replay(replay).unwrap();
         let (hits, faults, agg) = drain(sub);
         assert_eq!(hits, exp_hits, "replayed hits diverged (mode {i})");
@@ -184,9 +200,7 @@ fn hybrid_attach_from_splices_into_live() {
         // Attach from the origin: the stored prefix replays while the
         // live stream keeps going.
         let epoch = fs.epoch();
-        let (sub, replay) = server
-            .attach_from(stream, Arc::clone(&replay_query), epoch)
-            .unwrap();
+        let (sub, replay) = attach_from(&server, stream, Arc::clone(&replay_query), epoch).unwrap();
 
         // Mid-replay, churn the live plan: attach + detach another query,
         // forcing recompiles while the replay is in flight.
@@ -216,7 +230,7 @@ fn hybrid_attach_from_splices_into_live() {
             agg, exp_replay_agg,
             "replayed aggregate diverged (mode {i})"
         );
-        let (c_hits, _, c_agg) = drain(control);
+        let (c_hits, _, c_agg) = drain(control.into_inner());
         assert_eq!(
             c_hits, exp_control_hits,
             "control query perturbed (mode {i})"
@@ -248,11 +262,9 @@ fn attach_from_mid_instant_delivers_suffix() {
     }
     let from = Instant::now();
     server.run_to_end(stream).unwrap();
-    drain(warm);
+    drain(warm.into_inner());
 
-    let (sub, replay) = server
-        .attach_from(stream, Arc::clone(&query), from)
-        .unwrap();
+    let (sub, replay) = attach_from(&server, stream, Arc::clone(&query), from).unwrap();
     server.run_replay(replay).unwrap();
     let (hits, _faults, agg) = drain(sub);
 
@@ -288,7 +300,7 @@ fn corrupted_segment_recomputes_with_notice() {
     let stream = server.open_stream(Arc::new(v.clone()));
     let live = server.attach(stream, Arc::clone(&query)).unwrap();
     server.run_to_end(stream).unwrap();
-    drain(live);
+    drain(live.into_inner());
 
     // Damage the first sealed segment on disk.
     let ss = fs.stream(&format!("stream-{stream}")).unwrap();
@@ -300,9 +312,7 @@ fn corrupted_segment_recomputes_with_notice() {
     );
     corrupt_segment(&segments[0].path, SegmentCorruption::TruncateTail(37)).unwrap();
 
-    let (sub, replay) = server
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
-        .unwrap();
+    let (sub, replay) = attach_from(&server, stream, Arc::clone(&query), fs.epoch()).unwrap();
     server.run_replay(replay).unwrap();
     let (hits, faults, agg) = drain(sub);
     assert_eq!(hits, exp_hits, "corruption must not change results");
@@ -343,11 +353,9 @@ fn replay_racing_eviction_stays_correct() {
     let stream = server.open_stream(Arc::new(v.clone()));
     let live = server.attach(stream, Arc::clone(&query)).unwrap();
     server.run_to_end(stream).unwrap();
-    drain(live);
+    drain(live.into_inner());
 
-    let (sub, replay) = server
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
-        .unwrap();
+    let (sub, replay) = attach_from(&server, stream, Arc::clone(&query), fs.epoch()).unwrap();
     // Interleave eviction with replay turns so segments disappear while
     // the replay is using the store.
     loop {
@@ -393,12 +401,10 @@ fn retention_zero_replays_by_recompute() {
     let stream = server.open_stream(Arc::new(v.clone()));
     let live = server.attach(stream, Arc::clone(&query)).unwrap();
     server.run_to_end(stream).unwrap();
-    drain(live);
+    drain(live.into_inner());
     fs.enforce_retention();
 
-    let (sub, replay) = server
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
-        .unwrap();
+    let (sub, replay) = attach_from(&server, stream, Arc::clone(&query), fs.epoch()).unwrap();
     server.run_replay(replay).unwrap();
     let (hits, _faults, agg) = drain(sub);
     assert_eq!(hits, exp_hits);
@@ -413,9 +419,13 @@ fn attach_from_without_store_is_typed_error() {
     let session = Arc::new(VqpySession::new(ModelZoo::standard()));
     let server = session.serve(ServeConfig::default());
     let stream = server.open_stream(Arc::new(video(1, 2.0)));
-    let err = server
-        .attach_from(stream, color_query("RedCar", "red"), Instant::now())
-        .unwrap_err();
+    let err = attach_from(
+        &server,
+        stream,
+        color_query("RedCar", "red"),
+        Instant::now(),
+    )
+    .unwrap_err();
     assert!(matches!(err, ServeError::StoreDisabled), "{err}");
 }
 
@@ -433,11 +443,9 @@ fn detach_mid_replay_delivers_detached() {
     let stream = server.open_stream(Arc::new(v.clone()));
     let live = server.attach(stream, Arc::clone(&query)).unwrap();
     server.run_to_end(stream).unwrap();
-    drain(live);
+    drain(live.into_inner());
 
-    let (sub, replay) = server
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
-        .unwrap();
+    let (sub, replay) = attach_from(&server, stream, Arc::clone(&query), fs.epoch()).unwrap();
     server.replay_step(replay).unwrap();
     // Detach via the replay pseudo-id; the live-stream id works too.
     server.detach(replay, sub.id()).unwrap();
@@ -477,7 +485,7 @@ fn typed_attach_from_decodes_rows() {
     let stream = server.open_stream(Arc::new(v.clone()));
     let live = server.attach(stream, Arc::clone(&query)).unwrap();
     server.run_to_end(stream).unwrap();
-    drain(live);
+    drain(live.into_inner());
 
     let car = library::vehicle().alias("car");
     let typed = TypedQuery::builder("RedCar")
@@ -486,9 +494,12 @@ fn typed_attach_from_decodes_rows() {
         .select((car.track_id().optional(), car.bbox()))
         .build()
         .unwrap();
-    let (sub, replay) = server
-        .attach_from_typed::<(Option<i64>, BBox)>(stream, &typed, fs.epoch())
-        .unwrap();
+    let spec = AttachSpec::new(Arc::clone(typed.query()))
+        .typed::<(Option<i64>, BBox)>()
+        .from(fs.epoch());
+    let attached = server.attach(stream, spec).unwrap();
+    let replay = attached.replay().expect("replay id");
+    let sub = attached.into_inner();
     server.run_replay(replay).unwrap();
 
     let mut frames = Vec::new();
@@ -541,7 +552,7 @@ fn supervisor_attach_from_end_to_end() {
     // finished, replays the full history to `End`. Both converge to the
     // baseline.
     let sub = supervisor
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .attach(stream, AttachSpec::new(Arc::clone(&query)).from(fs.epoch()))
         .unwrap();
     supervisor.join_stream(stream).unwrap();
     drain(subs.remove(0));

@@ -252,7 +252,7 @@ fn seeded_harness_replays_and_matches_the_oracle() {
         // the sequences stay comparable with the oracle's.
         let events = streams
             .into_iter()
-            .map(|(_, sub)| collect_events(sub))
+            .map(|(_, sub)| collect_events(sub.into_inner()))
             .collect();
         (order, events)
     };

@@ -9,7 +9,7 @@ use vqpy_core::frontend::{library, predicate::Pred};
 use vqpy_core::{Query, SessionConfig, VqpySession};
 use vqpy_models::ModelZoo;
 use vqpy_serve::{
-    BatcherConfig, PaceMode, ServeConfig, StreamSupervisor, SupervisorConfig, Telemetry,
+    AttachSpec, BatcherConfig, PaceMode, ServeConfig, StreamSupervisor, SupervisorConfig, Telemetry,
 };
 use vqpy_video::source::SyntheticVideo;
 use vqpy_video::{presets, Scene};
@@ -208,7 +208,7 @@ fn store_lane_and_metrics_are_exported() {
         )
         .unwrap();
     let sub = supervisor
-        .attach_from(stream, Arc::clone(&query), fs.epoch())
+        .attach(stream, AttachSpec::new(Arc::clone(&query)).from(fs.epoch()))
         .unwrap();
     supervisor.join_stream(stream).unwrap();
     for s in subs {

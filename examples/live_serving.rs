@@ -217,7 +217,7 @@ fn main() {
         supervisor.load()
     );
     let black_j = supervisor
-        .attach_typed(jackson, &car_query("BlackCar", "black"))
+        .attach(jackson, &car_query("BlackCar", "black"))
         .expect("admitted under calm load");
     supervisor.detach(jackson, red_j.id()).expect("detach");
     consumers.push(consume("jackson/RedCar", red_j));

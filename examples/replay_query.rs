@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(car.score().gt(0.5) & car.color().eq("red"))
         .select((car.track_id().optional(), car.bbox()))
         .build()?;
-    let live_sub = server.attach_typed(stream, &red)?;
+    let live_sub = server.attach(stream, &red)?;
 
     // Serve the first half, note the instant, serve the rest.
     while server.position(stream)? < frames / 2 {
@@ -63,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(car.score().gt(0.5) & car.color().eq("black"))
         .select((car.track_id().optional(), car.bbox()))
         .build()?;
-    let (sub, replay) = server.attach_from_typed(stream, &black, halfway)?;
+    let spec: AttachSpec<_> = (&black).into();
+    let sub = server.attach(stream, spec.from(halfway))?;
+    let replay = sub.replay().expect("from-past attach yields a replay");
     server.run_replay(replay)?;
     let (past_hits, _) = sub.collect()?;
 

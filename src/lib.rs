@@ -53,9 +53,10 @@ pub mod api {
     };
     pub use vqpy_models::{DecodeError, FromRow, FromValue, ModelZoo, Row, Value, ValueKind};
     pub use vqpy_serve::{
-        FaultStats, PaceMode, RestartPolicy, ResumeMode, ServeConfig, ServeEvent, ServeSession,
-        StoreFaultNotice, StreamFault, StreamLoad, StreamServer, StreamSupervisor, Subscription,
-        SupervisorConfig, Telemetry, TypedServeEvent, TypedSubscription,
+        AttachSpec, Attached, ConfigError, FaultStats, PaceMode, RestartPolicy, ResumeMode,
+        ServeConfig, ServeEvent, ServeSession, StoreFaultNotice, StreamFault, StreamLoad,
+        StreamServer, StreamSupervisor, Subscription, SupervisorConfig, Telemetry, TypedServeEvent,
+        TypedSubscription,
     };
     pub use vqpy_store::{FrameStore, RetentionPolicy, StoreConfig};
     pub use vqpy_video::{presets, FaultyVideo, Scene, SyntheticVideo, VideoSource};

@@ -100,7 +100,7 @@ fn served_event_sequences_are_identical() {
     let stream = server.open_stream(Arc::new(video(42, 10.0)));
 
     let raw_sub = server.attach(stream, stringly).expect("attach stringly");
-    let typed_sub = server.attach_typed(stream, &typed).expect("attach typed");
+    let typed_sub = server.attach(stream, &typed).expect("attach typed");
 
     let driver = {
         let server = Arc::clone(&server);
@@ -242,7 +242,7 @@ fn typed_supervisor_attach_decodes_live_rows() {
     let initial: TypedSubscription<PlateRow> =
         TypedSubscription::wrap(subs.into_iter().next().unwrap());
     let late = supervisor
-        .attach_typed(stream, &typed_red_car("RedCarLate"))
+        .attach(stream, &typed_red_car("RedCarLate"))
         .expect("typed attach while live");
     let collectors = [
         std::thread::spawn(move || initial.collect().expect("initial decodes")),
